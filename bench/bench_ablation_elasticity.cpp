@@ -1,0 +1,56 @@
+// ABL-ALPHA — ablation on the power-performance elasticity assumption
+// behind every section-3.1 result: speed = cap^alpha. Memory-bound jobs
+// (low alpha) barely slow down under a cap, compute-bound ones (high
+// alpha) pay nearly linearly. This bench sweeps the workload's alpha
+// range under the CI-proportional budget and reports how the carbon
+// savings and the throughput cost of power capping depend on it.
+
+#include <cstdio>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "powerstack/policies.hpp"
+#include "sched/easy_backfill.hpp"
+
+int main() {
+  using namespace greenhpc;
+  using namespace greenhpc::bench;
+
+  const auto easy = [] { return std::make_unique<sched::EasyBackfillScheduler>(); };
+  const auto dynamic_budget = [] {
+    return std::make_unique<powerstack::IntensityProportionalPolicy>(
+        powerstack::IntensityProportionalPolicy::Config{
+            .ci_clean = 330.0, .ci_dirty = 600.0, .min_fraction = 0.55,
+            .max_fraction = 1.0});
+  };
+
+  util::Table table({"alpha range", "carbon [t]", "vs uncapped [%]", "makespan [h]",
+                     "mean wait [h]", "g/node-h"});
+  struct Band {
+    double lo, hi;
+    const char* label;
+  };
+  const Band bands[] = {{0.10, 0.20, "0.10-0.20 (memory-bound)"},
+                        {0.30, 0.55, "0.30-0.55 (mixed, default)"},
+                        {0.70, 0.95, "0.70-0.95 (compute-bound)"}};
+  for (const auto& band : bands) {
+    auto cfg = reference_scenario();
+    cfg.workload.alpha_min = band.lo;
+    cfg.workload.alpha_max = band.hi;
+    core::ScenarioRunner runner(cfg);
+    const auto uncapped = runner.run("easy", easy);
+    const auto capped = runner.run("easy", easy, dynamic_budget);
+    table.add_row({band.label, util::Table::fmt(capped.total_carbon_t, 2),
+                   util::Table::fmt(100.0 * (capped.total_carbon_t /
+                                                 uncapped.total_carbon_t - 1.0), 1),
+                   util::Table::fmt(capped.result.makespan.hours(), 1),
+                   util::Table::fmt(capped.mean_wait_h, 2),
+                   util::Table::fmt(capped.carbon_per_node_hour_g, 1)});
+  }
+  std::printf("%s\n", table.str("Ablation: value of dynamic power capping vs workload "
+                                "power elasticity").c_str());
+  std::printf("Reading: the lower the elasticity (memory-bound mixes), the cheaper "
+              "carbon-aware capping is — capped nodes lose little speed while their "
+              "draw falls linearly. Compute-bound mixes pay in makespan/wait.\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// EXP-PROC — reproduces the section 2.2 claim: "Trading-off the embodied
+// and operational carbon budgets under a total carbon footprint budget
+// will be another optimization opportunity for system designs."
+//
+// For a fixed lifetime carbon budget, the fraction x assigned to
+// manufacturing is swept; the rest buys operational energy. Delivered
+// performance peaks at an interior split, and the optimal split moves
+// toward hardware as the grid gets cleaner.
+
+#include <cstdio>
+
+#include "procure/catalog.hpp"
+#include "procure/tradeoff.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace greenhpc;
+  using namespace greenhpc::procure;
+
+  const embodied::ActModel model;
+  const ProcurementOptimizer optimizer(default_catalog(model));
+
+  TradeoffConfig cfg;
+  cfg.total_budget = tonnes_co2(30000.0);
+  cfg.lifetime = days(365.0 * 6.0);
+  cfg.base.cost_budget_keur = 2.0e6;
+  cfg.base.power_limit = megawatts(50.0);
+  cfg.base.max_nodes = 30000;
+  cfg.power_elasticity = 0.7;
+
+  for (double grid : {20.0, 300.0, 700.0}) {
+    cfg.grid = grams_per_kwh(grid);
+    const auto sweep = sweep_budget_split(optimizer, cfg, 19);
+    util::Table table({"embodied x [%]", "nodes", "procured [PF]",
+                       "sustainable power [MW]", "delivered [PF]"});
+    for (const auto& p : sweep) {
+      table.add_row({util::Table::fmt(100.0 * p.embodied_fraction, 0),
+                     std::to_string(p.plan.total_nodes()),
+                     util::Table::fmt(p.procured_pflops, 1),
+                     util::Table::fmt(p.sustainable_power.megawatts(), 2),
+                     util::Table::fmt(p.delivered_pflops, 1)});
+    }
+    const auto& best = best_split(sweep);
+    std::printf("%s", table.str("Budget split sweep, grid = " +
+                                util::Table::fmt(grid, 0) + " g/kWh (total budget 30,000 t, 6 years)")
+                          .c_str());
+    std::printf("-> optimal split: %.0f%% embodied / %.0f%% operational, %.1f PF delivered\n\n",
+                100.0 * best.embodied_fraction, 100.0 * (1.0 - best.embodied_fraction),
+                best.delivered_pflops);
+  }
+
+  cfg.grid = grams_per_kwh(20.0);
+  const auto clean_best = best_split(sweep_budget_split(optimizer, cfg, 19));
+  cfg.grid = grams_per_kwh(700.0);
+  const auto dirty_best = best_split(sweep_budget_split(optimizer, cfg, 19));
+  std::printf("Paper claim check: interior optimum exists and shifts toward embodied in "
+              "clean grids -> %s (clean x*=%.2f, dirty x*=%.2f)\n",
+              clean_best.embodied_fraction > dirty_best.embodied_fraction ? "CONFIRMED"
+                                                                          : "NOT REPRODUCED",
+              clean_best.embodied_fraction, dirty_best.embodied_fraction);
+  return 0;
+}

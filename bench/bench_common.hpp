@@ -1,0 +1,54 @@
+#pragma once
+// Shared scaffolding for the experiment benches: a reference operational
+// scenario (cluster + region + workload) used by the section-3
+// experiments so their numbers are comparable across benches.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "core/scenario.hpp"
+#include "util/table.hpp"
+
+namespace greenhpc::bench {
+
+/// The reference operational scenario: a 256-node tranche of a SuperMUC-NG
+/// class machine in the German grid, one week of submissions plus drain.
+inline core::ScenarioConfig reference_scenario(std::uint64_t seed = 2023) {
+  core::ScenarioConfig cfg;
+  cfg.cluster.nodes = 256;
+  cfg.cluster.node_tdp = watts(500.0);
+  cfg.cluster.node_idle = watts(110.0);
+  cfg.cluster.tick = minutes(2.0);
+  cfg.region = carbon::Region::Germany;
+  cfg.trace_span = days(12.0);
+  cfg.trace_step = minutes(15.0);
+  cfg.workload.job_count = 900;
+  cfg.workload.span = days(7.0);
+  cfg.workload.max_job_nodes = 128;
+  cfg.workload.runtime_mean = hours(3.0);
+  cfg.workload.node_power_mean = watts(420.0);
+  cfg.workload.node_power_limit = watts(500.0);
+  cfg.seed = seed;
+  return cfg;
+}
+
+/// Append one policy outcome to the standard comparison table.
+inline void add_outcome_row(util::Table& table, const core::PolicyOutcome& o) {
+  table.add_row({o.scheduler, o.power_policy, util::Table::fmt(o.total_carbon_t, 1),
+                 util::Table::fmt(o.carbon_per_node_hour_g, 1),
+                 util::Table::fmt(o.total_energy_mwh, 1),
+                 util::Table::fmt(o.mean_wait_h, 2),
+                 util::Table::fmt(o.mean_bounded_slowdown, 2),
+                 util::Table::fmt(100.0 * o.utilization, 1),
+                 util::Table::fmt(100.0 * o.green_energy_share, 1),
+                 std::to_string(o.completed)});
+}
+
+/// The standard comparison-table header.
+inline util::Table outcome_table() {
+  return util::Table({"scheduler", "power-policy", "carbon[t]", "g/node-h", "MWh",
+                      "wait[h]", "slowdown", "util[%]", "green[%]", "done"});
+}
+
+}  // namespace greenhpc::bench

@@ -1,0 +1,67 @@
+// EXP-FAC — facility-level operational carbon: cooling technology, PUE
+// and waste-heat reuse. The paper's host site (LRZ) pioneered warm-water
+// direct liquid cooling with heat reuse; this bench quantifies how much
+// of a site's operational footprint is decided by that facility design,
+// alongside the grid-placement lever of Fig. 2.
+
+#include <cstdio>
+#include <vector>
+
+#include "carbon/grid_model.hpp"
+#include "facility/facility_model.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace greenhpc;
+  using namespace greenhpc::facility;
+
+  const Power it_power = megawatts(3.0);  // SuperMUC-NG class IT draw
+  const Duration year = days(365.0);
+
+  // One full year, Germany: cooling technology comparison.
+  WeatherModel weather(carbon::Region::Germany, 11);
+  const auto temp = weather.generate(seconds(0.0), year, hours(1.0));
+  carbon::GridModel grid(carbon::Region::Germany, 11);
+  const auto ci = grid.generate(seconds(0.0), year, hours(1.0));
+
+  util::Table table({"cooling", "mean PUE", "facility [GWh/y]", "gross [t/y]",
+                     "heat-reuse credit [t/y]", "net [t/y]"});
+  for (auto tech : {CoolingTechnology::AirCooled, CoolingTechnology::ChilledWater,
+                    CoolingTechnology::WarmWater}) {
+    HeatReuseConfig reuse;
+    // Only liquid designs capture meaningful heat.
+    reuse.capture_fraction = tech == CoolingTechnology::WarmWater     ? 0.9
+                             : tech == CoolingTechnology::ChilledWater ? 0.3
+                                                                       : 0.05;
+    const auto r = evaluate_facility_constant(it_power, seconds(0.0), year, temp, ci,
+                                              CoolingModel(tech), reuse);
+    table.add_row({cooling_name(tech), util::Table::fmt(r.mean_pue, 3),
+                   util::Table::fmt(r.facility_energy.megawatt_hours() / 1000.0, 2),
+                   util::Table::fmt(r.gross_carbon.tonnes(), 0),
+                   util::Table::fmt(r.reuse_credit.tonnes(), 0),
+                   util::Table::fmt(r.net_carbon().tonnes(), 0)});
+  }
+  std::printf("%s\n", table.str("Facility design, 3 MW IT in the German grid, one year").c_str());
+
+  // Placement x facility interaction: the same warm-water machine across
+  // regions (Fig. 2's lever compounded with the facility lever).
+  util::Table place({"region", "mean PUE", "net carbon [t/y]"});
+  for (auto region : {carbon::Region::Norway, carbon::Region::France,
+                      carbon::Region::Germany, carbon::Region::Poland}) {
+    WeatherModel w(region, 13);
+    const auto t = w.generate(seconds(0.0), year, hours(1.0));
+    carbon::GridModel g(region, 13);
+    const auto c = g.generate(seconds(0.0), year, hours(1.0));
+    const auto r = evaluate_facility_constant(it_power, seconds(0.0), year, t, c,
+                                              CoolingModel(CoolingTechnology::WarmWater),
+                                              HeatReuseConfig{});
+    place.add_row({std::string(carbon::traits(region).name),
+                   util::Table::fmt(r.mean_pue, 3),
+                   util::Table::fmt(r.net_carbon().tonnes(), 0)});
+  }
+  std::printf("%s\n", place.str("Warm-water site across regions").c_str());
+  std::printf("Reading: facility design (PUE + heat reuse) moves operational carbon by "
+              "tens of percent; placement moves it by multiples — both levers compound "
+              "with the section-3 software stack.\n");
+  return 0;
+}

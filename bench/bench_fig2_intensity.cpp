@@ -1,0 +1,83 @@
+// FIG2 — reproduces the paper's Figure 2: "Averaged daily marginal carbon
+// intensities for the different geographical regions across Europe in
+// January 2023."
+//
+// Paper anchors: Finland's monthly mean ~2.1x France's; Finland's daily
+// standard deviation ~47.21 gCO2/kWh. The regional ordering (Nordics and
+// France low, Poland highest) must match the published January-2023 grid
+// data the paper drew on.
+
+#include <cstdio>
+
+#include "carbon/grid_model.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace greenhpc;
+  using namespace greenhpc::carbon;
+
+  const Duration january = days(31.0);
+  const RegionalTraces bundle = generate_european_traces(
+      seconds(0.0), january, hours(1.0), /*seed=*/20230101, IntensityKind::Marginal);
+
+  util::Table table({"region", "mean [g/kWh]", "daily sigma", "min day", "max day"});
+  double france_mean = 0.0, finland_mean = 0.0, finland_sigma = 0.0;
+  for (std::size_t i = 0; i < bundle.regions.size(); ++i) {
+    const util::TimeSeries daily = bundle.series[i].daily_mean();
+    const util::Summary s = daily.summary();
+    const RegionTraits& t = traits(bundle.regions[i]);
+    table.add_row({std::string(t.name), util::Table::fmt(s.mean, 1),
+                   util::Table::fmt(s.stddev, 2), util::Table::fmt(s.min, 1),
+                   util::Table::fmt(s.max, 1)});
+    if (bundle.regions[i] == Region::France) france_mean = s.mean;
+    if (bundle.regions[i] == Region::Finland) {
+      finland_mean = s.mean;
+      finland_sigma = s.stddev;
+    }
+  }
+  std::printf("%s\n",
+              table.str("Figure 2: averaged daily marginal carbon intensity, Europe, January").c_str());
+
+  // Daily series for two contrasting regions (the figure's lines).
+  std::printf("day, France[g/kWh], Finland[g/kWh], Germany[g/kWh], Poland[g/kWh]\n");
+  const auto series_of = [&](Region r) {
+    for (std::size_t i = 0; i < bundle.regions.size(); ++i) {
+      if (bundle.regions[i] == r) return bundle.series[i].daily_mean();
+    }
+    return util::TimeSeries();
+  };
+  const auto fr = series_of(Region::France);
+  const auto fi = series_of(Region::Finland);
+  const auto de = series_of(Region::Germany);
+  const auto pl = series_of(Region::Poland);
+  for (std::size_t d = 0; d < fr.size(); ++d) {
+    std::printf("%2zu, %7.1f, %7.1f, %7.1f, %7.1f\n", d + 1, fr.at(d), fi.at(d),
+                de.at(d), pl.at(d));
+  }
+
+  // Average vs marginal accounting (the distinction the paper cites [2]):
+  // marginal intensities are systematically higher because the marginal
+  // generator is usually fossil.
+  util::Table avm({"region", "average mean", "marginal mean", "uplift"});
+  for (Region r : {Region::France, Region::Finland, Region::Germany, Region::Poland}) {
+    GridModel m_avg(r, 5);
+    GridModel m_marg(r, 5);
+    const double avg =
+        m_avg.generate(seconds(0.0), january, hours(1.0), IntensityKind::Average)
+            .summary().mean;
+    const double marg =
+        m_marg.generate(seconds(0.0), january, hours(1.0), IntensityKind::Marginal)
+            .summary().mean;
+    avm.add_row({std::string(traits(r).name), util::Table::fmt(avg, 1),
+                 util::Table::fmt(marg, 1), util::Table::fmt(marg / avg, 2)});
+  }
+  std::printf("\n%s", avm.str("Average vs marginal carbon intensity").c_str());
+
+  std::printf("\nPaper anchors:\n");
+  std::printf("  Finland/France mean ratio: measured %.2f (paper: 2.1)\n",
+              finland_mean / france_mean);
+  std::printf("  Finland daily stddev:      measured %.2f (paper: 47.21)\n",
+              finland_sigma);
+  return 0;
+}

@@ -1,0 +1,112 @@
+// EXP-USER — section 3.4 ("Making HPC Users Greener"): the over-allocation
+// waste the paper observed in SuperMUC-NG job data, per-user carbon
+// reports with the car-driving analogy, and the green-period core-hour
+// incentive ("charging a fraction of the actual core hours used by the
+// job during that time").
+
+#include <cstdio>
+#include <memory>
+
+#include "accounting/incentives.hpp"
+#include "accounting/job_carbon.hpp"
+#include "bench_common.hpp"
+#include "sched/easy_backfill.hpp"
+
+int main() {
+  using namespace greenhpc;
+  using namespace greenhpc::bench;
+
+  const auto easy = [] { return std::make_unique<sched::EasyBackfillScheduler>(); };
+
+  // Sweep 1: over-allocation -> wasted energy/carbon (the paper's
+  // SuperMUC-NG observation, parameterized).
+  util::Table waste({"over-allocation mean", "held/used node ratio", "mean waste [%]",
+                     "total carbon [t]"});
+  for (double oa : {1.0, 1.2, 1.5, 2.0}) {
+    auto cfg = reference_scenario();
+    cfg.workload.job_count = 600;
+    cfg.workload.over_allocation_mean = oa;
+    core::ScenarioRunner runner(cfg);
+    const auto outcome = runner.run("easy", easy);
+    const auto profiles = accounting::profile_jobs(outcome.result, cfg.cluster);
+    double mean_waste = 0.0, ratio = 0.0;
+    for (const auto& p : profiles) mean_waste += p.over_allocation_waste;
+    for (const auto& rec : outcome.result.jobs) {
+      ratio += static_cast<double>(rec.spec.nodes_requested) / rec.spec.nodes_used;
+    }
+    mean_waste /= static_cast<double>(profiles.size());
+    ratio /= static_cast<double>(outcome.result.jobs.size());
+    waste.add_row({util::Table::fmt(oa, 1), util::Table::fmt(ratio, 2),
+                   util::Table::fmt(100.0 * mean_waste, 1),
+                   util::Table::fmt(outcome.total_carbon_t, 1)});
+  }
+  std::printf("%s\n", waste.str("Section 3.4: over-allocation waste "
+                                "(\"many users allocate more nodes ... than they require\")").c_str());
+
+  // Per-user carbon reports on the reference workload.
+  auto cfg = reference_scenario();
+  cfg.workload.job_count = 600;
+  cfg.workload.over_allocation_mean = 1.3;
+  core::ScenarioRunner runner(cfg);
+  const auto outcome = runner.run("easy", easy);
+  const auto profiles = accounting::profile_jobs(outcome.result, cfg.cluster);
+  const auto users = accounting::aggregate_by_user(profiles);
+  util::Table report({"user", "jobs", "energy [MWh]", "carbon [kg]", "car-km equiv",
+                      "timing savings potential [%]", "mean waste [%]"});
+  for (std::size_t i = 0; i < std::min<std::size_t>(users.size(), 8); ++i) {
+    const auto& u = users[i];
+    report.add_row({u.key, std::to_string(u.jobs),
+                    util::Table::fmt(u.energy.megawatt_hours(), 2),
+                    util::Table::fmt(u.carbon.kilograms(), 0),
+                    util::Table::fmt(u.car_km, 0),
+                    util::Table::fmt(100.0 * u.timing_savings_potential.grams() /
+                                         std::max(1.0, u.carbon.grams()), 1),
+                    util::Table::fmt(100.0 * u.mean_over_allocation_waste, 1)});
+  }
+  std::printf("%s\n", report.str("Top users by carbon (the job-report aggregation DCDB "
+                                 "would serve)").c_str());
+  std::printf("Example per-job report mailed to a user:\n\n%s\n",
+              accounting::format_job_report(profiles.front()).c_str());
+
+  // Sweep 2: green-period discount -> behaviour shift -> carbon/revenue.
+  util::Table inc({"discount [%]", "shifted jobs [%]", "carbon reduction [%]",
+                   "billed node-hours [% of raw]"});
+  for (double d : {0.0, 0.1, 0.2, 0.3, 0.4, 0.5}) {
+    accounting::IncentiveConfig icfg;
+    icfg.pricing.green_discount = d;
+    icfg.flexible_fraction = 0.5;
+    icfg.shift_elasticity = 2.0;
+    const auto io = accounting::evaluate_incentive(outcome.result.jobs, runner.trace(),
+                                                   icfg, 77);
+    inc.add_row({util::Table::fmt(100.0 * d, 0),
+                 util::Table::fmt(100.0 * io.shifted_job_fraction, 1),
+                 util::Table::fmt(100.0 * io.carbon_reduction(), 1),
+                 util::Table::fmt(100.0 * io.billed_node_hour_factor, 1)});
+  }
+  std::printf("%s\n", inc.str("Green-period core-hour incentive sweep").c_str());
+
+  // Sweep 3: Countdown-class runtime library adoption (section 3.4 cites
+  // Cesarini et al.: performance-neutral energy saving in MPI waits).
+  util::Table lib({"adoption [%]", "energy [MWh]", "carbon [t]", "vs 0% [%]"});
+  double base_energy = 0.0;
+  for (double adoption : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    auto lib_cfg = reference_scenario();
+    lib_cfg.workload.job_count = 600;
+    lib_cfg.workload.mpi_wait_mean = 0.25;
+    lib_cfg.workload.powersave_adoption = adoption;
+    core::ScenarioRunner lib_runner(lib_cfg);
+    const auto lib_outcome = lib_runner.run("easy", easy);
+    if (adoption == 0.0) base_energy = lib_outcome.total_energy_mwh;
+    lib.add_row({util::Table::fmt(100.0 * adoption, 0),
+                 util::Table::fmt(lib_outcome.total_energy_mwh, 1),
+                 util::Table::fmt(lib_outcome.total_carbon_t, 2),
+                 util::Table::fmt(
+                     100.0 * (lib_outcome.total_energy_mwh / base_energy - 1.0), 1)});
+  }
+  std::printf("%s\n", lib.str("Countdown-style runtime library adoption "
+                               "(performance-neutral MPI-wait power saving)").c_str());
+  std::printf("Paper claim check: incentives monotonically reduce carbon at bounded "
+              "revenue cost -> see sweep above (reduction grows with discount); "
+              "user-side library adoption compounds the savings.\n");
+  return 0;
+}

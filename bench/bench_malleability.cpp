@@ -1,0 +1,122 @@
+// EXP-MALL — section 3.2 ("Carbon-aware Dynamic Resource Scaling"):
+// "Malleability is a desired feature also for power-constrained systems,
+// as limiting the number of available nodes is an effective approach to
+// keep the system under the given total power budget."
+//
+// Sweeps the malleable share of the workload under a CI-proportional
+// dynamic power budget, comparing uniform power capping (rigid) against
+// node-count scaling (malleable + controller).
+
+#include <cstdio>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "powerstack/policies.hpp"
+#include "sched/decorators.hpp"
+#include "sched/easy_backfill.hpp"
+
+int main() {
+  using namespace greenhpc;
+  using namespace greenhpc::bench;
+
+  const auto power_factory = [] {
+    return std::make_unique<powerstack::IntensityProportionalPolicy>(
+        powerstack::IntensityProportionalPolicy::Config{
+            .ci_clean = 330.0, .ci_dirty = 600.0, .min_fraction = 0.35,
+            .max_fraction = 0.8});
+  };
+
+  util::Table table({"malleable [%]", "carbon [t]", "g/node-h", "wait [h]",
+                     "slowdown", "util [%]", "violations", "done"});
+  for (double frac : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    auto cfg = reference_scenario();
+    cfg.workload.malleable_fraction = frac;
+    core::ScenarioRunner runner(cfg);
+    const auto outcome = runner.run(
+        "easy+malleable",
+        [] {
+          return std::make_unique<sched::MalleableDecorator>(
+              sched::MalleableDecorator::Config{},
+              std::make_unique<sched::EasyBackfillScheduler>());
+        },
+        power_factory);
+    table.add_row({util::Table::fmt(100.0 * frac, 0),
+                   util::Table::fmt(outcome.total_carbon_t, 1),
+                   util::Table::fmt(outcome.carbon_per_node_hour_g, 1),
+                   util::Table::fmt(outcome.mean_wait_h, 2),
+                   util::Table::fmt(outcome.mean_bounded_slowdown, 2),
+                   util::Table::fmt(100.0 * outcome.utilization, 1),
+                   std::to_string(outcome.result.budget_violations),
+                   std::to_string(outcome.completed)});
+  }
+  std::printf("%s\n", table.str("Section 3.2: malleable share sweep under a dynamic "
+                                "power budget (0.35-0.8 x max power)").c_str());
+
+  // The section-3.2 job-class ladder: rigid-only vs moldable (sized at
+  // start) vs malleable (resized at runtime), same budget and load.
+  {
+    util::Table ladder = outcome_table();
+    {
+      core::ScenarioRunner r0(reference_scenario());
+      const auto rigid = r0.run(
+          "easy", [] { return std::make_unique<sched::EasyBackfillScheduler>(); },
+          power_factory);
+      add_outcome_row(ladder, rigid);
+    }
+    {
+      auto cfg2 = reference_scenario();
+      cfg2.workload.moldable_fraction = 0.75;
+      core::ScenarioRunner r1(cfg2);
+      const auto mold = r1.run(
+          "easy+mold",
+          [] { return std::make_unique<sched::EasyBackfillScheduler>(true); },
+          power_factory);
+      add_outcome_row(ladder, mold);
+    }
+    {
+      auto cfg2 = reference_scenario();
+      cfg2.workload.malleable_fraction = 0.75;
+      core::ScenarioRunner r2(cfg2);
+      const auto mall = r2.run(
+          "easy+malleable",
+          [] {
+            return std::make_unique<sched::MalleableDecorator>(
+                sched::MalleableDecorator::Config{},
+                std::make_unique<sched::EasyBackfillScheduler>());
+          },
+          power_factory);
+      add_outcome_row(ladder, mall);
+    }
+    std::printf("%s\n", ladder.str("Job-class ladder at 75% dynamic share: rigid vs "
+                                    "moldable vs malleable").c_str());
+  }
+
+  // Head-to-head at 75% malleable: with vs without the controller.
+  auto cfg = reference_scenario();
+  cfg.workload.malleable_fraction = 0.75;
+  core::ScenarioRunner runner(cfg);
+  const auto with_controller = runner.run(
+      "easy+malleable",
+      [] {
+        return std::make_unique<sched::MalleableDecorator>(
+            sched::MalleableDecorator::Config{},
+            std::make_unique<sched::EasyBackfillScheduler>());
+      },
+      power_factory);
+  const auto capped_only = runner.run(
+      "easy", [] { return std::make_unique<sched::EasyBackfillScheduler>(); },
+      power_factory);
+  util::Table duel = outcome_table();
+  add_outcome_row(duel, with_controller);
+  add_outcome_row(duel, capped_only);
+  std::printf("%s\n", duel.str("75% malleable workload: node-scaling controller vs "
+                               "uniform power capping").c_str());
+  std::printf("violations: controller=%d capping-only=%d\n",
+              with_controller.result.budget_violations, capped_only.result.budget_violations);
+  std::printf("Paper claim check: malleability keeps the system within budget more "
+              "effectively than capping alone -> %s\n",
+              with_controller.result.budget_violations <= capped_only.result.budget_violations
+                  ? "CONFIRMED"
+                  : "NOT REPRODUCED");
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Microbenchmarks (google-benchmark) of the library's hot kernels: grid
+// trace generation, the simulator tick loop, hierarchical budget
+// distribution, DSE evaluation and the parallel sweep infrastructure.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "carbon/grid_model.hpp"
+#include "embodied/dse.hpp"
+#include "hpcsim/simulator.hpp"
+#include "hpcsim/workload.hpp"
+#include "powerstack/budget_tree.hpp"
+#include "sched/easy_backfill.hpp"
+#include "util/parallel.hpp"
+
+namespace {
+
+using namespace greenhpc;
+
+void BM_GridTraceGeneration(benchmark::State& state) {
+  const auto span = days(static_cast<double>(state.range(0)));
+  for (auto _ : state) {
+    carbon::GridModel model(carbon::Region::Germany, 42);
+    benchmark::DoNotOptimize(model.generate(seconds(0.0), span, minutes(15.0)));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 96);
+}
+BENCHMARK(BM_GridTraceGeneration)->Arg(7)->Arg(31)->Arg(365);
+
+void BM_SimulatorWeek(benchmark::State& state) {
+  const int nodes = static_cast<int>(state.range(0));
+  carbon::GridModel grid_model(carbon::Region::Germany, 7);
+  const auto trace = grid_model.generate(seconds(0.0), days(10.0), minutes(15.0));
+  hpcsim::WorkloadConfig wl;
+  wl.job_count = nodes;  // ~1 job per node over the week
+  wl.span = days(7.0);
+  wl.max_job_nodes = nodes / 4;
+  const auto jobs = hpcsim::WorkloadGenerator(wl, 3).generate();
+  for (auto _ : state) {
+    hpcsim::Simulator::Config cfg;
+    cfg.cluster.nodes = nodes;
+    cfg.cluster.tick = minutes(2.0);
+    cfg.carbon_intensity = trace;
+    hpcsim::Simulator sim(cfg, jobs);
+    sched::EasyBackfillScheduler sched;
+    benchmark::DoNotOptimize(sim.run(sched));
+  }
+}
+BENCHMARK(BM_SimulatorWeek)->Arg(64)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
+
+void BM_BudgetTreeDistribute(benchmark::State& state) {
+  const int jobs = static_cast<int>(state.range(0));
+  powerstack::ComponentBounds bounds;
+  bounds.gpus_per_node = 4;
+  const auto tree = powerstack::make_site_tree(jobs, 8, bounds);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(powerstack::distribute(tree, megawatts(2.0)));
+  }
+}
+BENCHMARK(BM_BudgetTreeDistribute)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_DseEvaluate(benchmark::State& state) {
+  const embodied::ActModel model;
+  embodied::DesignSpaceExplorer::Config cfg;
+  const embodied::DesignSpaceExplorer dse(model, cfg);
+  const embodied::DesignPoint point{embodied::ProcessNode::N7, 64, 2.5, 4};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dse.evaluate(point, grams_per_kwh(300.0)));
+  }
+}
+BENCHMARK(BM_DseEvaluate);
+
+void BM_DseFullSweep(benchmark::State& state) {
+  const embodied::ActModel model;
+  embodied::DesignSpaceExplorer::Config cfg;
+  const embodied::DesignSpaceExplorer dse(model, cfg);
+  const auto grid = dse.default_grid();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        dse.best(grid, embodied::Objective::Cdp, grams_per_kwh(300.0)));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(grid.size()));
+}
+BENCHMARK(BM_DseFullSweep)->Unit(benchmark::kMillisecond);
+
+void BM_ParallelFor(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> out(n);
+  for (auto _ : state) {
+    util::parallel_for(n, [&](std::size_t i) {
+      double acc = 0.0;
+      for (int k = 0; k < 1000; ++k) acc += static_cast<double>(i * k % 7);
+      out[i] = acc;
+    });
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_ParallelFor)->Arg(64)->Arg(1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

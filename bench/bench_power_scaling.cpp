@@ -1,0 +1,81 @@
+// EXP-PWR — section 3.1 ("Carbon-aware Dynamic Power Budget Scaling"):
+// "scaling up/down the total system power constraint in accordance with
+// the carbon intensity changes is essential."
+//
+// Compares, on one week of identical jobs and one grid trace:
+//   * an unconstrained system,
+//   * a static power cap (the PowerStack status quo),
+//   * the CI-proportional dynamic budget,
+//   * the carbon-rate-capping budget,
+// on carbon, delivered work, wait and budget violations.
+
+#include <cstdio>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "powerstack/policies.hpp"
+#include "sched/easy_backfill.hpp"
+
+int main() {
+  using namespace greenhpc;
+  using namespace greenhpc::bench;
+
+  core::ScenarioRunner runner(reference_scenario());
+  const auto easy = [] { return std::make_unique<sched::EasyBackfillScheduler>(); };
+  const Power max_power = runner.config().cluster.max_power();
+
+  util::Table table = outcome_table();
+  const auto unconstrained = runner.run("easy", easy);
+  add_outcome_row(table, unconstrained);
+
+  const auto static_cap = runner.run("easy", easy, [&] {
+    return std::make_unique<powerstack::StaticBudgetPolicy>(max_power * 0.8);
+  });
+  add_outcome_row(table, static_cap);
+
+  const auto proportional = runner.run("easy", easy, [] {
+    return std::make_unique<powerstack::IntensityProportionalPolicy>(
+        powerstack::IntensityProportionalPolicy::Config{
+            .ci_clean = 330.0, .ci_dirty = 600.0, .min_fraction = 0.6,
+            .max_fraction = 1.0});
+  });
+  add_outcome_row(table, proportional);
+
+  const auto rate_cap = runner.run("easy", easy, [&] {
+    // Target the emission rate of running at ~80% power at the mean CI.
+    const double mean_ci = runner.trace().summary().mean;
+    return std::make_unique<powerstack::CarbonRateCapPolicy>(
+        powerstack::CarbonRateCapPolicy::Config{
+            .target_kg_per_hour = 0.8 * max_power.kilowatts() * mean_ci / 1000.0,
+            .min_fraction = 0.55});
+  });
+  add_outcome_row(table, rate_cap);
+
+  const auto ramped = runner.run("easy", easy, [&] {
+    // CI-proportional budget behind a facility slew limit of 1% of max
+    // power per minute (power-contract / cooling-plant constraint).
+    return std::make_unique<powerstack::RampLimitedPolicy>(
+        std::make_unique<powerstack::IntensityProportionalPolicy>(
+            powerstack::IntensityProportionalPolicy::Config{
+                .ci_clean = 330.0, .ci_dirty = 600.0, .min_fraction = 0.6,
+                .max_fraction = 1.0}),
+        max_power * (0.01 / 60.0));
+  });
+  add_outcome_row(table, ramped);
+
+  std::printf("%s\n", table.str("Section 3.1: system power budget policies "
+                                "(256-node cluster, German grid, 1 week)").c_str());
+  std::printf("budget violations: unconstrained=%d static=%d ci-proportional=%d "
+              "rate-cap=%d ramped=%d\n\n",
+              unconstrained.result.budget_violations, static_cap.result.budget_violations,
+              proportional.result.budget_violations, rate_cap.result.budget_violations,
+              ramped.result.budget_violations);
+
+  std::printf("Paper claim check: carbon-aware budget scaling cuts carbon per delivered "
+              "node-hour vs the static cap -> %s (%.1f vs %.1f g/node-h)\n",
+              proportional.carbon_per_node_hour_g < static_cap.carbon_per_node_hour_g
+                  ? "CONFIRMED"
+                  : "NOT REPRODUCED",
+              proportional.carbon_per_node_hour_g, static_cap.carbon_per_node_hour_g);
+  return 0;
+}

@@ -1,0 +1,76 @@
+// CLAIM-REUSE — reproduces the paper's section 2.3 quantitative claims:
+// "reusing hard disk drives leads to 275x more carbon emissions
+// reductions than recycling", the reuse > recycle > landfill hierarchy,
+// and "server lifetime extensions are more effective than component
+// reuse since not all server components can be effectively reutilized".
+
+#include <cstdio>
+
+#include "embodied/systems.hpp"
+#include "lifecycle/fleet.hpp"
+#include "lifecycle/reuse.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace greenhpc;
+  using namespace greenhpc::lifecycle;
+
+  util::Table ratios({"component", "reusable [%]", "refurb cost [%]", "recycle credit [%]",
+                      "reuse/recycle ratio"});
+  for (const auto& m : {hdd_reuse_model(), dram_reuse_model(), ssd_reuse_model()}) {
+    ratios.add_row({m.component, util::Table::fmt(100.0 * m.reusable_fraction, 1),
+                    util::Table::fmt(100.0 * m.refurbishment_overhead, 1),
+                    util::Table::fmt(100.0 * m.recycle_material_credit, 2),
+                    util::Table::fmt(m.reuse_over_recycle(), 0)});
+  }
+  std::printf("%s\n", ratios.str("Reuse vs recycling carbon credits per component class").c_str());
+  std::printf("Paper anchor: HDD reuse/recycle ratio measured %.0fx (paper: 275x)\n\n",
+              hdd_reuse_model().reuse_over_recycle());
+
+  // System-scale decommissioning: SuperMUC-NG's memory+storage pool.
+  const embodied::ActModel model;
+  const auto breakdown = embodied_breakdown(model, embodied::supermuc_ng());
+  util::Table decom({"strategy", "avoided carbon [t]"});
+  const auto storage_outcome = evaluate_decommission(breakdown.storage, hdd_reuse_model());
+  const auto dram_outcome = evaluate_decommission(breakdown.dram, dram_reuse_model());
+  decom.add_row({"reuse storage pool", util::Table::fmt(storage_outcome.reuse_savings.tonnes(), 1)});
+  decom.add_row({"recycle storage pool", util::Table::fmt(storage_outcome.recycle_savings.tonnes(), 1)});
+  decom.add_row({"reuse DRAM pool (CXL-style)", util::Table::fmt(dram_outcome.reuse_savings.tonnes(), 1)});
+  decom.add_row({"recycle DRAM pool", util::Table::fmt(dram_outcome.recycle_savings.tonnes(), 1)});
+  decom.add_row({"landfill", "0.0"});
+  std::printf("%s\n", decom.str("Decommissioning SuperMUC-NG: avoided carbon by strategy").c_str());
+
+  // Lifetime extension vs component reuse (the section's final claim):
+  // extending defers the *whole* replacement system; reuse only recovers
+  // the reusable component classes.
+  ExtensionScenario ext;
+  ext.replacement_embodied = breakdown.total();
+  ext.replacement_lifetime_years = 6;
+  ext.old_power = embodied::supermuc_ng().avg_power;
+  ext.efficiency_gain = 0.35;
+  ext.grid = grams_per_kwh(20.0);  // LRZ
+  // Like-for-like comparison over the same 2-year deferral horizon:
+  // extension defers the FULL replacement system's embodied carbon for two
+  // years; reusing the memory+storage pool into the successor defers only
+  // those components' embodied carbon for the same two years. This is
+  // exactly the paper's argument — "not all server components can be
+  // effectively reutilized".
+  const double horizon_share = 2.0 / 6.0;
+  const Carbon extension_savings = evaluate_extension(ext, 2).net_savings();
+  const Carbon reuse_savings =
+      (storage_outcome.reuse_savings + dram_outcome.reuse_savings) * horizon_share;
+  const Carbon recycle_savings =
+      (storage_outcome.recycle_savings + dram_outcome.recycle_savings) * horizon_share;
+  util::Table final_table({"strategy (2-year deferral basis)", "carbon savings [t]"});
+  final_table.add_row({"whole-system lifetime extension (at LRZ grid)",
+                       util::Table::fmt(extension_savings.tonnes(), 1)});
+  final_table.add_row({"memory+storage reuse into the successor",
+                       util::Table::fmt(reuse_savings.tonnes(), 1)});
+  final_table.add_row({"memory+storage recycling",
+                       util::Table::fmt(recycle_savings.tonnes(), 1)});
+  std::printf("%s\n", final_table.str("Section 2.3 hierarchy: extension vs reuse vs recycling").c_str());
+  std::printf("Paper claim check: extension > reuse -> %s; reuse > recycling -> %s\n",
+              extension_savings > reuse_savings ? "CONFIRMED" : "NOT REPRODUCED",
+              reuse_savings > recycle_savings ? "CONFIRMED" : "NOT REPRODUCED");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Federated dispatch: spatial carbon shifting across sites.
+//
+// Fig. 2 shows an ~8x carbon-intensity spread across European grids; the
+// strongest operational lever a federation has is therefore *where* jobs
+// run. This example builds a two-site federation (a clean hydro site and
+// a coal-heavy site), dispatches the same job stream carbon-blind and
+// carbon-aware, and prints the placement and the carbon outcome.
+
+#include <cstdio>
+#include <memory>
+
+#include "core/federation.hpp"
+#include "hpcsim/workload.hpp"
+#include "sched/easy_backfill.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace greenhpc;
+  using namespace greenhpc::core;
+
+  Federation::Config cfg;
+  for (auto [name, region] : {std::pair{"Trondheim (NO)", carbon::Region::Norway},
+                              std::pair{"Katowice (PL)", carbon::Region::Poland}}) {
+    SiteSpec site;
+    site.name = name;
+    site.cluster.nodes = 96;
+    site.cluster.tick = minutes(2.0);
+    site.region = region;
+    cfg.sites.push_back(site);
+  }
+  cfg.trace_span = days(9.0);
+  cfg.seed = 5;
+  Federation fed(cfg);
+
+  hpcsim::WorkloadConfig wl;
+  wl.job_count = 400;
+  wl.span = days(5.0);
+  wl.max_job_nodes = 48;
+  const auto jobs = hpcsim::WorkloadGenerator(wl, 3).generate();
+  const auto easy = [] { return std::make_unique<sched::EasyBackfillScheduler>(); };
+
+  util::Table table({"dispatch", "NO jobs", "PL jobs", "job carbon [t]",
+                     "mean wait [h]", "done"});
+  for (DispatchPolicy policy : {DispatchPolicy::RoundRobin, DispatchPolicy::LeastLoaded,
+                                DispatchPolicy::GreenestForecast}) {
+    const auto r = fed.run(jobs, policy, easy);
+    table.add_row({dispatch_name(policy), std::to_string(r.jobs_per_site[0]),
+                   std::to_string(r.jobs_per_site[1]),
+                   util::Table::fmt(r.job_carbon.tonnes(), 2),
+                   util::Table::fmt(r.mean_wait_hours, 2), std::to_string(r.completed)});
+  }
+  std::printf("%s\n", table.str("Two-site federation: Norwegian hydro vs Polish coal").c_str());
+  std::printf("The greenest-forecast dispatcher sends nearly everything north — the "
+              "~25x intensity gap makes even long queues at the clean site worth it, "
+              "until the load penalty redirects overflow.\n");
+  return 0;
+}

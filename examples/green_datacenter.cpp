@@ -1,0 +1,74 @@
+// Green datacenter: operating one machine with the full section-3 stack —
+// carbon-aware power budgets (3.1), malleable jobs (3.2), carbon-aware
+// backfill with checkpointing (3.3) — and comparing against the
+// carbon-blind baseline on the same inputs.
+
+#include <cstdio>
+#include <memory>
+
+#include "carbon/forecast.hpp"
+#include "core/scenario.hpp"
+#include "powerstack/policies.hpp"
+#include "sched/carbon_aware.hpp"
+#include "sched/decorators.hpp"
+#include "sched/easy_backfill.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace greenhpc;
+
+  core::ScenarioConfig cfg;
+  cfg.cluster.nodes = 256;
+  cfg.region = carbon::Region::UnitedKingdom;  // volatile, wind-heavy grid
+  cfg.trace_span = days(12.0);
+  cfg.workload.job_count = 520;  // moderate load leaves slack for shifting
+  cfg.workload.span = days(7.0);
+  cfg.workload.max_job_nodes = 96;
+  cfg.workload.malleable_fraction = 0.4;
+  cfg.workload.checkpointable_fraction = 0.5;
+  cfg.seed = 31;
+  core::ScenarioRunner runner(cfg);
+
+  // Baseline: EASY backfill, no power management.
+  const auto baseline = runner.run("easy (carbon-blind)", [] {
+    return std::make_unique<sched::EasyBackfillScheduler>();
+  });
+
+  // The full green stack.
+  const auto green = runner.run(
+      "carbon-easy + ckpt + malleable",
+      [&] {
+        sched::CarbonAwareEasyScheduler::Config ca;
+        ca.max_hold = hours(12.0);
+        auto carbon_sched = std::make_unique<sched::CarbonAwareEasyScheduler>(
+            ca, std::make_shared<carbon::HarmonicForecaster>(days(3.0)));
+        auto with_ckpt = std::make_unique<sched::CheckpointDecorator>(
+            sched::CheckpointDecorator::Config{}, std::move(carbon_sched));
+        return std::make_unique<sched::MalleableDecorator>(
+            sched::MalleableDecorator::Config{}, std::move(with_ckpt));
+      },
+      [] {
+        return std::make_unique<powerstack::IntensityProportionalPolicy>(
+            powerstack::IntensityProportionalPolicy::Config{
+                .ci_clean = 180.0, .ci_dirty = 420.0, .min_fraction = 0.6,
+                .max_fraction = 1.0});
+      });
+
+  util::Table table({"stack", "carbon [t]", "g/node-h", "wait [h]", "util [%]",
+                     "green energy [%]", "done"});
+  for (const auto* o : {&baseline, &green}) {
+    table.add_row({o->scheduler, util::Table::fmt(o->total_carbon_t, 1),
+                   util::Table::fmt(o->carbon_per_node_hour_g, 1),
+                   util::Table::fmt(o->mean_wait_h, 2),
+                   util::Table::fmt(100.0 * o->utilization, 1),
+                   util::Table::fmt(100.0 * o->green_energy_share, 1),
+                   std::to_string(o->completed)});
+  }
+  std::printf("%s\n", table.str("Carbon-blind vs full green stack "
+                                "(256 nodes, UK grid, 1 week)").c_str());
+  std::printf("Carbon per delivered node-hour: %.1f -> %.1f g (%.1f%% reduction)\n",
+              baseline.carbon_per_node_hour_g, green.carbon_per_node_hour_g,
+              100.0 * (1.0 - green.carbon_per_node_hour_g /
+                                 baseline.carbon_per_node_hour_g));
+  return 0;
+}

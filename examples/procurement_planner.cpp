@@ -1,0 +1,76 @@
+// Procurement planner: a system architect's workflow for section 2.2.
+//
+// Given the site's budgets (cost, power feed, machine-room size) and a
+// total lifetime carbon budget, the planner:
+//   * finds the best split of the carbon budget between manufacturing and
+//     operation,
+//   * optimizes the node mix inside the resulting embodied budget,
+//   * reports the Carbon500-style efficiency of the chosen design.
+
+#include <cstdio>
+
+#include "procure/carbon500.hpp"
+#include "procure/catalog.hpp"
+#include "procure/tradeoff.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace greenhpc;
+  using namespace greenhpc::procure;
+
+  const embodied::ActModel act;
+  const ProcurementOptimizer optimizer(default_catalog(act));
+
+  // Site envelope: a mid-size European center.
+  TradeoffConfig cfg;
+  cfg.total_budget = tonnes_co2(40000.0);
+  cfg.lifetime = days(365.0 * 6.0);
+  cfg.grid = grams_per_kwh(250.0);  // regional average
+  cfg.base.cost_budget_keur = 1.5e6;
+  cfg.base.power_limit = megawatts(30.0);
+  cfg.base.max_nodes = 20000;
+
+  std::printf("Catalog:\n");
+  util::Table catalog_table({"node type", "perf [TF]", "power [W]",
+                             "embodied [kg]", "cost [kEUR]"});
+  for (const auto& b : optimizer.catalog()) {
+    catalog_table.add_row({b.name, util::Table::fmt(b.perf_tflops, 1),
+                           util::Table::fmt(b.power.watts(), 0),
+                           util::Table::fmt(b.embodied.kilograms(), 0),
+                           util::Table::fmt(b.cost_keur, 0)});
+  }
+  std::printf("%s\n", catalog_table.str().c_str());
+
+  const auto sweep = sweep_budget_split(optimizer, cfg, 19);
+  const auto& best = best_split(sweep);
+  std::printf("Best carbon-budget split: %.0f%% embodied / %.0f%% operational\n\n",
+              100.0 * best.embodied_fraction, 100.0 * (1.0 - best.embodied_fraction));
+
+  util::Table plan_table({"node type", "count"});
+  for (std::size_t i = 0; i < optimizer.catalog().size(); ++i) {
+    plan_table.add_row({optimizer.catalog()[i].name,
+                        std::to_string(best.plan.counts[i])});
+  }
+  std::printf("%s\n", plan_table.str("Chosen system configuration").c_str());
+  std::printf("Procured:   %.1f PF nameplate, %d nodes, %.1f MW, %.0f t embodied, "
+              "%.0f MEUR\n",
+              best.procured_pflops, best.plan.total_nodes(),
+              best.plan.power(optimizer.catalog()).megawatts(),
+              best.plan.embodied(optimizer.catalog()).tonnes(),
+              best.plan.cost_keur(optimizer.catalog()) / 1000.0);
+  std::printf("Delivered:  %.1f PF sustained at the carbon-sustainable power of "
+              "%.2f MW\n\n", best.delivered_pflops, best.sustainable_power.megawatts());
+
+  // Carbon500 card for the design.
+  Carbon500Entry entry;
+  entry.system = "planned system";
+  entry.region = carbon::Region::Germany;
+  entry.rmax_pflops = best.delivered_pflops;
+  entry.avg_power = best.sustainable_power;
+  entry.embodied = best.plan.embodied(optimizer.catalog());
+  entry.lifetime_years = 6;
+  const auto ranked = rank({entry});
+  std::printf("Carbon500 score: %.2f GFLOP per gram CO2e over the lifetime\n",
+              ranked[0].score_gflops_per_gram);
+  return 0;
+}

@@ -1,0 +1,107 @@
+#include "accounting/incentives.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace greenhpc::accounting {
+
+Charge charge_job(const hpcsim::JobRecord& record, const util::TimeSeries& intensity,
+                  const PricingPolicy& policy) {
+  GREENHPC_REQUIRE(record.completed, "can only charge completed jobs");
+  GREENHPC_REQUIRE(policy.green_discount >= 0.0 && policy.green_discount <= 1.0,
+                   "discount must be in [0,1]");
+  Charge ch;
+  const Duration span = record.finish - record.start;
+  ch.node_hours_raw = static_cast<double>(record.spec.nodes_requested) * span.hours();
+  if (span.seconds() <= 0.0) return ch;
+
+  const double threshold = carbon::green_threshold(intensity, policy.green_quantile);
+  // Walk the execution span at trace resolution and split green/non-green.
+  const Duration step = intensity.step();
+  double green_s = 0.0;
+  for (Duration t = record.start; t < record.finish; t += step) {
+    const Duration seg_end = std::min(record.finish, t + step);
+    if (intensity.sample_at_clamped(t) <= threshold) {
+      green_s += (seg_end - t).seconds();
+    }
+  }
+  ch.green_fraction = green_s / span.seconds();
+  ch.node_hours_billed =
+      ch.node_hours_raw * (1.0 - policy.green_discount * ch.green_fraction);
+  return ch;
+}
+
+IncentiveOutcome evaluate_incentive(const std::vector<hpcsim::JobRecord>& records,
+                                    const util::TimeSeries& intensity,
+                                    const IncentiveConfig& config, std::uint64_t seed) {
+  GREENHPC_REQUIRE(config.flexible_fraction >= 0.0 && config.flexible_fraction <= 1.0,
+                   "flexible fraction must be in [0,1]");
+  GREENHPC_REQUIRE(config.shift_elasticity >= 0.0, "elasticity must be >= 0");
+  util::Rng rng(seed ^ 0x696e6365ull /* "ince" */);
+  IncentiveOutcome out;
+
+  const double threshold =
+      carbon::green_threshold(intensity, config.pricing.green_quantile);
+  const auto windows = carbon::find_green_windows(intensity, threshold);
+  double green_mean = threshold;
+  if (!windows.empty()) {
+    double sum = 0.0;
+    for (const auto& w : windows) sum += w.mean_intensity;
+    green_mean = sum / static_cast<double>(windows.size());
+  }
+
+  const double shift_p =
+      std::min(1.0, config.shift_elasticity * config.pricing.green_discount);
+  double raw_hours = 0.0;
+  double billed_hours = 0.0;
+  int shifted = 0;
+  int completed = 0;
+  for (const auto& rec : records) {
+    if (!rec.completed) continue;
+    ++completed;
+    out.baseline_carbon += rec.carbon;
+    const bool flexible = rng.bernoulli(config.flexible_fraction);
+    const bool shifts = flexible && rng.bernoulli(shift_p);
+    const Charge baseline_charge = charge_job(rec, intensity, config.pricing);
+    raw_hours += baseline_charge.node_hours_raw;
+    if (shifts) {
+      ++shifted;
+      // Shifted jobs run fully inside green windows: carbon re-priced at
+      // the mean green intensity, billed fully discounted.
+      out.incentivized_carbon +=
+          grams_co2(rec.energy.kilowatt_hours() * green_mean);
+      billed_hours +=
+          baseline_charge.node_hours_raw * (1.0 - config.pricing.green_discount);
+    } else {
+      out.incentivized_carbon += rec.carbon;
+      billed_hours += baseline_charge.node_hours_billed;
+    }
+  }
+  out.shifted_job_fraction =
+      completed > 0 ? static_cast<double>(shifted) / completed : 0.0;
+  out.billed_node_hour_factor = raw_hours > 0.0 ? billed_hours / raw_hours : 0.0;
+  return out;
+}
+
+double max_discount_for_revenue_floor(const std::vector<hpcsim::JobRecord>& records,
+                                      const util::TimeSeries& intensity,
+                                      IncentiveConfig config, std::uint64_t seed,
+                                      double min_billed_factor) {
+  GREENHPC_REQUIRE(min_billed_factor > 0.0 && min_billed_factor <= 1.0,
+                   "revenue floor must be in (0,1]");
+  auto billed_at = [&](double discount) {
+    config.pricing.green_discount = discount;
+    return evaluate_incentive(records, intensity, config, seed).billed_node_hour_factor;
+  };
+  if (billed_at(1.0) >= min_billed_factor) return 1.0;
+  double lo = 0.0, hi = 1.0;  // billed(lo) >= floor > billed(hi)
+  for (int iter = 0; iter < 40; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    (billed_at(mid) >= min_billed_factor ? lo : hi) = mid;
+  }
+  return lo;
+}
+
+}  // namespace greenhpc::accounting

@@ -1,0 +1,80 @@
+#pragma once
+// Green-period core-hour incentives (paper section 3.4): "To encourage
+// users to submit jobs during periods of green energy, HPC centers can
+// offer incentives by only charging a fraction of the actual core hours
+// used by the job during that time."
+//
+// The module provides (a) the pricing rule itself — core-hours consumed
+// inside green windows are charged at a discount — and (b) a simple user-
+// behaviour model for the incentive experiment: a fraction of jobs is
+// time-flexible, and flexible users shift their submissions into green
+// windows with a probability that grows with the offered discount.
+
+#include <cstdint>
+#include <vector>
+
+#include "carbon/green_periods.hpp"
+#include "hpcsim/result.hpp"
+#include "util/time_series.hpp"
+#include "util/units.hpp"
+
+namespace greenhpc::accounting {
+
+/// Pricing rule for one job run against an intensity trace.
+struct PricingPolicy {
+  double green_discount = 0.3;   ///< fraction of the price waived in green windows
+  double green_quantile = 0.25;  ///< what counts as green
+};
+
+/// Charge (node-hours, after discount) for a completed job, splitting its
+/// execution span into green and non-green shares under the policy.
+struct Charge {
+  double node_hours_raw = 0.0;
+  double node_hours_billed = 0.0;
+  double green_fraction = 0.0;  ///< share of the span inside green windows
+};
+[[nodiscard]] Charge charge_job(const hpcsim::JobRecord& record,
+                                const util::TimeSeries& intensity,
+                                const PricingPolicy& policy);
+
+/// Behaviour model for the incentive experiment.
+struct IncentiveConfig {
+  PricingPolicy pricing;
+  /// Fraction of jobs whose start time is flexible (batch work without a
+  /// deadline).
+  double flexible_fraction = 0.5;
+  /// Shift probability = min(1, elasticity * discount).
+  double shift_elasticity = 2.0;
+};
+
+/// Outcome of applying an incentive to a set of completed jobs.
+struct IncentiveOutcome {
+  Carbon baseline_carbon;          ///< as actually run
+  Carbon incentivized_carbon;      ///< with shifted flexible jobs
+  double shifted_job_fraction = 0.0;
+  double billed_node_hour_factor = 0.0;  ///< revenue relative to raw hours
+  [[nodiscard]] double carbon_reduction() const {
+    return baseline_carbon.grams() > 0.0
+               ? 1.0 - incentivized_carbon / baseline_carbon
+               : 0.0;
+  }
+};
+
+/// Monte-Carlo (deterministic by seed) evaluation: flexible jobs shift
+/// into the green windows of the trace with the modeled probability;
+/// shifted jobs' carbon is re-priced at the mean green-window intensity.
+[[nodiscard]] IncentiveOutcome evaluate_incentive(
+    const std::vector<hpcsim::JobRecord>& records, const util::TimeSeries& intensity,
+    const IncentiveConfig& config, std::uint64_t seed);
+
+/// Largest green discount whose billed-node-hour factor stays at or above
+/// `min_billed_factor` (e.g. 0.9 = the center accepts a 10% revenue
+/// reduction). Solved by bisection over the discount in [0, 1]; the
+/// billed factor is monotone decreasing in the discount under the shift
+/// model. Returns 0 if even a zero discount violates the floor (cannot
+/// happen: factor(0) == 1) and 1 if no discount reaches it.
+[[nodiscard]] double max_discount_for_revenue_floor(
+    const std::vector<hpcsim::JobRecord>& records, const util::TimeSeries& intensity,
+    IncentiveConfig config, std::uint64_t seed, double min_billed_factor);
+
+}  // namespace greenhpc::accounting

@@ -1,0 +1,82 @@
+#include "accounting/ledger.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace greenhpc::accounting {
+
+ProjectLedger::ProjectLedger(util::TimeSeries intensity, PricingPolicy policy)
+    : intensity_(std::move(intensity)), policy_(policy) {
+  GREENHPC_REQUIRE(!intensity_.empty(), "ledger requires an intensity trace");
+  GREENHPC_REQUIRE(policy_.green_discount >= 0.0 && policy_.green_discount <= 1.0,
+                   "discount must be in [0,1]");
+}
+
+void ProjectLedger::grant(const std::string& project, double node_hours,
+                          std::optional<Carbon> carbon_allowance) {
+  GREENHPC_REQUIRE(!project.empty(), "project name must not be empty");
+  GREENHPC_REQUIRE(node_hours > 0.0, "grant must be positive");
+  ProjectAccount account;
+  account.project = project;
+  account.node_hours_granted = node_hours;
+  account.carbon_allowance = carbon_allowance;
+  GREENHPC_REQUIRE(accounts_.emplace(project, std::move(account)).second,
+                   "project already granted: " + project);
+}
+
+bool ProjectLedger::charge(const hpcsim::JobRecord& record) {
+  GREENHPC_REQUIRE(record.completed, "only completed jobs can be charged");
+  const auto it = accounts_.find(record.spec.project);
+  GREENHPC_REQUIRE(it != accounts_.end(),
+                   "unknown project: " + record.spec.project);
+  ProjectAccount& account = it->second;
+  if (account.exhausted() || account.carbon_exhausted()) {
+    ++account.jobs_rejected;
+    return false;
+  }
+  const Charge ch = charge_job(record, intensity_, policy_);
+  account.node_hours_billed += ch.node_hours_billed;
+  account.carbon_used += record.carbon;
+  ++account.jobs_charged;
+  return true;
+}
+
+void ProjectLedger::charge_all(const std::vector<hpcsim::JobRecord>& records) {
+  for (const auto& rec : records) {
+    if (rec.completed) (void)charge(rec);
+  }
+}
+
+const ProjectAccount& ProjectLedger::account(const std::string& project) const {
+  const auto it = accounts_.find(project);
+  GREENHPC_REQUIRE(it != accounts_.end(), "unknown project: " + project);
+  return it->second;
+}
+
+std::vector<ProjectAccount> ProjectLedger::accounts() const {
+  std::vector<ProjectAccount> out;
+  out.reserve(accounts_.size());
+  for (const auto& [_, account] : accounts_) out.push_back(account);
+  return out;
+}
+
+std::string ProjectLedger::statement(const std::string& project) const {
+  const ProjectAccount& a = account(project);
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(1);
+  os << "Project " << a.project << "\n"
+     << "  node-hours: " << a.node_hours_billed << " billed of "
+     << a.node_hours_granted << " granted (" << a.node_hours_remaining()
+     << " remaining)\n"
+     << "  carbon:     " << a.carbon_used.kilograms() << " kgCO2e";
+  if (a.carbon_allowance) {
+    os << " of " << a.carbon_allowance->kilograms() << " allowed";
+  }
+  os << "\n  jobs:       " << a.jobs_charged << " charged, " << a.jobs_rejected
+     << " rejected\n";
+  return os.str();
+}
+
+}  // namespace greenhpc::accounting

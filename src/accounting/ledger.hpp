@@ -1,0 +1,75 @@
+#pragma once
+// Project budget ledger (paper section 3.4): "HPC centers commonly
+// allocate compute budget to projects using units like core-hours ...
+// This approach can be synergistically integrated with 3.3 to enable
+// automatic incentivized HPC job budget accounting."
+//
+// The ledger tracks, per project, a node-hour allocation and an optional
+// carbon allowance. Completed jobs are charged with the green-period
+// discount applied (incentive pricing), so delay-tolerant projects that
+// ride green windows stretch the same allocation further — the incentive
+// loop the paper proposes.
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "accounting/incentives.hpp"
+#include "hpcsim/result.hpp"
+#include "util/time_series.hpp"
+
+namespace greenhpc::accounting {
+
+/// Per-project account state.
+struct ProjectAccount {
+  std::string project;
+  double node_hours_granted = 0.0;
+  double node_hours_billed = 0.0;
+  std::optional<Carbon> carbon_allowance;  ///< nullopt = not carbon-capped
+  Carbon carbon_used;
+  int jobs_charged = 0;
+  int jobs_rejected = 0;
+
+  [[nodiscard]] double node_hours_remaining() const {
+    return node_hours_granted - node_hours_billed;
+  }
+  [[nodiscard]] bool exhausted() const { return node_hours_remaining() <= 0.0; }
+  [[nodiscard]] bool carbon_exhausted() const {
+    return carbon_allowance && carbon_used >= *carbon_allowance;
+  }
+};
+
+class ProjectLedger {
+ public:
+  /// Ledger pricing completed jobs against `intensity` under `policy`.
+  /// A copy of the trace is kept so the ledger owns its pricing context.
+  ProjectLedger(util::TimeSeries intensity, PricingPolicy policy);
+
+  /// Open an account. Throws if the project already exists.
+  void grant(const std::string& project, double node_hours,
+             std::optional<Carbon> carbon_allowance = std::nullopt);
+
+  /// Charge one completed job to its project's account. Jobs from
+  /// projects that are exhausted (node-hours or carbon) are rejected and
+  /// counted, not billed. Returns whether the job was accepted.
+  bool charge(const hpcsim::JobRecord& record);
+
+  /// Charge every completed job in a result set (in record order).
+  void charge_all(const std::vector<hpcsim::JobRecord>& records);
+
+  /// Account lookup (throws on unknown project).
+  [[nodiscard]] const ProjectAccount& account(const std::string& project) const;
+  /// All accounts, ordered by project name.
+  [[nodiscard]] std::vector<ProjectAccount> accounts() const;
+
+  /// Human-readable statement for one project.
+  [[nodiscard]] std::string statement(const std::string& project) const;
+
+ private:
+  util::TimeSeries intensity_;
+  PricingPolicy policy_;
+  std::map<std::string, ProjectAccount> accounts_;
+};
+
+}  // namespace greenhpc::accounting

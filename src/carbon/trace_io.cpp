@@ -1,0 +1,68 @@
+#include "carbon/trace_io.hpp"
+
+#include <cmath>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace greenhpc::carbon {
+
+util::TimeSeries load_intensity_csv(std::istream& in) {
+  std::vector<double> times;
+  std::vector<double> values;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    // Strip comments and whitespace-only lines.
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+
+    std::istringstream row(line);
+    std::string t_str, v_str;
+    if (!std::getline(row, t_str, ',') || !std::getline(row, v_str)) {
+      throw InvalidArgument("trace csv: malformed row at line " +
+                            std::to_string(lineno));
+    }
+    char* end = nullptr;
+    const double t = std::strtod(t_str.c_str(), &end);
+    if (end == t_str.c_str()) {
+      // Allow one header row.
+      if (times.empty() && values.empty()) continue;
+      throw InvalidArgument("trace csv: non-numeric timestamp at line " +
+                            std::to_string(lineno));
+    }
+    const double v = std::strtod(v_str.c_str(), &end);
+    GREENHPC_REQUIRE(end != v_str.c_str(),
+                     "trace csv: non-numeric intensity at line " + std::to_string(lineno));
+    GREENHPC_REQUIRE(v >= 0.0, "trace csv: negative intensity at line " +
+                                   std::to_string(lineno));
+    times.push_back(t);
+    values.push_back(v);
+  }
+  GREENHPC_REQUIRE(values.size() >= 2, "trace csv: need at least two samples");
+  const double step = times[1] - times[0];
+  GREENHPC_REQUIRE(step > 0.0, "trace csv: timestamps must ascend");
+  for (std::size_t i = 2; i < times.size(); ++i) {
+    GREENHPC_REQUIRE(std::fabs((times[i] - times[i - 1]) - step) < 1e-6 * step + 1e-9,
+                     "trace csv: unequal sample spacing at line " + std::to_string(i + 1));
+  }
+  return util::TimeSeries(seconds(times[0]), seconds(step), std::move(values));
+}
+
+void save_intensity_csv(const util::TimeSeries& trace, std::ostream& out) {
+  out << "timestamp_s,intensity_g_per_kwh\n";
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const double t = trace.start().seconds() + trace.step().seconds() * i;
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g,%.6g\n", t, trace.at(i));
+    out << buf;
+  }
+}
+
+}  // namespace greenhpc::carbon

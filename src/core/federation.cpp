@@ -1,0 +1,154 @@
+#include "core/federation.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace greenhpc::core {
+
+const char* dispatch_name(DispatchPolicy p) {
+  switch (p) {
+    case DispatchPolicy::RoundRobin: return "round-robin";
+    case DispatchPolicy::LeastLoaded: return "least-loaded";
+    case DispatchPolicy::GreenestNow: return "greenest-now";
+    case DispatchPolicy::GreenestForecast: return "greenest-forecast";
+  }
+  return "?";
+}
+
+Federation::Federation(Config config) : cfg_(std::move(config)) {
+  GREENHPC_REQUIRE(!cfg_.sites.empty(), "federation needs at least one site");
+  traces_.reserve(cfg_.sites.size());
+  for (std::size_t i = 0; i < cfg_.sites.size(); ++i) {
+    cfg_.sites[i].cluster.validate();
+    carbon::GridModel model(cfg_.sites[i].region,
+                            cfg_.seed + 0x5eed * (i + 1));
+    traces_.push_back(model.generate(seconds(0.0), cfg_.trace_span, cfg_.trace_step,
+                                     cfg_.intensity_kind));
+  }
+}
+
+std::vector<std::size_t> Federation::dispatch(const std::vector<hpcsim::JobSpec>& jobs,
+                                              DispatchPolicy policy) const {
+  const std::size_t n_sites = cfg_.sites.size();
+  std::vector<std::size_t> assignment(jobs.size());
+  // Committed work per site, in node-seconds, as the dispatcher's load
+  // estimate (it cannot see the future schedule, only what it has sent).
+  std::vector<double> committed(n_sites, 0.0);
+  std::size_t rr_cursor = 0;
+
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    const auto& job = jobs[j];
+    const int needs = std::max(job.nodes_requested, job.max_nodes);
+    // Candidate sites that can physically host the job.
+    std::vector<std::size_t> candidates;
+    for (std::size_t s = 0; s < n_sites; ++s) {
+      if (cfg_.sites[s].cluster.nodes >= needs) candidates.push_back(s);
+    }
+    GREENHPC_REQUIRE(!candidates.empty(), "job larger than every site in the federation");
+
+    std::size_t chosen = candidates[0];
+    switch (policy) {
+      case DispatchPolicy::RoundRobin: {
+        chosen = candidates[rr_cursor++ % candidates.size()];
+        break;
+      }
+      case DispatchPolicy::LeastLoaded: {
+        double best = std::numeric_limits<double>::infinity();
+        for (std::size_t s : candidates) {
+          const double load = committed[s] / cfg_.sites[s].cluster.nodes;
+          if (load < best) {
+            best = load;
+            chosen = s;
+          }
+        }
+        break;
+      }
+      case DispatchPolicy::GreenestNow:
+      case DispatchPolicy::GreenestForecast: {
+        double best = std::numeric_limits<double>::infinity();
+        for (std::size_t s : candidates) {
+          double ci;
+          if (policy == DispatchPolicy::GreenestNow) {
+            ci = traces_[s].sample_at_clamped(job.submit);
+          } else {
+            // Mean intensity over the job's expected execution window,
+            // starting after the site's estimated backlog drains.
+            const double backlog_s =
+                committed[s] / cfg_.sites[s].cluster.nodes;
+            const Duration start = job.submit + seconds(backlog_s);
+            Duration end = start + job.runtime;
+            if (end > traces_[s].end()) end = traces_[s].end();
+            ci = start < end ? traces_[s].mean_over(
+                                   std::max(start, traces_[s].start()), end)
+                             : traces_[s].sample_at_clamped(start);
+          }
+          // Load penalty keeps the greedy dispatcher from drowning the
+          // cleanest site: effective cost grows with the backlog already
+          // committed there (in units of hours of full-machine work).
+          const double backlog_h = committed[s] /
+                                   (cfg_.sites[s].cluster.nodes * 3600.0);
+          const double score = ci * (1.0 + 0.15 * backlog_h);
+          if (score < best) {
+            best = score;
+            chosen = s;
+          }
+        }
+        break;
+      }
+    }
+    assignment[j] = chosen;
+    committed[chosen] += static_cast<double>(job.nodes_used) * job.runtime.seconds();
+  }
+  return assignment;
+}
+
+FederationResult Federation::run(const std::vector<hpcsim::JobSpec>& jobs,
+                                 DispatchPolicy policy,
+                                 const SchedulerFactory& sched) const {
+  GREENHPC_REQUIRE(static_cast<bool>(sched), "scheduler factory required");
+  const auto assignment = dispatch(jobs, policy);
+  const std::size_t n_sites = cfg_.sites.size();
+
+  std::vector<std::vector<hpcsim::JobSpec>> per_site(n_sites);
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    per_site[assignment[j]].push_back(jobs[j]);
+  }
+
+  FederationResult out;
+  out.site_names.reserve(n_sites);
+  out.jobs_per_site.resize(n_sites, 0);
+  double wait_sum = 0.0;
+  int wait_count = 0;
+  for (std::size_t s = 0; s < n_sites; ++s) {
+    out.site_names.push_back(cfg_.sites[s].name);
+    out.jobs_per_site[s] = static_cast<int>(per_site[s].size());
+    if (per_site[s].empty()) {
+      out.site_results.emplace_back();
+      continue;
+    }
+    hpcsim::Simulator::Config sim_cfg;
+    sim_cfg.cluster = cfg_.sites[s].cluster;
+    sim_cfg.carbon_intensity = traces_[s];
+    hpcsim::Simulator sim(sim_cfg, per_site[s]);
+    auto scheduler = sched();
+    out.site_results.push_back(sim.run(*scheduler));
+
+    const auto& r = out.site_results.back();
+    out.total_carbon += r.total_carbon;
+    out.total_energy += r.total_energy;
+    out.completed += r.completed_jobs;
+    for (const auto& rec : r.jobs) {
+      out.job_carbon += rec.carbon;
+      if (rec.completed) {
+        wait_sum += rec.wait().hours();
+        ++wait_count;
+      }
+    }
+  }
+  out.mean_wait_hours = wait_count ? wait_sum / wait_count : 0.0;
+  return out;
+}
+
+}  // namespace greenhpc::core

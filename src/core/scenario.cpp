@@ -1,0 +1,49 @@
+#include "core/scenario.hpp"
+
+#include "carbon/green_periods.hpp"
+#include "util/error.hpp"
+
+namespace greenhpc::core {
+
+ScenarioRunner::ScenarioRunner(ScenarioConfig config)
+    : cfg_(std::move(config)),
+      trace_(carbon::GridModel(cfg_.region, cfg_.seed)
+                 .generate(seconds(0.0), cfg_.trace_span, cfg_.trace_step,
+                           cfg_.intensity_kind)),
+      jobs_(hpcsim::WorkloadGenerator(cfg_.workload, cfg_.seed).generate()) {
+  GREENHPC_REQUIRE(cfg_.trace_span >= cfg_.workload.span,
+                   "trace must cover the workload span");
+  // 0.40 matches the carbon-aware scheduler's default green gate, so the
+  // green-energy-share metric and the policies classify ticks identically.
+  green_threshold_ = carbon::green_threshold(trace_, 0.40);
+}
+
+PolicyOutcome ScenarioRunner::run(const std::string& label, const SchedulerFactory& sched,
+                                  const PowerPolicyFactory& power) const {
+  GREENHPC_REQUIRE(static_cast<bool>(sched), "scheduler factory required");
+  auto scheduler = sched();
+  std::unique_ptr<hpcsim::PowerBudgetPolicy> power_policy;
+  if (power) power_policy = power();
+
+  hpcsim::Simulator::Config sim_cfg;
+  sim_cfg.cluster = cfg_.cluster;
+  sim_cfg.carbon_intensity = trace_;
+  hpcsim::Simulator sim(sim_cfg, jobs_);
+
+  PolicyOutcome out;
+  out.scheduler = label.empty() ? scheduler->name() : label;
+  out.power_policy = power_policy ? power_policy->name() : "unconstrained";
+  out.result = sim.run(*scheduler, power_policy.get());
+
+  out.total_carbon_t = out.result.total_carbon.tonnes();
+  out.total_energy_mwh = out.result.total_energy.megawatt_hours();
+  out.carbon_per_node_hour_g = out.result.carbon_per_node_hour();
+  out.mean_wait_h = out.result.mean_wait_hours();
+  out.mean_bounded_slowdown = out.result.mean_bounded_slowdown();
+  out.utilization = out.result.utilization(cfg_.cluster);
+  out.green_energy_share = out.result.green_energy_share(green_threshold_);
+  out.completed = out.result.completed_jobs;
+  return out;
+}
+
+}  // namespace greenhpc::core

@@ -1,0 +1,74 @@
+#pragma once
+// Scenario runner: the shared harness behind the operational experiments
+// (sections 3.1-3.4) and the examples. One scenario fixes a cluster, a
+// grid region/trace and a workload; policies are then compared on
+// identical inputs.
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "carbon/grid_model.hpp"
+#include "hpcsim/simulator.hpp"
+#include "hpcsim/workload.hpp"
+
+namespace greenhpc::core {
+
+struct ScenarioConfig {
+  hpcsim::ClusterConfig cluster;
+  carbon::Region region = carbon::Region::Germany;
+  carbon::IntensityKind intensity_kind = carbon::IntensityKind::Average;
+  /// Trace length; should exceed the workload span by the expected drain.
+  Duration trace_span = days(10.0);
+  Duration trace_step = minutes(15.0);
+  hpcsim::WorkloadConfig workload;
+  std::uint64_t seed = 42;
+};
+
+/// Factory signatures: each run gets fresh policy instances.
+using SchedulerFactory = std::function<std::unique_ptr<hpcsim::SchedulingPolicy>()>;
+using PowerPolicyFactory = std::function<std::unique_ptr<hpcsim::PowerBudgetPolicy>()>;
+
+/// One policy combination's outcome with the derived comparison metrics.
+struct PolicyOutcome {
+  std::string scheduler;
+  std::string power_policy;
+  hpcsim::SimulationResult result;
+
+  // Derived (filled by the runner):
+  double total_carbon_t = 0.0;
+  double total_energy_mwh = 0.0;
+  double carbon_per_node_hour_g = 0.0;
+  double mean_wait_h = 0.0;
+  double mean_bounded_slowdown = 0.0;
+  double utilization = 0.0;
+  double green_energy_share = 0.0;
+  int completed = 0;
+};
+
+class ScenarioRunner {
+ public:
+  explicit ScenarioRunner(ScenarioConfig config);
+
+  /// The shared intensity trace of this scenario.
+  [[nodiscard]] const util::TimeSeries& trace() const { return trace_; }
+  /// The shared job list of this scenario.
+  [[nodiscard]] const std::vector<hpcsim::JobSpec>& jobs() const { return jobs_; }
+  [[nodiscard]] const ScenarioConfig& config() const { return cfg_; }
+  /// Green threshold (40th percentile of the trace, matching the default
+  /// carbon-aware scheduler gate) used for the green-energy-share metric.
+  [[nodiscard]] double green_threshold() const { return green_threshold_; }
+
+  /// Run one policy combination on the shared inputs.
+  [[nodiscard]] PolicyOutcome run(const std::string& label, const SchedulerFactory& sched,
+                                  const PowerPolicyFactory& power = nullptr) const;
+
+ private:
+  ScenarioConfig cfg_;
+  util::TimeSeries trace_;
+  std::vector<hpcsim::JobSpec> jobs_;
+  double green_threshold_ = 0.0;
+};
+
+}  // namespace greenhpc::core

@@ -1,0 +1,100 @@
+#pragma once
+// ACT-style embodied-carbon model (Gupta et al., ISCA'22 — reference [32]
+// of the paper; the methodology behind the paper's Fig. 1 via Li et al.
+// [37]).
+//
+// Embodied carbon of a logic die:
+//
+//   C_logic = area / yield(area) * (CI_fab * EPA + GPA + MPA)
+//
+// where EPA is fab energy per wafer area (kWh/cm^2), GPA direct gas
+// emissions per area (kgCO2e/cm^2), MPA upstream material footprint per
+// area (kgCO2e/cm^2), CI_fab the carbon intensity of the fab's electricity
+// supply, and yield the Poisson die-yield model exp(-area * D0).
+//
+// Memory and storage are modeled per GB (energy + material terms), and
+// packaging contributes per-die bonding plus substrate/interposer area
+// terms. All defaults are calibrated against the published ACT curves and
+// the paper's Fig. 1 shares; see systems.cpp for the calibration targets.
+
+#include <array>
+
+#include "util/units.hpp"
+
+namespace greenhpc::embodied {
+
+/// Semiconductor process generations the model covers.
+enum class ProcessNode { N28, N14, N10, N7, N5, N3 };
+
+/// All modeled nodes, oldest to newest.
+[[nodiscard]] constexpr std::array<ProcessNode, 6> all_nodes() {
+  return {ProcessNode::N28, ProcessNode::N14, ProcessNode::N10,
+          ProcessNode::N7,  ProcessNode::N5,  ProcessNode::N3};
+}
+
+/// Display name ("7nm", ...).
+[[nodiscard]] const char* node_name(ProcessNode n);
+
+/// Fab manufacturing parameters for one process node.
+struct FabParams {
+  double epa_kwh_per_cm2;        ///< fab energy per die area
+  double gpa_kg_per_cm2;         ///< direct (scope-1) gas emissions per area
+  double mpa_kg_per_cm2;         ///< upstream material carbon per area
+  double defect_density_per_cm2; ///< D0 of the Poisson yield model
+};
+
+/// DRAM generations (per-GB factors differ by density/process maturity).
+enum class DramType { DDR4, DDR5, HBM2e };
+
+/// Storage technologies.
+enum class StorageType { HDD, SSD };
+
+/// The embodied-carbon model. Immutable after construction; all queries are
+/// pure functions, so one instance can be shared across threads.
+class ActModel {
+ public:
+  /// Configuration knobs; defaults reproduce the calibration targets.
+  struct Config {
+    /// Carbon intensity of the fab's electricity. Leading-edge fabs sit in
+    /// East-Asian grids around 500-700 gCO2/kWh; ACT's default scenario.
+    CarbonIntensity fab_grid = grams_per_kwh(620.0);
+    /// Per-die packaging/bonding carbon (kgCO2e per die attached).
+    double packaging_per_die_kg = 0.5;
+    /// Organic substrate carbon per cm^2 of package substrate.
+    double substrate_per_cm2_kg = 0.18;
+    /// 2.5D silicon interposer carbon per cm^2 (processed on a trailing
+    /// node, hence cheaper per area than leading-edge logic).
+    double interposer_per_cm2_kg = 0.30;
+  };
+
+  ActModel() : ActModel(Config{}) {}
+  explicit ActModel(Config config);
+
+  [[nodiscard]] const Config& config() const { return cfg_; }
+
+  /// Fab parameters for a node (the built-in per-node table).
+  [[nodiscard]] static const FabParams& fab_params(ProcessNode node);
+
+  /// Poisson die yield for a die of `area_mm2` on `node`.
+  [[nodiscard]] double die_yield(double area_mm2, ProcessNode node) const;
+
+  /// Embodied carbon of one logic die (manufacturing only; packaging is
+  /// separate). area_mm2 > 0.
+  [[nodiscard]] Carbon logic_die(double area_mm2, ProcessNode node) const;
+
+  /// Embodied carbon of `gigabytes` of DRAM of the given generation.
+  [[nodiscard]] Carbon dram(double gigabytes, DramType type) const;
+
+  /// Embodied carbon of `gigabytes` of storage of the given technology.
+  [[nodiscard]] Carbon storage(double gigabytes, StorageType type) const;
+
+  /// Packaging carbon: per-die bonding for `die_count` dies, substrate of
+  /// `substrate_cm2`, plus an optional 2.5D interposer of `interposer_cm2`.
+  [[nodiscard]] Carbon packaging(int die_count, double substrate_cm2,
+                                 double interposer_cm2 = 0.0) const;
+
+ private:
+  Config cfg_;
+};
+
+}  // namespace greenhpc::embodied

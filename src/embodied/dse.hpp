@@ -1,0 +1,109 @@
+#pragma once
+// Carbon-aware processor design-space exploration (paper section 2.1).
+//
+// The paper argues that "the optimal design point could change depending on
+// the design objective metric such as CDP, CEP, and others" and that the
+// choice depends on "the carbon intensity of the power grid at which the
+// processor will operate". This module makes that claim testable: a
+// parametric processor model (process node x core count x frequency x
+// chiplet split) is evaluated under a reference workload, and the optimum
+// is located for each (objective, grid intensity) pair.
+
+#include <string>
+#include <vector>
+
+#include "embodied/act_model.hpp"
+#include "embodied/metrics.hpp"
+#include "util/units.hpp"
+
+namespace greenhpc::embodied {
+
+/// Objectives a designer may optimize (section 2.1 lists CDP/CEP "and
+/// others"; Delay/Energy/EDP are the carbon-blind classics).
+enum class Objective { Delay, Energy, Edp, TotalCarbon, Cdp, Cep };
+
+/// Display name of an objective.
+[[nodiscard]] const char* objective_name(Objective o);
+
+/// One candidate processor configuration.
+struct DesignPoint {
+  ProcessNode node = ProcessNode::N7;
+  int cores = 32;
+  double freq_ghz = 2.0;
+  int chiplet_count = 1;  ///< cores split evenly across this many dies
+};
+
+/// Reference workload the candidate must execute.
+struct WorkloadModel {
+  double total_ops = 1.0e15;       ///< work to complete
+  double parallel_fraction = 0.97; ///< Amdahl parallel share
+  double ops_per_cycle = 4.0;      ///< per-core IPC x SIMD width
+};
+
+/// Per-node core technology parameters (area and power of one core).
+struct CoreTech {
+  double core_area_mm2;     ///< area of one core including L2 share
+  double uncore_area_mm2;   ///< per-die fixed area (IO, fabric)
+  double dyn_watt_at_1ghz;  ///< dynamic power of one core at 1 GHz
+  double freq_exponent;     ///< P_dyn ~ f^freq_exponent (voltage scaling)
+  double static_watt;       ///< leakage per core
+  double max_freq_ghz;      ///< process frequency ceiling
+};
+
+/// Technology parameters for a node (built-in table; newer nodes are
+/// denser and more energy-efficient but carry higher embodied carbon per
+/// area — the tension the experiment explores).
+[[nodiscard]] const CoreTech& core_tech(ProcessNode node);
+
+/// Full evaluation of one design point.
+struct DesignEvaluation {
+  DesignPoint point;
+  CarbonMetrics metrics;   ///< embodied share amortized over device lifetime
+  Carbon device_embodied;  ///< total embodied carbon of the device
+  Power power;             ///< power while executing the workload
+
+  /// Value of the chosen objective (lower is better for all objectives).
+  [[nodiscard]] double objective_value(Objective o) const;
+};
+
+/// Explorer over the processor design space.
+class DesignSpaceExplorer {
+ public:
+  struct Config {
+    WorkloadModel workload{};
+    Duration device_lifetime = days(365.0 * 4.0);  ///< amortization window
+    /// Fraction of the lifetime the device spends executing this workload
+    /// class; idle time's embodied carbon is charged to the work actually
+    /// done, so a lower duty cycle raises the embodied share of each run.
+    double duty_cycle = 0.4;
+  };
+
+  DesignSpaceExplorer(const ActModel& model, Config config);
+
+  /// Evaluate a single candidate under the given operating-grid intensity.
+  [[nodiscard]] DesignEvaluation evaluate(const DesignPoint& point,
+                                          CarbonIntensity grid) const;
+
+  /// Default sweep grid: all nodes x {8..128 cores} x {1.5..3.5 GHz} x
+  /// {1, 2, 4, 8 chiplets}, filtered to feasible points (frequency within
+  /// the node's ceiling, cores divisible by chiplet count).
+  [[nodiscard]] std::vector<DesignPoint> default_grid() const;
+
+  /// Best design for an objective at a grid intensity (exhaustive scan of
+  /// `candidates`, parallelized over the candidate list).
+  [[nodiscard]] DesignEvaluation best(const std::vector<DesignPoint>& candidates,
+                                      Objective objective, CarbonIntensity grid) const;
+
+  /// Non-dominated designs in the (delay, total carbon) plane — the
+  /// Pareto front a section-2.1 designer actually navigates: every point
+  /// on it is the carbon-optimal design for some performance target.
+  /// Sorted by ascending delay; evaluated in parallel.
+  [[nodiscard]] std::vector<DesignEvaluation> pareto_front(
+      const std::vector<DesignPoint>& candidates, CarbonIntensity grid) const;
+
+ private:
+  const ActModel* model_;
+  Config cfg_;
+};
+
+}  // namespace greenhpc::embodied

@@ -1,0 +1,31 @@
+#include "embodied/interconnect.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace greenhpc::embodied {
+
+InterconnectSpec hdr_infiniband() {
+  return InterconnectSpec{};  // the defaults model HDR-class fabrics
+}
+
+Carbon interconnect_embodied(const InterconnectSpec& spec, long node_count) {
+  GREENHPC_REQUIRE(node_count >= 0, "node count must be >= 0");
+  GREENHPC_REQUIRE(spec.nics_per_node >= 0 && spec.switch_ports >= 1,
+                   "interconnect spec out of range");
+  GREENHPC_REQUIRE(spec.topology_factor >= 1.0,
+                   "topology factor must be >= 1 (at least one switch port per endpoint)");
+  const double endpoints =
+      static_cast<double>(node_count) * static_cast<double>(spec.nics_per_node);
+  const double nic_total = endpoints * spec.nic_kg;
+  // Each endpoint port implies topology_factor switch ports; cables scale
+  // with total port count (endpoint links + inter-switch links).
+  const double switch_count =
+      std::ceil(endpoints * spec.topology_factor / static_cast<double>(spec.switch_ports));
+  const double switch_total = switch_count * spec.switch_kg;
+  const double cable_total = endpoints * spec.topology_factor * spec.cable_kg / 2.0;
+  return kilograms_co2(nic_total + switch_total + cable_total);
+}
+
+}  // namespace greenhpc::embodied

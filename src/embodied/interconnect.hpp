@@ -1,0 +1,35 @@
+#pragma once
+// High-performance interconnect embodied carbon.
+//
+// The paper explicitly omits interconnects from Fig. 1 "due to the lack
+// of production carbon-emission reports"; this module makes the omission
+// quantifiable: a parametric fat-tree model (per-node NICs and cables,
+// port-counted switch tiers) whose defaults are engineering estimates
+// from PCB/ASIC mass and the same ACT logic-per-area factors, so the
+// ablation bench can show how Fig. 1's shares move when the network is
+// included.
+
+#include "embodied/act_model.hpp"
+#include "util/units.hpp"
+
+namespace greenhpc::embodied {
+
+/// Parametric description of one system's interconnect.
+struct InterconnectSpec {
+  int nics_per_node = 1;            ///< HCAs per node
+  double nic_kg = 9.0;              ///< embodied carbon of one NIC (PCB + ASIC)
+  double cable_kg = 3.0;            ///< per active cable (AOC/DAC average)
+  int switch_ports = 40;            ///< radix of one switch
+  double switch_kg = 160.0;         ///< embodied carbon of one switch
+  /// Fat-tree blow-up: total switch ports per end-point port (2.0-3.0 for
+  /// 2:1-oversubscribed to full-bisection three-tier fabrics).
+  double topology_factor = 2.5;
+};
+
+/// HDR InfiniBand-class defaults (used for the Fig. 1 ablation).
+[[nodiscard]] InterconnectSpec hdr_infiniband();
+
+/// Total embodied carbon of the fabric for `node_count` nodes.
+[[nodiscard]] Carbon interconnect_embodied(const InterconnectSpec& spec, long node_count);
+
+}  // namespace greenhpc::embodied

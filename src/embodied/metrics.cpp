@@ -1,0 +1,28 @@
+#include "embodied/metrics.hpp"
+
+#include "util/error.hpp"
+
+namespace greenhpc::embodied {
+
+Carbon operational_carbon(Power power, Duration duration, CarbonIntensity ci) {
+  GREENHPC_REQUIRE(power.watts() >= 0.0, "power must be >= 0");
+  GREENHPC_REQUIRE(duration.seconds() >= 0.0, "duration must be >= 0");
+  return (power * duration) * ci;
+}
+
+Carbon amortized_embodied(Carbon device_embodied, Duration run_time, Duration lifetime) {
+  GREENHPC_REQUIRE(lifetime.seconds() > 0.0, "lifetime must be positive");
+  GREENHPC_REQUIRE(run_time.seconds() >= 0.0, "run time must be >= 0");
+  return device_embodied * (run_time.seconds() / lifetime.seconds());
+}
+
+double flops_per_gram(double sustained_pflops, Duration lifetime, Carbon embodied,
+                      Power avg_power, CarbonIntensity ci) {
+  GREENHPC_REQUIRE(sustained_pflops > 0.0, "performance must be positive");
+  const double total_flops = sustained_pflops * 1e15 * lifetime.seconds();
+  const Carbon total = embodied + operational_carbon(avg_power, lifetime, ci);
+  GREENHPC_REQUIRE(total.grams() > 0.0, "total carbon must be positive");
+  return total_flops / total.grams();
+}
+
+}  // namespace greenhpc::embodied

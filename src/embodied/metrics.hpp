@@ -1,0 +1,43 @@
+#pragma once
+// Carbon-efficiency metrics (paper section 2.1, following Gupta et al.'s
+// ACT): Carbon-Delay-Product and Carbon-Energy-Product, plus the embodied/
+// operational composition helpers shared by the DSE and procurement
+// modules.
+
+#include "util/units.hpp"
+
+namespace greenhpc::embodied {
+
+/// Complete carbon accounting of one design executing one workload.
+struct CarbonMetrics {
+  Carbon embodied;     ///< amortized embodied share attributed to this run
+  Carbon operational;  ///< grid emissions of the run's energy
+  Duration delay;      ///< workload completion time
+  Energy energy;       ///< energy consumed
+
+  /// Total carbon attributed to the run.
+  [[nodiscard]] Carbon total() const { return embodied + operational; }
+  /// Carbon-Delay Product (gCO2e * s): favours fast, clean designs.
+  [[nodiscard]] double cdp() const { return total().grams() * delay.seconds(); }
+  /// Carbon-Energy Product (gCO2e * J): favours frugal, clean designs.
+  [[nodiscard]] double cep() const { return total().grams() * energy.joules(); }
+  /// Energy-Delay Product (J * s), the classical carbon-blind metric.
+  [[nodiscard]] double edp() const { return energy.joules() * delay.seconds(); }
+};
+
+/// Operational carbon of drawing `power` for `duration` at intensity `ci`.
+[[nodiscard]] Carbon operational_carbon(Power power, Duration duration, CarbonIntensity ci);
+
+/// Share of a device's total embodied carbon attributable to a run of
+/// `run_time` on a device with the given service lifetime (linear
+/// amortization, the standard accounting convention).
+[[nodiscard]] Carbon amortized_embodied(Carbon device_embodied, Duration run_time,
+                                        Duration lifetime);
+
+/// Carbon efficiency in FLOP per gCO2e over a lifetime: sustained
+/// performance integrated over life divided by (embodied + operational)
+/// carbon. This is the ranking quantity of the proposed "Carbon500" list.
+[[nodiscard]] double flops_per_gram(double sustained_pflops, Duration lifetime,
+                                    Carbon embodied, Power avg_power, CarbonIntensity ci);
+
+}  // namespace greenhpc::embodied

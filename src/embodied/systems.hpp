@@ -1,0 +1,77 @@
+#pragma once
+// System inventories for the paper's Fig. 1 (Top-3 German HPC systems) and
+// the per-component embodied-carbon breakdown.
+
+#include <optional>
+#include <string>
+
+#include "embodied/components.hpp"
+#include "util/units.hpp"
+
+namespace greenhpc::embodied {
+
+/// Full inventory of one HPC system, with the capacity figures the paper
+/// quotes verbatim in section 2 plus the operational figures (power, peak
+/// performance, lifetime) used by the Carbon500 and lifetime experiments.
+struct SystemInventory {
+  std::string name;
+  long node_count = 0;
+  ProcessorSpec cpu;
+  long cpu_count = 0;
+  std::optional<ProcessorSpec> gpu;
+  long gpu_count = 0;
+  double dram_gb = 0.0;
+  DramType dram_type = DramType::DDR4;
+  double storage_gb = 0.0;
+  StorageType storage_type = StorageType::HDD;
+  /// Node-level platform overhead (chassis, mainboard, NIC, cooling loop)
+  /// in kgCO2e per node; charged to the compute class in the breakdown.
+  double node_overhead_kg = 0.0;
+  Power avg_power;             ///< typical operating draw
+  double peak_pflops = 0.0;    ///< Rmax-style sustained performance
+  int lifetime_years = 6;      ///< planned operating lifetime
+};
+
+/// Per-component-class embodied breakdown (the paper's Fig. 1 categories).
+struct EmbodiedBreakdown {
+  Carbon cpu;      ///< CPU packages + node platform share
+  Carbon gpu;      ///< GPU modules (incl. their HBM)
+  Carbon dram;     ///< system DRAM
+  Carbon storage;  ///< parallel filesystem storage
+
+  [[nodiscard]] Carbon total() const { return cpu + gpu + dram + storage; }
+  /// Fraction of total embodied carbon in memory + storage — the quantity
+  /// the paper reports as 43.5% / 59.6% / 55.5% for the three systems.
+  [[nodiscard]] double memory_storage_share() const;
+  /// Fraction contributed by each class.
+  [[nodiscard]] double share(Carbon part) const;
+};
+
+/// Compute the Fig. 1 breakdown of a system under an embodied model.
+[[nodiscard]] EmbodiedBreakdown embodied_breakdown(const ActModel& model,
+                                                   const SystemInventory& system);
+
+// --- the paper's three systems (capacities quoted from section 2) ---------
+
+/// Juwels Booster: 3744 A100 + 1872 EPYC 7402, 0.47 PB DRAM, 37.6 PB storage.
+[[nodiscard]] SystemInventory juwels_booster();
+/// SuperMUC-NG: 12960 Skylake, 0.72 PB DRAM, 70.26 PB storage (CPU-only).
+[[nodiscard]] SystemInventory supermuc_ng();
+/// Hawk: 11264 AMD Rome, 1.4 PB DRAM, 42 PB storage (CPU-only).
+[[nodiscard]] SystemInventory hawk();
+
+/// All three Fig. 1 systems in display order.
+[[nodiscard]] std::vector<SystemInventory> fig1_systems();
+
+// --- the paper's introduction systems (exascale context) -------------------
+
+/// Frontier (OLCF): the paper's 20 MW continuous-operation anchor.
+/// Inventory estimated from public specifications (9,408 nodes, 4 MI250X
+/// + 1 EPYC each, ~4.8 PB DDR4, ~700 PB Orion storage).
+[[nodiscard]] SystemInventory frontier();
+/// Aurora (ALCF) as the paper frames it: "estimated to draw 60 MW".
+/// Inventory estimated from public specifications (10,624 nodes, 6 Ponte
+/// Vecchio + 2 Xeon Max each, ~10 PB memory, ~230 PB DAOS SSD storage).
+[[nodiscard]] SystemInventory aurora_estimate();
+
+}  // namespace greenhpc::embodied

@@ -1,0 +1,55 @@
+#include "facility/facility_model.hpp"
+
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace greenhpc::facility {
+
+FacilityResult evaluate_facility(const util::TimeSeries& it_power,
+                                 const util::TimeSeries& temperature,
+                                 const util::TimeSeries& intensity,
+                                 const CoolingModel& cooling,
+                                 const HeatReuseConfig& reuse) {
+  GREENHPC_REQUIRE(!it_power.empty(), "facility evaluation needs an IT power trace");
+  GREENHPC_REQUIRE(!temperature.empty() && !intensity.empty(),
+                   "temperature and intensity traces required");
+  const Duration step = it_power.step();
+  const double step_s = step.seconds();
+
+  FacilityResult out;
+  double pue_sum = 0.0;
+  for (std::size_t i = 0; i < it_power.size(); ++i) {
+    const Duration t = it_power.start() + step * static_cast<double>(i);
+    const double it_w = it_power.at(i);
+    GREENHPC_REQUIRE(it_w >= 0.0, "IT power must be >= 0");
+    const double pue = cooling.pue_at(temperature.sample_at_clamped(t));
+    pue_sum += pue;
+    const double it_j = it_w * step_s;
+    const double fac_j = it_j * pue;
+    out.it_energy += joules(it_j);
+    out.facility_energy += joules(fac_j);
+    out.gross_carbon +=
+        grams_co2(fac_j / 3.6e6 * intensity.sample_at_clamped(t));
+  }
+  out.mean_pue = pue_sum / static_cast<double>(it_power.size());
+  out.reuse_credit =
+      heat_reuse_credit(reuse, out.it_energy, it_power.start(), it_power.end());
+  return out;
+}
+
+FacilityResult evaluate_facility_constant(Power it_power, Duration start,
+                                          Duration duration,
+                                          const util::TimeSeries& temperature,
+                                          const util::TimeSeries& intensity,
+                                          const CoolingModel& cooling,
+                                          const HeatReuseConfig& reuse) {
+  GREENHPC_REQUIRE(duration.seconds() > 0.0, "duration must be positive");
+  const Duration step = hours(1.0);
+  const auto n = static_cast<std::size_t>(duration.seconds() / step.seconds());
+  GREENHPC_REQUIRE(n >= 1, "window must cover at least one hour");
+  util::TimeSeries it(start, step, std::vector<double>(n, it_power.watts()));
+  return evaluate_facility(it, temperature, intensity, cooling, reuse);
+}
+
+}  // namespace greenhpc::facility

@@ -1,0 +1,44 @@
+#pragma once
+// Whole-facility operational carbon: IT draw x PUE(T_outdoor) x CI(t),
+// minus the waste-heat reuse credit. Composes the weather, cooling and
+// heat-reuse models over aligned time series.
+
+#include "facility/cooling.hpp"
+#include "facility/heat_reuse.hpp"
+#include "facility/weather.hpp"
+#include "util/time_series.hpp"
+#include "util/units.hpp"
+
+namespace greenhpc::facility {
+
+/// Aggregated facility-level outcome over one evaluation window.
+struct FacilityResult {
+  Energy it_energy;        ///< compute + idle draw of the machine itself
+  Energy facility_energy;  ///< IT x PUE(T)
+  double mean_pue = 0.0;
+  Carbon gross_carbon;     ///< facility energy x grid intensity
+  Carbon reuse_credit;     ///< displaced heating carbon
+  /// Net operational carbon after heat reuse (floored at zero — a site
+  /// cannot go carbon-negative on paper by overselling heat).
+  [[nodiscard]] Carbon net_carbon() const {
+    const Carbon net = gross_carbon - reuse_credit;
+    return net.grams() > 0.0 ? net : Carbon{};
+  }
+};
+
+/// Evaluate a facility over aligned IT-power (W), outdoor-temperature (°C)
+/// and carbon-intensity (g/kWh) traces. The traces must share start/step;
+/// the evaluation window is the IT trace's span.
+[[nodiscard]] FacilityResult evaluate_facility(const util::TimeSeries& it_power,
+                                               const util::TimeSeries& temperature,
+                                               const util::TimeSeries& intensity,
+                                               const CoolingModel& cooling,
+                                               const HeatReuseConfig& reuse);
+
+/// Convenience: constant IT power over a window (procurement-level view).
+[[nodiscard]] FacilityResult evaluate_facility_constant(
+    Power it_power, Duration start, Duration duration, const util::TimeSeries& temperature,
+    const util::TimeSeries& intensity, const CoolingModel& cooling,
+    const HeatReuseConfig& reuse);
+
+}  // namespace greenhpc::facility

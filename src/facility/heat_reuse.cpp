@@ -1,0 +1,43 @@
+#include "facility/heat_reuse.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/error.hpp"
+
+namespace greenhpc::facility {
+
+double heating_demand_factor(const HeatReuseConfig& config, Duration t) {
+  GREENHPC_REQUIRE(config.winter_demand >= config.summer_demand,
+                   "winter demand must be >= summer demand");
+  GREENHPC_REQUIRE(config.summer_demand >= 0.0 && config.winter_demand <= 1.0,
+                   "demand factors must lie in [0,1]");
+  const double day_of_year = std::fmod(t.days(), 365.0);
+  // Peak mid-January, trough mid-July.
+  const double phase =
+      0.5 * (1.0 + std::cos(2.0 * std::numbers::pi * (day_of_year - 15.0) / 365.0));
+  return config.summer_demand + (config.winter_demand - config.summer_demand) * phase;
+}
+
+Carbon heat_reuse_credit(const HeatReuseConfig& config, Energy it_energy, Duration t0,
+                         Duration t1) {
+  GREENHPC_REQUIRE(config.capture_fraction >= 0.0 && config.capture_fraction <= 1.0,
+                   "capture fraction must be in [0,1]");
+  GREENHPC_REQUIRE(t1 > t0, "reuse window must be non-empty");
+  GREENHPC_REQUIRE(it_energy.joules() >= 0.0, "energy must be >= 0");
+  // Integrate the demand factor over the window (daily resolution is
+  // plenty for a seasonal curve).
+  const double span_s = (t1 - t0).seconds();
+  const auto steps = static_cast<std::size_t>(std::max(1.0, span_s / 86400.0));
+  double demand_sum = 0.0;
+  for (std::size_t i = 0; i < steps; ++i) {
+    const Duration t = t0 + seconds(span_s * (static_cast<double>(i) + 0.5) /
+                                    static_cast<double>(steps));
+    demand_sum += heating_demand_factor(config, t);
+  }
+  const double mean_demand = demand_sum / static_cast<double>(steps);
+  const Energy usable_heat = it_energy * (config.capture_fraction * mean_demand);
+  return usable_heat * config.displaced_heating;
+}
+
+}  // namespace greenhpc::facility

@@ -1,0 +1,38 @@
+#pragma once
+// Waste-heat reuse.
+//
+// Warm-water-cooled systems export usable 40-45°C heat; when it displaces
+// fossil heating (campus district heating, adsorption chillers), the site
+// earns a carbon credit against its operational footprint. Reuse is
+// demand-limited: district heat is wanted in winter, far less in summer,
+// so the usable fraction follows the heating season.
+
+#include "util/time_series.hpp"
+#include "util/units.hpp"
+
+namespace greenhpc::facility {
+
+struct HeatReuseConfig {
+  /// Share of IT heat captured into the reuse loop (warm-water designs
+  /// capture most of it; air-cooled systems almost none).
+  double capture_fraction = 0.9;
+  /// Demand ceiling in deep winter / high summer, as a fraction of the
+  /// captured heat that is actually wanted.
+  double winter_demand = 0.85;
+  double summer_demand = 0.15;
+  /// Carbon intensity of the heating the reused heat displaces
+  /// (gas boiler ~ 220 gCO2e per kWh_thermal).
+  CarbonIntensity displaced_heating = grams_per_kwh(220.0);
+};
+
+/// Seasonal demand factor in [summer_demand, winter_demand] at absolute
+/// time t (epoch day 0 = Jan 1; peak demand mid-January).
+[[nodiscard]] double heating_demand_factor(const HeatReuseConfig& config, Duration t);
+
+/// Carbon credit earned by reusing the heat of `it_energy` consumed
+/// uniformly over [t0, t1] (the demand factor is integrated over the
+/// window).
+[[nodiscard]] Carbon heat_reuse_credit(const HeatReuseConfig& config, Energy it_energy,
+                                       Duration t0, Duration t1);
+
+}  // namespace greenhpc::facility

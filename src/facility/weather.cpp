@@ -1,0 +1,88 @@
+#include "facility/weather.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/error.hpp"
+
+namespace greenhpc::facility {
+
+namespace {
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+constexpr double kYearDays = 365.0;
+
+// Climate presets, broadly matching the regions' Köppen classes.
+//             mean  seas  diur  ou_s  tau_h
+constexpr ClimateTraits kClimate[] = {
+    /* France        */ {12.0, 8.0, 4.5, 3.0, 60.0},
+    /* Finland       */ {3.0, 13.0, 3.0, 4.0, 72.0},
+    /* Sweden        */ {5.0, 10.5, 3.0, 3.5, 72.0},
+    /* Norway        */ {6.0, 8.0, 3.0, 3.5, 60.0},
+    /* Germany       */ {9.5, 9.5, 4.0, 3.0, 60.0},
+    /* Poland        */ {8.5, 10.5, 4.5, 3.5, 60.0},
+    /* Netherlands   */ {10.5, 6.5, 3.5, 2.5, 54.0},
+    /* Italy         */ {14.0, 9.0, 5.0, 2.5, 60.0},
+    /* Spain         */ {15.0, 8.0, 5.5, 2.5, 60.0},
+    /* UnitedKingdom */ {10.0, 6.0, 3.0, 2.5, 48.0},
+};
+
+[[nodiscard]] constexpr std::size_t index_of(carbon::Region r) {
+  switch (r) {
+    case carbon::Region::France: return 0;
+    case carbon::Region::Finland: return 1;
+    case carbon::Region::Sweden: return 2;
+    case carbon::Region::Norway: return 3;
+    case carbon::Region::Germany: return 4;
+    case carbon::Region::Poland: return 5;
+    case carbon::Region::Netherlands: return 6;
+    case carbon::Region::Italy: return 7;
+    case carbon::Region::Spain: return 8;
+    case carbon::Region::UnitedKingdom: return 9;
+  }
+  return 0;
+}
+}  // namespace
+
+const ClimateTraits& climate(carbon::Region region) {
+  return kClimate[index_of(region)];
+}
+
+WeatherModel::WeatherModel(carbon::Region region, std::uint64_t seed)
+    : WeatherModel(climate(region), seed) {}
+
+WeatherModel::WeatherModel(ClimateTraits traits, std::uint64_t seed)
+    : traits_(traits), rng_(seed ^ 0x77656174ull /* "weat" */) {
+  GREENHPC_REQUIRE(traits_.ou_tau_hours > 0.0, "weather correlation time must be > 0");
+  GREENHPC_REQUIRE(traits_.seasonal_amplitude >= 0.0 && traits_.diurnal_amplitude >= 0.0,
+                   "amplitudes must be >= 0");
+}
+
+double WeatherModel::deterministic_component(Duration t) const {
+  const double day_of_year = std::fmod(t.days(), kYearDays);
+  const double hour = std::fmod(t.hours(), 24.0);
+  double temp = traits_.annual_mean;
+  // Coldest around mid-January (day ~15), warmest mid-July.
+  temp -= traits_.seasonal_amplitude * std::cos(kTwoPi * (day_of_year - 15.0) / kYearDays);
+  // Warmest around 15:00, coldest pre-dawn.
+  temp += traits_.diurnal_amplitude * std::cos(kTwoPi * (hour - 15.0) / 24.0);
+  return temp;
+}
+
+util::TimeSeries WeatherModel::generate(Duration start, Duration duration, Duration step) {
+  GREENHPC_REQUIRE(duration.seconds() > 0.0 && step.seconds() > 0.0,
+                   "weather trace needs positive duration and step");
+  const auto n = static_cast<std::size_t>(std::ceil(duration.seconds() / step.seconds()));
+  util::TimeSeries out(start, step);
+  const double tau = traits_.ou_tau_hours * 3600.0;
+  const double decay = std::exp(-step.seconds() / tau);
+  const double diffusion = traits_.ou_sigma * std::sqrt(1.0 - decay * decay);
+  double ou = rng_.normal(0.0, traits_.ou_sigma);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Duration t = start + step * static_cast<double>(i);
+    out.push_back(deterministic_component(t) + ou);
+    ou = ou * decay + diffusion * rng_.normal();
+  }
+  return out;
+}
+
+}  // namespace greenhpc::facility

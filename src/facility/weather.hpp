@@ -1,0 +1,49 @@
+#pragma once
+// Outdoor temperature model.
+//
+// Cooling overhead (and with it the facility's PUE) depends on outdoor
+// temperature; free cooling works below a technology-dependent threshold.
+// The model mirrors the grid generator's structure: an annual seasonal
+// sinusoid, a diurnal cycle and an Ornstein-Uhlenbeck weather term, with
+// per-region climate parameters. Day 0 of the epoch is January 1st, so
+// simulations started at t=0 run in winter conditions (matching the
+// paper's January framing).
+
+#include <cstdint>
+
+#include "carbon/region.hpp"
+#include "util/rng.hpp"
+#include "util/time_series.hpp"
+
+namespace greenhpc::facility {
+
+/// Climate parameters of a region (°C).
+struct ClimateTraits {
+  double annual_mean;
+  double seasonal_amplitude;  ///< summer-winter half-spread
+  double diurnal_amplitude;   ///< day-night half-spread
+  double ou_sigma;            ///< weather-front variability
+  double ou_tau_hours;        ///< weather-front correlation time
+};
+
+/// Climate preset for a grid region.
+[[nodiscard]] const ClimateTraits& climate(carbon::Region region);
+
+class WeatherModel {
+ public:
+  WeatherModel(carbon::Region region, std::uint64_t seed);
+  WeatherModel(ClimateTraits traits, std::uint64_t seed);
+
+  /// Temperature trace (°C) starting at `start` (epoch day 0 = Jan 1).
+  [[nodiscard]] util::TimeSeries generate(Duration start, Duration duration,
+                                          Duration step);
+
+  /// Deterministic component (no weather fronts) at absolute time t.
+  [[nodiscard]] double deterministic_component(Duration t) const;
+
+ private:
+  ClimateTraits traits_;
+  util::Rng rng_;
+};
+
+}  // namespace greenhpc::facility

@@ -1,0 +1,47 @@
+#pragma once
+// Cluster description for the simulator. Nodes are homogeneous — the
+// operational experiments of sections 3.1-3.4 are about system software, not
+// topology, so a flat node pool with a power envelope is the right level of
+// abstraction (it matches how the PowerStack's system manager sees the
+// machine).
+
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace greenhpc::hpcsim {
+
+struct ClusterConfig {
+  int nodes = 1024;                 ///< homogeneous compute nodes
+  Power node_tdp = watts(500.0);    ///< per-node maximum draw
+  Power node_idle = watts(120.0);   ///< per-node idle draw
+  /// Lowest per-node power-cap fraction hardware supports (RAPL-style
+  /// caps cannot go arbitrarily low).
+  double min_cap_fraction = 0.5;
+  /// Simulation tick; conditions are piecewise constant per tick.
+  Duration tick = minutes(1.0);
+  /// When set, jobs are killed once their *running* wall time (suspended
+  /// periods excluded, matching requeue semantics) reaches the declared
+  /// walltime limit — production RJMS behaviour.
+  bool enforce_walltime = false;
+
+  /// Upper bound of the system's power draw (all nodes at TDP).
+  [[nodiscard]] Power max_power() const {
+    return node_tdp * static_cast<double>(nodes);
+  }
+  /// Draw with every node idle.
+  [[nodiscard]] Power idle_power() const {
+    return node_idle * static_cast<double>(nodes);
+  }
+
+  void validate() const {
+    GREENHPC_REQUIRE(nodes >= 1, "cluster needs at least one node");
+    GREENHPC_REQUIRE(node_tdp.watts() > 0.0, "node TDP must be positive");
+    GREENHPC_REQUIRE(node_idle.watts() >= 0.0 && node_idle <= node_tdp,
+                     "idle power must be in [0, TDP]");
+    GREENHPC_REQUIRE(min_cap_fraction > 0.0 && min_cap_fraction <= 1.0,
+                     "min cap fraction must be in (0,1]");
+    GREENHPC_REQUIRE(tick.seconds() > 0.0, "tick must be positive");
+  }
+};
+
+}  // namespace greenhpc::hpcsim

@@ -1,0 +1,30 @@
+#include "hpcsim/job.hpp"
+
+#include "util/error.hpp"
+
+namespace greenhpc::hpcsim {
+
+void JobSpec::validate() const {
+  GREENHPC_REQUIRE(nodes_used >= 1, "job must use at least one node");
+  GREENHPC_REQUIRE(nodes_requested >= nodes_used,
+                   "requested nodes must cover the nodes actually used");
+  GREENHPC_REQUIRE(min_nodes >= 1 && min_nodes <= max_nodes,
+                   "malleable range must satisfy 1 <= min <= max");
+  if (kind == JobKind::Rigid) {
+    GREENHPC_REQUIRE(min_nodes == nodes_requested && max_nodes == nodes_requested,
+                     "rigid jobs must have min == max == requested");
+  }
+  GREENHPC_REQUIRE(runtime.seconds() > 0.0, "runtime must be positive");
+  GREENHPC_REQUIRE(walltime >= runtime, "walltime limit must cover the runtime");
+  GREENHPC_REQUIRE(node_power.watts() > 0.0, "node power must be positive");
+  GREENHPC_REQUIRE(power_alpha >= 0.0 && power_alpha <= 1.0,
+                   "power_alpha must be in [0,1]");
+  GREENHPC_REQUIRE(scale_gamma > 0.0 && scale_gamma <= 1.0,
+                   "scale_gamma must be in (0,1]");
+  GREENHPC_REQUIRE(checkpoint_overhead.seconds() >= 0.0,
+                   "checkpoint overhead must be >= 0");
+  GREENHPC_REQUIRE(mpi_wait_fraction >= 0.0 && mpi_wait_fraction <= 0.9,
+                   "mpi wait fraction must be in [0, 0.9]");
+}
+
+}  // namespace greenhpc::hpcsim

@@ -1,0 +1,94 @@
+#pragma once
+// Policy interfaces of the simulator.
+//
+// The simulator is policy-free: every decision the paper's section 3
+// discusses — which job starts when (3.3), how many nodes a malleable job
+// holds (3.2), what the total system power budget is (3.1) — is delegated
+// through these interfaces. Concrete policies live in the sched/ and
+// powerstack/ modules; hpcsim only defines the contract, keeping the
+// dependency graph acyclic.
+
+#include <vector>
+
+#include "hpcsim/cluster.hpp"
+#include "hpcsim/job.hpp"
+#include "util/units.hpp"
+
+namespace greenhpc::hpcsim {
+
+/// Read/act surface a scheduling policy sees each tick. Implemented by the
+/// simulator; all mutating calls are validated and return false (rather
+/// than throwing) when the requested transition is not currently legal, so
+/// policies can probe optimistically.
+class SimulationView {
+ public:
+  virtual ~SimulationView() = default;
+
+  // --- observation ---
+  [[nodiscard]] virtual Duration now() const = 0;
+  [[nodiscard]] virtual const ClusterConfig& cluster() const = 0;
+  /// Nodes not currently allocated to any job.
+  [[nodiscard]] virtual int free_nodes() const = 0;
+  /// Grid carbon intensity of the current tick (gCO2/kWh).
+  [[nodiscard]] virtual double carbon_intensity_now() const = 0;
+  /// Ground-truth intensity at time t (clamped to the trace range). Carbon-
+  /// aware policies that should be forecast-driven must instead use a
+  /// carbon::Forecaster over history(); this accessor exists for oracle
+  /// upper-bound policies and for tests.
+  [[nodiscard]] virtual double carbon_intensity_at(Duration t) const = 0;
+  /// Observed intensity history up to (and excluding) the current tick,
+  /// as (time, value) pairs at tick resolution — forecaster input.
+  [[nodiscard]] virtual const std::vector<double>& intensity_history() const = 0;
+
+  [[nodiscard]] virtual std::vector<JobId> pending_jobs() const = 0;
+  [[nodiscard]] virtual std::vector<JobId> running_jobs() const = 0;
+  [[nodiscard]] virtual std::vector<JobId> suspended_jobs() const = 0;
+  [[nodiscard]] virtual const JobSpec& spec(JobId id) const = 0;
+  [[nodiscard]] virtual const JobRuntimeInfo& info(JobId id) const = 0;
+  /// Remaining wall time of a running/suspended job at its current speed
+  /// (walltime-based estimate for pending jobs).
+  [[nodiscard]] virtual Duration estimated_remaining(JobId id) const = 0;
+
+  /// System power budget currently in force.
+  [[nodiscard]] virtual Power power_budget() const = 0;
+  /// Draw if all currently running jobs ran uncapped (plus idle floor).
+  [[nodiscard]] virtual Power full_draw() const = 0;
+
+  // --- actions ---
+  /// Start a pending job on `nodes` nodes. For rigid jobs `nodes` must
+  /// equal nodes_requested; for moldable/malleable it must lie within
+  /// [min_nodes, max_nodes]. Fails if insufficient free nodes.
+  virtual bool start(JobId id, int nodes) = 0;
+  /// Checkpoint and suspend a running, checkpointable job (frees nodes,
+  /// charges the checkpoint overhead).
+  virtual bool suspend(JobId id) = 0;
+  /// Resume a suspended job on `nodes` nodes (>= min_nodes for malleable,
+  /// previous allocation size rules otherwise).
+  virtual bool resume(JobId id, int nodes) = 0;
+  /// Change a running malleable job's allocation to `nodes` within its
+  /// range. Shrinking frees nodes immediately; growing requires headroom.
+  virtual bool reshape(JobId id, int nodes) = 0;
+};
+
+/// A scheduling policy: invoked once per tick after arrivals and the
+/// power-budget update, free to start/suspend/resume/reshape jobs.
+class SchedulingPolicy {
+ public:
+  virtual ~SchedulingPolicy() = default;
+  virtual void on_tick(SimulationView& view) = 0;
+  /// Display name for experiment tables.
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// A system power-budget policy (the PowerStack's top level, section 3.1):
+/// maps the current time/intensity to the total power the site grants the
+/// machine this tick.
+class PowerBudgetPolicy {
+ public:
+  virtual ~PowerBudgetPolicy() = default;
+  [[nodiscard]] virtual Power system_budget(Duration now, double carbon_intensity,
+                                            const ClusterConfig& cluster) = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+}  // namespace greenhpc::hpcsim

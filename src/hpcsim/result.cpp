@@ -1,0 +1,72 @@
+#include "hpcsim/result.hpp"
+
+#include <algorithm>
+
+#include "hpcsim/cluster.hpp"
+#include "util/error.hpp"
+
+namespace greenhpc::hpcsim {
+
+double JobRecord::bounded_slowdown() const {
+  constexpr double kBoundSeconds = 600.0;
+  const double denom = std::max(spec.runtime.seconds(), kBoundSeconds);
+  return std::max(1.0, turnaround().seconds() / denom);
+}
+
+double SimulationResult::utilization(const ClusterConfig& cluster) const {
+  if (makespan.seconds() <= 0.0 || busy_nodes.empty()) return 0.0;
+  const double node_seconds = busy_nodes.integrate(busy_nodes.start(), busy_nodes.end());
+  return node_seconds / (static_cast<double>(cluster.nodes) * makespan.seconds());
+}
+
+double SimulationResult::mean_wait_hours() const {
+  double total = 0.0;
+  std::size_t n = 0;
+  for (const auto& j : jobs) {
+    if (!j.completed) continue;
+    total += j.wait().hours();
+    ++n;
+  }
+  return n ? total / static_cast<double>(n) : 0.0;
+}
+
+double SimulationResult::mean_bounded_slowdown() const {
+  double total = 0.0;
+  std::size_t n = 0;
+  for (const auto& j : jobs) {
+    if (!j.completed) continue;
+    total += j.bounded_slowdown();
+    ++n;
+  }
+  return n ? total / static_cast<double>(n) : 0.0;
+}
+
+double SimulationResult::node_hours_completed() const {
+  double node_hours = 0.0;
+  for (const auto& j : jobs) {
+    if (!j.completed) continue;
+    node_hours += static_cast<double>(j.spec.nodes_used) * j.spec.runtime.hours();
+  }
+  return node_hours;
+}
+
+double SimulationResult::carbon_per_node_hour() const {
+  const double nh = node_hours_completed();
+  return nh > 0.0 ? total_carbon.grams() / nh : 0.0;
+}
+
+double SimulationResult::green_energy_share(double threshold_g_per_kwh) const {
+  if (system_power.empty() || carbon_intensity.empty()) return 0.0;
+  double green = 0.0;
+  double total = 0.0;
+  const std::size_t n = std::min(system_power.size(), carbon_intensity.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    // Per-tick mean draw above the idle floor; the constant step cancels.
+    const double e = std::max(0.0, system_power.at(i) - idle_floor.watts());
+    total += e;
+    if (carbon_intensity.at(i) <= threshold_g_per_kwh) green += e;
+  }
+  return total > 0.0 ? green / total : 0.0;
+}
+
+}  // namespace greenhpc::hpcsim

@@ -1,0 +1,70 @@
+#pragma once
+// Simulation outputs and the summary metrics the section-3 experiments
+// report.
+
+#include <string>
+#include <vector>
+
+#include "hpcsim/cluster.hpp"
+#include "hpcsim/job.hpp"
+#include "util/time_series.hpp"
+#include "util/units.hpp"
+
+namespace greenhpc::hpcsim {
+
+/// Final record of one job after simulation.
+struct JobRecord {
+  JobSpec spec;
+  bool completed = false;
+  bool killed = false;  ///< terminated at its walltime limit
+  Duration submit;
+  Duration start;
+  Duration finish;
+  int suspend_count = 0;
+  Energy energy;
+  Carbon carbon;
+
+  [[nodiscard]] Duration wait() const { return start - submit; }
+  [[nodiscard]] Duration turnaround() const { return finish - submit; }
+  /// Bounded slowdown with the customary 10-minute bound.
+  [[nodiscard]] double bounded_slowdown() const;
+};
+
+/// Complete result of one simulation run.
+struct SimulationResult {
+  std::vector<JobRecord> jobs;
+  util::TimeSeries system_power;     ///< total draw per tick (W)
+  util::TimeSeries power_budget;     ///< budget in force per tick (W)
+  util::TimeSeries carbon_intensity; ///< intensity per tick (g/kWh)
+  util::TimeSeries busy_nodes;       ///< allocated nodes per tick
+
+  Duration makespan;                 ///< last finish time
+  Power idle_floor;                  ///< draw with every node idle (cluster constant)
+  Energy total_energy;               ///< all nodes, incl. idle draw
+  Carbon total_carbon;               ///< operational carbon of total_energy
+  Energy idle_energy;                ///< idle-node share of total_energy
+  Carbon idle_carbon;
+  int completed_jobs = 0;
+  /// Jobs terminated by walltime enforcement.
+  int walltime_kills = 0;
+  /// Ticks in which even the floor power cap could not satisfy the budget.
+  int budget_violations = 0;
+
+  /// Node-seconds allocated / (nodes * makespan).
+  [[nodiscard]] double utilization(const ClusterConfig& cluster) const;
+  /// Mean wait over completed jobs, hours.
+  [[nodiscard]] double mean_wait_hours() const;
+  /// Mean bounded slowdown over completed jobs.
+  [[nodiscard]] double mean_bounded_slowdown() const;
+  /// Completed work throughput: completed node-seconds per wall-clock hour.
+  [[nodiscard]] double node_hours_completed() const;
+  /// Carbon per unit of delivered work (g per completed node-hour).
+  [[nodiscard]] double carbon_per_node_hour() const;
+  /// Share of *job-attributable* energy (system draw above the all-idle
+  /// floor) consumed while intensity was at or below the given threshold.
+  /// Subtracting the idle floor keeps the metric sensitive to scheduling
+  /// decisions even on lightly loaded systems.
+  [[nodiscard]] double green_energy_share(double threshold_g_per_kwh) const;
+};
+
+}  // namespace greenhpc::hpcsim

@@ -1,0 +1,321 @@
+#include "hpcsim/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace greenhpc::hpcsim {
+
+Simulator::Simulator(Config config, std::vector<JobSpec> jobs)
+    : cfg_(std::move(config)),
+      budget_now_(cfg_.cluster.max_power()),
+      result_{.jobs = {},
+              .system_power = util::TimeSeries(seconds(0.0), cfg_.cluster.tick),
+              .power_budget = util::TimeSeries(seconds(0.0), cfg_.cluster.tick),
+              .carbon_intensity = util::TimeSeries(seconds(0.0), cfg_.cluster.tick),
+              .busy_nodes = util::TimeSeries(seconds(0.0), cfg_.cluster.tick),
+              .makespan = seconds(0.0),
+              .idle_floor = cfg_.cluster.idle_power(),
+              .total_energy = {},
+              .total_carbon = {},
+              .idle_energy = {},
+              .idle_carbon = {}} {
+  cfg_.cluster.validate();
+  GREENHPC_REQUIRE(!cfg_.carbon_intensity.empty(),
+                   "simulator requires a carbon-intensity trace");
+  free_nodes_ = cfg_.cluster.nodes;
+  slots_.reserve(jobs.size());
+  for (auto& j : jobs) {
+    j.validate();
+    GREENHPC_REQUIRE(j.nodes_requested <= cfg_.cluster.nodes &&
+                         j.max_nodes <= cfg_.cluster.nodes,
+                     "job larger than the cluster");
+    const auto idx = slots_.size();
+    GREENHPC_REQUIRE(index_.emplace(j.id, idx).second, "duplicate job id");
+    slots_.push_back(JobSlot{std::move(j), {}});
+  }
+  arrival_order_.resize(slots_.size());
+  for (std::size_t i = 0; i < slots_.size(); ++i) arrival_order_[i] = i;
+  std::stable_sort(arrival_order_.begin(), arrival_order_.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     if (slots_[a].spec.submit != slots_[b].spec.submit) {
+                       return slots_[a].spec.submit < slots_[b].spec.submit;
+                     }
+                     return slots_[a].spec.id < slots_[b].spec.id;
+                   });
+}
+
+Simulator::JobSlot& Simulator::slot(JobId id) {
+  const auto it = index_.find(id);
+  GREENHPC_REQUIRE(it != index_.end(), "unknown job id");
+  return slots_[it->second];
+}
+
+const Simulator::JobSlot& Simulator::slot(JobId id) const {
+  const auto it = index_.find(id);
+  GREENHPC_REQUIRE(it != index_.end(), "unknown job id");
+  return slots_[it->second];
+}
+
+int Simulator::busy_nodes_of(const JobSlot& s) {
+  if (s.spec.kind == JobKind::Malleable) return s.info.alloc_nodes;
+  return std::min(s.info.alloc_nodes, s.spec.nodes_used);
+}
+
+double Simulator::scale_speed(const JobSlot& s) {
+  const double busy = static_cast<double>(busy_nodes_of(s));
+  const double natural = static_cast<double>(s.spec.nodes_used);
+  if (busy == natural) return 1.0;
+  return std::pow(busy / natural, s.spec.scale_gamma);
+}
+
+double Simulator::carbon_intensity_at(Duration t) const {
+  return cfg_.carbon_intensity.sample_at_clamped(t);
+}
+
+std::vector<JobId> Simulator::running_jobs() const { return running_; }
+std::vector<JobId> Simulator::suspended_jobs() const { return suspended_; }
+
+const JobSpec& Simulator::spec(JobId id) const { return slot(id).spec; }
+const JobRuntimeInfo& Simulator::info(JobId id) const { return slot(id).info; }
+
+Duration Simulator::estimated_remaining(JobId id) const {
+  const JobSlot& s = slot(id);
+  const double remaining_fraction = std::max(0.0, 1.0 - s.info.progress);
+  switch (s.info.phase) {
+    case JobPhase::Pending:
+      return s.spec.walltime;
+    case JobPhase::Running: {
+      const double speed = std::pow(last_cap_, s.spec.power_alpha) * scale_speed(s);
+      return seconds(remaining_fraction * s.spec.runtime.seconds() / std::max(speed, 1e-9));
+    }
+    case JobPhase::Suspended:
+      return seconds(remaining_fraction * s.spec.runtime.seconds());
+    case JobPhase::Done:
+      return seconds(0.0);
+  }
+  return seconds(0.0);
+}
+
+Power Simulator::full_draw() const {
+  double watts_total =
+      cfg_.cluster.node_idle.watts() * static_cast<double>(free_nodes_);
+  for (JobId id : running_) {
+    const JobSlot& s = slot(id);
+    const int busy = busy_nodes_of(s);
+    const int extra = s.info.alloc_nodes - busy;
+    watts_total += static_cast<double>(busy) * s.spec.effective_node_power().watts() +
+                   static_cast<double>(extra) * cfg_.cluster.node_idle.watts();
+  }
+  return watts(watts_total);
+}
+
+bool Simulator::allocation_valid(const JobSpec& job, int nodes) const {
+  if (nodes < 1 || nodes > cfg_.cluster.nodes) return false;
+  if (job.kind == JobKind::Rigid) return nodes == job.nodes_requested;
+  return nodes >= job.min_nodes && nodes <= job.max_nodes;
+}
+
+void Simulator::remove_pending(JobId id) {
+  pending_.erase(std::remove(pending_.begin(), pending_.end(), id), pending_.end());
+}
+
+bool Simulator::start(JobId id, int nodes) {
+  JobSlot& s = slot(id);
+  if (s.info.phase != JobPhase::Pending) return false;
+  if (!allocation_valid(s.spec, nodes)) return false;
+  if (nodes > free_nodes_) return false;
+  s.info.phase = JobPhase::Running;
+  s.info.alloc_nodes = nodes;
+  s.info.start = now_;
+  free_nodes_ -= nodes;
+  remove_pending(id);
+  running_.push_back(id);
+  return true;
+}
+
+bool Simulator::suspend(JobId id) {
+  JobSlot& s = slot(id);
+  if (s.info.phase != JobPhase::Running || !s.spec.checkpointable) return false;
+  // Charge the checkpoint overhead as lost progress (bounded at zero).
+  const double lost = s.spec.checkpoint_overhead.seconds() / s.spec.runtime.seconds();
+  s.info.progress = std::max(0.0, s.info.progress - lost);
+  free_nodes_ += s.info.alloc_nodes;
+  s.info.alloc_nodes = 0;
+  s.info.phase = JobPhase::Suspended;
+  ++s.info.suspend_count;
+  running_.erase(std::remove(running_.begin(), running_.end(), id), running_.end());
+  suspended_.push_back(id);
+  return true;
+}
+
+bool Simulator::resume(JobId id, int nodes) {
+  JobSlot& s = slot(id);
+  if (s.info.phase != JobPhase::Suspended) return false;
+  if (!allocation_valid(s.spec, nodes)) return false;
+  if (nodes > free_nodes_) return false;
+  s.info.phase = JobPhase::Running;
+  s.info.alloc_nodes = nodes;
+  free_nodes_ -= nodes;
+  suspended_.erase(std::remove(suspended_.begin(), suspended_.end(), id), suspended_.end());
+  running_.push_back(id);
+  return true;
+}
+
+bool Simulator::reshape(JobId id, int nodes) {
+  JobSlot& s = slot(id);
+  if (s.info.phase != JobPhase::Running || s.spec.kind != JobKind::Malleable) return false;
+  if (!allocation_valid(s.spec, nodes)) return false;
+  const int delta = nodes - s.info.alloc_nodes;
+  if (delta > free_nodes_) return false;
+  free_nodes_ -= delta;
+  s.info.alloc_nodes = nodes;
+  return true;
+}
+
+void Simulator::integrate_tick() {
+  const double tick_s = cfg_.cluster.tick.seconds();
+  const double idle_w = cfg_.cluster.node_idle.watts();
+
+  // Uniform cap on the busy (job) share when over budget.
+  double busy_full_w = 0.0;
+  double baseline_w = idle_w * static_cast<double>(free_nodes_);
+  for (JobId id : running_) {
+    const JobSlot& s = slot(id);
+    const int busy = busy_nodes_of(s);
+    const int extra = s.info.alloc_nodes - busy;
+    busy_full_w += static_cast<double>(busy) * s.spec.effective_node_power().watts();
+    baseline_w += static_cast<double>(extra) * idle_w;
+  }
+  double cap = 1.0;
+  if (busy_full_w > 0.0 && baseline_w + busy_full_w > budget_now_.watts()) {
+    cap = (budget_now_.watts() - baseline_w) / busy_full_w;
+    if (cap < cfg_.cluster.min_cap_fraction) {
+      cap = cfg_.cluster.min_cap_fraction;
+      ++result_.budget_violations;
+    }
+    cap = std::min(cap, 1.0);
+  } else if (busy_full_w == 0.0 && baseline_w > budget_now_.watts()) {
+    ++result_.budget_violations;  // idle floor alone exceeds the budget
+  }
+  last_cap_ = cap;
+
+  // Integrate each running job; handle mid-tick completion analytically.
+  double tick_energy_j = 0.0;
+  double busy_nodes_total = 0.0;
+  std::vector<JobId> finished;
+  for (JobId id : running_) {
+    JobSlot& s = slot(id);
+    const int busy = busy_nodes_of(s);
+    const int extra = s.info.alloc_nodes - busy;
+    const double speed = std::pow(cap, s.spec.power_alpha) * scale_speed(s);
+    const double rate = speed / s.spec.runtime.seconds();  // progress per second
+    const double draw_w = static_cast<double>(busy) * s.spec.effective_node_power().watts() * cap +
+                          static_cast<double>(extra) * idle_w;
+    double dt = tick_s;
+    if (rate > 0.0 && s.info.progress + rate * tick_s >= 1.0) {
+      dt = (1.0 - s.info.progress) / rate;
+      s.info.progress = 1.0;
+      s.info.phase = JobPhase::Done;
+      s.info.finish = now_ + seconds(dt);
+      finished.push_back(id);
+    } else {
+      // Walltime enforcement: the clock only runs while the job executes.
+      if (cfg_.cluster.enforce_walltime) {
+        const Duration remaining_wall = s.spec.walltime - s.info.wall_used;
+        if (remaining_wall <= seconds(tick_s)) {
+          dt = std::max(0.0, remaining_wall.seconds());
+          s.info.phase = JobPhase::Done;
+          s.info.killed = true;
+          s.info.finish = now_ + seconds(dt);
+          finished.push_back(id);
+          ++result_.walltime_kills;
+        }
+      }
+      s.info.progress += rate * dt;
+    }
+    s.info.wall_used += seconds(dt);
+    const double job_energy_j = draw_w * dt;
+    s.info.energy += joules(job_energy_j);
+    s.info.carbon += grams_co2(job_energy_j / 3.6e6 * ci_now_);
+    tick_energy_j += job_energy_j;
+    busy_nodes_total += static_cast<double>(s.info.alloc_nodes) * (dt / tick_s);
+  }
+  for (JobId id : finished) {
+    JobSlot& s = slot(id);
+    free_nodes_ += s.info.alloc_nodes;
+    s.info.alloc_nodes = 0;
+    running_.erase(std::remove(running_.begin(), running_.end(), id), running_.end());
+    result_.makespan = std::max(result_.makespan, s.info.finish);
+    if (!s.info.killed) ++result_.completed_jobs;
+  }
+
+  // Idle draw: nodes free for the whole tick plus freed fractions of
+  // finishing jobs are approximated by end-of-tick free count.
+  const double idle_energy_j = idle_w * static_cast<double>(free_nodes_) * tick_s;
+  tick_energy_j += idle_energy_j;
+  result_.idle_energy += joules(idle_energy_j);
+  result_.idle_carbon += grams_co2(idle_energy_j / 3.6e6 * ci_now_);
+  result_.total_energy += joules(tick_energy_j);
+  result_.total_carbon += grams_co2(tick_energy_j / 3.6e6 * ci_now_);
+
+  result_.system_power.push_back(tick_energy_j / tick_s);
+  result_.power_budget.push_back(budget_now_.watts());
+  result_.carbon_intensity.push_back(ci_now_);
+  result_.busy_nodes.push_back(busy_nodes_total);
+  if (cfg_.telemetry != nullptr) {
+    cfg_.telemetry->record("system.power", now_, tick_energy_j / tick_s);
+    cfg_.telemetry->record("system.budget", now_, budget_now_.watts());
+    cfg_.telemetry->record("system.ci", now_, ci_now_);
+    cfg_.telemetry->record("system.busy_nodes", now_, busy_nodes_total);
+  }
+}
+
+SimulationResult Simulator::run(SchedulingPolicy& sched, PowerBudgetPolicy* power) {
+  GREENHPC_REQUIRE(!ran_, "Simulator::run may be called only once");
+  ran_ = true;
+  const Duration tick = cfg_.cluster.tick;
+  while (now_ < cfg_.max_time) {
+    // 1. arrivals
+    while (next_arrival_ < arrival_order_.size() &&
+           slots_[arrival_order_[next_arrival_]].spec.submit <= now_) {
+      pending_.push_back(slots_[arrival_order_[next_arrival_]].spec.id);
+      ++next_arrival_;
+    }
+    const bool all_arrived = next_arrival_ == arrival_order_.size();
+    if (all_arrived && pending_.empty() && running_.empty() && suspended_.empty()) break;
+
+    // 2. environment + budget
+    ci_now_ = cfg_.carbon_intensity.sample_at_clamped(now_);
+    budget_now_ = power != nullptr
+                      ? power->system_budget(now_, ci_now_, cfg_.cluster)
+                      : cfg_.cluster.max_power();
+
+    // 3. scheduling decisions
+    sched.on_tick(*this);
+
+    // 4+5. power capping and integration
+    integrate_tick();
+    ci_history_.push_back(ci_now_);
+    now_ += tick;
+  }
+
+  result_.jobs.reserve(slots_.size());
+  for (const auto& s : slots_) {
+    JobRecord rec;
+    rec.spec = s.spec;
+    rec.completed = s.info.phase == JobPhase::Done && !s.info.killed;
+    rec.killed = s.info.killed;
+    rec.submit = s.spec.submit;
+    rec.start = s.info.start;
+    rec.finish = s.info.finish;
+    rec.suspend_count = s.info.suspend_count;
+    rec.energy = s.info.energy;
+    rec.carbon = s.info.carbon;
+    result_.jobs.push_back(std::move(rec));
+  }
+  return std::move(result_);
+}
+
+}  // namespace greenhpc::hpcsim

@@ -1,0 +1,114 @@
+#pragma once
+// The cluster simulator.
+//
+// A fixed-tick engine (default 60 s): grid intensity, power budget and job
+// allocations are piecewise constant per tick, which makes every energy and
+// carbon integral exact. Within a tick the engine handles early completion
+// analytically, so job finish times are continuous, not tick-quantized.
+//
+// Each tick:
+//   1. jobs whose submit time has arrived join the pending queue;
+//   2. the PowerBudgetPolicy sets the system power budget (section 3.1);
+//   3. the SchedulingPolicy observes the system and starts / suspends /
+//      resumes / reshapes jobs (sections 3.2, 3.3);
+//   4. if the uncapped draw exceeds the budget, a uniform power cap is
+//      applied to all busy nodes (hierarchical distribution below the
+//      job level is powerstack's concern); job speed follows each job's
+//      power-performance elasticity;
+//   5. progress, energy and carbon are integrated.
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "hpcsim/cluster.hpp"
+#include "hpcsim/job.hpp"
+#include "hpcsim/policy.hpp"
+#include "hpcsim/result.hpp"
+#include "telemetry/sensor_store.hpp"
+#include "util/time_series.hpp"
+
+namespace greenhpc::hpcsim {
+
+class Simulator final : public SimulationView {
+ public:
+  struct Config {
+    ClusterConfig cluster;
+    /// Grid carbon-intensity trace (g/kWh); sampled with clamping, so the
+    /// simulation may outlast the trace.
+    util::TimeSeries carbon_intensity{seconds(0.0), hours(1.0)};
+    /// Hard stop even if jobs remain (guards against livelocked policies).
+    Duration max_time = days(90.0);
+    /// Optional telemetry sink for system-level sensors
+    /// ("system.power", "system.budget", "system.ci", "system.busy_nodes").
+    telemetry::SensorStore* telemetry = nullptr;
+  };
+
+  /// The job list need not be sorted; it is indexed by JobId internally.
+  Simulator(Config config, std::vector<JobSpec> jobs);
+
+  /// Run to completion under the given policies. `power` may be null for
+  /// an unconstrained system. May be called once per Simulator instance.
+  SimulationResult run(SchedulingPolicy& sched, PowerBudgetPolicy* power = nullptr);
+
+  // --- SimulationView ---
+  [[nodiscard]] Duration now() const override { return now_; }
+  [[nodiscard]] const ClusterConfig& cluster() const override { return cfg_.cluster; }
+  [[nodiscard]] int free_nodes() const override { return free_nodes_; }
+  [[nodiscard]] double carbon_intensity_now() const override { return ci_now_; }
+  [[nodiscard]] double carbon_intensity_at(Duration t) const override;
+  [[nodiscard]] const std::vector<double>& intensity_history() const override {
+    return ci_history_;
+  }
+  [[nodiscard]] std::vector<JobId> pending_jobs() const override { return pending_; }
+  [[nodiscard]] std::vector<JobId> running_jobs() const override;
+  [[nodiscard]] std::vector<JobId> suspended_jobs() const override;
+  [[nodiscard]] const JobSpec& spec(JobId id) const override;
+  [[nodiscard]] const JobRuntimeInfo& info(JobId id) const override;
+  [[nodiscard]] Duration estimated_remaining(JobId id) const override;
+  [[nodiscard]] Power power_budget() const override { return budget_now_; }
+  [[nodiscard]] Power full_draw() const override;
+  bool start(JobId id, int nodes) override;
+  bool suspend(JobId id) override;
+  bool resume(JobId id, int nodes) override;
+  bool reshape(JobId id, int nodes) override;
+
+ private:
+  struct JobSlot {
+    JobSpec spec;
+    JobRuntimeInfo info;
+  };
+
+  [[nodiscard]] JobSlot& slot(JobId id);
+  [[nodiscard]] const JobSlot& slot(JobId id) const;
+  /// Busy nodes of a running job (nodes that draw job power and produce
+  /// progress): all allocated nodes for malleable jobs, nodes_used for
+  /// rigid/moldable jobs with over-allocation.
+  [[nodiscard]] static int busy_nodes_of(const JobSlot& s);
+  /// Speed multiplier from allocation size (power-law strong scaling).
+  [[nodiscard]] static double scale_speed(const JobSlot& s);
+  [[nodiscard]] bool allocation_valid(const JobSpec& spec, int nodes) const;
+  void remove_pending(JobId id);
+  void integrate_tick();
+
+  Config cfg_;
+  std::vector<JobSlot> slots_;
+  std::unordered_map<JobId, std::size_t> index_;
+  std::vector<std::size_t> arrival_order_;  ///< slot indices by submit time
+  std::size_t next_arrival_ = 0;
+
+  Duration now_{0.0};
+  double ci_now_ = 0.0;
+  Power budget_now_;
+  double last_cap_ = 1.0;
+  int free_nodes_ = 0;
+  std::vector<JobId> pending_;
+  std::vector<JobId> running_;
+  std::vector<JobId> suspended_;
+  std::vector<double> ci_history_;
+
+  SimulationResult result_;
+  bool ran_ = false;
+};
+
+}  // namespace greenhpc::hpcsim

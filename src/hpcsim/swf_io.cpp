@@ -1,0 +1,95 @@
+#include "hpcsim/swf_io.hpp"
+
+#include <algorithm>
+#include <array>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace greenhpc::hpcsim {
+
+SwfImport load_swf(std::istream& in, const SwfDefaults& defaults) {
+  GREENHPC_REQUIRE(defaults.node_power.watts() > 0.0, "default node power must be > 0");
+  SwfImport result;
+  std::string line;
+  int next_id = 1;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == ';') continue;
+    std::istringstream row(line);
+    // SWF: 18 numeric fields; missing trailing fields default to -1.
+    std::array<double, 18> f;
+    f.fill(-1.0);
+    std::size_t count = 0;
+    double v;
+    while (count < f.size() && row >> v) f[count++] = v;
+    if (count < 5) {
+      ++result.skipped;
+      continue;
+    }
+    const double submit_s = f[1];
+    const double runtime_s = f[3];
+    const double used_procs = f[4];
+    const double req_procs = f[7];
+    const double req_time_s = f[8];
+    const int uid = f[11] >= 0 ? static_cast<int>(f[11]) : 0;
+    const int gid = f[12] >= 0 ? static_cast<int>(f[12]) : 0;
+
+    int nodes_req = req_procs > 0 ? static_cast<int>(req_procs)
+                                  : static_cast<int>(used_procs);
+    int nodes_used = used_procs > 0 ? static_cast<int>(used_procs) : nodes_req;
+    if (runtime_s <= 0.0 || nodes_req <= 0 || nodes_used <= 0 || submit_s < 0.0) {
+      ++result.skipped;
+      continue;
+    }
+    if (defaults.max_nodes > 0) {
+      nodes_req = std::min(nodes_req, defaults.max_nodes);
+      nodes_used = std::min(nodes_used, defaults.max_nodes);
+    }
+    nodes_used = std::min(nodes_used, nodes_req);
+
+    JobSpec j;
+    j.id = next_id++;
+    j.user = "user" + std::to_string(uid);
+    j.project = "proj" + std::to_string(gid);
+    j.submit = seconds(submit_s);
+    j.kind = JobKind::Rigid;
+    j.nodes_requested = nodes_req;
+    j.nodes_used = nodes_used;
+    j.min_nodes = nodes_req;
+    j.max_nodes = nodes_req;
+    j.runtime = seconds(runtime_s);
+    j.walltime = req_time_s >= runtime_s ? seconds(req_time_s)
+                                         : seconds(runtime_s * 1.5);
+    j.node_power = defaults.node_power;
+    j.power_alpha = defaults.power_alpha;
+    j.scale_gamma = defaults.scale_gamma;
+    j.validate();
+    result.jobs.push_back(std::move(j));
+  }
+  std::stable_sort(result.jobs.begin(), result.jobs.end(),
+                   [](const JobSpec& a, const JobSpec& b) { return a.submit < b.submit; });
+  return result;
+}
+
+void save_swf(const std::vector<JobSpec>& jobs, std::ostream& out) {
+  out << "; SWF export from greenhpc (fields per the SWF v2.2 convention;\n"
+      << ";  processors == nodes; unknown fields are -1)\n";
+  int id = 1;
+  for (const auto& j : jobs) {
+    // job submit wait run used_procs avg_cpu used_mem req_procs req_time
+    // req_mem status uid gid exec queue partition preceding think
+    const int uid = std::atoi(j.user.c_str() + (j.user.rfind("user", 0) == 0 ? 4 : 0));
+    const int gid =
+        std::atoi(j.project.c_str() + (j.project.rfind("proj", 0) == 0 ? 4 : 0));
+    out << id++ << ' ' << static_cast<long long>(j.submit.seconds()) << " -1 "
+        << static_cast<long long>(j.runtime.seconds()) << ' ' << j.nodes_used
+        << " -1 -1 " << j.nodes_requested << ' '
+        << static_cast<long long>(j.walltime.seconds()) << " -1 1 " << uid << ' ' << gid
+        << " -1 -1 -1 -1 -1\n";
+  }
+}
+
+}  // namespace greenhpc::hpcsim

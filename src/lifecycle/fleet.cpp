@@ -1,0 +1,99 @@
+#include "lifecycle/fleet.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace greenhpc::lifecycle {
+
+int SystemLifetime::service_years(int reference_year) const {
+  const int end = decommission_year.value_or(reference_year);
+  return std::max(0, end - start_year);
+}
+
+std::vector<SystemLifetime> lrz_fleet() {
+  // Paper, Table 1: "Recent modern HPC systems at LRZ".
+  return {
+      {"SuperMUC", 2012, 2018},
+      {"SuperMUC Phase 2", 2015, 2019},
+      {"SuperMUC-NG", 2019, 2024},
+      {"SuperMUC-NG Phase 2", 2023, std::nullopt},
+      {"ExaMUC", 2025, std::nullopt},
+  };
+}
+
+double mean_refresh_interval_years(const std::vector<SystemLifetime>& fleet) {
+  GREENHPC_REQUIRE(fleet.size() >= 2, "refresh interval needs at least two systems");
+  std::vector<int> starts;
+  starts.reserve(fleet.size());
+  for (const auto& s : fleet) starts.push_back(s.start_year);
+  std::sort(starts.begin(), starts.end());
+  double total = 0.0;
+  for (std::size_t i = 1; i < starts.size(); ++i) total += starts[i] - starts[i - 1];
+  return total / static_cast<double>(starts.size() - 1);
+}
+
+Carbon annual_embodied(Carbon total_embodied, int lifetime_years) {
+  GREENHPC_REQUIRE(lifetime_years >= 1, "lifetime must be at least one year");
+  return total_embodied / static_cast<double>(lifetime_years);
+}
+
+Carbon fleet_embodied_in_year(const std::vector<FleetSystem>& fleet, int year,
+                              int assumed_open_lifetime_years) {
+  GREENHPC_REQUIRE(assumed_open_lifetime_years >= 1,
+                   "assumed open lifetime must be >= 1");
+  Carbon total{};
+  for (const auto& sys : fleet) {
+    const int start = sys.lifetime.start_year;
+    const int end = sys.lifetime.decommission_year.value_or(
+        start + assumed_open_lifetime_years);
+    if (year < start || year >= end) continue;
+    total += annual_embodied(sys.embodied, std::max(1, end - start));
+  }
+  return total;
+}
+
+std::vector<Carbon> fleet_embodied_timeline(const std::vector<FleetSystem>& fleet,
+                                            int first_year, int last_year,
+                                            int assumed_open_lifetime_years) {
+  GREENHPC_REQUIRE(first_year <= last_year, "year range inverted");
+  std::vector<Carbon> series;
+  series.reserve(static_cast<std::size_t>(last_year - first_year + 1));
+  for (int y = first_year; y <= last_year; ++y) {
+    series.push_back(fleet_embodied_in_year(fleet, y, assumed_open_lifetime_years));
+  }
+  return series;
+}
+
+ExtensionResult evaluate_extension(const ExtensionScenario& scenario, int extension_years) {
+  GREENHPC_REQUIRE(extension_years >= 0, "extension must be >= 0 years");
+  GREENHPC_REQUIRE(scenario.replacement_lifetime_years >= 1,
+                   "replacement lifetime must be >= 1");
+  GREENHPC_REQUIRE(scenario.efficiency_gain >= 0.0 && scenario.efficiency_gain < 1.0,
+                   "efficiency gain must be in [0,1)");
+  ExtensionResult r;
+  // Deferring the replacement by k years avoids k years' worth of its
+  // amortized embodied carbon.
+  r.avoided_embodied =
+      annual_embodied(scenario.replacement_embodied, scenario.replacement_lifetime_years) *
+      static_cast<double>(extension_years);
+  // The old system draws efficiency_gain more power for the same work.
+  const Power extra = scenario.old_power * scenario.efficiency_gain;
+  r.extra_operational = (extra * days(365.0 * extension_years)) * scenario.grid;
+  return r;
+}
+
+CarbonIntensity extension_breakeven_intensity(const ExtensionScenario& scenario) {
+  GREENHPC_REQUIRE(scenario.efficiency_gain > 0.0,
+                   "breakeven undefined without an efficiency gain");
+  GREENHPC_REQUIRE(scenario.old_power.watts() > 0.0, "old system power must be positive");
+  // avoided = annual_embodied * k ; extra = P * gain * k * 8760h * ci.
+  const double annual_g =
+      annual_embodied(scenario.replacement_embodied, scenario.replacement_lifetime_years)
+          .grams();
+  const double extra_kwh_per_year =
+      scenario.old_power.kilowatts() * scenario.efficiency_gain * 8760.0;
+  return grams_per_kwh(annual_g / extra_kwh_per_year);
+}
+
+}  // namespace greenhpc::lifecycle

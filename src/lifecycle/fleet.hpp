@@ -1,0 +1,86 @@
+#pragma once
+// System lifetime modeling (paper section 2.3 and Table 1).
+//
+// Covers: the LRZ fleet timeline of Table 1, linear embodied-carbon
+// amortization over a system's service life, and the lifetime-extension
+// analysis ("server lifetime extensions are more effective than component
+// reuse").
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace greenhpc::lifecycle {
+
+/// One row of the paper's Table 1.
+struct SystemLifetime {
+  std::string name;
+  int start_year = 0;
+  std::optional<int> decommission_year;  ///< nullopt = still in operation
+
+  /// Service years to date (open-ended systems measured against
+  /// `reference_year`). Systems not yet started return 0.
+  [[nodiscard]] int service_years(int reference_year) const;
+};
+
+/// Table 1 verbatim: recent modern HPC systems at LRZ.
+[[nodiscard]] std::vector<SystemLifetime> lrz_fleet();
+
+/// Mean hardware refresh interval between consecutive system starts in a
+/// fleet timeline (the "four and six years" rule the paper states).
+[[nodiscard]] double mean_refresh_interval_years(const std::vector<SystemLifetime>& fleet);
+
+/// Linear amortization: embodied carbon attributed per year of service.
+[[nodiscard]] Carbon annual_embodied(Carbon total_embodied, int lifetime_years);
+
+/// One fleet system with its embodied total, for timeline accounting.
+struct FleetSystem {
+  SystemLifetime lifetime;
+  Carbon embodied;
+};
+
+/// Amortized fleet embodied carbon attributable to calendar year `year`:
+/// the sum over systems in service that year of embodied / service-life
+/// (open-ended systems amortize over `assumed_open_lifetime_years`).
+[[nodiscard]] Carbon fleet_embodied_in_year(const std::vector<FleetSystem>& fleet, int year,
+                                            int assumed_open_lifetime_years = 6);
+
+/// Year-by-year amortized embodied series over [first_year, last_year].
+[[nodiscard]] std::vector<Carbon> fleet_embodied_timeline(
+    const std::vector<FleetSystem>& fleet, int first_year, int last_year,
+    int assumed_open_lifetime_years = 6);
+
+/// Lifetime-extension analysis (section 2.3): keep the old system for
+/// `extension_years` beyond its planned life instead of moving that work
+/// onto a fresh replacement immediately.
+struct ExtensionScenario {
+  Carbon replacement_embodied;     ///< embodied carbon of the successor
+  int replacement_lifetime_years = 6;
+  Power old_power;                 ///< draw of the old system
+  /// The successor delivers the same work at (1 - efficiency_gain) of the
+  /// old system's power (generational energy-efficiency improvement).
+  double efficiency_gain = 0.35;
+  CarbonIntensity grid;            ///< operating-grid intensity
+};
+
+struct ExtensionResult {
+  Carbon avoided_embodied;   ///< replacement embodied deferred (amortized share)
+  Carbon extra_operational;  ///< penalty of running the less efficient system
+  /// Net carbon saved by extending (positive = extension wins).
+  [[nodiscard]] Carbon net_savings() const { return avoided_embodied - extra_operational; }
+};
+
+/// Evaluate an extension of `extension_years`.
+[[nodiscard]] ExtensionResult evaluate_extension(const ExtensionScenario& scenario,
+                                                 int extension_years);
+
+/// Grid intensity above which extending by `extension_years` stops paying
+/// off (the extra operational carbon of the old system outweighs the
+/// deferred embodied carbon). Solves the breakeven of
+/// evaluate_extension(...) analytically.
+[[nodiscard]] CarbonIntensity extension_breakeven_intensity(
+    const ExtensionScenario& scenario);
+
+}  // namespace greenhpc::lifecycle

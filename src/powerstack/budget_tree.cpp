@@ -1,0 +1,112 @@
+#include "powerstack/budget_tree.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace greenhpc::powerstack {
+
+Power BudgetNode::aggregate_min() const {
+  if (children.empty()) return min_power;
+  Power total{};
+  for (const auto& c : children) total += c.aggregate_min();
+  return total;
+}
+
+Power BudgetNode::aggregate_max() const {
+  if (children.empty()) return max_power;
+  Power total{};
+  for (const auto& c : children) total += c.aggregate_max();
+  return total;
+}
+
+std::vector<Power> water_fill(const std::vector<BudgetNode>& children, Power total) {
+  GREENHPC_REQUIRE(!children.empty(), "water_fill needs children");
+  const std::size_t n = children.size();
+  std::vector<Power> out(n);
+  std::vector<double> mins(n), maxs(n);
+  double min_sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    mins[i] = children[i].aggregate_min().watts();
+    maxs[i] = children[i].aggregate_max().watts();
+    GREENHPC_REQUIRE(maxs[i] >= mins[i], "child max must be >= min");
+    GREENHPC_REQUIRE(children[i].weight > 0.0, "child weight must be positive");
+    min_sum += mins[i];
+  }
+  double budget = total.watts();
+  if (budget <= min_sum) {
+    // Infeasible (or exactly-feasible) floor: hand out floors scaled down
+    // proportionally so the assignment never exceeds the parent's budget.
+    const double scale = min_sum > 0.0 ? budget / min_sum : 0.0;
+    for (std::size_t i = 0; i < n; ++i) out[i] = watts(mins[i] * scale);
+    return out;
+  }
+  // Everyone gets the floor; split the surplus by weight, saturating at max.
+  std::vector<double> assigned(mins);
+  double surplus = budget - min_sum;
+  std::vector<std::size_t> open(n);
+  for (std::size_t i = 0; i < n; ++i) open[i] = i;
+  while (surplus > 1e-9 && !open.empty()) {
+    double weight_sum = 0.0;
+    for (std::size_t i : open) weight_sum += children[i].weight;
+    double distributed = 0.0;
+    std::vector<std::size_t> still_open;
+    for (std::size_t i : open) {
+      const double offer = surplus * children[i].weight / weight_sum;
+      const double headroom = maxs[i] - assigned[i];
+      const double take = std::min(offer, headroom);
+      assigned[i] += take;
+      distributed += take;
+      if (assigned[i] < maxs[i] - 1e-9) still_open.push_back(i);
+    }
+    surplus -= distributed;
+    if (distributed <= 1e-9) break;  // all saturated
+    open = std::move(still_open);
+  }
+  for (std::size_t i = 0; i < n; ++i) out[i] = watts(assigned[i]);
+  return out;
+}
+
+namespace {
+void distribute_rec(const BudgetNode& node, Power budget, const std::string& prefix,
+                    std::vector<Assignment>& out) {
+  const std::string path = prefix.empty() ? node.name : prefix + "/" + node.name;
+  out.push_back({path, budget, node.children.empty()});
+  if (node.children.empty()) return;
+  const std::vector<Power> shares = water_fill(node.children, budget);
+  for (std::size_t i = 0; i < node.children.size(); ++i) {
+    distribute_rec(node.children[i], shares[i], path, out);
+  }
+}
+}  // namespace
+
+std::vector<Assignment> distribute(const BudgetNode& root, Power total) {
+  GREENHPC_REQUIRE(total.watts() >= 0.0, "budget must be >= 0");
+  std::vector<Assignment> out;
+  // Clamp to the tree's physical envelope.
+  const Power clamped = std::min(total, root.aggregate_max());
+  distribute_rec(root, clamped, "", out);
+  return out;
+}
+
+BudgetNode make_site_tree(int jobs, int nodes_per_job, const ComponentBounds& b) {
+  GREENHPC_REQUIRE(jobs >= 1 && nodes_per_job >= 1, "tree needs jobs and nodes");
+  BudgetNode site{"system", {}, {}, 1.0, {}};
+  for (int j = 0; j < jobs; ++j) {
+    BudgetNode job{"job" + std::to_string(j), {}, {}, 1.0, {}};
+    for (int nidx = 0; nidx < nodes_per_job; ++nidx) {
+      BudgetNode node{"node" + std::to_string(nidx), {}, {}, 1.0, {}};
+      node.children.push_back({"cpu", b.cpu_min, b.cpu_max, 1.0, {}});
+      for (int g = 0; g < b.gpus_per_node; ++g) {
+        node.children.push_back(
+            {"gpu" + std::to_string(g), b.gpu_min, b.gpu_max, 2.0, {}});
+      }
+      node.children.push_back({"dram", b.dram_min, b.dram_max, 0.5, {}});
+      job.children.push_back(std::move(node));
+    }
+    site.children.push_back(std::move(job));
+  }
+  return site;
+}
+
+}  // namespace greenhpc::powerstack

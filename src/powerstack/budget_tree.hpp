@@ -1,0 +1,69 @@
+#pragma once
+// Hierarchical power budgeting (paper section 3.1, the HPC PowerStack
+// architecture): "the system management tool divides and distributes the
+// given power budget accordingly to the currently running jobs. The given
+// power budget is distributed across the allocated nodes for each job, and
+// then the power budget at each node is split and assigned to the in-node
+// hardware components (e.g., CPUs, GPUs, and DRAMs) by setting up their
+// hardware knobs, typically power caps."
+//
+// BudgetTree models exactly that hierarchy: site -> job -> node ->
+// component. Distribution at every level is weighted water-filling: each
+// child is guaranteed its minimum, the surplus is split proportionally to
+// weights, and children saturate at their maximum with the excess
+// re-distributed among the rest.
+
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace greenhpc::powerstack {
+
+/// One node of the budget hierarchy.
+struct BudgetNode {
+  std::string name;
+  Power min_power;        ///< guaranteed floor (idle/leakage)
+  Power max_power;        ///< hardware cap (TDP)
+  double weight = 1.0;    ///< share of surplus relative to siblings
+  std::vector<BudgetNode> children;
+
+  /// Sum of children's floors (or own floor for a leaf).
+  [[nodiscard]] Power aggregate_min() const;
+  /// Sum of children's caps (or own cap for a leaf).
+  [[nodiscard]] Power aggregate_max() const;
+};
+
+/// Budget assigned to one tree node after distribution, keyed by the
+/// slash-joined path from the root ("system/job3/node1/gpu0").
+struct Assignment {
+  std::string path;
+  Power budget;
+  bool is_leaf = false;
+};
+
+/// Distribute `total` over the tree. At each level the children receive a
+/// weighted water-filling split of the parent's budget, clamped to
+/// [min, max]; the parent's budget is first clamped to the children's
+/// aggregate bounds (a floor deficit is reported as an infeasible
+/// assignment at the floor). Returns assignments in pre-order.
+[[nodiscard]] std::vector<Assignment> distribute(const BudgetNode& root, Power total);
+
+/// Weighted water-filling over one sibling group: returns each child's
+/// budget for a parent budget of `total`. Exposed separately for testing
+/// and for the simulator's job-level split.
+[[nodiscard]] std::vector<Power> water_fill(const std::vector<BudgetNode>& children,
+                                            Power total);
+
+/// Convenience builder: a site tree with `jobs` jobs of `nodes_per_job`
+/// nodes, each node holding cpu/gpu/dram components with the given bounds.
+struct ComponentBounds {
+  Power cpu_min = watts(40.0), cpu_max = watts(280.0);
+  Power gpu_min = watts(100.0), gpu_max = watts(400.0);
+  Power dram_min = watts(10.0), dram_max = watts(40.0);
+  int gpus_per_node = 0;
+};
+[[nodiscard]] BudgetNode make_site_tree(int jobs, int nodes_per_job,
+                                        const ComponentBounds& bounds);
+
+}  // namespace greenhpc::powerstack

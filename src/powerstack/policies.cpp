@@ -1,0 +1,78 @@
+#include "powerstack/policies.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace greenhpc::powerstack {
+
+StaticBudgetPolicy::StaticBudgetPolicy(Power budget) : budget_(budget) {
+  GREENHPC_REQUIRE(budget.watts() > 0.0, "static budget must be positive");
+}
+
+Power StaticBudgetPolicy::system_budget(Duration /*now*/, double /*carbon_intensity*/,
+                                        const hpcsim::ClusterConfig& /*cluster*/) {
+  return budget_;
+}
+
+IntensityProportionalPolicy::IntensityProportionalPolicy(Config config) : cfg_(config) {
+  GREENHPC_REQUIRE(cfg_.ci_dirty > cfg_.ci_clean, "dirty anchor must exceed clean anchor");
+  GREENHPC_REQUIRE(cfg_.min_fraction > 0.0 && cfg_.min_fraction <= cfg_.max_fraction &&
+                       cfg_.max_fraction <= 1.0,
+                   "fractions must satisfy 0 < min <= max <= 1");
+}
+
+Power IntensityProportionalPolicy::system_budget(Duration /*now*/, double carbon_intensity,
+                                                 const hpcsim::ClusterConfig& cluster) {
+  const double cleanliness = std::clamp(
+      (cfg_.ci_dirty - carbon_intensity) / (cfg_.ci_dirty - cfg_.ci_clean), 0.0, 1.0);
+  const double fraction =
+      cfg_.min_fraction + (cfg_.max_fraction - cfg_.min_fraction) * cleanliness;
+  return cluster.max_power() * fraction;
+}
+
+CarbonRateCapPolicy::CarbonRateCapPolicy(Config config) : cfg_(config) {
+  GREENHPC_REQUIRE(cfg_.target_kg_per_hour > 0.0, "carbon-rate target must be positive");
+  GREENHPC_REQUIRE(cfg_.min_fraction > 0.0 && cfg_.min_fraction <= 1.0,
+                   "min fraction must be in (0,1]");
+}
+
+Power CarbonRateCapPolicy::system_budget(Duration /*now*/, double carbon_intensity,
+                                         const hpcsim::ClusterConfig& cluster) {
+  // rate (g/h) = P(kW) * ci(g/kWh)  =>  P = rate / ci.
+  const double ci = std::max(carbon_intensity, 1e-9);
+  const double allowed_kw = cfg_.target_kg_per_hour * 1000.0 / ci;
+  const double floor_w = cluster.max_power().watts() * cfg_.min_fraction;
+  const double budget_w =
+      std::clamp(allowed_kw * 1000.0, floor_w, cluster.max_power().watts());
+  return watts(budget_w);
+}
+
+RampLimitedPolicy::RampLimitedPolicy(std::unique_ptr<hpcsim::PowerBudgetPolicy> inner,
+                                     Power max_slew_per_s)
+    : inner_(std::move(inner)), max_slew_per_s_(max_slew_per_s) {
+  GREENHPC_REQUIRE(inner_ != nullptr, "ramp limiter needs an inner policy");
+  GREENHPC_REQUIRE(max_slew_per_s.watts() > 0.0, "slew rate must be positive");
+}
+
+std::string RampLimitedPolicy::name() const { return inner_->name() + "+ramp"; }
+
+Power RampLimitedPolicy::system_budget(Duration now, double carbon_intensity,
+                                       const hpcsim::ClusterConfig& cluster) {
+  const Power target = inner_->system_budget(now, carbon_intensity, cluster);
+  if (!primed_) {
+    primed_ = true;
+    last_time_ = now;
+    last_budget_ = target;
+    return target;
+  }
+  const double dt = std::max(0.0, (now - last_time_).seconds());
+  const double max_step = max_slew_per_s_.watts() * dt;
+  const double delta =
+      std::clamp(target.watts() - last_budget_.watts(), -max_step, max_step);
+  last_time_ = now;
+  last_budget_ = watts(last_budget_.watts() + delta);
+  return last_budget_;
+}
+
+}  // namespace greenhpc::powerstack

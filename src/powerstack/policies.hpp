@@ -1,0 +1,92 @@
+#pragma once
+// System power-budget policies (paper section 3.1: "scaling up/down the
+// total system power constraint in accordance with the carbon intensity
+// changes is essential ... a carbon intensity monitor and a simple
+// mechanism to automatically determine the total system power budget
+// based on it").
+
+#include <memory>
+#include <string>
+
+#include "hpcsim/policy.hpp"
+#include "util/units.hpp"
+
+namespace greenhpc::powerstack {
+
+/// Constant budget (the PowerStack status quo and the experiment baseline).
+class StaticBudgetPolicy final : public hpcsim::PowerBudgetPolicy {
+ public:
+  explicit StaticBudgetPolicy(Power budget);
+  [[nodiscard]] Power system_budget(Duration now, double carbon_intensity,
+                                    const hpcsim::ClusterConfig& cluster) override;
+  [[nodiscard]] std::string name() const override { return "static"; }
+
+ private:
+  Power budget_;
+};
+
+/// Linear intensity-proportional scaling: the budget slides between
+/// [min_fraction, max_fraction] of the cluster's max power as the current
+/// intensity moves between the configured clean and dirty anchors.
+///
+///   budget = Pmax * ( min_f + (max_f - min_f) *
+///            clamp((ci_dirty - ci) / (ci_dirty - ci_clean), 0, 1) )
+class IntensityProportionalPolicy final : public hpcsim::PowerBudgetPolicy {
+ public:
+  struct Config {
+    double ci_clean = 100.0;   ///< gCO2/kWh at or below which budget = max
+    double ci_dirty = 400.0;   ///< gCO2/kWh at or above which budget = min
+    double min_fraction = 0.6; ///< budget floor as fraction of max power
+    double max_fraction = 1.0; ///< budget ceiling as fraction of max power
+  };
+  explicit IntensityProportionalPolicy(Config config);
+  [[nodiscard]] Power system_budget(Duration now, double carbon_intensity,
+                                    const hpcsim::ClusterConfig& cluster) override;
+  [[nodiscard]] std::string name() const override { return "ci-proportional"; }
+
+ private:
+  Config cfg_;
+};
+
+/// Carbon-rate capping: choose the largest budget whose instantaneous
+/// emission rate power * ci stays at or below a target gCO2/hour, within
+/// [min_fraction, 1] of max power. This is the natural control law when
+/// the site has a carbon budget per unit time rather than a power
+/// contract.
+class CarbonRateCapPolicy final : public hpcsim::PowerBudgetPolicy {
+ public:
+  struct Config {
+    double target_kg_per_hour = 500.0;  ///< emission-rate ceiling
+    double min_fraction = 0.5;          ///< never throttle below this
+  };
+  explicit CarbonRateCapPolicy(Config config);
+  [[nodiscard]] Power system_budget(Duration now, double carbon_intensity,
+                                    const hpcsim::ClusterConfig& cluster) override;
+  [[nodiscard]] std::string name() const override { return "carbon-rate-cap"; }
+
+ private:
+  Config cfg_;
+};
+
+/// Ramp-rate limiting decorator: facility power contracts and cooling
+/// plants bound how fast a site may swing its draw, so a realistic
+/// PowerStack clamps the inner policy's budget changes to a maximum
+/// slew rate (W per second).
+class RampLimitedPolicy final : public hpcsim::PowerBudgetPolicy {
+ public:
+  /// `max_slew` in watts per second of simulated time; the first call
+  /// passes through unclamped.
+  RampLimitedPolicy(std::unique_ptr<hpcsim::PowerBudgetPolicy> inner, Power max_slew_per_s);
+  [[nodiscard]] Power system_budget(Duration now, double carbon_intensity,
+                                    const hpcsim::ClusterConfig& cluster) override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  std::unique_ptr<hpcsim::PowerBudgetPolicy> inner_;
+  Power max_slew_per_s_;
+  bool primed_ = false;
+  Duration last_time_;
+  Power last_budget_;
+};
+
+}  // namespace greenhpc::powerstack

@@ -1,0 +1,49 @@
+#pragma once
+// The "Carbon500" ranking the paper proposes (section 2.2: "we should
+// extend the existing supercomputing rankings to cover the carbon
+// efficiency perspective (something like a Carbon500 list)").
+//
+// Systems are ranked by lifetime carbon efficiency: total FLOP delivered
+// over the planned lifetime divided by total (embodied + operational)
+// carbon — the flops_per_gram metric of the embodied module.
+
+#include <string>
+#include <vector>
+
+#include "carbon/region.hpp"
+#include "embodied/act_model.hpp"
+#include "embodied/systems.hpp"
+#include "util/units.hpp"
+
+namespace greenhpc::procure {
+
+struct Carbon500Entry {
+  std::string system;
+  carbon::Region region = carbon::Region::Germany;
+  double rmax_pflops = 0.0;
+  Power avg_power;
+  Carbon embodied;
+  int lifetime_years = 6;
+
+  // Derived at ranking time:
+  double score_gflops_per_gram = 0.0;  ///< ranking key (higher is better)
+  Carbon lifetime_operational;
+  double top500_rank_hint = 0.0;       ///< raw Rmax, for contrast columns
+};
+
+/// Build an entry from a system inventory placed in a region (intensity
+/// taken as the region's long-run mean).
+[[nodiscard]] Carbon500Entry make_entry(const embodied::ActModel& model,
+                                        const embodied::SystemInventory& system,
+                                        carbon::Region region);
+
+/// Compute scores and sort descending by carbon efficiency.
+[[nodiscard]] std::vector<Carbon500Entry> rank(std::vector<Carbon500Entry> entries);
+
+/// Reference list: the paper's three German systems in their real regions
+/// plus what-if placements (the same Juwels Booster hardware in Poland vs
+/// Norway) and a synthetic next-gen entry — enough spread to show how the
+/// ranking diverges from a pure-performance Top500 ordering.
+[[nodiscard]] std::vector<Carbon500Entry> reference_list(const embodied::ActModel& model);
+
+}  // namespace greenhpc::procure

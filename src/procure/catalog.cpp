@@ -1,0 +1,82 @@
+#include "procure/catalog.hpp"
+
+#include "embodied/components.hpp"
+
+namespace greenhpc::procure {
+
+std::vector<NodeBlueprint> default_catalog(const embodied::ActModel& model) {
+  using namespace greenhpc::embodied;
+  std::vector<NodeBlueprint> catalog;
+
+  // Dual-socket Skylake-class node (trailing process, cheap, power hungry).
+  {
+    NodeBlueprint n;
+    n.name = "cpu-14nm";
+    n.perf_tflops = 3.0;
+    n.power = watts(900.0);
+    n.embodied = processor_embodied(model, intel_xeon_8174()) * 2.0 +
+                 model.dram(192.0, DramType::DDR4) + kilograms_co2(130.0);
+    n.cost_keur = 14.0;
+    catalog.push_back(std::move(n));
+  }
+  // Dual-socket EPYC-class node (leading process, better perf/W).
+  {
+    NodeBlueprint n;
+    n.name = "cpu-7nm";
+    n.perf_tflops = 5.2;
+    n.power = watts(850.0);
+    n.embodied = processor_embodied(model, amd_epyc_7742()) * 2.0 +
+                 model.dram(256.0, DramType::DDR4) + kilograms_co2(140.0);
+    n.cost_keur = 18.0;
+    catalog.push_back(std::move(n));
+  }
+  // A100-class GPU node: 2 CPUs + 4 GPU modules.
+  {
+    NodeBlueprint n;
+    n.name = "gpu-a100";
+    n.perf_tflops = 42.0;
+    n.power = watts(2900.0);
+    n.embodied = processor_embodied(model, nvidia_a100_sxm()) * 4.0 +
+                 processor_embodied(model, amd_epyc_7402()) * 2.0 +
+                 model.dram(512.0, DramType::DDR4) + kilograms_co2(431.0);
+    n.cost_keur = 160.0;
+    catalog.push_back(std::move(n));
+  }
+  // Next-generation GPU node (5nm-class dies, HBM-heavy).
+  {
+    NodeBlueprint n;
+    n.name = "gpu-next";
+    ProcessorSpec gpu;
+    gpu.name = "next-gen GPU";
+    gpu.chiplets = {{814.0, ProcessNode::N5, 1}};
+    gpu.substrate_cm2 = 60.0;
+    gpu.interposer_cm2 = 16.0;
+    gpu.hbm_gb = 80.0;
+    gpu.module_overhead_kg = 130.0;
+    n.perf_tflops = 95.0;
+    n.power = watts(3600.0);
+    n.embodied = processor_embodied(model, gpu) * 4.0 +
+                 processor_embodied(model, amd_epyc_7742()) * 2.0 +
+                 model.dram(512.0, DramType::DDR5) + kilograms_co2(460.0);
+    n.cost_keur = 240.0;
+    catalog.push_back(std::move(n));
+  }
+  // Low-power many-core node (A64FX-style co-design, section 2.1).
+  {
+    NodeBlueprint n;
+    n.name = "manycore-lp";
+    ProcessorSpec soc;
+    soc.name = "manycore SoC";
+    soc.chiplets = {{400.0, ProcessNode::N7, 1}};
+    soc.substrate_cm2 = 35.0;
+    soc.hbm_gb = 32.0;
+    n.perf_tflops = 3.4;
+    n.power = watts(200.0);
+    n.embodied = processor_embodied(model, soc) + kilograms_co2(90.0);
+    n.cost_keur = 11.0;
+    catalog.push_back(std::move(n));
+  }
+  return catalog;
+}
+
+}  // namespace greenhpc::procure

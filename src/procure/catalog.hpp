@@ -1,0 +1,29 @@
+#pragma once
+// Node blueprints a system architect can procure (paper section 2.2: "the
+// number of available hardware choices is increasing dramatically").
+// Embodied carbon of each blueprint is derived from the embodied module's
+// component models, so catalog and Fig. 1 share one carbon methodology.
+
+#include <string>
+#include <vector>
+
+#include "embodied/act_model.hpp"
+#include "util/units.hpp"
+
+namespace greenhpc::procure {
+
+/// One procurable node type.
+struct NodeBlueprint {
+  std::string name;
+  double perf_tflops = 0.0;   ///< sustained FP64 per node
+  Power power;                ///< typical draw per node
+  Carbon embodied;            ///< manufacturing carbon per node
+  double cost_keur = 0.0;     ///< procurement cost per node (kEUR)
+};
+
+/// Reference catalog built from the embodied component models: trailing-
+/// node CPU, leading-node CPU, A100-class GPU node, next-gen GPU node,
+/// and a low-power many-core node.
+[[nodiscard]] std::vector<NodeBlueprint> default_catalog(const embodied::ActModel& model);
+
+}  // namespace greenhpc::procure

@@ -1,0 +1,170 @@
+#include "procure/optimizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace greenhpc::procure {
+
+double ProcurementPlan::perf_tflops(const std::vector<NodeBlueprint>& catalog) const {
+  double total = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) total += counts[i] * catalog[i].perf_tflops;
+  return total;
+}
+
+double ProcurementPlan::cost_keur(const std::vector<NodeBlueprint>& catalog) const {
+  double total = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) total += counts[i] * catalog[i].cost_keur;
+  return total;
+}
+
+Power ProcurementPlan::power(const std::vector<NodeBlueprint>& catalog) const {
+  Power total{};
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    total += catalog[i].power * static_cast<double>(counts[i]);
+  }
+  return total;
+}
+
+Carbon ProcurementPlan::embodied(const std::vector<NodeBlueprint>& catalog) const {
+  Carbon total{};
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    total += catalog[i].embodied * static_cast<double>(counts[i]);
+  }
+  return total;
+}
+
+int ProcurementPlan::total_nodes() const {
+  int total = 0;
+  for (int c : counts) total += c;
+  return total;
+}
+
+bool ProcurementPlan::feasible(const std::vector<NodeBlueprint>& catalog,
+                               const ProcurementConstraints& c) const {
+  return cost_keur(catalog) <= c.cost_budget_keur + 1e-9 &&
+         power(catalog) <= c.power_limit + watts(1e-6) &&
+         embodied(catalog) <= c.embodied_budget + grams_co2(1e-3) &&
+         total_nodes() <= c.max_nodes;
+}
+
+ProcurementOptimizer::ProcurementOptimizer(std::vector<NodeBlueprint> catalog)
+    : catalog_(std::move(catalog)) {
+  GREENHPC_REQUIRE(!catalog_.empty(), "optimizer needs a non-empty catalog");
+  for (const auto& b : catalog_) {
+    GREENHPC_REQUIRE(b.perf_tflops > 0.0 && b.power.watts() > 0.0 &&
+                         b.embodied.grams() > 0.0 && b.cost_keur > 0.0,
+                     "blueprint quantities must be positive");
+  }
+}
+
+bool ProcurementOptimizer::can_add(const ProcurementPlan& plan, std::size_t type,
+                                   const ProcurementConstraints& c) const {
+  ProcurementPlan next = plan;
+  ++next.counts[type];
+  return next.feasible(catalog_, c);
+}
+
+ProcurementPlan ProcurementOptimizer::optimize(const ProcurementConstraints& c) const {
+  const std::size_t types = catalog_.size();
+  ProcurementPlan plan;
+  plan.counts.assign(types, 0);
+
+  // Greedy: repeatedly add the node type with the best performance per
+  // unit of its scarcest (budget-normalized) resource consumption.
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    double best_density = -1.0;
+    std::size_t best_type = 0;
+    for (std::size_t t = 0; t < types; ++t) {
+      if (!can_add(plan, t, c)) continue;
+      // Density: performance per unit of the scarcest resource this type
+      // consumes (normalized by budget).
+      const double cost_frac = catalog_[t].cost_keur / c.cost_budget_keur;
+      const double power_frac = catalog_[t].power / c.power_limit;
+      const double carbon_frac = catalog_[t].embodied / c.embodied_budget;
+      const double node_frac = 1.0 / static_cast<double>(c.max_nodes);
+      const double consumption = std::max({cost_frac, power_frac, carbon_frac, node_frac});
+      const double density = catalog_[t].perf_tflops / std::max(consumption, 1e-18);
+      if (density > best_density) {
+        best_density = density;
+        best_type = t;
+      }
+    }
+    if (best_density > 0.0) {
+      ++plan.counts[best_type];
+      progress = true;
+    }
+  }
+
+  // Exchange refinement: swap k units of one type for units of another if
+  // feasible and strictly better. Steepest ascent until fixpoint.
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    double best_gain = 1e-9;
+    ProcurementPlan best_plan = plan;
+    for (std::size_t from = 0; from < types; ++from) {
+      if (plan.counts[from] == 0) continue;
+      for (std::size_t to = 0; to < types; ++to) {
+        if (to == from) continue;
+        for (int take = 1; take <= std::min(plan.counts[from], 8); take *= 2) {
+          ProcurementPlan cand = plan;
+          cand.counts[from] -= take;
+          // Add as many `to` nodes as now fit.
+          while (can_add(cand, to, c)) ++cand.counts[to];
+          const double gain =
+              cand.perf_tflops(catalog_) - plan.perf_tflops(catalog_);
+          if (gain > best_gain && cand.feasible(catalog_, c)) {
+            best_gain = gain;
+            best_plan = cand;
+          }
+        }
+      }
+    }
+    if (best_gain > 1e-9) {
+      plan = best_plan;
+      improved = true;
+    }
+  }
+  return plan;
+}
+
+ProcurementPlan ProcurementOptimizer::optimize_exhaustive(const ProcurementConstraints& c,
+                                                          int max_count_per_type) const {
+  GREENHPC_REQUIRE(max_count_per_type >= 0, "max count must be >= 0");
+  const std::size_t types = catalog_.size();
+  GREENHPC_REQUIRE(std::pow(static_cast<double>(max_count_per_type + 1),
+                            static_cast<double>(types)) < 2e7,
+                   "exhaustive search space too large");
+  ProcurementPlan best;
+  best.counts.assign(types, 0);
+  double best_perf = -1.0;
+  ProcurementPlan cur;
+  cur.counts.assign(types, 0);
+  // Odometer enumeration.
+  for (;;) {
+    if (cur.feasible(catalog_, c)) {
+      const double perf = cur.perf_tflops(catalog_);
+      if (perf > best_perf) {
+        best_perf = perf;
+        best = cur;
+      }
+    }
+    std::size_t pos = 0;
+    while (pos < types) {
+      if (cur.counts[pos] < max_count_per_type) {
+        ++cur.counts[pos];
+        break;
+      }
+      cur.counts[pos] = 0;
+      ++pos;
+    }
+    if (pos == types) break;
+  }
+  return best;
+}
+
+}  // namespace greenhpc::procure

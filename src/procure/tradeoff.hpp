@@ -1,0 +1,55 @@
+#pragma once
+// Embodied vs operational carbon budget trade-off (paper section 2.2):
+// "If this embodied carbon budget is not fully used, the remaining part
+// can be shifted to the operational carbon budget in order to boost the
+// system performance by raising the system power limit for a certain
+// amount of time. Trading-off the embodied and operational carbon budgets
+// under a total carbon footprint budget will be another optimization
+// opportunity for system designs."
+//
+// Given a total lifetime carbon budget, a split fraction x assigns
+// x * budget to manufacturing and (1-x) * budget to operation. The
+// operational share fixes the sustainable average power (via the grid
+// intensity), which derates the procured system's delivered performance
+// through the standard power-performance elasticity. Sweeping x exposes
+// the interior optimum the paper predicts.
+
+#include <vector>
+
+#include "procure/optimizer.hpp"
+#include "util/units.hpp"
+
+namespace greenhpc::procure {
+
+struct TradeoffConfig {
+  Carbon total_budget = tonnes_co2(20000.0);  ///< lifetime carbon budget
+  Duration lifetime = days(365.0 * 6.0);
+  CarbonIntensity grid = grams_per_kwh(300.0);
+  /// Cost/power/node envelopes that apply regardless of the carbon split.
+  ProcurementConstraints base;
+  /// Delivered performance = perf * u^elasticity with
+  /// u = min(1, P_operational / P_system).
+  double power_elasticity = 0.7;
+};
+
+struct TradeoffPoint {
+  double embodied_fraction = 0.0;  ///< x
+  ProcurementPlan plan;
+  Power sustainable_power;         ///< operational-budget-implied power
+  double procured_pflops = 0.0;    ///< nameplate performance of the plan
+  double delivered_pflops = 0.0;   ///< after power derating
+};
+
+/// Evaluate one split point.
+[[nodiscard]] TradeoffPoint evaluate_split(const ProcurementOptimizer& optimizer,
+                                           const TradeoffConfig& config,
+                                           double embodied_fraction);
+
+/// Sweep x over (0, 1) in `steps` steps (parallelized).
+[[nodiscard]] std::vector<TradeoffPoint> sweep_budget_split(
+    const ProcurementOptimizer& optimizer, const TradeoffConfig& config, int steps = 19);
+
+/// The sweep point with the highest delivered performance.
+[[nodiscard]] const TradeoffPoint& best_split(const std::vector<TradeoffPoint>& sweep);
+
+}  // namespace greenhpc::procure

@@ -1,0 +1,83 @@
+#include "sched/carbon_aware.hpp"
+
+#include <algorithm>
+
+#include "sched/easy_backfill.hpp"
+#include "sched/fcfs.hpp"
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace greenhpc::sched {
+
+CarbonAwareEasyScheduler::CarbonAwareEasyScheduler(
+    Config config, std::shared_ptr<const carbon::Forecaster> forecaster)
+    : cfg_(config), forecaster_(std::move(forecaster)) {
+  GREENHPC_REQUIRE(forecaster_ != nullptr, "carbon-aware scheduler needs a forecaster");
+  GREENHPC_REQUIRE(cfg_.green_quantile > 0.0 && cfg_.green_quantile < 1.0,
+                   "green quantile must be in (0,1)");
+  GREENHPC_REQUIRE(cfg_.improvement_factor > 0.0 && cfg_.improvement_factor <= 1.0,
+                   "improvement factor must be in (0,1]");
+}
+
+double CarbonAwareEasyScheduler::current_threshold(
+    const hpcsim::SimulationView& view) const {
+  const auto& history = view.intensity_history();
+  if (history.empty()) return view.carbon_intensity_now();
+  const auto window_ticks = static_cast<std::size_t>(
+      cfg_.history_window.seconds() / view.cluster().tick.seconds());
+  const std::size_t n = std::min(history.size(), std::max<std::size_t>(window_ticks, 1));
+  const std::span<const double> tail(history.data() + (history.size() - n), n);
+  return util::percentile(tail, cfg_.green_quantile);
+}
+
+bool CarbonAwareEasyScheduler::greener_period_ahead(
+    const hpcsim::SimulationView& view) const {
+  const auto& history = view.intensity_history();
+  if (history.size() < 2) return false;  // nothing to forecast from yet
+  const Duration tick = view.cluster().tick;
+  const util::TimeSeries hist(seconds(0.0), tick,
+                              std::vector<double>(history.begin(), history.end()));
+  const Duration now = hist.end();
+  const double target = view.carbon_intensity_now() * cfg_.improvement_factor;
+  for (Duration h = hours(1.0); h <= cfg_.lookahead; h += hours(1.0)) {
+    if (forecaster_->forecast(hist, now, h) <= target) return true;
+  }
+  return false;
+}
+
+void CarbonAwareEasyScheduler::on_tick(hpcsim::SimulationView& view) {
+  const std::vector<hpcsim::JobId> pending = view.pending_jobs();
+  if (pending.empty()) return;
+
+  const double threshold = current_threshold(view);
+  const bool green_now = view.carbon_intensity_now() <= threshold;
+
+  // Queue-pressure guard: holding jobs while the backlog is deep only
+  // trades wait time for no carbon benefit (the machine will be full
+  // either way), so the gate opens under pressure.
+  double backlog_nodes = 0.0;
+  for (hpcsim::JobId id : pending) {
+    backlog_nodes += static_cast<double>(start_nodes(view.spec(id)));
+  }
+  const bool pressured =
+      backlog_nodes >
+      cfg_.backlog_pressure_limit * static_cast<double>(view.cluster().nodes);
+
+  bool hold_allowed = !green_now && !pressured;
+  if (hold_allowed) {
+    // Only hold if the forecast actually promises a greener window.
+    hold_allowed = greener_period_ahead(view);
+  }
+
+  std::vector<hpcsim::JobId> eligible;
+  eligible.reserve(pending.size());
+  for (hpcsim::JobId id : pending) {
+    const Duration waited = view.now() - view.spec(id).submit;
+    const bool over_budget = waited >= cfg_.max_hold;
+    if (hold_allowed && !over_budget) continue;  // hold for a green period
+    eligible.push_back(id);
+  }
+  if (!eligible.empty()) easy_pass(view, eligible);
+}
+
+}  // namespace greenhpc::sched

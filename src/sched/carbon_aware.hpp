@@ -1,0 +1,56 @@
+#pragma once
+// Carbon-aware scheduling (paper section 3.3): "intelligent carbon-aware
+// scheduling plugins ... combined with forecasting techniques that
+// leverage historical carbon intensity data ... can intelligently
+// backfill submitted jobs with suitable execution times during green
+// periods."
+//
+// CarbonAwareEasyScheduler layers a green gate over the EASY pass:
+// during high-carbon periods, jobs whose wait budget still has slack and
+// for which the forecaster predicts a greener window within the lookahead
+// are held back; everything else is scheduled with plain EASY. Bounded
+// holding preserves worst-case wait behaviour.
+
+#include <memory>
+
+#include "carbon/forecast.hpp"
+#include "hpcsim/policy.hpp"
+
+namespace greenhpc::sched {
+
+class CarbonAwareEasyScheduler final : public hpcsim::SchedulingPolicy {
+ public:
+  struct Config {
+    /// A tick is green when the intensity is at or below this quantile of
+    /// the trailing history window.
+    double green_quantile = 0.40;
+    /// History window used for the quantile.
+    Duration history_window = days(3.0);
+    /// How far ahead the forecaster is consulted for a greener period.
+    Duration lookahead = hours(12.0);
+    /// Predicted improvement (relative to now) required to keep holding.
+    double improvement_factor = 0.90;
+    /// Hard bound on added wait per job; beyond this the gate opens.
+    Duration max_hold = hours(12.0);
+    /// Holding is skipped while the pending queue exceeds this backlog
+    /// (expressed as a fraction of cluster nodes worth of requests).
+    double backlog_pressure_limit = 2.0;
+  };
+
+  /// The forecaster must outlive the scheduler.
+  CarbonAwareEasyScheduler(Config config, std::shared_ptr<const carbon::Forecaster> forecaster);
+
+  void on_tick(hpcsim::SimulationView& view) override;
+  [[nodiscard]] std::string name() const override { return "carbon-easy"; }
+
+  /// Green threshold currently in force (for tests and reporting).
+  [[nodiscard]] double current_threshold(const hpcsim::SimulationView& view) const;
+
+ private:
+  [[nodiscard]] bool greener_period_ahead(const hpcsim::SimulationView& view) const;
+
+  Config cfg_;
+  std::shared_ptr<const carbon::Forecaster> forecaster_;
+};
+
+}  // namespace greenhpc::sched

@@ -1,0 +1,77 @@
+#pragma once
+// Composable scheduling decorators.
+//
+// CheckpointDecorator implements the paper's section 3.3 proposal of
+// "carbon-aware checkpoint and restore strategies [that] can suspend the
+// execution of the job during high carbon periods and resume execution
+// when the intensity is low".
+//
+// MalleableDecorator implements section 3.2: under a shrinking power
+// budget, reducing the node count of malleable jobs is preferable to
+// capping every node (capped nodes waste their static power), and under
+// headroom malleable jobs expand into free nodes.
+
+#include <memory>
+#include <unordered_map>
+
+#include "hpcsim/policy.hpp"
+
+namespace greenhpc::sched {
+
+/// Suspends checkpointable jobs in dirty periods, resumes them in green
+/// ones. Wraps an inner scheduler that handles normal starts.
+class CheckpointDecorator final : public hpcsim::SchedulingPolicy {
+ public:
+  struct Config {
+    /// Suspend when intensity rises above this quantile of trailing
+    /// history; resume below `resume_quantile`. Hysteresis avoids thrash.
+    double suspend_quantile = 0.80;
+    double resume_quantile = 0.50;
+    Duration history_window = days(3.0);
+    /// Jobs are only suspended if their remaining runtime exceeds this
+    /// (suspending nearly-done work wastes the checkpoint overhead).
+    Duration min_remaining = hours(1.0);
+    /// Upper bound on simultaneously suspended node capacity, as a
+    /// fraction of the cluster.
+    double max_suspended_fraction = 0.5;
+    /// Minimal dwell time between suspend and resume of the same job.
+    Duration min_dwell = minutes(30.0);
+  };
+
+  CheckpointDecorator(Config config, std::unique_ptr<hpcsim::SchedulingPolicy> inner);
+
+  void on_tick(hpcsim::SimulationView& view) override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  [[nodiscard]] double quantile_threshold(const hpcsim::SimulationView& view,
+                                          double quantile) const;
+
+  Config cfg_;
+  std::unique_ptr<hpcsim::SchedulingPolicy> inner_;
+  std::unordered_map<hpcsim::JobId, Duration> suspended_at_;
+};
+
+/// Grows/shrinks malleable jobs so the system tracks its power budget with
+/// node counts instead of deep power caps.
+class MalleableDecorator final : public hpcsim::SchedulingPolicy {
+ public:
+  struct Config {
+    /// Target draw as a fraction of the budget (a little slack avoids
+    /// oscillation against the uniform-cap fallback).
+    double target_utilization = 0.98;
+    /// Largest allocation change per job per tick (nodes).
+    int max_step = 8;
+  };
+
+  MalleableDecorator(Config config, std::unique_ptr<hpcsim::SchedulingPolicy> inner);
+
+  void on_tick(hpcsim::SimulationView& view) override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  Config cfg_;
+  std::unique_ptr<hpcsim::SchedulingPolicy> inner_;
+};
+
+}  // namespace greenhpc::sched

@@ -1,0 +1,110 @@
+#include "sched/easy_backfill.hpp"
+
+#include <algorithm>
+
+#include "sched/fcfs.hpp"
+
+namespace greenhpc::sched {
+
+std::vector<ReleaseEvent> projected_releases(const hpcsim::SimulationView& view) {
+  std::vector<ReleaseEvent> releases;
+  const Duration now = view.now();
+  for (hpcsim::JobId id : view.running_jobs()) {
+    const auto& spec = view.spec(id);
+    const auto& info = view.info(id);
+    Duration end = info.start + spec.walltime;
+    if (end <= now) end = now + view.cluster().tick;  // overran its estimate
+    releases.push_back({end, info.alloc_nodes});
+  }
+  std::sort(releases.begin(), releases.end(),
+            [](const ReleaseEvent& a, const ReleaseEvent& b) { return a.time < b.time; });
+  return releases;
+}
+
+Reservation compute_reservation(Duration now, int free, int needed,
+                                const std::vector<ReleaseEvent>& releases) {
+  Reservation r{now, 0};
+  int avail = free;
+  if (avail >= needed) {
+    r.shadow = now;
+    r.spare = avail - needed;
+    return r;
+  }
+  for (const auto& ev : releases) {
+    avail += ev.nodes;
+    if (avail >= needed) {
+      r.shadow = ev.time;
+      r.spare = avail - needed;
+      return r;
+    }
+  }
+  // Should not happen if the job fits the machine; treat as far future.
+  r.shadow = now + days(3650.0);
+  r.spare = 0;
+  return r;
+}
+
+int shrink_to_fit_nodes(const hpcsim::JobSpec& spec, int available) {
+  const int natural = std::clamp(spec.nodes_used, spec.min_nodes, spec.max_nodes);
+  if (natural <= available) return natural;
+  if (spec.kind != hpcsim::JobKind::Moldable) return 0;
+  if (available >= spec.min_nodes) return std::min(available, natural);
+  return 0;
+}
+
+int easy_pass(hpcsim::SimulationView& view, const std::vector<hpcsim::JobId>& queue,
+              bool shrink_moldable) {
+  int started = 0;
+  std::size_t head = 0;
+  // Phase 1: start in order while possible.
+  while (head < queue.size()) {
+    const hpcsim::JobId id = queue[head];
+    const auto& spec = view.spec(id);
+    int nodes = start_nodes(spec);
+    if (shrink_moldable) {
+      const int fitted = shrink_to_fit_nodes(spec, view.free_nodes());
+      if (fitted > 0) nodes = fitted;
+    }
+    if (view.start(id, nodes)) {
+      ++started;
+      ++head;
+    } else {
+      break;
+    }
+  }
+  if (head >= queue.size()) return started;
+
+  // Phase 2: reservation for the blocked head.
+  const hpcsim::JobId blocked = queue[head];
+  const int needed = start_nodes(view.spec(blocked));
+  const auto releases = projected_releases(view);
+  Reservation res = compute_reservation(view.now(), view.free_nodes(), needed, releases);
+
+  // Phase 3: backfill the remaining queue against the reservation.
+  int spare = res.spare;
+  for (std::size_t i = head + 1; i < queue.size(); ++i) {
+    const hpcsim::JobId id = queue[i];
+    const auto& spec = view.spec(id);
+    int nodes = start_nodes(spec);
+    if (shrink_moldable && nodes > view.free_nodes()) {
+      const int fitted = shrink_to_fit_nodes(spec, view.free_nodes());
+      if (fitted > 0) nodes = fitted;
+    }
+    if (nodes > view.free_nodes()) continue;
+    const bool ends_before_shadow = view.now() + spec.walltime <= res.shadow;
+    const bool fits_in_spare = nodes <= spare;
+    if (!ends_before_shadow && !fits_in_spare) continue;
+    if (view.start(id, nodes)) {
+      ++started;
+      if (!ends_before_shadow) spare -= nodes;
+    }
+  }
+  return started;
+}
+
+void EasyBackfillScheduler::on_tick(hpcsim::SimulationView& view) {
+  const std::vector<hpcsim::JobId> queue = view.pending_jobs();
+  if (!queue.empty()) easy_pass(view, queue, shrink_moldable_);
+}
+
+}  // namespace greenhpc::sched

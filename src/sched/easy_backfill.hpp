@@ -1,0 +1,68 @@
+#pragma once
+// EASY backfilling (Lifka '95) — the standard production scheduling
+// baseline in Slurm-class RJMS software, and the base algorithm the
+// paper's section 3.3 proposes to make carbon-aware.
+//
+// Head-of-queue jobs start in order while they fit. When the head does not
+// fit, it receives a reservation at the earliest time enough nodes are
+// projected free (using walltime-based completion estimates), and later
+// queued jobs may start immediately iff they cannot delay that
+// reservation — either they finish before the reservation (by their own
+// walltime) or they use only nodes the reservation does not need.
+
+#include <vector>
+
+#include "hpcsim/policy.hpp"
+
+namespace greenhpc::sched {
+
+/// Projected node-availability timeline entry.
+struct ReleaseEvent {
+  Duration time;
+  int nodes = 0;
+};
+
+/// Walltime-based release schedule of the currently running jobs,
+/// ascending in time. Jobs past their walltime are projected to release
+/// one tick from now.
+[[nodiscard]] std::vector<ReleaseEvent> projected_releases(
+    const hpcsim::SimulationView& view);
+
+/// Shadow time and spare nodes of the EASY reservation for a job needing
+/// `needed` nodes given `free` nodes now and the release schedule.
+struct Reservation {
+  Duration shadow;   ///< earliest projected start of the reserved job
+  int spare = 0;     ///< nodes free at shadow beyond the reservation's need
+};
+[[nodiscard]] Reservation compute_reservation(Duration now, int free, int needed,
+                                              const std::vector<ReleaseEvent>& releases);
+
+class EasyBackfillScheduler final : public hpcsim::SchedulingPolicy {
+ public:
+  /// With `shrink_moldable`, moldable jobs that do not fit at their
+  /// natural size are started shrunk-to-fit (within [min_nodes, natural])
+  /// instead of waiting — the section-3.2 moldability benefit.
+  explicit EasyBackfillScheduler(bool shrink_moldable = false)
+      : shrink_moldable_(shrink_moldable) {}
+  void on_tick(hpcsim::SimulationView& view) override;
+  [[nodiscard]] std::string name() const override {
+    return shrink_moldable_ ? "easy-backfill+mold" : "easy-backfill";
+  }
+
+ private:
+  bool shrink_moldable_;
+};
+
+/// Node count for starting `spec` when `available` nodes are free and
+/// moldable shrinking is allowed: the natural size if it fits, otherwise
+/// the largest feasible size within the moldable range (0 = cannot start).
+[[nodiscard]] int shrink_to_fit_nodes(const hpcsim::JobSpec& spec, int available);
+
+/// The shared EASY pass over an explicitly ordered candidate list: starts
+/// what fits, reserves for the first blocked candidate, backfills the
+/// rest. Returns the number of jobs started. Used by both the plain and
+/// the carbon-aware schedulers.
+int easy_pass(hpcsim::SimulationView& view, const std::vector<hpcsim::JobId>& queue,
+              bool shrink_moldable = false);
+
+}  // namespace greenhpc::sched

@@ -1,0 +1,18 @@
+#include "sched/fcfs.hpp"
+
+#include <algorithm>
+
+namespace greenhpc::sched {
+
+int start_nodes(const hpcsim::JobSpec& spec) {
+  if (spec.kind == hpcsim::JobKind::Rigid) return spec.nodes_requested;
+  return std::clamp(spec.nodes_used, spec.min_nodes, spec.max_nodes);
+}
+
+void FcfsScheduler::on_tick(hpcsim::SimulationView& view) {
+  for (hpcsim::JobId id : view.pending_jobs()) {
+    if (!view.start(id, start_nodes(view.spec(id)))) break;  // strict order
+  }
+}
+
+}  // namespace greenhpc::sched

@@ -1,0 +1,20 @@
+#pragma once
+// First-come-first-served scheduling — the simplest RJMS baseline: start
+// pending jobs strictly in submission order; block on the first job that
+// does not fit.
+
+#include "hpcsim/policy.hpp"
+
+namespace greenhpc::sched {
+
+/// Node count a job is started with: the requested count for rigid jobs,
+/// the natural size (clamped into the malleable range) otherwise.
+[[nodiscard]] int start_nodes(const hpcsim::JobSpec& spec);
+
+class FcfsScheduler final : public hpcsim::SchedulingPolicy {
+ public:
+  void on_tick(hpcsim::SimulationView& view) override;
+  [[nodiscard]] std::string name() const override { return "fcfs"; }
+};
+
+}  // namespace greenhpc::sched

@@ -1,0 +1,136 @@
+#include "telemetry/sensor_store.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace greenhpc::telemetry {
+
+namespace {
+constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+}
+
+Sensor::Sensor(std::string name) : name_(std::move(name)) {
+  GREENHPC_REQUIRE(!name_.empty(), "sensor name must not be empty");
+}
+
+void Sensor::record(Duration time, double value) {
+  GREENHPC_REQUIRE(samples_.empty() || time >= samples_.back().time,
+                   "sensor samples must be recorded in time order");
+  // Coalesce same-timestamp updates: the latest write wins.
+  if (!samples_.empty() && samples_.back().time == time) {
+    samples_.back().value = value;
+    return;
+  }
+  samples_.push_back({time, value});
+}
+
+std::size_t Sensor::index_at_or_before(Duration t) const {
+  const auto it = std::upper_bound(
+      samples_.begin(), samples_.end(), t,
+      [](Duration lhs, const Sample& s) { return lhs < s.time; });
+  if (it == samples_.begin()) return kNpos;
+  return static_cast<std::size_t>(std::distance(samples_.begin(), it)) - 1;
+}
+
+std::optional<double> Sensor::value_at(Duration t) const {
+  const std::size_t i = index_at_or_before(t);
+  if (i == kNpos) return std::nullopt;
+  return samples_[i].value;
+}
+
+double Sensor::integrate(Duration t0, Duration t1) const {
+  GREENHPC_REQUIRE(t0 <= t1, "integration bounds inverted");
+  if (samples_.empty() || t0 == t1) return 0.0;
+  double total = 0.0;
+  std::size_t i = index_at_or_before(t0);
+  Duration cursor = t0;
+  if (i == kNpos) {
+    // Nothing recorded yet at t0: skip forward to the first sample.
+    cursor = std::min(t1, samples_.front().time);
+    i = 0;
+    if (cursor == t1) return 0.0;
+  }
+  while (cursor < t1) {
+    const Duration next =
+        (i + 1 < samples_.size()) ? std::min(t1, samples_[i + 1].time) : t1;
+    total += samples_[i].value * (next - cursor).seconds();
+    cursor = next;
+    ++i;
+    if (i >= samples_.size()) break;
+    if (cursor < samples_[i].time) {  // only when we started before sample i
+      cursor = std::min(t1, samples_[i].time);
+    }
+  }
+  return total;
+}
+
+double Sensor::integrate_weighted(const Sensor& weight, Duration t0, Duration t1) const {
+  GREENHPC_REQUIRE(t0 <= t1, "integration bounds inverted");
+  if (samples_.empty() || weight.samples_.empty() || t0 == t1) return 0.0;
+  // Merge both breakpoint sets inside [t0, t1].
+  std::vector<Duration> cuts;
+  cuts.push_back(t0);
+  for (const auto& s : samples_) {
+    if (s.time > t0 && s.time < t1) cuts.push_back(s.time);
+  }
+  for (const auto& s : weight.samples_) {
+    if (s.time > t0 && s.time < t1) cuts.push_back(s.time);
+  }
+  cuts.push_back(t1);
+  std::sort(cuts.begin(), cuts.end());
+  double total = 0.0;
+  for (std::size_t k = 0; k + 1 < cuts.size(); ++k) {
+    const Duration a = cuts[k];
+    const Duration b = cuts[k + 1];
+    if (b <= a) continue;
+    const auto va = value_at(a);
+    const auto wa = weight.value_at(a);
+    if (!va || !wa) continue;
+    total += *va * *wa * (b - a).seconds();
+  }
+  return total;
+}
+
+Sensor& SensorStore::sensor(const std::string& name) {
+  auto it = sensors_.find(name);
+  if (it == sensors_.end()) {
+    it = sensors_.emplace(name, Sensor(name)).first;
+  }
+  return it->second;
+}
+
+const Sensor* SensorStore::find(const std::string& name) const {
+  const auto it = sensors_.find(name);
+  return it == sensors_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> SensorStore::names() const {
+  std::vector<std::string> out;
+  out.reserve(sensors_.size());
+  for (const auto& [name, _] : sensors_) out.push_back(name);
+  return out;
+}
+
+void SensorStore::record(const std::string& name, Duration time, double value) {
+  sensor(name).record(time, value);
+}
+
+Energy SensorStore::energy(const std::string& power_sensor, Duration t0, Duration t1) const {
+  const Sensor* s = find(power_sensor);
+  GREENHPC_REQUIRE(s != nullptr, "unknown power sensor: " + power_sensor);
+  return joules(s->integrate(t0, t1));
+}
+
+Carbon SensorStore::carbon(const std::string& power_sensor,
+                           const std::string& intensity_sensor, Duration t0,
+                           Duration t1) const {
+  const Sensor* p = find(power_sensor);
+  const Sensor* ci = find(intensity_sensor);
+  GREENHPC_REQUIRE(p != nullptr, "unknown power sensor: " + power_sensor);
+  GREENHPC_REQUIRE(ci != nullptr, "unknown intensity sensor: " + intensity_sensor);
+  // watts * (g/kWh) * s -> grams: divide by J-per-kWh.
+  return grams_co2(p->integrate_weighted(*ci, t0, t1) / 3.6e6);
+}
+
+}  // namespace greenhpc::telemetry

@@ -1,0 +1,37 @@
+#include "util/csv.hpp"
+
+#include <charconv>
+#include <cstdio>
+
+namespace greenhpc::util {
+
+std::string CsvWriter::escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string quoted = "\"";
+  for (char ch : cell) {
+    if (ch == '"') quoted += '"';
+    quoted += ch;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) *out_ << ',';
+    *out_ << escape(cells[i]);
+  }
+  *out_ << '\n';
+}
+
+void CsvWriter::write_row(const std::string& label, const std::vector<double>& cells) {
+  *out_ << escape(label);
+  char buf[64];
+  for (double v : cells) {
+    std::snprintf(buf, sizeof buf, "%.10g", v);
+    *out_ << ',' << buf;
+  }
+  *out_ << '\n';
+}
+
+}  // namespace greenhpc::util

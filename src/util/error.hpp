@@ -1,0 +1,49 @@
+#pragma once
+// Error handling primitives shared by all greenhpc modules.
+//
+// Library-level precondition violations throw greenhpc::InvalidArgument;
+// internal invariant breaches throw greenhpc::LogicError. Both derive from
+// std::exception so callers can catch at whatever granularity they prefer.
+
+#include <stdexcept>
+#include <string>
+
+namespace greenhpc {
+
+/// Thrown when a caller passes arguments that violate a documented
+/// precondition of a public API (e.g. negative power, empty trace).
+class InvalidArgument : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown when an internal invariant is violated; indicates a library bug.
+class LogicError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] inline void throw_invalid(const char* expr, const std::string& msg) {
+  throw InvalidArgument(std::string("greenhpc: precondition failed: ") + expr +
+                        (msg.empty() ? "" : (": " + msg)));
+}
+[[noreturn]] inline void throw_logic(const char* expr, const std::string& msg) {
+  throw LogicError(std::string("greenhpc: invariant violated: ") + expr +
+                   (msg.empty() ? "" : (": " + msg)));
+}
+}  // namespace detail
+
+}  // namespace greenhpc
+
+/// Validate a documented precondition of a public API; throws InvalidArgument.
+#define GREENHPC_REQUIRE(expr, msg)                          \
+  do {                                                       \
+    if (!(expr)) ::greenhpc::detail::throw_invalid(#expr, (msg)); \
+  } while (0)
+
+/// Validate an internal invariant; throws LogicError on failure.
+#define GREENHPC_ASSERT(expr, msg)                           \
+  do {                                                       \
+    if (!(expr)) ::greenhpc::detail::throw_logic(#expr, (msg)); \
+  } while (0)

@@ -1,0 +1,108 @@
+#include "util/parallel.hpp"
+
+#include <algorithm>
+
+namespace greenhpc::util {
+
+namespace {
+thread_local bool inside_parallel_region = false;
+}
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::run_chunk(Task& task) {
+  // Dynamic self-scheduling over a shared atomic counter; chunk size 1 is
+  // fine because individual iterations (a whole simulation or DSE point)
+  // are orders of magnitude more expensive than the fetch_add.
+  for (;;) {
+    const std::size_t i = task.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= task.n) break;
+    try {
+      (*task.body)(i);
+    } catch (...) {
+      std::lock_guard lock(task.error_mutex);
+      if (!task.error) task.error = std::current_exception();
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  inside_parallel_region = true;  // bodies running on workers must not re-enter
+  std::size_t seen_generation = 0;
+  for (;;) {
+    Task* task = nullptr;
+    {
+      std::unique_lock lock(mutex_);
+      work_cv_.wait(lock, [&] {
+        return stop_ || (current_ != nullptr && generation_ != seen_generation);
+      });
+      if (stop_) return;
+      seen_generation = generation_;
+      task = current_;
+    }
+    run_chunk(*task);
+    if (task->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard lock(mutex_);
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  // Nested calls (from a worker or from a body that itself fans out) run
+  // serially: the pool has a single task slot, and the outer level already
+  // saturates the hardware.
+  if (inside_parallel_region) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  inside_parallel_region = true;
+  struct Reset {
+    ~Reset() { inside_parallel_region = false; }
+  } reset;
+  Task task;
+  task.body = &body;
+  task.n = n;
+  task.remaining.store(workers_.size(), std::memory_order_relaxed);
+  {
+    std::lock_guard lock(mutex_);
+    current_ = &task;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  {
+    std::unique_lock lock(mutex_);
+    done_cv_.wait(lock, [&] { return task.remaining.load(std::memory_order_acquire) == 0; });
+    current_ = nullptr;
+  }
+  if (task.error) std::rethrow_exception(task.error);
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body) {
+  ThreadPool::global().parallel_for(n, body);
+}
+
+}  // namespace greenhpc::util

@@ -1,0 +1,67 @@
+#pragma once
+// Shared-memory parallelism for parameter sweeps.
+//
+// The discrete-event simulator itself is deterministic and single-threaded;
+// parallelism in greenhpc lives one level up — design-space exploration,
+// multi-seed replicas and calibration sweeps all fan out over independent
+// work items. ThreadPool provides a work-stealing-free but contention-light
+// static-chunked parallel_for, which is the right shape for these uniform
+// workloads (cf. OpenMP's static schedule).
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace greenhpc::util {
+
+class ThreadPool {
+ public:
+  /// Pool with `threads` workers; 0 means std::thread::hardware_concurrency
+  /// (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  /// Run body(i) for each i in [0, n). Blocks until all iterations finish.
+  /// Iterations must be independent; exceptions thrown by the body are
+  /// captured and the first one is rethrown on the calling thread.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+  /// Process-wide default pool (lazily constructed, hardware concurrency).
+  static ThreadPool& global();
+
+ private:
+  struct Task {
+    const std::function<void(std::size_t)>* body = nullptr;
+    std::atomic<std::size_t> next{0};
+    std::size_t n = 0;
+    std::atomic<std::size_t> remaining{0};
+    std::exception_ptr error;
+    std::mutex error_mutex;
+  };
+
+  void worker_loop();
+  static void run_chunk(Task& task);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  Task* current_ = nullptr;
+  std::size_t generation_ = 0;
+  bool stop_ = false;
+};
+
+/// Convenience wrapper over ThreadPool::global().parallel_for.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+}  // namespace greenhpc::util

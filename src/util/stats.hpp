@@ -1,0 +1,80 @@
+#pragma once
+// Descriptive statistics used by calibration, experiments and tests.
+
+#include <cstddef>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace greenhpc::util {
+
+/// Numerically stable streaming mean/variance/extrema (Welford's algorithm).
+class RunningStats {
+ public:
+  /// Fold one observation into the accumulator.
+  void add(double x);
+  /// Number of observations folded so far.
+  [[nodiscard]] std::size_t count() const { return n_; }
+  /// Arithmetic mean; 0 when empty.
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  /// Population variance; 0 with fewer than two observations.
+  [[nodiscard]] double variance() const;
+  /// Sample variance (n-1 denominator); 0 with fewer than two observations.
+  [[nodiscard]] double sample_variance() const;
+  /// Population standard deviation.
+  [[nodiscard]] double stddev() const;
+  /// Sample standard deviation.
+  [[nodiscard]] double sample_stddev() const;
+  /// Smallest observation; +inf when empty.
+  [[nodiscard]] double min() const { return min_; }
+  /// Largest observation; -inf when empty.
+  [[nodiscard]] double max() const { return max_; }
+  /// Sum of all observations.
+  [[nodiscard]] double sum() const { return sum_; }
+  /// Merge another accumulator (parallel reduction support).
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Five-number-plus summary of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< sample standard deviation
+  double min = 0.0;
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double p95 = 0.0;
+  double max = 0.0;
+};
+
+/// Compute a Summary of `xs`. Empty input yields a zeroed Summary.
+[[nodiscard]] Summary summarize(std::span<const double> xs);
+
+/// Linear-interpolated percentile, q in [0, 1]. Requires non-empty input.
+[[nodiscard]] double percentile(std::span<const double> xs, double q);
+
+/// Mean absolute percentage error of `forecast` against `actual`
+/// (matching lengths; entries where actual == 0 are skipped).
+[[nodiscard]] double mape(std::span<const double> actual, std::span<const double> forecast);
+
+/// Root mean squared error (matching, non-empty lengths).
+[[nodiscard]] double rmse(std::span<const double> actual, std::span<const double> forecast);
+
+/// Pearson correlation of two equal-length samples; 0 if either is constant.
+[[nodiscard]] double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/// Fixed-width histogram over [lo, hi] with `bins` buckets; values outside
+/// the range are clamped into the edge buckets.
+[[nodiscard]] std::vector<std::size_t> histogram(std::span<const double> xs, double lo,
+                                                 double hi, std::size_t bins);
+
+}  // namespace greenhpc::util

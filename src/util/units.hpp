@@ -1,0 +1,124 @@
+#pragma once
+// Physical units used throughout greenhpc.
+//
+// Carbon accounting mixes quantities whose confusion is a classic source of
+// silent bugs (kW vs kWh, gCO2 vs kgCO2 vs tCO2, gCO2/kWh). We therefore use
+// thin strong types with explicit conversions. Each type wraps a double in a
+// single canonical unit:
+//
+//   Power           -> watts (W)
+//   Energy          -> joules (J); kWh helpers provided
+//   Carbon          -> grams CO2-equivalent (gCO2e)
+//   CarbonIntensity -> gCO2e per kWh
+//   Duration        -> seconds (double; sub-second resolution unneeded)
+//
+// The types support the arithmetic that is physically meaningful and nothing
+// else: Power * Duration = Energy, Energy * CarbonIntensity = Carbon, etc.
+
+#include <cmath>
+#include <compare>
+
+namespace greenhpc {
+
+namespace detail {
+/// CRTP base providing the shared arithmetic of a scalar physical quantity.
+template <class Derived>
+struct ScalarUnit {
+  double v = 0.0;
+
+  constexpr ScalarUnit() = default;
+  constexpr explicit ScalarUnit(double value) : v(value) {}
+
+  [[nodiscard]] constexpr double value() const { return v; }
+
+  friend constexpr Derived operator+(Derived a, Derived b) { return Derived{a.v + b.v}; }
+  friend constexpr Derived operator-(Derived a, Derived b) { return Derived{a.v - b.v}; }
+  friend constexpr Derived operator*(Derived a, double s) { return Derived{a.v * s}; }
+  friend constexpr Derived operator*(double s, Derived a) { return Derived{a.v * s}; }
+  friend constexpr Derived operator/(Derived a, double s) { return Derived{a.v / s}; }
+  friend constexpr double operator/(Derived a, Derived b) { return a.v / b.v; }
+  friend constexpr auto operator<=>(Derived a, Derived b) { return a.v <=> b.v; }
+  friend constexpr bool operator==(Derived a, Derived b) { return a.v == b.v; }
+  constexpr Derived& operator+=(Derived o) { v += o.v; return static_cast<Derived&>(*this); }
+  constexpr Derived& operator-=(Derived o) { v -= o.v; return static_cast<Derived&>(*this); }
+  constexpr Derived& operator*=(double s) { v *= s; return static_cast<Derived&>(*this); }
+  constexpr Derived& operator/=(double s) { v /= s; return static_cast<Derived&>(*this); }
+};
+}  // namespace detail
+
+/// Duration in seconds. Double-valued: carbon simulations work at minute to
+/// hour granularity and benefit from fractional arithmetic in integrals.
+struct Duration : detail::ScalarUnit<Duration> {
+  using ScalarUnit::ScalarUnit;
+  [[nodiscard]] constexpr double seconds() const { return v; }
+  [[nodiscard]] constexpr double minutes() const { return v / 60.0; }
+  [[nodiscard]] constexpr double hours() const { return v / 3600.0; }
+  [[nodiscard]] constexpr double days() const { return v / 86400.0; }
+};
+[[nodiscard]] constexpr Duration seconds(double s) { return Duration{s}; }
+[[nodiscard]] constexpr Duration minutes(double m) { return Duration{m * 60.0}; }
+[[nodiscard]] constexpr Duration hours(double h) { return Duration{h * 3600.0}; }
+[[nodiscard]] constexpr Duration days(double d) { return Duration{d * 86400.0}; }
+
+/// Electric power in watts.
+struct Power : detail::ScalarUnit<Power> {
+  using ScalarUnit::ScalarUnit;
+  [[nodiscard]] constexpr double watts() const { return v; }
+  [[nodiscard]] constexpr double kilowatts() const { return v / 1e3; }
+  [[nodiscard]] constexpr double megawatts() const { return v / 1e6; }
+};
+[[nodiscard]] constexpr Power watts(double w) { return Power{w}; }
+[[nodiscard]] constexpr Power kilowatts(double kw) { return Power{kw * 1e3}; }
+[[nodiscard]] constexpr Power megawatts(double mw) { return Power{mw * 1e6}; }
+
+/// Energy in joules.
+struct Energy : detail::ScalarUnit<Energy> {
+  using ScalarUnit::ScalarUnit;
+  [[nodiscard]] constexpr double joules() const { return v; }
+  [[nodiscard]] constexpr double kilowatt_hours() const { return v / 3.6e6; }
+  [[nodiscard]] constexpr double megawatt_hours() const { return v / 3.6e9; }
+};
+[[nodiscard]] constexpr Energy joules(double j) { return Energy{j}; }
+[[nodiscard]] constexpr Energy kilowatt_hours(double kwh) { return Energy{kwh * 3.6e6}; }
+[[nodiscard]] constexpr Energy megawatt_hours(double mwh) { return Energy{mwh * 3.6e9}; }
+
+/// Mass of emitted CO2-equivalent, in grams.
+struct Carbon : detail::ScalarUnit<Carbon> {
+  using ScalarUnit::ScalarUnit;
+  [[nodiscard]] constexpr double grams() const { return v; }
+  [[nodiscard]] constexpr double kilograms() const { return v / 1e3; }
+  [[nodiscard]] constexpr double tonnes() const { return v / 1e6; }
+};
+[[nodiscard]] constexpr Carbon grams_co2(double g) { return Carbon{g}; }
+[[nodiscard]] constexpr Carbon kilograms_co2(double kg) { return Carbon{kg * 1e3}; }
+[[nodiscard]] constexpr Carbon tonnes_co2(double t) { return Carbon{t * 1e6}; }
+
+/// Grid carbon intensity in gCO2e per kWh of electricity consumed.
+struct CarbonIntensity : detail::ScalarUnit<CarbonIntensity> {
+  using ScalarUnit::ScalarUnit;
+  [[nodiscard]] constexpr double grams_per_kwh() const { return v; }
+};
+[[nodiscard]] constexpr CarbonIntensity grams_per_kwh(double g) { return CarbonIntensity{g}; }
+
+// --- physically meaningful cross-unit arithmetic ---
+
+/// Power sustained for a duration yields energy.
+[[nodiscard]] constexpr Energy operator*(Power p, Duration d) { return Energy{p.v * d.v}; }
+[[nodiscard]] constexpr Energy operator*(Duration d, Power p) { return p * d; }
+/// Energy over a duration yields average power.
+[[nodiscard]] constexpr Power operator/(Energy e, Duration d) { return Power{e.v / d.v}; }
+/// Energy consumed at a grid intensity yields emitted carbon.
+[[nodiscard]] constexpr Carbon operator*(Energy e, CarbonIntensity ci) {
+  return Carbon{e.kilowatt_hours() * ci.v};
+}
+[[nodiscard]] constexpr Carbon operator*(CarbonIntensity ci, Energy e) { return e * ci; }
+
+/// True if two quantities agree to within `rel` relative tolerance
+/// (or `abs_floor` absolutely, for values near zero).
+template <class U>
+[[nodiscard]] bool approx_equal(U a, U b, double rel = 1e-9, double abs_floor = 1e-12) {
+  const double d = std::fabs(a.value() - b.value());
+  return d <= abs_floor || d <= rel * std::fmax(std::fabs(a.value()), std::fabs(b.value()));
+}
+
+}  // namespace greenhpc

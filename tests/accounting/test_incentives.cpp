@@ -1,0 +1,131 @@
+#include "accounting/incentives.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hpcsim/simulator.hpp"
+#include "testing/helpers.hpp"
+#include "util/error.hpp"
+
+namespace greenhpc::accounting {
+namespace {
+
+using greenhpc::testing::constant_trace;
+using greenhpc::testing::GreedyScheduler;
+using greenhpc::testing::rigid_job;
+using greenhpc::testing::small_cluster;
+using greenhpc::testing::square_trace;
+
+hpcsim::SimulationResult run_workload(const util::TimeSeries& trace, int job_count = 40) {
+  std::vector<hpcsim::JobSpec> jobs;
+  for (int i = 0; i < job_count; ++i) {
+    jobs.push_back(rigid_job(i + 1, hours(0.5 * i), 2, hours(2.0)));
+  }
+  hpcsim::Simulator::Config cfg;
+  cfg.cluster = small_cluster(64);
+  cfg.carbon_intensity = trace;
+  hpcsim::Simulator sim(cfg, std::move(jobs));
+  GreedyScheduler sched;
+  return sim.run(sched);
+}
+
+TEST(Charge, GreenShareDiscounted) {
+  const auto trace = square_trace(100.0, 500.0, hours(6.0), days(2.0));
+  const auto result = run_workload(trace, 4);
+  PricingPolicy policy{.green_discount = 0.5, .green_quantile = 0.5};
+  // Job 1 starts at t=0 (green phase, runs 2h fully green).
+  const Charge ch = charge_job(result.jobs[0], trace, policy);
+  EXPECT_NEAR(ch.green_fraction, 1.0, 0.05);
+  EXPECT_NEAR(ch.node_hours_billed, ch.node_hours_raw * 0.5, 0.05 * ch.node_hours_raw);
+}
+
+TEST(Charge, DirtyShareFullPrice) {
+  const auto trace = square_trace(100.0, 500.0, hours(6.0), days(2.0));
+  const auto result = run_workload(trace, 16);
+  PricingPolicy policy{.green_discount = 0.5, .green_quantile = 0.5};
+  // Find a job running fully in the dirty phase (starts after t=6h).
+  bool found = false;
+  for (const auto& rec : result.jobs) {
+    if (!rec.completed) continue;
+    if (rec.start >= hours(6.0) && rec.finish <= hours(12.0)) {
+      const Charge ch = charge_job(rec, trace, policy);
+      EXPECT_NEAR(ch.green_fraction, 0.0, 0.05);
+      EXPECT_NEAR(ch.node_hours_billed, ch.node_hours_raw, 0.05 * ch.node_hours_raw);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Charge, RawNodeHoursUseRequestedNodes) {
+  const auto trace = constant_trace(200.0, days(2.0));
+  const auto result = run_workload(trace, 1);
+  const Charge ch = charge_job(result.jobs[0], trace, {});
+  EXPECT_NEAR(ch.node_hours_raw, 2.0 * 2.0, 0.1);  // 2 nodes x 2 h
+}
+
+TEST(Incentive, NoDiscountNoShift) {
+  const auto trace = square_trace(100.0, 500.0, hours(6.0), days(3.0));
+  const auto result = run_workload(trace);
+  IncentiveConfig cfg;
+  cfg.pricing.green_discount = 0.0;
+  const auto outcome = evaluate_incentive(result.jobs, trace, cfg, 7);
+  EXPECT_DOUBLE_EQ(outcome.shifted_job_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(outcome.baseline_carbon.grams(), outcome.incentivized_carbon.grams());
+}
+
+TEST(Incentive, DiscountDrivesCarbonDown) {
+  const auto trace = square_trace(100.0, 500.0, hours(6.0), days(3.0));
+  const auto result = run_workload(trace);
+  IncentiveConfig cfg;
+  cfg.pricing.green_discount = 0.4;
+  cfg.flexible_fraction = 0.6;
+  cfg.shift_elasticity = 2.0;
+  const auto outcome = evaluate_incentive(result.jobs, trace, cfg, 7);
+  EXPECT_GT(outcome.shifted_job_fraction, 0.2);
+  EXPECT_GT(outcome.carbon_reduction(), 0.05);
+  EXPECT_LT(outcome.incentivized_carbon.grams(), outcome.baseline_carbon.grams());
+}
+
+TEST(Incentive, LargerDiscountShiftsMoreButBillsLess) {
+  const auto trace = square_trace(100.0, 500.0, hours(6.0), days(3.0));
+  const auto result = run_workload(trace);
+  IncentiveConfig low;
+  low.pricing.green_discount = 0.1;
+  IncentiveConfig high;
+  high.pricing.green_discount = 0.5;
+  const auto o_low = evaluate_incentive(result.jobs, trace, low, 7);
+  const auto o_high = evaluate_incentive(result.jobs, trace, high, 7);
+  EXPECT_GE(o_high.shifted_job_fraction, o_low.shifted_job_fraction);
+  EXPECT_LT(o_high.billed_node_hour_factor, o_low.billed_node_hour_factor);
+  EXPECT_LE(o_high.incentivized_carbon.grams(), o_low.incentivized_carbon.grams());
+}
+
+TEST(Incentive, DeterministicBySeed) {
+  const auto trace = square_trace(100.0, 500.0, hours(6.0), days(3.0));
+  const auto result = run_workload(trace);
+  IncentiveConfig cfg;
+  cfg.pricing.green_discount = 0.3;
+  const auto a = evaluate_incentive(result.jobs, trace, cfg, 42);
+  const auto b = evaluate_incentive(result.jobs, trace, cfg, 42);
+  EXPECT_DOUBLE_EQ(a.incentivized_carbon.grams(), b.incentivized_carbon.grams());
+  EXPECT_DOUBLE_EQ(a.shifted_job_fraction, b.shifted_job_fraction);
+}
+
+TEST(Incentive, Preconditions) {
+  const auto trace = constant_trace(100.0, days(1.0));
+  IncentiveConfig bad;
+  bad.flexible_fraction = 2.0;
+  EXPECT_THROW((void)evaluate_incentive({}, trace, bad, 1), greenhpc::InvalidArgument);
+  hpcsim::JobRecord rec;
+  rec.spec = rigid_job(1, seconds(0.0), 2, hours(1.0));
+  rec.completed = false;
+  EXPECT_THROW((void)charge_job(rec, trace, {}), greenhpc::InvalidArgument);
+  PricingPolicy bad_policy{.green_discount = 1.5, .green_quantile = 0.25};
+  rec.completed = true;
+  rec.start = seconds(0.0);
+  rec.finish = hours(1.0);
+  EXPECT_THROW((void)charge_job(rec, trace, bad_policy), greenhpc::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace greenhpc::accounting

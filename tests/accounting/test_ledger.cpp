@@ -1,0 +1,130 @@
+#include "accounting/ledger.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hpcsim/simulator.hpp"
+#include "testing/helpers.hpp"
+#include "util/error.hpp"
+
+namespace greenhpc::accounting {
+namespace {
+
+using greenhpc::testing::constant_trace;
+using greenhpc::testing::GreedyScheduler;
+using greenhpc::testing::rigid_job;
+using greenhpc::testing::small_cluster;
+using greenhpc::testing::square_trace;
+
+hpcsim::SimulationResult run_project_jobs(const util::TimeSeries& trace, int jobs_count,
+                                          const std::string& project) {
+  std::vector<hpcsim::JobSpec> jobs;
+  for (int i = 0; i < jobs_count; ++i) {
+    auto j = rigid_job(i + 1, hours(0.5 * i), 2, hours(2.0));
+    j.project = project;
+    jobs.push_back(j);
+  }
+  hpcsim::Simulator::Config cfg;
+  cfg.cluster = small_cluster(32);
+  cfg.carbon_intensity = trace;
+  hpcsim::Simulator sim(cfg, std::move(jobs));
+  GreedyScheduler sched;
+  return sim.run(sched);
+}
+
+TEST(Ledger, ChargesJobsAgainstGrant) {
+  const auto trace = constant_trace(300.0, days(3.0));
+  const auto result = run_project_jobs(trace, 5, "climate");
+  ProjectLedger ledger(trace, PricingPolicy{.green_discount = 0.0});
+  ledger.grant("climate", 100.0);
+  ledger.charge_all(result.jobs);
+  const auto& account = ledger.account("climate");
+  EXPECT_EQ(account.jobs_charged, 5);
+  EXPECT_EQ(account.jobs_rejected, 0);
+  // 5 jobs x 2 nodes x 2h = 20 node-hours.
+  EXPECT_NEAR(account.node_hours_billed, 20.0, 0.5);
+  EXPECT_NEAR(account.node_hours_remaining(), 80.0, 0.5);
+  EXPECT_GT(account.carbon_used.grams(), 0.0);
+}
+
+TEST(Ledger, RejectsWhenExhausted) {
+  const auto trace = constant_trace(300.0, days(3.0));
+  const auto result = run_project_jobs(trace, 6, "climate");
+  ProjectLedger ledger(trace, PricingPolicy{.green_discount = 0.0});
+  ledger.grant("climate", 10.0);  // only ~2.5 jobs' worth
+  ledger.charge_all(result.jobs);
+  const auto& account = ledger.account("climate");
+  EXPECT_GT(account.jobs_charged, 0);
+  EXPECT_GT(account.jobs_rejected, 0);
+  EXPECT_EQ(account.jobs_charged + account.jobs_rejected, 6);
+}
+
+TEST(Ledger, GreenDiscountStretchesAllocation) {
+  // Jobs running fully in green windows are billed at a discount, so the
+  // same grant accepts more of them.
+  const auto trace = square_trace(100.0, 500.0, hours(12.0), days(4.0));
+  const auto result = run_project_jobs(trace, 10, "green");  // all < 12h: green phase
+  ProjectLedger full_price(trace, PricingPolicy{.green_discount = 0.0,
+                                                .green_quantile = 0.5});
+  full_price.grant("green", 20.0);
+  full_price.charge_all(result.jobs);
+  ProjectLedger discounted(trace, PricingPolicy{.green_discount = 0.5,
+                                                .green_quantile = 0.5});
+  discounted.grant("green", 20.0);
+  discounted.charge_all(result.jobs);
+  EXPECT_GT(discounted.account("green").jobs_charged,
+            full_price.account("green").jobs_charged);
+}
+
+TEST(Ledger, CarbonAllowanceCapsProjects) {
+  const auto trace = constant_trace(300.0, days(3.0));
+  const auto result = run_project_jobs(trace, 6, "capped");
+  ProjectLedger ledger(trace, PricingPolicy{});
+  // First job emits ~0.5 kg; allow only ~2 jobs' worth of carbon.
+  const Carbon per_job = result.jobs[0].carbon;
+  ledger.grant("capped", 1e6, per_job * 2.1);
+  ledger.charge_all(result.jobs);
+  const auto& account = ledger.account("capped");
+  EXPECT_LE(account.jobs_charged, 3);
+  EXPECT_GT(account.jobs_rejected, 0);
+}
+
+TEST(Ledger, StatementContainsKeyFigures) {
+  const auto trace = constant_trace(300.0, days(3.0));
+  const auto result = run_project_jobs(trace, 3, "fusion");
+  ProjectLedger ledger(trace, PricingPolicy{});
+  ledger.grant("fusion", 50.0, tonnes_co2(1.0));
+  ledger.charge_all(result.jobs);
+  const std::string st = ledger.statement("fusion");
+  EXPECT_NE(st.find("Project fusion"), std::string::npos);
+  EXPECT_NE(st.find("node-hours"), std::string::npos);
+  EXPECT_NE(st.find("kgCO2e"), std::string::npos);
+  EXPECT_NE(st.find("charged"), std::string::npos);
+}
+
+TEST(Ledger, AccountsSortedAndComplete) {
+  const auto trace = constant_trace(300.0, days(1.0));
+  ProjectLedger ledger(trace, PricingPolicy{});
+  ledger.grant("zeta", 10.0);
+  ledger.grant("alpha", 10.0);
+  const auto accounts = ledger.accounts();
+  ASSERT_EQ(accounts.size(), 2u);
+  EXPECT_EQ(accounts[0].project, "alpha");
+  EXPECT_EQ(accounts[1].project, "zeta");
+}
+
+TEST(Ledger, Preconditions) {
+  const auto trace = constant_trace(300.0, days(1.0));
+  ProjectLedger ledger(trace, PricingPolicy{});
+  ledger.grant("p", 10.0);
+  EXPECT_THROW(ledger.grant("p", 10.0), greenhpc::InvalidArgument);   // duplicate
+  EXPECT_THROW(ledger.grant("q", 0.0), greenhpc::InvalidArgument);    // empty grant
+  EXPECT_THROW((void)ledger.account("missing"), greenhpc::InvalidArgument);
+  hpcsim::JobRecord incomplete;
+  incomplete.spec = rigid_job(1, seconds(0.0), 2, hours(1.0));
+  incomplete.spec.project = "p";
+  incomplete.completed = false;
+  EXPECT_THROW((void)ledger.charge(incomplete), greenhpc::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace greenhpc::accounting

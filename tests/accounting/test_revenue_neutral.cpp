@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "accounting/incentives.hpp"
+#include "hpcsim/simulator.hpp"
+#include "testing/helpers.hpp"
+#include "util/error.hpp"
+
+namespace greenhpc::accounting {
+namespace {
+
+using greenhpc::testing::GreedyScheduler;
+using greenhpc::testing::rigid_job;
+using greenhpc::testing::small_cluster;
+using greenhpc::testing::square_trace;
+
+hpcsim::SimulationResult run_workload(const util::TimeSeries& trace) {
+  std::vector<hpcsim::JobSpec> jobs;
+  for (int i = 0; i < 60; ++i) {
+    jobs.push_back(rigid_job(i + 1, hours(0.4 * i), 2, hours(2.0)));
+  }
+  hpcsim::Simulator::Config cfg;
+  cfg.cluster = small_cluster(64);
+  cfg.carbon_intensity = trace;
+  hpcsim::Simulator sim(cfg, std::move(jobs));
+  GreedyScheduler sched;
+  return sim.run(sched);
+}
+
+TEST(RevenueNeutral, FoundDiscountRespectsFloor) {
+  const auto trace = square_trace(100.0, 500.0, hours(6.0), days(3.0));
+  const auto result = run_workload(trace);
+  IncentiveConfig cfg;
+  cfg.flexible_fraction = 0.5;
+  cfg.shift_elasticity = 2.0;
+  const double floor = 0.90;
+  const double d = max_discount_for_revenue_floor(result.jobs, trace, cfg, 3, floor);
+  EXPECT_GT(d, 0.0);
+  EXPECT_LT(d, 1.0);
+  // At the found discount the billed factor sits at (or just above) the
+  // floor; slightly above it violates.
+  cfg.pricing.green_discount = d;
+  EXPECT_GE(evaluate_incentive(result.jobs, trace, cfg, 3).billed_node_hour_factor,
+            floor - 1e-6);
+  cfg.pricing.green_discount = std::min(1.0, d + 0.05);
+  EXPECT_LT(evaluate_incentive(result.jobs, trace, cfg, 3).billed_node_hour_factor,
+            floor);
+}
+
+TEST(RevenueNeutral, LooserFloorAllowsBiggerDiscount) {
+  const auto trace = square_trace(100.0, 500.0, hours(6.0), days(3.0));
+  const auto result = run_workload(trace);
+  IncentiveConfig cfg;
+  const double d90 = max_discount_for_revenue_floor(result.jobs, trace, cfg, 5, 0.90);
+  const double d70 = max_discount_for_revenue_floor(result.jobs, trace, cfg, 5, 0.70);
+  EXPECT_GT(d70, d90);
+}
+
+TEST(RevenueNeutral, MatchesAnalyticSolutionWithoutShifting) {
+  // With no behavioural shifting, the billed factor is analytic:
+  // 1 - d * (green-weighted share of node-hours). On a 50/50 square wave
+  // that share is ~0.5, so the max discount for floor f is ~2(1-f).
+  const auto trace = square_trace(100.0, 500.0, hours(6.0), days(3.0));
+  const auto result = run_workload(trace);
+  IncentiveConfig cfg;
+  cfg.flexible_fraction = 0.0;
+  cfg.pricing.green_quantile = 0.5;
+  const double d = max_discount_for_revenue_floor(result.jobs, trace, cfg, 5, 0.90);
+  EXPECT_NEAR(d, 0.2, 0.05);
+}
+
+TEST(RevenueNeutral, Preconditions) {
+  const auto trace = square_trace(100.0, 500.0, hours(6.0), days(1.0));
+  EXPECT_THROW((void)max_discount_for_revenue_floor({}, trace, {}, 1, 0.0),
+               greenhpc::InvalidArgument);
+  EXPECT_THROW((void)max_discount_for_revenue_floor({}, trace, {}, 1, 1.5),
+               greenhpc::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace greenhpc::accounting

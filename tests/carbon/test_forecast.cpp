@@ -1,0 +1,177 @@
+#include "carbon/forecast.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "carbon/grid_model.hpp"
+#include "util/error.hpp"
+
+namespace greenhpc::carbon {
+namespace {
+
+/// Pure sinusoid with a 24h period around `mean`.
+util::TimeSeries sinusoid(double mean, double amp, Duration span,
+                          Duration step = minutes(30.0)) {
+  util::TimeSeries ts(seconds(0.0), step);
+  const auto n = static_cast<std::size_t>(span.seconds() / step.seconds());
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) * step.seconds();
+    ts.push_back(mean + amp * std::sin(2.0 * std::numbers::pi * t / 86400.0));
+  }
+  return ts;
+}
+
+TEST(Persistence, ExactOnPerfectlyPeriodicSignal) {
+  const auto truth = sinusoid(300.0, 80.0, days(5.0));
+  PersistenceForecaster f;
+  const double err = evaluate_mape(f, truth, days(2.0), hours(6.0));
+  EXPECT_LT(err, 0.002);
+}
+
+TEST(Persistence, HandlesHorizonsBeyondOneDay) {
+  const auto truth = sinusoid(300.0, 80.0, days(6.0));
+  PersistenceForecaster f;
+  const util::TimeSeries hist = truth.slice(0, truth.size() / 2);
+  const double pred = f.forecast(hist, hist.end(), hours(30.0));
+  // Same time of day 30h ahead equals value 6h ahead of now yesterday.
+  EXPECT_NEAR(pred, truth.sample_at_clamped(hist.end() + hours(30.0)), 1.0);
+}
+
+TEST(MovingAverage, FlatSignalIsExact) {
+  const auto truth = sinusoid(250.0, 0.0, days(3.0));
+  MovingAverageForecaster f(hours(12.0));
+  const double err = evaluate_mape(f, truth, days(1.0), hours(1.0));
+  EXPECT_LT(err, 1e-9);
+}
+
+TEST(MovingAverage, NameIncludesWindow) {
+  MovingAverageForecaster f(hours(6.0));
+  EXPECT_EQ(f.name(), "moving-average-6h");
+}
+
+TEST(Harmonic, RecoversSinusoidWellAheadOfPersistenceOnNoise) {
+  // On a periodic signal + noise, the harmonic fit should beat the
+  // moving average clearly.
+  GridModel model(Region::Germany, 17);
+  const auto truth = model.generate(seconds(0.0), days(10.0), minutes(30.0));
+  HarmonicForecaster harmonic(days(3.0));
+  MovingAverageForecaster mavg(hours(24.0));
+  const double err_h = evaluate_mape(harmonic, truth, days(4.0), hours(6.0));
+  const double err_m = evaluate_mape(mavg, truth, days(4.0), hours(6.0));
+  EXPECT_LT(err_h, err_m * 1.05);
+  EXPECT_LT(err_h, 0.30);
+}
+
+TEST(Harmonic, ExactOnNoiselessHarmonicSignal) {
+  const auto truth = sinusoid(300.0, 60.0, days(6.0));
+  HarmonicForecaster f(days(2.0));
+  const double err = evaluate_mape(f, truth, days(3.0), hours(12.0));
+  // The level-anchoring term introduces a small zero-order-hold bias even
+  // on a noiseless signal; accuracy remains ~2%.
+  EXPECT_LT(err, 0.02);
+}
+
+TEST(Ewma, FlatSignalIsExact) {
+  const auto truth = sinusoid(250.0, 0.0, days(3.0));
+  EwmaForecaster f(hours(6.0));
+  const double err = evaluate_mape(f, truth, days(1.0), hours(1.0));
+  EXPECT_LT(err, 1e-9);
+}
+
+TEST(Ewma, TracksLevelShiftsFasterThanMovingAverage) {
+  // Step signal: 200 for two days, then 400. Shortly after the step the
+  // EWMA (recency-weighted) must sit closer to 400 than the same-length
+  // moving average.
+  util::TimeSeries ts(seconds(0.0), hours(1.0));
+  for (int i = 0; i < 96; ++i) ts.push_back(i < 48 ? 200.0 : 400.0);
+  EwmaForecaster ewma(hours(8.0));
+  MovingAverageForecaster mavg(hours(24.0));
+  const Duration now = hours(60.0);  // 12h after the step
+  const double e = ewma.forecast(ts, now, hours(1.0));
+  const double m = mavg.forecast(ts, now, hours(1.0));
+  EXPECT_GT(e, m);
+  EXPECT_GT(e, 320.0);  // ~329 analytically: 400 - 200 * 2^(-12h/8h)
+}
+
+TEST(Ewma, NameAndPreconditions) {
+  EXPECT_EQ(EwmaForecaster(hours(6.0)).name(), "ewma-6h");
+  EXPECT_THROW(EwmaForecaster(seconds(0.0)), greenhpc::InvalidArgument);
+}
+
+TEST(Ensemble, AveragesMembers) {
+  const auto truth = sinusoid(300.0, 0.0, days(2.0));
+  auto a = std::make_shared<MovingAverageForecaster>(hours(6.0));
+  auto b = std::make_shared<EwmaForecaster>(hours(6.0));
+  EnsembleForecaster ens({{a, 1.0}, {b, 3.0}});
+  const double v = ens.forecast(truth, days(1.0), hours(1.0));
+  EXPECT_NEAR(v, 300.0, 1e-9);  // both members agree on a flat signal
+  EXPECT_NE(ens.name().find("ensemble("), std::string::npos);
+}
+
+TEST(Ensemble, BetweenItsMembers) {
+  GridModel model(Region::Germany, 21);
+  const auto truth = model.generate(seconds(0.0), days(8.0), hours(1.0));
+  auto level = std::make_shared<EwmaForecaster>(hours(12.0));
+  auto shape = std::make_shared<PersistenceForecaster>();
+  EnsembleForecaster ens({{level, 1.0}, {shape, 1.0}});
+  const Duration now = days(5.0);
+  const double v_l = level->forecast(truth, now, hours(6.0));
+  const double v_s = shape->forecast(truth, now, hours(6.0));
+  const double v_e = ens.forecast(truth, now, hours(6.0));
+  EXPECT_GE(v_e, std::min(v_l, v_s) - 1e-9);
+  EXPECT_LE(v_e, std::max(v_l, v_s) + 1e-9);
+}
+
+TEST(Ensemble, Preconditions) {
+  EXPECT_THROW(EnsembleForecaster({}), greenhpc::InvalidArgument);
+  EXPECT_THROW(EnsembleForecaster({{nullptr, 1.0}}), greenhpc::InvalidArgument);
+  auto a = std::make_shared<PersistenceForecaster>();
+  EXPECT_THROW(EnsembleForecaster({{a, 0.0}}), greenhpc::InvalidArgument);
+}
+
+TEST(Oracle, PerfectByConstruction) {
+  GridModel model(Region::Finland, 3);
+  const auto truth = model.generate(seconds(0.0), days(7.0), hours(1.0));
+  OracleForecaster f(truth);
+  const double err = evaluate_mape(f, truth, days(1.0), hours(8.0));
+  EXPECT_DOUBLE_EQ(err, 0.0);
+}
+
+TEST(Oracle, ClampsBeyondTruth) {
+  const auto truth = sinusoid(100.0, 10.0, days(1.0));
+  OracleForecaster f(truth);
+  const double beyond = f.forecast(truth, truth.end(), days(5.0));
+  EXPECT_DOUBLE_EQ(beyond, truth.at(truth.size() - 1));
+}
+
+TEST(Forecasters, OracleBeatsRealForecastersOnNoisyTrace) {
+  GridModel model(Region::UnitedKingdom, 23);
+  const auto truth = model.generate(seconds(0.0), days(10.0), hours(1.0));
+  const OracleForecaster oracle(truth);
+  const PersistenceForecaster persistence;
+  const double err_o = evaluate_mape(oracle, truth, days(3.0), hours(12.0));
+  const double err_p = evaluate_mape(persistence, truth, days(3.0), hours(12.0));
+  EXPECT_LT(err_o, err_p);
+}
+
+TEST(Forecasters, NegativeHorizonThrows) {
+  const auto truth = sinusoid(100.0, 10.0, days(2.0));
+  PersistenceForecaster p;
+  EXPECT_THROW((void)p.forecast(truth, days(1.0), hours(-1.0)),
+               greenhpc::InvalidArgument);
+  OracleForecaster o(truth);
+  EXPECT_THROW((void)o.forecast(truth, days(1.0), hours(-1.0)),
+               greenhpc::InvalidArgument);
+}
+
+TEST(Forecasters, ConstructionPreconditions) {
+  EXPECT_THROW(MovingAverageForecaster(seconds(0.0)), greenhpc::InvalidArgument);
+  EXPECT_THROW(HarmonicForecaster(minutes(10.0)), greenhpc::InvalidArgument);
+  EXPECT_THROW(OracleForecaster(util::TimeSeries(seconds(0.0), hours(1.0))),
+               greenhpc::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace greenhpc::carbon

@@ -1,0 +1,137 @@
+#include "carbon/grid_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace greenhpc::carbon {
+namespace {
+
+TEST(GridModel, DeterministicForSeed) {
+  GridModel a(Region::Germany, 99);
+  GridModel b(Region::Germany, 99);
+  const auto ta = a.generate(seconds(0.0), days(2.0), hours(1.0));
+  const auto tb = b.generate(seconds(0.0), days(2.0), hours(1.0));
+  ASSERT_EQ(ta.size(), tb.size());
+  for (std::size_t i = 0; i < ta.size(); ++i) EXPECT_DOUBLE_EQ(ta.at(i), tb.at(i));
+}
+
+TEST(GridModel, DifferentSeedsDiffer) {
+  GridModel a(Region::Germany, 1);
+  GridModel b(Region::Germany, 2);
+  const auto ta = a.generate(seconds(0.0), days(2.0), hours(1.0));
+  const auto tb = b.generate(seconds(0.0), days(2.0), hours(1.0));
+  double diff = 0.0;
+  for (std::size_t i = 0; i < ta.size(); ++i) diff += std::fabs(ta.at(i) - tb.at(i));
+  EXPECT_GT(diff, 1.0);
+}
+
+TEST(GridModel, ValuesRespectFloorAndCap) {
+  for (Region r : all_regions()) {
+    GridModel model(r, 5);
+    const auto trace = model.generate(seconds(0.0), days(30.0), hours(1.0));
+    const RegionTraits& t = traits(r);
+    for (double v : trace.values()) {
+      EXPECT_GE(v, t.floor_gkwh) << t.name;
+      EXPECT_LE(v, t.cap_gkwh * t.marginal_uplift + 1e-9) << t.name;
+    }
+  }
+}
+
+TEST(GridModel, AverageTraceMatchesRegionMean) {
+  // Multi-seed long-run mean should sit near the preset mean.
+  util::RunningStats s;
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    GridModel model(Region::Germany, seed);
+    const auto trace = model.generate(seconds(0.0), days(60.0), hours(1.0));
+    s.add(trace.summary().mean);
+  }
+  EXPECT_NEAR(s.mean() / traits(Region::Germany).mean_gkwh, 1.0, 0.10);
+}
+
+TEST(GridModel, MarginalIsDirtierThanAverage) {
+  GridModel avg_model(Region::Germany, 7);
+  GridModel marg_model(Region::Germany, 7);
+  const auto avg = avg_model.generate(seconds(0.0), days(14.0), hours(1.0),
+                                      IntensityKind::Average);
+  const auto marg = marg_model.generate(seconds(0.0), days(14.0), hours(1.0),
+                                        IntensityKind::Marginal);
+  EXPECT_GT(marg.summary().mean, avg.summary().mean * 1.05);
+}
+
+TEST(GridModel, DiurnalShapeVisibleInDeterministicComponent) {
+  GridModel model(Region::Germany, 3);
+  // Peak hour should exceed 4am on a weekday (day 1 = Monday).
+  const double peak = model.deterministic_component(days(1.0) + hours(18.5));
+  const double trough = model.deterministic_component(days(1.0) + hours(4.0));
+  EXPECT_GT(peak, trough);
+  // Solar dip: the midday value must sit below what the model would give
+  // without solar displacement.
+  RegionTraits no_solar = traits(Region::Germany);
+  no_solar.solar_depth = 0.0;
+  GridModel bare(no_solar, 3);
+  const double with_solar = model.deterministic_component(days(1.0) + hours(13.0));
+  const double without_solar = bare.deterministic_component(days(1.0) + hours(13.0));
+  EXPECT_LT(with_solar, without_solar - 0.5 * traits(Region::Germany).solar_depth);
+}
+
+TEST(GridModel, WeekendsAreCleaner) {
+  GridModel model(Region::Germany, 3);
+  // Day 0 is a Sunday, day 1 a Monday; compare the same hour.
+  const double sunday = model.deterministic_component(hours(18.0));
+  const double monday = model.deterministic_component(days(1.0) + hours(18.0));
+  EXPECT_LT(sunday, monday);
+}
+
+TEST(GridModel, Fig2CalibrationFinlandVsFrance) {
+  // The paper's two quantitative anchors for Fig. 2 (January 2023):
+  // Finland ~2.1x France monthly mean; Finland daily-mean sigma ~47.21.
+  util::RunningStats ratio_stats, sigma_stats;
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    GridModel fr(Region::France, seed * 3 + 1);
+    GridModel fi(Region::Finland, seed * 7 + 2);
+    const auto fr_trace =
+        fr.generate(seconds(0.0), days(31.0), hours(1.0), IntensityKind::Marginal);
+    const auto fi_trace =
+        fi.generate(seconds(0.0), days(31.0), hours(1.0), IntensityKind::Marginal);
+    ratio_stats.add(fi_trace.summary().mean / fr_trace.summary().mean);
+    sigma_stats.add(fi_trace.daily_mean().summary().stddev);
+  }
+  EXPECT_NEAR(ratio_stats.mean(), 2.1, 0.35);
+  EXPECT_NEAR(sigma_stats.mean(), 47.21, 20.0);
+}
+
+TEST(GridModel, EuropeanBundleCoversAllRegions) {
+  const RegionalTraces bundle =
+      generate_european_traces(seconds(0.0), days(31.0), hours(1.0), 42);
+  ASSERT_EQ(bundle.regions.size(), all_regions().size());
+  ASSERT_EQ(bundle.series.size(), all_regions().size());
+  for (const auto& ts : bundle.series) {
+    EXPECT_EQ(ts.size(), 31u * 24u);
+  }
+}
+
+TEST(GridModel, BundleReproducibleFromSeed) {
+  const auto a = generate_european_traces(seconds(0.0), days(3.0), hours(1.0), 7);
+  const auto b = generate_european_traces(seconds(0.0), days(3.0), hours(1.0), 7);
+  for (std::size_t r = 0; r < a.series.size(); ++r) {
+    for (std::size_t i = 0; i < a.series[r].size(); ++i) {
+      EXPECT_DOUBLE_EQ(a.series[r].at(i), b.series[r].at(i));
+    }
+  }
+}
+
+TEST(GridModel, InvalidArgumentsThrow) {
+  GridModel model(Region::France, 1);
+  EXPECT_THROW((void)model.generate(seconds(0.0), seconds(0.0), hours(1.0)),
+               greenhpc::InvalidArgument);
+  EXPECT_THROW((void)model.generate(seconds(0.0), hours(1.0), seconds(0.0)),
+               greenhpc::InvalidArgument);
+  RegionTraits bad = traits(Region::France);
+  bad.cap_gkwh = bad.floor_gkwh;
+  EXPECT_THROW(GridModel(bad, 1), greenhpc::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace greenhpc::carbon

@@ -1,0 +1,76 @@
+#include "carbon/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "carbon/grid_model.hpp"
+#include "util/error.hpp"
+
+namespace greenhpc::carbon {
+namespace {
+
+TEST(TraceIo, ParsesPlainCsv) {
+  std::istringstream in("0,100\n900,150\n1800,125\n");
+  const auto ts = load_intensity_csv(in);
+  ASSERT_EQ(ts.size(), 3u);
+  EXPECT_DOUBLE_EQ(ts.start().seconds(), 0.0);
+  EXPECT_DOUBLE_EQ(ts.step().seconds(), 900.0);
+  EXPECT_DOUBLE_EQ(ts.at(1), 150.0);
+}
+
+TEST(TraceIo, SkipsHeaderAndComments) {
+  std::istringstream in(
+      "timestamp_s,intensity_g_per_kwh\n"
+      "# exported from the grid feed\n"
+      "3600,80\n"
+      "7200,90  # midday dip ends\n");
+  const auto ts = load_intensity_csv(in);
+  ASSERT_EQ(ts.size(), 2u);
+  EXPECT_DOUBLE_EQ(ts.start().hours(), 1.0);
+  EXPECT_DOUBLE_EQ(ts.at(1), 90.0);
+}
+
+TEST(TraceIo, RoundTripsGeneratedTrace) {
+  GridModel model(Region::Finland, 9);
+  const auto original = model.generate(seconds(0.0), days(2.0), minutes(30.0));
+  std::stringstream buffer;
+  save_intensity_csv(original, buffer);
+  const auto loaded = load_intensity_csv(buffer);
+  ASSERT_EQ(loaded.size(), original.size());
+  EXPECT_DOUBLE_EQ(loaded.step().seconds(), original.step().seconds());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_NEAR(loaded.at(i), original.at(i), 1e-3 * original.at(i));
+  }
+}
+
+TEST(TraceIo, RejectsMalformedInput) {
+  {
+    std::istringstream in("justonevalue\n0,100\n900,100\nmore,garbage,here\n");
+    EXPECT_THROW((void)load_intensity_csv(in), greenhpc::InvalidArgument);
+  }
+  {
+    std::istringstream in("0,100\n");  // single sample
+    EXPECT_THROW((void)load_intensity_csv(in), greenhpc::InvalidArgument);
+  }
+  {
+    std::istringstream in("0,100\n900,100\n2700,100\n");  // unequal spacing
+    EXPECT_THROW((void)load_intensity_csv(in), greenhpc::InvalidArgument);
+  }
+  {
+    std::istringstream in("0,100\n900,-5\n");  // negative intensity
+    EXPECT_THROW((void)load_intensity_csv(in), greenhpc::InvalidArgument);
+  }
+  {
+    std::istringstream in("900,100\n0,100\n");  // descending
+    EXPECT_THROW((void)load_intensity_csv(in), greenhpc::InvalidArgument);
+  }
+}
+
+TEST(TraceIo, EmptyInputThrows) {
+  std::istringstream in("# nothing but comments\n");
+  EXPECT_THROW((void)load_intensity_csv(in), greenhpc::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace greenhpc::carbon

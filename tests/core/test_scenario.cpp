@@ -1,0 +1,83 @@
+#include "core/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sched/easy_backfill.hpp"
+#include "sched/fcfs.hpp"
+#include "util/error.hpp"
+
+namespace greenhpc::core {
+namespace {
+
+ScenarioConfig small_scenario() {
+  ScenarioConfig cfg;
+  cfg.cluster.nodes = 32;
+  cfg.cluster.tick = minutes(2.0);
+  cfg.region = carbon::Region::Germany;
+  cfg.trace_span = days(4.0);
+  cfg.workload.job_count = 60;
+  cfg.workload.span = days(2.0);
+  cfg.workload.max_job_nodes = 16;
+  cfg.seed = 11;
+  return cfg;
+}
+
+TEST(Scenario, BuildsSharedInputs) {
+  ScenarioRunner runner(small_scenario());
+  EXPECT_EQ(runner.jobs().size(), 60u);
+  EXPECT_GT(runner.trace().size(), 0u);
+  EXPECT_GT(runner.green_threshold(), 0.0);
+}
+
+TEST(Scenario, RunProducesDerivedMetrics) {
+  ScenarioRunner runner(small_scenario());
+  const auto outcome =
+      runner.run("easy", [] { return std::make_unique<sched::EasyBackfillScheduler>(); });
+  EXPECT_EQ(outcome.scheduler, "easy");
+  EXPECT_EQ(outcome.power_policy, "unconstrained");
+  EXPECT_GT(outcome.completed, 50);
+  EXPECT_GT(outcome.total_carbon_t, 0.0);
+  EXPECT_GT(outcome.total_energy_mwh, 0.0);
+  EXPECT_GT(outcome.utilization, 0.0);
+  EXPECT_LE(outcome.utilization, 1.0);
+  EXPECT_GE(outcome.green_energy_share, 0.0);
+  EXPECT_LE(outcome.green_energy_share, 1.0);
+}
+
+TEST(Scenario, SameFactorySameResult) {
+  ScenarioRunner runner(small_scenario());
+  const auto a =
+      runner.run("fcfs", [] { return std::make_unique<sched::FcfsScheduler>(); });
+  const auto b =
+      runner.run("fcfs", [] { return std::make_unique<sched::FcfsScheduler>(); });
+  EXPECT_DOUBLE_EQ(a.total_carbon_t, b.total_carbon_t);
+  EXPECT_DOUBLE_EQ(a.mean_wait_h, b.mean_wait_h);
+}
+
+TEST(Scenario, DifferentSeedsDifferentWorkload) {
+  auto cfg = small_scenario();
+  ScenarioRunner a(cfg);
+  cfg.seed = 99;
+  ScenarioRunner b(cfg);
+  bool differs = false;
+  for (std::size_t i = 0; i < a.jobs().size(); ++i) {
+    if (a.jobs()[i].submit != b.jobs()[i].submit) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Scenario, TraceMustCoverWorkload) {
+  auto cfg = small_scenario();
+  cfg.trace_span = days(1.0);  // < workload span of 2 days
+  EXPECT_THROW(ScenarioRunner{cfg}, greenhpc::InvalidArgument);
+}
+
+TEST(Scenario, EmptyLabelUsesSchedulerName) {
+  ScenarioRunner runner(small_scenario());
+  const auto outcome =
+      runner.run("", [] { return std::make_unique<sched::FcfsScheduler>(); });
+  EXPECT_EQ(outcome.scheduler, "fcfs");
+}
+
+}  // namespace
+}  // namespace greenhpc::core

@@ -1,0 +1,107 @@
+#include "embodied/act_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace greenhpc::embodied {
+namespace {
+
+TEST(ActModel, YieldIsPoissonInArea) {
+  ActModel m;
+  const double d0 = ActModel::fab_params(ProcessNode::N7).defect_density_per_cm2;
+  EXPECT_NEAR(m.die_yield(100.0, ProcessNode::N7), std::exp(-1.0 * d0), 1e-12);
+  EXPECT_NEAR(m.die_yield(826.0, ProcessNode::N7), std::exp(-8.26 * d0), 1e-12);
+  // Yield decreases with area.
+  EXPECT_GT(m.die_yield(100.0, ProcessNode::N7), m.die_yield(800.0, ProcessNode::N7));
+}
+
+TEST(ActModel, NewerNodesCostMorePerArea) {
+  ActModel m;
+  double prev = 0.0;
+  for (ProcessNode node : all_nodes()) {
+    const double per_100mm2 = m.logic_die(100.0, node).kilograms();
+    EXPECT_GT(per_100mm2, prev) << node_name(node);
+    prev = per_100mm2;
+  }
+}
+
+TEST(ActModel, LogicDieScalesSuperlinearlyWithArea) {
+  // Yield loss makes embodied carbon superlinear in area.
+  ActModel m;
+  const double one = m.logic_die(100.0, ProcessNode::N7).kilograms();
+  const double eight = m.logic_die(800.0, ProcessNode::N7).kilograms();
+  EXPECT_GT(eight, 8.0 * one);
+}
+
+TEST(ActModel, FabGridIntensityScalesEnergyShare) {
+  ActModel dirty(ActModel::Config{.fab_grid = grams_per_kwh(1000.0)});
+  ActModel clean(ActModel::Config{.fab_grid = grams_per_kwh(100.0)});
+  const double d = dirty.logic_die(200.0, ProcessNode::N7).kilograms();
+  const double c = clean.logic_die(200.0, ProcessNode::N7).kilograms();
+  EXPECT_GT(d, c);
+  // With a near-zero-carbon fab grid, only GPA + MPA remain.
+  ActModel zero(ActModel::Config{.fab_grid = grams_per_kwh(1e-6)});
+  const FabParams& fp = ActModel::fab_params(ProcessNode::N7);
+  const double expected =
+      2.0 * (fp.gpa_kg_per_cm2 + fp.mpa_kg_per_cm2) / zero.die_yield(200.0, ProcessNode::N7);
+  EXPECT_NEAR(zero.logic_die(200.0, ProcessNode::N7).kilograms(), expected, 1e-7);
+}
+
+TEST(ActModel, DramPerGbCalibration) {
+  ActModel m;  // default fab grid 620 g/kWh
+  EXPECT_NEAR(m.dram(1.0, DramType::DDR4).kilograms(), 0.90, 0.02);
+  EXPECT_LT(m.dram(1.0, DramType::DDR5).kilograms(),
+            m.dram(1.0, DramType::DDR4).kilograms());
+  EXPECT_GT(m.dram(1.0, DramType::HBM2e).kilograms(),
+            m.dram(1.0, DramType::DDR4).kilograms());
+}
+
+TEST(ActModel, StoragePerGbCalibration) {
+  ActModel m;
+  EXPECT_NEAR(m.storage(1.0, StorageType::HDD).kilograms(), 0.014, 0.002);
+  // SSD embodied per GB is roughly an order of magnitude above HDD.
+  EXPECT_GT(m.storage(1.0, StorageType::SSD).kilograms(),
+            5.0 * m.storage(1.0, StorageType::HDD).kilograms());
+}
+
+TEST(ActModel, MemoryScalesLinearlyInCapacity) {
+  ActModel m;
+  EXPECT_NEAR(m.dram(128.0, DramType::DDR4).kilograms(),
+              128.0 * m.dram(1.0, DramType::DDR4).kilograms(), 1e-9);
+  EXPECT_DOUBLE_EQ(m.dram(0.0, DramType::DDR4).grams(), 0.0);
+}
+
+TEST(ActModel, PackagingComposition) {
+  ActModel m;
+  const Carbon none = m.packaging(0, 0.0, 0.0);
+  EXPECT_DOUBLE_EQ(none.grams(), 0.0);
+  const Carbon pkg = m.packaging(4, 40.0, 10.0);
+  const auto& cfg = m.config();
+  EXPECT_NEAR(pkg.kilograms(),
+              4 * cfg.packaging_per_die_kg + 40.0 * cfg.substrate_per_cm2_kg +
+                  10.0 * cfg.interposer_per_cm2_kg,
+              1e-9);
+}
+
+TEST(ActModel, Preconditions) {
+  ActModel m;
+  EXPECT_THROW((void)m.logic_die(0.0, ProcessNode::N7), greenhpc::InvalidArgument);
+  EXPECT_THROW((void)m.die_yield(-5.0, ProcessNode::N7), greenhpc::InvalidArgument);
+  EXPECT_THROW((void)m.dram(-1.0, DramType::DDR4), greenhpc::InvalidArgument);
+  EXPECT_THROW((void)m.storage(-1.0, StorageType::HDD), greenhpc::InvalidArgument);
+  EXPECT_THROW((void)m.packaging(-1, 0.0), greenhpc::InvalidArgument);
+  EXPECT_THROW(ActModel(ActModel::Config{.fab_grid = grams_per_kwh(0.0)}),
+               greenhpc::InvalidArgument);
+}
+
+TEST(ActModel, NodeNames) {
+  EXPECT_STREQ(node_name(ProcessNode::N7), "7nm");
+  EXPECT_STREQ(node_name(ProcessNode::N28), "28nm");
+  EXPECT_EQ(all_nodes().size(), 6u);
+}
+
+}  // namespace
+}  // namespace greenhpc::embodied

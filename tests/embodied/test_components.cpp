@@ -1,0 +1,96 @@
+#include "embodied/components.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace greenhpc::embodied {
+namespace {
+
+TEST(Components, SpecAggregates) {
+  const ProcessorSpec epyc = amd_epyc_7742();
+  EXPECT_EQ(epyc.total_die_count(), 9);
+  EXPECT_DOUBLE_EQ(epyc.total_die_area_mm2(), 8 * 74.0 + 416.0);
+}
+
+TEST(Components, ProcessorEmbodiedComposition) {
+  ActModel m;
+  const ProcessorSpec skx = intel_xeon_8174();
+  const Carbon total = processor_embodied(m, skx);
+  const Carbon die = m.logic_die(694.0, ProcessNode::N14);
+  const Carbon pkg = m.packaging(1, skx.substrate_cm2, 0.0);
+  EXPECT_NEAR(total.kilograms(), (die + pkg).kilograms(), 1e-9);
+}
+
+TEST(Components, HbmAndOverheadIncluded) {
+  ActModel m;
+  const ProcessorSpec a100 = nvidia_a100_sxm();
+  ProcessorSpec bare = a100;
+  bare.hbm_gb = 0.0;
+  bare.module_overhead_kg = 0.0;
+  const double delta =
+      processor_embodied(m, a100).kilograms() - processor_embodied(m, bare).kilograms();
+  EXPECT_NEAR(delta,
+              m.dram(40.0, DramType::HBM2e).kilograms() + a100.module_overhead_kg, 1e-9);
+}
+
+TEST(Components, A100InLiEtAlRange) {
+  // Li et al. [37] class estimates for an A100 module land in the
+  // 100-250 kg range; our calibrated value must stay in that band.
+  ActModel m;
+  const double kg = processor_embodied(m, nvidia_a100_sxm()).kilograms();
+  EXPECT_GT(kg, 100.0);
+  EXPECT_LT(kg, 260.0);
+}
+
+TEST(Components, ChipletCpuCheaperThanMonolithicSameArea) {
+  // Same total silicon, split into chiplets, yields better -> less carbon
+  // per functional processor (before extra packaging).
+  ActModel m;
+  ProcessorSpec mono;
+  mono.name = "mono";
+  mono.chiplets = {{592.0, ProcessNode::N7, 1}};
+  mono.substrate_cm2 = 43.5;
+  ProcessorSpec split;
+  split.name = "split";
+  split.chiplets = {{74.0, ProcessNode::N7, 8}};
+  split.substrate_cm2 = 43.5;
+  const double mono_die = m.logic_die(592.0, ProcessNode::N7).kilograms();
+  const double split_die = 8.0 * m.logic_die(74.0, ProcessNode::N7).kilograms();
+  EXPECT_GT(mono_die, split_die);
+  // With packaging included the gap narrows but chiplets still win at
+  // these areas.
+  EXPECT_GT(processor_embodied(m, mono).kilograms(),
+            processor_embodied(m, split).kilograms() - 4.0);
+}
+
+TEST(Components, GpuDominatesCpuPerUnit) {
+  // The paper: "GPUs have a significantly higher carbon embodied footprint
+  // than the others ... attributed to the larger die area of GPUs."
+  ActModel m;
+  const double gpu = processor_embodied(m, nvidia_a100_sxm()).kilograms();
+  const double cpu = processor_embodied(m, amd_epyc_7402()).kilograms();
+  EXPECT_GT(gpu, 3.0 * cpu);
+}
+
+TEST(Components, MemoryAndStorageHelpers) {
+  ActModel m;
+  EXPECT_DOUBLE_EQ(memory_embodied(m, 64.0, DramType::DDR4).grams(),
+                   m.dram(64.0, DramType::DDR4).grams());
+  EXPECT_DOUBLE_EQ(storage_embodied(m, 1e6, StorageType::HDD).grams(),
+                   m.storage(1e6, StorageType::HDD).grams());
+}
+
+TEST(Components, EmptyChipletListThrows) {
+  ActModel m;
+  ProcessorSpec empty;
+  empty.name = "empty";
+  EXPECT_THROW((void)processor_embodied(m, empty), greenhpc::InvalidArgument);
+  ProcessorSpec bad;
+  bad.name = "bad";
+  bad.chiplets = {{100.0, ProcessNode::N7, 0}};
+  EXPECT_THROW((void)processor_embodied(m, bad), greenhpc::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace greenhpc::embodied

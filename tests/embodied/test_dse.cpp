@@ -1,0 +1,187 @@
+#include "embodied/dse.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace greenhpc::embodied {
+namespace {
+
+DesignSpaceExplorer make_explorer(const ActModel& model) {
+  DesignSpaceExplorer::Config cfg;
+  cfg.workload.total_ops = 1.0e15;
+  cfg.workload.parallel_fraction = 0.97;
+  return DesignSpaceExplorer(model, cfg);
+}
+
+TEST(Dse, EvaluateIsConsistent) {
+  ActModel model;
+  auto dse = make_explorer(model);
+  const DesignPoint p{ProcessNode::N7, 32, 2.5, 4};
+  const auto ev = dse.evaluate(p, grams_per_kwh(300.0));
+  EXPECT_GT(ev.metrics.delay.seconds(), 0.0);
+  EXPECT_GT(ev.metrics.energy.joules(), 0.0);
+  EXPECT_GT(ev.device_embodied.grams(), 0.0);
+  EXPECT_GT(ev.metrics.operational.grams(), 0.0);
+  EXPECT_GT(ev.metrics.embodied.grams(), 0.0);
+  // Energy == power x delay by construction.
+  EXPECT_NEAR(ev.metrics.energy.joules(),
+              ev.power.watts() * ev.metrics.delay.seconds(), 1e-6);
+}
+
+TEST(Dse, MoreCoresFasterButDiminishing) {
+  ActModel model;
+  auto dse = make_explorer(model);
+  const auto c16 = dse.evaluate({ProcessNode::N7, 16, 2.5, 2}, grams_per_kwh(300.0));
+  const auto c64 = dse.evaluate({ProcessNode::N7, 64, 2.5, 2}, grams_per_kwh(300.0));
+  EXPECT_LT(c64.metrics.delay, c16.metrics.delay);
+  // Amdahl: 4x cores must give less than 4x speedup at f = 0.97.
+  EXPECT_GT(c64.metrics.delay.seconds() * 4.0, c16.metrics.delay.seconds());
+}
+
+TEST(Dse, HigherFrequencyCostsSuperlinearPower) {
+  ActModel model;
+  auto dse = make_explorer(model);
+  const auto slow = dse.evaluate({ProcessNode::N7, 32, 2.0, 2}, grams_per_kwh(300.0));
+  const auto fast = dse.evaluate({ProcessNode::N7, 32, 4.0, 2}, grams_per_kwh(300.0));
+  EXPECT_LT(fast.metrics.delay, slow.metrics.delay);
+  EXPECT_GT(fast.power.watts(), 2.0 * slow.power.watts() * 0.9);
+}
+
+TEST(Dse, ChipletTradeoffHasBothRegimes) {
+  ActModel model;
+  auto dse = make_explorer(model);
+  // Large design on a mature node: ~620 mm^2 monolithic -> yield pain;
+  // chiplets win despite the extra bonding and D2D PHYs.
+  const auto big_mono = dse.evaluate({ProcessNode::N28, 128, 2.0, 1}, grams_per_kwh(300.0));
+  const auto big_split = dse.evaluate({ProcessNode::N28, 128, 2.0, 4}, grams_per_kwh(300.0));
+  EXPECT_GT(big_mono.device_embodied.grams(), big_split.device_embodied.grams());
+  // Small design on a dense node: the die is tiny either way, so the
+  // packaging overhead makes chiplets a net loss.
+  const auto small_mono = dse.evaluate({ProcessNode::N5, 16, 2.0, 1}, grams_per_kwh(300.0));
+  const auto small_split = dse.evaluate({ProcessNode::N5, 16, 2.0, 4}, grams_per_kwh(300.0));
+  EXPECT_LT(small_mono.device_embodied.grams(), small_split.device_embodied.grams());
+}
+
+TEST(Dse, ObjectiveValuesMatchMetrics) {
+  ActModel model;
+  auto dse = make_explorer(model);
+  const auto ev = dse.evaluate({ProcessNode::N7, 32, 2.5, 2}, grams_per_kwh(250.0));
+  EXPECT_DOUBLE_EQ(ev.objective_value(Objective::Delay), ev.metrics.delay.seconds());
+  EXPECT_DOUBLE_EQ(ev.objective_value(Objective::Energy), ev.metrics.energy.joules());
+  EXPECT_DOUBLE_EQ(ev.objective_value(Objective::Edp), ev.metrics.edp());
+  EXPECT_DOUBLE_EQ(ev.objective_value(Objective::TotalCarbon),
+                   ev.metrics.total().grams());
+  EXPECT_DOUBLE_EQ(ev.objective_value(Objective::Cdp), ev.metrics.cdp());
+  EXPECT_DOUBLE_EQ(ev.objective_value(Objective::Cep), ev.metrics.cep());
+}
+
+TEST(Dse, BestFindsMinimum) {
+  ActModel model;
+  auto dse = make_explorer(model);
+  const auto grid = dse.default_grid();
+  ASSERT_GT(grid.size(), 100u);
+  const auto best = dse.best(grid, Objective::Cdp, grams_per_kwh(300.0));
+  // Verify optimality against a direct scan.
+  for (const auto& p : grid) {
+    EXPECT_GE(dse.evaluate(p, grams_per_kwh(300.0)).objective_value(Objective::Cdp),
+              best.objective_value(Objective::Cdp) - 1e-9);
+  }
+}
+
+TEST(Dse, PaperClaimOptimumShiftsWithObjective) {
+  // Section 2.1: "the optimal design point could change depending on the
+  // design objective metric such as CDP, CEP, and others."
+  ActModel model;
+  auto dse = make_explorer(model);
+  const auto grid = dse.default_grid();
+  const auto by_delay = dse.best(grid, Objective::Delay, grams_per_kwh(300.0));
+  const auto by_carbon = dse.best(grid, Objective::TotalCarbon, grams_per_kwh(300.0));
+  const bool differs = by_delay.point.node != by_carbon.point.node ||
+                       by_delay.point.cores != by_carbon.point.cores ||
+                       by_delay.point.freq_ghz != by_carbon.point.freq_ghz ||
+                       by_delay.point.chiplet_count != by_carbon.point.chiplet_count;
+  EXPECT_TRUE(differs);
+}
+
+TEST(Dse, PaperClaimOptimumShiftsWithGridIntensity) {
+  // Section 2.1: the design depends on "the carbon intensity of the power
+  // grid at which the processor will operate". In a near-zero-carbon grid
+  // embodied dominates (favouring cheap-to-fab designs); in a coal grid
+  // operational dominates (favouring energy-efficient ones).
+  ActModel model;
+  auto dse = make_explorer(model);
+  const auto grid = dse.default_grid();
+  const auto clean = dse.best(grid, Objective::TotalCarbon, grams_per_kwh(5.0));
+  const auto dirty = dse.best(grid, Objective::TotalCarbon, grams_per_kwh(1025.0));
+  const bool differs = clean.point.node != dirty.point.node ||
+                       clean.point.cores != dirty.point.cores ||
+                       clean.point.freq_ghz != dirty.point.freq_ghz ||
+                       clean.point.chiplet_count != dirty.point.chiplet_count;
+  EXPECT_TRUE(differs);
+  // The dirty-grid optimum must consume less energy.
+  const auto clean_eval = dse.evaluate(clean.point, grams_per_kwh(300.0));
+  const auto dirty_eval = dse.evaluate(dirty.point, grams_per_kwh(300.0));
+  EXPECT_LE(dirty_eval.metrics.energy.joules(), clean_eval.metrics.energy.joules());
+}
+
+TEST(Dse, ParetoFrontIsNonDominatedAndSorted) {
+  ActModel model;
+  auto dse = make_explorer(model);
+  const auto grid = dse.default_grid();
+  const auto front = dse.pareto_front(grid, grams_per_kwh(300.0));
+  ASSERT_GE(front.size(), 3u);
+  for (std::size_t i = 1; i < front.size(); ++i) {
+    // Strictly increasing delay, strictly decreasing carbon along the front.
+    EXPECT_GT(front[i].metrics.delay.seconds(), front[i - 1].metrics.delay.seconds());
+    EXPECT_LT(front[i].metrics.total().grams(), front[i - 1].metrics.total().grams());
+  }
+  // No candidate dominates any front member.
+  const auto& mid = front[front.size() / 2];
+  for (const auto& p : grid) {
+    const auto ev = dse.evaluate(p, grams_per_kwh(300.0));
+    const bool dominates = ev.metrics.delay.seconds() < mid.metrics.delay.seconds() &&
+                           ev.metrics.total().grams() < mid.metrics.total().grams();
+    EXPECT_FALSE(dominates);
+  }
+}
+
+TEST(Dse, ParetoEndpointsMatchSingleObjectiveOptima) {
+  ActModel model;
+  auto dse = make_explorer(model);
+  const auto grid = dse.default_grid();
+  const auto front = dse.pareto_front(grid, grams_per_kwh(300.0));
+  const auto fastest = dse.best(grid, Objective::Delay, grams_per_kwh(300.0));
+  const auto cleanest = dse.best(grid, Objective::TotalCarbon, grams_per_kwh(300.0));
+  EXPECT_NEAR(front.front().metrics.delay.seconds(), fastest.metrics.delay.seconds(),
+              1e-6);
+  EXPECT_NEAR(front.back().metrics.total().grams(), cleanest.metrics.total().grams(),
+              1e-6);
+}
+
+TEST(Dse, InvalidDesignsThrow) {
+  ActModel model;
+  auto dse = make_explorer(model);
+  EXPECT_THROW((void)dse.evaluate({ProcessNode::N7, 0, 2.0, 1}, grams_per_kwh(100.0)),
+               greenhpc::InvalidArgument);
+  EXPECT_THROW((void)dse.evaluate({ProcessNode::N7, 30, 2.0, 4}, grams_per_kwh(100.0)),
+               greenhpc::InvalidArgument);  // 30 % 4 != 0
+  EXPECT_THROW((void)dse.evaluate({ProcessNode::N28, 32, 4.0, 2}, grams_per_kwh(100.0)),
+               greenhpc::InvalidArgument);  // over 28nm f_max
+  EXPECT_THROW((void)dse.best({}, Objective::Cdp, grams_per_kwh(100.0)),
+               greenhpc::InvalidArgument);
+}
+
+TEST(Dse, NodeTechTableMonotonicities) {
+  double prev_area = 1e9, prev_dyn = 1e9;
+  for (ProcessNode n : all_nodes()) {
+    const CoreTech& t = core_tech(n);
+    EXPECT_LT(t.core_area_mm2, prev_area);
+    EXPECT_LT(t.dyn_watt_at_1ghz, prev_dyn);
+    prev_area = t.core_area_mm2;
+    prev_dyn = t.dyn_watt_at_1ghz;
+  }
+}
+
+}  // namespace
+}  // namespace greenhpc::embodied

@@ -1,0 +1,67 @@
+#include "embodied/interconnect.hpp"
+
+#include <gtest/gtest.h>
+
+#include "embodied/systems.hpp"
+#include "util/error.hpp"
+
+namespace greenhpc::embodied {
+namespace {
+
+TEST(Interconnect, ScalesWithNodeCount) {
+  const auto spec = hdr_infiniband();
+  const Carbon c1k = interconnect_embodied(spec, 1000);
+  const Carbon c2k = interconnect_embodied(spec, 2000);
+  EXPECT_GT(c2k.grams(), 1.9 * c1k.grams());
+  EXPECT_LT(c2k.grams(), 2.1 * c1k.grams());
+  EXPECT_DOUBLE_EQ(interconnect_embodied(spec, 0).grams(), 0.0);
+}
+
+TEST(Interconnect, CompositionMatchesHandCalc) {
+  InterconnectSpec s;
+  s.nics_per_node = 1;
+  s.nic_kg = 10.0;
+  s.cable_kg = 2.0;
+  s.switch_ports = 40;
+  s.switch_kg = 100.0;
+  s.topology_factor = 2.0;
+  // 400 nodes: NICs 4000 kg; switch ports 800 -> 20 switches -> 2000 kg;
+  // cables 800/2 * 2 = 800 kg.
+  EXPECT_NEAR(interconnect_embodied(s, 400).kilograms(), 4000.0 + 2000.0 + 800.0, 1e-9);
+}
+
+TEST(Interconnect, RicherTopologyCostsMore) {
+  InterconnectSpec lean = hdr_infiniband();
+  lean.topology_factor = 1.5;  // heavily oversubscribed
+  InterconnectSpec fat = hdr_infiniband();
+  fat.topology_factor = 3.0;  // full-bisection three-tier
+  EXPECT_GT(interconnect_embodied(fat, 5000).grams(),
+            interconnect_embodied(lean, 5000).grams());
+}
+
+TEST(Interconnect, Fig1AblationShiftsSharesModestly) {
+  // The paper omitted interconnects from Fig. 1. Including an HDR-class
+  // fabric should add single-digit percent to a CPU system's total —
+  // enough to matter, not enough to overturn Fig. 1's conclusions.
+  const ActModel model;
+  const auto sys = supermuc_ng();
+  const Carbon base = embodied_breakdown(model, sys).total();
+  const Carbon fabric = interconnect_embodied(hdr_infiniband(), sys.node_count);
+  const double share = fabric / (base + fabric);
+  EXPECT_GT(share, 0.02);
+  EXPECT_LT(share, 0.15);
+}
+
+TEST(Interconnect, Preconditions) {
+  EXPECT_THROW((void)interconnect_embodied(hdr_infiniband(), -1),
+               greenhpc::InvalidArgument);
+  InterconnectSpec bad = hdr_infiniband();
+  bad.topology_factor = 0.5;
+  EXPECT_THROW((void)interconnect_embodied(bad, 10), greenhpc::InvalidArgument);
+  bad = hdr_infiniband();
+  bad.switch_ports = 0;
+  EXPECT_THROW((void)interconnect_embodied(bad, 10), greenhpc::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace greenhpc::embodied

@@ -1,0 +1,64 @@
+#include "embodied/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace greenhpc::embodied {
+namespace {
+
+TEST(Metrics, OperationalCarbon) {
+  // 1 MW for 1 day at 400 g/kWh = 9.6 t.
+  const Carbon c = operational_carbon(megawatts(1.0), days(1.0), grams_per_kwh(400.0));
+  EXPECT_NEAR(c.tonnes(), 9.6, 1e-9);
+  EXPECT_DOUBLE_EQ(
+      operational_carbon(watts(0.0), days(1.0), grams_per_kwh(400.0)).grams(), 0.0);
+}
+
+TEST(Metrics, AmortizedEmbodiedLinear) {
+  const Carbon device = tonnes_co2(6.0);
+  const Carbon year = amortized_embodied(device, days(365.0), days(6 * 365.0));
+  EXPECT_NEAR(year.tonnes(), 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(amortized_embodied(device, seconds(0.0), days(365.0)).grams(), 0.0);
+  EXPECT_THROW((void)amortized_embodied(device, days(1.0), seconds(0.0)),
+               greenhpc::InvalidArgument);
+}
+
+TEST(Metrics, CarbonMetricsDerivedQuantities) {
+  CarbonMetrics m;
+  m.embodied = kilograms_co2(2.0);
+  m.operational = kilograms_co2(3.0);
+  m.delay = seconds(10.0);
+  m.energy = joules(100.0);
+  EXPECT_DOUBLE_EQ(m.total().kilograms(), 5.0);
+  EXPECT_DOUBLE_EQ(m.cdp(), 5000.0 * 10.0);
+  EXPECT_DOUBLE_EQ(m.cep(), 5000.0 * 100.0);
+  EXPECT_DOUBLE_EQ(m.edp(), 1000.0);
+}
+
+TEST(Metrics, FlopsPerGramBasics) {
+  // 1 PFLOPS for a year: 3.156e22 FLOP. Carbon: 100 t embodied + 1 MW at
+  // 100 g/kWh for a year = 876 t -> 976 t total.
+  const double score = flops_per_gram(1.0, days(365.0), tonnes_co2(100.0),
+                                      megawatts(1.0), grams_per_kwh(100.0));
+  const double flops = 1e15 * 365.0 * 86400.0;
+  const double grams = (100.0 + 876.0) * 1e6;
+  EXPECT_NEAR(score, flops / grams, 1.0);
+}
+
+TEST(Metrics, CleanerGridImprovesScore) {
+  const double clean = flops_per_gram(10.0, days(365.0 * 6), tonnes_co2(2000.0),
+                                      megawatts(3.0), grams_per_kwh(20.0));
+  const double dirty = flops_per_gram(10.0, days(365.0 * 6), tonnes_co2(2000.0),
+                                      megawatts(3.0), grams_per_kwh(700.0));
+  EXPECT_GT(clean, 5.0 * dirty);
+}
+
+TEST(Metrics, FlopsPerGramPreconditions) {
+  EXPECT_THROW((void)flops_per_gram(0.0, days(1.0), tonnes_co2(1.0), watts(1.0),
+                                    grams_per_kwh(100.0)),
+               greenhpc::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace greenhpc::embodied

@@ -1,0 +1,130 @@
+#include "embodied/systems.hpp"
+
+#include <gtest/gtest.h>
+
+namespace greenhpc::embodied {
+namespace {
+
+TEST(Systems, InventoriesMatchPaperCapacities) {
+  // Capacities quoted verbatim in the paper's section 2.
+  const auto juwels = juwels_booster();
+  EXPECT_EQ(juwels.gpu_count, 3744);
+  EXPECT_EQ(juwels.cpu_count, 1872);
+  EXPECT_DOUBLE_EQ(juwels.dram_gb, 0.47e6);
+  EXPECT_DOUBLE_EQ(juwels.storage_gb, 37.6e6);
+
+  const auto ng = supermuc_ng();
+  EXPECT_EQ(ng.cpu_count, 12960);
+  EXPECT_FALSE(ng.gpu.has_value());
+  EXPECT_DOUBLE_EQ(ng.dram_gb, 0.72e6);
+  EXPECT_DOUBLE_EQ(ng.storage_gb, 70.26e6);
+
+  const auto hk = hawk();
+  EXPECT_EQ(hk.cpu_count, 11264);
+  EXPECT_FALSE(hk.gpu.has_value());
+  EXPECT_DOUBLE_EQ(hk.dram_gb, 1.4e6);
+  EXPECT_DOUBLE_EQ(hk.storage_gb, 42.0e6);
+}
+
+TEST(Systems, Fig1MemoryStorageShares) {
+  // The paper's headline Fig. 1 numbers: "memory and storage account for
+  // 43.5%, 59.6%, and 55.5% embodied carbon emissions for the three
+  // systems, respectively." Calibration target: within 2 percentage points.
+  ActModel m;
+  const double juwels = embodied_breakdown(m, juwels_booster()).memory_storage_share();
+  const double ng = embodied_breakdown(m, supermuc_ng()).memory_storage_share();
+  const double hk = embodied_breakdown(m, hawk()).memory_storage_share();
+  EXPECT_NEAR(juwels, 0.435, 0.02);
+  EXPECT_NEAR(ng, 0.596, 0.02);
+  EXPECT_NEAR(hk, 0.555, 0.02);
+}
+
+TEST(Systems, Fig1GpuClassDominatesInJuwels) {
+  // "we observe that GPUs have a significantly higher carbon embodied
+  // footprint than the others."
+  ActModel m;
+  const EmbodiedBreakdown b = embodied_breakdown(m, juwels_booster());
+  EXPECT_GT(b.gpu, b.cpu);
+  EXPECT_GT(b.gpu, b.dram);
+  EXPECT_GT(b.gpu, b.storage);
+}
+
+TEST(Systems, TotalsAreInPlausibleRange) {
+  // System-level embodied totals should land in the low thousands of
+  // tonnes (Li et al.-class estimates for systems of this size).
+  ActModel m;
+  for (const auto& sys : fig1_systems()) {
+    const Carbon total = embodied_breakdown(m, sys).total();
+    EXPECT_GT(total.tonnes(), 1000.0) << sys.name;
+    EXPECT_LT(total.tonnes(), 10000.0) << sys.name;
+  }
+}
+
+TEST(Systems, BreakdownSharesSumToOne) {
+  ActModel m;
+  for (const auto& sys : fig1_systems()) {
+    const EmbodiedBreakdown b = embodied_breakdown(m, sys);
+    const double sum =
+        b.share(b.cpu) + b.share(b.gpu) + b.share(b.dram) + b.share(b.storage);
+    EXPECT_NEAR(sum, 1.0, 1e-12) << sys.name;
+  }
+}
+
+TEST(Systems, CpuOnlySystemsHaveNoGpuCarbon) {
+  ActModel m;
+  EXPECT_DOUBLE_EQ(embodied_breakdown(m, supermuc_ng()).gpu.grams(), 0.0);
+  EXPECT_DOUBLE_EQ(embodied_breakdown(m, hawk()).gpu.grams(), 0.0);
+}
+
+TEST(Systems, EmptyBreakdownShareIsZero) {
+  EmbodiedBreakdown empty;
+  EXPECT_DOUBLE_EQ(empty.memory_storage_share(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.share(empty.cpu), 0.0);
+}
+
+TEST(Systems, CleanerFabGridReducesEverySystem) {
+  ActModel dirty(ActModel::Config{.fab_grid = grams_per_kwh(700.0)});
+  ActModel clean(ActModel::Config{.fab_grid = grams_per_kwh(100.0)});
+  for (const auto& sys : fig1_systems()) {
+    EXPECT_GT(embodied_breakdown(dirty, sys).total().grams(),
+              embodied_breakdown(clean, sys).total().grams())
+        << sys.name;
+  }
+}
+
+TEST(Systems, ExascaleIntroAnchors) {
+  // The paper's introduction: "Frontier ... consumes 20MW of power in
+  // continuous operation, while the upcoming Aurora ... is estimated to
+  // draw 60MW."
+  EXPECT_DOUBLE_EQ(frontier().avg_power.megawatts(), 20.0);
+  EXPECT_DOUBLE_EQ(aurora_estimate().avg_power.megawatts(), 60.0);
+}
+
+TEST(Systems, ExascaleEmbodiedDwarfsPetascale) {
+  ActModel m;
+  const Carbon frontier_total = embodied_breakdown(m, frontier()).total();
+  const Carbon ng_total = embodied_breakdown(m, supermuc_ng()).total();
+  EXPECT_GT(frontier_total.tonnes(), 3.0 * ng_total.tonnes());
+  EXPECT_LT(frontier_total.tonnes(), 60000.0);  // sanity ceiling
+  const Carbon aurora_total = embodied_breakdown(m, aurora_estimate()).total();
+  EXPECT_GT(aurora_total.tonnes(), frontier_total.tonnes() * 0.5);
+}
+
+TEST(Systems, ExascaleGpuClassDominates) {
+  ActModel m;
+  for (const auto& sys : {frontier(), aurora_estimate()}) {
+    const EmbodiedBreakdown b = embodied_breakdown(m, sys);
+    EXPECT_GT(b.gpu, b.cpu) << sys.name;
+  }
+}
+
+TEST(Systems, Fig1OrderIsJuwelsNgHawk) {
+  const auto systems = fig1_systems();
+  ASSERT_EQ(systems.size(), 3u);
+  EXPECT_EQ(systems[0].name, "Juwels Booster");
+  EXPECT_EQ(systems[1].name, "SuperMUC-NG");
+  EXPECT_EQ(systems[2].name, "Hawk");
+}
+
+}  // namespace
+}  // namespace greenhpc::embodied

@@ -1,0 +1,118 @@
+#include "facility/facility_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "carbon/grid_model.hpp"
+#include "util/error.hpp"
+
+namespace greenhpc::facility {
+namespace {
+
+util::TimeSeries flat(double value, Duration span, Duration step = hours(1.0)) {
+  const auto n = static_cast<std::size_t>(span.seconds() / step.seconds());
+  return util::TimeSeries(seconds(0.0), step, std::vector<double>(n, value));
+}
+
+TEST(HeatReuse, SeasonalDemandShape) {
+  HeatReuseConfig cfg;
+  // Mid-January demand near the winter ceiling, mid-July near the floor.
+  EXPECT_NEAR(heating_demand_factor(cfg, days(15.0)), cfg.winter_demand, 0.01);
+  EXPECT_NEAR(heating_demand_factor(cfg, days(197.0)), cfg.summer_demand, 0.01);
+  // Shoulder seasons in between.
+  const double spring = heating_demand_factor(cfg, days(105.0));
+  EXPECT_GT(spring, cfg.summer_demand);
+  EXPECT_LT(spring, cfg.winter_demand);
+}
+
+TEST(HeatReuse, CreditArithmetic) {
+  HeatReuseConfig cfg;
+  cfg.capture_fraction = 1.0;
+  cfg.winter_demand = 1.0;
+  cfg.summer_demand = 1.0;  // demand always 1 -> credit = E * ci_heat
+  const Carbon credit =
+      heat_reuse_credit(cfg, kilowatt_hours(100.0), seconds(0.0), days(1.0));
+  EXPECT_NEAR(credit.grams(), 100.0 * 220.0, 1e-6);
+}
+
+TEST(HeatReuse, WinterCreditExceedsSummer) {
+  HeatReuseConfig cfg;
+  const Carbon winter =
+      heat_reuse_credit(cfg, kilowatt_hours(100.0), days(5.0), days(25.0));
+  const Carbon summer =
+      heat_reuse_credit(cfg, kilowatt_hours(100.0), days(185.0), days(205.0));
+  EXPECT_GT(winter.grams(), 3.0 * summer.grams());
+}
+
+TEST(Facility, EnergyComposition) {
+  const auto it = flat(1.0e6, days(2.0));        // 1 MW IT
+  const auto temp = flat(10.0, days(2.0));       // free cooling for all techs
+  const auto ci = flat(300.0, days(2.0));
+  const CoolingModel warm(CoolingTechnology::WarmWater);
+  const auto r = evaluate_facility(it, temp, ci, warm, HeatReuseConfig{});
+  EXPECT_NEAR(r.it_energy.megawatt_hours(), 48.0, 0.01);
+  EXPECT_NEAR(r.mean_pue, 1.07, 1e-9);
+  EXPECT_NEAR(r.facility_energy.megawatt_hours(), 48.0 * 1.07, 0.05);
+  EXPECT_NEAR(r.gross_carbon.tonnes(), 48.0 * 1.07 * 0.3, 0.01);
+  EXPECT_GT(r.reuse_credit.grams(), 0.0);
+  EXPECT_LT(r.net_carbon().grams(), r.gross_carbon.grams());
+}
+
+TEST(Facility, NetCarbonFlooredAtZero) {
+  // A clean grid plus aggressive reuse must not produce negative carbon.
+  const auto it = flat(1.0e6, days(10.0));
+  const auto temp = flat(0.0, days(10.0));
+  const auto ci = flat(5.0, days(10.0));  // near-zero-carbon grid
+  const CoolingModel warm(CoolingTechnology::WarmWater);
+  HeatReuseConfig reuse;
+  reuse.capture_fraction = 1.0;
+  const auto r = evaluate_facility(it, temp, ci, warm, reuse);
+  EXPECT_GT(r.reuse_credit.grams(), r.gross_carbon.grams());
+  EXPECT_DOUBLE_EQ(r.net_carbon().grams(), 0.0);
+}
+
+TEST(Facility, WarmWaterBeatsAirOnNetCarbon) {
+  carbon::GridModel grid(carbon::Region::Germany, 3);
+  const auto ci = grid.generate(seconds(0.0), days(30.0), hours(1.0));
+  WeatherModel weather(carbon::Region::Germany, 3);
+  const auto temp = weather.generate(seconds(0.0), days(30.0), hours(1.0));
+  const auto it = flat(3.0e6, days(30.0));
+  HeatReuseConfig no_reuse;
+  no_reuse.capture_fraction = 0.05;  // air-cooled: almost nothing to reuse
+  const auto air = evaluate_facility(it, temp, ci, CoolingModel(CoolingTechnology::AirCooled),
+                                     no_reuse);
+  const auto warm = evaluate_facility(it, temp, ci,
+                                      CoolingModel(CoolingTechnology::WarmWater),
+                                      HeatReuseConfig{});
+  EXPECT_LT(warm.net_carbon().grams(), 0.8 * air.net_carbon().grams());
+}
+
+TEST(Facility, ConstantHelperMatchesExplicitTrace) {
+  const auto temp = flat(12.0, days(3.0));
+  const auto ci = flat(250.0, days(3.0));
+  const CoolingModel chilled(CoolingTechnology::ChilledWater);
+  const auto a = evaluate_facility_constant(megawatts(2.0), seconds(0.0), days(3.0),
+                                            temp, ci, chilled, HeatReuseConfig{});
+  const auto b = evaluate_facility(flat(2.0e6, days(3.0)), temp, ci, chilled,
+                                   HeatReuseConfig{});
+  EXPECT_NEAR(a.facility_energy.joules(), b.facility_energy.joules(), 1.0);
+  EXPECT_NEAR(a.net_carbon().grams(), b.net_carbon().grams(), 1.0);
+}
+
+TEST(Facility, Preconditions) {
+  const auto temp = flat(10.0, days(1.0));
+  const auto ci = flat(100.0, days(1.0));
+  const CoolingModel warm(CoolingTechnology::WarmWater);
+  util::TimeSeries empty(seconds(0.0), hours(1.0));
+  EXPECT_THROW(
+      (void)evaluate_facility(empty, temp, ci, warm, HeatReuseConfig{}),
+      greenhpc::InvalidArgument);
+  HeatReuseConfig bad;
+  bad.winter_demand = 0.1;
+  bad.summer_demand = 0.5;
+  EXPECT_THROW((void)heating_demand_factor(bad, days(1.0)), greenhpc::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace greenhpc::facility

@@ -1,0 +1,58 @@
+#include "facility/weather.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace greenhpc::facility {
+namespace {
+
+TEST(Weather, DeterministicForSeed) {
+  WeatherModel a(carbon::Region::Germany, 3);
+  WeatherModel b(carbon::Region::Germany, 3);
+  const auto ta = a.generate(seconds(0.0), days(10.0), hours(1.0));
+  const auto tb = b.generate(seconds(0.0), days(10.0), hours(1.0));
+  for (std::size_t i = 0; i < ta.size(); ++i) EXPECT_DOUBLE_EQ(ta.at(i), tb.at(i));
+}
+
+TEST(Weather, WinterColderThanSummer) {
+  WeatherModel model(carbon::Region::Germany, 5);
+  // January (epoch day 0) vs July (day ~195).
+  const double january = model.deterministic_component(days(10.0) + hours(12.0));
+  const double july = model.deterministic_component(days(195.0) + hours(12.0));
+  EXPECT_LT(january, july - 10.0);
+}
+
+TEST(Weather, AfternoonWarmerThanNight) {
+  WeatherModel model(carbon::Region::Spain, 5);
+  const double night = model.deterministic_component(days(180.0) + hours(4.0));
+  const double afternoon = model.deterministic_component(days(180.0) + hours(15.0));
+  EXPECT_GT(afternoon, night + 5.0);
+}
+
+TEST(Weather, AnnualMeanMatchesClimate) {
+  for (carbon::Region r : {carbon::Region::Finland, carbon::Region::Spain}) {
+    WeatherModel model(r, 11);
+    const auto year = model.generate(seconds(0.0), days(365.0), hours(3.0));
+    EXPECT_NEAR(year.summary().mean, climate(r).annual_mean, 2.5)
+        << carbon::traits(r).name;
+  }
+}
+
+TEST(Weather, FinlandColderThanSpain) {
+  EXPECT_LT(climate(carbon::Region::Finland).annual_mean,
+            climate(carbon::Region::Spain).annual_mean - 8.0);
+}
+
+TEST(Weather, InvalidTraitsThrow) {
+  ClimateTraits bad = climate(carbon::Region::Germany);
+  bad.ou_tau_hours = 0.0;
+  EXPECT_THROW(WeatherModel(bad, 1), greenhpc::InvalidArgument);
+  WeatherModel ok(carbon::Region::Germany, 1);
+  EXPECT_THROW((void)ok.generate(seconds(0.0), seconds(0.0), hours(1.0)),
+               greenhpc::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace greenhpc::facility

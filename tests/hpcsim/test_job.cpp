@@ -1,0 +1,68 @@
+#include "hpcsim/job.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testing/helpers.hpp"
+#include "util/error.hpp"
+
+namespace greenhpc::hpcsim {
+namespace {
+
+using greenhpc::testing::rigid_job;
+
+TEST(JobSpec, ValidRigidJobPasses) {
+  const JobSpec j = rigid_job(1, seconds(0.0), 4, hours(2.0));
+  EXPECT_NO_THROW(j.validate());
+}
+
+TEST(JobSpec, RigidRangeMustMatchRequested) {
+  JobSpec j = rigid_job(1, seconds(0.0), 4, hours(2.0));
+  j.min_nodes = 2;
+  EXPECT_THROW(j.validate(), greenhpc::InvalidArgument);
+}
+
+TEST(JobSpec, RequestedMustCoverUsed) {
+  JobSpec j = rigid_job(1, seconds(0.0), 4, hours(2.0));
+  j.nodes_used = 8;
+  EXPECT_THROW(j.validate(), greenhpc::InvalidArgument);
+}
+
+TEST(JobSpec, OverAllocationIsLegal) {
+  JobSpec j = rigid_job(1, seconds(0.0), 8, hours(2.0));
+  j.nodes_used = 4;  // requested 8, uses 4
+  EXPECT_NO_THROW(j.validate());
+}
+
+TEST(JobSpec, WalltimeMustCoverRuntime) {
+  JobSpec j = rigid_job(1, seconds(0.0), 4, hours(2.0));
+  j.walltime = hours(1.0);
+  EXPECT_THROW(j.validate(), greenhpc::InvalidArgument);
+}
+
+TEST(JobSpec, ParameterRanges) {
+  JobSpec j = rigid_job(1, seconds(0.0), 4, hours(2.0));
+  j.power_alpha = 1.5;
+  EXPECT_THROW(j.validate(), greenhpc::InvalidArgument);
+  j.power_alpha = 0.4;
+  j.scale_gamma = 0.0;
+  EXPECT_THROW(j.validate(), greenhpc::InvalidArgument);
+  j.scale_gamma = 0.9;
+  j.node_power = watts(0.0);
+  EXPECT_THROW(j.validate(), greenhpc::InvalidArgument);
+  j.node_power = watts(300.0);
+  j.runtime = seconds(0.0);
+  EXPECT_THROW(j.validate(), greenhpc::InvalidArgument);
+}
+
+TEST(JobSpec, MalleableRangeValidation) {
+  JobSpec j = rigid_job(1, seconds(0.0), 4, hours(2.0));
+  j.kind = JobKind::Malleable;
+  j.min_nodes = 2;
+  j.max_nodes = 8;
+  EXPECT_NO_THROW(j.validate());
+  j.min_nodes = 9;
+  EXPECT_THROW(j.validate(), greenhpc::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace greenhpc::hpcsim

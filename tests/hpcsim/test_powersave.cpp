@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "hpcsim/simulator.hpp"
+#include "hpcsim/workload.hpp"
+#include "testing/helpers.hpp"
+#include "util/stats.hpp"
+#include "util/error.hpp"
+
+namespace greenhpc::hpcsim {
+namespace {
+
+using greenhpc::testing::constant_trace;
+using greenhpc::testing::GreedyScheduler;
+using greenhpc::testing::rigid_job;
+using greenhpc::testing::small_cluster;
+
+TEST(Powersave, EffectiveNodePower) {
+  JobSpec j = rigid_job(1, seconds(0.0), 2, hours(1.0));
+  j.node_power = watts(400.0);
+  j.mpi_wait_fraction = 0.3;
+  j.powersave_runtime = false;
+  EXPECT_DOUBLE_EQ(j.effective_node_power().watts(), 400.0);
+  j.powersave_runtime = true;
+  // 400 * (1 - 0.6 * 0.3) = 328.
+  EXPECT_DOUBLE_EQ(j.effective_node_power().watts(), 328.0);
+  j.mpi_wait_fraction = 0.0;
+  EXPECT_DOUBLE_EQ(j.effective_node_power().watts(), 400.0);
+}
+
+TEST(Powersave, PerformanceNeutralEnergySaving) {
+  // The Countdown claim: same runtime, less energy.
+  const auto cluster = small_cluster(4);
+  JobSpec plain = rigid_job(1, seconds(0.0), 2, hours(2.0));
+  plain.mpi_wait_fraction = 0.4;
+  JobSpec saver = plain;
+  saver.powersave_runtime = true;
+
+  auto run_one = [&](const JobSpec& j) {
+    Simulator::Config cfg;
+    cfg.cluster = cluster;
+    cfg.carbon_intensity = constant_trace(300.0, days(1.0));
+    Simulator sim(cfg, {j});
+    GreedyScheduler sched;
+    return sim.run(sched);
+  };
+  const auto r_plain = run_one(plain);
+  const auto r_saver = run_one(saver);
+  EXPECT_NEAR(r_plain.jobs[0].finish.hours(), r_saver.jobs[0].finish.hours(), 0.02);
+  // Energy ratio = 1 - 0.6*0.4 = 0.76 on the busy share.
+  EXPECT_NEAR(r_saver.jobs[0].energy.joules() / r_plain.jobs[0].energy.joules(), 0.76,
+              0.01);
+  EXPECT_LT(r_saver.jobs[0].carbon.grams(), r_plain.jobs[0].carbon.grams());
+}
+
+TEST(Powersave, WaitFractionValidated) {
+  JobSpec j = rigid_job(1, seconds(0.0), 2, hours(1.0));
+  j.mpi_wait_fraction = 0.95;
+  EXPECT_THROW(j.validate(), greenhpc::InvalidArgument);
+  j.mpi_wait_fraction = -0.1;
+  EXPECT_THROW(j.validate(), greenhpc::InvalidArgument);
+}
+
+TEST(Powersave, GeneratorAdoptionKnob) {
+  WorkloadConfig cfg;
+  cfg.job_count = 1000;
+  cfg.span = days(2.0);
+  cfg.powersave_adoption = 0.4;
+  cfg.mpi_wait_mean = 0.25;
+  const auto jobs = WorkloadGenerator(cfg, 3).generate();
+  int adopters = 0;
+  util::RunningStats waits;
+  for (const auto& j : jobs) {
+    adopters += j.powersave_runtime ? 1 : 0;
+    waits.add(j.mpi_wait_fraction);
+  }
+  EXPECT_NEAR(adopters / 1000.0, 0.4, 0.05);
+  EXPECT_NEAR(waits.mean(), 0.25, 0.02);
+}
+
+TEST(Powersave, AdoptionReducesFleetEnergy) {
+  WorkloadConfig wl;
+  wl.job_count = 150;
+  wl.span = days(2.0);
+  wl.max_job_nodes = 8;
+  wl.mpi_wait_mean = 0.25;
+
+  auto total_energy = [&](double adoption) {
+    WorkloadConfig cfg = wl;
+    cfg.powersave_adoption = adoption;
+    // Same seed: identical jobs except the adoption flag.
+    const auto jobs = WorkloadGenerator(cfg, 77).generate();
+    Simulator::Config sim_cfg;
+    sim_cfg.cluster = small_cluster(32);
+    sim_cfg.carbon_intensity = constant_trace(300.0, days(1.0));
+    Simulator sim(sim_cfg, jobs);
+    GreedyScheduler sched;
+    return sim.run(sched).total_energy;
+  };
+  const Energy none = total_energy(0.0);
+  const Energy full = total_energy(1.0);
+  EXPECT_LT(full.joules(), none.joules() * 0.95);
+}
+
+}  // namespace
+}  // namespace greenhpc::hpcsim

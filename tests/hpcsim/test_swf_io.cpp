@@ -1,0 +1,101 @@
+#include "hpcsim/swf_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "hpcsim/simulator.hpp"
+#include "hpcsim/workload.hpp"
+#include "testing/helpers.hpp"
+#include "util/error.hpp"
+
+namespace greenhpc::hpcsim {
+namespace {
+
+TEST(Swf, ParsesMinimalTrace) {
+  std::istringstream in(
+      "; Version: 2.2\n"
+      "; Computer: test\n"
+      "1 0 5 3600 4 -1 -1 8 7200 -1 1 12 3 -1 -1 -1 -1 -1\n"
+      "2 600 -1 1800 2 -1 -1 -1 -1 -1 1 7 1 -1 -1 -1 -1 -1\n");
+  const auto imported = load_swf(in);
+  EXPECT_EQ(imported.skipped, 0);
+  ASSERT_EQ(imported.jobs.size(), 2u);
+  const JobSpec& j1 = imported.jobs[0];
+  EXPECT_DOUBLE_EQ(j1.submit.seconds(), 0.0);
+  EXPECT_DOUBLE_EQ(j1.runtime.hours(), 1.0);
+  EXPECT_EQ(j1.nodes_requested, 8);
+  EXPECT_EQ(j1.nodes_used, 4);
+  EXPECT_DOUBLE_EQ(j1.walltime.seconds(), 7200.0);
+  EXPECT_EQ(j1.user, "user12");
+  EXPECT_EQ(j1.project, "proj3");
+  // Second job: no requested procs -> uses used procs; no req time ->
+  // 1.5x runtime.
+  const JobSpec& j2 = imported.jobs[1];
+  EXPECT_EQ(j2.nodes_requested, 2);
+  EXPECT_DOUBLE_EQ(j2.walltime.seconds(), 2700.0);
+}
+
+TEST(Swf, SkipsUnschedulableEntries) {
+  std::istringstream in(
+      "1 0 -1 -1 4 -1 -1 4 -1 -1 0 1 1 -1 -1 -1 -1 -1\n"   // unknown runtime
+      "2 0 -1 3600 -1 -1 -1 -1 -1 -1 0 1 1 -1 -1 -1 -1 -1\n"  // no procs
+      "3 0 -1 3600 4 -1 -1 4 -1 -1 1 1 1 -1 -1 -1 -1 -1\n"   // good
+      "garbage line\n");
+  const auto imported = load_swf(in);
+  EXPECT_EQ(imported.jobs.size(), 1u);
+  EXPECT_EQ(imported.skipped, 3);
+}
+
+TEST(Swf, MaxNodesClamping) {
+  std::istringstream in("1 0 -1 3600 512 -1 -1 512 -1 -1 1 1 1 -1 -1 -1 -1 -1\n");
+  SwfDefaults defaults;
+  defaults.max_nodes = 64;
+  const auto imported = load_swf(in, defaults);
+  ASSERT_EQ(imported.jobs.size(), 1u);
+  EXPECT_EQ(imported.jobs[0].nodes_requested, 64);
+}
+
+TEST(Swf, RoundTripsGeneratedWorkload) {
+  WorkloadConfig cfg;
+  cfg.job_count = 60;
+  cfg.span = days(1.0);
+  cfg.max_job_nodes = 16;
+  const auto jobs = WorkloadGenerator(cfg, 5).generate();
+  std::stringstream buffer;
+  save_swf(jobs, buffer);
+  const auto imported = load_swf(buffer);
+  EXPECT_EQ(imported.skipped, 0);
+  ASSERT_EQ(imported.jobs.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_NEAR(imported.jobs[i].submit.seconds(), jobs[i].submit.seconds(), 1.0);
+    EXPECT_NEAR(imported.jobs[i].runtime.seconds(), jobs[i].runtime.seconds(), 1.0);
+    EXPECT_EQ(imported.jobs[i].nodes_requested, jobs[i].nodes_requested);
+    EXPECT_EQ(imported.jobs[i].user, jobs[i].user);
+  }
+}
+
+TEST(Swf, ImportedTraceRunsThroughSimulator) {
+  std::istringstream in(
+      "1 0 -1 3600 4 -1 -1 4 5400 -1 1 1 1 -1 -1 -1 -1 -1\n"
+      "2 300 -1 1800 8 -1 -1 8 3600 -1 1 2 1 -1 -1 -1 -1 -1\n"
+      "3 900 -1 7200 2 -1 -1 2 10800 -1 1 3 2 -1 -1 -1 -1 -1\n");
+  const auto imported = load_swf(in);
+  Simulator::Config cfg;
+  cfg.cluster = greenhpc::testing::small_cluster(16);
+  cfg.carbon_intensity = greenhpc::testing::constant_trace(300.0, days(1.0));
+  Simulator sim(cfg, imported.jobs);
+  greenhpc::testing::GreedyScheduler sched;
+  const auto result = sim.run(sched);
+  EXPECT_EQ(result.completed_jobs, 3);
+}
+
+TEST(Swf, EmptyInputYieldsNothing) {
+  std::istringstream in("; just a header\n");
+  const auto imported = load_swf(in);
+  EXPECT_TRUE(imported.jobs.empty());
+  EXPECT_EQ(imported.skipped, 0);
+}
+
+}  // namespace
+}  // namespace greenhpc::hpcsim

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "hpcsim/simulator.hpp"
+#include "testing/helpers.hpp"
+
+namespace greenhpc::hpcsim {
+namespace {
+
+using greenhpc::testing::constant_trace;
+using greenhpc::testing::GreedyScheduler;
+using greenhpc::testing::rigid_job;
+using greenhpc::testing::small_cluster;
+
+Simulator::Config cfg(bool enforce) {
+  Simulator::Config c;
+  c.cluster = small_cluster(4);
+  c.cluster.enforce_walltime = enforce;
+  c.carbon_intensity = constant_trace(200.0, days(2.0));
+  return c;
+}
+
+TEST(Walltime, JobWithinLimitUnaffected) {
+  // runtime 1h, walltime 1.5h -> completes normally.
+  Simulator sim(cfg(true), {rigid_job(1, seconds(0.0), 2, hours(1.0))});
+  GreedyScheduler sched;
+  const auto r = sim.run(sched);
+  EXPECT_TRUE(r.jobs[0].completed);
+  EXPECT_FALSE(r.jobs[0].killed);
+  EXPECT_EQ(r.walltime_kills, 0);
+}
+
+TEST(Walltime, UnderestimatedJobIsKilled) {
+  JobSpec j = rigid_job(1, seconds(0.0), 2, hours(2.0));
+  j.walltime = hours(2.0);
+  // Slow the job down with a power cap so it overruns its walltime.
+  class HalfBudget final : public PowerBudgetPolicy {
+   public:
+    Power system_budget(Duration, double, const ClusterConfig&) override {
+      return watts(0.5 * 2 * 400.0 + 2 * 100.0);  // cap=0.5 with 2 idle nodes
+    }
+    std::string name() const override { return "half"; }
+  };
+  Simulator sim(cfg(true), {j});
+  GreedyScheduler sched;
+  HalfBudget budget;
+  const auto r = sim.run(sched, &budget);
+  EXPECT_FALSE(r.jobs[0].completed);
+  EXPECT_TRUE(r.jobs[0].killed);
+  EXPECT_EQ(r.walltime_kills, 1);
+  EXPECT_NEAR(r.jobs[0].finish.hours(), 2.0, 0.05);
+  EXPECT_EQ(r.completed_jobs, 0);
+}
+
+TEST(Walltime, NotEnforcedByDefault) {
+  JobSpec j = rigid_job(1, seconds(0.0), 2, hours(2.0));
+  j.walltime = hours(2.0);
+  class HalfBudget final : public PowerBudgetPolicy {
+   public:
+    Power system_budget(Duration, double, const ClusterConfig&) override {
+      return watts(0.5 * 2 * 400.0 + 2 * 100.0);
+    }
+    std::string name() const override { return "half"; }
+  };
+  Simulator sim(cfg(false), {j});
+  GreedyScheduler sched;
+  HalfBudget budget;
+  const auto r = sim.run(sched, &budget);
+  EXPECT_TRUE(r.jobs[0].completed);
+  EXPECT_EQ(r.walltime_kills, 0);
+}
+
+TEST(Walltime, ClockPausesWhileSuspended) {
+  // Job: runtime 2h, walltime 2.2h. Suspended for 3h in the middle; with
+  // requeue semantics the suspension must not consume walltime, so it
+  // still completes (checkpoint overhead 6min keeps total under limit).
+  JobSpec j = rigid_job(1, seconds(0.0), 2, hours(2.0));
+  j.walltime = hours(2.3);
+  j.checkpointable = true;
+  j.checkpoint_overhead = minutes(6.0);
+  class SuspendResume final : public SchedulingPolicy {
+   public:
+    void on_tick(SimulationView& view) override {
+      for (JobId id : view.pending_jobs()) (void)view.start(id, 2);
+      if (view.now() >= hours(1.0) && view.now() < hours(1.0) + minutes(1.0)) {
+        for (JobId id : view.running_jobs()) (void)view.suspend(id);
+      }
+      if (view.now() >= hours(4.0)) {
+        for (JobId id : view.suspended_jobs()) (void)view.resume(id, 2);
+      }
+    }
+    std::string name() const override { return "susres"; }
+  };
+  Simulator sim(cfg(true), {j});
+  SuspendResume sched;
+  const auto r = sim.run(sched);
+  EXPECT_TRUE(r.jobs[0].completed);
+  EXPECT_FALSE(r.jobs[0].killed);
+}
+
+TEST(Walltime, KilledJobStillChargedEnergy) {
+  JobSpec j = rigid_job(1, seconds(0.0), 2, hours(2.0));
+  j.walltime = hours(2.0);
+  class HalfBudget final : public PowerBudgetPolicy {
+   public:
+    Power system_budget(Duration, double, const ClusterConfig&) override {
+      return watts(0.5 * 2 * 400.0 + 2 * 100.0);
+    }
+    std::string name() const override { return "half"; }
+  };
+  Simulator sim(cfg(true), {j});
+  GreedyScheduler sched;
+  HalfBudget budget;
+  const auto r = sim.run(sched, &budget);
+  // 2 nodes at 200 W (capped) for 2 h = 0.8 kWh.
+  EXPECT_NEAR(r.jobs[0].energy.kilowatt_hours(), 0.8, 0.05);
+  EXPECT_GT(r.jobs[0].carbon.grams(), 0.0);
+}
+
+}  // namespace
+}  // namespace greenhpc::hpcsim

@@ -1,0 +1,152 @@
+#include "hpcsim/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace greenhpc::hpcsim {
+namespace {
+
+WorkloadConfig base_config() {
+  WorkloadConfig cfg;
+  cfg.job_count = 500;
+  cfg.span = days(3.0);
+  cfg.max_job_nodes = 64;
+  return cfg;
+}
+
+TEST(Workload, DeterministicForSeed) {
+  const auto a = WorkloadGenerator(base_config(), 7).generate();
+  const auto b = WorkloadGenerator(base_config(), 7).generate();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, b[i].id);
+    EXPECT_EQ(a[i].submit, b[i].submit);
+    EXPECT_EQ(a[i].nodes_used, b[i].nodes_used);
+    EXPECT_EQ(a[i].runtime, b[i].runtime);
+  }
+}
+
+TEST(Workload, AllJobsValidAndSorted) {
+  const auto jobs = WorkloadGenerator(base_config(), 11).generate();
+  ASSERT_EQ(jobs.size(), 500u);
+  Duration prev = seconds(-1.0);
+  for (const auto& j : jobs) {
+    EXPECT_NO_THROW(j.validate());
+    EXPECT_GE(j.submit, prev);
+    prev = j.submit;
+    EXPECT_GE(j.submit.seconds(), 0.0);
+    EXPECT_LE(j.submit, days(3.0));
+    EXPECT_LE(j.nodes_used, 64);
+  }
+}
+
+TEST(Workload, RuntimeDistributionMatchesMean) {
+  WorkloadConfig cfg = base_config();
+  cfg.job_count = 4000;
+  cfg.runtime_mean = hours(3.0);
+  const auto jobs = WorkloadGenerator(cfg, 13).generate();
+  util::RunningStats s;
+  for (const auto& j : jobs) s.add(j.runtime.hours());
+  // Clamping to [10min, 24h] biases slightly; stay within 20%.
+  EXPECT_NEAR(s.mean(), 3.0, 0.6);
+}
+
+TEST(Workload, NoOverAllocationByDefault) {
+  const auto jobs = WorkloadGenerator(base_config(), 17).generate();
+  for (const auto& j : jobs) EXPECT_EQ(j.nodes_requested, j.nodes_used);
+}
+
+TEST(Workload, OverAllocationKnob) {
+  WorkloadConfig cfg = base_config();
+  cfg.job_count = 3000;
+  cfg.over_allocation_mean = 1.5;
+  const auto jobs = WorkloadGenerator(cfg, 19).generate();
+  double ratio_sum = 0.0;
+  int over = 0;
+  for (const auto& j : jobs) {
+    EXPECT_GE(j.nodes_requested, j.nodes_used);
+    ratio_sum += static_cast<double>(j.nodes_requested) / j.nodes_used;
+    over += j.nodes_requested > j.nodes_used ? 1 : 0;
+  }
+  EXPECT_GT(over, static_cast<int>(jobs.size()) / 2);
+  // Ceiling + clamping inflate the mean ratio above the raw 1.5 knob.
+  EXPECT_GT(ratio_sum / static_cast<double>(jobs.size()), 1.3);
+}
+
+TEST(Workload, MalleableFraction) {
+  WorkloadConfig cfg = base_config();
+  cfg.job_count = 2000;
+  cfg.malleable_fraction = 0.4;
+  const auto jobs = WorkloadGenerator(cfg, 23).generate();
+  int malleable = 0;
+  for (const auto& j : jobs) {
+    if (j.kind == JobKind::Malleable) {
+      ++malleable;
+      EXPECT_LE(j.min_nodes, j.nodes_used);
+      EXPECT_GE(j.max_nodes, j.nodes_used);
+    }
+  }
+  EXPECT_NEAR(malleable / 2000.0, 0.4, 0.05);
+}
+
+TEST(Workload, CheckpointableFraction) {
+  WorkloadConfig cfg = base_config();
+  cfg.job_count = 2000;
+  cfg.checkpointable_fraction = 0.7;
+  const auto jobs = WorkloadGenerator(cfg, 29).generate();
+  int ckpt = 0;
+  for (const auto& j : jobs) ckpt += j.checkpointable ? 1 : 0;
+  EXPECT_NEAR(ckpt / 2000.0, 0.7, 0.05);
+}
+
+TEST(Workload, NodePowerClamped) {
+  WorkloadConfig cfg = base_config();
+  cfg.job_count = 1000;
+  const auto jobs = WorkloadGenerator(cfg, 31).generate();
+  for (const auto& j : jobs) {
+    EXPECT_GE(j.node_power.watts(), 200.0);  // 0.5 * mean
+    EXPECT_LE(j.node_power.watts(), 500.0);  // limit
+  }
+}
+
+TEST(Workload, DiurnalSubmissionPeak) {
+  WorkloadConfig cfg = base_config();
+  cfg.job_count = 8000;
+  cfg.span = days(7.0);
+  cfg.diurnal_amplitude = 0.8;
+  const auto jobs = WorkloadGenerator(cfg, 37).generate();
+  int afternoon = 0, night = 0;
+  for (const auto& j : jobs) {
+    const double hour = std::fmod(j.submit.hours(), 24.0);
+    if (hour >= 12.0 && hour < 16.0) ++afternoon;
+    if (hour >= 0.0 && hour < 4.0) ++night;
+  }
+  EXPECT_GT(afternoon, night);
+}
+
+TEST(Workload, UserPoolRespected) {
+  WorkloadConfig cfg = base_config();
+  cfg.user_count = 5;
+  const auto jobs = WorkloadGenerator(cfg, 41).generate();
+  for (const auto& j : jobs) {
+    EXPECT_TRUE(j.user == "user0" || j.user == "user1" || j.user == "user2" ||
+                j.user == "user3" || j.user == "user4");
+  }
+}
+
+TEST(Workload, ConfigValidation) {
+  WorkloadConfig cfg = base_config();
+  cfg.job_count = 0;
+  EXPECT_THROW(WorkloadGenerator(cfg, 1), greenhpc::InvalidArgument);
+  cfg = base_config();
+  cfg.over_allocation_mean = 0.5;
+  EXPECT_THROW(WorkloadGenerator(cfg, 1), greenhpc::InvalidArgument);
+  cfg = base_config();
+  cfg.malleable_fraction = 1.5;
+  EXPECT_THROW(WorkloadGenerator(cfg, 1), greenhpc::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace greenhpc::hpcsim

@@ -1,0 +1,160 @@
+// End-to-end experiments exercising the full stack exactly the way the
+// benches do: realistic grid traces, generated workloads, composed
+// policies. These tests pin down the *directional* results the paper
+// predicts (carbon-aware < baseline on carbon, bounded wait inflation),
+// which is the reproduction's core claim.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "accounting/incentives.hpp"
+#include "accounting/job_carbon.hpp"
+#include "carbon/forecast.hpp"
+#include "core/scenario.hpp"
+#include "powerstack/policies.hpp"
+#include "sched/carbon_aware.hpp"
+#include "sched/decorators.hpp"
+#include "sched/easy_backfill.hpp"
+#include "sched/fcfs.hpp"
+
+namespace greenhpc {
+namespace {
+
+core::ScenarioConfig scenario(double utilization_knob = 1.0,
+                              double malleable = 0.0, double checkpointable = 0.0) {
+  core::ScenarioConfig cfg;
+  cfg.cluster.nodes = 64;
+  cfg.cluster.tick = minutes(2.0);
+  cfg.region = carbon::Region::Germany;
+  cfg.trace_span = days(8.0);
+  cfg.workload.job_count = static_cast<int>(220 * utilization_knob);
+  cfg.workload.span = days(5.0);
+  cfg.workload.max_job_nodes = 32;
+  cfg.workload.malleable_fraction = malleable;
+  cfg.workload.checkpointable_fraction = checkpointable;
+  cfg.seed = 2024;
+  return cfg;
+}
+
+core::SchedulerFactory easy_factory() {
+  return [] { return std::make_unique<sched::EasyBackfillScheduler>(); };
+}
+
+core::SchedulerFactory carbon_easy_factory() {
+  return [] {
+    sched::CarbonAwareEasyScheduler::Config cfg;
+    cfg.max_hold = hours(10.0);
+    return std::make_unique<sched::CarbonAwareEasyScheduler>(
+        cfg, std::make_shared<carbon::PersistenceForecaster>());
+  };
+}
+
+TEST(EndToEnd, CarbonAwareSchedulingCutsJobCarbon) {
+  // EXP-SCHED direction: on identical inputs, carbon-aware EASY emits
+  // less carbon per delivered node-hour than plain EASY, at a bounded
+  // wait-time cost.
+  core::ScenarioRunner runner(scenario(0.7));
+  const auto easy = runner.run("easy", easy_factory());
+  const auto green = runner.run("carbon-easy", carbon_easy_factory());
+  ASSERT_EQ(easy.completed, static_cast<int>(runner.jobs().size()));
+  ASSERT_EQ(green.completed, easy.completed);
+  EXPECT_LT(green.carbon_per_node_hour_g, easy.carbon_per_node_hour_g);
+  // Per-job attributed carbon drops in aggregate.
+  Carbon easy_job_carbon{}, green_job_carbon{};
+  for (const auto& j : easy.result.jobs) easy_job_carbon += j.carbon;
+  for (const auto& j : green.result.jobs) green_job_carbon += j.carbon;
+  EXPECT_LT(green_job_carbon.grams(), easy_job_carbon.grams());
+  EXPECT_GE(green.green_energy_share, easy.green_energy_share * 0.98);
+  // Bounded cost: mean wait grows by less than the configured max hold.
+  EXPECT_LT(green.mean_wait_h - easy.mean_wait_h, 10.0);
+}
+
+TEST(EndToEnd, DynamicPowerBudgetCutsCarbonVsStatic) {
+  // EXP-PWR direction: CI-proportional system power budgets reduce total
+  // carbon versus an always-full budget, without dropping completions.
+  core::ScenarioRunner runner(scenario(0.6));
+  const auto unconstrained = runner.run("easy", easy_factory());
+  const auto scaled = runner.run("easy", easy_factory(), [] {
+    return std::make_unique<powerstack::IntensityProportionalPolicy>(
+        powerstack::IntensityProportionalPolicy::Config{
+            .ci_clean = 250.0, .ci_dirty = 550.0, .min_fraction = 0.55,
+            .max_fraction = 1.0});
+  });
+  ASSERT_EQ(scaled.completed, unconstrained.completed);
+  EXPECT_LT(scaled.carbon_per_node_hour_g, unconstrained.carbon_per_node_hour_g);
+}
+
+TEST(EndToEnd, CheckpointingHelpsOnCheckpointableWorkloads) {
+  core::ScenarioRunner runner(scenario(0.6, 0.0, 0.8));
+  const auto base = runner.run("easy", easy_factory());
+  const auto ckpt = runner.run("easy+ckpt", [] {
+    return std::make_unique<sched::CheckpointDecorator>(
+        sched::CheckpointDecorator::Config{},
+        std::make_unique<sched::EasyBackfillScheduler>());
+  });
+  ASSERT_GT(ckpt.completed, 0);
+  EXPECT_EQ(ckpt.completed, base.completed);
+  // Suspending in dirty periods should not increase carbon per node-hour.
+  EXPECT_LE(ckpt.carbon_per_node_hour_g, base.carbon_per_node_hour_g * 1.02);
+}
+
+TEST(EndToEnd, MalleabilityAbsorbsBudgetSwings) {
+  // EXP-MALL direction: with a tight dynamic budget, a malleable workload
+  // plus the malleability controller completes more work than rigid jobs
+  // under the same budget.
+  auto power_factory = [] {
+    return std::make_unique<powerstack::IntensityProportionalPolicy>(
+        powerstack::IntensityProportionalPolicy::Config{
+            .ci_clean = 250.0, .ci_dirty = 500.0, .min_fraction = 0.45,
+            .max_fraction = 0.9});
+  };
+  core::ScenarioRunner rigid_runner(scenario(0.6, 0.0));
+  const auto rigid = rigid_runner.run("easy", easy_factory(), power_factory);
+  core::ScenarioRunner mall_runner(scenario(0.6, 0.6));
+  const auto mall = mall_runner.run("easy+malleable", [] {
+    return std::make_unique<sched::MalleableDecorator>(
+        sched::MalleableDecorator::Config{},
+        std::make_unique<sched::EasyBackfillScheduler>());
+  }, power_factory);
+  // Malleable workload under the same budget shouldn't violate it more
+  // often and should sustain throughput.
+  EXPECT_LE(mall.result.budget_violations, rigid.result.budget_violations);
+  EXPECT_GT(mall.completed, 0);
+}
+
+TEST(EndToEnd, AccountingPipelineOverSimulation) {
+  // EXP-USER pipeline: simulate -> profile -> aggregate -> incentivize.
+  auto cfg = scenario(0.5);
+  cfg.workload.over_allocation_mean = 1.4;
+  core::ScenarioRunner runner(cfg);
+  const auto outcome = runner.run("easy", easy_factory());
+  const auto profiles =
+      accounting::profile_jobs(outcome.result, runner.config().cluster);
+  ASSERT_GT(profiles.size(), 50u);
+  double waste = 0.0;
+  for (const auto& p : profiles) waste += p.over_allocation_waste;
+  EXPECT_GT(waste / static_cast<double>(profiles.size()), 0.02);
+
+  const auto users = accounting::aggregate_by_user(profiles);
+  EXPECT_GT(users.size(), 5u);
+
+  accounting::IncentiveConfig inc;
+  inc.pricing.green_discount = 0.3;
+  const auto inc_outcome =
+      accounting::evaluate_incentive(outcome.result.jobs, runner.trace(), inc, 5);
+  EXPECT_GT(inc_outcome.carbon_reduction(), 0.0);
+}
+
+TEST(EndToEnd, FcfsIsDominatedByEasy) {
+  core::ScenarioRunner runner(scenario(0.8));
+  const auto fcfs = runner.run("fcfs", [] {
+    return std::make_unique<sched::FcfsScheduler>();
+  });
+  const auto easy = runner.run("easy", easy_factory());
+  EXPECT_GE(easy.completed, fcfs.completed);
+  EXPECT_LE(easy.mean_wait_h, fcfs.mean_wait_h * 1.05);
+}
+
+}  // namespace
+}  // namespace greenhpc

@@ -1,0 +1,120 @@
+#include "lifecycle/fleet.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace greenhpc::lifecycle {
+namespace {
+
+TEST(Fleet, Table1Verbatim) {
+  // Paper, Table 1: "Recent modern HPC systems at LRZ".
+  const auto fleet = lrz_fleet();
+  ASSERT_EQ(fleet.size(), 5u);
+  EXPECT_EQ(fleet[0].name, "SuperMUC");
+  EXPECT_EQ(fleet[0].start_year, 2012);
+  EXPECT_EQ(fleet[0].decommission_year, 2018);
+  EXPECT_EQ(fleet[1].name, "SuperMUC Phase 2");
+  EXPECT_EQ(fleet[1].start_year, 2015);
+  EXPECT_EQ(fleet[1].decommission_year, 2019);
+  EXPECT_EQ(fleet[2].name, "SuperMUC-NG");
+  EXPECT_EQ(fleet[2].start_year, 2019);
+  EXPECT_EQ(fleet[2].decommission_year, 2024);
+  EXPECT_EQ(fleet[3].name, "SuperMUC-NG Phase 2");
+  EXPECT_EQ(fleet[3].start_year, 2023);
+  EXPECT_FALSE(fleet[3].decommission_year.has_value());
+  EXPECT_EQ(fleet[4].name, "ExaMUC");
+  EXPECT_EQ(fleet[4].start_year, 2025);
+  EXPECT_FALSE(fleet[4].decommission_year.has_value());
+}
+
+TEST(Fleet, ServiceYears) {
+  const SystemLifetime closed{"x", 2012, 2018};
+  EXPECT_EQ(closed.service_years(2030), 6);
+  const SystemLifetime open{"y", 2023, std::nullopt};
+  EXPECT_EQ(open.service_years(2026), 3);
+  const SystemLifetime future{"z", 2025, std::nullopt};
+  EXPECT_EQ(future.service_years(2023), 0);
+}
+
+TEST(Fleet, RefreshCycleMatchesPaperRule) {
+  // "hardware refresh cycles ... range between four and six years"; the
+  // LRZ fleet's closed systems lived 4-6 years and starts are a few years
+  // apart.
+  const auto fleet = lrz_fleet();
+  for (const auto& s : fleet) {
+    if (s.decommission_year) {
+      const int life = s.service_years(2026);
+      EXPECT_GE(life, 4) << s.name;
+      EXPECT_LE(life, 6) << s.name;
+    }
+  }
+  const double refresh = mean_refresh_interval_years(fleet);
+  EXPECT_GE(refresh, 2.0);
+  EXPECT_LE(refresh, 6.0);
+}
+
+TEST(Fleet, AnnualEmbodiedAmortization) {
+  EXPECT_NEAR(annual_embodied(tonnes_co2(3000.0), 6).tonnes(), 500.0, 1e-9);
+  EXPECT_THROW((void)annual_embodied(tonnes_co2(1.0), 0), greenhpc::InvalidArgument);
+}
+
+ExtensionScenario scenario(double grid_g_per_kwh) {
+  ExtensionScenario s;
+  s.replacement_embodied = tonnes_co2(3000.0);
+  s.replacement_lifetime_years = 6;
+  s.old_power = megawatts(3.0);
+  s.efficiency_gain = 0.35;
+  s.grid = grams_per_kwh(grid_g_per_kwh);
+  return s;
+}
+
+TEST(Extension, CleanGridFavorsExtension) {
+  // At LRZ-like 20 g/kWh the deferred embodied dominates.
+  const auto r = evaluate_extension(scenario(20.0), 2);
+  EXPECT_GT(r.net_savings().grams(), 0.0);
+  EXPECT_NEAR(r.avoided_embodied.tonnes(), 1000.0, 1e-6);
+}
+
+TEST(Extension, DirtyGridFavorsReplacement) {
+  // In a coal grid the old system's inefficiency dwarfs the embodied
+  // deferral.
+  const auto r = evaluate_extension(scenario(1025.0), 2);
+  EXPECT_LT(r.net_savings().grams(), 0.0);
+}
+
+TEST(Extension, BreakevenSeparatesRegimes) {
+  const auto s = scenario(100.0);
+  const CarbonIntensity breakeven = extension_breakeven_intensity(s);
+  EXPECT_GT(breakeven.grams_per_kwh(), 0.0);
+  // Just below breakeven extension wins; just above it loses.
+  auto below = s;
+  below.grid = grams_per_kwh(breakeven.grams_per_kwh() * 0.9);
+  auto above = s;
+  above.grid = grams_per_kwh(breakeven.grams_per_kwh() * 1.1);
+  EXPECT_GT(evaluate_extension(below, 1).net_savings().grams(), 0.0);
+  EXPECT_LT(evaluate_extension(above, 1).net_savings().grams(), 0.0);
+}
+
+TEST(Extension, ZeroYearsIsNeutral) {
+  const auto r = evaluate_extension(scenario(200.0), 0);
+  EXPECT_DOUBLE_EQ(r.net_savings().grams(), 0.0);
+}
+
+TEST(Extension, Preconditions) {
+  EXPECT_THROW((void)evaluate_extension(scenario(100.0), -1), greenhpc::InvalidArgument);
+  auto bad = scenario(100.0);
+  bad.efficiency_gain = 1.0;
+  EXPECT_THROW((void)evaluate_extension(bad, 1), greenhpc::InvalidArgument);
+  bad = scenario(100.0);
+  bad.efficiency_gain = 0.0;
+  EXPECT_THROW((void)extension_breakeven_intensity(bad), greenhpc::InvalidArgument);
+}
+
+TEST(Fleet, RefreshIntervalPrecondition) {
+  EXPECT_THROW((void)mean_refresh_interval_years({{"only", 2020, std::nullopt}}),
+               greenhpc::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace greenhpc::lifecycle

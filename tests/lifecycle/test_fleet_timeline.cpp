@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include "lifecycle/fleet.hpp"
+#include "util/error.hpp"
+
+namespace greenhpc::lifecycle {
+namespace {
+
+std::vector<FleetSystem> toy_fleet() {
+  return {
+      {{"A", 2012, 2018}, tonnes_co2(600.0)},   // 100 t/y over 6 years
+      {{"B", 2015, 2019}, tonnes_co2(400.0)},   // 100 t/y over 4 years
+      {{"C", 2019, std::nullopt}, tonnes_co2(1200.0)},  // open: 200 t/y over 6
+  };
+}
+
+TEST(FleetTimeline, SingleYearAttribution) {
+  const auto fleet = toy_fleet();
+  // 2013: only A in service.
+  EXPECT_NEAR(fleet_embodied_in_year(fleet, 2013).tonnes(), 100.0, 1e-9);
+  // 2016: A + B overlap.
+  EXPECT_NEAR(fleet_embodied_in_year(fleet, 2016).tonnes(), 200.0, 1e-9);
+  // 2020: only C (open-ended, assumed 6-year life).
+  EXPECT_NEAR(fleet_embodied_in_year(fleet, 2020).tonnes(), 200.0, 1e-9);
+  // Before any system and after C's assumed end: zero.
+  EXPECT_DOUBLE_EQ(fleet_embodied_in_year(fleet, 2010).grams(), 0.0);
+  EXPECT_DOUBLE_EQ(fleet_embodied_in_year(fleet, 2026).grams(), 0.0);
+}
+
+TEST(FleetTimeline, BoundaryYears) {
+  const auto fleet = toy_fleet();
+  // Start year is in service; decommission year is not.
+  EXPECT_NEAR(fleet_embodied_in_year(fleet, 2012).tonnes(), 100.0, 1e-9);
+  EXPECT_NEAR(fleet_embodied_in_year(fleet, 2018).tonnes(), 100.0, 1e-9);  // only B
+}
+
+TEST(FleetTimeline, SeriesConservesTotalEmbodied) {
+  const auto fleet = toy_fleet();
+  const auto series = fleet_embodied_timeline(fleet, 2005, 2035);
+  Carbon total{};
+  for (const Carbon& c : series) total += c;
+  // Every system's embodied is fully amortized inside the window.
+  EXPECT_NEAR(total.tonnes(), 600.0 + 400.0 + 1200.0, 1e-6);
+}
+
+TEST(FleetTimeline, OpenLifetimeAssumptionMatters) {
+  const auto fleet = toy_fleet();
+  // Assuming a 12-year life halves C's annual share.
+  EXPECT_NEAR(fleet_embodied_in_year(fleet, 2020, 12).tonnes(), 100.0, 1e-9);
+}
+
+TEST(FleetTimeline, Preconditions) {
+  const auto fleet = toy_fleet();
+  EXPECT_THROW((void)fleet_embodied_in_year(fleet, 2020, 0), greenhpc::InvalidArgument);
+  EXPECT_THROW((void)fleet_embodied_timeline(fleet, 2030, 2020),
+               greenhpc::InvalidArgument);
+}
+
+TEST(FleetTimeline, EmptyFleetIsZero) {
+  EXPECT_DOUBLE_EQ(fleet_embodied_in_year({}, 2020).grams(), 0.0);
+}
+
+}  // namespace
+}  // namespace greenhpc::lifecycle

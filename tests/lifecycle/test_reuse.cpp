@@ -1,0 +1,66 @@
+#include "lifecycle/reuse.hpp"
+
+#include <gtest/gtest.h>
+
+#include "embodied/systems.hpp"
+#include "util/error.hpp"
+
+namespace greenhpc::lifecycle {
+namespace {
+
+TEST(Reuse, PaperClaim275xForHdd) {
+  // Section 2.3: "reusing hard disk drives leads to 275x more carbon
+  // emissions reductions than recycling."
+  const auto hdd = hdd_reuse_model();
+  EXPECT_NEAR(hdd.reuse_over_recycle(), 275.0, 3.0);
+}
+
+TEST(Reuse, CreditsScaleWithEmbodied) {
+  const auto hdd = hdd_reuse_model();
+  const Carbon unit = kilograms_co2(30.0);
+  const Carbon reuse = hdd.reuse_credit(unit);
+  const Carbon recycle = hdd.recycle_credit(unit);
+  EXPECT_GT(reuse.grams(), 0.0);
+  EXPECT_GT(recycle.grams(), 0.0);
+  EXPECT_NEAR(reuse / recycle, hdd.reuse_over_recycle(), 1e-9);
+  // Linear scaling.
+  EXPECT_NEAR(hdd.reuse_credit(unit * 2.0).grams(), 2.0 * reuse.grams(), 1e-9);
+}
+
+TEST(Reuse, ReuseBeatsRecycleForEveryComponent) {
+  for (const auto& model : {hdd_reuse_model(), dram_reuse_model(), ssd_reuse_model()}) {
+    EXPECT_GT(model.reuse_over_recycle(), 10.0) << model.component;
+  }
+}
+
+TEST(Reuse, SsdWearLimitsReuse) {
+  EXPECT_LT(ssd_reuse_model().reusable_fraction, dram_reuse_model().reusable_fraction);
+}
+
+TEST(Reuse, DecommissionOutcomeOrdering) {
+  // The section-2.3 hierarchy: reuse > recycle > landfill (= 0).
+  const auto outcome = evaluate_decommission(tonnes_co2(500.0), hdd_reuse_model());
+  EXPECT_GT(outcome.reuse_savings.grams(), outcome.recycle_savings.grams());
+  EXPECT_GT(outcome.recycle_savings.grams(), outcome.landfill_savings.grams());
+  EXPECT_DOUBLE_EQ(outcome.landfill_savings.grams(), 0.0);
+}
+
+TEST(Reuse, SystemScaleDecommission) {
+  // Reusing SuperMUC-NG's storage pool avoids hundreds of tonnes.
+  embodied::ActModel model;
+  const auto b = embodied_breakdown(model, embodied::supermuc_ng());
+  const auto outcome = evaluate_decommission(b.storage, hdd_reuse_model());
+  EXPECT_GT(outcome.reuse_savings.tonnes(), 500.0);
+  EXPECT_LT(outcome.recycle_savings.tonnes(), 10.0);
+}
+
+TEST(Reuse, Preconditions) {
+  ReuseRecycleModel m;
+  m.recycle_material_credit = 0.0;
+  EXPECT_THROW((void)m.reuse_over_recycle(), greenhpc::InvalidArgument);
+  EXPECT_THROW((void)evaluate_decommission(grams_co2(-1.0), hdd_reuse_model()),
+               greenhpc::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace greenhpc::lifecycle

@@ -1,0 +1,132 @@
+#include "powerstack/budget_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace greenhpc::powerstack {
+namespace {
+
+BudgetNode leaf(const std::string& name, double min_w, double max_w, double weight = 1.0) {
+  return BudgetNode{name, watts(min_w), watts(max_w), weight, {}};
+}
+
+TEST(BudgetTree, AggregateBounds) {
+  BudgetNode root{"sys", {}, {}, 1.0, {leaf("a", 10, 100), leaf("b", 20, 50)}};
+  EXPECT_DOUBLE_EQ(root.aggregate_min().watts(), 30.0);
+  EXPECT_DOUBLE_EQ(root.aggregate_max().watts(), 150.0);
+}
+
+TEST(WaterFill, EqualWeightsSplitEvenly) {
+  std::vector<BudgetNode> kids = {leaf("a", 0, 100), leaf("b", 0, 100)};
+  const auto shares = water_fill(kids, watts(100.0));
+  EXPECT_DOUBLE_EQ(shares[0].watts(), 50.0);
+  EXPECT_DOUBLE_EQ(shares[1].watts(), 50.0);
+}
+
+TEST(WaterFill, WeightsSkewSurplus) {
+  std::vector<BudgetNode> kids = {leaf("a", 0, 1000, 1.0), leaf("b", 0, 1000, 3.0)};
+  const auto shares = water_fill(kids, watts(400.0));
+  EXPECT_DOUBLE_EQ(shares[0].watts(), 100.0);
+  EXPECT_DOUBLE_EQ(shares[1].watts(), 300.0);
+}
+
+TEST(WaterFill, FloorsAreGuaranteedFirst) {
+  std::vector<BudgetNode> kids = {leaf("a", 80, 100), leaf("b", 10, 100)};
+  const auto shares = water_fill(kids, watts(120.0));
+  EXPECT_GE(shares[0].watts(), 80.0);
+  EXPECT_GE(shares[1].watts(), 10.0);
+  EXPECT_NEAR(shares[0].watts() + shares[1].watts(), 120.0, 1e-9);
+}
+
+TEST(WaterFill, SaturationRedistributes) {
+  // a caps at 30; the surplus flows to b.
+  std::vector<BudgetNode> kids = {leaf("a", 0, 30), leaf("b", 0, 500)};
+  const auto shares = water_fill(kids, watts(200.0));
+  EXPECT_DOUBLE_EQ(shares[0].watts(), 30.0);
+  EXPECT_DOUBLE_EQ(shares[1].watts(), 170.0);
+}
+
+TEST(WaterFill, InfeasibleFloorScalesProportionally) {
+  std::vector<BudgetNode> kids = {leaf("a", 60, 100), leaf("b", 40, 100)};
+  const auto shares = water_fill(kids, watts(50.0));
+  EXPECT_DOUBLE_EQ(shares[0].watts(), 30.0);
+  EXPECT_DOUBLE_EQ(shares[1].watts(), 20.0);
+}
+
+TEST(WaterFill, NeverExceedsParentBudget) {
+  std::vector<BudgetNode> kids = {leaf("a", 5, 40, 2.0), leaf("b", 15, 90, 1.0),
+                                  leaf("c", 0, 10, 5.0)};
+  for (double budget : {10.0, 30.0, 60.0, 100.0, 200.0}) {
+    const auto shares = water_fill(kids, watts(budget));
+    double total = 0.0;
+    for (std::size_t i = 0; i < shares.size(); ++i) {
+      total += shares[i].watts();
+      EXPECT_LE(shares[i].watts(), kids[i].max_power.watts() + 1e-9);
+    }
+    EXPECT_LE(total, budget + 1e-6);
+  }
+}
+
+TEST(Distribute, FullHierarchyConservesBudget) {
+  const BudgetNode site = make_site_tree(3, 2, ComponentBounds{});
+  const auto assignments = distribute(site, kilowatts(3.0));
+  // Root gets the (possibly clamped) budget; children sum to parent at
+  // every level.
+  ASSERT_FALSE(assignments.empty());
+  EXPECT_EQ(assignments[0].path, "system");
+  double leaf_total = 0.0;
+  for (const auto& a : assignments) {
+    if (a.is_leaf) leaf_total += a.budget.watts();
+  }
+  EXPECT_NEAR(leaf_total, assignments[0].budget.watts(), 1e-6);
+}
+
+TEST(Distribute, ClampsToTreeEnvelope) {
+  const BudgetNode site = make_site_tree(1, 1, ComponentBounds{});
+  const Power envelope = site.aggregate_max();
+  const auto assignments = distribute(site, envelope * 10.0);
+  EXPECT_NEAR(assignments[0].budget.watts(), envelope.watts(), 1e-9);
+}
+
+TEST(Distribute, PathsAreHierarchical) {
+  ComponentBounds bounds;
+  bounds.gpus_per_node = 2;
+  const BudgetNode site = make_site_tree(2, 2, bounds);
+  const auto assignments = distribute(site, kilowatts(5.0));
+  bool found_gpu_leaf = false;
+  for (const auto& a : assignments) {
+    if (a.path == "system/job1/node0/gpu1") {
+      found_gpu_leaf = true;
+      EXPECT_TRUE(a.is_leaf);
+    }
+  }
+  EXPECT_TRUE(found_gpu_leaf);
+}
+
+TEST(Distribute, GpuWeightGetsLargerShare) {
+  ComponentBounds bounds;
+  bounds.gpus_per_node = 1;
+  const BudgetNode site = make_site_tree(1, 1, bounds);
+  // Generous but not saturating budget.
+  const auto assignments = distribute(site, watts(500.0));
+  double cpu = 0.0, gpu = 0.0;
+  for (const auto& a : assignments) {
+    if (a.path.ends_with("/cpu")) cpu = a.budget.watts();
+    if (a.path.ends_with("/gpu0")) gpu = a.budget.watts();
+  }
+  EXPECT_GT(gpu, cpu);
+}
+
+TEST(WaterFill, Preconditions) {
+  std::vector<BudgetNode> none;
+  EXPECT_THROW((void)water_fill(none, watts(10.0)), greenhpc::InvalidArgument);
+  std::vector<BudgetNode> bad_weight = {leaf("a", 0, 10, 0.0)};
+  EXPECT_THROW((void)water_fill(bad_weight, watts(10.0)), greenhpc::InvalidArgument);
+  std::vector<BudgetNode> inverted = {
+      BudgetNode{"x", watts(10.0), watts(5.0), 1.0, {}}};
+  EXPECT_THROW((void)water_fill(inverted, watts(10.0)), greenhpc::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace greenhpc::powerstack

@@ -1,0 +1,93 @@
+#include "powerstack/policies.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace greenhpc::powerstack {
+namespace {
+
+hpcsim::ClusterConfig cluster() {
+  hpcsim::ClusterConfig c;
+  c.nodes = 100;
+  c.node_tdp = watts(500.0);
+  c.node_idle = watts(100.0);
+  return c;  // max power 50 kW
+}
+
+TEST(StaticBudget, ConstantRegardlessOfIntensity) {
+  StaticBudgetPolicy p(kilowatts(30.0));
+  const auto c = cluster();
+  EXPECT_DOUBLE_EQ(p.system_budget(seconds(0.0), 50.0, c).kilowatts(), 30.0);
+  EXPECT_DOUBLE_EQ(p.system_budget(days(3.0), 900.0, c).kilowatts(), 30.0);
+  EXPECT_EQ(p.name(), "static");
+}
+
+TEST(StaticBudget, RejectsNonPositive) {
+  EXPECT_THROW(StaticBudgetPolicy(watts(0.0)), greenhpc::InvalidArgument);
+}
+
+TEST(IntensityProportional, FullBudgetWhenClean) {
+  IntensityProportionalPolicy p({.ci_clean = 100.0, .ci_dirty = 400.0,
+                                 .min_fraction = 0.6, .max_fraction = 1.0});
+  const auto c = cluster();
+  EXPECT_DOUBLE_EQ(p.system_budget(seconds(0.0), 50.0, c).kilowatts(), 50.0);
+  EXPECT_DOUBLE_EQ(p.system_budget(seconds(0.0), 100.0, c).kilowatts(), 50.0);
+}
+
+TEST(IntensityProportional, FloorWhenDirty) {
+  IntensityProportionalPolicy p({.ci_clean = 100.0, .ci_dirty = 400.0,
+                                 .min_fraction = 0.6, .max_fraction = 1.0});
+  const auto c = cluster();
+  EXPECT_DOUBLE_EQ(p.system_budget(seconds(0.0), 400.0, c).kilowatts(), 30.0);
+  EXPECT_DOUBLE_EQ(p.system_budget(seconds(0.0), 1000.0, c).kilowatts(), 30.0);
+}
+
+TEST(IntensityProportional, LinearInBetween) {
+  IntensityProportionalPolicy p({.ci_clean = 100.0, .ci_dirty = 400.0,
+                                 .min_fraction = 0.6, .max_fraction = 1.0});
+  const auto c = cluster();
+  // Midpoint (250) -> fraction 0.8 -> 40 kW.
+  EXPECT_NEAR(p.system_budget(seconds(0.0), 250.0, c).kilowatts(), 40.0, 1e-9);
+}
+
+TEST(IntensityProportional, ConfigValidation) {
+  EXPECT_THROW(IntensityProportionalPolicy({.ci_clean = 400.0, .ci_dirty = 100.0}),
+               greenhpc::InvalidArgument);
+  EXPECT_THROW(IntensityProportionalPolicy(
+                   {.ci_clean = 100.0, .ci_dirty = 400.0, .min_fraction = 0.0}),
+               greenhpc::InvalidArgument);
+  EXPECT_THROW(IntensityProportionalPolicy({.ci_clean = 100.0,
+                                            .ci_dirty = 400.0,
+                                            .min_fraction = 0.9,
+                                            .max_fraction = 0.8}),
+               greenhpc::InvalidArgument);
+}
+
+TEST(CarbonRateCap, BudgetTracksTargetRate) {
+  // Target 10 kg/h at 200 g/kWh -> 50 kW allowed == max power.
+  CarbonRateCapPolicy p({.target_kg_per_hour = 10.0, .min_fraction = 0.2});
+  const auto c = cluster();
+  EXPECT_NEAR(p.system_budget(seconds(0.0), 200.0, c).kilowatts(), 50.0, 1e-9);
+  // At 400 g/kWh only 25 kW keeps the rate.
+  EXPECT_NEAR(p.system_budget(seconds(0.0), 400.0, c).kilowatts(), 25.0, 1e-9);
+}
+
+TEST(CarbonRateCap, RespectsFloorAndCeiling) {
+  CarbonRateCapPolicy p({.target_kg_per_hour = 10.0, .min_fraction = 0.5});
+  const auto c = cluster();
+  // Extremely dirty: floor at 25 kW.
+  EXPECT_DOUBLE_EQ(p.system_budget(seconds(0.0), 10000.0, c).kilowatts(), 25.0);
+  // Extremely clean: capped at max power.
+  EXPECT_DOUBLE_EQ(p.system_budget(seconds(0.0), 1.0, c).kilowatts(), 50.0);
+}
+
+TEST(CarbonRateCap, ConfigValidation) {
+  EXPECT_THROW(CarbonRateCapPolicy({.target_kg_per_hour = 0.0}),
+               greenhpc::InvalidArgument);
+  EXPECT_THROW(CarbonRateCapPolicy({.target_kg_per_hour = 5.0, .min_fraction = 0.0}),
+               greenhpc::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace greenhpc::powerstack

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "powerstack/policies.hpp"
+#include "util/error.hpp"
+
+namespace greenhpc::powerstack {
+namespace {
+
+hpcsim::ClusterConfig cluster() {
+  hpcsim::ClusterConfig c;
+  c.nodes = 100;
+  c.node_tdp = watts(500.0);  // 50 kW max
+  return c;
+}
+
+/// Inner policy that jumps between two levels on demand.
+class StepPolicy final : public hpcsim::PowerBudgetPolicy {
+ public:
+  Power level = kilowatts(50.0);
+  Power system_budget(Duration, double, const hpcsim::ClusterConfig&) override {
+    return level;
+  }
+  std::string name() const override { return "step"; }
+};
+
+TEST(RampLimited, FirstCallPassesThrough) {
+  auto step = std::make_unique<StepPolicy>();
+  RampLimitedPolicy ramp(std::move(step), kilowatts(1.0));
+  EXPECT_DOUBLE_EQ(ramp.system_budget(seconds(0.0), 100.0, cluster()).kilowatts(), 50.0);
+}
+
+TEST(RampLimited, ClampsDownwardSwing) {
+  auto step_owner = std::make_unique<StepPolicy>();
+  StepPolicy* step = step_owner.get();
+  RampLimitedPolicy ramp(std::move(step_owner), kilowatts(0.01));  // 10 W/s
+  (void)ramp.system_budget(seconds(0.0), 100.0, cluster());        // primes at 50 kW
+  step->level = kilowatts(25.0);
+  // After 60 s, at 10 W/s the budget may move at most 600 W.
+  const Power b = ramp.system_budget(seconds(60.0), 100.0, cluster());
+  EXPECT_NEAR(b.kilowatts(), 49.4, 1e-9);
+}
+
+TEST(RampLimited, ClampsUpwardSwing) {
+  auto step_owner = std::make_unique<StepPolicy>();
+  StepPolicy* step = step_owner.get();
+  step->level = kilowatts(20.0);
+  RampLimitedPolicy ramp(std::move(step_owner), kilowatts(0.05));  // 50 W/s
+  (void)ramp.system_budget(seconds(0.0), 100.0, cluster());
+  step->level = kilowatts(50.0);
+  const Power b = ramp.system_budget(seconds(120.0), 100.0, cluster());
+  EXPECT_NEAR(b.kilowatts(), 26.0, 1e-9);  // 20 + 50*120/1000
+}
+
+TEST(RampLimited, ConvergesToTargetOverTime) {
+  auto step_owner = std::make_unique<StepPolicy>();
+  StepPolicy* step = step_owner.get();
+  RampLimitedPolicy ramp(std::move(step_owner), kilowatts(0.1));
+  (void)ramp.system_budget(seconds(0.0), 100.0, cluster());  // 50 kW
+  step->level = kilowatts(30.0);
+  Power b;
+  for (int t = 1; t <= 10; ++t) {
+    b = ramp.system_budget(seconds(60.0 * t), 100.0, cluster());
+  }
+  EXPECT_NEAR(b.kilowatts(), 30.0, 1e-9);  // reached after ~200 s
+}
+
+TEST(RampLimited, SmallSwingsUnclamped) {
+  auto step_owner = std::make_unique<StepPolicy>();
+  StepPolicy* step = step_owner.get();
+  RampLimitedPolicy ramp(std::move(step_owner), kilowatts(1.0));
+  (void)ramp.system_budget(seconds(0.0), 100.0, cluster());
+  step->level = kilowatts(49.0);
+  const Power b = ramp.system_budget(seconds(60.0), 100.0, cluster());
+  EXPECT_DOUBLE_EQ(b.kilowatts(), 49.0);
+}
+
+TEST(RampLimited, NameAndPreconditions) {
+  RampLimitedPolicy ramp(std::make_unique<StepPolicy>(), kilowatts(1.0));
+  EXPECT_EQ(ramp.name(), "step+ramp");
+  EXPECT_THROW(RampLimitedPolicy(nullptr, kilowatts(1.0)), greenhpc::InvalidArgument);
+  EXPECT_THROW(RampLimitedPolicy(std::make_unique<StepPolicy>(), watts(0.0)),
+               greenhpc::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace greenhpc::powerstack

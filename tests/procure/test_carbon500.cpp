@@ -1,0 +1,72 @@
+#include "procure/carbon500.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace greenhpc::procure {
+namespace {
+
+TEST(Carbon500, RankSortsDescendingByScore) {
+  embodied::ActModel model;
+  const auto ranked = rank(reference_list(model));
+  ASSERT_GE(ranked.size(), 5u);
+  for (std::size_t i = 1; i < ranked.size(); ++i) {
+    EXPECT_GE(ranked[i - 1].score_gflops_per_gram, ranked[i].score_gflops_per_gram);
+  }
+}
+
+TEST(Carbon500, LocationChangesRank) {
+  // Identical Juwels Booster hardware: Norway placement must outrank the
+  // Poland placement (Fig. 2's location lever applied to the ranking).
+  embodied::ActModel model;
+  const auto ranked = rank(reference_list(model));
+  std::size_t pl = 0, no = 0;
+  for (std::size_t i = 0; i < ranked.size(); ++i) {
+    if (ranked[i].system == "Juwels Booster (if in PL)") pl = i;
+    if (ranked[i].system == "Juwels Booster (if in NO)") no = i;
+  }
+  EXPECT_LT(no, pl);
+}
+
+TEST(Carbon500, RankingDivergesFromTop500) {
+  // Carbon ranking must not simply follow Rmax: find at least one pair
+  // ordered differently by score than by performance.
+  embodied::ActModel model;
+  const auto ranked = rank(reference_list(model));
+  bool diverges = false;
+  for (std::size_t i = 1; i < ranked.size(); ++i) {
+    if (ranked[i].rmax_pflops > ranked[i - 1].rmax_pflops) diverges = true;
+  }
+  EXPECT_TRUE(diverges);
+}
+
+TEST(Carbon500, MakeEntryUsesInventoryFigures) {
+  embodied::ActModel model;
+  const auto sys = embodied::supermuc_ng();
+  const auto e = make_entry(model, sys, carbon::Region::Germany);
+  EXPECT_EQ(e.system, "SuperMUC-NG");
+  EXPECT_DOUBLE_EQ(e.rmax_pflops, sys.peak_pflops);
+  EXPECT_GT(e.embodied.tonnes(), 1000.0);
+  EXPECT_EQ(e.lifetime_years, sys.lifetime_years);
+}
+
+TEST(Carbon500, OperationalComputedOverLifetime) {
+  embodied::ActModel model;
+  auto list = reference_list(model);
+  const auto ranked = rank(std::move(list));
+  for (const auto& e : ranked) {
+    EXPECT_GT(e.lifetime_operational.grams(), 0.0) << e.system;
+    EXPECT_GT(e.score_gflops_per_gram, 0.0) << e.system;
+  }
+}
+
+TEST(Carbon500, InvalidEntryThrows) {
+  Carbon500Entry bad;
+  bad.system = "broken";
+  bad.rmax_pflops = 0.0;
+  EXPECT_THROW((void)rank({bad}), greenhpc::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace greenhpc::procure

@@ -1,0 +1,120 @@
+#include "procure/optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace greenhpc::procure {
+namespace {
+
+std::vector<NodeBlueprint> toy_catalog() {
+  return {
+      {"cpu", 3.0, watts(900.0), kilograms_co2(600.0), 15.0},
+      {"gpu", 40.0, watts(2900.0), kilograms_co2(1800.0), 160.0},
+      {"lp", 3.4, watts(200.0), kilograms_co2(250.0), 11.0},
+  };
+}
+
+TEST(Plan, Aggregations) {
+  const auto cat = toy_catalog();
+  ProcurementPlan plan;
+  plan.counts = {2, 1, 3};
+  EXPECT_DOUBLE_EQ(plan.perf_tflops(cat), 6.0 + 40.0 + 10.2);
+  EXPECT_DOUBLE_EQ(plan.cost_keur(cat), 30.0 + 160.0 + 33.0);
+  EXPECT_DOUBLE_EQ(plan.power(cat).watts(), 1800.0 + 2900.0 + 600.0);
+  EXPECT_DOUBLE_EQ(plan.embodied(cat).kilograms(), 1200.0 + 1800.0 + 750.0);
+  EXPECT_EQ(plan.total_nodes(), 6);
+}
+
+TEST(Plan, FeasibilityChecks) {
+  const auto cat = toy_catalog();
+  ProcurementPlan plan;
+  plan.counts = {1, 0, 0};
+  ProcurementConstraints c;
+  c.cost_budget_keur = 20.0;
+  EXPECT_TRUE(plan.feasible(cat, c));
+  c.cost_budget_keur = 10.0;
+  EXPECT_FALSE(plan.feasible(cat, c));
+  c.cost_budget_keur = 20.0;
+  c.power_limit = watts(800.0);
+  EXPECT_FALSE(plan.feasible(cat, c));
+  c.power_limit = kilowatts(10.0);
+  c.embodied_budget = kilograms_co2(100.0);
+  EXPECT_FALSE(plan.feasible(cat, c));
+  c.embodied_budget = tonnes_co2(100.0);
+  c.max_nodes = 0;
+  EXPECT_FALSE(plan.feasible(cat, c));
+}
+
+TEST(Optimizer, MatchesExhaustiveOnSmallInstances) {
+  ProcurementOptimizer opt(toy_catalog());
+  ProcurementConstraints c;
+  c.cost_budget_keur = 400.0;
+  c.power_limit = kilowatts(8.0);
+  c.embodied_budget = tonnes_co2(6.0);
+  c.max_nodes = 10;
+  const auto heuristic = opt.optimize(c);
+  const auto exact = opt.optimize_exhaustive(c, 10);
+  EXPECT_TRUE(heuristic.feasible(opt.catalog(), c));
+  // The heuristic must reach at least 95% of the optimum on this instance.
+  EXPECT_GE(heuristic.perf_tflops(opt.catalog()),
+            0.95 * exact.perf_tflops(opt.catalog()));
+}
+
+TEST(Optimizer, SweepAgainstExhaustive) {
+  // Property sweep over several budget envelopes.
+  ProcurementOptimizer opt(toy_catalog());
+  for (double cost : {150.0, 300.0, 600.0}) {
+    for (double power_kw : {3.0, 6.0}) {
+      ProcurementConstraints c;
+      c.cost_budget_keur = cost;
+      c.power_limit = kilowatts(power_kw);
+      c.embodied_budget = tonnes_co2(5.0);
+      c.max_nodes = 12;
+      const auto heuristic = opt.optimize(c);
+      const auto exact = opt.optimize_exhaustive(c, 12);
+      EXPECT_TRUE(heuristic.feasible(opt.catalog(), c));
+      EXPECT_GE(heuristic.perf_tflops(opt.catalog()),
+                0.90 * exact.perf_tflops(opt.catalog()))
+          << "cost=" << cost << " power=" << power_kw;
+    }
+  }
+}
+
+TEST(Optimizer, CarbonBudgetBindsChoice) {
+  // With a loose carbon budget GPUs dominate on perf density; a tight
+  // embodied budget pushes toward low-carbon nodes.
+  ProcurementOptimizer opt(toy_catalog());
+  ProcurementConstraints loose;
+  loose.cost_budget_keur = 2000.0;
+  loose.power_limit = kilowatts(40.0);
+  loose.embodied_budget = tonnes_co2(25.0);
+  loose.max_nodes = 100;
+  ProcurementConstraints tight = loose;
+  tight.embodied_budget = tonnes_co2(2.0);
+  const auto plan_loose = opt.optimize(loose);
+  const auto plan_tight = opt.optimize(tight);
+  EXPECT_GT(plan_loose.perf_tflops(opt.catalog()),
+            plan_tight.perf_tflops(opt.catalog()));
+  EXPECT_LE(plan_tight.embodied(opt.catalog()).tonnes(), 2.0 + 1e-9);
+}
+
+TEST(Optimizer, UnconstrainedDefaultsDontOverflow) {
+  ProcurementOptimizer opt(toy_catalog());
+  ProcurementConstraints c;  // everything effectively unlimited...
+  c.max_nodes = 50;          // ...except node count
+  const auto plan = opt.optimize(c);
+  EXPECT_EQ(plan.total_nodes(), 50);
+}
+
+TEST(Optimizer, Preconditions) {
+  EXPECT_THROW(ProcurementOptimizer{{}}, greenhpc::InvalidArgument);
+  std::vector<NodeBlueprint> bad = {{"x", 0.0, watts(1.0), grams_co2(1.0), 1.0}};
+  EXPECT_THROW(ProcurementOptimizer{bad}, greenhpc::InvalidArgument);
+  ProcurementOptimizer opt(toy_catalog());
+  ProcurementConstraints c;
+  EXPECT_THROW((void)opt.optimize_exhaustive(c, 10000), greenhpc::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace greenhpc::procure

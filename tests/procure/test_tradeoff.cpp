@@ -1,0 +1,87 @@
+#include "procure/tradeoff.hpp"
+
+#include <gtest/gtest.h>
+
+#include "procure/catalog.hpp"
+#include "util/error.hpp"
+
+namespace greenhpc::procure {
+namespace {
+
+TradeoffConfig base_config() {
+  // Cost/power/node envelopes are deliberately loose so the *carbon*
+  // budget is the binding constraint across most of the sweep — the
+  // regime the paper's section-2.2 trade-off describes.
+  TradeoffConfig cfg;
+  cfg.total_budget = tonnes_co2(30000.0);
+  cfg.lifetime = days(365.0 * 6.0);
+  cfg.grid = grams_per_kwh(300.0);
+  cfg.base.cost_budget_keur = 2.0e6;
+  cfg.base.power_limit = megawatts(50.0);
+  cfg.base.max_nodes = 30000;
+  cfg.power_elasticity = 0.7;
+  return cfg;
+}
+
+TEST(Tradeoff, EvaluateSplitBasics) {
+  embodied::ActModel model;
+  ProcurementOptimizer opt(default_catalog(model));
+  const auto point = evaluate_split(opt, base_config(), 0.4);
+  EXPECT_DOUBLE_EQ(point.embodied_fraction, 0.4);
+  EXPECT_GT(point.procured_pflops, 0.0);
+  EXPECT_GT(point.sustainable_power.watts(), 0.0);
+  EXPECT_GT(point.delivered_pflops, 0.0);
+  EXPECT_LE(point.delivered_pflops, point.procured_pflops + 1e-9);
+  // Plan must respect the embodied share of the budget.
+  EXPECT_LE(point.plan.embodied(opt.catalog()).tonnes(), 30000.0 * 0.4 + 1e-6);
+}
+
+TEST(Tradeoff, MoreEmbodiedBudgetBuysMoreHardware) {
+  embodied::ActModel model;
+  ProcurementOptimizer opt(default_catalog(model));
+  const auto small = evaluate_split(opt, base_config(), 0.1);
+  const auto large = evaluate_split(opt, base_config(), 0.7);
+  EXPECT_GE(large.procured_pflops, small.procured_pflops);
+  // But less operational budget to run it.
+  EXPECT_LT(large.sustainable_power.watts(), small.sustainable_power.watts());
+}
+
+TEST(Tradeoff, SweepHasInteriorOptimum) {
+  // The paper's claim: trading embodied against operational budget is a
+  // real optimization — the best split is neither extreme.
+  embodied::ActModel model;
+  ProcurementOptimizer opt(default_catalog(model));
+  const auto sweep = sweep_budget_split(opt, base_config(), 19);
+  ASSERT_EQ(sweep.size(), 19u);
+  const auto& best = best_split(sweep);
+  EXPECT_GT(best.embodied_fraction, sweep.front().embodied_fraction);
+  EXPECT_LT(best.embodied_fraction, sweep.back().embodied_fraction);
+  EXPECT_GT(best.delivered_pflops, sweep.front().delivered_pflops);
+  EXPECT_GT(best.delivered_pflops, sweep.back().delivered_pflops);
+}
+
+TEST(Tradeoff, CleanerGridShiftsOptimumTowardEmbodied) {
+  // In a clean grid, operation is carbon-cheap, so more of the budget
+  // should go into hardware.
+  embodied::ActModel model;
+  ProcurementOptimizer opt(default_catalog(model));
+  TradeoffConfig clean = base_config();
+  clean.grid = grams_per_kwh(20.0);  // LRZ-class hydro contract
+  TradeoffConfig dirty = base_config();
+  dirty.grid = grams_per_kwh(700.0);
+  const auto best_clean = best_split(sweep_budget_split(opt, clean, 19));
+  const auto best_dirty = best_split(sweep_budget_split(opt, dirty, 19));
+  EXPECT_GT(best_clean.embodied_fraction, best_dirty.embodied_fraction);
+}
+
+TEST(Tradeoff, Preconditions) {
+  embodied::ActModel model;
+  ProcurementOptimizer opt(default_catalog(model));
+  EXPECT_THROW((void)evaluate_split(opt, base_config(), 0.0), greenhpc::InvalidArgument);
+  EXPECT_THROW((void)evaluate_split(opt, base_config(), 1.0), greenhpc::InvalidArgument);
+  EXPECT_THROW((void)sweep_budget_split(opt, base_config(), 2), greenhpc::InvalidArgument);
+  EXPECT_THROW((void)best_split({}), greenhpc::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace greenhpc::procure

@@ -1,0 +1,117 @@
+// Property-based sweeps over the embodied model: monotonicity and
+// composition invariants across process nodes and fab-grid intensities.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "embodied/act_model.hpp"
+#include "embodied/components.hpp"
+#include "embodied/systems.hpp"
+
+namespace greenhpc::embodied {
+namespace {
+
+using NodeGridCase = std::tuple<ProcessNode, double /*fab grid g/kWh*/>;
+
+class ActProperties : public ::testing::TestWithParam<NodeGridCase> {
+ protected:
+  ActModel model() const {
+    return ActModel(
+        ActModel::Config{.fab_grid = grams_per_kwh(std::get<1>(GetParam()))});
+  }
+  ProcessNode node() const { return std::get<0>(GetParam()); }
+};
+
+TEST_P(ActProperties, YieldInUnitIntervalAndDecreasing) {
+  const auto m = model();
+  double prev = 1.1;
+  for (double area : {25.0, 100.0, 400.0, 800.0}) {
+    const double y = m.die_yield(area, node());
+    EXPECT_GT(y, 0.0);
+    EXPECT_LE(y, 1.0);
+    EXPECT_LT(y, prev);
+    prev = y;
+  }
+}
+
+TEST_P(ActProperties, CarbonStrictlyIncreasingInArea) {
+  const auto m = model();
+  double prev = 0.0;
+  for (double area : {25.0, 100.0, 400.0, 800.0}) {
+    const double c = m.logic_die(area, node()).grams();
+    EXPECT_GT(c, prev);
+    prev = c;
+  }
+}
+
+TEST_P(ActProperties, SuperlinearInAreaFromYield) {
+  const auto m = model();
+  const double small = m.logic_die(100.0, node()).grams();
+  const double large = m.logic_die(400.0, node()).grams();
+  EXPECT_GT(large, 4.0 * small);
+}
+
+TEST_P(ActProperties, MemoryLinearInCapacity) {
+  const auto m = model();
+  for (auto type : {DramType::DDR4, DramType::DDR5, DramType::HBM2e}) {
+    const double unit = m.dram(1.0, type).grams();
+    EXPECT_NEAR(m.dram(64.0, type).grams(), 64.0 * unit, 1e-6 * 64.0 * unit);
+  }
+}
+
+TEST_P(ActProperties, ProcessorEmbodiedDecomposes) {
+  // processor_embodied == sum of chiplets + packaging + HBM + overhead.
+  const auto m = model();
+  ProcessorSpec spec;
+  spec.name = "probe";
+  spec.chiplets = {{74.0, node(), 4}, {200.0, node(), 1}};
+  spec.substrate_cm2 = 30.0;
+  spec.interposer_cm2 = 5.0;
+  spec.hbm_gb = 16.0;
+  spec.module_overhead_kg = 12.0;
+  const double expected = 4.0 * m.logic_die(74.0, node()).grams() +
+                          m.logic_die(200.0, node()).grams() +
+                          m.packaging(5, 30.0, 5.0).grams() +
+                          m.dram(16.0, DramType::HBM2e).grams() + 12000.0;
+  EXPECT_NEAR(processor_embodied(m, spec).grams(), expected, 1e-6 * expected);
+}
+
+TEST_P(ActProperties, DirtierFabNeverCheaper) {
+  const auto clean = ActModel(ActModel::Config{.fab_grid = grams_per_kwh(100.0)});
+  const auto m = model();
+  if (std::get<1>(GetParam()) >= 100.0) {
+    EXPECT_GE(m.logic_die(300.0, node()).grams(),
+              clean.logic_die(300.0, node()).grams());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ActProperties,
+    ::testing::Combine(::testing::Values(ProcessNode::N28, ProcessNode::N14,
+                                         ProcessNode::N10, ProcessNode::N7,
+                                         ProcessNode::N5, ProcessNode::N3),
+                       ::testing::Values(100.0, 620.0, 900.0)),
+    [](const ::testing::TestParamInfo<NodeGridCase>& pinfo) {
+      return std::string(node_name(std::get<0>(pinfo.param))) + "_ci" +
+             std::to_string(static_cast<int>(std::get<1>(pinfo.param)));
+    });
+
+// Fig. 1 shares must be stable across fab-grid assumptions: the
+// *relative* composition is the figure's message, and both numerator and
+// denominator scale together.
+class Fig1Stability : public ::testing::TestWithParam<double> {};
+
+TEST_P(Fig1Stability, SharesRobustToFabGrid) {
+  const ActModel m(ActModel::Config{.fab_grid = grams_per_kwh(GetParam())});
+  EXPECT_NEAR(embodied_breakdown(m, juwels_booster()).memory_storage_share(), 0.435,
+              0.06);
+  EXPECT_NEAR(embodied_breakdown(m, supermuc_ng()).memory_storage_share(), 0.596, 0.06);
+  EXPECT_NEAR(embodied_breakdown(m, hawk()).memory_storage_share(), 0.555, 0.06);
+}
+
+INSTANTIATE_TEST_SUITE_P(FabGrids, Fig1Stability,
+                         ::testing::Values(400.0, 500.0, 620.0, 750.0));
+
+}  // namespace
+}  // namespace greenhpc::embodied

@@ -1,0 +1,125 @@
+#include "telemetry/sensor_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace greenhpc::telemetry {
+namespace {
+
+TEST(Sensor, RecordAndLookup) {
+  Sensor s("node0.power");
+  EXPECT_TRUE(s.empty());
+  s.record(seconds(0.0), 100.0);
+  s.record(seconds(60.0), 200.0);
+  EXPECT_EQ(s.samples().size(), 2u);
+  EXPECT_EQ(s.value_at(seconds(0.0)), 100.0);
+  EXPECT_EQ(s.value_at(seconds(59.0)), 100.0);
+  EXPECT_EQ(s.value_at(seconds(60.0)), 200.0);
+  EXPECT_EQ(s.value_at(seconds(1e6)), 200.0);
+  EXPECT_FALSE(s.value_at(seconds(-1.0)).has_value());
+}
+
+TEST(Sensor, OutOfOrderRecordThrows) {
+  Sensor s("x");
+  s.record(seconds(10.0), 1.0);
+  EXPECT_THROW(s.record(seconds(5.0), 2.0), greenhpc::InvalidArgument);
+}
+
+TEST(Sensor, SameTimestampOverwrites) {
+  Sensor s("x");
+  s.record(seconds(10.0), 1.0);
+  s.record(seconds(10.0), 7.0);
+  EXPECT_EQ(s.samples().size(), 1u);
+  EXPECT_EQ(s.value_at(seconds(10.0)), 7.0);
+}
+
+TEST(Sensor, IntegrateZeroOrderHold) {
+  Sensor s("power");
+  s.record(seconds(0.0), 100.0);
+  s.record(seconds(60.0), 200.0);
+  s.record(seconds(120.0), 50.0);
+  // [0, 180): 100*60 + 200*60 + 50*60.
+  EXPECT_DOUBLE_EQ(s.integrate(seconds(0.0), seconds(180.0)), 21000.0);
+  // Partial: [30, 90) -> 100*30 + 200*30.
+  EXPECT_DOUBLE_EQ(s.integrate(seconds(30.0), seconds(90.0)), 9000.0);
+  // Beyond last sample the value holds.
+  EXPECT_DOUBLE_EQ(s.integrate(seconds(120.0), seconds(240.0)), 50.0 * 120.0);
+}
+
+TEST(Sensor, IntegrateBeforeFirstSampleContributesNothing) {
+  Sensor s("power");
+  s.record(seconds(100.0), 10.0);
+  EXPECT_DOUBLE_EQ(s.integrate(seconds(0.0), seconds(100.0)), 0.0);
+  EXPECT_DOUBLE_EQ(s.integrate(seconds(0.0), seconds(150.0)), 500.0);
+  EXPECT_DOUBLE_EQ(s.integrate(seconds(0.0), seconds(50.0)), 0.0);
+}
+
+TEST(Sensor, IntegrateEmptyAndDegenerate) {
+  Sensor s("power");
+  EXPECT_DOUBLE_EQ(s.integrate(seconds(0.0), seconds(10.0)), 0.0);
+  s.record(seconds(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(s.integrate(seconds(3.0), seconds(3.0)), 0.0);
+  EXPECT_THROW((void)s.integrate(seconds(5.0), seconds(1.0)), greenhpc::InvalidArgument);
+}
+
+TEST(Sensor, IntegrateWeightedProducts) {
+  Sensor power("p"), ci("ci");
+  power.record(seconds(0.0), 1000.0);     // 1 kW
+  power.record(seconds(3600.0), 2000.0);  // 2 kW after an hour
+  ci.record(seconds(0.0), 100.0);
+  ci.record(seconds(1800.0), 300.0);  // intensity jumps mid-hour
+  // [0, 7200): 1kW*100*1800 + 1kW*300*1800 + 2kW*300*3600 (in W*g/kWh*s).
+  const double expected = 1000.0 * 100.0 * 1800.0 + 1000.0 * 300.0 * 1800.0 +
+                          2000.0 * 300.0 * 3600.0;
+  EXPECT_DOUBLE_EQ(power.integrate_weighted(ci, seconds(0.0), seconds(7200.0)), expected);
+}
+
+TEST(SensorStore, CreatesAndFinds) {
+  SensorStore store;
+  store.record("a.power", seconds(0.0), 1.0);
+  store.record("b.power", seconds(0.0), 2.0);
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_NE(store.find("a.power"), nullptr);
+  EXPECT_EQ(store.find("missing"), nullptr);
+  const auto names = store.names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "a.power");
+}
+
+TEST(SensorStore, EnergyQuery) {
+  SensorStore store;
+  store.record("sys.power", seconds(0.0), 1000.0);
+  // 1 kW for 1 h = 1 kWh.
+  EXPECT_NEAR(store.energy("sys.power", seconds(0.0), hours(1.0)).kilowatt_hours(), 1.0,
+              1e-12);
+  EXPECT_THROW((void)store.energy("nope", seconds(0.0), hours(1.0)),
+               greenhpc::InvalidArgument);
+}
+
+TEST(SensorStore, CarbonQuery) {
+  SensorStore store;
+  store.record("sys.power", seconds(0.0), 1000.0);  // 1 kW
+  store.record("sys.ci", seconds(0.0), 400.0);      // g/kWh
+  // 1 kWh at 400 g/kWh = 400 g.
+  EXPECT_NEAR(store.carbon("sys.power", "sys.ci", seconds(0.0), hours(1.0)).grams(),
+              400.0, 1e-9);
+  EXPECT_THROW((void)store.carbon("sys.power", "nope", seconds(0.0), hours(1.0)),
+               greenhpc::InvalidArgument);
+}
+
+TEST(SensorStore, CarbonTracksIntensityChanges) {
+  SensorStore store;
+  store.record("p", seconds(0.0), 2000.0);  // 2 kW constant
+  store.record("ci", seconds(0.0), 100.0);
+  store.record("ci", seconds(3600.0), 500.0);
+  // Hour 1: 2 kWh * 100 g; hour 2: 2 kWh * 500 g.
+  EXPECT_NEAR(store.carbon("p", "ci", seconds(0.0), hours(2.0)).grams(), 1200.0, 1e-9);
+}
+
+TEST(Sensor, EmptyNameThrows) {
+  EXPECT_THROW(Sensor(""), greenhpc::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace greenhpc::telemetry

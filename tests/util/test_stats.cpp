@@ -1,0 +1,163 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace greenhpc::util {
+namespace {
+
+TEST(RunningStats, EmptyIsZeroed) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStats, KnownSample) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // classic textbook sample
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, SampleVarianceUsesBesselCorrection) {
+  RunningStats s;
+  for (double x : {1.0, 2.0, 3.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.sample_variance(), 1.0);
+  EXPECT_NEAR(s.variance(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats all, a, b;
+  for (int i = 0; i < 100; ++i) {
+    const double x = std::sin(i * 0.7) * 10.0 + i * 0.01;
+    all.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmptySides) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.add(3.0);
+  RunningStats a_copy = a;
+  a.merge(b);  // empty rhs: unchanged
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  b.merge(a_copy);  // empty lhs: adopts rhs
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(Percentile, InterpolatesLinearly) {
+  std::vector<double> xs = {10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.5), 25.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 1.0 / 3.0), 20.0);
+}
+
+TEST(Percentile, UnsortedInputAndSingleton) {
+  std::vector<double> xs = {5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.5), 3.0);
+  std::vector<double> one = {7.0};
+  EXPECT_DOUBLE_EQ(percentile(one, 0.9), 7.0);
+}
+
+TEST(Percentile, Preconditions) {
+  std::vector<double> xs;
+  EXPECT_THROW((void)percentile(xs, 0.5), greenhpc::InvalidArgument);
+  std::vector<double> ok = {1.0};
+  EXPECT_THROW((void)percentile(ok, 1.5), greenhpc::InvalidArgument);
+}
+
+TEST(Summarize, FullSummary) {
+  std::vector<double> xs;
+  for (int i = 1; i <= 100; ++i) xs.push_back(static_cast<double>(i));
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.mean, 50.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_NEAR(s.median, 50.5, 1e-9);
+  EXPECT_NEAR(s.p25, 25.75, 1e-9);
+  EXPECT_NEAR(s.p75, 75.25, 1e-9);
+  EXPECT_GT(s.p95, 90.0);
+}
+
+TEST(Summarize, EmptyYieldsZeroes) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(Mape, BasicAndZeroSkip) {
+  std::vector<double> actual = {100.0, 200.0, 0.0};
+  std::vector<double> forecast = {110.0, 180.0, 50.0};
+  // Zero actual is skipped: mean of 10% and 10%.
+  EXPECT_NEAR(mape(actual, forecast), 0.10, 1e-12);
+}
+
+TEST(Mape, PerfectForecastIsZero) {
+  std::vector<double> a = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(mape(a, a), 0.0);
+}
+
+TEST(Rmse, KnownValue) {
+  std::vector<double> a = {1.0, 2.0, 3.0};
+  std::vector<double> f = {2.0, 2.0, 5.0};
+  EXPECT_NEAR(rmse(a, f), std::sqrt((1.0 + 0.0 + 4.0) / 3.0), 1e-12);
+}
+
+TEST(Rmse, LengthMismatchThrows) {
+  std::vector<double> a = {1.0};
+  std::vector<double> f = {1.0, 2.0};
+  EXPECT_THROW((void)rmse(a, f), greenhpc::InvalidArgument);
+}
+
+TEST(Pearson, PerfectCorrelations) {
+  std::vector<double> x = {1.0, 2.0, 3.0, 4.0};
+  std::vector<double> y = {2.0, 4.0, 6.0, 8.0};
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+  std::vector<double> yn = {8.0, 6.0, 4.0, 2.0};
+  EXPECT_NEAR(pearson(x, yn), -1.0, 1e-12);
+}
+
+TEST(Pearson, ConstantSeriesIsZero) {
+  std::vector<double> x = {1.0, 2.0, 3.0};
+  std::vector<double> c = {5.0, 5.0, 5.0};
+  EXPECT_DOUBLE_EQ(pearson(x, c), 0.0);
+}
+
+TEST(Histogram, CountsAndClamping) {
+  std::vector<double> xs = {-1.0, 0.1, 0.5, 0.9, 2.0};
+  const auto h = histogram(xs, 0.0, 1.0, 2);
+  ASSERT_EQ(h.size(), 2u);
+  EXPECT_EQ(h[0], 2u);  // -1 clamped in, 0.1
+  EXPECT_EQ(h[1], 3u);  // 0.5, 0.9, 2.0 clamped in
+}
+
+TEST(Histogram, Preconditions) {
+  std::vector<double> xs = {1.0};
+  EXPECT_THROW((void)histogram(xs, 0.0, 1.0, 0), greenhpc::InvalidArgument);
+  EXPECT_THROW((void)histogram(xs, 1.0, 1.0, 2), greenhpc::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace greenhpc::util

@@ -1,0 +1,82 @@
+#include "util/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace greenhpc {
+namespace {
+
+TEST(Units, DurationConversions) {
+  EXPECT_DOUBLE_EQ(minutes(1.0).seconds(), 60.0);
+  EXPECT_DOUBLE_EQ(hours(2.0).minutes(), 120.0);
+  EXPECT_DOUBLE_EQ(days(1.0).hours(), 24.0);
+  EXPECT_DOUBLE_EQ(seconds(86400.0).days(), 1.0);
+}
+
+TEST(Units, PowerConversions) {
+  EXPECT_DOUBLE_EQ(kilowatts(1.0).watts(), 1000.0);
+  EXPECT_DOUBLE_EQ(megawatts(20.0).kilowatts(), 20000.0);  // Frontier-scale
+}
+
+TEST(Units, EnergyConversions) {
+  EXPECT_DOUBLE_EQ(kilowatt_hours(1.0).joules(), 3.6e6);
+  EXPECT_DOUBLE_EQ(megawatt_hours(1.0).kilowatt_hours(), 1000.0);
+}
+
+TEST(Units, CarbonConversions) {
+  EXPECT_DOUBLE_EQ(kilograms_co2(1.0).grams(), 1000.0);
+  EXPECT_DOUBLE_EQ(tonnes_co2(2.5).kilograms(), 2500.0);
+}
+
+TEST(Units, PowerTimesDurationIsEnergy) {
+  const Energy e = kilowatts(2.0) * hours(3.0);
+  EXPECT_DOUBLE_EQ(e.kilowatt_hours(), 6.0);
+  EXPECT_DOUBLE_EQ((hours(3.0) * kilowatts(2.0)).kilowatt_hours(), 6.0);
+}
+
+TEST(Units, EnergyOverDurationIsPower) {
+  const Power p = kilowatt_hours(6.0) / hours(3.0);
+  EXPECT_DOUBLE_EQ(p.kilowatts(), 2.0);
+}
+
+TEST(Units, EnergyTimesIntensityIsCarbon) {
+  // 10 kWh at 300 g/kWh -> 3 kg.
+  const Carbon c = kilowatt_hours(10.0) * grams_per_kwh(300.0);
+  EXPECT_DOUBLE_EQ(c.kilograms(), 3.0);
+  EXPECT_DOUBLE_EQ((grams_per_kwh(300.0) * kilowatt_hours(10.0)).kilograms(), 3.0);
+}
+
+TEST(Units, ArithmeticAndComparisons) {
+  Power a = watts(100.0);
+  a += watts(50.0);
+  EXPECT_DOUBLE_EQ(a.watts(), 150.0);
+  a -= watts(25.0);
+  EXPECT_DOUBLE_EQ(a.watts(), 125.0);
+  a *= 2.0;
+  EXPECT_DOUBLE_EQ(a.watts(), 250.0);
+  a /= 5.0;
+  EXPECT_DOUBLE_EQ(a.watts(), 50.0);
+  EXPECT_LT(watts(10.0), watts(20.0));
+  EXPECT_EQ(watts(10.0), watts(10.0));
+  EXPECT_DOUBLE_EQ(watts(30.0) / watts(10.0), 3.0);
+  EXPECT_DOUBLE_EQ((watts(10.0) * 3.0).watts(), 30.0);
+  EXPECT_DOUBLE_EQ((3.0 * watts(10.0)).watts(), 30.0);
+  EXPECT_DOUBLE_EQ((watts(30.0) / 3.0).watts(), 10.0);
+}
+
+TEST(Units, ApproxEqual) {
+  EXPECT_TRUE(approx_equal(watts(1.0), watts(1.0 + 1e-12)));
+  EXPECT_FALSE(approx_equal(watts(1.0), watts(1.1)));
+  EXPECT_TRUE(approx_equal(watts(0.0), watts(0.0)));
+  EXPECT_TRUE(approx_equal(watts(1e9), watts(1e9 * (1.0 + 1e-10))));
+}
+
+TEST(Units, FrontierSanityCheck) {
+  // The paper: Frontier draws 20 MW continuously. One day at 400 g/kWh.
+  const Energy day = megawatts(20.0) * days(1.0);
+  EXPECT_DOUBLE_EQ(day.megawatt_hours(), 480.0);
+  const Carbon c = day * grams_per_kwh(400.0);
+  EXPECT_NEAR(c.tonnes(), 192.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace greenhpc

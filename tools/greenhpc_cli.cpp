@@ -1,0 +1,234 @@
+// greenhpc — command-line front end.
+//
+//   greenhpc trace    --region DE --days 31 [--step-min 60] [--marginal]
+//                     [--seed N]                  CSV carbon-intensity trace
+//   greenhpc fig1                                 embodied breakdown table
+//   greenhpc carbon500                            carbon-efficiency ranking
+//   greenhpc simulate --nodes 256 --region DE --days 7 [--jobs 900]
+//                     [--sched easy|fcfs|conservative|carbon-easy]
+//                     [--swf FILE] [--seed N]     cluster simulation summary
+//   greenhpc regions                              list region presets
+//
+// Exit status: 0 on success, 2 on usage errors.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "carbon/trace_io.hpp"
+#include "core/scenario.hpp"
+#include "embodied/systems.hpp"
+#include "hpcsim/swf_io.hpp"
+#include "procure/carbon500.hpp"
+#include "sched/carbon_aware.hpp"
+#include "sched/conservative.hpp"
+#include "sched/easy_backfill.hpp"
+#include "sched/fcfs.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace greenhpc;
+
+/// Minimal --key value / --flag parser.
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) {
+        std::fprintf(stderr, "unexpected argument: %s\n", argv[i]);
+        ok_ = false;
+        return;
+      }
+      key = key.substr(2);
+      if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+        values_[key] = argv[++i];
+      } else {
+        values_[key] = "";  // boolean flag
+      }
+    }
+  }
+  [[nodiscard]] bool ok() const { return ok_; }
+  [[nodiscard]] bool has(const std::string& key) const { return values_.count(key) > 0; }
+  [[nodiscard]] std::string get(const std::string& key, const std::string& fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() || it->second.empty() ? fallback : it->second;
+  }
+  [[nodiscard]] double num(const std::string& key, double fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atof(it->second.c_str());
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  bool ok_ = true;
+};
+
+carbon::Region parse_region(const std::string& code) {
+  for (carbon::Region r : carbon::all_regions()) {
+    if (code == carbon::traits(r).code || code == carbon::traits(r).name) return r;
+  }
+  throw InvalidArgument("unknown region code: " + code + " (try `greenhpc regions`)");
+}
+
+int cmd_regions() {
+  util::Table table({"code", "region", "mean [g/kWh]", "floor", "cap"});
+  for (carbon::Region r : carbon::all_regions()) {
+    const auto& t = carbon::traits(r);
+    table.add_row({std::string(t.code), std::string(t.name),
+                   util::Table::fmt(t.mean_gkwh, 0), util::Table::fmt(t.floor_gkwh, 0),
+                   util::Table::fmt(t.cap_gkwh, 0)});
+  }
+  std::printf("%s", table.str("Region presets").c_str());
+  return 0;
+}
+
+int cmd_trace(const Args& args) {
+  const carbon::Region region = parse_region(args.get("region", "DE"));
+  carbon::GridModel model(region, static_cast<std::uint64_t>(args.num("seed", 1)));
+  const auto trace = model.generate(
+      seconds(0.0), days(args.num("days", 31.0)), minutes(args.num("step-min", 60.0)),
+      args.has("marginal") ? carbon::IntensityKind::Marginal
+                           : carbon::IntensityKind::Average);
+  carbon::save_intensity_csv(trace, std::cout);
+  return 0;
+}
+
+int cmd_fig1() {
+  const embodied::ActModel model;
+  util::Table table({"system", "CPU[t]", "GPU[t]", "DRAM[t]", "storage[t]", "total[t]",
+                     "mem+stor[%]"});
+  for (const auto& sys : embodied::fig1_systems()) {
+    const auto b = embodied_breakdown(model, sys);
+    table.add_row({sys.name, util::Table::fmt(b.cpu.tonnes(), 1),
+                   util::Table::fmt(b.gpu.tonnes(), 1),
+                   util::Table::fmt(b.dram.tonnes(), 1),
+                   util::Table::fmt(b.storage.tonnes(), 1),
+                   util::Table::fmt(b.total().tonnes(), 1),
+                   util::Table::fmt(100.0 * b.memory_storage_share(), 1)});
+  }
+  std::printf("%s", table.str("Embodied carbon by component (Fig. 1 methodology)").c_str());
+  return 0;
+}
+
+int cmd_carbon500() {
+  const embodied::ActModel model;
+  const auto ranked = procure::rank(procure::reference_list(model));
+  util::Table table({"#", "system", "region", "Rmax [PF]", "GFLOP/gCO2e"});
+  for (std::size_t i = 0; i < ranked.size(); ++i) {
+    table.add_row({std::to_string(i + 1), ranked[i].system,
+                   std::string(carbon::traits(ranked[i].region).code),
+                   util::Table::fmt(ranked[i].rmax_pflops, 1),
+                   util::Table::fmt(ranked[i].score_gflops_per_gram, 2)});
+  }
+  std::printf("%s", table.str("Carbon500").c_str());
+  return 0;
+}
+
+core::SchedulerFactory scheduler_factory(const std::string& name) {
+  if (name == "fcfs") {
+    return [] { return std::make_unique<sched::FcfsScheduler>(); };
+  }
+  if (name == "conservative") {
+    return [] { return std::make_unique<sched::ConservativeBackfillScheduler>(); };
+  }
+  if (name == "carbon-easy") {
+    return [] {
+      return std::make_unique<sched::CarbonAwareEasyScheduler>(
+          sched::CarbonAwareEasyScheduler::Config{},
+          std::make_shared<carbon::PersistenceForecaster>());
+    };
+  }
+  if (name == "easy") {
+    return [] { return std::make_unique<sched::EasyBackfillScheduler>(); };
+  }
+  throw InvalidArgument("unknown scheduler: " + name +
+                        " (easy|fcfs|conservative|carbon-easy)");
+}
+
+int cmd_simulate(const Args& args) {
+  core::ScenarioConfig cfg;
+  cfg.cluster.nodes = static_cast<int>(args.num("nodes", 256));
+  cfg.region = parse_region(args.get("region", "DE"));
+  const double span_days = args.num("days", 7.0);
+  cfg.trace_span = days(span_days + 5.0);
+  cfg.workload.span = days(span_days);
+  cfg.workload.job_count = static_cast<int>(args.num("jobs", 900));
+  cfg.workload.max_job_nodes = std::max(1, cfg.cluster.nodes / 2);
+  cfg.seed = static_cast<std::uint64_t>(args.num("seed", 2023));
+  core::ScenarioRunner runner(cfg);
+
+  std::vector<hpcsim::JobSpec> jobs = runner.jobs();
+  if (args.has("swf")) {
+    std::ifstream swf(args.get("swf", ""));
+    if (!swf) {
+      std::fprintf(stderr, "cannot open SWF file: %s\n", args.get("swf", "").c_str());
+      return 2;
+    }
+    hpcsim::SwfDefaults defaults;
+    defaults.max_nodes = cfg.cluster.nodes;
+    auto imported = hpcsim::load_swf(swf, defaults);
+    std::fprintf(stderr, "SWF: %zu jobs imported, %d skipped\n", imported.jobs.size(),
+                 imported.skipped);
+    jobs = std::move(imported.jobs);
+  }
+
+  hpcsim::Simulator::Config sim_cfg;
+  sim_cfg.cluster = cfg.cluster;
+  sim_cfg.carbon_intensity = runner.trace();
+  hpcsim::Simulator sim(sim_cfg, jobs);
+  auto scheduler = scheduler_factory(args.get("sched", "easy"))();
+  const auto result = sim.run(*scheduler);
+
+  std::printf("scheduler:        %s\n", scheduler->name().c_str());
+  std::printf("jobs completed:   %d / %zu\n", result.completed_jobs, jobs.size());
+  std::printf("makespan:         %.1f h\n", result.makespan.hours());
+  std::printf("energy:           %.2f MWh (idle share %.1f%%)\n",
+              result.total_energy.megawatt_hours(),
+              100.0 * result.idle_energy.joules() /
+                  std::max(1.0, result.total_energy.joules()));
+  std::printf("carbon:           %.3f tCO2e (%.1f g per delivered node-hour)\n",
+              result.total_carbon.tonnes(), result.carbon_per_node_hour());
+  std::printf("mean wait:        %.2f h   bounded slowdown: %.2f\n",
+              result.mean_wait_hours(), result.mean_bounded_slowdown());
+  std::printf("utilization:      %.1f%%\n", 100.0 * result.utilization(cfg.cluster));
+  return 0;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: greenhpc <command> [--flags]\n"
+               "  regions                       list region presets\n"
+               "  trace --region DE --days 31   emit a carbon-intensity CSV\n"
+               "  fig1                          embodied-carbon breakdown table\n"
+               "  carbon500                     carbon-efficiency ranking\n"
+               "  simulate --nodes 256 --region DE --days 7 [--sched easy]\n"
+               "           [--swf trace.swf]    run a cluster simulation\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  Args args(argc, argv, 2);
+  if (!args.ok()) return usage();
+  try {
+    if (command == "regions") return cmd_regions();
+    if (command == "trace") return cmd_trace(args);
+    if (command == "fig1") return cmd_fig1();
+    if (command == "carbon500") return cmd_carbon500();
+    if (command == "simulate") return cmd_simulate(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  return usage();
+}
