@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_elasticity"
+  "../bench/bench_ablation_elasticity.pdb"
+  "CMakeFiles/bench_ablation_elasticity.dir/bench_ablation_elasticity.cpp.o"
+  "CMakeFiles/bench_ablation_elasticity.dir/bench_ablation_elasticity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_elasticity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_budget_tradeoff"
+  "../bench/bench_budget_tradeoff.pdb"
+  "CMakeFiles/bench_budget_tradeoff.dir/bench_budget_tradeoff.cpp.o"
+  "CMakeFiles/bench_budget_tradeoff.dir/bench_budget_tradeoff.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_budget_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

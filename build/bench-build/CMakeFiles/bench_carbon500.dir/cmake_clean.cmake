@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_carbon500"
+  "../bench/bench_carbon500.pdb"
+  "CMakeFiles/bench_carbon500.dir/bench_carbon500.cpp.o"
+  "CMakeFiles/bench_carbon500.dir/bench_carbon500.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_carbon500.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

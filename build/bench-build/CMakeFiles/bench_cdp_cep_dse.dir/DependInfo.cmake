@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_cdp_cep_dse.cpp" "bench-build/CMakeFiles/bench_cdp_cep_dse.dir/bench_cdp_cep_dse.cpp.o" "gcc" "bench-build/CMakeFiles/bench_cdp_cep_dse.dir/bench_cdp_cep_dse.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/greenhpc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/powerstack/CMakeFiles/greenhpc_powerstack.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/greenhpc_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/lifecycle/CMakeFiles/greenhpc_lifecycle.dir/DependInfo.cmake"
+  "/root/repo/build/src/accounting/CMakeFiles/greenhpc_accounting.dir/DependInfo.cmake"
+  "/root/repo/build/src/hpcsim/CMakeFiles/greenhpc_hpcsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/greenhpc_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/procure/CMakeFiles/greenhpc_procure.dir/DependInfo.cmake"
+  "/root/repo/build/src/embodied/CMakeFiles/greenhpc_embodied.dir/DependInfo.cmake"
+  "/root/repo/build/src/facility/CMakeFiles/greenhpc_facility.dir/DependInfo.cmake"
+  "/root/repo/build/src/carbon/CMakeFiles/greenhpc_carbon.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/greenhpc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_cdp_cep_dse"
+  "../bench/bench_cdp_cep_dse.pdb"
+  "CMakeFiles/bench_cdp_cep_dse.dir/bench_cdp_cep_dse.cpp.o"
+  "CMakeFiles/bench_cdp_cep_dse.dir/bench_cdp_cep_dse.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cdp_cep_dse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_facility"
+  "../bench/bench_facility.pdb"
+  "CMakeFiles/bench_facility.dir/bench_facility.cpp.o"
+  "CMakeFiles/bench_facility.dir/bench_facility.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_facility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

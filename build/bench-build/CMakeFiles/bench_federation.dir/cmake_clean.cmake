@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_federation"
+  "../bench/bench_federation.pdb"
+  "CMakeFiles/bench_federation.dir/bench_federation.cpp.o"
+  "CMakeFiles/bench_federation.dir/bench_federation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_federation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig1_embodied"
+  "../bench/bench_fig1_embodied.pdb"
+  "CMakeFiles/bench_fig1_embodied.dir/bench_fig1_embodied.cpp.o"
+  "CMakeFiles/bench_fig1_embodied.dir/bench_fig1_embodied.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_embodied.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

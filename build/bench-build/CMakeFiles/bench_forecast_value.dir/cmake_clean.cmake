@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_forecast_value"
+  "../bench/bench_forecast_value.pdb"
+  "CMakeFiles/bench_forecast_value.dir/bench_forecast_value.cpp.o"
+  "CMakeFiles/bench_forecast_value.dir/bench_forecast_value.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_forecast_value.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

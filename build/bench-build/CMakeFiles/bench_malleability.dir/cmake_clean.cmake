@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_malleability"
+  "../bench/bench_malleability.pdb"
+  "CMakeFiles/bench_malleability.dir/bench_malleability.cpp.o"
+  "CMakeFiles/bench_malleability.dir/bench_malleability.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_malleability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

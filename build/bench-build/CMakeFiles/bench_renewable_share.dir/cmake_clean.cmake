@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_renewable_share"
+  "../bench/bench_renewable_share.pdb"
+  "CMakeFiles/bench_renewable_share.dir/bench_renewable_share.cpp.o"
+  "CMakeFiles/bench_renewable_share.dir/bench_renewable_share.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_renewable_share.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

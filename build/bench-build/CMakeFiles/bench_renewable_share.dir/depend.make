@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_renewable_share.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_reuse_recycle"
+  "../bench/bench_reuse_recycle.pdb"
+  "CMakeFiles/bench_reuse_recycle.dir/bench_reuse_recycle.cpp.o"
+  "CMakeFiles/bench_reuse_recycle.dir/bench_reuse_recycle.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_reuse_recycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

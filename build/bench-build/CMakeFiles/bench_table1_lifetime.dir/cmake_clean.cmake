@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_lifetime"
+  "../bench/bench_table1_lifetime.pdb"
+  "CMakeFiles/bench_table1_lifetime.dir/bench_table1_lifetime.cpp.o"
+  "CMakeFiles/bench_table1_lifetime.dir/bench_table1_lifetime.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_lifetime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/federated_dispatch"
+  "../examples/federated_dispatch.pdb"
+  "CMakeFiles/federated_dispatch.dir/federated_dispatch.cpp.o"
+  "CMakeFiles/federated_dispatch.dir/federated_dispatch.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/federated_dispatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/job_carbon_report"
+  "../examples/job_carbon_report.pdb"
+  "CMakeFiles/job_carbon_report.dir/job_carbon_report.cpp.o"
+  "CMakeFiles/job_carbon_report.dir/job_carbon_report.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/job_carbon_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

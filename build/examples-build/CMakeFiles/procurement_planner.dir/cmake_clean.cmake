@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/procurement_planner"
+  "../examples/procurement_planner.pdb"
+  "CMakeFiles/procurement_planner.dir/procurement_planner.cpp.o"
+  "CMakeFiles/procurement_planner.dir/procurement_planner.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/procurement_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

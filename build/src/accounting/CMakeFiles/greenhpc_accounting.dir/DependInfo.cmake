@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/accounting/incentives.cpp" "src/accounting/CMakeFiles/greenhpc_accounting.dir/incentives.cpp.o" "gcc" "src/accounting/CMakeFiles/greenhpc_accounting.dir/incentives.cpp.o.d"
+  "/root/repo/src/accounting/job_carbon.cpp" "src/accounting/CMakeFiles/greenhpc_accounting.dir/job_carbon.cpp.o" "gcc" "src/accounting/CMakeFiles/greenhpc_accounting.dir/job_carbon.cpp.o.d"
+  "/root/repo/src/accounting/ledger.cpp" "src/accounting/CMakeFiles/greenhpc_accounting.dir/ledger.cpp.o" "gcc" "src/accounting/CMakeFiles/greenhpc_accounting.dir/ledger.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/greenhpc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/hpcsim/CMakeFiles/greenhpc_hpcsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/carbon/CMakeFiles/greenhpc_carbon.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/greenhpc_telemetry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/greenhpc_accounting.dir/incentives.cpp.o"
+  "CMakeFiles/greenhpc_accounting.dir/incentives.cpp.o.d"
+  "CMakeFiles/greenhpc_accounting.dir/job_carbon.cpp.o"
+  "CMakeFiles/greenhpc_accounting.dir/job_carbon.cpp.o.d"
+  "CMakeFiles/greenhpc_accounting.dir/ledger.cpp.o"
+  "CMakeFiles/greenhpc_accounting.dir/ledger.cpp.o.d"
+  "libgreenhpc_accounting.a"
+  "libgreenhpc_accounting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/greenhpc_accounting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/carbon/forecast.cpp" "src/carbon/CMakeFiles/greenhpc_carbon.dir/forecast.cpp.o" "gcc" "src/carbon/CMakeFiles/greenhpc_carbon.dir/forecast.cpp.o.d"
+  "/root/repo/src/carbon/green_periods.cpp" "src/carbon/CMakeFiles/greenhpc_carbon.dir/green_periods.cpp.o" "gcc" "src/carbon/CMakeFiles/greenhpc_carbon.dir/green_periods.cpp.o.d"
+  "/root/repo/src/carbon/grid_model.cpp" "src/carbon/CMakeFiles/greenhpc_carbon.dir/grid_model.cpp.o" "gcc" "src/carbon/CMakeFiles/greenhpc_carbon.dir/grid_model.cpp.o.d"
+  "/root/repo/src/carbon/region.cpp" "src/carbon/CMakeFiles/greenhpc_carbon.dir/region.cpp.o" "gcc" "src/carbon/CMakeFiles/greenhpc_carbon.dir/region.cpp.o.d"
+  "/root/repo/src/carbon/trace_io.cpp" "src/carbon/CMakeFiles/greenhpc_carbon.dir/trace_io.cpp.o" "gcc" "src/carbon/CMakeFiles/greenhpc_carbon.dir/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/greenhpc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

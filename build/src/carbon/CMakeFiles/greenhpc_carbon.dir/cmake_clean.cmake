@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/greenhpc_carbon.dir/forecast.cpp.o"
+  "CMakeFiles/greenhpc_carbon.dir/forecast.cpp.o.d"
+  "CMakeFiles/greenhpc_carbon.dir/green_periods.cpp.o"
+  "CMakeFiles/greenhpc_carbon.dir/green_periods.cpp.o.d"
+  "CMakeFiles/greenhpc_carbon.dir/grid_model.cpp.o"
+  "CMakeFiles/greenhpc_carbon.dir/grid_model.cpp.o.d"
+  "CMakeFiles/greenhpc_carbon.dir/region.cpp.o"
+  "CMakeFiles/greenhpc_carbon.dir/region.cpp.o.d"
+  "CMakeFiles/greenhpc_carbon.dir/trace_io.cpp.o"
+  "CMakeFiles/greenhpc_carbon.dir/trace_io.cpp.o.d"
+  "libgreenhpc_carbon.a"
+  "libgreenhpc_carbon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/greenhpc_carbon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/greenhpc_core.dir/federation.cpp.o"
+  "CMakeFiles/greenhpc_core.dir/federation.cpp.o.d"
+  "CMakeFiles/greenhpc_core.dir/scenario.cpp.o"
+  "CMakeFiles/greenhpc_core.dir/scenario.cpp.o.d"
+  "CMakeFiles/greenhpc_core.dir/site_model.cpp.o"
+  "CMakeFiles/greenhpc_core.dir/site_model.cpp.o.d"
+  "libgreenhpc_core.a"
+  "libgreenhpc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/greenhpc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/embodied/act_model.cpp" "src/embodied/CMakeFiles/greenhpc_embodied.dir/act_model.cpp.o" "gcc" "src/embodied/CMakeFiles/greenhpc_embodied.dir/act_model.cpp.o.d"
+  "/root/repo/src/embodied/components.cpp" "src/embodied/CMakeFiles/greenhpc_embodied.dir/components.cpp.o" "gcc" "src/embodied/CMakeFiles/greenhpc_embodied.dir/components.cpp.o.d"
+  "/root/repo/src/embodied/dse.cpp" "src/embodied/CMakeFiles/greenhpc_embodied.dir/dse.cpp.o" "gcc" "src/embodied/CMakeFiles/greenhpc_embodied.dir/dse.cpp.o.d"
+  "/root/repo/src/embodied/interconnect.cpp" "src/embodied/CMakeFiles/greenhpc_embodied.dir/interconnect.cpp.o" "gcc" "src/embodied/CMakeFiles/greenhpc_embodied.dir/interconnect.cpp.o.d"
+  "/root/repo/src/embodied/metrics.cpp" "src/embodied/CMakeFiles/greenhpc_embodied.dir/metrics.cpp.o" "gcc" "src/embodied/CMakeFiles/greenhpc_embodied.dir/metrics.cpp.o.d"
+  "/root/repo/src/embodied/systems.cpp" "src/embodied/CMakeFiles/greenhpc_embodied.dir/systems.cpp.o" "gcc" "src/embodied/CMakeFiles/greenhpc_embodied.dir/systems.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/greenhpc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/greenhpc_embodied.dir/act_model.cpp.o"
+  "CMakeFiles/greenhpc_embodied.dir/act_model.cpp.o.d"
+  "CMakeFiles/greenhpc_embodied.dir/components.cpp.o"
+  "CMakeFiles/greenhpc_embodied.dir/components.cpp.o.d"
+  "CMakeFiles/greenhpc_embodied.dir/dse.cpp.o"
+  "CMakeFiles/greenhpc_embodied.dir/dse.cpp.o.d"
+  "CMakeFiles/greenhpc_embodied.dir/interconnect.cpp.o"
+  "CMakeFiles/greenhpc_embodied.dir/interconnect.cpp.o.d"
+  "CMakeFiles/greenhpc_embodied.dir/metrics.cpp.o"
+  "CMakeFiles/greenhpc_embodied.dir/metrics.cpp.o.d"
+  "CMakeFiles/greenhpc_embodied.dir/systems.cpp.o"
+  "CMakeFiles/greenhpc_embodied.dir/systems.cpp.o.d"
+  "libgreenhpc_embodied.a"
+  "libgreenhpc_embodied.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/greenhpc_embodied.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

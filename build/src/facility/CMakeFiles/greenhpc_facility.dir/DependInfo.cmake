@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/facility/cooling.cpp" "src/facility/CMakeFiles/greenhpc_facility.dir/cooling.cpp.o" "gcc" "src/facility/CMakeFiles/greenhpc_facility.dir/cooling.cpp.o.d"
+  "/root/repo/src/facility/facility_model.cpp" "src/facility/CMakeFiles/greenhpc_facility.dir/facility_model.cpp.o" "gcc" "src/facility/CMakeFiles/greenhpc_facility.dir/facility_model.cpp.o.d"
+  "/root/repo/src/facility/heat_reuse.cpp" "src/facility/CMakeFiles/greenhpc_facility.dir/heat_reuse.cpp.o" "gcc" "src/facility/CMakeFiles/greenhpc_facility.dir/heat_reuse.cpp.o.d"
+  "/root/repo/src/facility/weather.cpp" "src/facility/CMakeFiles/greenhpc_facility.dir/weather.cpp.o" "gcc" "src/facility/CMakeFiles/greenhpc_facility.dir/weather.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/greenhpc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/carbon/CMakeFiles/greenhpc_carbon.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/greenhpc_facility.dir/cooling.cpp.o"
+  "CMakeFiles/greenhpc_facility.dir/cooling.cpp.o.d"
+  "CMakeFiles/greenhpc_facility.dir/facility_model.cpp.o"
+  "CMakeFiles/greenhpc_facility.dir/facility_model.cpp.o.d"
+  "CMakeFiles/greenhpc_facility.dir/heat_reuse.cpp.o"
+  "CMakeFiles/greenhpc_facility.dir/heat_reuse.cpp.o.d"
+  "CMakeFiles/greenhpc_facility.dir/weather.cpp.o"
+  "CMakeFiles/greenhpc_facility.dir/weather.cpp.o.d"
+  "libgreenhpc_facility.a"
+  "libgreenhpc_facility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/greenhpc_facility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

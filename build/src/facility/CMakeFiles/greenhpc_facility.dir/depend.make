@@ -1,0 +1,2 @@
+# Empty dependencies file for greenhpc_facility.
+# This may be replaced when dependencies are built.

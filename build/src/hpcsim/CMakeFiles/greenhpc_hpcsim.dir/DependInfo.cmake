@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hpcsim/job.cpp" "src/hpcsim/CMakeFiles/greenhpc_hpcsim.dir/job.cpp.o" "gcc" "src/hpcsim/CMakeFiles/greenhpc_hpcsim.dir/job.cpp.o.d"
+  "/root/repo/src/hpcsim/result.cpp" "src/hpcsim/CMakeFiles/greenhpc_hpcsim.dir/result.cpp.o" "gcc" "src/hpcsim/CMakeFiles/greenhpc_hpcsim.dir/result.cpp.o.d"
+  "/root/repo/src/hpcsim/simulator.cpp" "src/hpcsim/CMakeFiles/greenhpc_hpcsim.dir/simulator.cpp.o" "gcc" "src/hpcsim/CMakeFiles/greenhpc_hpcsim.dir/simulator.cpp.o.d"
+  "/root/repo/src/hpcsim/swf_io.cpp" "src/hpcsim/CMakeFiles/greenhpc_hpcsim.dir/swf_io.cpp.o" "gcc" "src/hpcsim/CMakeFiles/greenhpc_hpcsim.dir/swf_io.cpp.o.d"
+  "/root/repo/src/hpcsim/workload.cpp" "src/hpcsim/CMakeFiles/greenhpc_hpcsim.dir/workload.cpp.o" "gcc" "src/hpcsim/CMakeFiles/greenhpc_hpcsim.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/greenhpc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/greenhpc_telemetry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

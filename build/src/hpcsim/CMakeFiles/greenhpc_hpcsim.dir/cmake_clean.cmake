@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/greenhpc_hpcsim.dir/job.cpp.o"
+  "CMakeFiles/greenhpc_hpcsim.dir/job.cpp.o.d"
+  "CMakeFiles/greenhpc_hpcsim.dir/result.cpp.o"
+  "CMakeFiles/greenhpc_hpcsim.dir/result.cpp.o.d"
+  "CMakeFiles/greenhpc_hpcsim.dir/simulator.cpp.o"
+  "CMakeFiles/greenhpc_hpcsim.dir/simulator.cpp.o.d"
+  "CMakeFiles/greenhpc_hpcsim.dir/swf_io.cpp.o"
+  "CMakeFiles/greenhpc_hpcsim.dir/swf_io.cpp.o.d"
+  "CMakeFiles/greenhpc_hpcsim.dir/workload.cpp.o"
+  "CMakeFiles/greenhpc_hpcsim.dir/workload.cpp.o.d"
+  "libgreenhpc_hpcsim.a"
+  "libgreenhpc_hpcsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/greenhpc_hpcsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgreenhpc_hpcsim.a"
+)

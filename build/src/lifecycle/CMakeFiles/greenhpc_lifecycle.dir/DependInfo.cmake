@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lifecycle/fleet.cpp" "src/lifecycle/CMakeFiles/greenhpc_lifecycle.dir/fleet.cpp.o" "gcc" "src/lifecycle/CMakeFiles/greenhpc_lifecycle.dir/fleet.cpp.o.d"
+  "/root/repo/src/lifecycle/reuse.cpp" "src/lifecycle/CMakeFiles/greenhpc_lifecycle.dir/reuse.cpp.o" "gcc" "src/lifecycle/CMakeFiles/greenhpc_lifecycle.dir/reuse.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/greenhpc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/embodied/CMakeFiles/greenhpc_embodied.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

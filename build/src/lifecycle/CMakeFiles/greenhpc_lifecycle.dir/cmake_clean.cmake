@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/greenhpc_lifecycle.dir/fleet.cpp.o"
+  "CMakeFiles/greenhpc_lifecycle.dir/fleet.cpp.o.d"
+  "CMakeFiles/greenhpc_lifecycle.dir/reuse.cpp.o"
+  "CMakeFiles/greenhpc_lifecycle.dir/reuse.cpp.o.d"
+  "libgreenhpc_lifecycle.a"
+  "libgreenhpc_lifecycle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/greenhpc_lifecycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/powerstack/budget_tree.cpp" "src/powerstack/CMakeFiles/greenhpc_powerstack.dir/budget_tree.cpp.o" "gcc" "src/powerstack/CMakeFiles/greenhpc_powerstack.dir/budget_tree.cpp.o.d"
+  "/root/repo/src/powerstack/policies.cpp" "src/powerstack/CMakeFiles/greenhpc_powerstack.dir/policies.cpp.o" "gcc" "src/powerstack/CMakeFiles/greenhpc_powerstack.dir/policies.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/greenhpc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/hpcsim/CMakeFiles/greenhpc_hpcsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/greenhpc_telemetry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

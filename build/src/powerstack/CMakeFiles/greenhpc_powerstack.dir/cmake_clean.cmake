@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/greenhpc_powerstack.dir/budget_tree.cpp.o"
+  "CMakeFiles/greenhpc_powerstack.dir/budget_tree.cpp.o.d"
+  "CMakeFiles/greenhpc_powerstack.dir/policies.cpp.o"
+  "CMakeFiles/greenhpc_powerstack.dir/policies.cpp.o.d"
+  "libgreenhpc_powerstack.a"
+  "libgreenhpc_powerstack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/greenhpc_powerstack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

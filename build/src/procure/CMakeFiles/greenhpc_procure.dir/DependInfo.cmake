@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/procure/carbon500.cpp" "src/procure/CMakeFiles/greenhpc_procure.dir/carbon500.cpp.o" "gcc" "src/procure/CMakeFiles/greenhpc_procure.dir/carbon500.cpp.o.d"
+  "/root/repo/src/procure/catalog.cpp" "src/procure/CMakeFiles/greenhpc_procure.dir/catalog.cpp.o" "gcc" "src/procure/CMakeFiles/greenhpc_procure.dir/catalog.cpp.o.d"
+  "/root/repo/src/procure/optimizer.cpp" "src/procure/CMakeFiles/greenhpc_procure.dir/optimizer.cpp.o" "gcc" "src/procure/CMakeFiles/greenhpc_procure.dir/optimizer.cpp.o.d"
+  "/root/repo/src/procure/tradeoff.cpp" "src/procure/CMakeFiles/greenhpc_procure.dir/tradeoff.cpp.o" "gcc" "src/procure/CMakeFiles/greenhpc_procure.dir/tradeoff.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/greenhpc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/embodied/CMakeFiles/greenhpc_embodied.dir/DependInfo.cmake"
+  "/root/repo/build/src/carbon/CMakeFiles/greenhpc_carbon.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/greenhpc_procure.dir/carbon500.cpp.o"
+  "CMakeFiles/greenhpc_procure.dir/carbon500.cpp.o.d"
+  "CMakeFiles/greenhpc_procure.dir/catalog.cpp.o"
+  "CMakeFiles/greenhpc_procure.dir/catalog.cpp.o.d"
+  "CMakeFiles/greenhpc_procure.dir/optimizer.cpp.o"
+  "CMakeFiles/greenhpc_procure.dir/optimizer.cpp.o.d"
+  "CMakeFiles/greenhpc_procure.dir/tradeoff.cpp.o"
+  "CMakeFiles/greenhpc_procure.dir/tradeoff.cpp.o.d"
+  "libgreenhpc_procure.a"
+  "libgreenhpc_procure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/greenhpc_procure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for greenhpc_procure.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/carbon_aware.cpp" "src/sched/CMakeFiles/greenhpc_sched.dir/carbon_aware.cpp.o" "gcc" "src/sched/CMakeFiles/greenhpc_sched.dir/carbon_aware.cpp.o.d"
+  "/root/repo/src/sched/conservative.cpp" "src/sched/CMakeFiles/greenhpc_sched.dir/conservative.cpp.o" "gcc" "src/sched/CMakeFiles/greenhpc_sched.dir/conservative.cpp.o.d"
+  "/root/repo/src/sched/decorators.cpp" "src/sched/CMakeFiles/greenhpc_sched.dir/decorators.cpp.o" "gcc" "src/sched/CMakeFiles/greenhpc_sched.dir/decorators.cpp.o.d"
+  "/root/repo/src/sched/easy_backfill.cpp" "src/sched/CMakeFiles/greenhpc_sched.dir/easy_backfill.cpp.o" "gcc" "src/sched/CMakeFiles/greenhpc_sched.dir/easy_backfill.cpp.o.d"
+  "/root/repo/src/sched/fcfs.cpp" "src/sched/CMakeFiles/greenhpc_sched.dir/fcfs.cpp.o" "gcc" "src/sched/CMakeFiles/greenhpc_sched.dir/fcfs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hpcsim/CMakeFiles/greenhpc_hpcsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/carbon/CMakeFiles/greenhpc_carbon.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/greenhpc_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/greenhpc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

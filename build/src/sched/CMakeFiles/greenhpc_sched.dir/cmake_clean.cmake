@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/greenhpc_sched.dir/carbon_aware.cpp.o"
+  "CMakeFiles/greenhpc_sched.dir/carbon_aware.cpp.o.d"
+  "CMakeFiles/greenhpc_sched.dir/conservative.cpp.o"
+  "CMakeFiles/greenhpc_sched.dir/conservative.cpp.o.d"
+  "CMakeFiles/greenhpc_sched.dir/decorators.cpp.o"
+  "CMakeFiles/greenhpc_sched.dir/decorators.cpp.o.d"
+  "CMakeFiles/greenhpc_sched.dir/easy_backfill.cpp.o"
+  "CMakeFiles/greenhpc_sched.dir/easy_backfill.cpp.o.d"
+  "CMakeFiles/greenhpc_sched.dir/fcfs.cpp.o"
+  "CMakeFiles/greenhpc_sched.dir/fcfs.cpp.o.d"
+  "libgreenhpc_sched.a"
+  "libgreenhpc_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/greenhpc_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

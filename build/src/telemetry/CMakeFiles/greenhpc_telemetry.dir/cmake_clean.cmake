@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/greenhpc_telemetry.dir/sensor_store.cpp.o"
+  "CMakeFiles/greenhpc_telemetry.dir/sensor_store.cpp.o.d"
+  "libgreenhpc_telemetry.a"
+  "libgreenhpc_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/greenhpc_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/greenhpc_util.dir/csv.cpp.o"
+  "CMakeFiles/greenhpc_util.dir/csv.cpp.o.d"
+  "CMakeFiles/greenhpc_util.dir/parallel.cpp.o"
+  "CMakeFiles/greenhpc_util.dir/parallel.cpp.o.d"
+  "CMakeFiles/greenhpc_util.dir/rng.cpp.o"
+  "CMakeFiles/greenhpc_util.dir/rng.cpp.o.d"
+  "CMakeFiles/greenhpc_util.dir/stats.cpp.o"
+  "CMakeFiles/greenhpc_util.dir/stats.cpp.o.d"
+  "CMakeFiles/greenhpc_util.dir/table.cpp.o"
+  "CMakeFiles/greenhpc_util.dir/table.cpp.o.d"
+  "CMakeFiles/greenhpc_util.dir/time_series.cpp.o"
+  "CMakeFiles/greenhpc_util.dir/time_series.cpp.o.d"
+  "libgreenhpc_util.a"
+  "libgreenhpc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/greenhpc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

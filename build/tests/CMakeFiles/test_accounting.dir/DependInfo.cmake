@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/accounting/test_incentives.cpp" "tests/CMakeFiles/test_accounting.dir/accounting/test_incentives.cpp.o" "gcc" "tests/CMakeFiles/test_accounting.dir/accounting/test_incentives.cpp.o.d"
+  "/root/repo/tests/accounting/test_job_carbon.cpp" "tests/CMakeFiles/test_accounting.dir/accounting/test_job_carbon.cpp.o" "gcc" "tests/CMakeFiles/test_accounting.dir/accounting/test_job_carbon.cpp.o.d"
+  "/root/repo/tests/accounting/test_ledger.cpp" "tests/CMakeFiles/test_accounting.dir/accounting/test_ledger.cpp.o" "gcc" "tests/CMakeFiles/test_accounting.dir/accounting/test_ledger.cpp.o.d"
+  "/root/repo/tests/accounting/test_revenue_neutral.cpp" "tests/CMakeFiles/test_accounting.dir/accounting/test_revenue_neutral.cpp.o" "gcc" "tests/CMakeFiles/test_accounting.dir/accounting/test_revenue_neutral.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/accounting/CMakeFiles/greenhpc_accounting.dir/DependInfo.cmake"
+  "/root/repo/build/src/hpcsim/CMakeFiles/greenhpc_hpcsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/greenhpc_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/carbon/CMakeFiles/greenhpc_carbon.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/greenhpc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

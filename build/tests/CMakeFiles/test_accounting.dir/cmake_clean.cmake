@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_accounting.dir/accounting/test_incentives.cpp.o"
+  "CMakeFiles/test_accounting.dir/accounting/test_incentives.cpp.o.d"
+  "CMakeFiles/test_accounting.dir/accounting/test_job_carbon.cpp.o"
+  "CMakeFiles/test_accounting.dir/accounting/test_job_carbon.cpp.o.d"
+  "CMakeFiles/test_accounting.dir/accounting/test_ledger.cpp.o"
+  "CMakeFiles/test_accounting.dir/accounting/test_ledger.cpp.o.d"
+  "CMakeFiles/test_accounting.dir/accounting/test_revenue_neutral.cpp.o"
+  "CMakeFiles/test_accounting.dir/accounting/test_revenue_neutral.cpp.o.d"
+  "test_accounting"
+  "test_accounting.pdb"
+  "test_accounting[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_accounting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/carbon/test_forecast.cpp" "tests/CMakeFiles/test_carbon.dir/carbon/test_forecast.cpp.o" "gcc" "tests/CMakeFiles/test_carbon.dir/carbon/test_forecast.cpp.o.d"
+  "/root/repo/tests/carbon/test_green_periods.cpp" "tests/CMakeFiles/test_carbon.dir/carbon/test_green_periods.cpp.o" "gcc" "tests/CMakeFiles/test_carbon.dir/carbon/test_green_periods.cpp.o.d"
+  "/root/repo/tests/carbon/test_grid_model.cpp" "tests/CMakeFiles/test_carbon.dir/carbon/test_grid_model.cpp.o" "gcc" "tests/CMakeFiles/test_carbon.dir/carbon/test_grid_model.cpp.o.d"
+  "/root/repo/tests/carbon/test_region.cpp" "tests/CMakeFiles/test_carbon.dir/carbon/test_region.cpp.o" "gcc" "tests/CMakeFiles/test_carbon.dir/carbon/test_region.cpp.o.d"
+  "/root/repo/tests/carbon/test_trace_io.cpp" "tests/CMakeFiles/test_carbon.dir/carbon/test_trace_io.cpp.o" "gcc" "tests/CMakeFiles/test_carbon.dir/carbon/test_trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/carbon/CMakeFiles/greenhpc_carbon.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/greenhpc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

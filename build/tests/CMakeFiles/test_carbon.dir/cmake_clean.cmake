@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_carbon.dir/carbon/test_forecast.cpp.o"
+  "CMakeFiles/test_carbon.dir/carbon/test_forecast.cpp.o.d"
+  "CMakeFiles/test_carbon.dir/carbon/test_green_periods.cpp.o"
+  "CMakeFiles/test_carbon.dir/carbon/test_green_periods.cpp.o.d"
+  "CMakeFiles/test_carbon.dir/carbon/test_grid_model.cpp.o"
+  "CMakeFiles/test_carbon.dir/carbon/test_grid_model.cpp.o.d"
+  "CMakeFiles/test_carbon.dir/carbon/test_region.cpp.o"
+  "CMakeFiles/test_carbon.dir/carbon/test_region.cpp.o.d"
+  "CMakeFiles/test_carbon.dir/carbon/test_trace_io.cpp.o"
+  "CMakeFiles/test_carbon.dir/carbon/test_trace_io.cpp.o.d"
+  "test_carbon"
+  "test_carbon.pdb"
+  "test_carbon[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_carbon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/embodied/test_act_model.cpp" "tests/CMakeFiles/test_embodied.dir/embodied/test_act_model.cpp.o" "gcc" "tests/CMakeFiles/test_embodied.dir/embodied/test_act_model.cpp.o.d"
+  "/root/repo/tests/embodied/test_components.cpp" "tests/CMakeFiles/test_embodied.dir/embodied/test_components.cpp.o" "gcc" "tests/CMakeFiles/test_embodied.dir/embodied/test_components.cpp.o.d"
+  "/root/repo/tests/embodied/test_dse.cpp" "tests/CMakeFiles/test_embodied.dir/embodied/test_dse.cpp.o" "gcc" "tests/CMakeFiles/test_embodied.dir/embodied/test_dse.cpp.o.d"
+  "/root/repo/tests/embodied/test_interconnect.cpp" "tests/CMakeFiles/test_embodied.dir/embodied/test_interconnect.cpp.o" "gcc" "tests/CMakeFiles/test_embodied.dir/embodied/test_interconnect.cpp.o.d"
+  "/root/repo/tests/embodied/test_metrics.cpp" "tests/CMakeFiles/test_embodied.dir/embodied/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/test_embodied.dir/embodied/test_metrics.cpp.o.d"
+  "/root/repo/tests/embodied/test_systems.cpp" "tests/CMakeFiles/test_embodied.dir/embodied/test_systems.cpp.o" "gcc" "tests/CMakeFiles/test_embodied.dir/embodied/test_systems.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/embodied/CMakeFiles/greenhpc_embodied.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/greenhpc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_embodied.dir/embodied/test_act_model.cpp.o"
+  "CMakeFiles/test_embodied.dir/embodied/test_act_model.cpp.o.d"
+  "CMakeFiles/test_embodied.dir/embodied/test_components.cpp.o"
+  "CMakeFiles/test_embodied.dir/embodied/test_components.cpp.o.d"
+  "CMakeFiles/test_embodied.dir/embodied/test_dse.cpp.o"
+  "CMakeFiles/test_embodied.dir/embodied/test_dse.cpp.o.d"
+  "CMakeFiles/test_embodied.dir/embodied/test_interconnect.cpp.o"
+  "CMakeFiles/test_embodied.dir/embodied/test_interconnect.cpp.o.d"
+  "CMakeFiles/test_embodied.dir/embodied/test_metrics.cpp.o"
+  "CMakeFiles/test_embodied.dir/embodied/test_metrics.cpp.o.d"
+  "CMakeFiles/test_embodied.dir/embodied/test_systems.cpp.o"
+  "CMakeFiles/test_embodied.dir/embodied/test_systems.cpp.o.d"
+  "test_embodied"
+  "test_embodied.pdb"
+  "test_embodied[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_embodied.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

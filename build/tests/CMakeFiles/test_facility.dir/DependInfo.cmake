@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/facility/test_cooling.cpp" "tests/CMakeFiles/test_facility.dir/facility/test_cooling.cpp.o" "gcc" "tests/CMakeFiles/test_facility.dir/facility/test_cooling.cpp.o.d"
+  "/root/repo/tests/facility/test_facility_model.cpp" "tests/CMakeFiles/test_facility.dir/facility/test_facility_model.cpp.o" "gcc" "tests/CMakeFiles/test_facility.dir/facility/test_facility_model.cpp.o.d"
+  "/root/repo/tests/facility/test_weather.cpp" "tests/CMakeFiles/test_facility.dir/facility/test_weather.cpp.o" "gcc" "tests/CMakeFiles/test_facility.dir/facility/test_weather.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/facility/CMakeFiles/greenhpc_facility.dir/DependInfo.cmake"
+  "/root/repo/build/src/carbon/CMakeFiles/greenhpc_carbon.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/greenhpc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

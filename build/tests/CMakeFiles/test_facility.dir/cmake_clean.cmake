@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_facility.dir/facility/test_cooling.cpp.o"
+  "CMakeFiles/test_facility.dir/facility/test_cooling.cpp.o.d"
+  "CMakeFiles/test_facility.dir/facility/test_facility_model.cpp.o"
+  "CMakeFiles/test_facility.dir/facility/test_facility_model.cpp.o.d"
+  "CMakeFiles/test_facility.dir/facility/test_weather.cpp.o"
+  "CMakeFiles/test_facility.dir/facility/test_weather.cpp.o.d"
+  "test_facility"
+  "test_facility.pdb"
+  "test_facility[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_facility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

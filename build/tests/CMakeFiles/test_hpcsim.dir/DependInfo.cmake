@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/hpcsim/test_job.cpp" "tests/CMakeFiles/test_hpcsim.dir/hpcsim/test_job.cpp.o" "gcc" "tests/CMakeFiles/test_hpcsim.dir/hpcsim/test_job.cpp.o.d"
+  "/root/repo/tests/hpcsim/test_powersave.cpp" "tests/CMakeFiles/test_hpcsim.dir/hpcsim/test_powersave.cpp.o" "gcc" "tests/CMakeFiles/test_hpcsim.dir/hpcsim/test_powersave.cpp.o.d"
+  "/root/repo/tests/hpcsim/test_result.cpp" "tests/CMakeFiles/test_hpcsim.dir/hpcsim/test_result.cpp.o" "gcc" "tests/CMakeFiles/test_hpcsim.dir/hpcsim/test_result.cpp.o.d"
+  "/root/repo/tests/hpcsim/test_simulator.cpp" "tests/CMakeFiles/test_hpcsim.dir/hpcsim/test_simulator.cpp.o" "gcc" "tests/CMakeFiles/test_hpcsim.dir/hpcsim/test_simulator.cpp.o.d"
+  "/root/repo/tests/hpcsim/test_swf_io.cpp" "tests/CMakeFiles/test_hpcsim.dir/hpcsim/test_swf_io.cpp.o" "gcc" "tests/CMakeFiles/test_hpcsim.dir/hpcsim/test_swf_io.cpp.o.d"
+  "/root/repo/tests/hpcsim/test_walltime.cpp" "tests/CMakeFiles/test_hpcsim.dir/hpcsim/test_walltime.cpp.o" "gcc" "tests/CMakeFiles/test_hpcsim.dir/hpcsim/test_walltime.cpp.o.d"
+  "/root/repo/tests/hpcsim/test_workload.cpp" "tests/CMakeFiles/test_hpcsim.dir/hpcsim/test_workload.cpp.o" "gcc" "tests/CMakeFiles/test_hpcsim.dir/hpcsim/test_workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hpcsim/CMakeFiles/greenhpc_hpcsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/greenhpc_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/greenhpc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hpcsim.dir/hpcsim/test_job.cpp.o"
+  "CMakeFiles/test_hpcsim.dir/hpcsim/test_job.cpp.o.d"
+  "CMakeFiles/test_hpcsim.dir/hpcsim/test_powersave.cpp.o"
+  "CMakeFiles/test_hpcsim.dir/hpcsim/test_powersave.cpp.o.d"
+  "CMakeFiles/test_hpcsim.dir/hpcsim/test_result.cpp.o"
+  "CMakeFiles/test_hpcsim.dir/hpcsim/test_result.cpp.o.d"
+  "CMakeFiles/test_hpcsim.dir/hpcsim/test_simulator.cpp.o"
+  "CMakeFiles/test_hpcsim.dir/hpcsim/test_simulator.cpp.o.d"
+  "CMakeFiles/test_hpcsim.dir/hpcsim/test_swf_io.cpp.o"
+  "CMakeFiles/test_hpcsim.dir/hpcsim/test_swf_io.cpp.o.d"
+  "CMakeFiles/test_hpcsim.dir/hpcsim/test_walltime.cpp.o"
+  "CMakeFiles/test_hpcsim.dir/hpcsim/test_walltime.cpp.o.d"
+  "CMakeFiles/test_hpcsim.dir/hpcsim/test_workload.cpp.o"
+  "CMakeFiles/test_hpcsim.dir/hpcsim/test_workload.cpp.o.d"
+  "test_hpcsim"
+  "test_hpcsim.pdb"
+  "test_hpcsim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hpcsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/lifecycle/test_fleet.cpp" "tests/CMakeFiles/test_lifecycle.dir/lifecycle/test_fleet.cpp.o" "gcc" "tests/CMakeFiles/test_lifecycle.dir/lifecycle/test_fleet.cpp.o.d"
+  "/root/repo/tests/lifecycle/test_fleet_timeline.cpp" "tests/CMakeFiles/test_lifecycle.dir/lifecycle/test_fleet_timeline.cpp.o" "gcc" "tests/CMakeFiles/test_lifecycle.dir/lifecycle/test_fleet_timeline.cpp.o.d"
+  "/root/repo/tests/lifecycle/test_reuse.cpp" "tests/CMakeFiles/test_lifecycle.dir/lifecycle/test_reuse.cpp.o" "gcc" "tests/CMakeFiles/test_lifecycle.dir/lifecycle/test_reuse.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lifecycle/CMakeFiles/greenhpc_lifecycle.dir/DependInfo.cmake"
+  "/root/repo/build/src/embodied/CMakeFiles/greenhpc_embodied.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/greenhpc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

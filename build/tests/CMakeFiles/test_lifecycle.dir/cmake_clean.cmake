@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lifecycle.dir/lifecycle/test_fleet.cpp.o"
+  "CMakeFiles/test_lifecycle.dir/lifecycle/test_fleet.cpp.o.d"
+  "CMakeFiles/test_lifecycle.dir/lifecycle/test_fleet_timeline.cpp.o"
+  "CMakeFiles/test_lifecycle.dir/lifecycle/test_fleet_timeline.cpp.o.d"
+  "CMakeFiles/test_lifecycle.dir/lifecycle/test_reuse.cpp.o"
+  "CMakeFiles/test_lifecycle.dir/lifecycle/test_reuse.cpp.o.d"
+  "test_lifecycle"
+  "test_lifecycle.pdb"
+  "test_lifecycle[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lifecycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

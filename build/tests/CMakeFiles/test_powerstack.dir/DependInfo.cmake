@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/powerstack/test_budget_tree.cpp" "tests/CMakeFiles/test_powerstack.dir/powerstack/test_budget_tree.cpp.o" "gcc" "tests/CMakeFiles/test_powerstack.dir/powerstack/test_budget_tree.cpp.o.d"
+  "/root/repo/tests/powerstack/test_policies.cpp" "tests/CMakeFiles/test_powerstack.dir/powerstack/test_policies.cpp.o" "gcc" "tests/CMakeFiles/test_powerstack.dir/powerstack/test_policies.cpp.o.d"
+  "/root/repo/tests/powerstack/test_ramp.cpp" "tests/CMakeFiles/test_powerstack.dir/powerstack/test_ramp.cpp.o" "gcc" "tests/CMakeFiles/test_powerstack.dir/powerstack/test_ramp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/powerstack/CMakeFiles/greenhpc_powerstack.dir/DependInfo.cmake"
+  "/root/repo/build/src/hpcsim/CMakeFiles/greenhpc_hpcsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/greenhpc_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/greenhpc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_powerstack.dir/powerstack/test_budget_tree.cpp.o"
+  "CMakeFiles/test_powerstack.dir/powerstack/test_budget_tree.cpp.o.d"
+  "CMakeFiles/test_powerstack.dir/powerstack/test_policies.cpp.o"
+  "CMakeFiles/test_powerstack.dir/powerstack/test_policies.cpp.o.d"
+  "CMakeFiles/test_powerstack.dir/powerstack/test_ramp.cpp.o"
+  "CMakeFiles/test_powerstack.dir/powerstack/test_ramp.cpp.o.d"
+  "test_powerstack"
+  "test_powerstack.pdb"
+  "test_powerstack[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_powerstack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/procure/test_carbon500.cpp" "tests/CMakeFiles/test_procure.dir/procure/test_carbon500.cpp.o" "gcc" "tests/CMakeFiles/test_procure.dir/procure/test_carbon500.cpp.o.d"
+  "/root/repo/tests/procure/test_optimizer.cpp" "tests/CMakeFiles/test_procure.dir/procure/test_optimizer.cpp.o" "gcc" "tests/CMakeFiles/test_procure.dir/procure/test_optimizer.cpp.o.d"
+  "/root/repo/tests/procure/test_tradeoff.cpp" "tests/CMakeFiles/test_procure.dir/procure/test_tradeoff.cpp.o" "gcc" "tests/CMakeFiles/test_procure.dir/procure/test_tradeoff.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/procure/CMakeFiles/greenhpc_procure.dir/DependInfo.cmake"
+  "/root/repo/build/src/embodied/CMakeFiles/greenhpc_embodied.dir/DependInfo.cmake"
+  "/root/repo/build/src/carbon/CMakeFiles/greenhpc_carbon.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/greenhpc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

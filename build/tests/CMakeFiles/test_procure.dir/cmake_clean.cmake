@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_procure.dir/procure/test_carbon500.cpp.o"
+  "CMakeFiles/test_procure.dir/procure/test_carbon500.cpp.o.d"
+  "CMakeFiles/test_procure.dir/procure/test_optimizer.cpp.o"
+  "CMakeFiles/test_procure.dir/procure/test_optimizer.cpp.o.d"
+  "CMakeFiles/test_procure.dir/procure/test_tradeoff.cpp.o"
+  "CMakeFiles/test_procure.dir/procure/test_tradeoff.cpp.o.d"
+  "test_procure"
+  "test_procure.pdb"
+  "test_procure[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_procure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_procure.
+# This may be replaced when dependencies are built.

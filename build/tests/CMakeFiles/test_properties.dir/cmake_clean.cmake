@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_properties.dir/properties/test_property_embodied.cpp.o"
+  "CMakeFiles/test_properties.dir/properties/test_property_embodied.cpp.o.d"
+  "CMakeFiles/test_properties.dir/properties/test_property_facility.cpp.o"
+  "CMakeFiles/test_properties.dir/properties/test_property_facility.cpp.o.d"
+  "CMakeFiles/test_properties.dir/properties/test_property_grid.cpp.o"
+  "CMakeFiles/test_properties.dir/properties/test_property_grid.cpp.o.d"
+  "CMakeFiles/test_properties.dir/properties/test_property_optimizer.cpp.o"
+  "CMakeFiles/test_properties.dir/properties/test_property_optimizer.cpp.o.d"
+  "CMakeFiles/test_properties.dir/properties/test_property_sched.cpp.o"
+  "CMakeFiles/test_properties.dir/properties/test_property_sched.cpp.o.d"
+  "CMakeFiles/test_properties.dir/properties/test_property_simulator.cpp.o"
+  "CMakeFiles/test_properties.dir/properties/test_property_simulator.cpp.o.d"
+  "CMakeFiles/test_properties.dir/properties/test_property_waterfill.cpp.o"
+  "CMakeFiles/test_properties.dir/properties/test_property_waterfill.cpp.o.d"
+  "test_properties"
+  "test_properties.pdb"
+  "test_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sched/test_carbon_aware.cpp" "tests/CMakeFiles/test_sched.dir/sched/test_carbon_aware.cpp.o" "gcc" "tests/CMakeFiles/test_sched.dir/sched/test_carbon_aware.cpp.o.d"
+  "/root/repo/tests/sched/test_conservative.cpp" "tests/CMakeFiles/test_sched.dir/sched/test_conservative.cpp.o" "gcc" "tests/CMakeFiles/test_sched.dir/sched/test_conservative.cpp.o.d"
+  "/root/repo/tests/sched/test_decorators.cpp" "tests/CMakeFiles/test_sched.dir/sched/test_decorators.cpp.o" "gcc" "tests/CMakeFiles/test_sched.dir/sched/test_decorators.cpp.o.d"
+  "/root/repo/tests/sched/test_easy.cpp" "tests/CMakeFiles/test_sched.dir/sched/test_easy.cpp.o" "gcc" "tests/CMakeFiles/test_sched.dir/sched/test_easy.cpp.o.d"
+  "/root/repo/tests/sched/test_fcfs.cpp" "tests/CMakeFiles/test_sched.dir/sched/test_fcfs.cpp.o" "gcc" "tests/CMakeFiles/test_sched.dir/sched/test_fcfs.cpp.o.d"
+  "/root/repo/tests/sched/test_moldable.cpp" "tests/CMakeFiles/test_sched.dir/sched/test_moldable.cpp.o" "gcc" "tests/CMakeFiles/test_sched.dir/sched/test_moldable.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sched/CMakeFiles/greenhpc_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/carbon/CMakeFiles/greenhpc_carbon.dir/DependInfo.cmake"
+  "/root/repo/build/src/powerstack/CMakeFiles/greenhpc_powerstack.dir/DependInfo.cmake"
+  "/root/repo/build/src/hpcsim/CMakeFiles/greenhpc_hpcsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/greenhpc_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/greenhpc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sched.dir/sched/test_carbon_aware.cpp.o"
+  "CMakeFiles/test_sched.dir/sched/test_carbon_aware.cpp.o.d"
+  "CMakeFiles/test_sched.dir/sched/test_conservative.cpp.o"
+  "CMakeFiles/test_sched.dir/sched/test_conservative.cpp.o.d"
+  "CMakeFiles/test_sched.dir/sched/test_decorators.cpp.o"
+  "CMakeFiles/test_sched.dir/sched/test_decorators.cpp.o.d"
+  "CMakeFiles/test_sched.dir/sched/test_easy.cpp.o"
+  "CMakeFiles/test_sched.dir/sched/test_easy.cpp.o.d"
+  "CMakeFiles/test_sched.dir/sched/test_fcfs.cpp.o"
+  "CMakeFiles/test_sched.dir/sched/test_fcfs.cpp.o.d"
+  "CMakeFiles/test_sched.dir/sched/test_moldable.cpp.o"
+  "CMakeFiles/test_sched.dir/sched/test_moldable.cpp.o.d"
+  "test_sched"
+  "test_sched.pdb"
+  "test_sched[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_carbon[1]_include.cmake")
+include("/root/repo/build/tests/test_embodied[1]_include.cmake")
+include("/root/repo/build/tests/test_telemetry[1]_include.cmake")
+include("/root/repo/build/tests/test_facility[1]_include.cmake")
+include("/root/repo/build/tests/test_hpcsim[1]_include.cmake")
+include("/root/repo/build/tests/test_powerstack[1]_include.cmake")
+include("/root/repo/build/tests/test_sched[1]_include.cmake")
+include("/root/repo/build/tests/test_procure[1]_include.cmake")
+include("/root/repo/build/tests/test_lifecycle[1]_include.cmake")
+include("/root/repo/build/tests/test_accounting[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")

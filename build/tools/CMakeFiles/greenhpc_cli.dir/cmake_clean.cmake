@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/greenhpc_cli.dir/greenhpc_cli.cpp.o"
+  "CMakeFiles/greenhpc_cli.dir/greenhpc_cli.cpp.o.d"
+  "greenhpc"
+  "greenhpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/greenhpc_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
