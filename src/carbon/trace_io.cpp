@@ -40,6 +40,10 @@ util::TimeSeries load_intensity_csv(std::istream& in) {
     const double v = std::strtod(v_str.c_str(), &end);
     GREENHPC_REQUIRE(end != v_str.c_str(),
                      "trace csv: non-numeric intensity at line " + std::to_string(lineno));
+    GREENHPC_REQUIRE(std::isfinite(t), "trace csv: non-finite timestamp at line " +
+                                           std::to_string(lineno));
+    GREENHPC_REQUIRE(std::isfinite(v), "trace csv: non-finite intensity at line " +
+                                           std::to_string(lineno));
     GREENHPC_REQUIRE(v >= 0.0, "trace csv: negative intensity at line " +
                                    std::to_string(lineno));
     times.push_back(t);

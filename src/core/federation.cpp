@@ -19,14 +19,40 @@ const char* dispatch_name(DispatchPolicy p) {
 
 Federation::Federation(Config config) : cfg_(std::move(config)) {
   GREENHPC_REQUIRE(!cfg_.sites.empty(), "federation needs at least one site");
+  GREENHPC_REQUIRE(cfg_.feed_degradation.empty() ||
+                       cfg_.feed_degradation.size() == cfg_.sites.size(),
+                   "feed_degradation must be empty or one entry per site");
+  GREENHPC_REQUIRE(cfg_.outage_max_retries >= 0, "outage retry budget must be >= 0");
+  for (const auto& o : cfg_.outages) {
+    GREENHPC_REQUIRE(o.site < cfg_.sites.size() && o.start.seconds() >= 0.0 &&
+                         o.duration.seconds() > 0.0,
+                     "malformed site outage");
+  }
   traces_.reserve(cfg_.sites.size());
+  feeds_.resize(cfg_.sites.size());
   for (std::size_t i = 0; i < cfg_.sites.size(); ++i) {
     cfg_.sites[i].cluster.validate();
     carbon::GridModel model(cfg_.sites[i].region,
                             cfg_.seed + 0x5eed * (i + 1));
     traces_.push_back(model.generate(seconds(0.0), cfg_.trace_span, cfg_.trace_step,
                                      cfg_.intensity_kind));
+    if (!cfg_.feed_degradation.empty() &&
+        cfg_.feed_degradation[i].outage_fraction > 0.0) {
+      feeds_[i] = std::make_unique<resilience::DegradedFeed>(cfg_.feed_degradation[i],
+                                                             cfg_.trace_span);
+    }
   }
+}
+
+bool Federation::site_down_at(std::size_t site, Duration t) const {
+  for (const auto& o : cfg_.outages) {
+    if (o.site == site && o.start <= t && t < o.start + o.duration) return true;
+  }
+  return false;
+}
+
+bool Federation::feed_fresh_at(std::size_t site, Duration t) const {
+  return feeds_[site] == nullptr || !feeds_[site]->down_at(t);
 }
 
 std::vector<std::size_t> Federation::dispatch(const std::vector<hpcsim::JobSpec>& jobs,
@@ -48,6 +74,17 @@ std::vector<std::size_t> Federation::dispatch(const std::vector<hpcsim::JobSpec>
     }
     GREENHPC_REQUIRE(!candidates.empty(), "job larger than every site in the federation");
 
+    // Blackout avoidance: do not dispatch into a site that is down at
+    // submit time — unless every candidate is down, in which case the job
+    // must queue somewhere and waits out the blackout there.
+    {
+      std::vector<std::size_t> up;
+      for (std::size_t s : candidates) {
+        if (!site_down_at(s, job.submit)) up.push_back(s);
+      }
+      if (!up.empty()) candidates = std::move(up);
+    }
+
     std::size_t chosen = candidates[0];
     switch (policy) {
       case DispatchPolicy::RoundRobin: {
@@ -67,8 +104,27 @@ std::vector<std::size_t> Federation::dispatch(const std::vector<hpcsim::JobSpec>
       }
       case DispatchPolicy::GreenestNow:
       case DispatchPolicy::GreenestForecast: {
-        double best = std::numeric_limits<double>::infinity();
+        // Degraded-feed fallback ladder: pick the greenest among sites
+        // whose feed is fresh at submit; if every candidate's feed is
+        // dark, intensity comparison is meaningless — degrade to
+        // least-loaded rather than chase stale numbers.
+        std::vector<std::size_t> fresh;
         for (std::size_t s : candidates) {
+          if (feed_fresh_at(s, job.submit)) fresh.push_back(s);
+        }
+        if (fresh.empty()) {
+          double best = std::numeric_limits<double>::infinity();
+          for (std::size_t s : candidates) {
+            const double load = committed[s] / cfg_.sites[s].cluster.nodes;
+            if (load < best) {
+              best = load;
+              chosen = s;
+            }
+          }
+          break;
+        }
+        double best = std::numeric_limits<double>::infinity();
+        for (std::size_t s : fresh) {
           double ci;
           if (policy == DispatchPolicy::GreenestNow) {
             ci = traces_[s].sample_at_clamped(job.submit);
@@ -131,6 +187,18 @@ FederationResult Federation::run(const std::vector<hpcsim::JobSpec>& jobs,
     hpcsim::Simulator::Config sim_cfg;
     sim_cfg.cluster = cfg_.sites[s].cluster;
     sim_cfg.carbon_intensity = traces_[s];
+    sim_cfg.feed = feeds_[s].get();
+    // A site blackout is a whole-cluster failure event: every node goes
+    // down at once and repairs when the window ends. Jobs caught by it
+    // are killed and requeue locally with the outage retry budget.
+    for (const auto& o : cfg_.outages) {
+      if (o.site != s) continue;
+      sim_cfg.faults.events.push_back({o.start, cfg_.sites[s].cluster.nodes, o.duration});
+    }
+    if (!sim_cfg.faults.events.empty()) {
+      sim_cfg.faults.max_retries = cfg_.outage_max_retries;
+      sim_cfg.faults.backoff_base = cfg_.outage_backoff;
+    }
     hpcsim::Simulator sim(sim_cfg, per_site[s]);
     auto scheduler = sched();
     out.site_results.push_back(sim.run(*scheduler));
@@ -139,6 +207,11 @@ FederationResult Federation::run(const std::vector<hpcsim::JobSpec>& jobs,
     out.total_carbon += r.total_carbon;
     out.total_energy += r.total_energy;
     out.completed += r.completed_jobs;
+    out.node_failures += r.node_failures;
+    out.job_failures += r.job_failures;
+    out.jobs_failed += r.jobs_failed;
+    out.lost_node_hours += r.lost_node_hours();
+    out.wasted_carbon += r.wasted_carbon;
     for (const auto& rec : r.jobs) {
       out.job_carbon += rec.carbon;
       if (rec.completed) {

@@ -10,12 +10,14 @@
 // (round-robin, least-loaded) to carbon-aware (greenest-now,
 // greenest-over-the-job's-expected-window).
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "carbon/grid_model.hpp"
 #include "core/scenario.hpp"
 #include "hpcsim/simulator.hpp"
+#include "resilience/degraded_feed.hpp"
 
 namespace greenhpc::core {
 
@@ -36,6 +38,15 @@ enum class DispatchPolicy {
 
 [[nodiscard]] const char* dispatch_name(DispatchPolicy p);
 
+/// A site blackout: the whole site is offline for [start, start+duration).
+/// Jobs running there are killed (and requeue locally once the site is
+/// back); jobs submitted during the window are dispatched elsewhere.
+struct SiteOutage {
+  std::size_t site = 0;
+  Duration start;
+  Duration duration;
+};
+
 /// Federation-wide outcome.
 struct FederationResult {
   std::vector<std::string> site_names;
@@ -49,6 +60,13 @@ struct FederationResult {
   /// Carbon attributed to jobs only (excl. idle floors), for policy
   /// comparisons.
   Carbon job_carbon;
+
+  // --- resilience aggregates (zero without outages) ---
+  int node_failures = 0;
+  int job_failures = 0;
+  int jobs_failed = 0;
+  double lost_node_hours = 0.0;
+  Carbon wasted_carbon;
 };
 
 class Federation {
@@ -59,6 +77,15 @@ class Federation {
     Duration trace_step = minutes(15.0);
     carbon::IntensityKind intensity_kind = carbon::IntensityKind::Average;
     std::uint64_t seed = 1;
+    /// Site blackout windows (site indices into `sites`).
+    std::vector<SiteOutage> outages;
+    /// Per-site carbon-feed degradation, index-aligned with `sites`.
+    /// Empty = every feed perfect. Sites with outage_fraction 0 keep a
+    /// perfect feed.
+    std::vector<resilience::DegradedFeedConfig> feed_degradation;
+    /// Retry budget for jobs killed by a site blackout.
+    int outage_max_retries = 8;
+    Duration outage_backoff = minutes(15.0);
   };
 
   explicit Federation(Config config);
@@ -79,9 +106,16 @@ class Federation {
                                      DispatchPolicy policy,
                                      const SchedulerFactory& sched) const;
 
+  /// Whether the site is blacked out at time t.
+  [[nodiscard]] bool site_down_at(std::size_t site, Duration t) const;
+  /// Whether the site's carbon feed delivers a fresh value at time t.
+  [[nodiscard]] bool feed_fresh_at(std::size_t site, Duration t) const;
+
  private:
   Config cfg_;
   std::vector<util::TimeSeries> traces_;
+  /// Per-site degraded feeds; null entries = perfect feed.
+  std::vector<std::unique_ptr<resilience::DegradedFeed>> feeds_;
 };
 
 }  // namespace greenhpc::core

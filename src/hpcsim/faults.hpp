@@ -1,0 +1,70 @@
+#pragma once
+// Fault-injection and degraded-feed contracts of the simulator.
+//
+// Real carbon-aware operation must survive hardware faults and grid-data
+// outages (the deployability prerequisite behind sections 2.3 and 3.3):
+// nodes fail — more often the older the fleet —, jobs on failed nodes
+// lose work, and the carbon-intensity feed a scheduler trusts can go
+// stale or silent. hpcsim only defines the contracts; the generators that
+// produce failure schedules and outage windows live in the resilience/
+// module, keeping the dependency graph acyclic (mirroring policy.hpp).
+//
+// Everything here is strictly opt-in: a default-constructed
+// FaultInjectionConfig and a null IntensityFeed reproduce the perfect-
+// hardware, always-fresh-feed behaviour bit for bit.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace greenhpc::hpcsim {
+
+/// One injected failure: `nodes` nodes go down at `time` and return to
+/// service `repair` later. Jobs occupying failed nodes are killed and
+/// requeued (see FaultInjectionConfig); down nodes draw no power and are
+/// unavailable to the scheduler until repaired.
+struct NodeFailureEvent {
+  Duration time;
+  int nodes = 1;
+  Duration repair = hours(4.0);
+};
+
+/// Full fault-injection setup for one simulation. The event schedule is
+/// pre-generated (resilience::FaultModel) so determinism is trivial: the
+/// same schedule and victim seed always reproduce the same run.
+struct FaultInjectionConfig {
+  /// Failure events, ascending by time. Empty = perfect hardware.
+  std::vector<NodeFailureEvent> events;
+  /// A job killed more than `max_retries` times is abandoned (JobRecord
+  /// marks it `failed`), bounding the work a pathological node can eat.
+  int max_retries = 3;
+  /// Requeue delay after the n-th failure: backoff_base * 2^(n-1),
+  /// capped at max_backoff (capped exponential backoff — without the cap
+  /// a generous retry budget stalls jobs for simulated years).
+  Duration backoff_base = minutes(10.0);
+  Duration max_backoff = hours(24.0);
+  /// Seed of the victim-selection stream (which job sits on a failed
+  /// node); independent of the schedule's seed.
+  std::uint64_t victim_seed = 0x5eedf417u;
+
+  [[nodiscard]] bool enabled() const { return !events.empty(); }
+};
+
+/// Observation channel between the ground-truth intensity trace and what
+/// policies see. Each tick the simulator offers the true sample; the feed
+/// returns it (possibly perturbed) or nullopt for a dropout, in which
+/// case the simulator holds the last known value and grows the staleness
+/// that SimulationView::carbon_signal_staleness() reports. Carbon
+/// *accounting* always uses the ground truth — emissions happen on the
+/// real grid whether or not the feed reports them.
+class IntensityFeed {
+ public:
+  virtual ~IntensityFeed() = default;
+  /// Observed sample at `now`, or nullopt while the feed is down.
+  [[nodiscard]] virtual std::optional<double> observe(Duration now,
+                                                      double true_value) = 0;
+};
+
+}  // namespace greenhpc::hpcsim

@@ -99,6 +99,22 @@ struct JobRuntimeInfo {
   int suspend_count = 0;   ///< checkpoint/suspend cycles so far
   Energy energy;           ///< energy consumed so far
   Carbon carbon;           ///< operational carbon attributed so far
+
+  // --- resilience state (inert unless faults/checkpoints are used) ---
+  /// Progress captured by the most recent checkpoint or suspend; a node
+  /// failure rolls a checkpointable job back to this point (0 = scratch).
+  double ckpt_progress = 0.0;
+  /// Time of the last checkpoint (or start/resume, which reset the
+  /// periodic-checkpoint clock).
+  Duration last_checkpoint;
+  int checkpoint_count = 0;  ///< in-place checkpoints written so far
+  int failure_count = 0;     ///< node-failure kills suffered so far
+  bool failed = false;       ///< abandoned after exhausting the retry budget
+  /// Not dispatchable again before this time (post-failure backoff).
+  Duration requeue_ready;
+  /// Energy/carbon at the last checkpoint — the waste meter's zero point.
+  Energy energy_mark;
+  Carbon carbon_mark;
 };
 
 }  // namespace greenhpc::hpcsim

@@ -29,8 +29,21 @@ class SimulationView {
   [[nodiscard]] virtual const ClusterConfig& cluster() const = 0;
   /// Nodes not currently allocated to any job.
   [[nodiscard]] virtual int free_nodes() const = 0;
-  /// Grid carbon intensity of the current tick (gCO2/kWh).
+  /// Nodes currently down due to injected failures (0 without fault
+  /// injection). free_nodes() never includes down nodes.
+  [[nodiscard]] virtual int nodes_down() const { return 0; }
+  /// Grid carbon intensity as *observed* through the (possibly degraded)
+  /// feed (gCO2/kWh): the latest fresh sample, held at its last known
+  /// value during feed dropouts. Never garbage — but check
+  /// carbon_signal_staleness() before trusting it.
   [[nodiscard]] virtual double carbon_intensity_now() const = 0;
+  /// Age of the observation carbon_intensity_now() returns: zero while
+  /// the feed is healthy, growing through a dropout. Carbon-aware
+  /// policies must fall back to carbon-blind behaviour once this exceeds
+  /// their staleness horizon.
+  [[nodiscard]] virtual Duration carbon_signal_staleness() const {
+    return seconds(0.0);
+  }
   /// Ground-truth intensity at time t (clamped to the trace range). Carbon-
   /// aware policies that should be forecast-driven must instead use a
   /// carbon::Forecaster over history(); this accessor exists for oracle
@@ -62,6 +75,12 @@ class SimulationView {
   /// Checkpoint and suspend a running, checkpointable job (frees nodes,
   /// charges the checkpoint overhead).
   virtual bool suspend(JobId id) = 0;
+  /// Write an in-place checkpoint of a running, checkpointable job: the
+  /// job keeps its nodes, pays the checkpoint overhead as lost progress,
+  /// and a later node failure rolls it back here instead of to scratch.
+  /// The lever behind Young/Daly periodic checkpointing
+  /// (resilience::PeriodicCheckpointPolicy).
+  virtual bool checkpoint(JobId) { return false; }
   /// Resume a suspended job on `nodes` nodes (>= min_nodes for malleable,
   /// previous allocation size rules otherwise).
   virtual bool resume(JobId id, int nodes) = 0;

@@ -55,6 +55,27 @@ double SimulationResult::carbon_per_node_hour() const {
   return nh > 0.0 ? total_carbon.grams() / nh : 0.0;
 }
 
+double SimulationResult::busy_node_seconds() const {
+  if (busy_nodes.empty()) return 0.0;
+  return busy_nodes.integrate(busy_nodes.start(), busy_nodes.end());
+}
+
+double SimulationResult::goodput_fraction() const {
+  const double delivered = busy_node_seconds();
+  if (delivered <= 0.0) return 0.0;
+  double retained = 0.0;
+  for (const auto& j : jobs) {
+    if (!j.completed) continue;
+    retained += static_cast<double>(j.spec.nodes_used) * j.spec.runtime.seconds();
+  }
+  return std::min(1.0, retained / delivered);
+}
+
+double SimulationResult::checkpoint_overhead_share() const {
+  const double delivered = busy_node_seconds();
+  return delivered > 0.0 ? checkpoint_node_seconds / delivered : 0.0;
+}
+
 double SimulationResult::green_energy_share(double threshold_g_per_kwh) const {
   if (system_power.empty() || carbon_intensity.empty()) return 0.0;
   double green = 0.0;

@@ -17,10 +17,13 @@ struct JobRecord {
   JobSpec spec;
   bool completed = false;
   bool killed = false;  ///< terminated at its walltime limit
+  bool failed = false;  ///< abandoned after exhausting the failure-retry budget
   Duration submit;
   Duration start;
   Duration finish;
   int suspend_count = 0;
+  int checkpoint_count = 0;  ///< in-place checkpoints written
+  int failure_count = 0;     ///< node-failure kills suffered
   Energy energy;
   Carbon carbon;
 
@@ -50,6 +53,25 @@ struct SimulationResult {
   /// Ticks in which even the floor power cap could not satisfy the budget.
   int budget_violations = 0;
 
+  // --- resilience metrics (all zero without fault injection) ---
+  /// Individual node-down events applied.
+  int node_failures = 0;
+  /// Job kills caused by node failures (each may retry).
+  int job_failures = 0;
+  /// Jobs abandoned after exhausting their retry budget.
+  int jobs_failed = 0;
+  /// In-place checkpoints written across all jobs.
+  int checkpoints_taken = 0;
+  /// Natural-size node-seconds of progress destroyed by failures.
+  double lost_node_seconds = 0.0;
+  /// Natural-size node-seconds spent writing checkpoints (overhead).
+  double checkpoint_node_seconds = 0.0;
+  /// Energy consumed by work that a failure later destroyed.
+  Energy wasted_energy;
+  /// Carbon emitted for that destroyed work — emissions with nothing to
+  /// show for them, the quantity checkpointing exists to bound.
+  Carbon wasted_carbon;
+
   /// Node-seconds allocated / (nodes * makespan).
   [[nodiscard]] double utilization(const ClusterConfig& cluster) const;
   /// Mean wait over completed jobs, hours.
@@ -65,6 +87,17 @@ struct SimulationResult {
   /// Subtracting the idle floor keeps the metric sensitive to scheduling
   /// decisions even on lightly loaded systems.
   [[nodiscard]] double green_energy_share(double threshold_g_per_kwh) const;
+  /// Delivered node-seconds of the busy-node series (allocation time).
+  [[nodiscard]] double busy_node_seconds() const;
+  /// Goodput: node-seconds of *retained completed work* (nodes_used x
+  /// runtime of completed jobs) over all busy node-seconds delivered.
+  /// Failures and checkpoint overhead burn allocation without retained
+  /// work, so this is the headline graceful-degradation metric.
+  [[nodiscard]] double goodput_fraction() const;
+  /// Share of delivered busy node-seconds spent writing checkpoints.
+  [[nodiscard]] double checkpoint_overhead_share() const;
+  /// Node-hours of progress destroyed by failures.
+  [[nodiscard]] double lost_node_hours() const { return lost_node_seconds / 3600.0; }
 };
 
 }  // namespace greenhpc::hpcsim

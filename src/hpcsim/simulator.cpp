@@ -24,6 +24,21 @@ Simulator::Simulator(Config config, std::vector<JobSpec> jobs)
   cfg_.cluster.validate();
   GREENHPC_REQUIRE(!cfg_.carbon_intensity.empty(),
                    "simulator requires a carbon-intensity trace");
+  GREENHPC_REQUIRE(cfg_.faults.max_retries >= 0, "max_retries must be >= 0");
+  GREENHPC_REQUIRE(cfg_.faults.backoff_base.seconds() >= 0.0,
+                   "backoff base must be >= 0");
+  GREENHPC_REQUIRE(cfg_.faults.max_backoff.seconds() > 0.0,
+                   "max backoff must be > 0");
+  for (const auto& e : cfg_.faults.events) {
+    GREENHPC_REQUIRE(e.time.seconds() >= 0.0 && e.nodes >= 1 &&
+                         e.repair.seconds() > 0.0,
+                     "malformed node-failure event");
+  }
+  std::stable_sort(cfg_.faults.events.begin(), cfg_.faults.events.end(),
+                   [](const NodeFailureEvent& a, const NodeFailureEvent& b) {
+                     return a.time < b.time;
+                   });
+  victim_rng_ = util::Rng(cfg_.faults.victim_seed);
   free_nodes_ = cfg_.cluster.nodes;
   slots_.reserve(jobs.size());
   for (auto& j : jobs) {
@@ -129,6 +144,7 @@ bool Simulator::start(JobId id, int nodes) {
   s.info.phase = JobPhase::Running;
   s.info.alloc_nodes = nodes;
   s.info.start = now_;
+  s.info.last_checkpoint = now_;  // periodic-checkpoint clock starts here
   free_nodes_ -= nodes;
   remove_pending(id);
   running_.push_back(id);
@@ -141,12 +157,34 @@ bool Simulator::suspend(JobId id) {
   // Charge the checkpoint overhead as lost progress (bounded at zero).
   const double lost = s.spec.checkpoint_overhead.seconds() / s.spec.runtime.seconds();
   s.info.progress = std::max(0.0, s.info.progress - lost);
+  // A suspend writes a checkpoint: failures roll back here, not to scratch.
+  s.info.ckpt_progress = s.info.progress;
+  s.info.energy_mark = s.info.energy;
+  s.info.carbon_mark = s.info.carbon;
   free_nodes_ += s.info.alloc_nodes;
   s.info.alloc_nodes = 0;
   s.info.phase = JobPhase::Suspended;
   ++s.info.suspend_count;
   running_.erase(std::remove(running_.begin(), running_.end(), id), running_.end());
   suspended_.push_back(id);
+  return true;
+}
+
+bool Simulator::checkpoint(JobId id) {
+  JobSlot& s = slot(id);
+  if (s.info.phase != JobPhase::Running || !s.spec.checkpointable) return false;
+  // The job keeps its nodes but spends checkpoint_overhead writing state
+  // instead of progressing; charged as lost progress like suspend.
+  const double lost = s.spec.checkpoint_overhead.seconds() / s.spec.runtime.seconds();
+  s.info.progress = std::max(0.0, s.info.progress - lost);
+  s.info.ckpt_progress = s.info.progress;
+  s.info.last_checkpoint = now_;
+  ++s.info.checkpoint_count;
+  ++result_.checkpoints_taken;
+  result_.checkpoint_node_seconds +=
+      s.spec.checkpoint_overhead.seconds() * static_cast<double>(s.spec.nodes_used);
+  s.info.energy_mark = s.info.energy;
+  s.info.carbon_mark = s.info.carbon;
   return true;
 }
 
@@ -157,6 +195,7 @@ bool Simulator::resume(JobId id, int nodes) {
   if (nodes > free_nodes_) return false;
   s.info.phase = JobPhase::Running;
   s.info.alloc_nodes = nodes;
+  s.info.last_checkpoint = now_;
   free_nodes_ -= nodes;
   suspended_.erase(std::remove(suspended_.begin(), suspended_.end(), id), suspended_.end());
   running_.push_back(id);
@@ -172,6 +211,125 @@ bool Simulator::reshape(JobId id, int nodes) {
   free_nodes_ -= delta;
   s.info.alloc_nodes = nodes;
   return true;
+}
+
+void Simulator::fail_job(JobId id) {
+  JobSlot& s = slot(id);
+  const double restored =
+      s.spec.checkpointable ? std::min(s.info.ckpt_progress, s.info.progress) : 0.0;
+  const double lost = std::max(0.0, s.info.progress - restored);
+  result_.lost_node_seconds +=
+      lost * s.spec.runtime.seconds() * static_cast<double>(s.spec.nodes_used);
+  // Everything burnt since the last checkpoint produced no retained work.
+  result_.wasted_energy += s.info.energy - s.info.energy_mark;
+  result_.wasted_carbon += s.info.carbon - s.info.carbon_mark;
+  s.info.energy_mark = s.info.energy;
+  s.info.carbon_mark = s.info.carbon;
+  free_nodes_ += s.info.alloc_nodes;
+  s.info.alloc_nodes = 0;
+  s.info.progress = restored;
+  // Requeue resets the walltime clock to the restored execution point.
+  s.info.wall_used = seconds(restored * s.spec.runtime.seconds());
+  ++s.info.failure_count;
+  ++result_.job_failures;
+  running_.erase(std::remove(running_.begin(), running_.end(), id), running_.end());
+  if (s.info.failure_count > cfg_.faults.max_retries) {
+    s.info.phase = JobPhase::Done;
+    s.info.failed = true;
+    s.info.finish = now_;
+    ++result_.jobs_failed;
+    result_.makespan = std::max(result_.makespan, s.info.finish);
+    return;
+  }
+  s.info.phase = JobPhase::Pending;
+  const double backoff = std::min(
+      cfg_.faults.backoff_base.seconds() *
+          std::pow(2.0, static_cast<double>(s.info.failure_count - 1)),
+      cfg_.faults.max_backoff.seconds());
+  s.info.requeue_ready = now_ + seconds(backoff);
+  requeued_.push_back(id);
+}
+
+void Simulator::fail_one_node() {
+  // The node pool is anonymous, so the victim is drawn from the seeded
+  // stream: a uniformly chosen up-node is idle with probability
+  // free/up, else it hits a running job in proportion to its allocation.
+  const int up = cfg_.cluster.nodes - nodes_down_;
+  const std::int64_t r = victim_rng_.uniform_int(0, up - 1);
+  if (r < free_nodes_) {
+    --free_nodes_;
+    return;
+  }
+  std::int64_t acc = free_nodes_;
+  for (JobId id : running_) {
+    acc += slot(id).info.alloc_nodes;
+    if (r < acc) {
+      fail_job(id);       // releases the job's whole allocation...
+      --free_nodes_;      // ...then the failed node itself goes down
+      return;
+    }
+  }
+  if (free_nodes_ > 0) --free_nodes_;  // bookkeeping fallback
+}
+
+void Simulator::advance_faults() {
+  if (!cfg_.faults.enabled()) return;
+  // 1. repairs whose downtime has elapsed
+  std::size_t w = 0;
+  for (std::size_t i = 0; i < repairs_.size(); ++i) {
+    if (repairs_[i] <= now_) {
+      --nodes_down_;
+      ++free_nodes_;
+    } else {
+      repairs_[w++] = repairs_[i];
+    }
+  }
+  repairs_.resize(w);
+  // 2. due failure events
+  const auto& events = cfg_.faults.events;
+  while (next_failure_ < events.size() && events[next_failure_].time <= now_) {
+    const auto& e = events[next_failure_];
+    for (int k = 0; k < e.nodes; ++k) {
+      if (nodes_down_ >= cfg_.cluster.nodes) break;  // nothing left to kill
+      fail_one_node();
+      ++nodes_down_;
+      repairs_.push_back(now_ + e.repair);
+      ++result_.node_failures;
+    }
+    ++next_failure_;
+  }
+  // 3. requeued jobs whose backoff expired rejoin the pending queue
+  //    (stable order: failure order is retry order)
+  w = 0;
+  for (std::size_t i = 0; i < requeued_.size(); ++i) {
+    const JobId id = requeued_[i];
+    if (slot(id).info.requeue_ready <= now_) {
+      pending_.push_back(id);
+    } else {
+      requeued_[w++] = id;
+    }
+  }
+  requeued_.resize(w);
+}
+
+void Simulator::observe_intensity() {
+  ci_true_ = cfg_.carbon_intensity.sample_at_clamped(now_);
+  if (cfg_.feed == nullptr) {
+    ci_now_ = ci_true_;
+    staleness_ = seconds(0.0);
+    return;
+  }
+  const auto obs = cfg_.feed->observe(now_, ci_true_);
+  if (obs.has_value()) {
+    ci_now_ = *obs;
+    last_fresh_ = now_;
+    ever_fresh_ = true;
+  } else if (!ever_fresh_) {
+    // Feed down from the very start: hold the t=0 ground truth as the
+    // install-time reading; staleness then grows from simulation start.
+    ci_now_ = cfg_.carbon_intensity.sample_at_clamped(seconds(0.0));
+  }
+  staleness_ = now_ - last_fresh_;
 }
 
 void Simulator::integrate_tick() {
@@ -238,7 +396,7 @@ void Simulator::integrate_tick() {
     s.info.wall_used += seconds(dt);
     const double job_energy_j = draw_w * dt;
     s.info.energy += joules(job_energy_j);
-    s.info.carbon += grams_co2(job_energy_j / 3.6e6 * ci_now_);
+    s.info.carbon += grams_co2(job_energy_j / 3.6e6 * ci_true_);
     tick_energy_j += job_energy_j;
     busy_nodes_total += static_cast<double>(s.info.alloc_nodes) * (dt / tick_s);
   }
@@ -256,19 +414,29 @@ void Simulator::integrate_tick() {
   const double idle_energy_j = idle_w * static_cast<double>(free_nodes_) * tick_s;
   tick_energy_j += idle_energy_j;
   result_.idle_energy += joules(idle_energy_j);
-  result_.idle_carbon += grams_co2(idle_energy_j / 3.6e6 * ci_now_);
+  result_.idle_carbon += grams_co2(idle_energy_j / 3.6e6 * ci_true_);
   result_.total_energy += joules(tick_energy_j);
-  result_.total_carbon += grams_co2(tick_energy_j / 3.6e6 * ci_now_);
+  result_.total_carbon += grams_co2(tick_energy_j / 3.6e6 * ci_true_);
 
   result_.system_power.push_back(tick_energy_j / tick_s);
   result_.power_budget.push_back(budget_now_.watts());
-  result_.carbon_intensity.push_back(ci_now_);
+  // Accounting series records the ground truth; policies' observed/held
+  // signal is exposed through intensity_history() and telemetry below.
+  result_.carbon_intensity.push_back(ci_true_);
   result_.busy_nodes.push_back(busy_nodes_total);
   if (cfg_.telemetry != nullptr) {
     cfg_.telemetry->record("system.power", now_, tick_energy_j / tick_s);
     cfg_.telemetry->record("system.budget", now_, budget_now_.watts());
-    cfg_.telemetry->record("system.ci", now_, ci_now_);
+    cfg_.telemetry->record("system.ci", now_, ci_true_);
     cfg_.telemetry->record("system.busy_nodes", now_, busy_nodes_total);
+    if (cfg_.faults.enabled()) {
+      cfg_.telemetry->record("system.nodes_down", now_,
+                             static_cast<double>(nodes_down_));
+    }
+    if (cfg_.feed != nullptr) {
+      cfg_.telemetry->record("system.ci_observed", now_, ci_now_);
+      cfg_.telemetry->record("system.ci_staleness", now_, staleness_.seconds());
+    }
   }
 }
 
@@ -283,11 +451,15 @@ SimulationResult Simulator::run(SchedulingPolicy& sched, PowerBudgetPolicy* powe
       pending_.push_back(slots_[arrival_order_[next_arrival_]].spec.id);
       ++next_arrival_;
     }
+    advance_faults();
     const bool all_arrived = next_arrival_ == arrival_order_.size();
-    if (all_arrived && pending_.empty() && running_.empty() && suspended_.empty()) break;
+    if (all_arrived && pending_.empty() && running_.empty() && suspended_.empty() &&
+        requeued_.empty()) {
+      break;
+    }
 
-    // 2. environment + budget
-    ci_now_ = cfg_.carbon_intensity.sample_at_clamped(now_);
+    // 2. environment + budget (policies see the observed/held intensity)
+    observe_intensity();
     budget_now_ = power != nullptr
                       ? power->system_budget(now_, ci_now_, cfg_.cluster)
                       : cfg_.cluster.max_power();
@@ -305,12 +477,15 @@ SimulationResult Simulator::run(SchedulingPolicy& sched, PowerBudgetPolicy* powe
   for (const auto& s : slots_) {
     JobRecord rec;
     rec.spec = s.spec;
-    rec.completed = s.info.phase == JobPhase::Done && !s.info.killed;
+    rec.completed = s.info.phase == JobPhase::Done && !s.info.killed && !s.info.failed;
     rec.killed = s.info.killed;
+    rec.failed = s.info.failed;
     rec.submit = s.spec.submit;
     rec.start = s.info.start;
     rec.finish = s.info.finish;
     rec.suspend_count = s.info.suspend_count;
+    rec.checkpoint_count = s.info.checkpoint_count;
+    rec.failure_count = s.info.failure_count;
     rec.energy = s.info.energy;
     rec.carbon = s.info.carbon;
     result_.jobs.push_back(std::move(rec));

@@ -16,16 +16,26 @@
 //      job level is powerstack's concern); job speed follows each job's
 //      power-performance elasticity;
 //   5. progress, energy and carbon are integrated.
+//
+// With fault injection configured (faults.hpp) the tick additionally
+// repairs nodes whose downtime has elapsed, applies due failure events
+// (killing the jobs on failed nodes and requeueing them with exponential
+// backoff and a bounded retry budget), and releases requeued jobs whose
+// backoff expired. With an IntensityFeed configured, policies observe
+// the feed (last-known-value hold during dropouts, with an exposed
+// staleness clock) while carbon accounting keeps using the ground truth.
 
 #include <optional>
 #include <unordered_map>
 #include <vector>
 
 #include "hpcsim/cluster.hpp"
+#include "hpcsim/faults.hpp"
 #include "hpcsim/job.hpp"
 #include "hpcsim/policy.hpp"
 #include "hpcsim/result.hpp"
 #include "telemetry/sensor_store.hpp"
+#include "util/rng.hpp"
 #include "util/time_series.hpp"
 
 namespace greenhpc::hpcsim {
@@ -40,8 +50,16 @@ class Simulator final : public SimulationView {
     /// Hard stop even if jobs remain (guards against livelocked policies).
     Duration max_time = days(90.0);
     /// Optional telemetry sink for system-level sensors
-    /// ("system.power", "system.budget", "system.ci", "system.busy_nodes").
+    /// ("system.power", "system.budget", "system.ci", "system.busy_nodes";
+    /// with faults also "system.nodes_down", with a feed also
+    /// "system.ci_observed" and "system.ci_staleness").
     telemetry::SensorStore* telemetry = nullptr;
+    /// Node-failure injection; default = perfect hardware (strictly
+    /// opt-in: an empty schedule reproduces the fault-free run exactly).
+    FaultInjectionConfig faults;
+    /// Observation channel for the carbon-intensity signal policies see;
+    /// null = perfect feed (observed == true). Must outlive the run.
+    IntensityFeed* feed = nullptr;
   };
 
   /// The job list need not be sorted; it is indexed by JobId internally.
@@ -55,7 +73,11 @@ class Simulator final : public SimulationView {
   [[nodiscard]] Duration now() const override { return now_; }
   [[nodiscard]] const ClusterConfig& cluster() const override { return cfg_.cluster; }
   [[nodiscard]] int free_nodes() const override { return free_nodes_; }
+  [[nodiscard]] int nodes_down() const override { return nodes_down_; }
   [[nodiscard]] double carbon_intensity_now() const override { return ci_now_; }
+  [[nodiscard]] Duration carbon_signal_staleness() const override {
+    return staleness_;
+  }
   [[nodiscard]] double carbon_intensity_at(Duration t) const override;
   [[nodiscard]] const std::vector<double>& intensity_history() const override {
     return ci_history_;
@@ -70,6 +92,7 @@ class Simulator final : public SimulationView {
   [[nodiscard]] Power full_draw() const override;
   bool start(JobId id, int nodes) override;
   bool suspend(JobId id) override;
+  bool checkpoint(JobId id) override;
   bool resume(JobId id, int nodes) override;
   bool reshape(JobId id, int nodes) override;
 
@@ -91,6 +114,19 @@ class Simulator final : public SimulationView {
   void remove_pending(JobId id);
   void integrate_tick();
 
+  // --- fault machinery (all no-ops with an empty failure schedule) ---
+  /// Return repaired nodes to service, apply due failure events, release
+  /// requeued jobs whose backoff expired.
+  void advance_faults();
+  /// Take one node down; kills the job occupying it if it is busy.
+  void fail_one_node();
+  /// Kill a running job hit by a node failure: roll back to its last
+  /// checkpoint (scratch for non-checkpointable jobs), account the waste,
+  /// requeue with backoff or abandon past the retry budget.
+  void fail_job(JobId id);
+  /// Sample the intensity feed: updates ci_now_ (held) and staleness_.
+  void observe_intensity();
+
   Config cfg_;
   std::vector<JobSlot> slots_;
   std::unordered_map<JobId, std::size_t> index_;
@@ -98,14 +134,23 @@ class Simulator final : public SimulationView {
   std::size_t next_arrival_ = 0;
 
   Duration now_{0.0};
-  double ci_now_ = 0.0;
+  double ci_true_ = 0.0;  ///< ground truth (accounting)
+  double ci_now_ = 0.0;   ///< observed, last-known-value held (policies)
+  Duration staleness_;    ///< age of the observed value
+  Duration last_fresh_;
+  bool ever_fresh_ = false;
   Power budget_now_;
   double last_cap_ = 1.0;
   int free_nodes_ = 0;
+  int nodes_down_ = 0;
   std::vector<JobId> pending_;
   std::vector<JobId> running_;
   std::vector<JobId> suspended_;
+  std::vector<JobId> requeued_;  ///< killed by failures, waiting out backoff
   std::vector<double> ci_history_;
+  std::size_t next_failure_ = 0;
+  std::vector<Duration> repairs_;  ///< pending per-node repair completions
+  util::Rng victim_rng_{0};
 
   SimulationResult result_;
   bool ran_ = false;

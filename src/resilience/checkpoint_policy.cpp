@@ -1,0 +1,51 @@
+#include "resilience/checkpoint_policy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace greenhpc::resilience {
+
+void CheckpointPolicyConfig::validate() const {
+  GREENHPC_REQUIRE(fixed_interval.seconds() > 0.0 || node_mtbf.seconds() > 0.0,
+                   "checkpoint policy: needs node_mtbf or fixed_interval");
+  GREENHPC_REQUIRE(fixed_interval.seconds() >= 0.0 && min_interval.seconds() >= 0.0,
+                   "checkpoint policy: intervals must be >= 0");
+}
+
+PeriodicCheckpointPolicy::PeriodicCheckpointPolicy(hpcsim::SchedulingPolicy& inner,
+                                                   CheckpointPolicyConfig config)
+    : inner_(inner), cfg_(config) {
+  cfg_.validate();
+}
+
+Duration PeriodicCheckpointPolicy::young_daly_interval(Duration overhead,
+                                                       Duration node_mtbf,
+                                                       int nodes) {
+  GREENHPC_REQUIRE(node_mtbf.seconds() > 0.0 && nodes >= 1,
+                   "young/daly: mtbf and nodes must be positive");
+  // System MTBF of an n-node job is node MTBF / n (independent failures).
+  const double system_mtbf = node_mtbf.seconds() / static_cast<double>(nodes);
+  return seconds(std::sqrt(2.0 * overhead.seconds() * system_mtbf));
+}
+
+Duration PeriodicCheckpointPolicy::interval_for(const hpcsim::JobSpec& spec) const {
+  if (cfg_.fixed_interval.seconds() > 0.0) return cfg_.fixed_interval;
+  const Duration tau =
+      young_daly_interval(spec.checkpoint_overhead, cfg_.node_mtbf, spec.nodes_used);
+  return std::max(tau, cfg_.min_interval);
+}
+
+void PeriodicCheckpointPolicy::on_tick(hpcsim::SimulationView& view) {
+  inner_.on_tick(view);
+  for (hpcsim::JobId id : view.running_jobs()) {
+    const auto& spec = view.spec(id);
+    if (!spec.checkpointable || spec.checkpoint_overhead.seconds() <= 0.0) continue;
+    if (view.now() - view.info(id).last_checkpoint >= interval_for(spec)) {
+      view.checkpoint(id);
+    }
+  }
+}
+
+}  // namespace greenhpc::resilience

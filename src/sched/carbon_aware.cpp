@@ -49,6 +49,14 @@ void CarbonAwareEasyScheduler::on_tick(hpcsim::SimulationView& view) {
   const std::vector<hpcsim::JobId> pending = view.pending_jobs();
   if (pending.empty()) return;
 
+  // Degraded-feed fallback: past the staleness horizon the held value is
+  // no longer trustworthy, so drop to carbon-blind EASY rather than gate
+  // on a phantom grid state.
+  if (view.carbon_signal_staleness() > cfg_.staleness_horizon) {
+    easy_pass(view, pending);
+    return;
+  }
+
   const double threshold = current_threshold(view);
   const bool green_now = view.carbon_intensity_now() <= threshold;
 

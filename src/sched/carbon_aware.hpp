@@ -35,6 +35,11 @@ class CarbonAwareEasyScheduler final : public hpcsim::SchedulingPolicy {
     /// Holding is skipped while the pending queue exceeds this backlog
     /// (expressed as a fraction of cluster nodes worth of requests).
     double backlog_pressure_limit = 2.0;
+    /// Once the observed intensity is older than this (feed outage), the
+    /// scheduler goes carbon-blind: plain EASY, no green gating. Holding
+    /// jobs on a signal this stale risks optimizing against a grid state
+    /// that no longer exists.
+    Duration staleness_horizon = hours(2.0);
   };
 
   /// The forecaster must outlive the scheduler.

@@ -32,6 +32,21 @@ double CheckpointDecorator::quantile_threshold(const hpcsim::SimulationView& vie
 }
 
 void CheckpointDecorator::on_tick(hpcsim::SimulationView& view) {
+  // Degraded-feed fallback: with the signal past its staleness horizon
+  // there is no defensible carbon reason to keep work off the machine, so
+  // resume everything (ignoring min_dwell — the hold's justification
+  // expired with the signal) and stop suspending until the feed recovers.
+  if (view.carbon_signal_staleness() > cfg_.staleness_horizon) {
+    for (hpcsim::JobId id : view.suspended_jobs()) {
+      const auto& spec = view.spec(id);
+      const int nodes = spec.kind == hpcsim::JobKind::Rigid
+                            ? spec.nodes_requested
+                            : std::clamp(spec.nodes_used, spec.min_nodes, spec.max_nodes);
+      if (view.resume(id, nodes)) suspended_at_.erase(id);
+    }
+    inner_->on_tick(view);
+    return;
+  }
   const double ci = view.carbon_intensity_now();
   // History needs a day of context before the thresholds mean anything.
   const bool warmed = view.intensity_history().size() * view.cluster().tick.seconds() >

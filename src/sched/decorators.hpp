@@ -36,6 +36,11 @@ class CheckpointDecorator final : public hpcsim::SchedulingPolicy {
     double max_suspended_fraction = 0.5;
     /// Minimal dwell time between suspend and resume of the same job.
     Duration min_dwell = minutes(30.0);
+    /// Once the observed intensity is older than this (feed outage), the
+    /// decorator goes carbon-blind: suspended jobs are resumed (the
+    /// carbon justification for holding them expired with the signal)
+    /// and no new suspends are issued until the feed recovers.
+    Duration staleness_horizon = hours(2.0);
   };
 
   CheckpointDecorator(Config config, std::unique_ptr<hpcsim::SchedulingPolicy> inner);

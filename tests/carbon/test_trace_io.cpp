@@ -67,6 +67,24 @@ TEST(TraceIo, RejectsMalformedInput) {
   }
 }
 
+TEST(TraceIo, RejectsNonFiniteValues) {
+  // strtod happily parses "nan" and "inf"; the loader must not let either
+  // poison a trace (inf used to slip past the plain v >= 0 check).
+  for (const char* bad :
+       {"0,100\n900,nan\n", "0,100\n900,inf\n", "0,100\n900,-inf\n",
+        "0,nan\n900,100\n", "nan,100\n900,100\n", "0,100\ninf,100\n"}) {
+    std::istringstream in(bad);
+    try {
+      (void)load_intensity_csv(in);
+      FAIL() << "accepted: " << bad;
+    } catch (const greenhpc::InvalidArgument& e) {
+      EXPECT_TRUE(std::string(e.what()).find("non-finite") != std::string::npos ||
+                  std::string(e.what()).find("ascend") != std::string::npos)
+          << e.what();
+    }
+  }
+}
+
 TEST(TraceIo, EmptyInputThrows) {
   std::istringstream in("# nothing but comments\n");
   EXPECT_THROW((void)load_intensity_csv(in), greenhpc::InvalidArgument);

@@ -77,7 +77,9 @@ TEST(Federation, OversizedJobsGoToFittingSites) {
   auto jobs = workload();
   const auto assignment = fed.dispatch(jobs, DispatchPolicy::GreenestNow);
   for (std::size_t j = 0; j < jobs.size(); ++j) {
-    if (jobs[j].nodes_requested > 8) EXPECT_NE(assignment[j], 1u);
+    if (jobs[j].nodes_requested > 8) {
+      EXPECT_NE(assignment[j], 1u);
+    }
   }
 }
 
@@ -119,6 +121,84 @@ TEST(Federation, SpatialShiftingCutsCarbon) {
 TEST(Federation, DispatchNames) {
   EXPECT_STREQ(dispatch_name(DispatchPolicy::RoundRobin), "round-robin");
   EXPECT_STREQ(dispatch_name(DispatchPolicy::GreenestForecast), "greenest-forecast");
+}
+
+TEST(Federation, DispatchAvoidsBlackedOutSites) {
+  auto cfg = three_sites();
+  // France dark for the whole submission window: nothing may land there.
+  cfg.outages.push_back({1, seconds(0.0), days(4.0)});
+  Federation fed(cfg);
+  const auto jobs = workload();
+  for (auto policy : {DispatchPolicy::RoundRobin, DispatchPolicy::LeastLoaded,
+                      DispatchPolicy::GreenestNow, DispatchPolicy::GreenestForecast}) {
+    const auto assignment = fed.dispatch(jobs, policy);
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+      EXPECT_NE(assignment[j], 1u) << dispatch_name(policy);
+    }
+  }
+}
+
+TEST(Federation, AllSitesDownStillDispatches) {
+  auto cfg = three_sites();
+  for (std::size_t s = 0; s < 3; ++s) cfg.outages.push_back({s, seconds(0.0), days(4.0)});
+  Federation fed(cfg);
+  // No candidate is up: the job must still be placed somewhere (it queues
+  // through the blackout) instead of throwing.
+  const auto assignment = fed.dispatch(workload(5), DispatchPolicy::GreenestNow);
+  EXPECT_EQ(assignment.size(), 5u);
+}
+
+TEST(Federation, SiteBlackoutKillsAndRecoversJobs) {
+  auto cfg = three_sites();
+  // Germany loses the whole site for 2 h mid-workload.
+  cfg.outages.push_back({0, hours(12.0), hours(2.0)});
+  Federation fed(cfg);
+  const auto jobs = workload();
+  const auto result = fed.run(jobs, DispatchPolicy::RoundRobin, easy());
+  // The blackout fired (the site had work at noon of day 1)...
+  EXPECT_GT(result.node_failures, 0);
+  EXPECT_GT(result.job_failures, 0);
+  EXPECT_GT(result.lost_node_hours, 0.0);
+  // ...yet the generous outage retry budget recovers every job.
+  EXPECT_EQ(result.completed, static_cast<int>(jobs.size()));
+  EXPECT_EQ(result.jobs_failed, 0);
+}
+
+TEST(Federation, GreenestDispatchGoesBlindOnDarkFeeds) {
+  auto cfg = three_sites();
+  cfg.feed_degradation.resize(3);
+  cfg.feed_degradation[1].outage_fraction = 1.0;  // France's feed dark
+  Federation fed(cfg);
+  EXPECT_FALSE(fed.feed_fresh_at(1, days(1.0)));
+  EXPECT_TRUE(fed.feed_fresh_at(0, days(1.0)));
+  const auto jobs = workload();
+  const auto assignment = fed.dispatch(jobs, DispatchPolicy::GreenestNow);
+  // France is the greenest grid by far, but its intensity is unobservable,
+  // so greenest-now must not send jobs there on stale data.
+  for (std::size_t j = 0; j < jobs.size(); ++j) EXPECT_NE(assignment[j], 1u);
+}
+
+TEST(Federation, AllFeedsDarkFallsBackToLeastLoaded) {
+  auto cfg = three_sites();
+  cfg.feed_degradation.resize(3);
+  for (auto& f : cfg.feed_degradation) f.outage_fraction = 1.0;
+  Federation fed(cfg);
+  const auto jobs = workload();
+  const auto green = fed.dispatch(jobs, DispatchPolicy::GreenestNow);
+  const auto ll = fed.dispatch(jobs, DispatchPolicy::LeastLoaded);
+  EXPECT_EQ(green, ll);
+}
+
+TEST(Federation, ValidatesOutageAndFeedConfigs) {
+  auto cfg = three_sites();
+  cfg.outages.push_back({7, seconds(0.0), hours(1.0)});  // no such site
+  EXPECT_THROW(Federation{cfg}, greenhpc::InvalidArgument);
+  cfg = three_sites();
+  cfg.outages.push_back({0, hours(1.0), seconds(0.0)});  // zero duration
+  EXPECT_THROW(Federation{cfg}, greenhpc::InvalidArgument);
+  cfg = three_sites();
+  cfg.feed_degradation.resize(2);  // wrong arity
+  EXPECT_THROW(Federation{cfg}, greenhpc::InvalidArgument);
 }
 
 }  // namespace

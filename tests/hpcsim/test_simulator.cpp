@@ -215,6 +215,45 @@ TEST(Simulator, SuspendRequiresCheckpointable) {
   EXPECT_TRUE(sched.suspend_failed);
 }
 
+TEST(Simulator, SuspendRejectsPendingAndDoubleSuspend) {
+  const auto cluster = small_cluster(4);
+  JobSpec j = rigid_job(1, seconds(0.0), 2, hours(1.0));
+  j.checkpointable = true;
+  j.checkpoint_overhead = minutes(2.0);
+
+  class Probe final : public SchedulingPolicy {
+   public:
+    bool pending_suspend_rejected = false;
+    bool first_suspend_ok = false;
+    bool double_suspend_rejected = false;
+    void on_tick(SimulationView& view) override {
+      for (JobId id : view.pending_jobs()) {
+        // A job that never started has nothing to suspend.
+        if (!view.suspend(id)) pending_suspend_rejected = true;
+        (void)view.start(id, 2);
+      }
+      if (view.now() >= minutes(20.0) && !first_suspend_ok) {
+        for (JobId id : view.running_jobs()) {
+          first_suspend_ok = view.suspend(id);
+          if (!view.suspend(id)) double_suspend_rejected = true;
+        }
+      }
+      if (view.now() >= minutes(40.0)) {
+        for (JobId id : view.suspended_jobs()) (void)view.resume(id, 2);
+      }
+    }
+    std::string name() const override { return "probe"; }
+  };
+  Simulator sim(sim_config(cluster, constant_trace(100.0, days(1.0))), {j});
+  Probe sched;
+  const auto result = sim.run(sched);
+  ASSERT_TRUE(result.jobs[0].completed);
+  EXPECT_TRUE(sched.pending_suspend_rejected);
+  EXPECT_TRUE(sched.first_suspend_ok);
+  EXPECT_TRUE(sched.double_suspend_rejected);
+  EXPECT_EQ(result.jobs[0].suspend_count, 1);
+}
+
 TEST(Simulator, StartValidationRules) {
   const auto cluster = small_cluster(4);
   JobSpec rigid = rigid_job(1, seconds(0.0), 2, hours(1.0));

@@ -1,0 +1,169 @@
+// Property: resilience is deterministic end to end. Identical
+// resilience::FaultModel seeds yield bit-identical failure schedules, and
+// identical (workload, faults, feed) configurations yield bit-identical
+// SimulationResult metrics — across many random configurations.
+
+#include <gtest/gtest.h>
+
+#include "hpcsim/simulator.hpp"
+#include "hpcsim/workload.hpp"
+#include "resilience/checkpoint_policy.hpp"
+#include "resilience/degraded_feed.hpp"
+#include "resilience/fault_model.hpp"
+#include "testing/helpers.hpp"
+#include "util/rng.hpp"
+
+namespace greenhpc {
+namespace {
+
+using greenhpc::testing::GreedyScheduler;
+using greenhpc::testing::constant_trace;
+
+TEST(PropertyResilience, SameSeedSameFailureSchedule) {
+  util::Rng meta(0xdecade);
+  for (int trial = 0; trial < 25; ++trial) {
+    resilience::FaultModelConfig cfg;
+    cfg.nodes = static_cast<int>(meta.uniform_int(1, 128));
+    cfg.horizon = days(meta.uniform(1.0, 40.0));
+    cfg.node_mtbf = hours(meta.uniform(10.0, 2000.0));
+    cfg.weibull_shape = meta.uniform(0.6, 2.5);
+    cfg.mean_repair = hours(meta.uniform(0.5, 8.0));
+    cfg.age_years = meta.uniform(0.0, 10.0);
+    cfg.age_acceleration = meta.uniform(0.0, 0.3);
+    cfg.seed = meta.next_u64();
+
+    const auto a = resilience::FaultModel(cfg).schedule();
+    const auto b = resilience::FaultModel(cfg).schedule();
+    ASSERT_EQ(a.size(), b.size()) << "trial " << trial;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      // Bit-identical, not approximately equal.
+      ASSERT_EQ(a[i].time.seconds(), b[i].time.seconds());
+      ASSERT_EQ(a[i].nodes, b[i].nodes);
+      ASSERT_EQ(a[i].repair.seconds(), b[i].repair.seconds());
+    }
+  }
+}
+
+TEST(PropertyResilience, DifferentSeedsDifferentSchedules) {
+  resilience::FaultModelConfig cfg;
+  cfg.nodes = 32;
+  cfg.node_mtbf = hours(200.0);
+  cfg.seed = 1;
+  const auto a = resilience::FaultModel(cfg).schedule();
+  cfg.seed = 2;
+  const auto b = resilience::FaultModel(cfg).schedule();
+  ASSERT_FALSE(a.empty());
+  bool differs = a.size() != b.size();
+  for (std::size_t i = 0; !differs && i < a.size(); ++i) {
+    differs = a[i].time.seconds() != b[i].time.seconds();
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(PropertyResilience, FaultedRunsAreBitReproducible) {
+  util::Rng meta(0x4e940);
+  for (int trial = 0; trial < 8; ++trial) {
+    const std::uint64_t seed = meta.next_u64();
+
+    auto run_once = [&](std::uint64_t s) {
+      hpcsim::WorkloadConfig wl;
+      wl.job_count = 60;
+      wl.span = days(1.0);
+      wl.max_job_nodes = 8;
+      wl.runtime_mean = hours(2.0);
+      wl.runtime_max = hours(8.0);
+      wl.checkpointable_fraction = 0.5;
+      auto jobs = hpcsim::WorkloadGenerator(wl, s).generate();
+
+      resilience::FaultModelConfig fm;
+      fm.nodes = 16;
+      fm.node_mtbf = hours(100.0);
+      fm.horizon = days(10.0);
+      fm.seed = s ^ 0xfa17;
+
+      hpcsim::Simulator::Config cfg;
+      cfg.cluster = greenhpc::testing::small_cluster(16);
+      cfg.carbon_intensity = constant_trace(250.0, days(10.0));
+      cfg.faults = resilience::FaultModel(fm).injection();
+
+      resilience::DegradedFeedConfig feed_cfg;
+      feed_cfg.outage_fraction = 0.25;
+      feed_cfg.seed = s;
+      resilience::DegradedFeed feed(feed_cfg, days(10.0));
+      cfg.feed = &feed;
+
+      GreedyScheduler inner;
+      resilience::PeriodicCheckpointPolicy sched(inner,
+                                                 {.node_mtbf = hours(100.0)});
+      return hpcsim::Simulator(cfg, jobs).run(sched);
+    };
+
+    const auto a = run_once(seed);
+    const auto b = run_once(seed);
+
+    ASSERT_EQ(a.makespan.seconds(), b.makespan.seconds()) << "trial " << trial;
+    ASSERT_EQ(a.total_energy.joules(), b.total_energy.joules());
+    ASSERT_EQ(a.total_carbon.grams(), b.total_carbon.grams());
+    ASSERT_EQ(a.node_failures, b.node_failures);
+    ASSERT_EQ(a.job_failures, b.job_failures);
+    ASSERT_EQ(a.jobs_failed, b.jobs_failed);
+    ASSERT_EQ(a.checkpoints_taken, b.checkpoints_taken);
+    ASSERT_EQ(a.lost_node_seconds, b.lost_node_seconds);
+    ASSERT_EQ(a.checkpoint_node_seconds, b.checkpoint_node_seconds);
+    ASSERT_EQ(a.wasted_energy.joules(), b.wasted_energy.joules());
+    ASSERT_EQ(a.wasted_carbon.grams(), b.wasted_carbon.grams());
+    ASSERT_EQ(a.jobs.size(), b.jobs.size());
+    for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+      ASSERT_EQ(a.jobs[i].finish.seconds(), b.jobs[i].finish.seconds());
+      ASSERT_EQ(a.jobs[i].energy.joules(), b.jobs[i].energy.joules());
+      ASSERT_EQ(a.jobs[i].failure_count, b.jobs[i].failure_count);
+      ASSERT_EQ(a.jobs[i].checkpoint_count, b.jobs[i].checkpoint_count);
+    }
+  }
+}
+
+TEST(PropertyResilience, MetricsStayInPhysicalRanges) {
+  util::Rng meta(0xbadfab);
+  for (int trial = 0; trial < 10; ++trial) {
+    hpcsim::WorkloadConfig wl;
+    wl.job_count = 40;
+    wl.span = days(1.0);
+    wl.max_job_nodes = 8;
+    wl.runtime_mean = hours(1.5);
+    wl.runtime_max = hours(6.0);
+    wl.checkpointable_fraction = meta.uniform(0.0, 1.0);
+    auto jobs = hpcsim::WorkloadGenerator(wl, meta.next_u64()).generate();
+
+    resilience::FaultModelConfig fm;
+    fm.nodes = 16;
+    fm.node_mtbf = hours(meta.uniform(20.0, 400.0));
+    fm.horizon = days(8.0);
+    fm.seed = meta.next_u64();
+
+    hpcsim::Simulator::Config cfg;
+    cfg.cluster = greenhpc::testing::small_cluster(16);
+    cfg.carbon_intensity = constant_trace(250.0, days(8.0));
+    cfg.faults = resilience::FaultModel(fm).injection(5);
+
+    GreedyScheduler sched;
+    const auto r = hpcsim::Simulator(cfg, jobs).run(sched);
+
+    EXPECT_GE(r.goodput_fraction(), 0.0);
+    EXPECT_LE(r.goodput_fraction(), 1.0);
+    EXPECT_GE(r.checkpoint_overhead_share(), 0.0);
+    EXPECT_GE(r.lost_node_seconds, 0.0);
+    EXPECT_GE(r.wasted_energy.joules(), 0.0);
+    EXPECT_GE(r.wasted_carbon.grams(), 0.0);
+    EXPECT_LE(r.wasted_energy.joules(), r.total_energy.joules());
+    // Every job ends in exactly one terminal state.
+    int done = 0;
+    for (const auto& j : r.jobs) {
+      done += static_cast<int>(j.completed) + static_cast<int>(j.killed) +
+              static_cast<int>(j.failed);
+    }
+    EXPECT_EQ(done, static_cast<int>(r.jobs.size()));
+  }
+}
+
+}  // namespace
+}  // namespace greenhpc

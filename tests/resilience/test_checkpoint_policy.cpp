@@ -1,0 +1,120 @@
+// PeriodicCheckpointPolicy: Young/Daly interval and periodic in-place
+// checkpoints through a live simulation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hpcsim/simulator.hpp"
+#include "resilience/checkpoint_policy.hpp"
+#include "testing/helpers.hpp"
+#include "util/error.hpp"
+
+namespace greenhpc::resilience {
+namespace {
+
+using greenhpc::testing::GreedyScheduler;
+using greenhpc::testing::constant_trace;
+using greenhpc::testing::rigid_job;
+using greenhpc::testing::small_cluster;
+
+TEST(YoungDaly, IntervalFormula) {
+  // tau = sqrt(2 * delta * M / n): delta = 10 min, M = 500 h, n = 1.
+  const Duration tau = PeriodicCheckpointPolicy::young_daly_interval(
+      minutes(10.0), hours(500.0), 1);
+  EXPECT_DOUBLE_EQ(tau.seconds(), std::sqrt(2.0 * 600.0 * 500.0 * 3600.0));
+}
+
+TEST(YoungDaly, IntervalShrinksWithJobSize) {
+  const Duration one = PeriodicCheckpointPolicy::young_daly_interval(
+      minutes(10.0), hours(500.0), 1);
+  const Duration sixteen = PeriodicCheckpointPolicy::young_daly_interval(
+      minutes(10.0), hours(500.0), 16);
+  // n-node system MTBF is M/n, so tau scales as 1/sqrt(n).
+  EXPECT_NEAR(sixteen.seconds(), one.seconds() / 4.0, 1e-9);
+}
+
+TEST(YoungDaly, RejectsNonPositiveInputs) {
+  EXPECT_THROW((void)PeriodicCheckpointPolicy::young_daly_interval(
+                   minutes(10.0), seconds(0.0), 1),
+               InvalidArgument);
+  EXPECT_THROW((void)PeriodicCheckpointPolicy::young_daly_interval(
+                   minutes(10.0), hours(100.0), 0),
+               InvalidArgument);
+}
+
+TEST(CheckpointPolicy, ValidationNeedsMtbfOrFixedInterval) {
+  GreedyScheduler inner;
+  EXPECT_THROW(PeriodicCheckpointPolicy(inner, {}), InvalidArgument);
+  EXPECT_NO_THROW(
+      PeriodicCheckpointPolicy(inner, {.node_mtbf = hours(100.0)}));
+  EXPECT_NO_THROW(
+      PeriodicCheckpointPolicy(inner, {.fixed_interval = hours(1.0)}));
+}
+
+TEST(CheckpointPolicy, WritesPeriodicCheckpoints) {
+  auto job = rigid_job(1, seconds(0.0), 4, hours(6.0));
+  job.checkpointable = true;
+  job.checkpoint_overhead = minutes(2.0);
+
+  hpcsim::Simulator::Config cfg;
+  cfg.cluster = small_cluster(8);
+  cfg.carbon_intensity = constant_trace(300.0, days(2.0));
+  hpcsim::Simulator sim(cfg, {job});
+
+  GreedyScheduler inner;
+  PeriodicCheckpointPolicy policy(inner, {.fixed_interval = minutes(30.0)});
+  EXPECT_EQ(policy.name(), "greedy-test+ydckpt");
+  const auto result = sim.run(policy);
+
+  ASSERT_EQ(result.completed_jobs, 1);
+  // ~6 h of work (stretched slightly by checkpoint overhead) at one
+  // checkpoint per 30 min — roughly a dozen, definitely more than five.
+  EXPECT_GT(result.checkpoints_taken, 5);
+  EXPECT_EQ(result.jobs[0].checkpoint_count, result.checkpoints_taken);
+  EXPECT_GT(result.checkpoint_node_seconds, 0.0);
+  // Overhead share: checkpoint_count * 2 min * 4 nodes over ~6 h * 4.
+  EXPECT_LT(result.checkpoint_overhead_share(), 0.15);
+  EXPECT_GT(result.checkpoint_overhead_share(), 0.0);
+}
+
+TEST(CheckpointPolicy, SkipsNonCheckpointableJobs) {
+  auto job = rigid_job(1, seconds(0.0), 2, hours(3.0));  // not checkpointable
+  hpcsim::Simulator::Config cfg;
+  cfg.cluster = small_cluster(8);
+  cfg.carbon_intensity = constant_trace(300.0, days(1.0));
+  hpcsim::Simulator sim(cfg, {job});
+
+  GreedyScheduler inner;
+  PeriodicCheckpointPolicy policy(inner, {.fixed_interval = minutes(15.0)});
+  const auto result = sim.run(policy);
+  EXPECT_EQ(result.completed_jobs, 1);
+  EXPECT_EQ(result.checkpoints_taken, 0);
+  EXPECT_DOUBLE_EQ(result.checkpoint_node_seconds, 0.0);
+}
+
+TEST(CheckpointPolicy, MinIntervalClampsYoungDaly) {
+  // Tiny overhead + short MTBF would give a sub-minute tau; the clamp
+  // keeps the machine from checkpointing every tick.
+  auto job = rigid_job(1, seconds(0.0), 1, hours(2.0));
+  job.checkpointable = true;
+  job.checkpoint_overhead = seconds(5.0);
+
+  hpcsim::Simulator::Config cfg;
+  cfg.cluster = small_cluster(4);
+  cfg.carbon_intensity = constant_trace(300.0, days(1.0));
+  hpcsim::Simulator sim(cfg, {job});
+
+  GreedyScheduler inner;
+  CheckpointPolicyConfig pc;
+  pc.node_mtbf = hours(1.0);
+  pc.min_interval = minutes(20.0);
+  PeriodicCheckpointPolicy policy(inner, pc);
+  const auto result = sim.run(policy);
+  ASSERT_EQ(result.completed_jobs, 1);
+  // 2 h run, >= 20 min spacing: at most ~7 checkpoints.
+  EXPECT_LE(result.checkpoints_taken, 7);
+}
+
+}  // namespace
+}  // namespace greenhpc::resilience

@@ -1,0 +1,239 @@
+// Simulator fault injection: kills, rollback, requeue/backoff, retry
+// budgets, degraded feeds and the strict opt-in identity.
+
+#include <gtest/gtest.h>
+
+#include "hpcsim/simulator.hpp"
+#include "resilience/checkpoint_policy.hpp"
+#include "resilience/degraded_feed.hpp"
+#include "testing/helpers.hpp"
+
+namespace greenhpc::hpcsim {
+namespace {
+
+using greenhpc::testing::GreedyScheduler;
+using greenhpc::testing::constant_trace;
+using greenhpc::testing::rigid_job;
+using greenhpc::testing::small_cluster;
+using greenhpc::testing::square_trace;
+
+Simulator::Config base_config(int nodes = 8) {
+  Simulator::Config cfg;
+  cfg.cluster = small_cluster(nodes);
+  cfg.carbon_intensity = constant_trace(300.0, days(3.0));
+  return cfg;
+}
+
+/// A failure event that takes down the whole cluster, guaranteeing every
+/// running job is hit regardless of victim sampling.
+NodeFailureEvent whole_cluster_failure(Duration at, int nodes,
+                                       Duration repair = minutes(30.0)) {
+  return {at, nodes, repair};
+}
+
+TEST(FaultInjection, EmptyScheduleIsBitIdenticalToSeedBehaviour) {
+  // Strict opt-in: a FaultInjectionConfig with no events (even with other
+  // knobs set) and no feed must reproduce the fault-free run exactly.
+  auto jobs = std::vector<JobSpec>{rigid_job(1, seconds(0.0), 4, hours(3.0)),
+                                   rigid_job(2, minutes(30.0), 8, hours(2.0)),
+                                   rigid_job(3, hours(1.0), 2, hours(5.0))};
+  auto cfg_plain = base_config();
+  cfg_plain.carbon_intensity = square_trace(100.0, 500.0, hours(6.0), days(3.0));
+  auto cfg_faulty = cfg_plain;
+  cfg_faulty.faults.max_retries = 7;
+  cfg_faulty.faults.backoff_base = minutes(1.0);
+  cfg_faulty.faults.victim_seed = 123456;
+
+  GreedyScheduler a, b;
+  const auto ra = Simulator(cfg_plain, jobs).run(a);
+  const auto rb = Simulator(cfg_faulty, jobs).run(b);
+
+  EXPECT_EQ(ra.makespan.seconds(), rb.makespan.seconds());
+  EXPECT_EQ(ra.total_energy.joules(), rb.total_energy.joules());
+  EXPECT_EQ(ra.total_carbon.grams(), rb.total_carbon.grams());
+  EXPECT_EQ(rb.node_failures, 0);
+  EXPECT_EQ(rb.job_failures, 0);
+  EXPECT_EQ(rb.lost_node_seconds, 0.0);
+  EXPECT_EQ(rb.wasted_energy.joules(), 0.0);
+  ASSERT_EQ(ra.jobs.size(), rb.jobs.size());
+  for (std::size_t i = 0; i < ra.jobs.size(); ++i) {
+    EXPECT_EQ(ra.jobs[i].finish.seconds(), rb.jobs[i].finish.seconds());
+    EXPECT_EQ(ra.jobs[i].energy.joules(), rb.jobs[i].energy.joules());
+  }
+}
+
+TEST(FaultInjection, NonCheckpointableJobLosesAllProgressAndRetries) {
+  auto job = rigid_job(1, seconds(0.0), 8, hours(2.0));  // fills the cluster
+  auto cfg = base_config(8);
+  cfg.faults.events = {whole_cluster_failure(hours(1.0), 8)};
+  cfg.faults.backoff_base = minutes(10.0);
+
+  GreedyScheduler sched;
+  const auto r = Simulator(cfg, {job}).run(sched);
+
+  EXPECT_EQ(r.node_failures, 8);
+  EXPECT_EQ(r.job_failures, 1);
+  EXPECT_EQ(r.jobs_failed, 0);
+  ASSERT_EQ(r.completed_jobs, 1);
+  EXPECT_EQ(r.jobs[0].failure_count, 1);
+  EXPECT_TRUE(r.jobs[0].completed);
+  // Scratch restart: ~1 h of 8-node progress destroyed.
+  EXPECT_NEAR(r.lost_node_seconds, 8.0 * 3600.0, 8.0 * 120.0);
+  EXPECT_GT(r.wasted_energy.joules(), 0.0);
+  EXPECT_GT(r.wasted_carbon.grams(), 0.0);
+  // Finish >= failure(1 h) + repair(30 min <= backoff path) + full rerun
+  // (2 h): well past the fault-free 2 h.
+  EXPECT_GT(r.jobs[0].finish.hours(), 3.0);
+  EXPECT_LT(r.goodput_fraction(), 1.0);
+}
+
+TEST(FaultInjection, CheckpointedJobRestartsFromCheckpointNotScratch) {
+  auto make_job = [] {
+    auto j = rigid_job(1, seconds(0.0), 8, hours(2.0));
+    j.checkpointable = true;
+    j.checkpoint_overhead = minutes(1.0);
+    return j;
+  };
+  auto cfg = base_config(8);
+  cfg.faults.events = {whole_cluster_failure(hours(1.0), 8)};
+
+  // Without checkpoints: scratch restart.
+  GreedyScheduler plain;
+  auto cfg_plain = cfg;
+  const auto r_scratch = Simulator(cfg_plain, {make_job()}).run(plain);
+
+  // With 15-minute periodic checkpoints: bounded rollback.
+  GreedyScheduler inner;
+  resilience::PeriodicCheckpointPolicy ckpt(inner, {.fixed_interval = minutes(15.0)});
+  const auto r_ckpt = Simulator(cfg, {make_job()}).run(ckpt);
+
+  ASSERT_EQ(r_scratch.completed_jobs, 1);
+  ASSERT_EQ(r_ckpt.completed_jobs, 1);
+  // Rollback bounded by the checkpoint interval (+ overhead charges):
+  // far less work destroyed, and an earlier finish.
+  EXPECT_LT(r_ckpt.lost_node_seconds, 0.5 * r_scratch.lost_node_seconds);
+  EXPECT_LT(r_ckpt.jobs[0].finish.seconds(), r_scratch.jobs[0].finish.seconds());
+  EXPECT_GT(r_ckpt.checkpoints_taken, 0);
+  EXPECT_GT(r_ckpt.goodput_fraction(), r_scratch.goodput_fraction());
+}
+
+TEST(FaultInjection, RetryBudgetExhaustionAbandonsJob) {
+  auto job = rigid_job(1, seconds(0.0), 8, hours(4.0));
+  auto cfg = base_config(8);
+  // Failures every 30 min forever; one retry allowed.
+  for (double h = 0.5; h < 48.0; h += 0.5) {
+    cfg.faults.events.push_back(whole_cluster_failure(hours(h), 8, minutes(5.0)));
+  }
+  cfg.faults.max_retries = 1;
+  cfg.faults.backoff_base = minutes(5.0);
+
+  GreedyScheduler sched;
+  const auto r = Simulator(cfg, {job}).run(sched);
+
+  EXPECT_EQ(r.completed_jobs, 0);
+  EXPECT_EQ(r.jobs_failed, 1);
+  EXPECT_TRUE(r.jobs[0].failed);
+  EXPECT_FALSE(r.jobs[0].completed);
+  EXPECT_EQ(r.jobs[0].failure_count, 2);  // initial + one retry
+  EXPECT_DOUBLE_EQ(r.goodput_fraction(), 0.0);
+}
+
+TEST(FaultInjection, BackoffDelaysRequeue) {
+  auto job = rigid_job(1, seconds(0.0), 8, hours(1.0));
+  auto cfg = base_config(8);
+  cfg.faults.events = {whole_cluster_failure(minutes(30.0), 8, minutes(1.0))};
+  cfg.faults.backoff_base = hours(2.0);
+
+  GreedyScheduler sched;
+  const auto r = Simulator(cfg, {job}).run(sched);
+  ASSERT_EQ(r.completed_jobs, 1);
+  // Rerun cannot start before failure + 2 h backoff; finish ~ 3.5 h+.
+  EXPECT_GE(r.jobs[0].finish.hours(), 0.5 + 2.0 + 1.0 - 0.1);
+}
+
+TEST(FaultInjection, IdleNodeFailureDoesNotKillJobs) {
+  // 1-node job on an 8-node cluster; a single node failure most likely
+  // hits an idle node — either way the job must still complete and the
+  // node count must recover after repair.
+  auto job = rigid_job(1, seconds(0.0), 1, hours(2.0));
+  auto cfg = base_config(8);
+  cfg.faults.events = {{minutes(10.0), 3, minutes(20.0)}};
+
+  GreedyScheduler sched;
+  const auto r = Simulator(cfg, {job}).run(sched);
+  EXPECT_EQ(r.node_failures, 3);
+  EXPECT_EQ(r.completed_jobs, 1);
+}
+
+TEST(FaultInjection, DegradedFeedHoldsLastValueForPolicies) {
+  // Square-wave truth; feed dark from the start of a dirty half-period.
+  // Policies see the held value; accounting sees the truth.
+  auto job = rigid_job(1, hours(7.0), 4, hours(2.0));
+  auto cfg = base_config(8);
+  cfg.carbon_intensity = square_trace(100.0, 500.0, hours(6.0), days(2.0));
+
+  resilience::DegradedFeedConfig fc;
+  fc.outage_fraction = 1.0;  // permanently dark => held at the t=0 truth
+  resilience::DegradedFeed feed(fc, days(2.0));
+  cfg.feed = &feed;
+
+  GreedyScheduler sched;
+  const auto r = Simulator(cfg, {job}).run(sched);
+  ASSERT_EQ(r.completed_jobs, 1);
+  // Job ran 7h..9h inside the 500 g/kWh half-period: accounting must use
+  // the true intensity, not the held 100.
+  const double true_ci = 500.0;
+  const double expected_g = r.jobs[0].energy.joules() / 3.6e6 * true_ci;
+  EXPECT_NEAR(r.jobs[0].carbon.grams(), expected_g, expected_g * 0.05);
+}
+
+TEST(FaultInjection, ConstructorRejectsMalformedEvents) {
+  auto cfg = base_config();
+  cfg.faults.events = {{seconds(-1.0), 1, minutes(5.0)}};
+  EXPECT_THROW(Simulator(cfg, {}), InvalidArgument);
+  cfg.faults.events = {{seconds(10.0), 0, minutes(5.0)}};
+  EXPECT_THROW(Simulator(cfg, {}), InvalidArgument);
+  cfg.faults.events = {{seconds(10.0), 1, seconds(0.0)}};
+  EXPECT_THROW(Simulator(cfg, {}), InvalidArgument);
+  cfg.faults.events.clear();
+  cfg.faults.max_retries = -1;
+  EXPECT_THROW(Simulator(cfg, {}), InvalidArgument);
+  cfg = base_config();
+  cfg.faults.max_backoff = seconds(0.0);
+  EXPECT_THROW(Simulator(cfg, {}), InvalidArgument);
+}
+
+TEST(FaultInjection, BackoffIsCappedAtMaxBackoff) {
+  // failure_count grows past where 2^(n-1) * base would exceed the cap;
+  // requeue delay must plateau instead of stalling for simulated years.
+  auto job = rigid_job(1, seconds(0.0), 8, hours(1.0));
+  auto cfg = base_config(8);
+  for (double h = 0.25; h < 6.0; h += 0.25) {
+    cfg.faults.events.push_back(whole_cluster_failure(hours(h), 8, minutes(5.0)));
+  }
+  cfg.faults.max_retries = 40;
+  cfg.faults.backoff_base = minutes(10.0);
+  cfg.faults.max_backoff = minutes(30.0);
+
+  GreedyScheduler sched;
+  const auto r = Simulator(cfg, {job}).run(sched);
+  ASSERT_EQ(r.completed_jobs, 1);
+  // Uncapped, the 6th+ retries alone would wait 10 min * 2^5 = 5.3 h each;
+  // capped at 30 min the job clears the 6 h storm within a couple of days.
+  EXPECT_LT(r.jobs[0].finish.days(), 3.0);
+  EXPECT_GT(r.jobs[0].failure_count, 5);
+}
+
+TEST(FaultInjection, UnsortedEventsAreApplied) {
+  auto job = rigid_job(1, seconds(0.0), 8, hours(3.0));
+  auto cfg = base_config(8);
+  cfg.faults.events = {whole_cluster_failure(hours(2.0), 8),
+                       whole_cluster_failure(hours(1.0), 8)};
+  GreedyScheduler sched;
+  const auto r = Simulator(cfg, {job}).run(sched);
+  EXPECT_EQ(r.node_failures, 16);
+  EXPECT_GE(r.job_failures, 1);
+}
+
+}  // namespace
+}  // namespace greenhpc::hpcsim

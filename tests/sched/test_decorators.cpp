@@ -87,6 +87,34 @@ TEST(Checkpoint, SkipsNearlyDoneJobs) {
   EXPECT_EQ(r.jobs[0].suspend_count, 0);
 }
 
+TEST(Checkpoint, MinDwellHoldsResumePastGreenEdge) {
+  // Same scenario twice, only min_dwell differs. The job is suspended when
+  // the dirty phase hits; when the green phase returns the short-dwell run
+  // resumes at the edge, while the long-dwell run must sit out most of the
+  // green window (dwell expires mid-window), finishing hours later.
+  const auto trace = square_trace(100.0, 500.0, hours(12.0), days(8.0));
+  hpcsim::JobSpec j = rigid_job(1, days(1.0) + hours(1.0), 4, hours(20.0));
+  j.checkpointable = true;
+  j.walltime = hours(40.0);
+
+  auto run_with_dwell = [&](Duration dwell) {
+    CheckpointDecorator::Config c;
+    c.min_dwell = dwell;
+    Simulator sim(cfg(trace), {j});
+    CheckpointDecorator sched(c, std::make_unique<EasyBackfillScheduler>());
+    return sim.run(sched);
+  };
+  const auto r_short = run_with_dwell(minutes(30.0));
+  const auto r_long = run_with_dwell(hours(18.0));
+  ASSERT_TRUE(r_short.jobs[0].completed);
+  ASSERT_TRUE(r_long.jobs[0].completed);
+  ASSERT_GE(r_short.jobs[0].suspend_count, 1);
+  ASSERT_GE(r_long.jobs[0].suspend_count, 1);
+  // Suspended ~11 h into a 12 h dirty phase; an 18 h dwell eats ~6 h of
+  // the following green window that the 30 min dwell does not.
+  EXPECT_GT(r_long.jobs[0].finish.hours(), r_short.jobs[0].finish.hours() + 3.0);
+}
+
 TEST(Malleable, ShrinksUnderBudgetGrowsWithHeadroom) {
   // Budget halves in the "dirty" phase; malleable jobs should shrink
   // instead of running deeply capped, then grow back.
