@@ -42,28 +42,29 @@ int main() {
 
   util::Table table = outcome_table();
   Carbon job_carbon[6] = {};
-  const core::PolicyOutcome outcomes[6] = {
-      runner.run("fcfs", [] { return std::make_unique<sched::FcfsScheduler>(); }),
-      runner.run("conservative",
-                 [] { return std::make_unique<sched::ConservativeBackfillScheduler>(); }),
-      runner.run("easy", [] { return std::make_unique<sched::EasyBackfillScheduler>(); }),
-      runner.run("carbon-easy(persist)",
-                 [&] {
-                   return std::make_unique<sched::CarbonAwareEasyScheduler>(
-                       ca_config(), std::make_shared<carbon::PersistenceForecaster>());
-                 }),
-      runner.run("carbon-easy(oracle)",
-                 [&] {
-                   return std::make_unique<sched::CarbonAwareEasyScheduler>(
-                       ca_config(),
-                       std::make_shared<carbon::OracleForecaster>(runner.trace()));
-                 }),
-      runner.run("carbon-easy+ckpt", [&] {
-        return std::make_unique<sched::CheckpointDecorator>(
-            sched::CheckpointDecorator::Config{},
-            std::make_unique<sched::CarbonAwareEasyScheduler>(
-                ca_config(), std::make_shared<carbon::PersistenceForecaster>()));
-      })};
+  // Independent policy runs on shared inputs: one parallel sweep, results
+  // in declaration order.
+  const std::vector<core::PolicyOutcome> outcomes = runner.run_all(
+      {{"fcfs", [] { return std::make_unique<sched::FcfsScheduler>(); }},
+       {"conservative",
+        [] { return std::make_unique<sched::ConservativeBackfillScheduler>(); }},
+       {"easy", [] { return std::make_unique<sched::EasyBackfillScheduler>(); }},
+       {"carbon-easy(persist)",
+        [&] {
+          return std::make_unique<sched::CarbonAwareEasyScheduler>(
+              ca_config(), std::make_shared<carbon::PersistenceForecaster>());
+        }},
+       {"carbon-easy(oracle)",
+        [&] {
+          return std::make_unique<sched::CarbonAwareEasyScheduler>(
+              ca_config(), std::make_shared<carbon::OracleForecaster>(runner.trace()));
+        }},
+       {"carbon-easy+ckpt", [&] {
+          return std::make_unique<sched::CheckpointDecorator>(
+              sched::CheckpointDecorator::Config{},
+              std::make_unique<sched::CarbonAwareEasyScheduler>(
+                  ca_config(), std::make_shared<carbon::PersistenceForecaster>()));
+        }}});
   for (int i = 0; i < 6; ++i) {
     add_outcome_row(table, outcomes[i]);
     for (const auto& j : outcomes[i].result.jobs) job_carbon[i] += j.carbon;

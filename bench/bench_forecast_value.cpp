@@ -7,6 +7,7 @@
 // forecaster by plugging it into the carbon-aware scheduler and comparing
 // job carbon against the carbon-blind EASY baseline.
 
+#include <array>
 #include <cstdio>
 #include <memory>
 #include <vector>
@@ -15,6 +16,7 @@
 #include "carbon/forecast.hpp"
 #include "sched/carbon_aware.hpp"
 #include "sched/easy_backfill.hpp"
+#include "util/parallel.hpp"
 
 int main() {
   using namespace greenhpc;
@@ -42,35 +44,48 @@ int main() {
   };
   util::Table accuracy({"forecaster", "MAPE@1h [%]", "MAPE@6h [%]", "MAPE@12h [%]",
                         "MAPE@24h [%]"});
-  for (const auto& f : forecasters) {
-    std::vector<std::string> row = {f->name()};
-    for (double h : {1.0, 6.0, 12.0, 24.0}) {
-      row.push_back(util::Table::fmt(
-          100.0 * carbon::evaluate_mape(*f, trace, days(4.0), hours(h)), 2));
-    }
+  // Forecaster x horizon MAPE grid in one parallel sweep (each evaluation
+  // walks the whole trace); slots keep table order deterministic.
+  const double horizons[4] = {1.0, 6.0, 12.0, 24.0};
+  std::vector<std::array<double, 4>> mape(forecasters.size());
+  util::parallel_for(forecasters.size() * 4, [&](std::size_t i) {
+    mape[i / 4][i % 4] = carbon::evaluate_mape(*forecasters[i / 4], trace,
+                                               days(4.0), hours(horizons[i % 4]));
+  });
+  for (std::size_t i = 0; i < forecasters.size(); ++i) {
+    std::vector<std::string> row = {forecasters[i]->name()};
+    for (double m : mape[i]) row.push_back(util::Table::fmt(100.0 * m, 2));
     accuracy.add_row(row);
   }
   std::printf("%s\n", accuracy.str("Forecaster accuracy on the reference grid trace").c_str());
 
-  // Part 2: policy value.
-  const auto baseline =
-      runner.run("easy", [] { return std::make_unique<sched::EasyBackfillScheduler>(); });
+  // Part 2: policy value — the carbon-blind baseline and one carbon-aware
+  // run per forecaster, as a single parallel batch.
+  std::vector<core::ScenarioRunner::PolicyCase> cases;
+  cases.push_back(
+      {"easy", [] { return std::make_unique<sched::EasyBackfillScheduler>(); }});
+  for (const auto& f : forecasters) {
+    cases.push_back({"carbon-easy(" + f->name() + ")", [&runner, f] {
+                       sched::CarbonAwareEasyScheduler::Config c;
+                       c.max_hold = hours(24.0);
+                       c.lookahead = hours(24.0);
+                       return std::make_unique<sched::CarbonAwareEasyScheduler>(c, f);
+                     }});
+  }
+  const std::vector<core::PolicyOutcome> outcomes = runner.run_all(cases);
+
+  const auto& baseline = outcomes[0];
   Carbon baseline_carbon{};
   for (const auto& j : baseline.result.jobs) baseline_carbon += j.carbon;
 
   util::Table value({"forecaster", "job carbon [t]", "vs easy [%]", "mean wait [h]"});
   value.add_row({"(easy, no forecast)", util::Table::fmt(baseline_carbon.tonnes(), 2), "0.0",
                  util::Table::fmt(baseline.mean_wait_h, 2)});
-  for (const auto& f : forecasters) {
-    const auto outcome = runner.run("carbon-easy(" + f->name() + ")", [&] {
-      sched::CarbonAwareEasyScheduler::Config c;
-      c.max_hold = hours(24.0);
-      c.lookahead = hours(24.0);
-      return std::make_unique<sched::CarbonAwareEasyScheduler>(c, f);
-    });
+  for (std::size_t i = 0; i < forecasters.size(); ++i) {
+    const auto& outcome = outcomes[i + 1];
     Carbon job_carbon{};
     for (const auto& j : outcome.result.jobs) job_carbon += j.carbon;
-    value.add_row({f->name(), util::Table::fmt(job_carbon.tonnes(), 2),
+    value.add_row({forecasters[i]->name(), util::Table::fmt(job_carbon.tonnes(), 2),
                    util::Table::fmt(100.0 * (job_carbon / baseline_carbon - 1.0), 1),
                    util::Table::fmt(outcome.mean_wait_h, 2)});
   }

@@ -1,0 +1,344 @@
+// EXP-PERF — simulator hot-path throughput and sweep scaling.
+//
+// Not a paper experiment: this bench tracks the engine itself, so the
+// operational experiments (which run hundreds of simulations per sweep)
+// stay cheap enough to iterate on. Three workloads of increasing size are
+// timed through the FCFS and EASY hot loops (ticks/s, jobs/s), and one
+// policy sweep is run serially and through the thread pool to measure
+// sweep scaling and to assert that parallel fan-out reproduces the serial
+// results bit for bit.
+//
+// Usage: bench_perf [--smoke] [--out FILE] [--baseline FILE] [--before FILE]
+//   --smoke      smallest scale only (CI perf gate)
+//   --out FILE   write the JSON report there (default BENCH_PERF.json)
+//   --baseline   compare against a committed baseline JSON; exit nonzero
+//                on a >2x ticks/s regression of the reference hot loop
+//   --before     merge pre-optimization measurements (keys like
+//                "small_fcfs_ticks_per_s", see bench/perf_seed_reference.json)
+//                into the report as per-sample "speedup_vs_before" ratios
+//
+// The committed baseline lives at bench/perf_baseline.json; regenerate it
+// with `bench_perf --smoke --out bench/perf_baseline.json` on an idle
+// machine when the engine legitimately gets faster or slower.
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <iterator>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "carbon/forecast.hpp"
+#include "sched/carbon_aware.hpp"
+#include "sched/easy_backfill.hpp"
+#include "sched/fcfs.hpp"
+#include "util/parallel.hpp"
+
+namespace {
+
+using namespace greenhpc;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+struct ScaleSpec {
+  const char* name;
+  int nodes;
+  int jobs;
+  double span_days;
+};
+
+constexpr ScaleSpec kScales[] = {
+    {"small", 64, 220, 2.0},
+    {"medium", 256, 900, 7.0},
+    {"large", 512, 2200, 14.0},
+    // Mostly-idle campaign: long gaps between arrivals, the shape the
+    // idle fast-forward path is built for (capability systems between
+    // campaigns, federated sites off the dispatch favorites list).
+    {"sparse", 64, 48, 21.0},
+};
+
+struct HotLoopSample {
+  std::string scale;
+  std::string scheduler;
+  std::size_t ticks = 0;
+  std::size_t jobs = 0;
+  double wall_s = 0.0;
+  [[nodiscard]] double ticks_per_s() const { return ticks / wall_s; }
+  [[nodiscard]] double jobs_per_s() const { return static_cast<double>(jobs) / wall_s; }
+};
+
+core::ScenarioConfig scale_config(const ScaleSpec& s) {
+  auto cfg = bench::reference_scenario();
+  cfg.cluster.nodes = s.nodes;
+  cfg.workload.job_count = s.jobs;
+  cfg.workload.span = days(s.span_days);
+  cfg.workload.max_job_nodes = std::max(4, s.nodes / 2);
+  cfg.trace_span = days(s.span_days + 5.0);
+  return cfg;
+}
+
+HotLoopSample time_hot_loop(const core::ScenarioRunner& runner, const ScaleSpec& s,
+                            const char* sched_name) {
+  hpcsim::Simulator::Config sim_cfg;
+  sim_cfg.cluster = runner.config().cluster;
+  sim_cfg.carbon_intensity = runner.trace();
+  // Best of 5: each rep is an identical, independent run (fresh Simulator
+  // and fresh policy on the same inputs), so the minimum is the least
+  // noise-contaminated estimate of the true cost.
+  HotLoopSample out;
+  out.scale = s.name;
+  out.scheduler = sched_name;
+  out.jobs = runner.jobs().size();
+  out.wall_s = 1e300;
+  for (int rep = 0; rep < 5; ++rep) {
+    hpcsim::Simulator sim(sim_cfg, runner.jobs());
+    std::unique_ptr<hpcsim::SchedulingPolicy> sched;
+    if (std::strcmp(sched_name, "fcfs") == 0) {
+      sched = std::make_unique<sched::FcfsScheduler>();
+    } else {
+      sched = std::make_unique<sched::EasyBackfillScheduler>();
+    }
+    const auto t0 = Clock::now();
+    const auto result = sim.run(*sched);
+    const double wall = seconds_since(t0);
+    out.ticks = result.system_power.size();
+    out.wall_s = std::min(out.wall_s, wall);
+  }
+  return out;
+}
+
+/// FNV-1a over the bit patterns of the headline totals: enough to detect
+/// any serial-vs-parallel divergence without hauling full results around.
+std::uint64_t outcome_digest(const std::vector<core::PolicyOutcome>& outcomes) {
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    for (int i = 0; i < 8; ++i) {
+      h ^= (bits >> (8 * i)) & 0xffu;
+      h *= 1099511628211ull;
+    }
+  };
+  for (const auto& o : outcomes) {
+    mix(o.result.total_carbon.grams());
+    mix(o.result.total_energy.joules());
+    mix(o.result.makespan.seconds());
+    mix(static_cast<double>(o.completed));
+    for (const auto& j : o.result.jobs) {
+      mix(j.finish.seconds());
+      mix(j.energy.joules());
+    }
+  }
+  return h;
+}
+
+std::vector<core::ScenarioRunner::PolicyCase> sweep_cases() {
+  std::vector<core::ScenarioRunner::PolicyCase> cases;
+  cases.push_back({"fcfs", [] { return std::make_unique<sched::FcfsScheduler>(); }});
+  cases.push_back({"easy", [] { return std::make_unique<sched::EasyBackfillScheduler>(); }});
+  cases.push_back(
+      {"easy+mold", [] { return std::make_unique<sched::EasyBackfillScheduler>(true); }});
+  for (int k = 0; k < 3; ++k) {
+    cases.push_back({"carbon-easy/" + std::to_string(k), [] {
+                       sched::CarbonAwareEasyScheduler::Config c;
+                       c.max_hold = hours(24.0);
+                       return std::make_unique<sched::CarbonAwareEasyScheduler>(
+                           c, std::make_shared<carbon::PersistenceForecaster>());
+                     }});
+  }
+  return cases;
+}
+
+/// Minimal scanner for `"key": <number>` in the baseline JSON — the file
+/// is our own flat output, not arbitrary JSON.
+bool find_json_number(const std::string& text, const std::string& key, double* out) {
+  const std::string needle = "\"" + key + "\":";
+  const auto pos = text.find(needle);
+  if (pos == std::string::npos) return false;
+  return std::sscanf(text.c_str() + pos + needle.size(), " %lf", out) == 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_PERF.json";
+  std::string baseline_path;
+  std::string before_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--before") == 0 && i + 1 < argc) {
+      before_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_perf [--smoke] [--out FILE] [--baseline FILE] "
+                   "[--before FILE]\n");
+      return 2;
+    }
+  }
+
+  std::string before_text;
+  if (!before_path.empty()) {
+    std::FILE* bf = std::fopen(before_path.c_str(), "r");
+    if (bf == nullptr) {
+      std::fprintf(stderr, "cannot read before-reference %s\n", before_path.c_str());
+      return 2;
+    }
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), bf)) > 0) before_text.append(buf, n);
+    std::fclose(bf);
+  }
+
+  const std::size_t n_scales = smoke ? 1 : std::size(kScales);
+
+  // --- hot-loop throughput ---
+  util::Table tt({"scale", "nodes", "jobs", "scheduler", "ticks", "wall[ms]",
+                  "ticks/s", "jobs/s", "vs before"});
+  std::vector<HotLoopSample> samples;
+  std::vector<double> speedups;  // 0 = no before number for this sample
+  for (std::size_t i = 0; i < n_scales; ++i) {
+    const ScaleSpec& s = kScales[i];
+    core::ScenarioRunner runner(scale_config(s));
+    for (const char* sched_name : {"fcfs", "easy"}) {
+      const HotLoopSample sample = time_hot_loop(runner, s, sched_name);
+      double before_tps = 0.0;
+      if (!before_text.empty()) {
+        find_json_number(before_text,
+                         sample.scale + "_" + sample.scheduler + "_ticks_per_s",
+                         &before_tps);
+      }
+      const double speedup = before_tps > 0.0 ? sample.ticks_per_s() / before_tps : 0.0;
+      tt.add_row({sample.scale, std::to_string(s.nodes), std::to_string(s.jobs),
+                  sample.scheduler, std::to_string(sample.ticks),
+                  util::Table::fmt(1e3 * sample.wall_s, 1),
+                  util::Table::fmt(sample.ticks_per_s(), 0),
+                  util::Table::fmt(sample.jobs_per_s(), 0),
+                  speedup > 0.0 ? util::Table::fmt(speedup, 2) + "x" : "-"});
+      samples.push_back(sample);
+      speedups.push_back(speedup);
+    }
+  }
+  std::printf("%s\n", tt.str("Simulator hot-loop throughput").c_str());
+
+  // --- serial vs parallel sweep ---
+  auto sweep_cfg = scale_config(kScales[0]);
+  sweep_cfg.workload.checkpointable_fraction = 0.5;
+  core::ScenarioRunner sweep_runner(sweep_cfg);
+  const auto cases = sweep_cases();
+
+  const auto ts0 = Clock::now();
+  std::vector<core::PolicyOutcome> serial;
+  serial.reserve(cases.size());
+  for (const auto& c : cases) serial.push_back(sweep_runner.run(c.label, c.scheduler, c.power));
+  const double serial_s = seconds_since(ts0);
+
+  const auto tp0 = Clock::now();
+  const std::vector<core::PolicyOutcome> parallel = sweep_runner.run_all(cases);
+  const double parallel_s = seconds_since(tp0);
+
+  const std::uint64_t serial_digest = outcome_digest(serial);
+  const std::uint64_t parallel_digest = outcome_digest(parallel);
+  const bool identical = serial_digest == parallel_digest;
+  const std::size_t threads = util::ThreadPool::global().size();
+
+  double before_sweep_s = 0.0;
+  if (!before_text.empty()) {
+    find_json_number(before_text, "sweep_serial_s", &before_sweep_s);
+  }
+  std::printf("Sweep (%zu cases): serial %.3f s, parallel %.3f s on %zu threads "
+              "(pool speedup %.2fx); results %s\n",
+              cases.size(), serial_s, parallel_s, threads, serial_s / parallel_s,
+              identical ? "bit-identical" : "DIVERGED");
+  if (before_sweep_s > 0.0) {
+    std::printf("Sweep vs pre-optimization engine: %.3f s -> %.3f s serial "
+                "(%.1fx)\n",
+                before_sweep_s, serial_s, before_sweep_s / serial_s);
+  }
+  std::printf("\n");
+
+  // --- JSON report ---
+  const HotLoopSample& ref = samples[0];  // small/fcfs = the reference hot loop
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 2;
+  }
+  std::fprintf(f, "{\n  \"threads\": %zu,\n  \"smoke\": %s,\n", threads,
+               smoke ? "true" : "false");
+  std::fprintf(f, "  \"reference_ticks_per_s\": %.1f,\n", ref.ticks_per_s());
+  std::fprintf(f, "  \"hot_loop\": [\n");
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const auto& s = samples[i];
+    std::fprintf(f,
+                 "    {\"scale\": \"%s\", \"scheduler\": \"%s\", \"ticks\": %zu, "
+                 "\"jobs\": %zu, \"wall_s\": %.6f, \"ticks_per_s\": %.1f, "
+                 "\"jobs_per_s\": %.1f",
+                 s.scale.c_str(), s.scheduler.c_str(), s.ticks, s.jobs, s.wall_s,
+                 s.ticks_per_s(), s.jobs_per_s());
+    if (speedups[i] > 0.0) {
+      std::fprintf(f, ", \"before_ticks_per_s\": %.1f, \"speedup_vs_before\": %.2f",
+                   s.ticks_per_s() / speedups[i], speedups[i]);
+    }
+    std::fprintf(f, "}%s\n", i + 1 < samples.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f,
+               "  \"sweep\": {\"cases\": %zu, \"serial_s\": %.6f, \"parallel_s\": "
+               "%.6f, \"speedup\": %.3f, \"bit_identical\": %s",
+               cases.size(), serial_s, parallel_s, serial_s / parallel_s,
+               identical ? "true" : "false");
+  if (before_sweep_s > 0.0) {
+    std::fprintf(f, ", \"before_serial_s\": %.6f, \"speedup_vs_before\": %.2f",
+                 before_sweep_s, before_sweep_s / serial_s);
+  }
+  std::fprintf(f, "}\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+
+  if (!identical) {
+    std::fprintf(stderr, "FAIL: parallel sweep diverged from serial results\n");
+    return 1;
+  }
+
+  // --- baseline regression gate ---
+  if (!baseline_path.empty()) {
+    std::FILE* bf = std::fopen(baseline_path.c_str(), "r");
+    if (bf == nullptr) {
+      std::fprintf(stderr, "cannot read baseline %s\n", baseline_path.c_str());
+      return 2;
+    }
+    std::string text;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), bf)) > 0) text.append(buf, n);
+    std::fclose(bf);
+    double base_tps = 0.0;
+    if (!find_json_number(text, "reference_ticks_per_s", &base_tps) || base_tps <= 0.0) {
+      std::fprintf(stderr, "baseline %s has no reference_ticks_per_s\n",
+                   baseline_path.c_str());
+      return 2;
+    }
+    const double measured = ref.ticks_per_s();
+    std::printf("Baseline gate: measured %.0f ticks/s vs baseline %.0f (ratio %.2f)\n",
+                measured, base_tps, measured / base_tps);
+    if (measured < 0.5 * base_tps) {
+      std::fprintf(stderr,
+                   "FAIL: reference hot loop regressed >2x vs baseline "
+                   "(%.0f < 0.5 * %.0f ticks/s)\n",
+                   measured, base_tps);
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -17,6 +17,7 @@
 
 #include "bench_common.hpp"
 #include "telemetry/sensor_store.hpp"
+#include "util/parallel.hpp"
 #include "carbon/forecast.hpp"
 #include "carbon/grid_model.hpp"
 #include "core/federation.hpp"
@@ -70,51 +71,59 @@ int main() {
                   "wasted[kg]", "ckpt-share[%]", "failed", "makespan[d]"});
   double goodput_no_ckpt_8h = 0.0;
   double goodput_yd_8h = 0.0;
-  for (const double mtbf_h : mtbf_hours) {
-    for (const bool with_ckpt : {false, true}) {
-      hpcsim::Simulator::Config cfg;
-      cfg.cluster = bench_cluster(64);
-      cfg.carbon_intensity =
-          carbon::GridModel(carbon::Region::Germany, 11)
-              .generate(seconds(0.0), days(30.0), minutes(15.0));
-      if (mtbf_h > 0.0) {
-        resilience::FaultModelConfig fm;
-        fm.nodes = 64;
-        // Cover any plausible makespan: no clean tail that would let
-        // scratch-restart jobs finish on perfect late-run hardware.
-        fm.horizon = days(120.0);
-        fm.node_mtbf = hours(mtbf_h);
-        fm.mean_repair = hours(1.0);
-        fm.seed = 2024;
-        // Generous retry budget: the sweep compares goodput (work kept vs
-        // work burnt), not abandonment rates.
-        cfg.faults = resilience::FaultModel(fm).injection(/*max_retries=*/30,
-                                                          minutes(5.0));
-        cfg.faults.max_backoff = hours(2.0);
-      }
-      hpcsim::Simulator sim(cfg, bench_jobs(1.0, 7, hours(3.0)));
-
-      sched::EasyBackfillScheduler easy;
-      resilience::CheckpointPolicyConfig cp;
-      cp.node_mtbf = hours(mtbf_h > 0.0 ? mtbf_h : 1e6);
-      resilience::PeriodicCheckpointPolicy ydckpt(easy, cp);
-      hpcsim::SchedulingPolicy& sched =
-          with_ckpt ? static_cast<hpcsim::SchedulingPolicy&>(ydckpt)
-                    : static_cast<hpcsim::SchedulingPolicy&>(easy);
-      const auto r = sim.run(sched);
-
-      const double goodput = 100.0 * r.goodput_fraction();
-      if (mtbf_h == 8.0 && !with_ckpt) goodput_no_ckpt_8h = goodput;
-      if (mtbf_h == 8.0 && with_ckpt) goodput_yd_8h = goodput;
-      ta.add_row({mtbf_h > 0.0 ? util::Table::fmt(mtbf_h, 0) + " h" : "inf",
-                  with_ckpt ? "young-daly" : "none",
-                  util::Table::fmt(goodput, 1),
-                  util::Table::fmt(r.lost_node_hours(), 0),
-                  util::Table::fmt(r.wasted_carbon.kilograms(), 1),
-                  util::Table::fmt(100.0 * r.checkpoint_overhead_share(), 1),
-                  std::to_string(r.jobs_failed),
-                  util::Table::fmt(r.makespan.days(), 2)});
+  // The 4x2 grid runs as one parallel sweep over preallocated slots
+  // (every point is an independent simulation); rows are emitted serially
+  // afterwards in sweep order.
+  std::vector<hpcsim::SimulationResult> a_results(8);
+  util::parallel_for(8, [&](std::size_t i) {
+    const double mtbf_h = mtbf_hours[i / 2];
+    const bool with_ckpt = i % 2 == 1;
+    hpcsim::Simulator::Config cfg;
+    cfg.cluster = bench_cluster(64);
+    cfg.carbon_intensity =
+        carbon::GridModel(carbon::Region::Germany, 11)
+            .generate(seconds(0.0), days(30.0), minutes(15.0));
+    if (mtbf_h > 0.0) {
+      resilience::FaultModelConfig fm;
+      fm.nodes = 64;
+      // Cover any plausible makespan: no clean tail that would let
+      // scratch-restart jobs finish on perfect late-run hardware.
+      fm.horizon = days(120.0);
+      fm.node_mtbf = hours(mtbf_h);
+      fm.mean_repair = hours(1.0);
+      fm.seed = 2024;
+      // Generous retry budget: the sweep compares goodput (work kept vs
+      // work burnt), not abandonment rates.
+      cfg.faults = resilience::FaultModel(fm).injection(/*max_retries=*/30,
+                                                        minutes(5.0));
+      cfg.faults.max_backoff = hours(2.0);
     }
+    hpcsim::Simulator sim(cfg, bench_jobs(1.0, 7, hours(3.0)));
+
+    sched::EasyBackfillScheduler easy;
+    resilience::CheckpointPolicyConfig cp;
+    cp.node_mtbf = hours(mtbf_h > 0.0 ? mtbf_h : 1e6);
+    resilience::PeriodicCheckpointPolicy ydckpt(easy, cp);
+    hpcsim::SchedulingPolicy& sched =
+        with_ckpt ? static_cast<hpcsim::SchedulingPolicy&>(ydckpt)
+                  : static_cast<hpcsim::SchedulingPolicy&>(easy);
+    a_results[i] = sim.run(sched);
+  });
+  for (std::size_t i = 0; i < a_results.size(); ++i) {
+    const double mtbf_h = mtbf_hours[i / 2];
+    const bool with_ckpt = i % 2 == 1;
+    const auto& r = a_results[i];
+    const double goodput = 100.0 * r.goodput_fraction();
+    if (mtbf_h == 8.0 && !with_ckpt) goodput_no_ckpt_8h = goodput;
+    if (mtbf_h == 8.0 && with_ckpt) goodput_yd_8h = goodput;
+    ta.add_row({mtbf_h > 0.0 ? util::Table::fmt(mtbf_h, 0) + " h" : "inf",
+                with_ckpt ? "young-daly" : "none",
+                util::Table::fmt(goodput, 1),
+                util::Table::fmt(r.lost_node_hours(), 0),
+                util::Table::fmt(r.wasted_carbon.kilograms(), 1),
+                util::Table::fmt(100.0 * r.checkpoint_overhead_share(), 1),
+                std::to_string(r.jobs_failed),
+                util::Table::fmt(r.makespan.days(), 2)});
   }
   std::printf("%s\n",
               ta.str("A. Node MTBF x checkpointing (64 nodes, EASY, "
@@ -129,52 +138,62 @@ int main() {
                   "max staleness[h]", "done"});
   double fcfs_carbon_025 = 0.0;
   double ca_carbon_025 = 0.0;
-  for (const double outage : {0.0, 0.25, 0.5}) {
-    for (const bool carbon_aware : {false, true}) {
-      resilience::DegradedFeedConfig fc;
-      fc.outage_fraction = outage;
-      fc.mean_outage = hours(3.0);
-      fc.seed = 5;
-      resilience::DegradedFeed feed(fc, days(14.0));
+  const double outages[3] = {0.0, 0.25, 0.5};
+  struct BPoint {
+    hpcsim::SimulationResult result;
+    double max_staleness_h = 0.0;
+  };
+  std::vector<BPoint> b_results(6);
+  util::parallel_for(6, [&](std::size_t i) {
+    const double outage = outages[i / 2];
+    const bool carbon_aware = i % 2 == 1;
+    resilience::DegradedFeedConfig fc;
+    fc.outage_fraction = outage;
+    fc.mean_outage = hours(3.0);
+    fc.seed = 5;
+    resilience::DegradedFeed feed(fc, days(14.0));
 
-      hpcsim::Simulator::Config cfg;
-      cfg.cluster = bench_cluster(64);
-      cfg.carbon_intensity = uk_trace;
-      if (outage > 0.0) cfg.feed = &feed;
-      telemetry::SensorStore sensors;
-      cfg.telemetry = &sensors;
-      hpcsim::Simulator sim(cfg, bench_jobs(0.0, 13));
+    hpcsim::Simulator::Config cfg;
+    cfg.cluster = bench_cluster(64);
+    cfg.carbon_intensity = uk_trace;
+    if (outage > 0.0) cfg.feed = &feed;
+    telemetry::SensorStore sensors;
+    cfg.telemetry = &sensors;
+    hpcsim::Simulator sim(cfg, bench_jobs(0.0, 13));
 
-      std::unique_ptr<hpcsim::SchedulingPolicy> sched;
-      if (carbon_aware) {
-        sched::CarbonAwareEasyScheduler::Config cc;
-        cc.max_hold = hours(24.0);
-        cc.lookahead = hours(24.0);
-        sched = std::make_unique<sched::CarbonAwareEasyScheduler>(
-            cc, std::make_shared<carbon::PersistenceForecaster>());
-      } else {
-        sched = std::make_unique<sched::FcfsScheduler>();
-      }
-      const auto r = sim.run(*sched);
-
-      Carbon job_carbon;
-      for (const auto& j : r.jobs) job_carbon += j.carbon;
-      if (outage == 0.25 && !carbon_aware) fcfs_carbon_025 = job_carbon.tonnes();
-      if (outage == 0.25 && carbon_aware) ca_carbon_025 = job_carbon.tonnes();
-
-      double max_staleness_h = 0.0;
-      if (const auto* s = sensors.find("system.ci_staleness")) {
-        for (const auto& sample : s->samples()) {
-          max_staleness_h = std::max(max_staleness_h, sample.value / 3600.0);
-        }
-      }
-      tb.add_row({util::Table::fmt(100.0 * outage, 0) + "%",
-                  carbon_aware ? "carbon-easy(persist)" : "fcfs",
-                  util::Table::fmt(job_carbon.tonnes(), 3),
-                  util::Table::fmt(r.mean_wait_hours(), 2),
-                  util::Table::fmt(max_staleness_h, 1),
-                  std::to_string(r.completed_jobs)});
+    std::unique_ptr<hpcsim::SchedulingPolicy> sched;
+    if (carbon_aware) {
+      sched::CarbonAwareEasyScheduler::Config cc;
+      cc.max_hold = hours(24.0);
+      cc.lookahead = hours(24.0);
+      sched = std::make_unique<sched::CarbonAwareEasyScheduler>(
+          cc, std::make_shared<carbon::PersistenceForecaster>());
+    } else {
+      sched = std::make_unique<sched::FcfsScheduler>();
     }
+    b_results[i].result = sim.run(*sched);
+
+    if (const auto* s = sensors.find("system.ci_staleness")) {
+      for (const auto& sample : s->samples()) {
+        b_results[i].max_staleness_h =
+            std::max(b_results[i].max_staleness_h, sample.value / 3600.0);
+      }
+    }
+  });
+  for (std::size_t i = 0; i < b_results.size(); ++i) {
+    const double outage = outages[i / 2];
+    const bool carbon_aware = i % 2 == 1;
+    const auto& r = b_results[i].result;
+    Carbon job_carbon;
+    for (const auto& j : r.jobs) job_carbon += j.carbon;
+    if (outage == 0.25 && !carbon_aware) fcfs_carbon_025 = job_carbon.tonnes();
+    if (outage == 0.25 && carbon_aware) ca_carbon_025 = job_carbon.tonnes();
+    tb.add_row({util::Table::fmt(100.0 * outage, 0) + "%",
+                carbon_aware ? "carbon-easy(persist)" : "fcfs",
+                util::Table::fmt(job_carbon.tonnes(), 3),
+                util::Table::fmt(r.mean_wait_hours(), 2),
+                util::Table::fmt(b_results[i].max_staleness_h, 1),
+                std::to_string(r.completed_jobs)});
   }
   std::printf("%s\n",
               tb.str("B. Carbon-feed outages (64 nodes, UK grid; hold then "

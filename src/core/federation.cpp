@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "util/error.hpp"
+#include "util/parallel.hpp"
 
 namespace greenhpc::core {
 
@@ -175,15 +176,18 @@ FederationResult Federation::run(const std::vector<hpcsim::JobSpec>& jobs,
   FederationResult out;
   out.site_names.reserve(n_sites);
   out.jobs_per_site.resize(n_sites, 0);
-  double wait_sum = 0.0;
-  int wait_count = 0;
   for (std::size_t s = 0; s < n_sites; ++s) {
     out.site_names.push_back(cfg_.sites[s].name);
     out.jobs_per_site[s] = static_cast<int>(per_site[s].size());
-    if (per_site[s].empty()) {
-      out.site_results.emplace_back();
-      continue;
-    }
+  }
+
+  // Site simulations are independent (own cluster, trace, feed and job
+  // subset): fan them out over the global pool into preallocated slots,
+  // then aggregate serially in site order so the totals accumulate in the
+  // same order — and to the same bits — as the serial loop did.
+  out.site_results.resize(n_sites);
+  util::parallel_for(n_sites, [&](std::size_t s) {
+    if (per_site[s].empty()) return;  // slot keeps its default-constructed result
     hpcsim::Simulator::Config sim_cfg;
     sim_cfg.cluster = cfg_.sites[s].cluster;
     sim_cfg.carbon_intensity = traces_[s];
@@ -201,9 +205,14 @@ FederationResult Federation::run(const std::vector<hpcsim::JobSpec>& jobs,
     }
     hpcsim::Simulator sim(sim_cfg, per_site[s]);
     auto scheduler = sched();
-    out.site_results.push_back(sim.run(*scheduler));
+    out.site_results[s] = sim.run(*scheduler);
+  });
 
-    const auto& r = out.site_results.back();
+  double wait_sum = 0.0;
+  int wait_count = 0;
+  for (std::size_t s = 0; s < n_sites; ++s) {
+    if (per_site[s].empty()) continue;
+    const auto& r = out.site_results[s];
     out.total_carbon += r.total_carbon;
     out.total_energy += r.total_energy;
     out.completed += r.completed_jobs;

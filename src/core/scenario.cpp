@@ -2,6 +2,7 @@
 
 #include "carbon/green_periods.hpp"
 #include "util/error.hpp"
+#include "util/parallel.hpp"
 
 namespace greenhpc::core {
 
@@ -44,6 +45,15 @@ PolicyOutcome ScenarioRunner::run(const std::string& label, const SchedulerFacto
   out.green_energy_share = out.result.green_energy_share(green_threshold_);
   out.completed = out.result.completed_jobs;
   return out;
+}
+
+std::vector<PolicyOutcome> ScenarioRunner::run_all(
+    const std::vector<PolicyCase>& cases) const {
+  std::vector<PolicyOutcome> outcomes(cases.size());
+  util::parallel_for(cases.size(), [&](std::size_t i) {
+    outcomes[i] = run(cases[i].label, cases[i].scheduler, cases[i].power);
+  });
+  return outcomes;
 }
 
 }  // namespace greenhpc::core

@@ -64,6 +64,22 @@ class ScenarioRunner {
   [[nodiscard]] PolicyOutcome run(const std::string& label, const SchedulerFactory& sched,
                                   const PowerPolicyFactory& power = nullptr) const;
 
+  /// One labelled policy combination for a batch run.
+  struct PolicyCase {
+    std::string label;
+    SchedulerFactory scheduler;
+    PowerPolicyFactory power = nullptr;
+  };
+
+  /// Run every case on the shared inputs, fanned out over the global
+  /// thread pool. Each case is fully independent (fresh policy instances
+  /// and its own Simulator over the shared trace/jobs) and writes into a
+  /// preallocated slot, so the returned vector matches a serial
+  /// case-by-case run bit for bit regardless of thread count. Factories
+  /// are invoked concurrently and must be safe to call from any thread.
+  [[nodiscard]] std::vector<PolicyOutcome> run_all(
+      const std::vector<PolicyCase>& cases) const;
+
  private:
   ScenarioConfig cfg_;
   util::TimeSeries trace_;

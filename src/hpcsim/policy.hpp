@@ -53,9 +53,15 @@ class SimulationView {
   /// as (time, value) pairs at tick resolution — forecaster input.
   [[nodiscard]] virtual const std::vector<double>& intensity_history() const = 0;
 
-  [[nodiscard]] virtual std::vector<JobId> pending_jobs() const = 0;
-  [[nodiscard]] virtual std::vector<JobId> running_jobs() const = 0;
-  [[nodiscard]] virtual std::vector<JobId> suspended_jobs() const = 0;
+  /// The job queues, by reference: no per-call copy on the tick hot path.
+  /// The references stay valid for the life of the view, but any mutating
+  /// call (start/suspend/resume/reshape, or the engine's own tick
+  /// machinery) may reorder or reallocate the underlying storage — take a
+  /// copy before iterating if the loop body mutates, e.g.
+  /// `const std::vector<JobId> snapshot = view.pending_jobs();`.
+  [[nodiscard]] virtual const std::vector<JobId>& pending_jobs() const = 0;
+  [[nodiscard]] virtual const std::vector<JobId>& running_jobs() const = 0;
+  [[nodiscard]] virtual const std::vector<JobId>& suspended_jobs() const = 0;
   [[nodiscard]] virtual const JobSpec& spec(JobId id) const = 0;
   [[nodiscard]] virtual const JobRuntimeInfo& info(JobId id) const = 0;
   /// Remaining wall time of a running/suspended job at its current speed

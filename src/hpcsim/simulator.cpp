@@ -7,6 +7,14 @@
 
 namespace greenhpc::hpcsim {
 
+namespace {
+/// Dense-table bound: ids beyond this multiple of the job count (plus a
+/// fixed floor) indicate a sparse id space where the table would waste
+/// memory; such workloads fall back to the hash map.
+constexpr std::size_t kDenseSlack = 4;
+constexpr std::size_t kDenseFloor = 1024;
+}  // namespace
+
 Simulator::Simulator(Config config, std::vector<JobSpec> jobs)
     : cfg_(std::move(config)),
       budget_now_(cfg_.cluster.max_power()),
@@ -41,6 +49,8 @@ Simulator::Simulator(Config config, std::vector<JobSpec> jobs)
   victim_rng_ = util::Rng(cfg_.faults.victim_seed);
   free_nodes_ = cfg_.cluster.nodes;
   slots_.reserve(jobs.size());
+  JobId max_id = -1;
+  bool dense_ok = true;
   for (auto& j : jobs) {
     j.validate();
     GREENHPC_REQUIRE(j.nodes_requested <= cfg_.cluster.nodes &&
@@ -48,7 +58,18 @@ Simulator::Simulator(Config config, std::vector<JobSpec> jobs)
                      "job larger than the cluster");
     const auto idx = slots_.size();
     GREENHPC_REQUIRE(index_.emplace(j.id, idx).second, "duplicate job id");
-    slots_.push_back(JobSlot{std::move(j), {}});
+    if (j.id < 0) dense_ok = false;
+    max_id = std::max(max_id, j.id);
+    slots_.push_back(JobSlot{.spec = std::move(j), .info = {}});
+  }
+  if (dense_ok && !slots_.empty() &&
+      static_cast<std::size_t>(max_id) <
+          kDenseSlack * slots_.size() + kDenseFloor) {
+    dense_index_.assign(static_cast<std::size_t>(max_id) + 1, -1);
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      dense_index_[static_cast<std::size_t>(slots_[i].spec.id)] =
+          static_cast<std::int32_t>(i);
+    }
   }
   arrival_order_.resize(slots_.size());
   for (std::size_t i = 0; i < slots_.size(); ++i) arrival_order_[i] = i;
@@ -61,16 +82,30 @@ Simulator::Simulator(Config config, std::vector<JobSpec> jobs)
                    });
 }
 
-Simulator::JobSlot& Simulator::slot(JobId id) {
+std::size_t Simulator::slot_index_slow(JobId id) const {
   const auto it = index_.find(id);
   GREENHPC_REQUIRE(it != index_.end(), "unknown job id");
-  return slots_[it->second];
+  return it->second;
 }
 
-const Simulator::JobSlot& Simulator::slot(JobId id) const {
-  const auto it = index_.find(id);
-  GREENHPC_REQUIRE(it != index_.end(), "unknown job id");
-  return slots_[it->second];
+void Simulator::list_push(std::vector<JobId>& list, Queue kind, JobId id) {
+  JobSlot& s = slots_[slot_index(id)];
+  s.queue = kind;
+  s.list_pos = static_cast<std::int32_t>(list.size());
+  list.push_back(id);
+}
+
+void Simulator::list_erase(std::vector<JobId>& list, JobId id) {
+  JobSlot& s = slots_[slot_index(id)];
+  const auto pos = static_cast<std::size_t>(s.list_pos);
+  GREENHPC_REQUIRE(pos < list.size() && list[pos] == id,
+                   "phase-list bookkeeping out of sync");
+  list.erase(list.begin() + static_cast<std::ptrdiff_t>(pos));
+  for (std::size_t i = pos; i < list.size(); ++i) {
+    slots_[slot_index(list[i])].list_pos = static_cast<std::int32_t>(i);
+  }
+  s.queue = Queue::None;
+  s.list_pos = -1;
 }
 
 int Simulator::busy_nodes_of(const JobSlot& s) {
@@ -85,12 +120,28 @@ double Simulator::scale_speed(const JobSlot& s) {
   return std::pow(busy / natural, s.spec.scale_gamma);
 }
 
+double Simulator::cap_speed(const JobSlot& s, double cap) {
+  if (cap == 1.0) return 1.0;  // pow(1, alpha) == 1 exactly
+  if (cap != s.cap_key) {
+    s.cap_key = cap;
+    s.cap_val = std::pow(cap, s.spec.power_alpha);
+  }
+  return s.cap_val;
+}
+
+double Simulator::scale_factor(const JobSlot& s) {
+  const int busy = busy_nodes_of(s);
+  if (busy == s.spec.nodes_used) return 1.0;
+  if (busy != s.scale_key) {
+    s.scale_key = busy;
+    s.scale_val = scale_speed(s);
+  }
+  return s.scale_val;
+}
+
 double Simulator::carbon_intensity_at(Duration t) const {
   return cfg_.carbon_intensity.sample_at_clamped(t);
 }
-
-std::vector<JobId> Simulator::running_jobs() const { return running_; }
-std::vector<JobId> Simulator::suspended_jobs() const { return suspended_; }
 
 const JobSpec& Simulator::spec(JobId id) const { return slot(id).spec; }
 const JobRuntimeInfo& Simulator::info(JobId id) const { return slot(id).info; }
@@ -102,7 +153,7 @@ Duration Simulator::estimated_remaining(JobId id) const {
     case JobPhase::Pending:
       return s.spec.walltime;
     case JobPhase::Running: {
-      const double speed = std::pow(last_cap_, s.spec.power_alpha) * scale_speed(s);
+      const double speed = cap_speed(s, last_cap_) * scale_factor(s);
       return seconds(remaining_fraction * s.spec.runtime.seconds() / std::max(speed, 1e-9));
     }
     case JobPhase::Suspended:
@@ -117,7 +168,7 @@ Power Simulator::full_draw() const {
   double watts_total =
       cfg_.cluster.node_idle.watts() * static_cast<double>(free_nodes_);
   for (JobId id : running_) {
-    const JobSlot& s = slot(id);
+    const JobSlot& s = slots_[slot_index(id)];
     const int busy = busy_nodes_of(s);
     const int extra = s.info.alloc_nodes - busy;
     watts_total += static_cast<double>(busy) * s.spec.effective_node_power().watts() +
@@ -132,10 +183,6 @@ bool Simulator::allocation_valid(const JobSpec& job, int nodes) const {
   return nodes >= job.min_nodes && nodes <= job.max_nodes;
 }
 
-void Simulator::remove_pending(JobId id) {
-  pending_.erase(std::remove(pending_.begin(), pending_.end(), id), pending_.end());
-}
-
 bool Simulator::start(JobId id, int nodes) {
   JobSlot& s = slot(id);
   if (s.info.phase != JobPhase::Pending) return false;
@@ -146,8 +193,11 @@ bool Simulator::start(JobId id, int nodes) {
   s.info.start = now_;
   s.info.last_checkpoint = now_;  // periodic-checkpoint clock starts here
   free_nodes_ -= nodes;
-  remove_pending(id);
-  running_.push_back(id);
+  // A Pending job sits in the pending queue, or still in the requeue
+  // buffer while its post-failure backoff runs (a policy starting it
+  // early via a remembered id is legal).
+  list_erase(s.queue == Queue::Requeued ? requeued_ : pending_, id);
+  list_push(running_, Queue::Running, id);
   return true;
 }
 
@@ -165,8 +215,8 @@ bool Simulator::suspend(JobId id) {
   s.info.alloc_nodes = 0;
   s.info.phase = JobPhase::Suspended;
   ++s.info.suspend_count;
-  running_.erase(std::remove(running_.begin(), running_.end(), id), running_.end());
-  suspended_.push_back(id);
+  list_erase(running_, id);
+  list_push(suspended_, Queue::Suspended, id);
   return true;
 }
 
@@ -197,8 +247,8 @@ bool Simulator::resume(JobId id, int nodes) {
   s.info.alloc_nodes = nodes;
   s.info.last_checkpoint = now_;
   free_nodes_ -= nodes;
-  suspended_.erase(std::remove(suspended_.begin(), suspended_.end(), id), suspended_.end());
-  running_.push_back(id);
+  list_erase(suspended_, id);
+  list_push(running_, Queue::Running, id);
   return true;
 }
 
@@ -232,7 +282,7 @@ void Simulator::fail_job(JobId id) {
   s.info.wall_used = seconds(restored * s.spec.runtime.seconds());
   ++s.info.failure_count;
   ++result_.job_failures;
-  running_.erase(std::remove(running_.begin(), running_.end(), id), running_.end());
+  list_erase(running_, id);
   if (s.info.failure_count > cfg_.faults.max_retries) {
     s.info.phase = JobPhase::Done;
     s.info.failed = true;
@@ -247,7 +297,7 @@ void Simulator::fail_job(JobId id) {
           std::pow(2.0, static_cast<double>(s.info.failure_count - 1)),
       cfg_.faults.max_backoff.seconds());
   s.info.requeue_ready = now_ + seconds(backoff);
-  requeued_.push_back(id);
+  list_push(requeued_, Queue::Requeued, id);
 }
 
 void Simulator::fail_one_node() {
@@ -262,14 +312,19 @@ void Simulator::fail_one_node() {
   }
   std::int64_t acc = free_nodes_;
   for (JobId id : running_) {
-    acc += slot(id).info.alloc_nodes;
+    acc += slots_[slot_index(id)].info.alloc_nodes;
     if (r < acc) {
       fail_job(id);       // releases the job's whole allocation...
       --free_nodes_;      // ...then the failed node itself goes down
       return;
     }
   }
-  if (free_nodes_ > 0) --free_nodes_;  // bookkeeping fallback
+  // Every up-node is either free or allocated to a running job, so the
+  // draw must have landed above; reaching here means the node accounting
+  // (free_nodes_ + sum of allocations == up) is broken.
+  GREENHPC_REQUIRE(false,
+                   "fault victim draw landed on neither a free node nor a "
+                   "running job: node bookkeeping violated");
 }
 
 void Simulator::advance_faults() {
@@ -303,9 +358,11 @@ void Simulator::advance_faults() {
   w = 0;
   for (std::size_t i = 0; i < requeued_.size(); ++i) {
     const JobId id = requeued_[i];
-    if (slot(id).info.requeue_ready <= now_) {
-      pending_.push_back(id);
+    JobSlot& s = slots_[slot_index(id)];
+    if (s.info.requeue_ready <= now_) {
+      list_push(pending_, Queue::Pending, id);
     } else {
+      s.list_pos = static_cast<std::int32_t>(w);
       requeued_[w++] = id;
     }
   }
@@ -313,7 +370,7 @@ void Simulator::advance_faults() {
 }
 
 void Simulator::observe_intensity() {
-  ci_true_ = cfg_.carbon_intensity.sample_at_clamped(now_);
+  ci_true_ = cfg_.carbon_intensity.sample_at_clamped(now_, ci_cursor_);
   if (cfg_.feed == nullptr) {
     ci_now_ = ci_true_;
     staleness_ = seconds(0.0);
@@ -340,7 +397,7 @@ void Simulator::integrate_tick() {
   double busy_full_w = 0.0;
   double baseline_w = idle_w * static_cast<double>(free_nodes_);
   for (JobId id : running_) {
-    const JobSlot& s = slot(id);
+    const JobSlot& s = slots_[slot_index(id)];
     const int busy = busy_nodes_of(s);
     const int extra = s.info.alloc_nodes - busy;
     busy_full_w += static_cast<double>(busy) * s.spec.effective_node_power().watts();
@@ -362,12 +419,13 @@ void Simulator::integrate_tick() {
   // Integrate each running job; handle mid-tick completion analytically.
   double tick_energy_j = 0.0;
   double busy_nodes_total = 0.0;
-  std::vector<JobId> finished;
+  std::vector<JobId>& finished = finished_scratch_;
+  finished.clear();
   for (JobId id : running_) {
-    JobSlot& s = slot(id);
+    JobSlot& s = slots_[slot_index(id)];
     const int busy = busy_nodes_of(s);
     const int extra = s.info.alloc_nodes - busy;
-    const double speed = std::pow(cap, s.spec.power_alpha) * scale_speed(s);
+    const double speed = cap_speed(s, cap) * scale_factor(s);
     const double rate = speed / s.spec.runtime.seconds();  // progress per second
     const double draw_w = static_cast<double>(busy) * s.spec.effective_node_power().watts() * cap +
                           static_cast<double>(extra) * idle_w;
@@ -400,13 +458,28 @@ void Simulator::integrate_tick() {
     tick_energy_j += job_energy_j;
     busy_nodes_total += static_cast<double>(s.info.alloc_nodes) * (dt / tick_s);
   }
-  for (JobId id : finished) {
-    JobSlot& s = slot(id);
-    free_nodes_ += s.info.alloc_nodes;
-    s.info.alloc_nodes = 0;
-    running_.erase(std::remove(running_.begin(), running_.end(), id), running_.end());
-    result_.makespan = std::max(result_.makespan, s.info.finish);
-    if (!s.info.killed) ++result_.completed_jobs;
+  if (!finished.empty()) {
+    // Single order-preserving compaction of the running list: completed
+    // slots release their nodes; survivors keep their relative order (and
+    // get their positions rewritten once), so policies observe the same
+    // queue the per-id erase produced.
+    std::size_t w = 0;
+    for (std::size_t i = 0; i < running_.size(); ++i) {
+      const JobId id = running_[i];
+      JobSlot& s = slots_[slot_index(id)];
+      if (s.info.phase == JobPhase::Done) {
+        free_nodes_ += s.info.alloc_nodes;
+        s.info.alloc_nodes = 0;
+        s.queue = Queue::None;
+        s.list_pos = -1;
+        result_.makespan = std::max(result_.makespan, s.info.finish);
+        if (!s.info.killed) ++result_.completed_jobs;
+      } else {
+        s.list_pos = static_cast<std::int32_t>(w);
+        running_[w++] = id;
+      }
+    }
+    running_.resize(w);
   }
 
   // Idle draw: nodes free for the whole tick plus freed fractions of
@@ -440,6 +513,53 @@ void Simulator::integrate_tick() {
   }
 }
 
+void Simulator::fast_forward_idle(Duration stop) {
+  // Preconditions (checked by the caller): no job in any phase list, no
+  // pending repairs, no power policy. Until `stop` (next arrival, next
+  // fault event, or max_time) every tick is a pure idle-floor tick, so
+  // this loop replays exactly the arithmetic integrate_tick performs on
+  // an empty system — same accumulation order, same per-tick series
+  // samples, same history and telemetry — while skipping the scheduler
+  // call (nothing to schedule), the arrival scan and the fault machinery.
+  const Duration tick = cfg_.cluster.tick;
+  const double tick_s = tick.seconds();
+  const double idle_w = cfg_.cluster.node_idle.watts();
+  const double budget_w = budget_now_.watts();
+  const bool idle_over_budget = idle_w * static_cast<double>(free_nodes_) > budget_w;
+  while (now_ < stop) {
+    observe_intensity();
+    if (idle_over_budget) ++result_.budget_violations;
+    last_cap_ = 1.0;
+    double tick_energy_j = 0.0;
+    const double idle_energy_j = idle_w * static_cast<double>(free_nodes_) * tick_s;
+    tick_energy_j += idle_energy_j;
+    result_.idle_energy += joules(idle_energy_j);
+    result_.idle_carbon += grams_co2(idle_energy_j / 3.6e6 * ci_true_);
+    result_.total_energy += joules(tick_energy_j);
+    result_.total_carbon += grams_co2(tick_energy_j / 3.6e6 * ci_true_);
+    result_.system_power.push_back(tick_energy_j / tick_s);
+    result_.power_budget.push_back(budget_w);
+    result_.carbon_intensity.push_back(ci_true_);
+    result_.busy_nodes.push_back(0.0);
+    if (cfg_.telemetry != nullptr) {
+      cfg_.telemetry->record("system.power", now_, tick_energy_j / tick_s);
+      cfg_.telemetry->record("system.budget", now_, budget_w);
+      cfg_.telemetry->record("system.ci", now_, ci_true_);
+      cfg_.telemetry->record("system.busy_nodes", now_, 0.0);
+      if (cfg_.faults.enabled()) {
+        cfg_.telemetry->record("system.nodes_down", now_,
+                               static_cast<double>(nodes_down_));
+      }
+      if (cfg_.feed != nullptr) {
+        cfg_.telemetry->record("system.ci_observed", now_, ci_now_);
+        cfg_.telemetry->record("system.ci_staleness", now_, staleness_.seconds());
+      }
+    }
+    ci_history_.push_back(ci_now_);
+    now_ += tick;
+  }
+}
+
 SimulationResult Simulator::run(SchedulingPolicy& sched, PowerBudgetPolicy* power) {
   GREENHPC_REQUIRE(!ran_, "Simulator::run may be called only once");
   ran_ = true;
@@ -448,7 +568,7 @@ SimulationResult Simulator::run(SchedulingPolicy& sched, PowerBudgetPolicy* powe
     // 1. arrivals
     while (next_arrival_ < arrival_order_.size() &&
            slots_[arrival_order_[next_arrival_]].spec.submit <= now_) {
-      pending_.push_back(slots_[arrival_order_[next_arrival_]].spec.id);
+      list_push(pending_, Queue::Pending, slots_[arrival_order_[next_arrival_]].spec.id);
       ++next_arrival_;
     }
     advance_faults();
@@ -456,6 +576,26 @@ SimulationResult Simulator::run(SchedulingPolicy& sched, PowerBudgetPolicy* powe
     if (all_arrived && pending_.empty() && running_.empty() && suspended_.empty() &&
         requeued_.empty()) {
       break;
+    }
+
+    // Idle fast-forward: with no job anywhere and nothing due before the
+    // next arrival or failure event, ticks cannot differ from the pure
+    // idle-floor tick; burn through them without the policy machinery.
+    // (Gated on power == nullptr: a budget policy must keep observing
+    // every tick, both for its own state and for the budget series.)
+    if (power == nullptr && pending_.empty() && running_.empty() &&
+        suspended_.empty() && requeued_.empty() && repairs_.empty() &&
+        !all_arrived) {
+      Duration stop = std::min(cfg_.max_time,
+                               slots_[arrival_order_[next_arrival_]].spec.submit);
+      if (next_failure_ < cfg_.faults.events.size()) {
+        stop = std::min(stop, cfg_.faults.events[next_failure_].time);
+      }
+      if (now_ < stop) {
+        budget_now_ = cfg_.cluster.max_power();
+        fast_forward_idle(stop);
+        continue;  // re-run arrivals/faults at the first non-idle tick
+      }
     }
 
     // 2. environment + budget (policies see the observed/held intensity)

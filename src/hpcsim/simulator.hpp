@@ -24,7 +24,18 @@
 // backoff expired. With an IntensityFeed configured, policies observe
 // the feed (last-known-value hold during dropouts, with an exposed
 // staleness clock) while carbon accounting keeps using the ground truth.
+//
+// Hot-path engineering (see DESIGN.md, "Performance architecture"): job
+// lookups resolve through a dense id->slot table instead of a hash map,
+// the phase lists (pending/running/suspended/requeued) are maintained
+// with position-bookkept ordered erases (O(1) find, order preserved so
+// policies observe identical queues), the pow() speed factors are cached
+// per job, intensity sampling uses a monotonic cursor, and wholly idle
+// spans (no jobs anywhere, no arrivals or fault events due) are
+// fast-forwarded through a tight per-tick loop that reproduces the full
+// path bit-for-bit while skipping policy and bookkeeping calls.
 
+#include <cstdint>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -82,9 +93,15 @@ class Simulator final : public SimulationView {
   [[nodiscard]] const std::vector<double>& intensity_history() const override {
     return ci_history_;
   }
-  [[nodiscard]] std::vector<JobId> pending_jobs() const override { return pending_; }
-  [[nodiscard]] std::vector<JobId> running_jobs() const override;
-  [[nodiscard]] std::vector<JobId> suspended_jobs() const override;
+  [[nodiscard]] const std::vector<JobId>& pending_jobs() const override {
+    return pending_;
+  }
+  [[nodiscard]] const std::vector<JobId>& running_jobs() const override {
+    return running_;
+  }
+  [[nodiscard]] const std::vector<JobId>& suspended_jobs() const override {
+    return suspended_;
+  }
   [[nodiscard]] const JobSpec& spec(JobId id) const override;
   [[nodiscard]] const JobRuntimeInfo& info(JobId id) const override;
   [[nodiscard]] Duration estimated_remaining(JobId id) const override;
@@ -97,22 +114,63 @@ class Simulator final : public SimulationView {
   bool reshape(JobId id, int nodes) override;
 
  private:
+  /// Which phase list currently holds a job (None = no list: not yet
+  /// arrived, or Done).
+  enum class Queue : std::uint8_t { None, Pending, Running, Suspended, Requeued };
+
   struct JobSlot {
     JobSpec spec;
     JobRuntimeInfo info;
+    /// Phase-list membership (position-bookkept ordered erase).
+    Queue queue = Queue::None;
+    std::int32_t list_pos = -1;
+    /// pow() caches; keys chosen so the defaults are consistent
+    /// (pow(1, alpha) == 1, busy == natural => scale 1).
+    mutable double cap_key = 1.0;
+    mutable double cap_val = 1.0;
+    mutable int scale_key = -1;
+    mutable double scale_val = 1.0;
   };
 
-  [[nodiscard]] JobSlot& slot(JobId id);
-  [[nodiscard]] const JobSlot& slot(JobId id) const;
+  /// O(1) id -> slot resolution through the dense table (ids are small
+  /// ints in practice); falls back to the hash map for sparse id spaces.
+  [[nodiscard]] std::size_t slot_index(JobId id) const {
+    if (static_cast<std::size_t>(id) < dense_index_.size()) {
+      const std::int32_t idx = dense_index_[static_cast<std::size_t>(id)];
+      if (idx >= 0) return static_cast<std::size_t>(idx);
+    }
+    return slot_index_slow(id);
+  }
+  [[nodiscard]] std::size_t slot_index_slow(JobId id) const;
+  [[nodiscard]] JobSlot& slot(JobId id) { return slots_[slot_index(id)]; }
+  [[nodiscard]] const JobSlot& slot(JobId id) const { return slots_[slot_index(id)]; }
+
   /// Busy nodes of a running job (nodes that draw job power and produce
   /// progress): all allocated nodes for malleable jobs, nodes_used for
   /// rigid/moldable jobs with over-allocation.
   [[nodiscard]] static int busy_nodes_of(const JobSlot& s);
   /// Speed multiplier from allocation size (power-law strong scaling).
   [[nodiscard]] static double scale_speed(const JobSlot& s);
+  /// Cached pow(cap, alpha); exact 1.0 for the uncapped case.
+  [[nodiscard]] static double cap_speed(const JobSlot& s, double cap);
+  /// Cached scale_speed keyed on the busy-node count.
+  [[nodiscard]] static double scale_factor(const JobSlot& s);
   [[nodiscard]] bool allocation_valid(const JobSpec& spec, int nodes) const;
-  void remove_pending(JobId id);
+
+  /// Append to / remove from a phase list, keeping each member slot's
+  /// list_pos in sync. Erase is by known position (no scan) and shifts the
+  /// tail, so the observable iteration order policies depend on is
+  /// preserved exactly.
+  void list_push(std::vector<JobId>& list, Queue kind, JobId id);
+  void list_erase(std::vector<JobId>& list, JobId id);
+
   void integrate_tick();
+  /// Process wholly idle ticks (no jobs anywhere) in a tight loop until
+  /// the next arrival, fault event or max_time. Reproduces the normal
+  /// tick bit-for-bit (energy/carbon accumulation order, series samples,
+  /// history, telemetry) while skipping the policy and fault machinery
+  /// that provably cannot act.
+  void fast_forward_idle(Duration stop);
 
   // --- fault machinery (all no-ops with an empty failure schedule) ---
   /// Return repaired nodes to service, apply due failure events, release
@@ -130,6 +188,8 @@ class Simulator final : public SimulationView {
   Config cfg_;
   std::vector<JobSlot> slots_;
   std::unordered_map<JobId, std::size_t> index_;
+  /// Dense id -> slot table (empty when the id space is too sparse).
+  std::vector<std::int32_t> dense_index_;
   std::vector<std::size_t> arrival_order_;  ///< slot indices by submit time
   std::size_t next_arrival_ = 0;
 
@@ -147,7 +207,9 @@ class Simulator final : public SimulationView {
   std::vector<JobId> running_;
   std::vector<JobId> suspended_;
   std::vector<JobId> requeued_;  ///< killed by failures, waiting out backoff
+  std::vector<JobId> finished_scratch_;  ///< per-tick completion buffer
   std::vector<double> ci_history_;
+  util::TimeSeries::Cursor ci_cursor_;  ///< monotonic ground-truth sampling
   std::size_t next_failure_ = 0;
   std::vector<Duration> repairs_;  ///< pending per-node repair completions
   util::Rng victim_rng_{0};

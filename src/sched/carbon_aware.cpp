@@ -30,13 +30,45 @@ double CarbonAwareEasyScheduler::current_threshold(
   return util::percentile(tail, cfg_.green_quantile);
 }
 
+double CarbonAwareEasyScheduler::incremental_threshold(
+    const hpcsim::SimulationView& view) {
+  const auto& history = view.intensity_history();
+  if (history.empty()) return view.carbon_intensity_now();
+  const auto window_ticks = static_cast<std::size_t>(
+      cfg_.history_window.seconds() / view.cluster().tick.seconds());
+  const std::size_t cap = std::max<std::size_t>(window_ticks, 1);
+  if (cap != threshold_window_.capacity() || history.size() < threshold_consumed_) {
+    threshold_window_ = util::SlidingPercentile(cap);
+    threshold_consumed_ = 0;
+  }
+  for (; threshold_consumed_ < history.size(); ++threshold_consumed_) {
+    threshold_window_.push(history[threshold_consumed_]);
+  }
+  // The window now holds the last min(size, cap) history values — exactly
+  // the tail current_threshold() takes its percentile over.
+  return threshold_window_.percentile(cfg_.green_quantile);
+}
+
+const util::TimeSeries& CarbonAwareEasyScheduler::history_series(
+    const hpcsim::SimulationView& view) {
+  const auto& history = view.intensity_history();
+  const Duration tick = view.cluster().tick;
+  if (history.size() < hist_consumed_ || hist_series_.step() != tick ||
+      hist_consumed_ == 0) {
+    hist_series_ = util::TimeSeries(seconds(0.0), tick);
+    hist_consumed_ = 0;
+  }
+  for (; hist_consumed_ < history.size(); ++hist_consumed_) {
+    hist_series_.push_back(history[hist_consumed_]);
+  }
+  return hist_series_;
+}
+
 bool CarbonAwareEasyScheduler::greener_period_ahead(
-    const hpcsim::SimulationView& view) const {
+    const hpcsim::SimulationView& view) {
   const auto& history = view.intensity_history();
   if (history.size() < 2) return false;  // nothing to forecast from yet
-  const Duration tick = view.cluster().tick;
-  const util::TimeSeries hist(seconds(0.0), tick,
-                              std::vector<double>(history.begin(), history.end()));
+  const util::TimeSeries& hist = history_series(view);
   const Duration now = hist.end();
   const double target = view.carbon_intensity_now() * cfg_.improvement_factor;
   for (Duration h = hours(1.0); h <= cfg_.lookahead; h += hours(1.0)) {
@@ -46,30 +78,32 @@ bool CarbonAwareEasyScheduler::greener_period_ahead(
 }
 
 void CarbonAwareEasyScheduler::on_tick(hpcsim::SimulationView& view) {
-  const std::vector<hpcsim::JobId> pending = view.pending_jobs();
+  pending_scratch_ = view.pending_jobs();  // snapshot: start() mutates the queue
+  const std::vector<hpcsim::JobId>& pending = pending_scratch_;
   if (pending.empty()) return;
 
   // Degraded-feed fallback: past the staleness horizon the held value is
   // no longer trustworthy, so drop to carbon-blind EASY rather than gate
   // on a phantom grid state.
   if (view.carbon_signal_staleness() > cfg_.staleness_horizon) {
-    easy_pass(view, pending);
+    easy_pass(view, pending, /*shrink_moldable=*/false, &releases_);
     return;
   }
 
-  const double threshold = current_threshold(view);
+  const double threshold = incremental_threshold(view);
   const bool green_now = view.carbon_intensity_now() <= threshold;
 
   // Queue-pressure guard: holding jobs while the backlog is deep only
   // trades wait time for no carbon benefit (the machine will be full
   // either way), so the gate opens under pressure.
   double backlog_nodes = 0.0;
+  const double backlog_limit =
+      cfg_.backlog_pressure_limit * static_cast<double>(view.cluster().nodes);
   for (hpcsim::JobId id : pending) {
     backlog_nodes += static_cast<double>(start_nodes(view.spec(id)));
+    if (backlog_nodes > backlog_limit) break;  // only the comparison matters
   }
-  const bool pressured =
-      backlog_nodes >
-      cfg_.backlog_pressure_limit * static_cast<double>(view.cluster().nodes);
+  const bool pressured = backlog_nodes > backlog_limit;
 
   bool hold_allowed = !green_now && !pressured;
   if (hold_allowed) {
@@ -77,7 +111,8 @@ void CarbonAwareEasyScheduler::on_tick(hpcsim::SimulationView& view) {
     hold_allowed = greener_period_ahead(view);
   }
 
-  std::vector<hpcsim::JobId> eligible;
+  std::vector<hpcsim::JobId>& eligible = eligible_scratch_;
+  eligible.clear();
   eligible.reserve(pending.size());
   for (hpcsim::JobId id : pending) {
     const Duration waited = view.now() - view.spec(id).submit;
@@ -85,7 +120,7 @@ void CarbonAwareEasyScheduler::on_tick(hpcsim::SimulationView& view) {
     if (hold_allowed && !over_budget) continue;  // hold for a green period
     eligible.push_back(id);
   }
-  if (!eligible.empty()) easy_pass(view, eligible);
+  if (!eligible.empty()) easy_pass(view, eligible, /*shrink_moldable=*/false, &releases_);
 }
 
 }  // namespace greenhpc::sched

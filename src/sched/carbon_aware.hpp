@@ -15,6 +15,9 @@
 
 #include "carbon/forecast.hpp"
 #include "hpcsim/policy.hpp"
+#include "sched/easy_backfill.hpp"
+#include "util/stats.hpp"
+#include "util/time_series.hpp"
 
 namespace greenhpc::sched {
 
@@ -49,13 +52,33 @@ class CarbonAwareEasyScheduler final : public hpcsim::SchedulingPolicy {
   [[nodiscard]] std::string name() const override { return "carbon-easy"; }
 
   /// Green threshold currently in force (for tests and reporting).
+  /// Recomputes from scratch; the tick loop uses the incremental twin
+  /// below, which returns bit-identical values.
   [[nodiscard]] double current_threshold(const hpcsim::SimulationView& view) const;
 
  private:
-  [[nodiscard]] bool greener_period_ahead(const hpcsim::SimulationView& view) const;
+  [[nodiscard]] bool greener_period_ahead(const hpcsim::SimulationView& view);
+  /// current_threshold() via a sliding sorted window over the intensity
+  /// history instead of a per-tick copy-and-sort of the whole window.
+  [[nodiscard]] double incremental_threshold(const hpcsim::SimulationView& view);
+  /// The intensity history as a TimeSeries for the forecaster, appended
+  /// incrementally instead of copied wholesale every tick.
+  [[nodiscard]] const util::TimeSeries& history_series(const hpcsim::SimulationView& view);
 
   Config cfg_;
   std::shared_ptr<const carbon::Forecaster> forecaster_;
+  ReleaseCache releases_;
+  // Per-tick queue snapshots, reused across ticks to avoid reallocation.
+  std::vector<hpcsim::JobId> pending_scratch_;
+  std::vector<hpcsim::JobId> eligible_scratch_;
+  // Incremental views of the (append-only) intensity history. Both track
+  // how much history they have consumed and rebuild from scratch if the
+  // view's history or tick is inconsistent with what was consumed (fresh
+  // simulation under a reused policy instance).
+  util::SlidingPercentile threshold_window_{1};
+  std::size_t threshold_consumed_ = 0;
+  util::TimeSeries hist_series_;
+  std::size_t hist_consumed_ = 0;
 };
 
 }  // namespace greenhpc::sched

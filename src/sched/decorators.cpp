@@ -37,7 +37,8 @@ void CheckpointDecorator::on_tick(hpcsim::SimulationView& view) {
   // resume everything (ignoring min_dwell — the hold's justification
   // expired with the signal) and stop suspending until the feed recovers.
   if (view.carbon_signal_staleness() > cfg_.staleness_horizon) {
-    for (hpcsim::JobId id : view.suspended_jobs()) {
+    const std::vector<hpcsim::JobId> suspended = view.suspended_jobs();
+    for (hpcsim::JobId id : suspended) {
       const auto& spec = view.spec(id);
       const int nodes = spec.kind == hpcsim::JobKind::Rigid
                             ? spec.nodes_requested

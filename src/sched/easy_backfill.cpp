@@ -21,6 +21,31 @@ std::vector<ReleaseEvent> projected_releases(const hpcsim::SimulationView& view)
   return releases;
 }
 
+const std::vector<ReleaseEvent>& ReleaseCache::get(const hpcsim::SimulationView& view) {
+  const Duration now = view.now();
+  scratch_.clear();
+  bool any_overrun = false;
+  for (hpcsim::JobId id : view.running_jobs()) {
+    const auto& info = view.info(id);
+    const Duration end = info.start + view.spec(id).walltime;
+    if (end <= now) any_overrun = true;
+    scratch_.push_back({id, info.alloc_nodes, end});
+  }
+  // An overrunning job's projected release is now + tick, which moves
+  // every tick even with the set unchanged — never reuse across it.
+  if (valid_ && !any_overrun && scratch_ == signature_) return releases_;
+  signature_ = scratch_;
+  releases_.clear();
+  for (const Entry& e : signature_) {
+    const Duration end = e.end <= now ? now + view.cluster().tick : e.end;
+    releases_.push_back({end, e.nodes});
+  }
+  std::sort(releases_.begin(), releases_.end(),
+            [](const ReleaseEvent& a, const ReleaseEvent& b) { return a.time < b.time; });
+  valid_ = true;
+  return releases_;
+}
+
 Reservation compute_reservation(Duration now, int free, int needed,
                                 const std::vector<ReleaseEvent>& releases) {
   Reservation r{now, 0};
@@ -53,7 +78,7 @@ int shrink_to_fit_nodes(const hpcsim::JobSpec& spec, int available) {
 }
 
 int easy_pass(hpcsim::SimulationView& view, const std::vector<hpcsim::JobId>& queue,
-              bool shrink_moldable) {
+              bool shrink_moldable, ReleaseCache* cache) {
   int started = 0;
   std::size_t head = 0;
   // Phase 1: start in order while possible.
@@ -77,12 +102,15 @@ int easy_pass(hpcsim::SimulationView& view, const std::vector<hpcsim::JobId>& qu
   // Phase 2: reservation for the blocked head.
   const hpcsim::JobId blocked = queue[head];
   const int needed = start_nodes(view.spec(blocked));
-  const auto releases = projected_releases(view);
+  std::vector<ReleaseEvent> local;
+  if (cache == nullptr) local = projected_releases(view);
+  const std::vector<ReleaseEvent>& releases = cache != nullptr ? cache->get(view) : local;
   Reservation res = compute_reservation(view.now(), view.free_nodes(), needed, releases);
 
   // Phase 3: backfill the remaining queue against the reservation.
   int spare = res.spare;
   for (std::size_t i = head + 1; i < queue.size(); ++i) {
+    if (view.free_nodes() == 0) break;  // every candidate needs >= 1 node
     const hpcsim::JobId id = queue[i];
     const auto& spec = view.spec(id);
     int nodes = start_nodes(spec);
@@ -103,8 +131,8 @@ int easy_pass(hpcsim::SimulationView& view, const std::vector<hpcsim::JobId>& qu
 }
 
 void EasyBackfillScheduler::on_tick(hpcsim::SimulationView& view) {
-  const std::vector<hpcsim::JobId> queue = view.pending_jobs();
-  if (!queue.empty()) easy_pass(view, queue, shrink_moldable_);
+  scratch_ = view.pending_jobs();  // snapshot: start() mutates the queue
+  if (!scratch_.empty()) easy_pass(view, scratch_, shrink_moldable_, &releases_);
 }
 
 }  // namespace greenhpc::sched

@@ -37,6 +37,33 @@ struct Reservation {
 [[nodiscard]] Reservation compute_reservation(Duration now, int free, int needed,
                                               const std::vector<ReleaseEvent>& releases);
 
+/// Memoized release schedule: a long-running job set makes the projected
+/// timeline identical tick after tick, so the sorted vector is rebuilt
+/// only when the running set (ids, allocations, walltime-projected ends)
+/// changes or a job overruns its estimate (its projected release then
+/// tracks the moving clock). The cached vector is byte-identical to what
+/// projected_releases() would return, so memoization cannot change any
+/// scheduling decision.
+class ReleaseCache {
+ public:
+  /// The release schedule for the view's current running set; reference
+  /// valid until the next get() call.
+  [[nodiscard]] const std::vector<ReleaseEvent>& get(
+      const hpcsim::SimulationView& view);
+
+ private:
+  struct Entry {
+    hpcsim::JobId id;
+    int nodes;
+    Duration end;  ///< raw walltime-projected end (before overrun remap)
+    bool operator==(const Entry&) const = default;
+  };
+  std::vector<Entry> signature_;
+  std::vector<Entry> scratch_;
+  std::vector<ReleaseEvent> releases_;
+  bool valid_ = false;
+};
+
 class EasyBackfillScheduler final : public hpcsim::SchedulingPolicy {
  public:
   /// With `shrink_moldable`, moldable jobs that do not fit at their
@@ -51,6 +78,8 @@ class EasyBackfillScheduler final : public hpcsim::SchedulingPolicy {
 
  private:
   bool shrink_moldable_;
+  ReleaseCache releases_;
+  std::vector<hpcsim::JobId> scratch_;  ///< queue snapshot, reused across ticks
 };
 
 /// Node count for starting `spec` when `available` nodes are free and
@@ -61,8 +90,9 @@ class EasyBackfillScheduler final : public hpcsim::SchedulingPolicy {
 /// The shared EASY pass over an explicitly ordered candidate list: starts
 /// what fits, reserves for the first blocked candidate, backfills the
 /// rest. Returns the number of jobs started. Used by both the plain and
-/// the carbon-aware schedulers.
+/// the carbon-aware schedulers. A caller-held ReleaseCache avoids
+/// rebuilding the release schedule when the running set is unchanged.
 int easy_pass(hpcsim::SimulationView& view, const std::vector<hpcsim::JobId>& queue,
-              bool shrink_moldable = false);
+              bool shrink_moldable = false, ReleaseCache* cache = nullptr);
 
 }  // namespace greenhpc::sched

@@ -10,7 +10,8 @@ int start_nodes(const hpcsim::JobSpec& spec) {
 }
 
 void FcfsScheduler::on_tick(hpcsim::SimulationView& view) {
-  for (hpcsim::JobId id : view.pending_jobs()) {
+  scratch_ = view.pending_jobs();  // snapshot: start() mutates the queue
+  for (hpcsim::JobId id : scratch_) {
     if (!view.start(id, start_nodes(view.spec(id)))) break;  // strict order
   }
 }

@@ -15,6 +15,9 @@ class FcfsScheduler final : public hpcsim::SchedulingPolicy {
  public:
   void on_tick(hpcsim::SimulationView& view) override;
   [[nodiscard]] std::string name() const override { return "fcfs"; }
+
+ private:
+  std::vector<hpcsim::JobId> scratch_;  ///< queue snapshot, reused across ticks
 };
 
 }  // namespace greenhpc::sched

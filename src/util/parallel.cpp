@@ -1,11 +1,19 @@
 #include "util/parallel.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
+
+#include "util/error.hpp"
 
 namespace greenhpc::util {
 
 namespace {
 thread_local bool inside_parallel_region = false;
+
+/// configure_global request (0 = none) and whether global() has run.
+std::atomic<std::size_t> global_requested{0};
+std::atomic<bool> global_constructed{false};
 }
 
 ThreadPool::ThreadPool(std::size_t threads) {
@@ -96,8 +104,28 @@ void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_
   if (task.error) std::rethrow_exception(task.error);
 }
 
+std::size_t ThreadPool::env_thread_override() {
+  const char* env = std::getenv("GREENHPC_THREADS");
+  if (env == nullptr || *env == '\0') return 0;
+  char* end = nullptr;
+  const long n = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0' || n <= 0) return 0;
+  return static_cast<std::size_t>(n);
+}
+
+void ThreadPool::configure_global(std::size_t threads) {
+  GREENHPC_REQUIRE(!global_constructed.load(std::memory_order_acquire),
+                   "configure_global must run before the global pool's first use");
+  global_requested.store(threads, std::memory_order_release);
+}
+
 ThreadPool& ThreadPool::global() {
-  static ThreadPool pool;
+  static ThreadPool pool([] {
+    global_constructed.store(true, std::memory_order_release);
+    const std::size_t requested = global_requested.load(std::memory_order_acquire);
+    if (requested != 0) return requested;
+    return env_thread_override();  // 0 falls through to hardware concurrency
+  }());
   return pool;
 }
 

@@ -36,8 +36,21 @@ class ThreadPool {
   /// captured and the first one is rethrown on the calling thread.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
 
-  /// Process-wide default pool (lazily constructed, hardware concurrency).
+  /// Process-wide default pool, lazily constructed on first use. Sizing
+  /// precedence: configure_global() > GREENHPC_THREADS env var > hardware
+  /// concurrency.
   static ThreadPool& global();
+
+  /// Fix the global pool's thread count before its first use (e.g. from a
+  /// --threads CLI flag). Throws InvalidArgument if the global pool has
+  /// already been constructed — late reconfiguration would silently not
+  /// apply.
+  static void configure_global(std::size_t threads);
+
+  /// Thread count requested by the GREENHPC_THREADS environment variable;
+  /// 0 when unset, empty, or not a positive integer (= use hardware
+  /// concurrency). Exposed for tests and for CLI --threads precedence.
+  [[nodiscard]] static std::size_t env_thread_override();
 
  private:
   struct Task {

@@ -60,6 +60,40 @@ double percentile(std::span<const double> xs, double q) {
   return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
 }
 
+SlidingPercentile::SlidingPercentile(std::size_t capacity) : capacity_(capacity) {
+  GREENHPC_REQUIRE(capacity_ >= 1, "sliding percentile window must hold >= 1 value");
+  order_.reserve(capacity_);
+  sorted_.reserve(capacity_);
+}
+
+void SlidingPercentile::push(double x) {
+  if (order_.size() == capacity_) {
+    // Evict the oldest value: any element equal to it is interchangeable
+    // in the sorted sequence, so erasing the first match is exact.
+    const double victim = order_[oldest_];
+    const auto it = std::lower_bound(sorted_.begin(), sorted_.end(), victim);
+    sorted_.erase(it);
+    order_[oldest_] = x;
+    oldest_ = (oldest_ + 1) % capacity_;
+  } else {
+    order_.push_back(x);
+  }
+  sorted_.insert(std::upper_bound(sorted_.begin(), sorted_.end(), x), x);
+}
+
+double SlidingPercentile::percentile(double q) const {
+  // Mirrors util::percentile on the already-sorted window so results are
+  // bit-identical to recomputing from scratch each query.
+  GREENHPC_REQUIRE(!sorted_.empty(), "percentile of empty sample");
+  GREENHPC_REQUIRE(q >= 0.0 && q <= 1.0, "percentile q must be in [0,1]");
+  if (sorted_.size() == 1) return sorted_.front();
+  const double pos = q * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= sorted_.size()) return sorted_.back();
+  return sorted_[lo] * (1.0 - frac) + sorted_[lo + 1] * frac;
+}
+
 Summary summarize(std::span<const double> xs) {
   Summary s;
   if (xs.empty()) return s;

@@ -62,6 +62,33 @@ struct Summary {
 /// Linear-interpolated percentile, q in [0, 1]. Requires non-empty input.
 [[nodiscard]] double percentile(std::span<const double> xs, double q);
 
+/// Percentiles over a sliding window of the last `capacity` appended
+/// values, bit-identical to calling percentile() on that window but
+/// without the per-query copy-and-sort: the window is kept sorted across
+/// appends (one binary search + memmove per push instead of an
+/// O(W log W) sort per query). Built for per-tick quantile gates over a
+/// trailing history window (e.g. the carbon-aware green threshold).
+class SlidingPercentile {
+ public:
+  /// Window capacity in samples (>= 1).
+  explicit SlidingPercentile(std::size_t capacity);
+
+  /// Append one value, evicting the oldest once the window is full.
+  void push(double x);
+  /// Number of values currently in the window (<= capacity).
+  [[nodiscard]] std::size_t size() const { return order_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  /// Same contract and arithmetic as percentile(window, q); requires a
+  /// non-empty window.
+  [[nodiscard]] double percentile(double q) const;
+
+ private:
+  std::size_t capacity_;
+  std::size_t oldest_ = 0;      ///< ring index of the next eviction victim
+  std::vector<double> order_;   ///< window contents in insertion order (ring)
+  std::vector<double> sorted_;  ///< the same contents, kept sorted
+};
+
 /// Mean absolute percentage error of `forecast` against `actual`
 /// (matching lengths; entries where actual == 0 are skipped).
 [[nodiscard]] double mape(std::span<const double> actual, std::span<const double> forecast);

@@ -39,6 +39,26 @@ double TimeSeries::sample_at_clamped(Duration t) const {
   return values_[index_at(t)];
 }
 
+double TimeSeries::sample_at_clamped(Duration t, Cursor& cursor) const {
+  GREENHPC_REQUIRE(!values_.empty(), "sample_at_clamped on empty series");
+  if (t < start_) return values_.front();
+  if (t >= end()) return values_.back();
+  const double rel = t.seconds() - start_.seconds();
+  const double step = step_.seconds();
+  std::size_t i = std::min(cursor.idx_, values_.size() - 1);
+  if (rel < static_cast<double>(i) * step ||
+      rel >= static_cast<double>(i + 2) * step) {
+    // Backward or multi-interval jump: recompute directly (identical to
+    // index_at, so the cursor never changes which sample is returned).
+    i = static_cast<std::size_t>(rel / step);
+  } else if (rel >= static_cast<double>(i + 1) * step) {
+    ++i;  // the common case: the caller moved into the next interval
+  }
+  i = std::min(i, values_.size() - 1);
+  cursor.idx_ = i;
+  return values_[i];
+}
+
 double TimeSeries::integrate(Duration t0, Duration t1) const {
   GREENHPC_REQUIRE(t0 <= t1, "integrate bounds inverted");
   GREENHPC_REQUIRE(t0 >= start_ && t1 <= end(), "integrate bounds out of range");

@@ -52,6 +52,23 @@ class TimeSeries {
   /// probing slightly past the end (e.g. a forecaster's horizon) get the
   /// boundary value instead of an exception. Requires a non-empty series.
   [[nodiscard]] double sample_at_clamped(Duration t) const;
+
+  /// Monotonic sampling cursor for tick loops: remembers the interval of
+  /// the previous lookup so a caller advancing in (mostly) non-decreasing
+  /// time pays an interval test instead of a division per sample. A
+  /// cursor belongs to one series; reuse across series is undefined.
+  class Cursor {
+   public:
+    Cursor() = default;
+
+   private:
+    friend class TimeSeries;
+    std::size_t idx_ = 0;
+  };
+  /// Cursor-accelerated sample_at_clamped: same result for any t (the
+  /// cursor falls back to the direct index computation on backward or
+  /// long forward jumps), O(1) with no division for tick-step callers.
+  [[nodiscard]] double sample_at_clamped(Duration t, Cursor& cursor) const;
   /// Index of the sample covering absolute time t (requires t in range).
   [[nodiscard]] std::size_t index_at(Duration t) const;
 

@@ -154,7 +154,8 @@ TEST(Simulator, MalleableScalingChangesSpeed) {
   class StartBig final : public SchedulingPolicy {
    public:
     void on_tick(SimulationView& view) override {
-      for (JobId id : view.pending_jobs()) (void)view.start(id, 8);
+      const std::vector<JobId> pending = view.pending_jobs();
+      for (JobId id : pending) (void)view.start(id, 8);
     }
     std::string name() const override { return "start-big"; }
   };
@@ -175,12 +176,15 @@ TEST(Simulator, SuspendResumeRoundTrip) {
   class SuspendResume final : public SchedulingPolicy {
    public:
     void on_tick(SimulationView& view) override {
-      for (JobId id : view.pending_jobs()) (void)view.start(id, 2);
+      const std::vector<JobId> pending = view.pending_jobs();
+      for (JobId id : pending) (void)view.start(id, 2);
       if (view.now() >= minutes(30.0) && view.now() < minutes(31.0)) {
-        for (JobId id : view.running_jobs()) (void)view.suspend(id);
+        const std::vector<JobId> running = view.running_jobs();
+        for (JobId id : running) (void)view.suspend(id);
       }
       if (view.now() >= minutes(90.0)) {
-        for (JobId id : view.suspended_jobs()) (void)view.resume(id, 2);
+        const std::vector<JobId> suspended = view.suspended_jobs();
+        for (JobId id : suspended) (void)view.resume(id, 2);
       }
     }
     std::string name() const override { return "susres"; }
@@ -202,8 +206,10 @@ TEST(Simulator, SuspendRequiresCheckpointable) {
    public:
     bool suspend_failed = false;
     void on_tick(SimulationView& view) override {
-      for (JobId id : view.pending_jobs()) (void)view.start(id, 2);
-      for (JobId id : view.running_jobs()) {
+      const std::vector<JobId> pending = view.pending_jobs();
+      for (JobId id : pending) (void)view.start(id, 2);
+      const std::vector<JobId> running = view.running_jobs();
+      for (JobId id : running) {
         if (!view.suspend(id)) suspend_failed = true;
       }
     }
@@ -227,19 +233,22 @@ TEST(Simulator, SuspendRejectsPendingAndDoubleSuspend) {
     bool first_suspend_ok = false;
     bool double_suspend_rejected = false;
     void on_tick(SimulationView& view) override {
-      for (JobId id : view.pending_jobs()) {
+      const std::vector<JobId> pending = view.pending_jobs();
+      for (JobId id : pending) {
         // A job that never started has nothing to suspend.
         if (!view.suspend(id)) pending_suspend_rejected = true;
         (void)view.start(id, 2);
       }
       if (view.now() >= minutes(20.0) && !first_suspend_ok) {
-        for (JobId id : view.running_jobs()) {
+        const std::vector<JobId> running = view.running_jobs();
+        for (JobId id : running) {
           first_suspend_ok = view.suspend(id);
           if (!view.suspend(id)) double_suspend_rejected = true;
         }
       }
       if (view.now() >= minutes(40.0)) {
-        for (JobId id : view.suspended_jobs()) (void)view.resume(id, 2);
+        const std::vector<JobId> suspended = view.suspended_jobs();
+        for (JobId id : suspended) (void)view.resume(id, 2);
       }
     }
     std::string name() const override { return "probe"; }
@@ -262,7 +271,8 @@ TEST(Simulator, StartValidationRules) {
     bool wrong_size_rejected = false;
     bool too_big_rejected = false;
     void on_tick(SimulationView& view) override {
-      for (JobId id : view.pending_jobs()) {
+      const std::vector<JobId> pending = view.pending_jobs();
+      for (JobId id : pending) {
         if (!view.start(id, 3)) wrong_size_rejected = true;   // rigid: != requested
         if (!view.start(id, 99)) too_big_rejected = true;     // > cluster
         (void)view.start(id, 2);
@@ -287,7 +297,8 @@ TEST(Simulator, ReshapeOnlyForMalleable) {
     bool rigid_reshape_rejected = false;
     bool malleable_reshaped = false;
     void on_tick(SimulationView& view) override {
-      for (JobId id : view.pending_jobs()) {
+      const std::vector<JobId> pending = view.pending_jobs();
+      for (JobId id : pending) {
         const auto& spec = view.spec(id);
         (void)view.start(id, spec.kind == JobKind::Rigid ? spec.nodes_requested
                                                          : spec.nodes_used);

@@ -80,12 +80,15 @@ TEST(Walltime, ClockPausesWhileSuspended) {
   class SuspendResume final : public SchedulingPolicy {
    public:
     void on_tick(SimulationView& view) override {
-      for (JobId id : view.pending_jobs()) (void)view.start(id, 2);
+      const std::vector<JobId> pending = view.pending_jobs();
+      for (JobId id : pending) (void)view.start(id, 2);
       if (view.now() >= hours(1.0) && view.now() < hours(1.0) + minutes(1.0)) {
-        for (JobId id : view.running_jobs()) (void)view.suspend(id);
+        const std::vector<JobId> running = view.running_jobs();
+        for (JobId id : running) (void)view.suspend(id);
       }
       if (view.now() >= hours(4.0)) {
-        for (JobId id : view.suspended_jobs()) (void)view.resume(id, 2);
+        const std::vector<JobId> suspended = view.suspended_jobs();
+        for (JobId id : suspended) (void)view.resume(id, 2);
       }
     }
     std::string name() const override { return "susres"; }

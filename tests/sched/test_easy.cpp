@@ -116,7 +116,8 @@ TEST(Easy, ProjectedReleasesSortedAndWalltimeBased) {
    public:
     std::vector<ReleaseEvent> seen;
     void on_tick(hpcsim::SimulationView& view) override {
-      for (hpcsim::JobId id : view.pending_jobs()) {
+      const std::vector<hpcsim::JobId> pending = view.pending_jobs();
+      for (hpcsim::JobId id : pending) {
         (void)view.start(id, view.spec(id).nodes_requested);
       }
       if (view.now() == minutes(5.0)) seen = projected_releases(view);

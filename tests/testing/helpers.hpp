@@ -79,7 +79,8 @@ inline hpcsim::JobSpec malleable_job(int id, Duration submit, int natural,
 class GreedyScheduler final : public hpcsim::SchedulingPolicy {
  public:
   void on_tick(hpcsim::SimulationView& view) override {
-    for (hpcsim::JobId id : view.pending_jobs()) {
+    const std::vector<hpcsim::JobId> pending = view.pending_jobs();
+    for (hpcsim::JobId id : pending) {
       const auto& spec = view.spec(id);
       const int nodes = spec.kind == hpcsim::JobKind::Rigid
                             ? spec.nodes_requested

@@ -3,8 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <bit>
+#include <cstdint>
+#include <cstdlib>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace greenhpc::util {
@@ -68,6 +72,61 @@ TEST(ThreadPool, GlobalPoolSingleton) {
   ThreadPool& b = ThreadPool::global();
   EXPECT_EQ(&a, &b);
   EXPECT_GE(a.size(), 1u);
+}
+
+TEST(ThreadPool, PreallocatedSlotWritesAreThreadCountInvariant) {
+  // The sweep-runner pattern: each iteration computes into its own
+  // preallocated slot, so the gathered results must be bit-identical
+  // regardless of how many workers executed the loop.
+  const auto work = [](std::size_t i) {
+    double acc = 1.0 + static_cast<double>(i);
+    for (int k = 0; k < 250; ++k) {
+      acc = acc * 1.000000059604644775390625 + 1e-9 * static_cast<double>(k % 7);
+    }
+    return acc;
+  };
+  constexpr std::size_t kSlots = 512;
+  std::vector<double> one(kSlots), many(kSlots);
+  {
+    ThreadPool pool(1);
+    pool.parallel_for(kSlots, [&](std::size_t i) { one[i] = work(i); });
+  }
+  {
+    ThreadPool pool(8);
+    pool.parallel_for(kSlots, [&](std::size_t i) { many[i] = work(i); });
+  }
+  for (std::size_t i = 0; i < kSlots; ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(one[i]), std::bit_cast<std::uint64_t>(many[i]))
+        << "slot " << i;
+  }
+}
+
+TEST(ThreadPool, EnvThreadOverrideParsing) {
+  // Save and restore whatever the harness environment carries.
+  const char* saved = std::getenv("GREENHPC_THREADS");
+  const std::string saved_value = saved != nullptr ? saved : "";
+
+  ASSERT_EQ(setenv("GREENHPC_THREADS", "7", 1), 0);
+  EXPECT_EQ(ThreadPool::env_thread_override(), 7u);
+  ASSERT_EQ(setenv("GREENHPC_THREADS", "1", 1), 0);
+  EXPECT_EQ(ThreadPool::env_thread_override(), 1u);
+  // Unset, empty, zero, negative and garbage all mean "no override".
+  ASSERT_EQ(unsetenv("GREENHPC_THREADS"), 0);
+  EXPECT_EQ(ThreadPool::env_thread_override(), 0u);
+  ASSERT_EQ(setenv("GREENHPC_THREADS", "", 1), 0);
+  EXPECT_EQ(ThreadPool::env_thread_override(), 0u);
+  ASSERT_EQ(setenv("GREENHPC_THREADS", "0", 1), 0);
+  EXPECT_EQ(ThreadPool::env_thread_override(), 0u);
+  ASSERT_EQ(setenv("GREENHPC_THREADS", "-3", 1), 0);
+  EXPECT_EQ(ThreadPool::env_thread_override(), 0u);
+  ASSERT_EQ(setenv("GREENHPC_THREADS", "lots", 1), 0);
+  EXPECT_EQ(ThreadPool::env_thread_override(), 0u);
+
+  if (saved != nullptr) {
+    ASSERT_EQ(setenv("GREENHPC_THREADS", saved_value.c_str(), 1), 0);
+  } else {
+    ASSERT_EQ(unsetenv("GREENHPC_THREADS"), 0);
+  }
 }
 
 TEST(ThreadPool, ParallelSumMatchesSerial) {

@@ -9,6 +9,9 @@
 //                     [--swf FILE] [--seed N]     cluster simulation summary
 //   greenhpc regions                              list region presets
 //
+// Global flags:
+//   --threads N    size the worker pool (overrides GREENHPC_THREADS)
+//
 // Exit status: 0 on success, 2 on usage errors.
 
 #include <cstdio>
@@ -29,6 +32,7 @@
 #include "sched/conservative.hpp"
 #include "sched/easy_backfill.hpp"
 #include "sched/fcfs.hpp"
+#include "util/parallel.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -209,7 +213,9 @@ int usage() {
                "  fig1                          embodied-carbon breakdown table\n"
                "  carbon500                     carbon-efficiency ranking\n"
                "  simulate --nodes 256 --region DE --days 7 [--sched easy]\n"
-               "           [--swf trace.swf]    run a cluster simulation\n");
+               "           [--swf trace.swf]    run a cluster simulation\n"
+               "global flags: --threads N        worker-pool size "
+               "(overrides GREENHPC_THREADS)\n");
   return 2;
 }
 
@@ -221,6 +227,14 @@ int main(int argc, char** argv) {
   Args args(argc, argv, 2);
   if (!args.ok()) return usage();
   try {
+    if (args.has("threads")) {
+      const int n = static_cast<int>(args.num("threads", 0));
+      if (n <= 0) {
+        std::fprintf(stderr, "--threads wants a positive count\n");
+        return 2;
+      }
+      util::ThreadPool::configure_global(static_cast<std::size_t>(n));
+    }
     if (command == "regions") return cmd_regions();
     if (command == "trace") return cmd_trace(args);
     if (command == "fig1") return cmd_fig1();
