@@ -154,6 +154,59 @@ std::vector<core::ScenarioRunner::PolicyCase> sweep_cases() {
   return cases;
 }
 
+/// Fixed unit of work for the crossover probe: enough arithmetic
+/// (~volatile-protected 20k fused ops) that a handful of units dominate
+/// chunk-dispatch cost, small enough that the probe stays in microseconds.
+double crossover_unit(std::size_t i) {
+  volatile double x = 1.0 + static_cast<double>(i % 7);
+  for (int k = 0; k < 20000; ++k) x = x * 1.0000001 + 1e-9;
+  return x;
+}
+
+struct CrossoverReport {
+  bool serial_fallback = false;  ///< pool cannot win; crossover undefined
+  std::size_t crossover_n = 0;   ///< smallest n where parallel <= serial (0 = never)
+  double unit_us = 0.0;          ///< measured cost of one work unit
+};
+
+/// Measure the serial/parallel crossover of the chunked fan-out: the
+/// smallest iteration count n for which the pool path is no slower than
+/// the plain loop (within 5% — below it, ThreadPool's serial fallback is
+/// the right call; sweeps at or above it should fan out).
+CrossoverReport measure_crossover() {
+  CrossoverReport rep;
+  auto& pool = util::ThreadPool::global();
+  rep.serial_fallback = pool.size() <= 1;
+
+  const auto tu = Clock::now();
+  double sink = 0.0;
+  for (std::size_t i = 0; i < 32; ++i) sink += crossover_unit(i);
+  rep.unit_us = seconds_since(tu) / 32.0 * 1e6;
+  (void)sink;
+  if (rep.serial_fallback) return rep;  // parallel IS serial; nothing to probe
+
+  for (const std::size_t n : {2u, 4u, 8u, 16u, 32u, 64u}) {
+    double serial_best = 1e300;
+    double parallel_best = 1e300;
+    for (int rep_i = 0; rep_i < 3; ++rep_i) {
+      double s = 0.0;
+      auto t0 = Clock::now();
+      for (std::size_t i = 0; i < n; ++i) s += crossover_unit(i);
+      serial_best = std::min(serial_best, seconds_since(t0));
+      t0 = Clock::now();
+      std::vector<double> slots(n);
+      pool.parallel_for_chunked(n, 1, [&](std::size_t i) { slots[i] = crossover_unit(i); });
+      parallel_best = std::min(parallel_best, seconds_since(t0));
+      (void)s;
+    }
+    if (parallel_best <= 1.05 * serial_best) {
+      rep.crossover_n = n;
+      break;
+    }
+  }
+  return rep;
+}
+
 /// Minimal scanner for `"key": <number>` in the baseline JSON — the file
 /// is our own flat output, not arbitrary JSON.
 bool find_json_number(const std::string& text, const std::string& key, double* out) {
@@ -237,15 +290,26 @@ int main(int argc, char** argv) {
   core::ScenarioRunner sweep_runner(sweep_cfg);
   const auto cases = sweep_cases();
 
-  const auto ts0 = Clock::now();
+  // Best of 5, serial and parallel interleaved: at this scale the sweep is
+  // milliseconds, so a single-shot (or phase-ordered) timing would gate on
+  // allocator state and clock drift rather than on the fan-out path.
   std::vector<core::PolicyOutcome> serial;
-  serial.reserve(cases.size());
-  for (const auto& c : cases) serial.push_back(sweep_runner.run(c.label, c.scheduler, c.power));
-  const double serial_s = seconds_since(ts0);
+  std::vector<core::PolicyOutcome> parallel;
+  double serial_s = 1e300;
+  double parallel_s = 1e300;
+  for (int rep = 0; rep < 5; ++rep) {
+    const auto ts0 = Clock::now();
+    std::vector<core::PolicyOutcome> s_out;
+    s_out.reserve(cases.size());
+    for (const auto& c : cases) s_out.push_back(sweep_runner.run(c.label, c.scheduler, c.power));
+    serial_s = std::min(serial_s, seconds_since(ts0));
+    serial = std::move(s_out);
 
-  const auto tp0 = Clock::now();
-  const std::vector<core::PolicyOutcome> parallel = sweep_runner.run_all(cases);
-  const double parallel_s = seconds_since(tp0);
+    const auto tp0 = Clock::now();
+    std::vector<core::PolicyOutcome> p_out = sweep_runner.run_all(cases);
+    parallel_s = std::min(parallel_s, seconds_since(tp0));
+    parallel = std::move(p_out);
+  }
 
   const std::uint64_t serial_digest = outcome_digest(serial);
   const std::uint64_t parallel_digest = outcome_digest(parallel);
@@ -256,10 +320,25 @@ int main(int argc, char** argv) {
   if (!before_text.empty()) {
     find_json_number(before_text, "sweep_serial_s", &before_sweep_s);
   }
+  const CrossoverReport crossover = measure_crossover();
   std::printf("Sweep (%zu cases): serial %.3f s, parallel %.3f s on %zu threads "
-              "(pool speedup %.2fx); results %s\n",
+              "(pool speedup %.2fx%s); results %s\n",
               cases.size(), serial_s, parallel_s, threads, serial_s / parallel_s,
+              crossover.serial_fallback ? ", serial fallback engaged" : "",
               identical ? "bit-identical" : "DIVERGED");
+  if (crossover.serial_fallback) {
+    std::printf("Crossover: single-worker pool — chunked loops run the serial "
+                "path (unit %.1f us)\n",
+                crossover.unit_us);
+  } else if (crossover.crossover_n > 0) {
+    std::printf("Crossover: parallel fan-out breaks even at n=%zu units of "
+                "%.1f us on %zu threads\n",
+                crossover.crossover_n, crossover.unit_us, threads);
+  } else {
+    std::printf("Crossover: parallel never beat serial up to n=64 (unit %.1f us, "
+                "%zu threads)\n",
+                crossover.unit_us, threads);
+  }
   if (before_sweep_s > 0.0) {
     std::printf("Sweep vs pre-optimization engine: %.3f s -> %.3f s serial "
                 "(%.1fx)\n",
@@ -295,14 +374,21 @@ int main(int argc, char** argv) {
   std::fprintf(f, "  ],\n");
   std::fprintf(f,
                "  \"sweep\": {\"cases\": %zu, \"serial_s\": %.6f, \"parallel_s\": "
-               "%.6f, \"speedup\": %.3f, \"bit_identical\": %s",
+               "%.6f, \"speedup\": %.3f, \"bit_identical\": %s, "
+               "\"serial_fallback\": %s",
                cases.size(), serial_s, parallel_s, serial_s / parallel_s,
-               identical ? "true" : "false");
+               identical ? "true" : "false",
+               crossover.serial_fallback ? "true" : "false");
   if (before_sweep_s > 0.0) {
     std::fprintf(f, ", \"before_serial_s\": %.6f, \"speedup_vs_before\": %.2f",
                  before_sweep_s, before_sweep_s / serial_s);
   }
-  std::fprintf(f, "}\n}\n");
+  std::fprintf(f, "},\n");
+  std::fprintf(f,
+               "  \"crossover\": {\"serial_fallback\": %s, \"crossover_n\": %zu, "
+               "\"unit_us\": %.2f}\n}\n",
+               crossover.serial_fallback ? "true" : "false", crossover.crossover_n,
+               crossover.unit_us);
   std::fclose(f);
   std::printf("wrote %s\n", out_path.c_str());
 
@@ -337,6 +423,21 @@ int main(int argc, char** argv) {
                    "FAIL: reference hot loop regressed >2x vs baseline "
                    "(%.0f < 0.5 * %.0f ticks/s)\n",
                    measured, base_tps);
+      return 1;
+    }
+    // The pool path must never lose to the plain loop: either it wins, or
+    // the serial fallback makes it the plain loop (speedup ~1.0). 0.9
+    // rather than 1.0 absorbs timer noise on the few-second sweep.
+    const double sweep_speedup = serial_s / parallel_s;
+    std::printf("Baseline gate: sweep parallel/serial speedup %.2fx%s\n",
+                sweep_speedup,
+                crossover.serial_fallback ? " (serial fallback)" : "");
+    if (sweep_speedup < 0.9) {
+      std::fprintf(stderr,
+                   "FAIL: parallel sweep slower than serial (%.2fx < 0.9x) — "
+                   "fan-out overhead is not being amortized or the serial "
+                   "fallback failed to engage\n",
+                   sweep_speedup);
       return 1;
     }
   }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "carbon/trace_cache.hpp"
 #include "util/error.hpp"
 #include "util/parallel.hpp"
 
@@ -33,10 +34,9 @@ Federation::Federation(Config config) : cfg_(std::move(config)) {
   feeds_.resize(cfg_.sites.size());
   for (std::size_t i = 0; i < cfg_.sites.size(); ++i) {
     cfg_.sites[i].cluster.validate();
-    carbon::GridModel model(cfg_.sites[i].region,
-                            cfg_.seed + 0x5eed * (i + 1));
-    traces_.push_back(model.generate(seconds(0.0), cfg_.trace_span, cfg_.trace_step,
-                                     cfg_.intensity_kind));
+    traces_.push_back(carbon::TraceCache::global().get(
+        cfg_.sites[i].region, cfg_.intensity_kind, cfg_.seed + 0x5eed * (i + 1),
+        seconds(0.0), cfg_.trace_span, cfg_.trace_step));
     if (!cfg_.feed_degradation.empty() &&
         cfg_.feed_degradation[i].outage_fraction > 0.0) {
       feeds_[i] = std::make_unique<resilience::DegradedFeed>(cfg_.feed_degradation[i],
@@ -128,7 +128,7 @@ std::vector<std::size_t> Federation::dispatch(const std::vector<hpcsim::JobSpec>
         for (std::size_t s : fresh) {
           double ci;
           if (policy == DispatchPolicy::GreenestNow) {
-            ci = traces_[s].sample_at_clamped(job.submit);
+            ci = traces_[s]->sample_at_clamped(job.submit);
           } else {
             // Mean intensity over the job's expected execution window,
             // starting after the site's estimated backlog drains.
@@ -136,10 +136,10 @@ std::vector<std::size_t> Federation::dispatch(const std::vector<hpcsim::JobSpec>
                 committed[s] / cfg_.sites[s].cluster.nodes;
             const Duration start = job.submit + seconds(backlog_s);
             Duration end = start + job.runtime;
-            if (end > traces_[s].end()) end = traces_[s].end();
-            ci = start < end ? traces_[s].mean_over(
-                                   std::max(start, traces_[s].start()), end)
-                             : traces_[s].sample_at_clamped(start);
+            if (end > traces_[s]->end()) end = traces_[s]->end();
+            ci = start < end ? traces_[s]->mean_over(
+                                   std::max(start, traces_[s]->start()), end)
+                             : traces_[s]->sample_at_clamped(start);
           }
           // Load penalty keeps the greedy dispatcher from drowning the
           // cleanest site: effective cost grows with the backlog already
@@ -186,7 +186,7 @@ FederationResult Federation::run(const std::vector<hpcsim::JobSpec>& jobs,
   // then aggregate serially in site order so the totals accumulate in the
   // same order — and to the same bits — as the serial loop did.
   out.site_results.resize(n_sites);
-  util::parallel_for(n_sites, [&](std::size_t s) {
+  util::parallel_for_chunked(n_sites, 1, [&](std::size_t s) {
     if (per_site[s].empty()) return;  // slot keeps its default-constructed result
     hpcsim::Simulator::Config sim_cfg;
     sim_cfg.cluster = cfg_.sites[s].cluster;

@@ -88,10 +88,16 @@ class Federation {
     Duration outage_backoff = minutes(15.0);
   };
 
+  /// Site traces resolve through carbon::TraceCache, so federations over
+  /// the same (region, seed, span, step) share them across instances.
   explicit Federation(Config config);
 
-  /// Per-site intensity traces (index-aligned with config().sites).
-  [[nodiscard]] const std::vector<util::TimeSeries>& traces() const { return traces_; }
+  /// Per-site intensity traces (index-aligned with config().sites),
+  /// shared immutable — pass straight into Simulator::Config.
+  [[nodiscard]] const std::vector<std::shared_ptr<const util::TimeSeries>>& traces()
+      const {
+    return traces_;
+  }
   [[nodiscard]] const Config& config() const { return cfg_; }
 
   /// Assign each job to a site under the given policy. Returns the site
@@ -113,7 +119,7 @@ class Federation {
 
  private:
   Config cfg_;
-  std::vector<util::TimeSeries> traces_;
+  std::vector<std::shared_ptr<const util::TimeSeries>> traces_;
   /// Per-site degraded feeds; null entries = perfect feed.
   std::vector<std::unique_ptr<resilience::DegradedFeed>> feeds_;
 };

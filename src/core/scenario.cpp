@@ -1,6 +1,7 @@
 #include "core/scenario.hpp"
 
 #include "carbon/green_periods.hpp"
+#include "carbon/trace_cache.hpp"
 #include "util/error.hpp"
 #include "util/parallel.hpp"
 
@@ -8,15 +9,15 @@ namespace greenhpc::core {
 
 ScenarioRunner::ScenarioRunner(ScenarioConfig config)
     : cfg_(std::move(config)),
-      trace_(carbon::GridModel(cfg_.region, cfg_.seed)
-                 .generate(seconds(0.0), cfg_.trace_span, cfg_.trace_step,
-                           cfg_.intensity_kind)),
-      jobs_(hpcsim::WorkloadGenerator(cfg_.workload, cfg_.seed).generate()) {
+      trace_(carbon::TraceCache::global().get(cfg_.region, cfg_.intensity_kind,
+                                              cfg_.seed, seconds(0.0), cfg_.trace_span,
+                                              cfg_.trace_step)),
+      jobs_(hpcsim::WorkloadCache::global().get(cfg_.workload, cfg_.seed)) {
   GREENHPC_REQUIRE(cfg_.trace_span >= cfg_.workload.span,
                    "trace must cover the workload span");
   // 0.40 matches the carbon-aware scheduler's default green gate, so the
   // green-energy-share metric and the policies classify ticks identically.
-  green_threshold_ = carbon::green_threshold(trace_, 0.40);
+  green_threshold_ = carbon::green_threshold(*trace_, 0.40);
 }
 
 PolicyOutcome ScenarioRunner::run(const std::string& label, const SchedulerFactory& sched,
@@ -28,7 +29,7 @@ PolicyOutcome ScenarioRunner::run(const std::string& label, const SchedulerFacto
 
   hpcsim::Simulator::Config sim_cfg;
   sim_cfg.cluster = cfg_.cluster;
-  sim_cfg.carbon_intensity = trace_;
+  sim_cfg.carbon_intensity = trace_;  // shared, zero-copy
   hpcsim::Simulator sim(sim_cfg, jobs_);
 
   PolicyOutcome out;
@@ -50,7 +51,10 @@ PolicyOutcome ScenarioRunner::run(const std::string& label, const SchedulerFacto
 std::vector<PolicyOutcome> ScenarioRunner::run_all(
     const std::vector<PolicyCase>& cases) const {
   std::vector<PolicyOutcome> outcomes(cases.size());
-  util::parallel_for(cases.size(), [&](std::size_t i) {
+  // Grain 1: each case is a whole simulation, orders of magnitude heavier
+  // than a chunk dispatch. The chunked path's serial fallback keeps small
+  // sweeps on single-worker pools at exactly serial cost.
+  util::parallel_for_chunked(cases.size(), 1, [&](std::size_t i) {
     outcomes[i] = run(cases[i].label, cases[i].scheduler, cases[i].power);
   });
   return outcomes;

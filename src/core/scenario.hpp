@@ -49,12 +49,26 @@ struct PolicyOutcome {
 
 class ScenarioRunner {
  public:
+  /// Resolves the scenario's assets through the process-wide caches
+  /// (carbon::TraceCache / hpcsim::WorkloadCache): runners for the same
+  /// (region, kind, seed, span, step) and (workload, seed) share one
+  /// immutable trace and one immutable job list — construction after the
+  /// first is cache hits plus the green-threshold percentile.
   explicit ScenarioRunner(ScenarioConfig config);
 
   /// The shared intensity trace of this scenario.
-  [[nodiscard]] const util::TimeSeries& trace() const { return trace_; }
+  [[nodiscard]] const util::TimeSeries& trace() const { return *trace_; }
   /// The shared job list of this scenario.
-  [[nodiscard]] const std::vector<hpcsim::JobSpec>& jobs() const { return jobs_; }
+  [[nodiscard]] const std::vector<hpcsim::JobSpec>& jobs() const { return *jobs_; }
+  /// Shared handles to the scenario assets — pass these into
+  /// Simulator::Config / Simulator for zero-copy runs.
+  [[nodiscard]] const std::shared_ptr<const util::TimeSeries>& trace_ptr() const {
+    return trace_;
+  }
+  [[nodiscard]] const std::shared_ptr<const std::vector<hpcsim::JobSpec>>& jobs_ptr()
+      const {
+    return jobs_;
+  }
   [[nodiscard]] const ScenarioConfig& config() const { return cfg_; }
   /// Green threshold (40th percentile of the trace, matching the default
   /// carbon-aware scheduler gate) used for the green-energy-share metric.
@@ -82,8 +96,8 @@ class ScenarioRunner {
 
  private:
   ScenarioConfig cfg_;
-  util::TimeSeries trace_;
-  std::vector<hpcsim::JobSpec> jobs_;
+  std::shared_ptr<const util::TimeSeries> trace_;
+  std::shared_ptr<const std::vector<hpcsim::JobSpec>> jobs_;
   double green_threshold_ = 0.0;
 };
 

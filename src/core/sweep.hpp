@@ -1,0 +1,138 @@
+#pragma once
+// Sweep engine: scalable cartesian design-space exploration.
+//
+// The paper's operational claims (sections 3.1-3.4) are fleet-scale
+// statements — a policy is only "better" if it wins across regions, seeds
+// and cluster shapes, the way the Top500-scale carbon studies sweep their
+// estimates. SweepEngine turns that into one call: a cartesian grid of
+// scenario axes × policies × seed replicas is expanded into cases, fanned
+// out over the thread pool in fixed-size blocks, and streamed through
+// Welford mean/stddev/CI aggregation per grid cell, so memory stays
+// bounded by the block size and the cell table — never by the case count.
+//
+// Determinism contract: per-case seeds are splitmix64-derived from the
+// base seed (replica r gets the r-th draw of the stream, independent of
+// every grid axis), cases write scratch slots indexed by flat case id, and
+// blocks are folded serially in case order. The aggregate table — and the
+// FNV-1a digest over every case's metrics — is therefore bit-identical
+// for ANY thread count, including the serial fallback. Shared scenario
+// assets (carbon::TraceCache, hpcsim::WorkloadCache) make the fan-out
+// cheap: cases differing only in policy (or in axes a trace/workload does
+// not depend on) reuse one immutable trace and one immutable job list.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/scenario.hpp"
+#include "util/parallel.hpp"
+#include "util/stats.hpp"
+
+namespace greenhpc::core {
+
+/// One labelled policy combination under comparison.
+struct SweepPolicy {
+  std::string label;
+  SchedulerFactory scheduler;
+  PowerPolicyFactory power = nullptr;
+};
+
+/// Cartesian parameter grid. Empty axis vectors mean "the base value
+/// only"; the case count is the product of the resolved axis lengths,
+/// × policies × seed_replicas.
+struct SweepGrid {
+  /// Defaults for every field a sweep axis does not override.
+  ScenarioConfig base;
+
+  std::vector<carbon::Region> regions;                ///< empty = {base.region}
+  std::vector<carbon::IntensityKind> intensity_kinds; ///< empty = {base.intensity_kind}
+  std::vector<int> cluster_nodes;                     ///< empty = {base.cluster.nodes}
+  std::vector<int> job_counts;                        ///< empty = {base.workload.job_count}
+  /// Independent seed replicas per cell (>= 1); replica r simulates with
+  /// seed splitmix64^r(base.seed), aggregated into the cell statistics.
+  int seed_replicas = 1;
+  /// Policies under comparison (>= 1 required).
+  std::vector<SweepPolicy> policies;
+
+  /// Total simulations the grid expands to.
+  [[nodiscard]] std::size_t case_count() const;
+  /// Grid cells (= case_count() / seed_replicas).
+  [[nodiscard]] std::size_t cell_count() const;
+};
+
+/// Headline metrics of one simulated case — the Welford inputs and the
+/// digest payload.
+struct SweepCaseMetrics {
+  double total_carbon_t = 0.0;
+  double total_energy_mwh = 0.0;
+  double mean_wait_h = 0.0;
+  double mean_bounded_slowdown = 0.0;
+  double utilization = 0.0;
+  double green_energy_share = 0.0;
+  double completed = 0.0;
+};
+
+/// Aggregate over the seed replicas of one grid cell.
+struct SweepCellStats {
+  // Cell coordinates (resolved axis values).
+  carbon::Region region = carbon::Region::Germany;
+  carbon::IntensityKind kind = carbon::IntensityKind::Average;
+  int nodes = 0;
+  int jobs = 0;
+  std::string policy;
+
+  // Welford accumulators, one observation per replica.
+  util::RunningStats carbon_t;
+  util::RunningStats energy_mwh;
+  util::RunningStats wait_h;
+  util::RunningStats slowdown;
+  util::RunningStats utilization;
+  util::RunningStats green_share;
+  util::RunningStats completed;
+
+  /// Normal-approximation 95% confidence half-width of a metric's mean
+  /// (0 with fewer than two replicas).
+  [[nodiscard]] static double ci95(const util::RunningStats& s);
+};
+
+struct SweepResult {
+  /// Cell-major order: regions × kinds × nodes × jobs × policies.
+  std::vector<SweepCellStats> cells;
+  std::size_t cases = 0;
+  int replicas = 1;
+  /// FNV-1a over every case's metric bit patterns in flat case order —
+  /// equal digests mean bit-identical sweeps (any thread count).
+  std::uint64_t digest = 0;
+};
+
+class SweepEngine {
+ public:
+  struct Options {
+    /// Pool to fan out over; null = the process-global pool.
+    util::ThreadPool* pool = nullptr;
+    /// Cases simulated per streaming block (bounds scratch memory; the
+    /// serial fold runs after each block).
+    std::size_t block = 256;
+    /// Optional progress callback, invoked serially after each block with
+    /// (cases done, cases total).
+    std::function<void(std::size_t, std::size_t)> progress;
+  };
+
+  SweepEngine();
+  explicit SweepEngine(Options opts);
+
+  /// Expand and simulate the grid. Throws InvalidArgument on an empty
+  /// policy list or non-positive replica count.
+  [[nodiscard]] SweepResult run(const SweepGrid& grid) const;
+
+  /// Seed of replica r: the r-th draw of the splitmix64 stream seeded
+  /// with `base` (replica 0 = first draw, so even it decorrelates from
+  /// neighbouring base seeds).
+  [[nodiscard]] static std::uint64_t replica_seed(std::uint64_t base, int replica);
+
+ private:
+  Options opts_;
+};
+
+}  // namespace greenhpc::core

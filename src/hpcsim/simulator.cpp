@@ -15,8 +15,9 @@ constexpr std::size_t kDenseSlack = 4;
 constexpr std::size_t kDenseFloor = 1024;
 }  // namespace
 
-Simulator::Simulator(Config config, std::vector<JobSpec> jobs)
+Simulator::Simulator(Config config, util::Shared<std::vector<JobSpec>> jobs)
     : cfg_(std::move(config)),
+      jobs_(std::move(jobs)),
       budget_now_(cfg_.cluster.max_power()),
       result_{.jobs = {},
               .system_power = util::TimeSeries(seconds(0.0), cfg_.cluster.tick),
@@ -30,8 +31,9 @@ Simulator::Simulator(Config config, std::vector<JobSpec> jobs)
               .idle_energy = {},
               .idle_carbon = {}} {
   cfg_.cluster.validate();
-  GREENHPC_REQUIRE(!cfg_.carbon_intensity.empty(),
+  GREENHPC_REQUIRE(cfg_.carbon_intensity && !cfg_.carbon_intensity->empty(),
                    "simulator requires a carbon-intensity trace");
+  GREENHPC_REQUIRE(static_cast<bool>(jobs_), "simulator requires a job list");
   GREENHPC_REQUIRE(cfg_.faults.max_retries >= 0, "max_retries must be >= 0");
   GREENHPC_REQUIRE(cfg_.faults.backoff_base.seconds() >= 0.0,
                    "backoff base must be >= 0");
@@ -48,10 +50,10 @@ Simulator::Simulator(Config config, std::vector<JobSpec> jobs)
                    });
   victim_rng_ = util::Rng(cfg_.faults.victim_seed);
   free_nodes_ = cfg_.cluster.nodes;
-  slots_.reserve(jobs.size());
+  slots_.reserve(jobs_->size());
   JobId max_id = -1;
   bool dense_ok = true;
-  for (auto& j : jobs) {
+  for (const JobSpec& j : *jobs_) {
     j.validate();
     GREENHPC_REQUIRE(j.nodes_requested <= cfg_.cluster.nodes &&
                          j.max_nodes <= cfg_.cluster.nodes,
@@ -60,14 +62,14 @@ Simulator::Simulator(Config config, std::vector<JobSpec> jobs)
     GREENHPC_REQUIRE(index_.emplace(j.id, idx).second, "duplicate job id");
     if (j.id < 0) dense_ok = false;
     max_id = std::max(max_id, j.id);
-    slots_.push_back(JobSlot{.spec = std::move(j), .info = {}});
+    slots_.push_back(JobSlot{.spec = &j, .info = {}});
   }
   if (dense_ok && !slots_.empty() &&
       static_cast<std::size_t>(max_id) <
           kDenseSlack * slots_.size() + kDenseFloor) {
     dense_index_.assign(static_cast<std::size_t>(max_id) + 1, -1);
     for (std::size_t i = 0; i < slots_.size(); ++i) {
-      dense_index_[static_cast<std::size_t>(slots_[i].spec.id)] =
+      dense_index_[static_cast<std::size_t>(slots_[i].spec->id)] =
           static_cast<std::int32_t>(i);
     }
   }
@@ -75,10 +77,10 @@ Simulator::Simulator(Config config, std::vector<JobSpec> jobs)
   for (std::size_t i = 0; i < slots_.size(); ++i) arrival_order_[i] = i;
   std::stable_sort(arrival_order_.begin(), arrival_order_.end(),
                    [&](std::size_t a, std::size_t b) {
-                     if (slots_[a].spec.submit != slots_[b].spec.submit) {
-                       return slots_[a].spec.submit < slots_[b].spec.submit;
+                     if (slots_[a].spec->submit != slots_[b].spec->submit) {
+                       return slots_[a].spec->submit < slots_[b].spec->submit;
                      }
-                     return slots_[a].spec.id < slots_[b].spec.id;
+                     return slots_[a].spec->id < slots_[b].spec->id;
                    });
 }
 
@@ -109,29 +111,29 @@ void Simulator::list_erase(std::vector<JobId>& list, JobId id) {
 }
 
 int Simulator::busy_nodes_of(const JobSlot& s) {
-  if (s.spec.kind == JobKind::Malleable) return s.info.alloc_nodes;
-  return std::min(s.info.alloc_nodes, s.spec.nodes_used);
+  if (s.spec->kind == JobKind::Malleable) return s.info.alloc_nodes;
+  return std::min(s.info.alloc_nodes, s.spec->nodes_used);
 }
 
 double Simulator::scale_speed(const JobSlot& s) {
   const double busy = static_cast<double>(busy_nodes_of(s));
-  const double natural = static_cast<double>(s.spec.nodes_used);
+  const double natural = static_cast<double>(s.spec->nodes_used);
   if (busy == natural) return 1.0;
-  return std::pow(busy / natural, s.spec.scale_gamma);
+  return std::pow(busy / natural, s.spec->scale_gamma);
 }
 
 double Simulator::cap_speed(const JobSlot& s, double cap) {
   if (cap == 1.0) return 1.0;  // pow(1, alpha) == 1 exactly
   if (cap != s.cap_key) {
     s.cap_key = cap;
-    s.cap_val = std::pow(cap, s.spec.power_alpha);
+    s.cap_val = std::pow(cap, s.spec->power_alpha);
   }
   return s.cap_val;
 }
 
 double Simulator::scale_factor(const JobSlot& s) {
   const int busy = busy_nodes_of(s);
-  if (busy == s.spec.nodes_used) return 1.0;
+  if (busy == s.spec->nodes_used) return 1.0;
   if (busy != s.scale_key) {
     s.scale_key = busy;
     s.scale_val = scale_speed(s);
@@ -140,10 +142,10 @@ double Simulator::scale_factor(const JobSlot& s) {
 }
 
 double Simulator::carbon_intensity_at(Duration t) const {
-  return cfg_.carbon_intensity.sample_at_clamped(t);
+  return cfg_.carbon_intensity->sample_at_clamped(t);
 }
 
-const JobSpec& Simulator::spec(JobId id) const { return slot(id).spec; }
+const JobSpec& Simulator::spec(JobId id) const { return *slot(id).spec; }
 const JobRuntimeInfo& Simulator::info(JobId id) const { return slot(id).info; }
 
 Duration Simulator::estimated_remaining(JobId id) const {
@@ -151,13 +153,13 @@ Duration Simulator::estimated_remaining(JobId id) const {
   const double remaining_fraction = std::max(0.0, 1.0 - s.info.progress);
   switch (s.info.phase) {
     case JobPhase::Pending:
-      return s.spec.walltime;
+      return s.spec->walltime;
     case JobPhase::Running: {
       const double speed = cap_speed(s, last_cap_) * scale_factor(s);
-      return seconds(remaining_fraction * s.spec.runtime.seconds() / std::max(speed, 1e-9));
+      return seconds(remaining_fraction * s.spec->runtime.seconds() / std::max(speed, 1e-9));
     }
     case JobPhase::Suspended:
-      return seconds(remaining_fraction * s.spec.runtime.seconds());
+      return seconds(remaining_fraction * s.spec->runtime.seconds());
     case JobPhase::Done:
       return seconds(0.0);
   }
@@ -171,7 +173,7 @@ Power Simulator::full_draw() const {
     const JobSlot& s = slots_[slot_index(id)];
     const int busy = busy_nodes_of(s);
     const int extra = s.info.alloc_nodes - busy;
-    watts_total += static_cast<double>(busy) * s.spec.effective_node_power().watts() +
+    watts_total += static_cast<double>(busy) * s.spec->effective_node_power().watts() +
                    static_cast<double>(extra) * cfg_.cluster.node_idle.watts();
   }
   return watts(watts_total);
@@ -186,7 +188,7 @@ bool Simulator::allocation_valid(const JobSpec& job, int nodes) const {
 bool Simulator::start(JobId id, int nodes) {
   JobSlot& s = slot(id);
   if (s.info.phase != JobPhase::Pending) return false;
-  if (!allocation_valid(s.spec, nodes)) return false;
+  if (!allocation_valid(*s.spec, nodes)) return false;
   if (nodes > free_nodes_) return false;
   s.info.phase = JobPhase::Running;
   s.info.alloc_nodes = nodes;
@@ -203,9 +205,9 @@ bool Simulator::start(JobId id, int nodes) {
 
 bool Simulator::suspend(JobId id) {
   JobSlot& s = slot(id);
-  if (s.info.phase != JobPhase::Running || !s.spec.checkpointable) return false;
+  if (s.info.phase != JobPhase::Running || !s.spec->checkpointable) return false;
   // Charge the checkpoint overhead as lost progress (bounded at zero).
-  const double lost = s.spec.checkpoint_overhead.seconds() / s.spec.runtime.seconds();
+  const double lost = s.spec->checkpoint_overhead.seconds() / s.spec->runtime.seconds();
   s.info.progress = std::max(0.0, s.info.progress - lost);
   // A suspend writes a checkpoint: failures roll back here, not to scratch.
   s.info.ckpt_progress = s.info.progress;
@@ -222,17 +224,17 @@ bool Simulator::suspend(JobId id) {
 
 bool Simulator::checkpoint(JobId id) {
   JobSlot& s = slot(id);
-  if (s.info.phase != JobPhase::Running || !s.spec.checkpointable) return false;
+  if (s.info.phase != JobPhase::Running || !s.spec->checkpointable) return false;
   // The job keeps its nodes but spends checkpoint_overhead writing state
   // instead of progressing; charged as lost progress like suspend.
-  const double lost = s.spec.checkpoint_overhead.seconds() / s.spec.runtime.seconds();
+  const double lost = s.spec->checkpoint_overhead.seconds() / s.spec->runtime.seconds();
   s.info.progress = std::max(0.0, s.info.progress - lost);
   s.info.ckpt_progress = s.info.progress;
   s.info.last_checkpoint = now_;
   ++s.info.checkpoint_count;
   ++result_.checkpoints_taken;
   result_.checkpoint_node_seconds +=
-      s.spec.checkpoint_overhead.seconds() * static_cast<double>(s.spec.nodes_used);
+      s.spec->checkpoint_overhead.seconds() * static_cast<double>(s.spec->nodes_used);
   s.info.energy_mark = s.info.energy;
   s.info.carbon_mark = s.info.carbon;
   return true;
@@ -241,7 +243,7 @@ bool Simulator::checkpoint(JobId id) {
 bool Simulator::resume(JobId id, int nodes) {
   JobSlot& s = slot(id);
   if (s.info.phase != JobPhase::Suspended) return false;
-  if (!allocation_valid(s.spec, nodes)) return false;
+  if (!allocation_valid(*s.spec, nodes)) return false;
   if (nodes > free_nodes_) return false;
   s.info.phase = JobPhase::Running;
   s.info.alloc_nodes = nodes;
@@ -254,8 +256,8 @@ bool Simulator::resume(JobId id, int nodes) {
 
 bool Simulator::reshape(JobId id, int nodes) {
   JobSlot& s = slot(id);
-  if (s.info.phase != JobPhase::Running || s.spec.kind != JobKind::Malleable) return false;
-  if (!allocation_valid(s.spec, nodes)) return false;
+  if (s.info.phase != JobPhase::Running || s.spec->kind != JobKind::Malleable) return false;
+  if (!allocation_valid(*s.spec, nodes)) return false;
   const int delta = nodes - s.info.alloc_nodes;
   if (delta > free_nodes_) return false;
   free_nodes_ -= delta;
@@ -266,10 +268,10 @@ bool Simulator::reshape(JobId id, int nodes) {
 void Simulator::fail_job(JobId id) {
   JobSlot& s = slot(id);
   const double restored =
-      s.spec.checkpointable ? std::min(s.info.ckpt_progress, s.info.progress) : 0.0;
+      s.spec->checkpointable ? std::min(s.info.ckpt_progress, s.info.progress) : 0.0;
   const double lost = std::max(0.0, s.info.progress - restored);
   result_.lost_node_seconds +=
-      lost * s.spec.runtime.seconds() * static_cast<double>(s.spec.nodes_used);
+      lost * s.spec->runtime.seconds() * static_cast<double>(s.spec->nodes_used);
   // Everything burnt since the last checkpoint produced no retained work.
   result_.wasted_energy += s.info.energy - s.info.energy_mark;
   result_.wasted_carbon += s.info.carbon - s.info.carbon_mark;
@@ -279,7 +281,7 @@ void Simulator::fail_job(JobId id) {
   s.info.alloc_nodes = 0;
   s.info.progress = restored;
   // Requeue resets the walltime clock to the restored execution point.
-  s.info.wall_used = seconds(restored * s.spec.runtime.seconds());
+  s.info.wall_used = seconds(restored * s.spec->runtime.seconds());
   ++s.info.failure_count;
   ++result_.job_failures;
   list_erase(running_, id);
@@ -370,7 +372,7 @@ void Simulator::advance_faults() {
 }
 
 void Simulator::observe_intensity() {
-  ci_true_ = cfg_.carbon_intensity.sample_at_clamped(now_, ci_cursor_);
+  ci_true_ = cfg_.carbon_intensity->sample_at_clamped(now_, ci_cursor_);
   if (cfg_.feed == nullptr) {
     ci_now_ = ci_true_;
     staleness_ = seconds(0.0);
@@ -384,7 +386,7 @@ void Simulator::observe_intensity() {
   } else if (!ever_fresh_) {
     // Feed down from the very start: hold the t=0 ground truth as the
     // install-time reading; staleness then grows from simulation start.
-    ci_now_ = cfg_.carbon_intensity.sample_at_clamped(seconds(0.0));
+    ci_now_ = cfg_.carbon_intensity->sample_at_clamped(seconds(0.0));
   }
   staleness_ = now_ - last_fresh_;
 }
@@ -400,7 +402,7 @@ void Simulator::integrate_tick() {
     const JobSlot& s = slots_[slot_index(id)];
     const int busy = busy_nodes_of(s);
     const int extra = s.info.alloc_nodes - busy;
-    busy_full_w += static_cast<double>(busy) * s.spec.effective_node_power().watts();
+    busy_full_w += static_cast<double>(busy) * s.spec->effective_node_power().watts();
     baseline_w += static_cast<double>(extra) * idle_w;
   }
   double cap = 1.0;
@@ -426,8 +428,8 @@ void Simulator::integrate_tick() {
     const int busy = busy_nodes_of(s);
     const int extra = s.info.alloc_nodes - busy;
     const double speed = cap_speed(s, cap) * scale_factor(s);
-    const double rate = speed / s.spec.runtime.seconds();  // progress per second
-    const double draw_w = static_cast<double>(busy) * s.spec.effective_node_power().watts() * cap +
+    const double rate = speed / s.spec->runtime.seconds();  // progress per second
+    const double draw_w = static_cast<double>(busy) * s.spec->effective_node_power().watts() * cap +
                           static_cast<double>(extra) * idle_w;
     double dt = tick_s;
     if (rate > 0.0 && s.info.progress + rate * tick_s >= 1.0) {
@@ -439,7 +441,7 @@ void Simulator::integrate_tick() {
     } else {
       // Walltime enforcement: the clock only runs while the job executes.
       if (cfg_.cluster.enforce_walltime) {
-        const Duration remaining_wall = s.spec.walltime - s.info.wall_used;
+        const Duration remaining_wall = s.spec->walltime - s.info.wall_used;
         if (remaining_wall <= seconds(tick_s)) {
           dt = std::max(0.0, remaining_wall.seconds());
           s.info.phase = JobPhase::Done;
@@ -567,8 +569,8 @@ SimulationResult Simulator::run(SchedulingPolicy& sched, PowerBudgetPolicy* powe
   while (now_ < cfg_.max_time) {
     // 1. arrivals
     while (next_arrival_ < arrival_order_.size() &&
-           slots_[arrival_order_[next_arrival_]].spec.submit <= now_) {
-      list_push(pending_, Queue::Pending, slots_[arrival_order_[next_arrival_]].spec.id);
+           slots_[arrival_order_[next_arrival_]].spec->submit <= now_) {
+      list_push(pending_, Queue::Pending, slots_[arrival_order_[next_arrival_]].spec->id);
       ++next_arrival_;
     }
     advance_faults();
@@ -587,7 +589,7 @@ SimulationResult Simulator::run(SchedulingPolicy& sched, PowerBudgetPolicy* powe
         suspended_.empty() && requeued_.empty() && repairs_.empty() &&
         !all_arrived) {
       Duration stop = std::min(cfg_.max_time,
-                               slots_[arrival_order_[next_arrival_]].spec.submit);
+                               slots_[arrival_order_[next_arrival_]].spec->submit);
       if (next_failure_ < cfg_.faults.events.size()) {
         stop = std::min(stop, cfg_.faults.events[next_failure_].time);
       }
@@ -616,11 +618,11 @@ SimulationResult Simulator::run(SchedulingPolicy& sched, PowerBudgetPolicy* powe
   result_.jobs.reserve(slots_.size());
   for (const auto& s : slots_) {
     JobRecord rec;
-    rec.spec = s.spec;
+    rec.spec = *s.spec;
     rec.completed = s.info.phase == JobPhase::Done && !s.info.killed && !s.info.failed;
     rec.killed = s.info.killed;
     rec.failed = s.info.failed;
-    rec.submit = s.spec.submit;
+    rec.submit = s.spec->submit;
     rec.start = s.info.start;
     rec.finish = s.info.finish;
     rec.suspend_count = s.info.suspend_count;

@@ -34,8 +34,16 @@
 // spans (no jobs anywhere, no arrivals or fault events due) are
 // fast-forwarded through a tight per-tick loop that reproduces the full
 // path bit-for-bit while skipping policy and bookkeeping calls.
+//
+// Zero-copy inputs (see DESIGN.md, "Sweep engine & shared-asset memory
+// model"): the intensity trace and the job list are held as shared
+// immutable assets (util::Shared), so a thousand-case sweep instantiates a
+// thousand Simulators over ONE trace buffer and ONE job vector instead of
+// copying both per case. Plain values still convert implicitly (wrapped
+// once), so single-run callers are unaffected.
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -47,6 +55,7 @@
 #include "hpcsim/result.hpp"
 #include "telemetry/sensor_store.hpp"
 #include "util/rng.hpp"
+#include "util/shared.hpp"
 #include "util/time_series.hpp"
 
 namespace greenhpc::hpcsim {
@@ -56,8 +65,10 @@ class Simulator final : public SimulationView {
   struct Config {
     ClusterConfig cluster;
     /// Grid carbon-intensity trace (g/kWh); sampled with clamping, so the
-    /// simulation may outlast the trace.
-    util::TimeSeries carbon_intensity{seconds(0.0), hours(1.0)};
+    /// simulation may outlast the trace. Shared immutable: assign a
+    /// TimeSeries value (wrapped once) or an already-shared trace
+    /// (zero-copy across concurrent Simulators).
+    util::Shared<util::TimeSeries> carbon_intensity;
     /// Hard stop even if jobs remain (guards against livelocked policies).
     Duration max_time = days(90.0);
     /// Optional telemetry sink for system-level sensors
@@ -74,7 +85,14 @@ class Simulator final : public SimulationView {
   };
 
   /// The job list need not be sorted; it is indexed by JobId internally.
-  Simulator(Config config, std::vector<JobSpec> jobs);
+  /// Shared immutable: pass a vector value (wrapped once) or a shared job
+  /// list (zero-copy — per-job state lives in slots referencing the
+  /// shared specs, which must stay unchanged for the Simulator's life).
+  Simulator(Config config, util::Shared<std::vector<JobSpec>> jobs);
+  /// Convenience for plain (and braced) vector arguments.
+  Simulator(Config config, std::vector<JobSpec> jobs)
+      : Simulator(std::move(config),
+                  util::Shared<std::vector<JobSpec>>(std::move(jobs))) {}
 
   /// Run to completion under the given policies. `power` may be null for
   /// an unconstrained system. May be called once per Simulator instance.
@@ -119,7 +137,9 @@ class Simulator final : public SimulationView {
   enum class Queue : std::uint8_t { None, Pending, Running, Suspended, Requeued };
 
   struct JobSlot {
-    JobSpec spec;
+    /// Static description, pointing into the shared job list (immutable,
+    /// owned by jobs_ for the Simulator's lifetime).
+    const JobSpec* spec = nullptr;
     JobRuntimeInfo info;
     /// Phase-list membership (position-bookkept ordered erase).
     Queue queue = Queue::None;
@@ -186,6 +206,8 @@ class Simulator final : public SimulationView {
   void observe_intensity();
 
   Config cfg_;
+  /// Shared immutable job list the slots' spec pointers resolve into.
+  util::Shared<std::vector<JobSpec>> jobs_;
   std::vector<JobSlot> slots_;
   std::unordered_map<JobId, std::size_t> index_;
   /// Dense id -> slot table (empty when the id space is too sparse).

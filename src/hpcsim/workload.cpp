@@ -127,4 +127,55 @@ std::vector<JobSpec> WorkloadGenerator::generate() {
   return jobs;
 }
 
+std::shared_ptr<const std::vector<JobSpec>> WorkloadCache::get(
+    const WorkloadConfig& config, std::uint64_t seed) {
+  {
+    std::lock_guard lock(mutex_);
+    for (const Entry& e : entries_) {
+      if (e.seed == seed && e.config == config) {
+        ++hits_;
+        return e.jobs;
+      }
+    }
+    ++misses_;
+  }
+  // Generate outside the lock; deterministic generation makes a raced
+  // duplicate harmless — the first inserted entry wins.
+  auto jobs = std::make_shared<const std::vector<JobSpec>>(
+      WorkloadGenerator(config, seed).generate());
+  std::lock_guard lock(mutex_);
+  for (const Entry& e : entries_) {
+    if (e.seed == seed && e.config == config) return e.jobs;
+  }
+  entries_.push_back(Entry{config, seed, std::move(jobs)});
+  return entries_.back().jobs;
+}
+
+std::size_t WorkloadCache::size() const {
+  std::lock_guard lock(mutex_);
+  return entries_.size();
+}
+
+std::size_t WorkloadCache::hits() const {
+  std::lock_guard lock(mutex_);
+  return hits_;
+}
+
+std::size_t WorkloadCache::misses() const {
+  std::lock_guard lock(mutex_);
+  return misses_;
+}
+
+void WorkloadCache::clear() {
+  std::lock_guard lock(mutex_);
+  entries_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+WorkloadCache& WorkloadCache::global() {
+  static WorkloadCache cache;
+  return cache;
+}
+
 }  // namespace greenhpc::hpcsim

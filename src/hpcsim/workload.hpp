@@ -9,6 +9,8 @@
 // requesting more nodes than their jobs can use (`over_allocation_mean`).
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "hpcsim/job.hpp"
@@ -66,6 +68,10 @@ struct WorkloadConfig {
 
   /// Distinct submitting users (accounting experiments).
   int user_count = 32;
+
+  /// Field-exact equality — the WorkloadCache key: equal (config, seed)
+  /// pairs generate bit-identical job lists.
+  [[nodiscard]] bool operator==(const WorkloadConfig&) const = default;
 };
 
 /// Deterministic workload generator: the same (config, seed) always yields
@@ -83,6 +89,46 @@ class WorkloadGenerator {
 
   WorkloadConfig cfg_;
   util::Rng rng_;
+};
+
+/// Memoized, thread-safe store of generated job lists — the workload-side
+/// sibling of carbon::TraceCache. Sweep cases that differ only in policy
+/// (or region, or cluster shape with the same workload bounds) share one
+/// immutable job vector, which plugs straight into the zero-copy
+/// Simulator. Keys are full (config, seed) pairs compared field-exact, so
+/// a hit is guaranteed bit-identical to a fresh generate(); the entry list
+/// is scanned linearly (sweeps use a handful of distinct workloads).
+class WorkloadCache {
+ public:
+  /// The job list for (config, seed): generated on the first request,
+  /// shared afterwards. Thread-safe; generation runs outside the lock
+  /// (a raced duplicate loses, every caller gets the first insertion).
+  [[nodiscard]] std::shared_ptr<const std::vector<JobSpec>> get(
+      const WorkloadConfig& config, std::uint64_t seed);
+
+  /// Number of distinct job lists currently held.
+  [[nodiscard]] std::size_t size() const;
+  /// Lookup counters since construction / the last clear().
+  [[nodiscard]] std::size_t hits() const;
+  [[nodiscard]] std::size_t misses() const;
+  /// Drop every cached list (outstanding shared pointers stay valid) and
+  /// reset the counters.
+  void clear();
+
+  /// Process-wide cache shared by ScenarioRunner and the sweep engine.
+  static WorkloadCache& global();
+
+ private:
+  struct Entry {
+    WorkloadConfig config;
+    std::uint64_t seed = 0;
+    std::shared_ptr<const std::vector<JobSpec>> jobs;
+  };
+
+  mutable std::mutex mutex_;
+  std::vector<Entry> entries_;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
 };
 
 }  // namespace greenhpc::hpcsim

@@ -35,15 +35,26 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::run_chunk(Task& task) {
-  // Dynamic self-scheduling over a shared atomic counter; chunk size 1 is
-  // fine because individual iterations (a whole simulation or DSE point)
-  // are orders of magnitude more expensive than the fetch_add.
+bool ThreadPool::in_parallel_region() { return inside_parallel_region; }
+
+std::size_t ThreadPool::default_grain(std::size_t n) const {
+  // ~8 chunks per team member (workers + caller): enough slack for
+  // dynamic load balance, few enough that per-chunk dispatch stays noise.
+  const std::size_t team = workers_.size() + 1;
+  return std::max<std::size_t>(1, n / (8 * team));
+}
+
+void ThreadPool::run_chunks(Task& task) {
+  // Dynamic self-scheduling over a shared atomic chunk counter; the body
+  // runs direct (non-erased) within a chunk, so the fetch_add and the one
+  // indirect call are amortized over `grain` iterations.
   for (;;) {
-    const std::size_t i = task.next.fetch_add(1, std::memory_order_relaxed);
-    if (i >= task.n) break;
+    const std::size_t c = task.next_chunk.fetch_add(1, std::memory_order_relaxed);
+    if (c >= task.chunks) break;
+    const std::size_t begin = c * task.grain;
+    const std::size_t end = std::min(task.n, begin + task.grain);
     try {
-      (*task.body)(i);
+      task.invoke(task.ctx, begin, end);
     } catch (...) {
       std::lock_guard lock(task.error_mutex);
       if (!task.error) task.error = std::current_exception();
@@ -65,7 +76,7 @@ void ThreadPool::worker_loop() {
       seen_generation = generation_;
       task = current_;
     }
-    run_chunk(*task);
+    run_chunks(*task);
     if (task->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       std::lock_guard lock(mutex_);
       done_cv_.notify_all();
@@ -73,22 +84,11 @@ void ThreadPool::worker_loop() {
   }
 }
 
-void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& body) {
-  if (n == 0) return;
-  // Nested calls (from a worker or from a body that itself fans out) run
-  // serially: the pool has a single task slot, and the outer level already
-  // saturates the hardware.
-  if (inside_parallel_region) {
-    for (std::size_t i = 0; i < n; ++i) body(i);
-    return;
-  }
+void ThreadPool::run_task(Task& task) {
   inside_parallel_region = true;
   struct Reset {
     ~Reset() { inside_parallel_region = false; }
   } reset;
-  Task task;
-  task.body = &body;
-  task.n = n;
   task.remaining.store(workers_.size(), std::memory_order_relaxed);
   {
     std::lock_guard lock(mutex_);
@@ -96,12 +96,23 @@ void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_
     ++generation_;
   }
   work_cv_.notify_all();
+  // The calling thread is part of the team: it chews chunks alongside the
+  // workers instead of blocking, so a T-worker pool runs T+1 executors and
+  // small fan-outs finish before some workers even wake.
+  run_chunks(task);
   {
     std::unique_lock lock(mutex_);
     done_cv_.wait(lock, [&] { return task.remaining.load(std::memory_order_acquire) == 0; });
     current_ = nullptr;
   }
   if (task.error) std::rethrow_exception(task.error);
+}
+
+void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& body) {
+  // Chunk size 1 preserves the legacy contract exactly (each iteration is
+  // an independent dispatch unit); the serial fallback inside the chunked
+  // path additionally short-circuits single-worker pools and nested calls.
+  parallel_for_chunked(n, 1, [&body](std::size_t i) { body(i); });
 }
 
 std::size_t ThreadPool::env_thread_override() {

@@ -4,16 +4,30 @@
 // The discrete-event simulator itself is deterministic and single-threaded;
 // parallelism in greenhpc lives one level up — design-space exploration,
 // multi-seed replicas and calibration sweeps all fan out over independent
-// work items. ThreadPool provides a work-stealing-free but contention-light
-// static-chunked parallel_for, which is the right shape for these uniform
-// workloads (cf. OpenMP's static schedule).
+// work items. ThreadPool provides a contention-light dynamically
+// self-scheduled parallel_for with chunking, which is the right shape for
+// these uniform-to-mildly-skewed workloads.
+//
+// Dispatch model: the calling thread is part of the team (it executes
+// chunks alongside the workers, OpenMP-style), and loops fall back to a
+// plain serial loop when parallel dispatch provably cannot win — a
+// single-worker pool, a single chunk, or a nested call from inside a
+// parallel region. The fallback is what keeps small sweeps (the measured
+// serial/parallel crossover in bench_perf) from paying wakeup latency for
+// nothing: below it, "parallel" IS the serial loop.
+//
+// The chunked entry points are templates, so the body is invoked directly
+// within a chunk — the type-erasure cost (one indirect call) is paid per
+// chunk, not per iteration, unlike the legacy std::function overload.
 
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace greenhpc::util {
@@ -34,7 +48,50 @@ class ThreadPool {
   /// Run body(i) for each i in [0, n). Blocks until all iterations finish.
   /// Iterations must be independent; exceptions thrown by the body are
   /// captured and the first one is rethrown on the calling thread.
+  /// Legacy std::function shape (one indirect call per iteration); new
+  /// code and hot fan-outs should prefer parallel_for_chunked.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+  /// Chunked parallel loop: iterations [0, n) are handed out to the team
+  /// (workers + the calling thread) `grain` at a time, and the body is
+  /// called directly inside each chunk — no per-iteration type erasure.
+  /// grain == 0 picks a heuristic grain (enough chunks for dynamic load
+  /// balance, few enough that dispatch cost stays invisible). Falls back
+  /// to a serial loop below the crossover (single-worker pool, a single
+  /// chunk, or a nested call). Same independence/exception contract as
+  /// parallel_for; results written to preallocated slots are bit-identical
+  /// for every thread count including the serial fallback.
+  template <typename Body>
+  void parallel_for_chunked(std::size_t n, std::size_t grain, Body&& body) {
+    if (n == 0) return;
+    if (grain == 0) grain = default_grain(n);
+    const std::size_t chunks = (n + grain - 1) / grain;
+    if (chunks <= 1 || workers_.size() <= 1 || in_parallel_region()) {
+      for (std::size_t i = 0; i < n; ++i) body(i);
+      return;
+    }
+    using Fn = std::remove_reference_t<Body>;
+    Task task;
+    task.invoke = [](void* ctx, std::size_t begin, std::size_t end) {
+      Fn& f = *static_cast<Fn*>(ctx);
+      for (std::size_t i = begin; i < end; ++i) f(i);
+    };
+    task.ctx = const_cast<void*>(static_cast<const void*>(&body));
+    task.n = n;
+    task.grain = grain;
+    task.chunks = chunks;
+    run_task(task);
+  }
+
+  /// Heuristic chunk size for n iterations on this pool: aims at ~8 chunks
+  /// per team member so dynamic self-scheduling can absorb skew without
+  /// the per-chunk dispatch showing up.
+  [[nodiscard]] std::size_t default_grain(std::size_t n) const;
+
+  /// Whether the current thread is already inside a parallel region (on a
+  /// worker, or in a body fanned out by any pool); nested loops run
+  /// serially.
+  [[nodiscard]] static bool in_parallel_region();
 
   /// Process-wide default pool, lazily constructed on first use. Sizing
   /// precedence: configure_global() > GREENHPC_THREADS env var > hardware
@@ -54,16 +111,24 @@ class ThreadPool {
 
  private:
   struct Task {
-    const std::function<void(std::size_t)>* body = nullptr;
-    std::atomic<std::size_t> next{0};
+    /// Type-erased chunk runner: invoke(ctx, begin, end) calls the body
+    /// for each iteration in [begin, end).
+    void (*invoke)(void*, std::size_t, std::size_t) = nullptr;
+    void* ctx = nullptr;
     std::size_t n = 0;
+    std::size_t grain = 1;
+    std::size_t chunks = 0;
+    std::atomic<std::size_t> next_chunk{0};
     std::atomic<std::size_t> remaining{0};
     std::exception_ptr error;
     std::mutex error_mutex;
   };
 
+  /// Post the task to the workers, help run it from the calling thread,
+  /// wait for completion and rethrow the first captured exception.
+  void run_task(Task& task);
   void worker_loop();
-  static void run_chunk(Task& task);
+  static void run_chunks(Task& task);
 
   std::vector<std::thread> workers_;
   std::mutex mutex_;
@@ -76,5 +141,11 @@ class ThreadPool {
 
 /// Convenience wrapper over ThreadPool::global().parallel_for.
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+/// Convenience wrapper over ThreadPool::global().parallel_for_chunked.
+template <typename Body>
+void parallel_for_chunked(std::size_t n, std::size_t grain, Body&& body) {
+  ThreadPool::global().parallel_for_chunked(n, grain, std::forward<Body>(body));
+}
 
 }  // namespace greenhpc::util

@@ -1,0 +1,37 @@
+#pragma once
+// Shared immutable asset handle.
+//
+// Parameter sweeps run hundreds of simulations over the same scenario
+// assets (an intensity trace, a generated job list). Shared<T> is the
+// ownership shape for those inputs: a shared_ptr<const T> with an implicit
+// conversion from T, so config structs can accept either an owned value
+// (wrapped once, the pre-sweep-engine style) or an already-shared asset
+// (zero-copy, the sweep-engine style) without touching every call site.
+
+#include <memory>
+#include <utility>
+
+namespace greenhpc::util {
+
+template <typename T>
+class Shared {
+ public:
+  /// Empty handle (no asset attached).
+  Shared() = default;
+  /// Wrap an owned value into shared immutable storage (one move/copy).
+  Shared(T value) : ptr_(std::make_shared<const T>(std::move(value))) {}
+  /// Adopt an already-shared asset (zero-copy).
+  Shared(std::shared_ptr<const T> ptr) : ptr_(std::move(ptr)) {}
+
+  /// Whether an asset is attached.
+  explicit operator bool() const { return ptr_ != nullptr; }
+  [[nodiscard]] const T& operator*() const { return *ptr_; }
+  [[nodiscard]] const T* operator->() const { return ptr_.get(); }
+  [[nodiscard]] const T* get() const { return ptr_.get(); }
+  [[nodiscard]] const std::shared_ptr<const T>& ptr() const { return ptr_; }
+
+ private:
+  std::shared_ptr<const T> ptr_;
+};
+
+}  // namespace greenhpc::util

@@ -1,0 +1,173 @@
+#include "core/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "sched/easy_backfill.hpp"
+#include "sched/fcfs.hpp"
+#include "util/error.hpp"
+#include "util/parallel.hpp"
+
+namespace greenhpc::core {
+namespace {
+
+ScenarioConfig small_base() {
+  ScenarioConfig cfg;
+  cfg.cluster.nodes = 16;
+  cfg.cluster.tick = minutes(5.0);
+  cfg.region = carbon::Region::Germany;
+  cfg.trace_span = days(2.0);
+  cfg.trace_step = minutes(30.0);
+  cfg.workload.job_count = 12;
+  cfg.workload.span = hours(12.0);
+  cfg.workload.max_job_nodes = 8;
+  cfg.seed = 77;
+  return cfg;
+}
+
+SweepGrid small_grid() {
+  SweepGrid grid;
+  grid.base = small_base();
+  grid.regions = {carbon::Region::Germany, carbon::Region::France};
+  grid.cluster_nodes = {16, 32};
+  grid.seed_replicas = 3;
+  grid.policies.push_back(
+      {"fcfs", [] { return std::make_unique<sched::FcfsScheduler>(); }});
+  grid.policies.push_back(
+      {"easy", [] { return std::make_unique<sched::EasyBackfillScheduler>(); }});
+  return grid;
+}
+
+TEST(SweepGrid, CountsAreAxisProducts) {
+  const SweepGrid grid = small_grid();
+  // 2 regions x 1 kind x 2 node counts x 1 job count x 2 policies.
+  EXPECT_EQ(grid.cell_count(), 8u);
+  EXPECT_EQ(grid.case_count(), 24u);  // x 3 replicas
+
+  SweepGrid defaults;
+  defaults.base = small_base();
+  defaults.policies = grid.policies;
+  // Empty axes mean "the base value": one cell per policy.
+  EXPECT_EQ(defaults.cell_count(), 2u);
+  EXPECT_EQ(defaults.case_count(), 2u);
+}
+
+TEST(SweepEngine, RejectsDegenerateGrids) {
+  const SweepEngine engine;
+  SweepGrid no_policies;
+  no_policies.base = small_base();
+  EXPECT_THROW((void)engine.run(no_policies), InvalidArgument);
+
+  SweepGrid bad_replicas = small_grid();
+  bad_replicas.seed_replicas = 0;
+  EXPECT_THROW((void)engine.run(bad_replicas), InvalidArgument);
+
+  SweepGrid null_factory = small_grid();
+  null_factory.policies[0].scheduler = nullptr;
+  EXPECT_THROW((void)engine.run(null_factory), InvalidArgument);
+}
+
+TEST(SweepEngine, ReplicaSeedsAreDistinctAndAxisIndependent) {
+  std::set<std::uint64_t> seeds;
+  for (int r = 0; r < 16; ++r) seeds.insert(SweepEngine::replica_seed(2023, r));
+  EXPECT_EQ(seeds.size(), 16u);
+  // Replica 0 is already decorrelated from the base seed itself.
+  EXPECT_NE(SweepEngine::replica_seed(2023, 0), 2023u);
+  // Neighbouring base seeds do not collide on early replicas.
+  EXPECT_NE(SweepEngine::replica_seed(2023, 0), SweepEngine::replica_seed(2024, 0));
+}
+
+TEST(SweepEngine, CellTableIsCellMajorWithCoordinates) {
+  const SweepGrid grid = small_grid();
+  const SweepResult result = SweepEngine().run(grid);
+  ASSERT_EQ(result.cells.size(), 8u);
+  EXPECT_EQ(result.cases, 24u);
+  EXPECT_EQ(result.replicas, 3);
+  // Policy is the innermost cell axis, then jobs, nodes, kinds, regions.
+  EXPECT_EQ(result.cells[0].region, carbon::Region::Germany);
+  EXPECT_EQ(result.cells[0].nodes, 16);
+  EXPECT_EQ(result.cells[0].policy, "fcfs");
+  EXPECT_EQ(result.cells[1].policy, "easy");
+  EXPECT_EQ(result.cells[2].nodes, 32);
+  EXPECT_EQ(result.cells[4].region, carbon::Region::France);
+  for (const SweepCellStats& cell : result.cells) {
+    EXPECT_EQ(cell.carbon_t.count(), 3u);  // one observation per replica
+    EXPECT_GT(cell.energy_mwh.mean(), 0.0);
+    EXPECT_GT(cell.completed.mean(), 0.0);
+  }
+}
+
+TEST(SweepEngine, DigestInvariantAcrossThreadCountsAndBlockSizes) {
+  // The determinism contract: bit-identical aggregates and digest for any
+  // fan-out shape. Exercised across pools of 1 / 2 / 8 workers (the first
+  // engages the serial fallback) and a block size smaller than the grid.
+  const SweepGrid grid = small_grid();
+  std::vector<SweepResult> results;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    util::ThreadPool pool(threads);
+    SweepEngine::Options opts;
+    opts.pool = &pool;
+    opts.block = 5;  // forces several partial blocks over the 24 cases
+    results.push_back(SweepEngine(std::move(opts)).run(grid));
+  }
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].digest, results[0].digest) << "pool " << i;
+    ASSERT_EQ(results[i].cells.size(), results[0].cells.size());
+    for (std::size_t c = 0; c < results[i].cells.size(); ++c) {
+      EXPECT_EQ(results[i].cells[c].carbon_t.mean(), results[0].cells[c].carbon_t.mean());
+      EXPECT_EQ(results[i].cells[c].wait_h.sample_stddev(),
+                results[0].cells[c].wait_h.sample_stddev());
+    }
+  }
+}
+
+TEST(SweepEngine, ProgressReportsMonotonicallyToTotal) {
+  SweepGrid grid = small_grid();
+  std::vector<std::size_t> done;
+  SweepEngine::Options opts;
+  opts.block = 7;
+  opts.progress = [&](std::size_t d, std::size_t total) {
+    EXPECT_EQ(total, 24u);
+    done.push_back(d);
+  };
+  (void)SweepEngine(std::move(opts)).run(grid);
+  ASSERT_FALSE(done.empty());
+  for (std::size_t i = 1; i < done.size(); ++i) EXPECT_GT(done[i], done[i - 1]);
+  EXPECT_EQ(done.back(), 24u);
+}
+
+TEST(SweepCellStats, Ci95MatchesNormalApproximation) {
+  util::RunningStats s;
+  EXPECT_EQ(SweepCellStats::ci95(s), 0.0);
+  s.add(1.0);
+  EXPECT_EQ(SweepCellStats::ci95(s), 0.0);  // undefined below two samples
+  s.add(3.0);
+  s.add(5.0);
+  const double expect = 1.96 * s.sample_stddev() / std::sqrt(3.0);
+  EXPECT_DOUBLE_EQ(SweepCellStats::ci95(s), expect);
+}
+
+TEST(ScenarioRunner, RunnersDifferingOnlyInPolicyShareAssets) {
+  // The shared-asset bugfix: constructing two runners over the same
+  // scenario must not regenerate the trace or the workload — both resolve
+  // through the process-wide caches to pointer-identical assets.
+  const ScenarioConfig cfg = small_base();
+  const ScenarioRunner a(cfg);
+  const ScenarioRunner b(cfg);
+  EXPECT_EQ(a.trace_ptr().get(), b.trace_ptr().get());
+  EXPECT_EQ(a.jobs_ptr().get(), b.jobs_ptr().get());
+
+  // A different seed is a different scenario: assets must NOT be shared.
+  ScenarioConfig other = cfg;
+  other.seed += 1;
+  const ScenarioRunner c(other);
+  EXPECT_NE(a.trace_ptr().get(), c.trace_ptr().get());
+  EXPECT_NE(a.jobs_ptr().get(), c.jobs_ptr().get());
+}
+
+}  // namespace
+}  // namespace greenhpc::core

@@ -190,17 +190,17 @@ TEST(FaultInjection, DegradedFeedHoldsLastValueForPolicies) {
 TEST(FaultInjection, ConstructorRejectsMalformedEvents) {
   auto cfg = base_config();
   cfg.faults.events = {{seconds(-1.0), 1, minutes(5.0)}};
-  EXPECT_THROW(Simulator(cfg, {}), InvalidArgument);
+  EXPECT_THROW(Simulator(cfg, std::vector<JobSpec>{}), InvalidArgument);
   cfg.faults.events = {{seconds(10.0), 0, minutes(5.0)}};
-  EXPECT_THROW(Simulator(cfg, {}), InvalidArgument);
+  EXPECT_THROW(Simulator(cfg, std::vector<JobSpec>{}), InvalidArgument);
   cfg.faults.events = {{seconds(10.0), 1, seconds(0.0)}};
-  EXPECT_THROW(Simulator(cfg, {}), InvalidArgument);
+  EXPECT_THROW(Simulator(cfg, std::vector<JobSpec>{}), InvalidArgument);
   cfg.faults.events.clear();
   cfg.faults.max_retries = -1;
-  EXPECT_THROW(Simulator(cfg, {}), InvalidArgument);
+  EXPECT_THROW(Simulator(cfg, std::vector<JobSpec>{}), InvalidArgument);
   cfg = base_config();
   cfg.faults.max_backoff = seconds(0.0);
-  EXPECT_THROW(Simulator(cfg, {}), InvalidArgument);
+  EXPECT_THROW(Simulator(cfg, std::vector<JobSpec>{}), InvalidArgument);
 }
 
 TEST(FaultInjection, BackoffIsCappedAtMaxBackoff) {

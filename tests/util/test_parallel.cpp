@@ -129,6 +129,99 @@ TEST(ThreadPool, EnvThreadOverrideParsing) {
   }
 }
 
+TEST(ThreadPoolChunked, ExecutesAllIterationsExactlyOnce) {
+  ThreadPool pool(4);
+  for (const std::size_t grain : {std::size_t{1}, std::size_t{7}, std::size_t{64}}) {
+    std::vector<std::atomic<int>> hits(1000);
+    pool.parallel_for_chunked(hits.size(), grain,
+                              [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (const auto& h : hits) ASSERT_EQ(h.load(), 1) << "grain " << grain;
+  }
+}
+
+TEST(ThreadPoolChunked, GrainLargerThanNFallsBackToSerial) {
+  ThreadPool pool(4);
+  // One chunk covers everything: the crossover logic must run the body
+  // inline on the calling thread, in order.
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::size_t> order;
+  pool.parallel_for_chunked(16, 100, [&](std::size_t i) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    order.push_back(i);
+  });
+  ASSERT_EQ(order.size(), 16u);
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPoolChunked, SingleWorkerPoolFallsBackToSerial) {
+  ThreadPool pool(1);
+  const auto caller = std::this_thread::get_id();
+  std::size_t count = 0;  // not atomic: the fallback contract is serial
+  pool.parallel_for_chunked(200, 1, [&](std::size_t) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    ++count;
+  });
+  EXPECT_EQ(count, 200u);
+}
+
+TEST(ThreadPoolChunked, ZeroGrainPicksHeuristic) {
+  ThreadPool pool(3);
+  // default_grain aims at ~8 chunks per team member and never returns 0.
+  EXPECT_GE(pool.default_grain(1), 1u);
+  EXPECT_GE(pool.default_grain(1000000), 1u);
+  std::vector<std::atomic<int>> hits(5000);
+  pool.parallel_for_chunked(hits.size(), 0,
+                            [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) ASSERT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolChunked, PropagatesFirstException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for_chunked(100, 4,
+                                         [&](std::size_t i) {
+                                           if (i == 42) throw std::runtime_error("boom");
+                                         }),
+               std::runtime_error);
+  std::atomic<int> count{0};
+  pool.parallel_for_chunked(10, 1, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPoolChunked, NestedCallRunsSerially) {
+  ThreadPool pool(4);
+  std::atomic<int> inner_total{0};
+  pool.parallel_for_chunked(8, 1, [&](std::size_t) {
+    EXPECT_TRUE(ThreadPool::in_parallel_region());
+    parallel_for_chunked(4, 1, [&](std::size_t) { inner_total.fetch_add(1); });
+  });
+  EXPECT_EQ(inner_total.load(), 32);
+  EXPECT_FALSE(ThreadPool::in_parallel_region());
+}
+
+TEST(ThreadPoolChunked, PreallocatedSlotWritesAreThreadCountInvariant) {
+  const auto work = [](std::size_t i) {
+    double acc = 1.0 + static_cast<double>(i);
+    for (int k = 0; k < 250; ++k) {
+      acc = acc * 1.000000059604644775390625 + 1e-9 * static_cast<double>(k % 7);
+    }
+    return acc;
+  };
+  constexpr std::size_t kSlots = 512;
+  std::vector<double> one(kSlots), many(kSlots);
+  {
+    ThreadPool pool(1);  // serial-fallback path
+    pool.parallel_for_chunked(kSlots, 3, [&](std::size_t i) { one[i] = work(i); });
+  }
+  {
+    ThreadPool pool(8);  // dispatched path
+    pool.parallel_for_chunked(kSlots, 3, [&](std::size_t i) { many[i] = work(i); });
+  }
+  for (std::size_t i = 0; i < kSlots; ++i) {
+    ASSERT_EQ(std::bit_cast<std::uint64_t>(one[i]), std::bit_cast<std::uint64_t>(many[i]))
+        << "slot " << i;
+  }
+}
+
 TEST(ThreadPool, ParallelSumMatchesSerial) {
   std::vector<double> xs(10000);
   std::iota(xs.begin(), xs.end(), 0.0);

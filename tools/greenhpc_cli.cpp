@@ -8,6 +8,9 @@
 //                     [--sched easy|fcfs|conservative|carbon-easy]
 //                     [--swf FILE] [--seed N]     cluster simulation summary
 //   greenhpc regions                              list region presets
+//   greenhpc sweep    --regions DE,FR --nodes 64,128 [--replicas 3]
+//                     [--sched easy,carbon-easy]   mean±CI policy comparison
+//                                                  over a parameter grid
 //
 // Global flags:
 //   --threads N    size the worker pool (overrides GREENHPC_THREADS)
@@ -25,6 +28,7 @@
 
 #include "carbon/trace_io.hpp"
 #include "core/scenario.hpp"
+#include "core/sweep.hpp"
 #include "embodied/systems.hpp"
 #include "hpcsim/swf_io.hpp"
 #include "procure/carbon500.hpp"
@@ -185,13 +189,14 @@ int cmd_simulate(const Args& args) {
 
   hpcsim::Simulator::Config sim_cfg;
   sim_cfg.cluster = cfg.cluster;
-  sim_cfg.carbon_intensity = runner.trace();
-  hpcsim::Simulator sim(sim_cfg, jobs);
+  sim_cfg.carbon_intensity = runner.trace_ptr();  // shared, zero-copy
+  const std::size_t n_jobs = jobs.size();
+  hpcsim::Simulator sim(sim_cfg, std::move(jobs));
   auto scheduler = scheduler_factory(args.get("sched", "easy"))();
   const auto result = sim.run(*scheduler);
 
   std::printf("scheduler:        %s\n", scheduler->name().c_str());
-  std::printf("jobs completed:   %d / %zu\n", result.completed_jobs, jobs.size());
+  std::printf("jobs completed:   %d / %zu\n", result.completed_jobs, n_jobs);
   std::printf("makespan:         %.1f h\n", result.makespan.hours());
   std::printf("energy:           %.2f MWh (idle share %.1f%%)\n",
               result.total_energy.megawatt_hours(),
@@ -205,6 +210,87 @@ int cmd_simulate(const Args& args) {
   return 0;
 }
 
+std::vector<std::string> split_list(const std::string& csv) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (const char c : csv) {
+    if (c == ',') {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+int cmd_sweep(const Args& args) {
+  core::SweepGrid grid;
+  grid.base.cluster.nodes = 64;
+  const double span_days = args.num("days", 2.0);
+  grid.base.trace_span = days(span_days + 3.0);
+  grid.base.workload.span = days(span_days);
+  grid.base.workload.job_count = static_cast<int>(args.num("jobs", 150));
+  grid.base.workload.max_job_nodes = 32;
+  grid.base.seed = static_cast<std::uint64_t>(args.num("seed", 2023));
+
+  for (const auto& code : split_list(args.get("regions", "DE")))
+    grid.regions.push_back(parse_region(code));
+  for (const auto& kind : split_list(args.get("kinds", "average"))) {
+    if (kind == "average") {
+      grid.intensity_kinds.push_back(carbon::IntensityKind::Average);
+    } else if (kind == "marginal") {
+      grid.intensity_kinds.push_back(carbon::IntensityKind::Marginal);
+    } else {
+      throw InvalidArgument("unknown intensity kind: " + kind + " (average|marginal)");
+    }
+  }
+  for (const auto& n : split_list(args.get("nodes", "64")))
+    grid.cluster_nodes.push_back(std::atoi(n.c_str()));
+  if (args.has("jobs-list")) {
+    for (const auto& n : split_list(args.get("jobs-list", "")))
+      grid.job_counts.push_back(std::atoi(n.c_str()));
+  }
+  grid.seed_replicas = static_cast<int>(args.num("replicas", 3));
+  for (const auto& name : split_list(args.get("sched", "easy,carbon-easy")))
+    grid.policies.push_back({name, scheduler_factory(name), nullptr});
+
+  core::SweepEngine::Options opts;
+  opts.block = static_cast<std::size_t>(args.num("block", 256));
+  const std::size_t total = grid.case_count();
+  if (!args.has("quiet")) {
+    opts.progress = [total](std::size_t done, std::size_t) {
+      std::fprintf(stderr, "\r%zu / %zu cases", done, total);
+      if (done == total) std::fprintf(stderr, "\n");
+    };
+  }
+  const core::SweepResult result = core::SweepEngine(std::move(opts)).run(grid);
+
+  util::Table table({"region", "kind", "nodes", "jobs", "policy", "carbon[t]",
+                     "±95%", "MWh", "wait[h]", "util[%]", "green[%]", "done"});
+  for (const auto& cell : result.cells) {
+    table.add_row({std::string(carbon::traits(cell.region).code),
+                   cell.kind == carbon::IntensityKind::Average ? "avg" : "marg",
+                   std::to_string(cell.nodes), std::to_string(cell.jobs), cell.policy,
+                   util::Table::fmt(cell.carbon_t.mean(), 2),
+                   util::Table::fmt(core::SweepCellStats::ci95(cell.carbon_t), 2),
+                   util::Table::fmt(cell.energy_mwh.mean(), 1),
+                   util::Table::fmt(cell.wait_h.mean(), 2),
+                   util::Table::fmt(100.0 * cell.utilization.mean(), 1),
+                   util::Table::fmt(100.0 * cell.green_share.mean(), 1),
+                   util::Table::fmt(cell.completed.mean(), 0)});
+  }
+  std::printf("%s", table
+                        .str("Sweep: " + std::to_string(result.cases) + " cases, " +
+                             std::to_string(result.cells.size()) + " cells x " +
+                             std::to_string(result.replicas) + " replicas")
+                        .c_str());
+  std::printf("digest: %016llx (bit-identical for any --threads)\n",
+              static_cast<unsigned long long>(result.digest));
+  return 0;
+}
+
 int usage() {
   std::fprintf(stderr,
                "usage: greenhpc <command> [--flags]\n"
@@ -214,6 +300,10 @@ int usage() {
                "  carbon500                     carbon-efficiency ranking\n"
                "  simulate --nodes 256 --region DE --days 7 [--sched easy]\n"
                "           [--swf trace.swf]    run a cluster simulation\n"
+               "  sweep --regions DE,FR [--kinds average,marginal]\n"
+               "        --nodes 64,128 [--jobs-list 150,300] [--replicas 3]\n"
+               "        [--sched easy,carbon-easy] [--days 2] [--seed N]\n"
+               "        [--block 256] [--quiet]  aggregate a parameter-grid sweep\n"
                "global flags: --threads N        worker-pool size "
                "(overrides GREENHPC_THREADS)\n");
   return 2;
@@ -240,6 +330,7 @@ int main(int argc, char** argv) {
     if (command == "fig1") return cmd_fig1();
     if (command == "carbon500") return cmd_carbon500();
     if (command == "simulate") return cmd_simulate(args);
+    if (command == "sweep") return cmd_sweep(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;
