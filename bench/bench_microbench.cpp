@@ -1,6 +1,8 @@
 // Microbenchmarks (google-benchmark) of the library's hot kernels: grid
 // trace generation, the simulator tick loop, hierarchical budget
-// distribution, DSE evaluation and the parallel sweep infrastructure.
+// distribution, DSE evaluation, the parallel sweep infrastructure, and
+// the observability primitives (disabled/enabled tracer spans, metric
+// counters) against an uninstrumented reference loop.
 
 #include <benchmark/benchmark.h>
 
@@ -10,6 +12,8 @@
 #include "embodied/dse.hpp"
 #include "hpcsim/simulator.hpp"
 #include "hpcsim/workload.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "powerstack/budget_tree.hpp"
 #include "sched/easy_backfill.hpp"
 #include "util/parallel.hpp"
@@ -97,6 +101,61 @@ void BM_ParallelFor(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ParallelFor)->Arg(64)->Arg(1024);
+
+// --- observability overhead guard ---
+// The same small work unit is timed bare, with a disabled tracer span,
+// with a metrics counter, and with an enabled tracer span. The contract
+// is that the disabled-span and counter variants stay within noise of
+// the bare loop (a relaxed atomic load / fetch_add around ~100ns of
+// work); the enabled-span variant prices the "tracing on" mode.
+
+double obs_work_unit(std::size_t i) {
+  double x = static_cast<double>(i % 17) + 1.0;
+  for (int k = 0; k < 64; ++k) x = x * 1.0000001 + 1e-9;
+  return x;
+}
+
+void BM_ObsUninstrumentedLoop(benchmark::State& state) {
+  std::size_t i = 0;
+  for (auto _ : state) benchmark::DoNotOptimize(obs_work_unit(i++));
+}
+BENCHMARK(BM_ObsUninstrumentedLoop);
+
+void BM_ObsDisabledSpanLoop(benchmark::State& state) {
+  obs::Tracer::set_enabled(false);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    GREENHPC_TRACE_SPAN("bench.obs.disabled");
+    benchmark::DoNotOptimize(obs_work_unit(i++));
+  }
+}
+BENCHMARK(BM_ObsDisabledSpanLoop);
+
+void BM_ObsCounterLoop(benchmark::State& state) {
+  static obs::Counter& counter =
+      obs::Registry::global().counter("bench.obs.counter");
+  std::size_t i = 0;
+  for (auto _ : state) {
+    counter.add();
+    benchmark::DoNotOptimize(obs_work_unit(i++));
+  }
+  counter.reset();
+}
+BENCHMARK(BM_ObsCounterLoop);
+
+void BM_ObsEnabledSpanLoop(benchmark::State& state) {
+  obs::Tracer::set_buffer_capacity(std::size_t{1} << 16);
+  obs::Tracer::reset();
+  obs::Tracer::set_enabled(true);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    GREENHPC_TRACE_SPAN("bench.obs.enabled");
+    benchmark::DoNotOptimize(obs_work_unit(i++));
+  }
+  obs::Tracer::set_enabled(false);
+  obs::Tracer::reset();
+}
+BENCHMARK(BM_ObsEnabledSpanLoop);
 
 }  // namespace
 

@@ -6,7 +6,9 @@
 // timed through the FCFS and EASY hot loops (ticks/s, jobs/s), and one
 // policy sweep is run serially and through the thread pool to measure
 // sweep scaling and to assert that parallel fan-out reproduces the serial
-// results bit for bit.
+// results bit for bit. A final pass re-runs the reference hot loop with
+// the event tracer enabled and reports the overhead ratio plus a
+// span-derived phase breakdown ("tracing" block in the JSON).
 //
 // Usage: bench_perf [--smoke] [--out FILE] [--baseline FILE] [--before FILE]
 //   --smoke      smallest scale only (CI perf gate)
@@ -31,6 +33,7 @@
 
 #include "bench_common.hpp"
 #include "carbon/forecast.hpp"
+#include "obs/trace.hpp"
 #include "sched/carbon_aware.hpp"
 #include "sched/easy_backfill.hpp"
 #include "sched/fcfs.hpp"
@@ -346,8 +349,38 @@ int main(int argc, char** argv) {
   }
   std::printf("\n");
 
-  // --- JSON report ---
+  // --- tracing overhead probe ---
+  // One more pass over the reference hot loop (small/fcfs) with the event
+  // tracer switched on: overhead_x is the "instrumentation compiled in AND
+  // enabled stays cheap" number for the report. Best of 3; the rings are
+  // reset before each rep so the drained span table describes one run.
   const HotLoopSample& ref = samples[0];  // small/fcfs = the reference hot loop
+  core::ScenarioRunner traced_runner(scale_config(kScales[0]));
+  obs::Tracer::set_buffer_capacity(std::size_t{1} << 19);
+  double traced_s = 1e300;
+  for (int rep = 0; rep < 3; ++rep) {
+    obs::Tracer::reset();
+    obs::Tracer::set_enabled(true);
+    hpcsim::Simulator::Config traced_cfg;
+    traced_cfg.cluster = traced_runner.config().cluster;
+    traced_cfg.carbon_intensity = traced_runner.trace();
+    hpcsim::Simulator sim(traced_cfg, traced_runner.jobs());
+    sched::FcfsScheduler fcfs;
+    const auto t0 = Clock::now();
+    (void)sim.run(fcfs);
+    traced_s = std::min(traced_s, seconds_since(t0));
+    obs::Tracer::set_enabled(false);
+  }
+  const std::vector<obs::SpanStat> phases = obs::Tracer::aggregate_spans();
+  const std::uint64_t traced_dropped = obs::Tracer::dropped();
+  const double overhead_x = ref.wall_s > 0.0 ? traced_s / ref.wall_s : 0.0;
+  std::printf("Tracing overhead (small/fcfs): %.1f ms traced vs %.1f ms untraced "
+              "(%.2fx), %zu span kinds, %llu dropped\n\n",
+              1e3 * traced_s, 1e3 * ref.wall_s, overhead_x, phases.size(),
+              static_cast<unsigned long long>(traced_dropped));
+  obs::Tracer::reset();
+
+  // --- JSON report ---
   std::FILE* f = std::fopen(out_path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
@@ -384,6 +417,18 @@ int main(int argc, char** argv) {
                  before_sweep_s, before_sweep_s / serial_s);
   }
   std::fprintf(f, "},\n");
+  std::fprintf(f,
+               "  \"tracing\": {\"enabled_wall_s\": %.6f, \"disabled_wall_s\": %.6f, "
+               "\"overhead_x\": %.3f, \"dropped\": %llu, \"phases\": [\n",
+               traced_s, ref.wall_s, overhead_x,
+               static_cast<unsigned long long>(traced_dropped));
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    const auto& p = phases[i];
+    std::fprintf(f, "    {\"name\": \"%s\", \"count\": %llu, \"total_ms\": %.3f}%s\n",
+                 p.name.c_str(), static_cast<unsigned long long>(p.count), p.total_ms,
+                 i + 1 < phases.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]},\n");
   std::fprintf(f,
                "  \"crossover\": {\"serial_fallback\": %s, \"crossover_n\": %zu, "
                "\"unit_us\": %.2f}\n}\n",

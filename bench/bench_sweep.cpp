@@ -8,7 +8,9 @@
 // the three digests are bit-identical (the engine's determinism
 // contract). Throughput per thread count measures fan-out scaling; on
 // hosts without spare cores the pool's serial fallback engages instead
-// and is reported as such, not scored as a regression.
+// and is reported as such, not scored as a regression. A final traced run
+// asserts the digest is unchanged with the event tracer enabled and
+// reports the span-derived phase breakdown ("tracing" block in the JSON).
 //
 // Usage: bench_sweep [--smoke] [--out FILE] [--threads N]
 //   --smoke      small grid (CI smoke: seconds, not minutes)
@@ -28,6 +30,7 @@
 #include "carbon/trace_cache.hpp"
 #include "core/sweep.hpp"
 #include "hpcsim/workload.hpp"
+#include "obs/trace.hpp"
 #include "sched/carbon_aware.hpp"
 #include "sched/easy_backfill.hpp"
 #include "sched/fcfs.hpp"
@@ -192,6 +195,33 @@ int main(int argc, char** argv) {
   std::printf("scaling: %s (%s)\n", scaling_ok ? "ok" : "BELOW 0.7x/T",
               scaling_note.c_str());
 
+  // --- traced run: digest identity with instrumentation live ---
+  // Acceptance check for the observability layer: the tracer is purely
+  // observational, so running the same grid with tracing enabled must
+  // reproduce the untraced digest bit for bit.
+  obs::Tracer::set_buffer_capacity(std::size_t{1} << 19);
+  obs::Tracer::reset();
+  obs::Tracer::set_enabled(true);
+  double traced_s = 0.0;
+  std::uint64_t traced_digest = 0;
+  {
+    util::ThreadPool pool(2);
+    core::SweepEngine::Options opts;
+    opts.pool = &pool;
+    const auto t0 = Clock::now();
+    const core::SweepResult traced = core::SweepEngine(std::move(opts)).run(grid);
+    traced_s = seconds_since(t0);
+    traced_digest = traced.digest;
+  }  // pool joins here: every worker ring is quiescent before the drain
+  obs::Tracer::set_enabled(false);
+  const std::vector<obs::SpanStat> phases = obs::Tracer::aggregate_spans();
+  const bool traced_identical = traced_digest == samples.front().digest;
+  std::printf("traced run (2-thread pool): %.3f s, digest %s the untraced run, "
+              "%zu span kinds\n",
+              traced_s, traced_identical ? "matches" : "DIVERGED from",
+              phases.size());
+  obs::Tracer::reset();
+
   std::FILE* f = std::fopen(out_path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
@@ -210,6 +240,18 @@ int main(int argc, char** argv) {
                tc.hits());
   std::fprintf(f, "  \"workload_cache\": {\"entries\": %zu, \"hits\": %zu},\n",
                wc.size(), wc.hits());
+  std::fprintf(f,
+               "  \"tracing\": {\"wall_s\": %.6f, \"digest\": \"%016llx\", "
+               "\"digest_matches\": %s, \"phases\": [\n",
+               traced_s, static_cast<unsigned long long>(traced_digest),
+               traced_identical ? "true" : "false");
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    const auto& p = phases[i];
+    std::fprintf(f, "    {\"name\": \"%s\", \"count\": %llu, \"total_ms\": %.3f}%s\n",
+                 p.name.c_str(), static_cast<unsigned long long>(p.count), p.total_ms,
+                 i + 1 < phases.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]},\n");
   std::fprintf(f, "  \"runs\": [\n");
   for (std::size_t i = 0; i < samples.size(); ++i) {
     const SweepSample& s = samples[i];
@@ -226,6 +268,15 @@ int main(int argc, char** argv) {
 
   if (!identical) {
     std::fprintf(stderr, "FAIL: sweep digests diverged across thread counts\n");
+    return 1;
+  }
+  if (!traced_identical) {
+    std::fprintf(stderr,
+                 "FAIL: enabling the tracer changed the sweep digest "
+                 "(%016llx traced vs %016llx untraced) — instrumentation "
+                 "must stay purely observational\n",
+                 static_cast<unsigned long long>(traced_digest),
+                 static_cast<unsigned long long>(samples.front().digest));
     return 1;
   }
   if (!scaling_ok) {

@@ -4,6 +4,8 @@
 #include <limits>
 
 #include "carbon/trace_cache.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/parallel.hpp"
 
@@ -58,6 +60,9 @@ bool Federation::feed_fresh_at(std::size_t site, Duration t) const {
 
 std::vector<std::size_t> Federation::dispatch(const std::vector<hpcsim::JobSpec>& jobs,
                                               DispatchPolicy policy) const {
+  GREENHPC_TRACE_SPAN("federation.dispatch");
+  static obs::Counter& dispatched =
+      obs::Registry::global().counter("federation.jobs_dispatched");
   const std::size_t n_sites = cfg_.sites.size();
   std::vector<std::size_t> assignment(jobs.size());
   // Committed work per site, in node-seconds, as the dispatcher's load
@@ -157,6 +162,10 @@ std::vector<std::size_t> Federation::dispatch(const std::vector<hpcsim::JobSpec>
     }
     assignment[j] = chosen;
     committed[chosen] += static_cast<double>(job.nodes_used) * job.runtime.seconds();
+    dispatched.add();
+    // Per-job assignment record for trace timelines; the value carries
+    // the chosen site index.
+    GREENHPC_TRACE_INSTANT("federation.assign", static_cast<double>(chosen));
   }
   return assignment;
 }
@@ -165,6 +174,7 @@ FederationResult Federation::run(const std::vector<hpcsim::JobSpec>& jobs,
                                  DispatchPolicy policy,
                                  const SchedulerFactory& sched) const {
   GREENHPC_REQUIRE(static_cast<bool>(sched), "scheduler factory required");
+  GREENHPC_TRACE_SPAN("federation.run");
   const auto assignment = dispatch(jobs, policy);
   const std::size_t n_sites = cfg_.sites.size();
 
@@ -188,6 +198,7 @@ FederationResult Federation::run(const std::vector<hpcsim::JobSpec>& jobs,
   out.site_results.resize(n_sites);
   util::parallel_for_chunked(n_sites, 1, [&](std::size_t s) {
     if (per_site[s].empty()) return;  // slot keeps its default-constructed result
+    GREENHPC_TRACE_SPAN("federation.site");
     hpcsim::Simulator::Config sim_cfg;
     sim_cfg.cluster = cfg_.sites[s].cluster;
     sim_cfg.carbon_intensity = traces_[s];

@@ -2,6 +2,8 @@
 
 #include "carbon/green_periods.hpp"
 #include "carbon/trace_cache.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/parallel.hpp"
 
@@ -23,6 +25,9 @@ ScenarioRunner::ScenarioRunner(ScenarioConfig config)
 PolicyOutcome ScenarioRunner::run(const std::string& label, const SchedulerFactory& sched,
                                   const PowerPolicyFactory& power) const {
   GREENHPC_REQUIRE(static_cast<bool>(sched), "scheduler factory required");
+  GREENHPC_TRACE_SPAN("scenario.case");
+  static obs::Counter& cases = obs::Registry::global().counter("scenario.cases");
+  cases.add();
   auto scheduler = sched();
   std::unique_ptr<hpcsim::PowerBudgetPolicy> power_policy;
   if (power) power_policy = power();

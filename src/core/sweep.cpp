@@ -1,9 +1,12 @@
 #include "core/sweep.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstring>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 
@@ -165,27 +168,58 @@ SweepResult SweepEngine::run(const SweepGrid& grid) const {
 
   util::ThreadPool& pool = opts_.pool != nullptr ? *opts_.pool : util::ThreadPool::global();
   std::vector<SweepCaseMetrics> scratch(std::min(opts_.block, n_cases));
+  // Engine-side observability: per-block phase timing feeds the metrics
+  // registry and (when enabled) the tracer. None of it touches simulation
+  // state, so the fold order and digest stay bit-identical with tracing
+  // on or off.
+  GREENHPC_TRACE_SPAN("sweep.run");
+  static obs::Counter& cases_counter = obs::Registry::global().counter("sweep.cases");
+  static obs::Gauge& cases_per_s = obs::Registry::global().gauge("sweep.cases_per_s");
+  static obs::Gauge& simulate_s = obs::Registry::global().gauge("sweep.simulate_s");
+  static obs::Gauge& fold_s = obs::Registry::global().gauge("sweep.fold_s");
+  static obs::Histogram& block_seconds = obs::Registry::global().histogram(
+      "sweep.block_seconds", {1e-3, 1e-2, 0.1, 1.0, 10.0});
+  const auto run_start = std::chrono::steady_clock::now();
   for (std::size_t block_start = 0; block_start < n_cases; block_start += opts_.block) {
     const std::size_t block_n = std::min(opts_.block, n_cases - block_start);
-    // Parallel fill into flat-indexed scratch slots (grain 1: one case is
-    // a whole simulation)...
-    pool.parallel_for_chunked(block_n, 1, [&](std::size_t i) {
-      scratch[i] = simulate_case(block_start + i);
-    });
-    // ...then a serial fold in case order: Welford accumulation and the
-    // digest see every case in the same sequence for any thread count.
-    for (std::size_t i = 0; i < block_n; ++i) {
-      const std::size_t flat = block_start + i;
-      const SweepCaseMetrics& m = scratch[i];
-      SweepCellStats& cell = result.cells[flat / replicas];
-      cell.carbon_t.add(m.total_carbon_t);
-      cell.energy_mwh.add(m.total_energy_mwh);
-      cell.wait_h.add(m.mean_wait_h);
-      cell.slowdown.add(m.mean_bounded_slowdown);
-      cell.utilization.add(m.utilization);
-      cell.green_share.add(m.green_energy_share);
-      cell.completed.add(m.completed);
-      digest_metrics(result.digest, m);
+    const auto block_begin = std::chrono::steady_clock::now();
+    {
+      // Parallel fill into flat-indexed scratch slots (grain 1: one case
+      // is a whole simulation)...
+      GREENHPC_TRACE_SPAN("sweep.block.simulate");
+      pool.parallel_for_chunked(block_n, 1, [&](std::size_t i) {
+        scratch[i] = simulate_case(block_start + i);
+      });
+    }
+    const auto fold_begin = std::chrono::steady_clock::now();
+    {
+      // ...then a serial fold in case order: Welford accumulation and the
+      // digest see every case in the same sequence for any thread count.
+      GREENHPC_TRACE_SPAN("sweep.block.fold");
+      for (std::size_t i = 0; i < block_n; ++i) {
+        const std::size_t flat = block_start + i;
+        const SweepCaseMetrics& m = scratch[i];
+        SweepCellStats& cell = result.cells[flat / replicas];
+        cell.carbon_t.add(m.total_carbon_t);
+        cell.energy_mwh.add(m.total_energy_mwh);
+        cell.wait_h.add(m.mean_wait_h);
+        cell.slowdown.add(m.mean_bounded_slowdown);
+        cell.utilization.add(m.utilization);
+        cell.green_share.add(m.green_energy_share);
+        cell.completed.add(m.completed);
+        digest_metrics(result.digest, m);
+      }
+    }
+    const auto block_end = std::chrono::steady_clock::now();
+    const std::chrono::duration<double> sim_d = fold_begin - block_begin;
+    const std::chrono::duration<double> fold_d = block_end - fold_begin;
+    const std::chrono::duration<double> elapsed = block_end - run_start;
+    cases_counter.add(block_n);
+    simulate_s.add(sim_d.count());
+    fold_s.add(fold_d.count());
+    block_seconds.record(sim_d.count() + fold_d.count());
+    if (elapsed.count() > 0.0) {
+      cases_per_s.set(static_cast<double>(block_start + block_n) / elapsed.count());
     }
     if (opts_.progress) opts_.progress(block_start + block_n, n_cases);
   }

@@ -114,8 +114,11 @@ class SweepEngine {
     /// Cases simulated per streaming block (bounds scratch memory; the
     /// serial fold runs after each block).
     std::size_t block = 256;
-    /// Optional progress callback, invoked serially after each block with
-    /// (cases done, cases total).
+    /// Optional progress callback, invoked with (cases done, cases total)
+    /// after each block. Serialization contract: the callback always runs
+    /// on the thread that called run(), between blocks, never while the
+    /// pool is executing the block — so it needs no internal locking.
+    /// Asserted by SweepTest.ProgressCallbackIsSerializedUnderThreadPool.
     std::function<void(std::size_t, std::size_t)> progress;
   };
 

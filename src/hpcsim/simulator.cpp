@@ -3,11 +3,21 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace greenhpc::hpcsim {
 
 namespace {
+
+// Scheduler-visible decision counters. Function-local statics keep the
+// registry lookup off the hot path; all updates are relaxed atomics and
+// never feed back into simulation state (determinism contract).
+obs::Counter& sim_counter(const char* name) {
+  return obs::Registry::global().counter(name);
+}
+
 /// Dense-table bound: ids beyond this multiple of the job count (plus a
 /// fixed floor) indicate a sparse id space where the table would waste
 /// memory; such workloads fall back to the hash map.
@@ -200,6 +210,8 @@ bool Simulator::start(JobId id, int nodes) {
   // early via a remembered id is legal).
   list_erase(s.queue == Queue::Requeued ? requeued_ : pending_, id);
   list_push(running_, Queue::Running, id);
+  static obs::Counter& started = sim_counter("sim.jobs_started");
+  started.add();
   return true;
 }
 
@@ -219,6 +231,8 @@ bool Simulator::suspend(JobId id) {
   ++s.info.suspend_count;
   list_erase(running_, id);
   list_push(suspended_, Queue::Suspended, id);
+  static obs::Counter& suspended = sim_counter("sim.jobs_suspended");
+  suspended.add();
   return true;
 }
 
@@ -237,6 +251,8 @@ bool Simulator::checkpoint(JobId id) {
       s.spec->checkpoint_overhead.seconds() * static_cast<double>(s.spec->nodes_used);
   s.info.energy_mark = s.info.energy;
   s.info.carbon_mark = s.info.carbon;
+  static obs::Counter& checkpoints = sim_counter("sim.checkpoints");
+  checkpoints.add();
   return true;
 }
 
@@ -251,6 +267,8 @@ bool Simulator::resume(JobId id, int nodes) {
   free_nodes_ -= nodes;
   list_erase(suspended_, id);
   list_push(running_, Queue::Running, id);
+  static obs::Counter& resumed = sim_counter("sim.jobs_resumed");
+  resumed.add();
   return true;
 }
 
@@ -262,6 +280,8 @@ bool Simulator::reshape(JobId id, int nodes) {
   if (delta > free_nodes_) return false;
   free_nodes_ -= delta;
   s.info.alloc_nodes = nodes;
+  static obs::Counter& reshapes = sim_counter("sim.reshapes");
+  reshapes.add();
   return true;
 }
 
@@ -284,6 +304,8 @@ void Simulator::fail_job(JobId id) {
   s.info.wall_used = seconds(restored * s.spec->runtime.seconds());
   ++s.info.failure_count;
   ++result_.job_failures;
+  static obs::Counter& failures = sim_counter("sim.job_failures");
+  failures.add();
   list_erase(running_, id);
   if (s.info.failure_count > cfg_.faults.max_retries) {
     s.info.phase = JobPhase::Done;
@@ -291,6 +313,8 @@ void Simulator::fail_job(JobId id) {
     s.info.finish = now_;
     ++result_.jobs_failed;
     result_.makespan = std::max(result_.makespan, s.info.finish);
+    static obs::Counter& abandoned = sim_counter("sim.jobs_abandoned");
+    abandoned.add();
     return;
   }
   s.info.phase = JobPhase::Pending;
@@ -300,6 +324,8 @@ void Simulator::fail_job(JobId id) {
       cfg_.faults.max_backoff.seconds());
   s.info.requeue_ready = now_ + seconds(backoff);
   list_push(requeued_, Queue::Requeued, id);
+  static obs::Counter& requeued = sim_counter("sim.jobs_requeued");
+  requeued.add();
 }
 
 void Simulator::fail_one_node() {
@@ -352,6 +378,8 @@ void Simulator::advance_faults() {
       ++nodes_down_;
       repairs_.push_back(now_ + e.repair);
       ++result_.node_failures;
+      static obs::Counter& node_failures = sim_counter("sim.node_failures");
+      node_failures.add();
     }
     ++next_failure_;
   }
@@ -449,6 +477,8 @@ void Simulator::integrate_tick() {
           s.info.finish = now_ + seconds(dt);
           finished.push_back(id);
           ++result_.walltime_kills;
+          static obs::Counter& kills = sim_counter("sim.walltime_kills");
+          kills.add();
         }
       }
       s.info.progress += rate * dt;
@@ -475,7 +505,11 @@ void Simulator::integrate_tick() {
         s.queue = Queue::None;
         s.list_pos = -1;
         result_.makespan = std::max(result_.makespan, s.info.finish);
-        if (!s.info.killed) ++result_.completed_jobs;
+        if (!s.info.killed) {
+          ++result_.completed_jobs;
+          static obs::Counter& completed = sim_counter("sim.jobs_completed");
+          completed.add();
+        }
       } else {
         s.list_pos = static_cast<std::int32_t>(w);
         running_[w++] = id;
@@ -516,6 +550,8 @@ void Simulator::integrate_tick() {
 }
 
 void Simulator::fast_forward_idle(Duration stop) {
+  GREENHPC_TRACE_SPAN("sim.fast_forward");
+  static obs::Counter& ff_ticks = sim_counter("sim.fast_forward_ticks");
   // Preconditions (checked by the caller): no job in any phase list, no
   // pending repairs, no power policy. Until `stop` (next arrival, next
   // fault event, or max_time) every tick is a pure idle-floor tick, so
@@ -559,12 +595,15 @@ void Simulator::fast_forward_idle(Duration stop) {
     }
     ci_history_.push_back(ci_now_);
     now_ += tick;
+    ff_ticks.add();
   }
 }
 
 SimulationResult Simulator::run(SchedulingPolicy& sched, PowerBudgetPolicy* power) {
   GREENHPC_REQUIRE(!ran_, "Simulator::run may be called only once");
   ran_ = true;
+  GREENHPC_TRACE_SPAN("sim.run");
+  static obs::Counter& ticks_counter = sim_counter("sim.ticks");
   const Duration tick = cfg_.cluster.tick;
   while (now_ < cfg_.max_time) {
     // 1. arrivals
@@ -573,7 +612,10 @@ SimulationResult Simulator::run(SchedulingPolicy& sched, PowerBudgetPolicy* powe
       list_push(pending_, Queue::Pending, slots_[arrival_order_[next_arrival_]].spec->id);
       ++next_arrival_;
     }
-    advance_faults();
+    if (cfg_.faults.enabled()) {
+      GREENHPC_TRACE_SPAN("sim.faults");
+      advance_faults();
+    }
     const bool all_arrived = next_arrival_ == arrival_order_.size();
     if (all_arrived && pending_.empty() && running_.empty() && suspended_.empty() &&
         requeued_.empty()) {
@@ -607,12 +649,19 @@ SimulationResult Simulator::run(SchedulingPolicy& sched, PowerBudgetPolicy* powe
                       : cfg_.cluster.max_power();
 
     // 3. scheduling decisions
-    sched.on_tick(*this);
+    {
+      GREENHPC_TRACE_SPAN("sim.schedule");
+      sched.on_tick(*this);
+    }
 
     // 4+5. power capping and integration
-    integrate_tick();
+    {
+      GREENHPC_TRACE_SPAN("sim.integrate");
+      integrate_tick();
+    }
     ci_history_.push_back(ci_now_);
     now_ += tick;
+    ticks_counter.add();
   }
 
   result_.jobs.reserve(slots_.size());

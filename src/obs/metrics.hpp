@@ -1,0 +1,114 @@
+#pragma once
+// Process-wide metrics registry: named counters, gauges, and fixed-bucket
+// histograms with lock-free hot-path updates.
+//
+// Lookup (Registry::counter/gauge/histogram) takes a mutex and should be
+// hoisted out of hot loops — the canonical pattern is a function-local
+// static reference:
+//
+//   static obs::Counter& started =
+//       obs::Registry::global().counter("sim.jobs_started");
+//   started.add();
+//
+// Returned references stay valid for the registry's lifetime (entries are
+// never erased; reset() zeroes values but keeps the objects). All update
+// paths are single relaxed atomic RMWs (CAS loop for doubles), safe from
+// any thread.
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace greenhpc::obs {
+
+/// Monotone event count.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) {
+    v_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-written (or accumulated) double value.
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  void add(double delta) {
+    // fetch_add on atomic<double> is C++20 but takes the locked path on
+    // some targets; an explicit CAS loop keeps the semantics portable.
+    double cur = v_.load(std::memory_order_relaxed);
+    while (!v_.compare_exchange_weak(cur, cur + delta,
+                                     std::memory_order_relaxed,
+                                     std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] double value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() { v_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Fixed-bound histogram: bucket i counts samples <= bounds[i]; one
+/// overflow bucket catches the rest. Bounds are set at creation and
+/// immutable after.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void record(double v);
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket counts, bounds().size() + 1 entries (last = overflow).
+  [[nodiscard]] std::vector<std::uint64_t> counts() const;
+  [[nodiscard]] std::uint64_t count() const;
+  [[nodiscard]] double sum() const {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  void reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;
+  std::atomic<double> sum_{0.0};
+};
+
+/// Named metric store. `global()` is the process-wide instance every
+/// instrumentation site uses; independent instances exist for tests.
+class Registry {
+ public:
+  static Registry& global();
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name, std::vector<double> bounds);
+
+  /// {"counters":{...},"gauges":{...},"histograms":{...}} snapshot.
+  void write_json(std::ostream& os) const;
+  /// One `kind,name,value` row per scalar; histograms expand per bucket.
+  void write_csv(std::ostream& os) const;
+  /// Zero every value; registered entries (and references) survive.
+  void reset();
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace greenhpc::obs

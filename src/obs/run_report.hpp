@@ -1,0 +1,39 @@
+#pragma once
+// Per-run report artifact: one JSON file bundling what was run (config
+// line + digest), what it produced (named numbers/labels, e.g. resilience
+// telemetry or sweep digests), how long it took, and — optionally — the
+// global metrics snapshot, so a single artifact makes a run auditable.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace greenhpc::obs {
+
+/// FNV-1a 64-bit over a byte string; matches the digest convention used
+/// by core::SweepEngine and bench_perf.
+[[nodiscard]] std::uint64_t fnv1a(std::string_view s);
+
+struct RunReport {
+  std::string tool;     ///< e.g. "greenhpc sweep"
+  std::string config;   ///< reconstructed command line / config string
+  std::uint64_t config_digest = 0;
+  double wall_s = 0.0;
+  bool embed_metrics = true;  ///< include Registry::global() snapshot
+
+  void add(std::string name, double value) {
+    numbers.emplace_back(std::move(name), value);
+  }
+  void add_label(std::string name, std::string value) {
+    labels.emplace_back(std::move(name), std::move(value));
+  }
+  void write_json(std::ostream& os) const;
+
+  std::vector<std::pair<std::string, double>> numbers;
+  std::vector<std::pair<std::string, std::string>> labels;
+};
+
+}  // namespace greenhpc::obs

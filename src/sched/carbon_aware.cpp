@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
 #include "sched/easy_backfill.hpp"
 #include "sched/fcfs.hpp"
 #include "util/error.hpp"
@@ -86,6 +87,9 @@ void CarbonAwareEasyScheduler::on_tick(hpcsim::SimulationView& view) {
   // no longer trustworthy, so drop to carbon-blind EASY rather than gate
   // on a phantom grid state.
   if (view.carbon_signal_staleness() > cfg_.staleness_horizon) {
+    static obs::Counter& stale_ticks =
+        obs::Registry::global().counter("sched.carbon.stale_fallback_ticks");
+    stale_ticks.add();
     easy_pass(view, pending, /*shrink_moldable=*/false, &releases_);
     return;
   }
@@ -110,6 +114,13 @@ void CarbonAwareEasyScheduler::on_tick(hpcsim::SimulationView& view) {
     // Only hold if the forecast actually promises a greener window.
     hold_allowed = greener_period_ahead(view);
   }
+  static obs::Counter& hold_ticks =
+      obs::Registry::global().counter("sched.carbon.hold_ticks");
+  static obs::Counter& held_jobs =
+      obs::Registry::global().counter("sched.carbon.held_jobs");
+  static obs::Counter& over_budget_releases =
+      obs::Registry::global().counter("sched.carbon.released_over_budget");
+  if (hold_allowed) hold_ticks.add();
 
   std::vector<hpcsim::JobId>& eligible = eligible_scratch_;
   eligible.clear();
@@ -117,7 +128,11 @@ void CarbonAwareEasyScheduler::on_tick(hpcsim::SimulationView& view) {
   for (hpcsim::JobId id : pending) {
     const Duration waited = view.now() - view.spec(id).submit;
     const bool over_budget = waited >= cfg_.max_hold;
-    if (hold_allowed && !over_budget) continue;  // hold for a green period
+    if (hold_allowed && !over_budget) {
+      held_jobs.add();
+      continue;  // hold for a green period
+    }
+    if (hold_allowed && over_budget) over_budget_releases.add();
     eligible.push_back(id);
   }
   if (!eligible.empty()) easy_pass(view, eligible, /*shrink_moldable=*/false, &releases_);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
 #include "sched/fcfs.hpp"
 
 namespace greenhpc::sched {
@@ -79,6 +80,12 @@ int shrink_to_fit_nodes(const hpcsim::JobSpec& spec, int available) {
 
 int easy_pass(hpcsim::SimulationView& view, const std::vector<hpcsim::JobId>& queue,
               bool shrink_moldable, ReleaseCache* cache) {
+  static obs::Counter& head_started =
+      obs::Registry::global().counter("sched.easy.head_started");
+  static obs::Counter& reservations =
+      obs::Registry::global().counter("sched.easy.reservations");
+  static obs::Counter& backfilled =
+      obs::Registry::global().counter("sched.easy.backfilled");
   int started = 0;
   std::size_t head = 0;
   // Phase 1: start in order while possible.
@@ -93,6 +100,7 @@ int easy_pass(hpcsim::SimulationView& view, const std::vector<hpcsim::JobId>& qu
     if (view.start(id, nodes)) {
       ++started;
       ++head;
+      head_started.add();
     } else {
       break;
     }
@@ -100,6 +108,7 @@ int easy_pass(hpcsim::SimulationView& view, const std::vector<hpcsim::JobId>& qu
   if (head >= queue.size()) return started;
 
   // Phase 2: reservation for the blocked head.
+  reservations.add();
   const hpcsim::JobId blocked = queue[head];
   const int needed = start_nodes(view.spec(blocked));
   std::vector<ReleaseEvent> local;
@@ -124,6 +133,7 @@ int easy_pass(hpcsim::SimulationView& view, const std::vector<hpcsim::JobId>& qu
     if (!ends_before_shadow && !fits_in_spare) continue;
     if (view.start(id, nodes)) {
       ++started;
+      backfilled.add();
       if (!ends_before_shadow) spare -= nodes;
     }
   }

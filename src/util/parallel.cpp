@@ -4,9 +4,19 @@
 #include <atomic>
 #include <cstdlib>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace greenhpc::util {
+
+namespace detail {
+void note_pool_serial_fallback() {
+  static obs::Counter& serial =
+      obs::Registry::global().counter("pool.serial_fallbacks");
+  serial.add();
+}
+}  // namespace detail
 
 namespace {
 thread_local bool inside_parallel_region = false;
@@ -48,17 +58,20 @@ void ThreadPool::run_chunks(Task& task) {
   // Dynamic self-scheduling over a shared atomic chunk counter; the body
   // runs direct (non-erased) within a chunk, so the fetch_add and the one
   // indirect call are amortized over `grain` iterations.
+  static obs::Counter& chunks_done = obs::Registry::global().counter("pool.chunks");
   for (;;) {
     const std::size_t c = task.next_chunk.fetch_add(1, std::memory_order_relaxed);
     if (c >= task.chunks) break;
     const std::size_t begin = c * task.grain;
     const std::size_t end = std::min(task.n, begin + task.grain);
+    GREENHPC_TRACE_SPAN("pool.chunk");
     try {
       task.invoke(task.ctx, begin, end);
     } catch (...) {
       std::lock_guard lock(task.error_mutex);
       if (!task.error) task.error = std::current_exception();
     }
+    chunks_done.add();
   }
 }
 
@@ -76,6 +89,9 @@ void ThreadPool::worker_loop() {
       seen_generation = generation_;
       task = current_;
     }
+    static obs::Counter& wakeups =
+        obs::Registry::global().counter("pool.worker_wakeups");
+    wakeups.add();
     run_chunks(*task);
     if (task->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       std::lock_guard lock(mutex_);
@@ -85,6 +101,9 @@ void ThreadPool::worker_loop() {
 }
 
 void ThreadPool::run_task(Task& task) {
+  GREENHPC_TRACE_SPAN("pool.task");
+  static obs::Counter& tasks = obs::Registry::global().counter("pool.tasks");
+  tasks.add();
   inside_parallel_region = true;
   struct Reset {
     ~Reset() { inside_parallel_region = false; }

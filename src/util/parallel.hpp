@@ -32,6 +32,13 @@
 
 namespace greenhpc::util {
 
+namespace detail {
+/// Out-of-line observability hook (defined in parallel.cpp): counts
+/// serial-fallback dispatches without pulling obs headers into this
+/// template header. Called once per fallen-back loop, not per iteration.
+void note_pool_serial_fallback();
+}  // namespace detail
+
 class ThreadPool {
  public:
   /// Pool with `threads` workers; 0 means std::thread::hardware_concurrency
@@ -67,6 +74,7 @@ class ThreadPool {
     if (grain == 0) grain = default_grain(n);
     const std::size_t chunks = (n + grain - 1) / grain;
     if (chunks <= 1 || workers_.size() <= 1 || in_parallel_region()) {
+      detail::note_pool_serial_fallback();
       for (std::size_t i = 0; i < n; ++i) body(i);
       return;
     }

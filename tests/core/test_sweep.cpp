@@ -2,9 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <memory>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include "sched/easy_backfill.hpp"
@@ -138,6 +141,38 @@ TEST(SweepEngine, ProgressReportsMonotonicallyToTotal) {
   ASSERT_FALSE(done.empty());
   for (std::size_t i = 1; i < done.size(); ++i) EXPECT_GT(done[i], done[i - 1]);
   EXPECT_EQ(done.back(), 24u);
+}
+
+TEST(SweepEngine, ProgressCallbackIsSerializedUnderThreadPool) {
+  // The documented contract: progress always runs on the run() thread,
+  // between blocks, never concurrently with itself or the block fan-out.
+  // Detect any overlap with an atomic in-callback guard; detect any
+  // off-thread invocation by comparing thread ids.
+  SweepGrid grid = small_grid();
+  util::ThreadPool pool(8);
+  SweepEngine::Options opts;
+  opts.pool = &pool;
+  opts.block = 3;  // 24 cases -> 8 progress calls interleaved with fan-out
+  std::atomic<int> in_callback{0};
+  std::atomic<bool> overlapped{false};
+  std::atomic<int> calls{0};
+  const std::thread::id caller = std::this_thread::get_id();
+  std::atomic<bool> wrong_thread{false};
+  opts.progress = [&](std::size_t, std::size_t) {
+    if (in_callback.fetch_add(1, std::memory_order_acq_rel) != 0) {
+      overlapped.store(true, std::memory_order_relaxed);
+    }
+    if (std::this_thread::get_id() != caller) {
+      wrong_thread.store(true, std::memory_order_relaxed);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));  // widen races
+    in_callback.fetch_sub(1, std::memory_order_acq_rel);
+    calls.fetch_add(1, std::memory_order_relaxed);
+  };
+  (void)SweepEngine(std::move(opts)).run(grid);
+  EXPECT_FALSE(overlapped.load()) << "progress callback ran concurrently";
+  EXPECT_FALSE(wrong_thread.load()) << "progress callback left the run() thread";
+  EXPECT_EQ(calls.load(), 8);
 }
 
 TEST(SweepCellStats, Ci95MatchesNormalApproximation) {

@@ -1,0 +1,137 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+#include <vector>
+
+namespace greenhpc::obs {
+namespace {
+
+TEST(MetricsCounter, AddAndReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(MetricsCounter, ConcurrentIncrementsAllLand) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.add();
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(MetricsGauge, SetAddValue) {
+  Gauge g;
+  g.set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.add(1.5);
+  EXPECT_DOUBLE_EQ(g.value(), 4.0);
+  g.reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(MetricsGauge, ConcurrentAddsSumExactly) {
+  Gauge g;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&g] {
+      for (int i = 0; i < kPerThread; ++i) g.add(1.0);  // exact in double
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_DOUBLE_EQ(g.value(), static_cast<double>(kThreads * kPerThread));
+}
+
+TEST(MetricsHistogram, BucketsAndOverflow) {
+  Histogram h({1.0, 10.0, 100.0});
+  h.record(0.5);    // <= 1
+  h.record(1.0);    // <= 1 (inclusive upper bound)
+  h.record(5.0);    // <= 10
+  h.record(1000.0); // overflow
+  const auto counts = h.counts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 0u);
+  EXPECT_EQ(counts[3], 1u);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 1006.5);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+}
+
+TEST(MetricsRegistry, LookupReturnsStableReferences) {
+  Registry reg;
+  Counter& a = reg.counter("obs.test.stable");
+  a.add(3);
+  Counter& b = reg.counter("obs.test.stable");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(b.value(), 3u);
+  // reset() zeroes values but keeps the objects (and references) alive.
+  reg.reset();
+  EXPECT_EQ(a.value(), 0u);
+  a.add();
+  EXPECT_EQ(reg.counter("obs.test.stable").value(), 1u);
+}
+
+TEST(MetricsRegistry, JsonSnapshotContainsAllKinds) {
+  Registry reg;
+  reg.counter("c.one").add(7);
+  reg.gauge("g.one").set(1.25);
+  reg.histogram("h.one", {2.0}).record(1.0);
+  std::ostringstream os;
+  reg.write_json(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"c.one\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"g.one\":1.25"), std::string::npos);
+  EXPECT_NE(json.find("\"h.one\":{\"bounds\":[2]"), std::string::npos);
+  EXPECT_NE(json.find("\"count\":1"), std::string::npos);
+}
+
+TEST(MetricsRegistry, CsvSnapshotHasHeaderAndRows) {
+  Registry reg;
+  reg.counter("c.two").add(9);
+  reg.histogram("h.two", {1.0}).record(0.5);
+  std::ostringstream os;
+  reg.write_csv(os);
+  const std::string csv = os.str();
+  EXPECT_EQ(csv.rfind("kind,name,value\n", 0), 0u);
+  EXPECT_NE(csv.find("counter,c.two,9"), std::string::npos);
+  EXPECT_NE(csv.find("histogram,h.two[le=1],1"), std::string::npos);
+  EXPECT_NE(csv.find("histogram,h.two[le=inf],0"), std::string::npos);
+}
+
+TEST(MetricsRegistry, SizeCountsEveryKind) {
+  Registry reg;
+  EXPECT_EQ(reg.size(), 0u);
+  reg.counter("a");
+  reg.gauge("b");
+  reg.histogram("c", {1.0});
+  reg.counter("a");  // idempotent
+  EXPECT_EQ(reg.size(), 3u);
+}
+
+TEST(MetricsRegistry, GlobalIsASingleton) {
+  EXPECT_EQ(&Registry::global(), &Registry::global());
+}
+
+}  // namespace
+}  // namespace greenhpc::obs

@@ -1,0 +1,73 @@
+#include "obs/run_report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "obs/metrics.hpp"
+
+namespace greenhpc::obs {
+namespace {
+
+TEST(Fnv1a, MatchesRepoDigestConvention) {
+  // Pinned against the offset basis SweepEngine and bench_perf seed their
+  // digests with (1469598103934665603, not the textbook FNV basis) — the
+  // function must keep matching the repo-wide convention.
+  EXPECT_EQ(fnv1a(""), 0x14650fb0739d0383ull);
+  EXPECT_EQ(fnv1a("a"), 0x44bd8ad473cd9906ull);
+  EXPECT_EQ(fnv1a("greenhpc"), 0xc30cc90b9eb09d8bull);
+  // Sensitivity: neighbouring inputs must not collide.
+  EXPECT_NE(fnv1a("greenhpc"), fnv1a("greenhpd"));
+}
+
+TEST(RunReport, JsonBundlesConfigNumbersAndLabels) {
+  RunReport r;
+  r.tool = "greenhpc simulate";
+  r.config = "simulate --nodes 16";
+  r.config_digest = fnv1a(r.config);
+  r.wall_s = 1.5;
+  r.embed_metrics = false;
+  r.add("jobs_completed", 40.0);
+  r.add_label("scheduler", "easy");
+  std::ostringstream os;
+  r.write_json(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"tool\": \"greenhpc simulate\""), std::string::npos);
+  EXPECT_NE(json.find("\"config\": \"simulate --nodes 16\""), std::string::npos);
+  EXPECT_NE(json.find("\"wall_s\": 1.5"), std::string::npos);
+  EXPECT_NE(json.find("\"jobs_completed\": 40"), std::string::npos);
+  EXPECT_NE(json.find("\"scheduler\": \"easy\""), std::string::npos);
+  EXPECT_EQ(json.find("\"metrics\""), std::string::npos);
+  // Balanced braces => structurally sound JSON for this flat schema.
+  long depth = 0;
+  for (const char c : json) {
+    if (c == '{') ++depth;
+    if (c == '}') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(RunReport, EmbedsGlobalMetricsSnapshot) {
+  Registry::global().counter("obs.test.report_embed").add(3);
+  RunReport r;
+  r.tool = "greenhpc test";
+  std::ostringstream os;
+  r.write_json(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"metrics\": {"), std::string::npos);
+  EXPECT_NE(json.find("\"obs.test.report_embed\":3"), std::string::npos);
+}
+
+TEST(RunReport, EscapesQuotesInConfig) {
+  RunReport r;
+  r.tool = "t";
+  r.config = "say \"hi\"";
+  r.embed_metrics = false;
+  std::ostringstream os;
+  r.write_json(os);
+  EXPECT_NE(os.str().find("say \\\"hi\\\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace greenhpc::obs

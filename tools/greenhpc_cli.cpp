@@ -13,10 +13,16 @@
 //                                                  over a parameter grid
 //
 // Global flags:
-//   --threads N    size the worker pool (overrides GREENHPC_THREADS)
+//   --threads N         size the worker pool (overrides GREENHPC_THREADS)
+//   --trace-out FILE    record a runtime trace (Chrome trace_event JSON,
+//                       loadable in chrome://tracing or ui.perfetto.dev)
+//   --metrics-out FILE  dump the metrics-registry snapshot as JSON
+//   --report FILE       write a per-run report (config digest, key numbers,
+//                       metrics snapshot, wall time) as JSON
 //
 // Exit status: 0 on success, 2 on usage errors.
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -28,6 +34,9 @@
 
 #include "carbon/trace_io.hpp"
 #include "core/scenario.hpp"
+#include "obs/metrics.hpp"
+#include "obs/run_report.hpp"
+#include "obs/trace.hpp"
 #include "core/sweep.hpp"
 #include "embodied/systems.hpp"
 #include "hpcsim/swf_io.hpp"
@@ -160,7 +169,7 @@ core::SchedulerFactory scheduler_factory(const std::string& name) {
                         " (easy|fcfs|conservative|carbon-easy)");
 }
 
-int cmd_simulate(const Args& args) {
+int cmd_simulate(const Args& args, obs::RunReport& report) {
   core::ScenarioConfig cfg;
   cfg.cluster.nodes = static_cast<int>(args.num("nodes", 256));
   cfg.region = parse_region(args.get("region", "DE"));
@@ -207,6 +216,24 @@ int cmd_simulate(const Args& args) {
   std::printf("mean wait:        %.2f h   bounded slowdown: %.2f\n",
               result.mean_wait_hours(), result.mean_bounded_slowdown());
   std::printf("utilization:      %.1f%%\n", 100.0 * result.utilization(cfg.cluster));
+
+  report.add_label("scheduler", scheduler->name());
+  report.add("jobs", static_cast<double>(n_jobs));
+  report.add("jobs_completed", static_cast<double>(result.completed_jobs));
+  report.add("makespan_h", result.makespan.hours());
+  report.add("energy_mwh", result.total_energy.megawatt_hours());
+  report.add("carbon_t", result.total_carbon.tonnes());
+  report.add("mean_wait_h", result.mean_wait_hours());
+  report.add("utilization", result.utilization(cfg.cluster));
+  // Resilience telemetry: zero in fault-free runs, but always reported so
+  // report consumers need no schema branch.
+  report.add("node_failures", static_cast<double>(result.node_failures));
+  report.add("job_failures", static_cast<double>(result.job_failures));
+  report.add("jobs_failed", static_cast<double>(result.jobs_failed));
+  report.add("walltime_kills", static_cast<double>(result.walltime_kills));
+  report.add("checkpoints_taken", static_cast<double>(result.checkpoints_taken));
+  report.add("lost_node_hours", result.lost_node_hours());
+  report.add("wasted_carbon_g", result.wasted_carbon.grams());
   return 0;
 }
 
@@ -225,7 +252,7 @@ std::vector<std::string> split_list(const std::string& csv) {
   return out;
 }
 
-int cmd_sweep(const Args& args) {
+int cmd_sweep(const Args& args, obs::RunReport& report) {
   core::SweepGrid grid;
   grid.base.cluster.nodes = 64;
   const double span_days = args.num("days", 2.0);
@@ -260,8 +287,17 @@ int cmd_sweep(const Args& args) {
   opts.block = static_cast<std::size_t>(args.num("block", 256));
   const std::size_t total = grid.case_count();
   if (!args.has("quiet")) {
-    opts.progress = [total](std::size_t done, std::size_t) {
-      std::fprintf(stderr, "\r%zu / %zu cases", done, total);
+    // --progress appends a live throughput readout from the engine's
+    // sweep.cases_per_s gauge (updated before each progress call).
+    const bool live_rate = args.has("progress");
+    obs::Gauge& rate = obs::Registry::global().gauge("sweep.cases_per_s");
+    opts.progress = [total, live_rate, &rate](std::size_t done, std::size_t) {
+      if (live_rate) {
+        std::fprintf(stderr, "\r%zu / %zu cases (%.1f cases/s)", done, total,
+                     rate.value());
+      } else {
+        std::fprintf(stderr, "\r%zu / %zu cases", done, total);
+      }
       if (done == total) std::fprintf(stderr, "\n");
     };
   }
@@ -288,12 +324,21 @@ int cmd_sweep(const Args& args) {
                         .c_str());
   std::printf("digest: %016llx (bit-identical for any --threads)\n",
               static_cast<unsigned long long>(result.digest));
+
+  char digest_hex[32];
+  std::snprintf(digest_hex, sizeof(digest_hex), "%016llx",
+                static_cast<unsigned long long>(result.digest));
+  report.add_label("sweep_digest", digest_hex);
+  report.add("cases", static_cast<double>(result.cases));
+  report.add("cells", static_cast<double>(result.cells.size()));
+  report.add("replicas", static_cast<double>(result.replicas));
   return 0;
 }
 
-int usage() {
-  std::fprintf(stderr,
+void print_usage(std::FILE* out) {
+  std::fprintf(out,
                "usage: greenhpc <command> [--flags]\n"
+               "  help                          print this message\n"
                "  regions                       list region presets\n"
                "  trace --region DE --days 31   emit a carbon-intensity CSV\n"
                "  fig1                          embodied-carbon breakdown table\n"
@@ -303,10 +348,37 @@ int usage() {
                "  sweep --regions DE,FR [--kinds average,marginal]\n"
                "        --nodes 64,128 [--jobs-list 150,300] [--replicas 3]\n"
                "        [--sched easy,carbon-easy] [--days 2] [--seed N]\n"
-               "        [--block 256] [--quiet]  aggregate a parameter-grid sweep\n"
-               "global flags: --threads N        worker-pool size "
-               "(overrides GREENHPC_THREADS)\n");
+               "        [--block 256] [--quiet] [--progress]\n"
+               "                                aggregate a parameter-grid sweep\n"
+               "global flags:\n"
+               "  --threads N         worker-pool size (overrides GREENHPC_THREADS)\n"
+               "  --trace-out FILE    runtime trace (Chrome trace_event JSON,\n"
+               "                      open in chrome://tracing / ui.perfetto.dev)\n"
+               "  --metrics-out FILE  metrics-registry snapshot as JSON\n"
+               "  --report FILE       per-run report JSON (config digest, key\n"
+               "                      numbers, metrics, wall time)\n");
+}
+
+int usage() {
+  print_usage(stderr);
   return 2;
+}
+
+bool known_command(const std::string& command) {
+  return command == "regions" || command == "trace" || command == "fig1" ||
+         command == "carbon500" || command == "simulate" || command == "sweep";
+}
+
+/// Write `body` to `path`; usage-level failure (exit 2) if unwritable.
+template <typename WriteBody>
+int write_artifact(const std::string& path, const char* what, WriteBody&& body) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s file: %s\n", what, path.c_str());
+    return 2;
+  }
+  body(out);
+  return 0;
 }
 
 }  // namespace
@@ -314,8 +386,31 @@ int usage() {
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
+  if (command == "help" || command == "--help" || command == "-h") {
+    print_usage(stdout);
+    return 0;
+  }
+  if (!known_command(command)) {
+    std::fprintf(stderr, "unknown command: %s\n", command.c_str());
+    return usage();
+  }
   Args args(argc, argv, 2);
   if (!args.ok()) return usage();
+
+  const std::string trace_out = args.get("trace-out", "");
+  const std::string metrics_out = args.get("metrics-out", "");
+  const std::string report_out = args.get("report", "");
+
+  obs::RunReport report;
+  report.tool = "greenhpc " + command;
+  for (int i = 1; i < argc; ++i) {
+    if (i > 1) report.config += ' ';
+    report.config += argv[i];
+  }
+  report.config_digest = obs::fnv1a(report.config);
+
+  int ret = 2;
+  const auto t0 = std::chrono::steady_clock::now();
   try {
     if (args.has("threads")) {
       const int n = static_cast<int>(args.num("threads", 0));
@@ -325,15 +420,40 @@ int main(int argc, char** argv) {
       }
       util::ThreadPool::configure_global(static_cast<std::size_t>(n));
     }
-    if (command == "regions") return cmd_regions();
-    if (command == "trace") return cmd_trace(args);
-    if (command == "fig1") return cmd_fig1();
-    if (command == "carbon500") return cmd_carbon500();
-    if (command == "simulate") return cmd_simulate(args);
-    if (command == "sweep") return cmd_sweep(args);
+    if (!trace_out.empty()) obs::Tracer::set_enabled(true);
+    if (command == "regions") ret = cmd_regions();
+    if (command == "trace") ret = cmd_trace(args);
+    if (command == "fig1") ret = cmd_fig1();
+    if (command == "carbon500") ret = cmd_carbon500();
+    if (command == "simulate") ret = cmd_simulate(args, report);
+    if (command == "sweep") ret = cmd_sweep(args, report);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
-    return 2;
+    ret = 2;
   }
-  return usage();
+  report.wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  // Drain observability artifacts after the command finishes: the pool is
+  // quiescent here, so the tracer's drain contract holds.
+  if (!trace_out.empty()) {
+    obs::Tracer::set_enabled(false);
+    const int w = write_artifact(trace_out, "trace", [](std::ostream& os) {
+      obs::Tracer::write_chrome_json(os);
+    });
+    if (ret == 0) ret = w;
+  }
+  if (!metrics_out.empty()) {
+    const int w = write_artifact(metrics_out, "metrics", [](std::ostream& os) {
+      obs::Registry::global().write_json(os);
+    });
+    if (ret == 0) ret = w;
+  }
+  if (!report_out.empty()) {
+    const int w = write_artifact(report_out, "report", [&report](std::ostream& os) {
+      report.write_json(os);
+    });
+    if (ret == 0) ret = w;
+  }
+  return ret;
 }
