@@ -8,9 +8,12 @@
 // the three digests are bit-identical (the engine's determinism
 // contract). Throughput per thread count measures fan-out scaling; on
 // hosts without spare cores the pool's serial fallback engages instead
-// and is reported as such, not scored as a regression. A final traced run
+// and is reported as such, not scored as a regression. A traced run
 // asserts the digest is unchanged with the event tracer enabled and
 // reports the span-derived phase breakdown ("tracing" block in the JSON).
+// A final interrupted-and-resumed run (write-ahead journal, aborted after
+// four blocks, resumed) asserts the crash-safety contract: the resumed
+// digest must match the clean run bit for bit ("resume" block).
 //
 // Usage: bench_sweep [--smoke] [--out FILE] [--threads N]
 //   --smoke      small grid (CI smoke: seconds, not minutes)
@@ -29,6 +32,7 @@
 #include "carbon/forecast.hpp"
 #include "carbon/trace_cache.hpp"
 #include "core/sweep.hpp"
+#include "core/sweep_journal.hpp"
 #include "hpcsim/workload.hpp"
 #include "obs/trace.hpp"
 #include "sched/carbon_aware.hpp"
@@ -222,6 +226,50 @@ int main(int argc, char** argv) {
               phases.size());
   obs::Tracer::reset();
 
+  // --- interrupted + resumed run: the crash-safety acceptance check ---
+  // Journal the grid, abort the run mid-way (a progress callback that
+  // throws stands in for SIGKILL: the journal is fsynced before progress
+  // fires, so the durable state is identical), resume from the journal and
+  // require the digest to match the uninterrupted runs bit for bit.
+  std::uint64_t resumed_digest = 0;
+  std::size_t replayed = 0;
+  {
+    const std::string dir = out_path + ".journal.d";
+    const std::size_t block = std::max<std::size_t>(1, n_cases / 8);
+    struct Abort {};
+    {
+      core::SweepJournal journal = core::SweepJournal::create(
+          dir, grid.config_digest(), n_cases, block);
+      util::ThreadPool pool(2);
+      core::SweepEngine::Options opts;
+      opts.pool = &pool;
+      opts.journal = &journal;
+      std::size_t blocks_done = 0;
+      opts.progress = [&blocks_done](std::size_t, std::size_t) {
+        if (++blocks_done == 4) throw Abort{};
+      };
+      try {
+        (void)core::SweepEngine(std::move(opts)).run(grid);
+      } catch (const Abort&) {
+      }
+    }
+    core::SweepJournal journal =
+        core::SweepJournal::resume(dir, grid.config_digest(), n_cases);
+    util::ThreadPool pool(2);
+    core::SweepEngine::Options opts;
+    opts.pool = &pool;
+    opts.journal = &journal;
+    const core::SweepResult resumed = core::SweepEngine(std::move(opts)).run(grid);
+    resumed_digest = resumed.digest;
+    replayed = resumed.replayed_cases;
+    std::remove(journal.path().c_str());
+    std::remove(dir.c_str());
+  }
+  const bool resume_identical = resumed_digest == samples.front().digest;
+  std::printf("interrupted + resumed run: %zu cases replayed from the journal, "
+              "digest %s the clean run\n",
+              replayed, resume_identical ? "matches" : "DIVERGED from");
+
   std::FILE* f = std::fopen(out_path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
@@ -252,6 +300,11 @@ int main(int argc, char** argv) {
                  i + 1 < phases.size() ? "," : "");
   }
   std::fprintf(f, "  ]},\n");
+  std::fprintf(f,
+               "  \"resume\": {\"replayed_cases\": %zu, \"digest\": \"%016llx\", "
+               "\"digest_matches\": %s},\n",
+               replayed, static_cast<unsigned long long>(resumed_digest),
+               resume_identical ? "true" : "false");
   std::fprintf(f, "  \"runs\": [\n");
   for (std::size_t i = 0; i < samples.size(); ++i) {
     const SweepSample& s = samples[i];
@@ -276,6 +329,14 @@ int main(int argc, char** argv) {
                  "(%016llx traced vs %016llx untraced) — instrumentation "
                  "must stay purely observational\n",
                  static_cast<unsigned long long>(traced_digest),
+                 static_cast<unsigned long long>(samples.front().digest));
+    return 1;
+  }
+  if (!resume_identical) {
+    std::fprintf(stderr,
+                 "FAIL: resuming an interrupted sweep from its journal changed "
+                 "the digest (%016llx resumed vs %016llx clean)\n",
+                 static_cast<unsigned long long>(resumed_digest),
                  static_cast<unsigned long long>(samples.front().digest));
     return 1;
   }

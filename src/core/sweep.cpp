@@ -3,9 +3,13 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <cstring>
+#include <thread>
 
+#include "core/sweep_journal.hpp"
 #include "obs/metrics.hpp"
+#include "obs/run_report.hpp"  // obs::fnv1a
 #include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
@@ -55,6 +59,20 @@ void digest_metrics(std::uint64_t& h, const SweepCaseMetrics& m) {
   }
 }
 
+/// Append a double's exact bit pattern to a config-digest buffer.
+void digest_field(std::string& buf, double v) {
+  char tmp[24];
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  std::snprintf(tmp, sizeof(tmp), "%016llx;", static_cast<unsigned long long>(bits));
+  buf += tmp;
+}
+
+void digest_field(std::string& buf, long long v) {
+  buf += std::to_string(v);
+  buf += ';';
+}
+
 }  // namespace
 
 std::size_t SweepGrid::case_count() const {
@@ -64,6 +82,71 @@ std::size_t SweepGrid::case_count() const {
 std::size_t SweepGrid::cell_count() const {
   const Axes a = resolve_axes(*this);
   return axes_cells(a, policies.size());
+}
+
+std::uint64_t SweepGrid::config_digest() const {
+  // Serialize everything that shapes the expanded cases — resolved axes
+  // (so "empty axis" and "axis = {base value}" hash alike), policy
+  // labels, replicas, and every base field the simulation reads — then
+  // FNV the buffer. Doubles go in as exact bit patterns: two grids hash
+  // equal iff they expand to the same simulations.
+  const Axes a = resolve_axes(*this);
+  std::string buf = "sweep-grid-v1;";
+  for (const carbon::Region r : a.regions) {
+    digest_field(buf, static_cast<long long>(r));
+  }
+  buf += '|';
+  for (const carbon::IntensityKind k : a.kinds) {
+    digest_field(buf, static_cast<long long>(k));
+  }
+  buf += '|';
+  for (const int n : a.nodes) digest_field(buf, static_cast<long long>(n));
+  buf += '|';
+  for (const int n : a.jobs) digest_field(buf, static_cast<long long>(n));
+  buf += '|';
+  digest_field(buf, static_cast<long long>(seed_replicas));
+  for (const SweepPolicy& p : policies) {
+    buf += p.label;
+    buf += ';';
+  }
+  buf += '|';
+  digest_field(buf, static_cast<long long>(base.seed));
+  digest_field(buf, static_cast<long long>(base.region));
+  digest_field(buf, static_cast<long long>(base.intensity_kind));
+  digest_field(buf, base.trace_span.seconds());
+  digest_field(buf, base.trace_step.seconds());
+  const hpcsim::ClusterConfig& c = base.cluster;
+  digest_field(buf, static_cast<long long>(c.nodes));
+  digest_field(buf, c.node_tdp.watts());
+  digest_field(buf, c.node_idle.watts());
+  digest_field(buf, c.min_cap_fraction);
+  digest_field(buf, c.tick.seconds());
+  digest_field(buf, static_cast<long long>(c.enforce_walltime));
+  const hpcsim::WorkloadConfig& w = base.workload;
+  digest_field(buf, static_cast<long long>(w.job_count));
+  digest_field(buf, w.span.seconds());
+  digest_field(buf, w.diurnal_amplitude);
+  digest_field(buf, static_cast<long long>(w.max_job_nodes));
+  digest_field(buf, w.runtime_weibull_shape);
+  digest_field(buf, w.runtime_mean.seconds());
+  digest_field(buf, w.runtime_min.seconds());
+  digest_field(buf, w.runtime_max.seconds());
+  digest_field(buf, w.walltime_factor_sigma);
+  digest_field(buf, w.over_allocation_mean);
+  digest_field(buf, w.malleable_fraction);
+  digest_field(buf, w.moldable_fraction);
+  digest_field(buf, w.checkpointable_fraction);
+  digest_field(buf, w.node_power_mean.watts());
+  digest_field(buf, w.node_power_sigma.watts());
+  digest_field(buf, w.node_power_limit.watts());
+  digest_field(buf, w.alpha_min);
+  digest_field(buf, w.alpha_max);
+  digest_field(buf, w.gamma_min);
+  digest_field(buf, w.gamma_max);
+  digest_field(buf, w.mpi_wait_mean);
+  digest_field(buf, w.powersave_adoption);
+  digest_field(buf, static_cast<long long>(w.user_count));
+  return obs::fnv1a(buf);
 }
 
 double SweepCellStats::ci95(const util::RunningStats& s) {
@@ -166,8 +249,100 @@ SweepResult SweepEngine::run(const SweepGrid& grid) const {
     return m;
   };
 
+  /// Resolved coordinates of a flat case, for quarantine reports.
+  const auto describe_case = [&](std::size_t flat) {
+    const std::size_t cell_idx = flat / replicas;
+    const int replica = static_cast<int>(flat % replicas);
+    std::size_t rest = cell_idx;
+    const std::size_t policy_idx = rest % grid.policies.size();
+    rest /= grid.policies.size();
+    const std::size_t jobs_idx = rest % axes.jobs.size();
+    rest /= axes.jobs.size();
+    const std::size_t nodes_idx = rest % axes.nodes.size();
+    rest /= axes.nodes.size();
+    const std::size_t kind_idx = rest % axes.kinds.size();
+    rest /= axes.kinds.size();
+    return "region=" + std::string(carbon::traits(axes.regions[rest]).code) +
+           " kind=" +
+           (axes.kinds[kind_idx] == carbon::IntensityKind::Average ? "avg" : "marg") +
+           " nodes=" + std::to_string(axes.nodes[nodes_idx]) +
+           " jobs=" + std::to_string(axes.jobs[jobs_idx]) +
+           " policy=" + grid.policies[policy_idx].label +
+           " replica=" + std::to_string(replica);
+  };
+
+  // Journal binding: the journal must have been opened against exactly
+  // this grid, and its recorded block size wins so block boundaries line
+  // up with the journaled records.
+  SweepJournal* journal = opts_.journal;
+  std::size_t block_size = opts_.block;
+  if (journal != nullptr) {
+    GREENHPC_REQUIRE(journal->config_digest() == grid.config_digest(),
+                     "journal was written for a different sweep grid");
+    GREENHPC_REQUIRE(journal->cases() == n_cases,
+                     "journal case count does not match this grid");
+    block_size = journal->block();
+  }
+
+  static obs::Counter& retries_counter =
+      obs::Registry::global().counter("sweep.case_retries");
+  static obs::Counter& quarantined_counter =
+      obs::Registry::global().counter("sweep.cases_quarantined");
+
+  // Fold one case outcome into the cell table / digest / quarantine list.
+  // Replayed journal entries and freshly simulated cases take the same
+  // path, which is what makes resume bit-identical by construction.
+  const auto fold_entry = [&](std::size_t flat, const SweepJournal::CaseEntry& e) {
+    if (!e.ok) {
+      result.failed_cases.push_back(
+          SweepFailedCase{flat, describe_case(flat), e.error, e.attempts});
+      return;
+    }
+    const SweepCaseMetrics& m = e.metrics;
+    SweepCellStats& cell = result.cells[flat / replicas];
+    cell.carbon_t.add(m.total_carbon_t);
+    cell.energy_mwh.add(m.total_energy_mwh);
+    cell.wait_h.add(m.mean_wait_h);
+    cell.slowdown.add(m.mean_bounded_slowdown);
+    cell.utilization.add(m.utilization);
+    cell.green_share.add(m.green_energy_share);
+    cell.completed.add(m.completed);
+    digest_metrics(result.digest, m);
+  };
+
+  // Failure isolation: one case = one simulation attempt + a capped
+  // exponential backoff retry budget (the same backoff shape as the
+  // resilience layer's job requeue). A case that exhausts the budget is
+  // quarantined, not fatal.
+  const auto run_case = [&](std::size_t flat) {
+    SweepJournal::CaseEntry entry;
+    for (int attempt = 0;; ++attempt) {
+      entry.attempts = attempt + 1;
+      try {
+        entry.metrics = simulate_case(flat);
+        entry.ok = true;
+        return entry;
+      } catch (const std::exception& e) {
+        entry.error = e.what();
+      } catch (...) {
+        entry.error = "unknown exception";
+      }
+      if (attempt >= opts_.case_retries) {
+        entry.ok = false;
+        quarantined_counter.add();
+        return entry;
+      }
+      retries_counter.add();
+      const double backoff_s =
+          std::min(opts_.retry_backoff_cap_s,
+                   opts_.retry_backoff_base_s * static_cast<double>(1ull << attempt));
+      if (backoff_s > 0.0) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(backoff_s));
+      }
+    }
+  };
+
   util::ThreadPool& pool = opts_.pool != nullptr ? *opts_.pool : util::ThreadPool::global();
-  std::vector<SweepCaseMetrics> scratch(std::min(opts_.block, n_cases));
   // Engine-side observability: per-block phase timing feeds the metrics
   // registry and (when enabled) the tracer. None of it touches simulation
   // state, so the fold order and digest stay bit-identical with tracing
@@ -179,16 +354,43 @@ SweepResult SweepEngine::run(const SweepGrid& grid) const {
   static obs::Gauge& fold_s = obs::Registry::global().gauge("sweep.fold_s");
   static obs::Histogram& block_seconds = obs::Registry::global().histogram(
       "sweep.block_seconds", {1e-3, 1e-2, 0.1, 1.0, 10.0});
+
+  // Resume: re-fold the blocks the journal proves complete instead of
+  // re-simulating them. Each record's stored digest must match the
+  // running digest after its fold — a mismatch means the journal does
+  // not belong to this grid (or survived corruption the line checksums
+  // cannot see), and silently folding it would fabricate results.
+  std::size_t start_case = 0;
+  if (journal != nullptr) {
+    GREENHPC_TRACE_SPAN("sweep.replay");
+    for (const SweepJournal::BlockRecord& rec : journal->completed()) {
+      for (std::size_t i = 0; i < rec.cases.size(); ++i) {
+        fold_entry(rec.start + i, rec.cases[i]);
+      }
+      GREENHPC_REQUIRE(result.digest == rec.digest_after,
+                       "journal replay digest mismatch — the journal does not "
+                       "re-fold to its recorded digest for this grid");
+      result.replayed_cases += rec.cases.size();
+      if (opts_.progress) {
+        opts_.progress(rec.start + rec.cases.size(), n_cases);
+      }
+    }
+    start_case = journal->resume_point();
+  }
+
+  std::vector<SweepJournal::CaseEntry> scratch(
+      std::min(block_size, n_cases - std::min(n_cases, start_case)));
   const auto run_start = std::chrono::steady_clock::now();
-  for (std::size_t block_start = 0; block_start < n_cases; block_start += opts_.block) {
-    const std::size_t block_n = std::min(opts_.block, n_cases - block_start);
+  for (std::size_t block_start = start_case; block_start < n_cases;
+       block_start += block_size) {
+    const std::size_t block_n = std::min(block_size, n_cases - block_start);
     const auto block_begin = std::chrono::steady_clock::now();
     {
       // Parallel fill into flat-indexed scratch slots (grain 1: one case
       // is a whole simulation)...
       GREENHPC_TRACE_SPAN("sweep.block.simulate");
       pool.parallel_for_chunked(block_n, 1, [&](std::size_t i) {
-        scratch[i] = simulate_case(block_start + i);
+        scratch[i] = run_case(block_start + i);
       });
     }
     const auto fold_begin = std::chrono::steady_clock::now();
@@ -197,18 +399,21 @@ SweepResult SweepEngine::run(const SweepGrid& grid) const {
       // digest see every case in the same sequence for any thread count.
       GREENHPC_TRACE_SPAN("sweep.block.fold");
       for (std::size_t i = 0; i < block_n; ++i) {
-        const std::size_t flat = block_start + i;
-        const SweepCaseMetrics& m = scratch[i];
-        SweepCellStats& cell = result.cells[flat / replicas];
-        cell.carbon_t.add(m.total_carbon_t);
-        cell.energy_mwh.add(m.total_energy_mwh);
-        cell.wait_h.add(m.mean_wait_h);
-        cell.slowdown.add(m.mean_bounded_slowdown);
-        cell.utilization.add(m.utilization);
-        cell.green_share.add(m.green_energy_share);
-        cell.completed.add(m.completed);
-        digest_metrics(result.digest, m);
+        fold_entry(block_start + i, scratch[i]);
       }
+    }
+    if (journal != nullptr) {
+      // WAL commit point: the record (metrics + quarantines + running
+      // digest) is fsynced before the block is reported done, so a crash
+      // after this line loses nothing and a crash before it loses only
+      // this block.
+      GREENHPC_TRACE_SPAN("sweep.block.journal");
+      SweepJournal::BlockRecord rec;
+      rec.start = block_start;
+      rec.cases.assign(scratch.begin(),
+                       scratch.begin() + static_cast<std::ptrdiff_t>(block_n));
+      rec.digest_after = result.digest;
+      journal->append(rec);
     }
     const auto block_end = std::chrono::steady_clock::now();
     const std::chrono::duration<double> sim_d = fold_begin - block_begin;
@@ -219,7 +424,8 @@ SweepResult SweepEngine::run(const SweepGrid& grid) const {
     fold_s.add(fold_d.count());
     block_seconds.record(sim_d.count() + fold_d.count());
     if (elapsed.count() > 0.0) {
-      cases_per_s.set(static_cast<double>(block_start + block_n) / elapsed.count());
+      cases_per_s.set(static_cast<double>(block_start + block_n - start_case) /
+                      elapsed.count());
     }
     if (opts_.progress) opts_.progress(block_start + block_n, n_cases);
   }

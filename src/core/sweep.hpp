@@ -31,6 +31,8 @@
 
 namespace greenhpc::core {
 
+class SweepJournal;
+
 /// One labelled policy combination under comparison.
 struct SweepPolicy {
   std::string label;
@@ -59,6 +61,11 @@ struct SweepGrid {
   [[nodiscard]] std::size_t case_count() const;
   /// Grid cells (= case_count() / seed_replicas).
   [[nodiscard]] std::size_t cell_count() const;
+  /// FNV-1a digest over everything that shapes the expanded cases:
+  /// resolved axes, policy labels, replica count and the base scenario.
+  /// A journal is bound to this digest, so resuming against a different
+  /// grid is rejected instead of silently folding foreign metrics.
+  [[nodiscard]] std::uint64_t config_digest() const;
 };
 
 /// Headline metrics of one simulated case — the Welford inputs and the
@@ -96,6 +103,16 @@ struct SweepCellStats {
   [[nodiscard]] static double ci95(const util::RunningStats& s);
 };
 
+/// A case that exhausted its retry budget and was quarantined instead of
+/// killing the sweep (failure isolation: one pathological point in the
+/// grid must not abort the other thousands of cases).
+struct SweepFailedCase {
+  std::size_t flat = 0;     ///< flat case id
+  std::string where;        ///< resolved coordinates, e.g. "region=DE ... replica=2"
+  std::string error;        ///< text of the last exception
+  int attempts = 0;         ///< simulation attempts consumed (1 + retries)
+};
+
 struct SweepResult {
   /// Cell-major order: regions × kinds × nodes × jobs × policies.
   std::vector<SweepCellStats> cells;
@@ -103,7 +120,15 @@ struct SweepResult {
   int replicas = 1;
   /// FNV-1a over every case's metric bit patterns in flat case order —
   /// equal digests mean bit-identical sweeps (any thread count).
+  /// Quarantined cases contribute nothing to the digest or the cell
+  /// statistics (their cells simply hold fewer observations), so the
+  /// digest is deterministic whether or not a case deterministically
+  /// fails.
   std::uint64_t digest = 0;
+  /// Cases quarantined after exhausting their retry budget, flat order.
+  std::vector<SweepFailedCase> failed_cases;
+  /// Cases folded from a journal instead of simulated (resume).
+  std::size_t replayed_cases = 0;
 };
 
 class SweepEngine {
@@ -120,6 +145,26 @@ class SweepEngine {
     /// pool is executing the block — so it needs no internal locking.
     /// Asserted by SweepTest.ProgressCallbackIsSerializedUnderThreadPool.
     std::function<void(std::size_t, std::size_t)> progress;
+    /// Optional write-ahead journal (crash-safe sweeps). When set, run()
+    /// first folds the blocks the journal proves complete (bit-identical
+    /// replay of their recorded metrics, digest-verified), then simulates
+    /// the remainder, appending one fsynced record per finished block.
+    /// The journal's recorded block size overrides `block` so boundaries
+    /// line up with the journaled records. The journal must have been
+    /// opened against this grid's config_digest()/case_count(); a digest
+    /// that does not re-fold throws InvalidArgument.
+    SweepJournal* journal = nullptr;
+    /// Failure isolation: a throwing case is retried up to this many
+    /// extra attempts (capped exponential backoff between attempts, the
+    /// same shape as the resilience layer's job requeue backoff), then
+    /// quarantined into SweepResult::failed_cases instead of aborting
+    /// the sweep. Counted by obs `sweep.case_retries` /
+    /// `sweep.cases_quarantined`.
+    int case_retries = 2;
+    /// Backoff before retry k (0-based): base * 2^k, capped. Wall-clock
+    /// seconds — these are harness retries, not simulated time.
+    double retry_backoff_base_s = 0.01;
+    double retry_backoff_cap_s = 1.0;
   };
 
   SweepEngine();

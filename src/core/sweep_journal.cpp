@@ -1,0 +1,337 @@
+#include "core/sweep_journal.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "obs/run_report.hpp"  // obs::fnv1a
+#include "util/error.hpp"
+
+namespace greenhpc::core {
+
+namespace {
+
+constexpr const char* kMagic = "greenhpc-sweep-journal";
+constexpr const char* kVersion = "v1";
+
+std::string hex64(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+bool parse_hex64(const std::string& tok, std::uint64_t& out) {
+  if (tok.empty() || tok.size() > 16) return false;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(tok.c_str(), &end, 16);
+  if (errno != 0 || end != tok.c_str() + tok.size()) return false;
+  out = static_cast<std::uint64_t>(v);
+  return true;
+}
+
+bool parse_size(const std::string& tok, std::size_t& out) {
+  if (tok.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(tok.c_str(), &end, 10);
+  if (errno != 0 || end != tok.c_str() + tok.size()) return false;
+  out = static_cast<std::size_t>(v);
+  return true;
+}
+
+std::uint64_t double_bits(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+double bits_double(std::uint64_t bits) {
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+/// Error texts travel hex-encoded so they stay one whitespace-free token
+/// regardless of content; "-" encodes the empty string.
+std::string encode_text(const std::string& s) {
+  if (s.empty()) return "-";
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  out.reserve(s.size() * 2);
+  for (unsigned char c : s) {
+    out += digits[c >> 4];
+    out += digits[c & 0xf];
+  }
+  return out;
+}
+
+bool decode_text(const std::string& tok, std::string& out) {
+  out.clear();
+  if (tok == "-") return true;
+  if (tok.size() % 2 != 0) return false;
+  auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    return -1;
+  };
+  for (std::size_t i = 0; i < tok.size(); i += 2) {
+    const int hi = nibble(tok[i]);
+    const int lo = nibble(tok[i + 1]);
+    if (hi < 0 || lo < 0) return false;
+    out += static_cast<char>((hi << 4) | lo);
+  }
+  return true;
+}
+
+/// Append the ` | <fnv16>` trailer that lets the parser reject torn and
+/// bit-flipped lines.
+std::string seal_line(const std::string& content) {
+  return content + " | " + hex64(obs::fnv1a(content)) + "\n";
+}
+
+/// Split a sealed line into content and checksum; false on a malformed or
+/// checksum-failing line.
+bool unseal_line(const std::string& line, std::string& content) {
+  const std::size_t sep = line.rfind(" | ");
+  if (sep == std::string::npos) return false;
+  content = line.substr(0, sep);
+  std::uint64_t sum = 0;
+  if (!parse_hex64(line.substr(sep + 3), sum)) return false;
+  return sum == obs::fnv1a(content);
+}
+
+std::vector<std::string> tokens_of(const std::string& content) {
+  std::vector<std::string> toks;
+  std::istringstream ss(content);
+  std::string t;
+  while (ss >> t) toks.push_back(t);
+  return toks;
+}
+
+void mkdir_recursive(const std::string& dir) {
+  std::string partial;
+  for (std::size_t i = 0; i <= dir.size(); ++i) {
+    if (i < dir.size() && dir[i] != '/') {
+      partial += dir[i];
+      continue;
+    }
+    if (i < dir.size()) partial += '/';
+    if (partial.empty() || partial == "/") continue;
+    if (::mkdir(partial.c_str(), 0777) != 0 && errno != EEXIST) {
+      GREENHPC_REQUIRE(false, "cannot create journal directory: " + partial +
+                                  ": " + std::strerror(errno));
+    }
+  }
+}
+
+void append_durable(const std::string& path, const std::string& data) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_APPEND);
+  GREENHPC_REQUIRE(fd >= 0, "cannot open journal for append: " + path);
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      GREENHPC_REQUIRE(false, "journal write failed: " + path);
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  // The WAL property lives or dies here: the block is only "complete"
+  // once its record survives a crash.
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  GREENHPC_REQUIRE(rc == 0, "journal fsync failed: " + path);
+}
+
+std::string serialize_block(const SweepJournal::BlockRecord& rec) {
+  std::string content = "block " + std::to_string(rec.start) + ' ' +
+                        std::to_string(rec.cases.size()) + ' ' +
+                        hex64(rec.digest_after);
+  for (const SweepJournal::CaseEntry& e : rec.cases) {
+    if (e.ok) {
+      const double fields[] = {e.metrics.total_carbon_t,
+                               e.metrics.total_energy_mwh,
+                               e.metrics.mean_wait_h,
+                               e.metrics.mean_bounded_slowdown,
+                               e.metrics.utilization,
+                               e.metrics.green_energy_share,
+                               e.metrics.completed};
+      content += " c";
+      for (const double v : fields) content += ' ' + hex64(double_bits(v));
+    } else {
+      content += " f " + std::to_string(e.attempts) + ' ' + encode_text(e.error);
+    }
+  }
+  return seal_line(content);
+}
+
+/// Parse one sealed block line; false on any structural problem (the
+/// caller then discards this line and everything after it).
+bool parse_block(const std::string& content, SweepJournal::BlockRecord& rec) {
+  const std::vector<std::string> toks = tokens_of(content);
+  if (toks.size() < 4 || toks[0] != "block") return false;
+  std::size_t count = 0;
+  if (!parse_size(toks[1], rec.start) || !parse_size(toks[2], count) ||
+      !parse_hex64(toks[3], rec.digest_after)) {
+    return false;
+  }
+  rec.cases.clear();
+  std::size_t i = 4;
+  while (i < toks.size()) {
+    SweepJournal::CaseEntry entry;
+    if (toks[i] == "c") {
+      if (i + 7 >= toks.size()) return false;
+      double* fields[] = {&entry.metrics.total_carbon_t,
+                          &entry.metrics.total_energy_mwh,
+                          &entry.metrics.mean_wait_h,
+                          &entry.metrics.mean_bounded_slowdown,
+                          &entry.metrics.utilization,
+                          &entry.metrics.green_energy_share,
+                          &entry.metrics.completed};
+      for (std::size_t k = 0; k < 7; ++k) {
+        std::uint64_t bits = 0;
+        if (!parse_hex64(toks[i + 1 + k], bits)) return false;
+        *fields[k] = bits_double(bits);
+      }
+      entry.ok = true;
+      i += 8;
+    } else if (toks[i] == "f") {
+      if (i + 2 >= toks.size()) return false;
+      std::size_t attempts = 0;
+      if (!parse_size(toks[i + 1], attempts)) return false;
+      entry.attempts = static_cast<int>(attempts);
+      if (!decode_text(toks[i + 2], entry.error)) return false;
+      entry.ok = false;
+      i += 3;
+    } else {
+      return false;
+    }
+    rec.cases.push_back(std::move(entry));
+  }
+  return rec.cases.size() == count;
+}
+
+}  // namespace
+
+std::size_t SweepJournal::resume_point() const {
+  if (completed_.empty()) return 0;
+  return completed_.back().start + completed_.back().cases.size();
+}
+
+SweepJournal SweepJournal::create(const std::string& dir,
+                                  std::uint64_t config_digest, std::size_t cases,
+                                  std::size_t block) {
+  GREENHPC_REQUIRE(!dir.empty(), "journal directory must not be empty");
+  GREENHPC_REQUIRE(block > 0, "journal block size must be positive");
+  mkdir_recursive(dir);
+  SweepJournal j;
+  j.path_ = dir + "/" + kFileName;
+  j.config_digest_ = config_digest;
+  j.cases_ = cases;
+  j.block_ = block;
+  const std::string header =
+      seal_line(std::string(kMagic) + ' ' + kVersion + ' ' + hex64(config_digest) +
+                ' ' + std::to_string(cases) + ' ' + std::to_string(block));
+  {
+    std::ofstream out(j.path_, std::ios::binary | std::ios::trunc);
+    GREENHPC_REQUIRE(static_cast<bool>(out),
+                     "cannot create journal file: " + j.path_);
+    out << header;
+    out.flush();
+    GREENHPC_REQUIRE(static_cast<bool>(out), "journal header write failed: " + j.path_);
+  }
+  // Durable header + directory entry before any block is reported done.
+  const int fd = ::open(j.path_.c_str(), O_WRONLY);
+  GREENHPC_REQUIRE(fd >= 0, "cannot reopen journal: " + j.path_);
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  GREENHPC_REQUIRE(rc == 0, "journal fsync failed: " + j.path_);
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+  return j;
+}
+
+SweepJournal SweepJournal::resume(const std::string& dir,
+                                  std::uint64_t config_digest, std::size_t cases) {
+  SweepJournal j;
+  j.path_ = dir + "/" + kFileName;
+  std::ifstream in(j.path_, std::ios::binary);
+  GREENHPC_REQUIRE(static_cast<bool>(in),
+                   "cannot resume: no journal at " + j.path_);
+
+  std::string line;
+  GREENHPC_REQUIRE(static_cast<bool>(std::getline(in, line)),
+                   "cannot resume: journal is empty: " + j.path_);
+  std::string content;
+  GREENHPC_REQUIRE(unseal_line(line, content),
+                   "cannot resume: journal header is corrupt (checksum "
+                   "mismatch): " + j.path_);
+  const std::vector<std::string> head = tokens_of(content);
+  GREENHPC_REQUIRE(head.size() == 5 && head[0] == kMagic,
+                   "cannot resume: not a sweep journal: " + j.path_);
+  GREENHPC_REQUIRE(head[1] == kVersion,
+                   "cannot resume: unsupported journal version '" + head[1] +
+                       "' (expected " + kVersion + ")");
+  std::uint64_t recorded_config = 0;
+  std::size_t recorded_cases = 0;
+  std::size_t recorded_block = 0;
+  GREENHPC_REQUIRE(parse_hex64(head[2], recorded_config) &&
+                       parse_size(head[3], recorded_cases) &&
+                       parse_size(head[4], recorded_block) && recorded_block > 0,
+                   "cannot resume: journal header is malformed: " + j.path_);
+  GREENHPC_REQUIRE(recorded_config == config_digest,
+                   "cannot resume: journal was written for a different grid "
+                   "(config digest " + hex64(recorded_config) + " != " +
+                       hex64(config_digest) + ")");
+  GREENHPC_REQUIRE(recorded_cases == cases,
+                   "cannot resume: journal case count " +
+                       std::to_string(recorded_cases) + " != grid case count " +
+                       std::to_string(cases));
+  j.config_digest_ = recorded_config;
+  j.cases_ = recorded_cases;
+  j.block_ = recorded_block;
+
+  // Load the longest valid prefix of block records. A line that fails its
+  // checksum (torn tail, bit flip) or breaks the block chain invalidates
+  // itself AND everything after it — later records could depend on state
+  // the corrupt one was supposed to establish.
+  std::size_t valid_bytes = line.size() + 1;  // header + '\n'
+  while (std::getline(in, line)) {
+    BlockRecord rec;
+    if (!unseal_line(line, content) || !parse_block(content, rec)) break;
+    if (rec.start != j.resume_point()) break;  // chain break = corruption
+    const std::size_t expect =
+        std::min(j.block_, j.cases_ - std::min(j.cases_, rec.start));
+    if (rec.cases.empty() || rec.cases.size() != expect) break;
+    valid_bytes += line.size() + 1;
+    j.completed_.push_back(std::move(rec));
+  }
+  in.close();
+  // Truncate away the invalid suffix so appended blocks follow the last
+  // valid record, not garbage.
+  GREENHPC_REQUIRE(::truncate(j.path_.c_str(),
+                              static_cast<off_t>(valid_bytes)) == 0,
+                   "cannot truncate journal to its valid prefix: " + j.path_);
+  return j;
+}
+
+void SweepJournal::append(const BlockRecord& record) {
+  GREENHPC_ASSERT(record.start == resume_point(),
+                  "journal blocks must be appended in case order");
+  GREENHPC_ASSERT(!record.cases.empty(), "journal block must not be empty");
+  append_durable(path_, serialize_block(record));
+  completed_.push_back(record);
+}
+
+}  // namespace greenhpc::core

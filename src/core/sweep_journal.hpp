@@ -1,0 +1,113 @@
+#pragma once
+// Sweep journal: a write-ahead log that makes sweeps crash-restartable.
+//
+// A fleet-scale sweep is hours of simulation; a SIGKILL (preempted CI
+// runner, OOM-killer, operator ctrl-C) must not throw that work away.
+// The journal records, under a run directory, the grid's configuration
+// digest plus one record per COMPLETED block: the case range, every
+// case's metric bit patterns (or its quarantine record), and the running
+// FNV digest after folding the block. Each record is flushed and fsynced
+// before the engine reports the block done, so the journal is always a
+// prefix of the truth — a crash loses at most the in-flight block.
+//
+// On resume, SweepEngine re-folds the recorded metrics instead of
+// re-simulating (cheap: microseconds per block) and continues from the
+// first unrecorded case. Because metrics are stored as exact 64-bit
+// patterns and blocks fold in the same serial order, a resumed sweep's
+// aggregates and digest are bit-identical to an uninterrupted run —
+// the resume contract asserted by tests and the CI kill-and-resume job.
+//
+// File format (`sweep.journal` inside the run directory), line-oriented
+// ASCII; every line ends in ` | <fnv16>`, the FNV-1a of the line content
+// before the separator:
+//
+//   greenhpc-sweep-journal v1 <config16> <cases> <block> | <fnv16>
+//   block <start> <count> <digest16> c <m1>..<m7> ... f <attempts> <hexmsg> | <fnv16>
+//
+// Per-case entries appear in flat-case order: `c` + seven hex-encoded
+// doubles for a success, `f` + attempt count + hex-encoded error text
+// for a quarantined case. Hardening: a torn or bit-flipped line fails
+// its checksum (or breaks the block chain) and drops that line AND
+// everything after it — the engine re-runs from the last valid block.
+// A corrupt header, a version/config/shape mismatch, or a digest that
+// does not re-fold throws greenhpc::InvalidArgument with a clear message.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/sweep.hpp"
+
+namespace greenhpc::core {
+
+class SweepJournal {
+ public:
+  /// One case's journaled outcome: metrics when it simulated, the
+  /// quarantine record when it exhausted its retry budget.
+  struct CaseEntry {
+    bool ok = true;
+    SweepCaseMetrics metrics;  ///< valid when ok
+    int attempts = 1;
+    std::string error;         ///< exception text when !ok
+  };
+
+  /// One completed block: `cases[i]` is flat case `start + i`, and
+  /// `digest_after` is the running sweep digest after folding the block.
+  struct BlockRecord {
+    std::size_t start = 0;
+    std::vector<CaseEntry> cases;
+    std::uint64_t digest_after = 0;
+  };
+
+  SweepJournal(SweepJournal&&) = default;
+  SweepJournal& operator=(SweepJournal&&) = default;
+
+  /// Start a fresh journal under `dir` (created if missing): truncates
+  /// any previous journal and writes the fsynced header binding the
+  /// journal to (config digest, case count, block size).
+  [[nodiscard]] static SweepJournal create(const std::string& dir,
+                                           std::uint64_t config_digest,
+                                           std::size_t cases, std::size_t block);
+
+  /// Reopen an existing journal for resume. Validates the header against
+  /// the grid (InvalidArgument on version/config/case-count mismatch),
+  /// loads the longest valid prefix of block records (a torn or corrupt
+  /// line drops itself and everything after it), truncates the file to
+  /// that prefix, and reopens for append.
+  [[nodiscard]] static SweepJournal resume(const std::string& dir,
+                                           std::uint64_t config_digest,
+                                           std::size_t cases);
+
+  /// Blocks proven complete by the journal, chained from case 0 in order.
+  [[nodiscard]] const std::vector<BlockRecord>& completed() const {
+    return completed_;
+  }
+  /// First case not covered by a completed block.
+  [[nodiscard]] std::size_t resume_point() const;
+  /// Block size recorded in the header; a resumed engine adopts it so
+  /// block boundaries line up with the journaled records.
+  [[nodiscard]] std::size_t block() const { return block_; }
+  [[nodiscard]] std::size_t cases() const { return cases_; }
+  [[nodiscard]] std::uint64_t config_digest() const { return config_digest_; }
+  /// The journal file this instance appends to.
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+  /// Append one completed block: serialize, write, flush, fsync. The
+  /// record is durable when this returns. Blocks must be appended in
+  /// case order (start == resume_point()); anything else is a LogicError.
+  void append(const BlockRecord& record);
+
+  /// Journal file name inside a run directory.
+  static constexpr const char* kFileName = "sweep.journal";
+
+ private:
+  SweepJournal() = default;
+
+  std::string path_;
+  std::uint64_t config_digest_ = 0;
+  std::size_t cases_ = 0;
+  std::size_t block_ = 0;
+  std::vector<BlockRecord> completed_;
+};
+
+}  // namespace greenhpc::core

@@ -1,0 +1,92 @@
+#include "util/atomic_file.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+
+namespace greenhpc::util {
+
+namespace {
+
+std::function<void()>& failure_hook() {
+  static std::function<void()> hook;
+  return hook;
+}
+
+[[noreturn]] void fail(const std::string& what, const std::string& path) {
+  throw std::runtime_error("atomic_write_file: " + what + ": " + path +
+                           (errno != 0 ? std::string(": ") + std::strerror(errno)
+                                       : std::string()));
+}
+
+/// fsync the file at `path` (opened read-only: Linux allows fsync on any
+/// open description of the file). Directories take the same route.
+void fsync_path(const std::string& path, bool directory) {
+  const int flags = directory ? (O_RDONLY | O_DIRECTORY) : O_RDONLY;
+  const int fd = ::open(path.c_str(), flags);
+  if (fd < 0) {
+    if (directory) return;  // best effort: some filesystems refuse dir opens
+    fail("open for fsync failed", path);
+  }
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0 && !directory) fail("fsync failed", path);
+}
+
+std::string parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+/// Removes the temporary on every exit path that does not commit it.
+struct TmpGuard {
+  std::string path;
+  bool armed = true;
+  ~TmpGuard() {
+    if (armed) ::unlink(path.c_str());
+  }
+};
+
+}  // namespace
+
+void set_atomic_write_failure_hook(std::function<void()> hook) {
+  failure_hook() = std::move(hook);
+}
+
+void atomic_write_file(const std::string& path,
+                       const std::function<void(std::ostream&)>& body) {
+  if (path.empty()) {
+    errno = 0;
+    fail("empty destination path", path);
+  }
+  // Same-directory temporary: rename() is only atomic within a filesystem,
+  // and a unique (pid-derived) suffix keeps concurrent writers from
+  // clobbering each other's scratch.
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  TmpGuard guard{tmp};
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) fail("cannot open temporary", tmp);
+    body(out);
+    out.flush();
+    if (!out) fail("write to temporary failed", tmp);
+  }
+  fsync_path(tmp, /*directory=*/false);
+  if (const auto& hook = failure_hook()) hook();  // test-only simulated crash point
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) fail("rename failed", path);
+  guard.armed = false;  // committed; nothing to clean up
+  // Make the rename durable: without the directory fsync a power loss can
+  // roll the directory entry back even though the data blocks survived.
+  fsync_path(parent_dir(path), /*directory=*/true);
+}
+
+}  // namespace greenhpc::util

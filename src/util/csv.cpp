@@ -24,13 +24,15 @@ void CsvWriter::write_row(const std::vector<std::string>& cells) {
   *out_ << '\n';
 }
 
+std::string CsvWriter::fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.10g", v);
+  return buf;
+}
+
 void CsvWriter::write_row(const std::string& label, const std::vector<double>& cells) {
   *out_ << escape(label);
-  char buf[64];
-  for (double v : cells) {
-    std::snprintf(buf, sizeof buf, "%.10g", v);
-    *out_ << ',' << buf;
-  }
+  for (double v : cells) *out_ << ',' << fmt(v);
   *out_ << '\n';
 }
 

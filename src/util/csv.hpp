@@ -21,6 +21,9 @@ class CsvWriter {
 
   /// Quote a single cell per RFC 4180 when it contains a delimiter.
   [[nodiscard]] static std::string escape(const std::string& cell);
+  /// Format one numeric cell the same way the numeric write_row does
+  /// (max precision that round-trips) — for rows mixing text and numbers.
+  [[nodiscard]] static std::string fmt(double v);
 
  private:
   std::ostream* out_;

@@ -60,6 +60,11 @@ void ThreadPool::run_chunks(Task& task) {
   // indirect call are amortized over `grain` iterations.
   static obs::Counter& chunks_done = obs::Registry::global().counter("pool.chunks");
   for (;;) {
+    // Cancel-on-error: once any chunk has thrown, the remaining chunks are
+    // abandoned instead of burning the rest of the grid on a doomed task.
+    // The acquire pairs with the release store below so the caller's
+    // rethrow happens-after the failing chunk's writes.
+    if (task.failed.load(std::memory_order_acquire)) break;
     const std::size_t c = task.next_chunk.fetch_add(1, std::memory_order_relaxed);
     if (c >= task.chunks) break;
     const std::size_t begin = c * task.grain;
@@ -68,8 +73,11 @@ void ThreadPool::run_chunks(Task& task) {
     try {
       task.invoke(task.ctx, begin, end);
     } catch (...) {
-      std::lock_guard lock(task.error_mutex);
-      if (!task.error) task.error = std::current_exception();
+      {
+        std::lock_guard lock(task.error_mutex);
+        if (!task.error) task.error = std::current_exception();
+      }
+      task.failed.store(true, std::memory_order_release);
     }
     chunks_done.add();
   }

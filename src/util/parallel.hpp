@@ -53,8 +53,19 @@ class ThreadPool {
   [[nodiscard]] std::size_t size() const { return workers_.size(); }
 
   /// Run body(i) for each i in [0, n). Blocks until all iterations finish.
-  /// Iterations must be independent; exceptions thrown by the body are
-  /// captured and the first one is rethrown on the calling thread.
+  /// Iterations must be independent.
+  ///
+  /// Exception contract (shared with parallel_for_chunked): the first
+  /// exception a body throws is captured and rethrown on the calling
+  /// thread after the loop quiesces — never swallowed, never a call to
+  /// std::terminate, never a deadlocked caller. Once a task has failed,
+  /// chunks that have not yet started are abandoned (their iterations do
+  /// not run), in-flight chunks finish, and later exceptions are dropped.
+  /// The pool itself is left fully usable: workers survive, and the next
+  /// parallel loop behaves as if the failure never happened. On the
+  /// serial-fallback path the exception propagates directly from the body
+  /// at the throwing iteration, which satisfies the same contract.
+  ///
   /// Legacy std::function shape (one indirect call per iteration); new
   /// code and hot fan-outs should prefer parallel_for_chunked.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
@@ -66,8 +77,10 @@ class ThreadPool {
   /// balance, few enough that dispatch cost stays invisible). Falls back
   /// to a serial loop below the crossover (single-worker pool, a single
   /// chunk, or a nested call). Same independence/exception contract as
-  /// parallel_for; results written to preallocated slots are bit-identical
-  /// for every thread count including the serial fallback.
+  /// parallel_for (first exception rethrown on the calling thread,
+  /// unstarted chunks abandoned after a failure, pool remains usable);
+  /// results written to preallocated slots are bit-identical for every
+  /// thread count including the serial fallback.
   template <typename Body>
   void parallel_for_chunked(std::size_t n, std::size_t grain, Body&& body) {
     if (n == 0) return;
@@ -128,6 +141,9 @@ class ThreadPool {
     std::size_t chunks = 0;
     std::atomic<std::size_t> next_chunk{0};
     std::atomic<std::size_t> remaining{0};
+    /// Set when any chunk throws; executors observe it before claiming
+    /// another chunk and abandon the rest of the loop (cancel-on-error).
+    std::atomic<bool> failed{false};
     std::exception_ptr error;
     std::mutex error_mutex;
   };

@@ -1,0 +1,110 @@
+#include "util/atomic_file.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace greenhpc::util {
+namespace {
+
+std::string read_all(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+bool exists(const std::string& path) {
+  std::ifstream in(path);
+  return in.good();
+}
+
+/// Fresh scratch path per test; removes leftovers from earlier runs.
+std::string scratch(const std::string& name) {
+  const std::string path = ::testing::TempDir() + "greenhpc_atomic_" + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+class AtomicFileTest : public ::testing::Test {
+ protected:
+  void TearDown() override { set_atomic_write_failure_hook(nullptr); }
+};
+
+TEST_F(AtomicFileTest, WritesFullContent) {
+  const std::string path = scratch("basic");
+  atomic_write_file(path, [](std::ostream& os) { os << "hello\nworld\n"; });
+  EXPECT_EQ(read_all(path), "hello\nworld\n");
+}
+
+TEST_F(AtomicFileTest, OverwritesExistingContent) {
+  const std::string path = scratch("overwrite");
+  atomic_write_file(path, [](std::ostream& os) { os << "old content"; });
+  atomic_write_file(path, [](std::ostream& os) { os << "new"; });
+  EXPECT_EQ(read_all(path), "new");
+}
+
+TEST_F(AtomicFileTest, SimulatedCrashBeforeCommitLeavesNoFile) {
+  // The satellite contract: a failure mid-publication must never leave a
+  // partial file at the destination. The hook fires after the temporary
+  // holds the full (here: partial-from-the-reader's-view) content but
+  // before the rename — the crash point a SIGKILL between write and
+  // commit would hit.
+  const std::string path = scratch("crash_fresh");
+  set_atomic_write_failure_hook([] { throw std::runtime_error("injected crash"); });
+  EXPECT_THROW(
+      atomic_write_file(path, [](std::ostream& os) { os << "half-written"; }),
+      std::runtime_error);
+  EXPECT_FALSE(exists(path)) << "destination must not exist after a torn write";
+  // The temporary scratch must have been cleaned up too.
+  EXPECT_FALSE(exists(path + ".tmp." + std::to_string(static_cast<long>(getpid()))));
+}
+
+TEST_F(AtomicFileTest, SimulatedCrashPreservesOldContent) {
+  const std::string path = scratch("crash_existing");
+  atomic_write_file(path, [](std::ostream& os) { os << "durable v1"; });
+  set_atomic_write_failure_hook([] { throw std::runtime_error("injected crash"); });
+  EXPECT_THROW(
+      atomic_write_file(path, [](std::ostream& os) { os << "torn v2 ..."; }),
+      std::runtime_error);
+  EXPECT_EQ(read_all(path), "durable v1") << "old content must survive intact";
+}
+
+TEST_F(AtomicFileTest, BodyExceptionLeavesDestinationUntouched) {
+  const std::string path = scratch("body_throw");
+  atomic_write_file(path, [](std::ostream& os) { os << "keep me"; });
+  EXPECT_THROW(atomic_write_file(path,
+                                 [](std::ostream& os) {
+                                   os << "partial";
+                                   throw std::runtime_error("body failed");
+                                 }),
+               std::runtime_error);
+  EXPECT_EQ(read_all(path), "keep me");
+}
+
+TEST_F(AtomicFileTest, UnwritableDirectoryThrows) {
+  EXPECT_THROW(atomic_write_file("/nonexistent-dir/greenhpc/file.json",
+                                 [](std::ostream& os) { os << "x"; }),
+               std::runtime_error);
+  EXPECT_THROW(atomic_write_file("", [](std::ostream& os) { os << "x"; }),
+               std::runtime_error);
+}
+
+TEST_F(AtomicFileTest, HookClearedAfterwardsCommitsNormally) {
+  const std::string path = scratch("hook_cleared");
+  set_atomic_write_failure_hook([] { throw std::runtime_error("injected"); });
+  EXPECT_THROW(atomic_write_file(path, [](std::ostream& os) { os << "a"; }),
+               std::runtime_error);
+  set_atomic_write_failure_hook(nullptr);
+  atomic_write_file(path, [](std::ostream& os) { os << "committed"; });
+  EXPECT_EQ(read_all(path), "committed");
+}
+
+}  // namespace
+}  // namespace greenhpc::util

@@ -187,6 +187,76 @@ TEST(ThreadPoolChunked, PropagatesFirstException) {
   EXPECT_EQ(count.load(), 10);
 }
 
+TEST(ThreadPoolChunked, ExceptionContractHoldsUnderRepeatedFailures) {
+  // The documented exception contract, hammered: the first exception is
+  // rethrown on the calling thread, unstarted chunks are abandoned, and
+  // the pool stays fully usable round after round. Runs clean under tsan
+  // (the CI tsan job executes the ThreadPool* filters).
+  ThreadPool pool(4);
+  for (int round = 0; round < 25; ++round) {
+    std::atomic<std::size_t> executed{0};
+    bool caught = false;
+    try {
+      pool.parallel_for_chunked(10000, 8, [&](std::size_t i) {
+        executed.fetch_add(1, std::memory_order_relaxed);
+        if (i == 3) throw std::runtime_error("round failure");
+      });
+    } catch (const std::runtime_error& e) {
+      caught = true;
+      EXPECT_STREQ(e.what(), "round failure");
+    }
+    EXPECT_TRUE(caught) << "round " << round;
+    // Cancel-on-error: the failing chunk sits at the front, so the vast
+    // majority of the 10k iterations must have been abandoned.
+    EXPECT_LT(executed.load(), 10000u) << "round " << round;
+    // Pool is unpoisoned: the next loop runs every iteration.
+    std::atomic<std::size_t> count{0};
+    pool.parallel_for_chunked(200, 4,
+                              [&](std::size_t) { count.fetch_add(1); });
+    EXPECT_EQ(count.load(), 200u) << "round " << round;
+  }
+}
+
+TEST(ThreadPoolChunked, ConcurrentThrowersPropagateExactlyOne) {
+  // Every chunk throws from every executor at once: exactly one exception
+  // must surface on the caller (never terminate, never deadlock), and it
+  // must be one of the thrown ones.
+  ThreadPool pool(8);
+  int caught = 0;
+  try {
+    pool.parallel_for_chunked(512, 1, [&](std::size_t i) {
+      throw std::runtime_error("thrower " + std::to_string(i));
+    });
+  } catch (const std::runtime_error& e) {
+    ++caught;
+    EXPECT_EQ(std::string(e.what()).rfind("thrower ", 0), 0u);
+  }
+  EXPECT_EQ(caught, 1);
+  std::atomic<int> count{0};
+  pool.parallel_for_chunked(32, 1, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 32);
+}
+
+TEST(ThreadPoolChunked, SerialFallbackPropagatesExceptionInPlace) {
+  // Single-worker pools take the serial path; the contract degrades to a
+  // plain loop: the exception propagates at the throwing iteration and
+  // later iterations do not run.
+  ThreadPool pool(1);
+  std::size_t executed = 0;
+  EXPECT_THROW(pool.parallel_for_chunked(100, 1,
+                                         [&](std::size_t i) {
+                                           ++executed;
+                                           if (i == 5) {
+                                             throw std::runtime_error("serial");
+                                           }
+                                         }),
+               std::runtime_error);
+  EXPECT_EQ(executed, 6u);
+  std::size_t after = 0;
+  pool.parallel_for_chunked(10, 1, [&](std::size_t) { ++after; });
+  EXPECT_EQ(after, 10u);
+}
+
 TEST(ThreadPoolChunked, NestedCallRunsSerially) {
   ThreadPool pool(4);
   std::atomic<int> inner_total{0};

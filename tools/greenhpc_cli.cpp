@@ -10,7 +10,10 @@
 //   greenhpc regions                              list region presets
 //   greenhpc sweep    --regions DE,FR --nodes 64,128 [--replicas 3]
 //                     [--sched easy,carbon-easy]   mean±CI policy comparison
-//                                                  over a parameter grid
+//                     [--journal DIR] [--resume]    over a parameter grid;
+//                     [--retries N] [--csv FILE]   journaled runs survive a
+//                                                  SIGKILL and resume with a
+//                                                  bit-identical digest
 //
 // Global flags:
 //   --threads N         size the worker pool (overrides GREENHPC_THREADS)
@@ -38,6 +41,7 @@
 #include "obs/run_report.hpp"
 #include "obs/trace.hpp"
 #include "core/sweep.hpp"
+#include "core/sweep_journal.hpp"
 #include "embodied/systems.hpp"
 #include "hpcsim/swf_io.hpp"
 #include "procure/carbon500.hpp"
@@ -45,6 +49,8 @@
 #include "sched/conservative.hpp"
 #include "sched/easy_backfill.hpp"
 #include "sched/fcfs.hpp"
+#include "util/atomic_file.hpp"
+#include "util/csv.hpp"
 #include "util/parallel.hpp"
 #include "util/table.hpp"
 
@@ -252,6 +258,20 @@ std::vector<std::string> split_list(const std::string& csv) {
   return out;
 }
 
+/// Write `body` to `path` atomically (tmp + fsync + rename): readers never
+/// observe a partial artifact, and a crash leaves any previous version
+/// intact. Usage-level failure (exit 2) if unwritable.
+template <typename WriteBody>
+int write_artifact(const std::string& path, const char* what, WriteBody&& body) {
+  try {
+    util::atomic_write_file(path, [&body](std::ostream& os) { body(os); });
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "cannot write %s file: %s\n", what, e.what());
+    return 2;
+  }
+  return 0;
+}
+
 int cmd_sweep(const Args& args, obs::RunReport& report) {
   core::SweepGrid grid;
   grid.base.cluster.nodes = 64;
@@ -285,6 +305,35 @@ int cmd_sweep(const Args& args, obs::RunReport& report) {
 
   core::SweepEngine::Options opts;
   opts.block = static_cast<std::size_t>(args.num("block", 256));
+  opts.case_retries = static_cast<int>(args.num("retries", 2));
+
+  // Crash-safe sweeps: --journal DIR writes a fsynced record per completed
+  // block; --resume reopens that journal and replays the proven blocks
+  // instead of re-simulating them. The resumed digest is bit-identical to
+  // an uninterrupted run (asserted by tests and the CI kill-and-resume job).
+  std::unique_ptr<core::SweepJournal> journal;
+  if (args.has("journal")) {
+    const std::string dir = args.get("journal", "");
+    if (dir.empty()) {
+      std::fprintf(stderr, "--journal wants a run directory\n");
+      return 2;
+    }
+    if (args.has("resume")) {
+      journal = std::make_unique<core::SweepJournal>(core::SweepJournal::resume(
+          dir, grid.config_digest(), grid.case_count()));
+      std::fprintf(stderr, "journal: resuming from case %zu / %zu (%zu blocks proven)\n",
+                   journal->resume_point(), grid.case_count(),
+                   journal->completed().size());
+    } else {
+      journal = std::make_unique<core::SweepJournal>(core::SweepJournal::create(
+          dir, grid.config_digest(), grid.case_count(), opts.block));
+    }
+    opts.journal = journal.get();
+  } else if (args.has("resume")) {
+    std::fprintf(stderr, "--resume wants --journal DIR\n");
+    return 2;
+  }
+
   const std::size_t total = grid.case_count();
   if (!args.has("quiet")) {
     // --progress appends a live throughput readout from the engine's
@@ -324,6 +373,24 @@ int cmd_sweep(const Args& args, obs::RunReport& report) {
                         .c_str());
   std::printf("digest: %016llx (bit-identical for any --threads)\n",
               static_cast<unsigned long long>(result.digest));
+  if (result.replayed_cases > 0) {
+    std::printf("resumed: %zu of %zu cases replayed from the journal\n",
+                result.replayed_cases, result.cases);
+  }
+  if (!result.failed_cases.empty()) {
+    std::fprintf(stderr, "quarantined: %zu case(s) failed after retries\n",
+                 result.failed_cases.size());
+    const std::size_t show = std::min<std::size_t>(result.failed_cases.size(), 5);
+    for (std::size_t i = 0; i < show; ++i) {
+      const auto& f = result.failed_cases[i];
+      std::fprintf(stderr, "  case %zu (%s): %s [%d attempts]\n", f.flat,
+                   f.where.c_str(), f.error.c_str(), f.attempts);
+    }
+    if (show < result.failed_cases.size()) {
+      std::fprintf(stderr, "  ... and %zu more\n",
+                   result.failed_cases.size() - show);
+    }
+  }
 
   char digest_hex[32];
   std::snprintf(digest_hex, sizeof(digest_hex), "%016llx",
@@ -332,6 +399,40 @@ int cmd_sweep(const Args& args, obs::RunReport& report) {
   report.add("cases", static_cast<double>(result.cases));
   report.add("cells", static_cast<double>(result.cells.size()));
   report.add("replicas", static_cast<double>(result.replicas));
+  report.add("replayed_cases", static_cast<double>(result.replayed_cases));
+  report.add("failed_cases", static_cast<double>(result.failed_cases.size()));
+  for (std::size_t i = 0; i < std::min<std::size_t>(result.failed_cases.size(), 5);
+       ++i) {
+    const auto& f = result.failed_cases[i];
+    report.add_label("failed_case_" + std::to_string(i),
+                     f.where + ": " + f.error);
+  }
+
+  if (args.has("csv")) {
+    const int w = write_artifact(
+        args.get("csv", ""), "sweep CSV", [&result](std::ostream& os) {
+          util::CsvWriter csv(os);
+          csv.write_row({"region", "kind", "nodes", "jobs", "policy", "replicas",
+                         "carbon_t_mean", "carbon_t_ci95", "energy_mwh_mean",
+                         "wait_h_mean", "utilization_mean", "green_share_mean",
+                         "completed_mean"});
+          for (const auto& cell : result.cells) {
+            csv.write_row(
+                {std::string(carbon::traits(cell.region).code),
+                 cell.kind == carbon::IntensityKind::Average ? "average" : "marginal",
+                 std::to_string(cell.nodes), std::to_string(cell.jobs), cell.policy,
+                 std::to_string(cell.carbon_t.count()),
+                 util::CsvWriter::fmt(cell.carbon_t.mean()),
+                 util::CsvWriter::fmt(core::SweepCellStats::ci95(cell.carbon_t)),
+                 util::CsvWriter::fmt(cell.energy_mwh.mean()),
+                 util::CsvWriter::fmt(cell.wait_h.mean()),
+                 util::CsvWriter::fmt(cell.utilization.mean()),
+                 util::CsvWriter::fmt(cell.green_share.mean()),
+                 util::CsvWriter::fmt(cell.completed.mean())});
+          }
+        });
+    if (w != 0) return w;
+  }
   return 0;
 }
 
@@ -348,8 +449,14 @@ void print_usage(std::FILE* out) {
                "  sweep --regions DE,FR [--kinds average,marginal]\n"
                "        --nodes 64,128 [--jobs-list 150,300] [--replicas 3]\n"
                "        [--sched easy,carbon-easy] [--days 2] [--seed N]\n"
-               "        [--block 256] [--quiet] [--progress]\n"
-               "                                aggregate a parameter-grid sweep\n"
+               "        [--block 256] [--quiet] [--progress] [--csv FILE]\n"
+               "        [--journal DIR] [--resume] [--retries N]\n"
+               "                                aggregate a parameter-grid sweep;\n"
+               "                                --journal makes it crash-restartable\n"
+               "                                (kill it, rerun with --resume: the\n"
+               "                                digest is bit-identical), --retries\n"
+               "                                bounds per-case retry before a case\n"
+               "                                is quarantined instead of fatal\n"
                "global flags:\n"
                "  --threads N         worker-pool size (overrides GREENHPC_THREADS)\n"
                "  --trace-out FILE    runtime trace (Chrome trace_event JSON,\n"
@@ -367,18 +474,6 @@ int usage() {
 bool known_command(const std::string& command) {
   return command == "regions" || command == "trace" || command == "fig1" ||
          command == "carbon500" || command == "simulate" || command == "sweep";
-}
-
-/// Write `body` to `path`; usage-level failure (exit 2) if unwritable.
-template <typename WriteBody>
-int write_artifact(const std::string& path, const char* what, WriteBody&& body) {
-  std::ofstream out(path);
-  if (!out) {
-    std::fprintf(stderr, "cannot write %s file: %s\n", what, path.c_str());
-    return 2;
-  }
-  body(out);
-  return 0;
 }
 
 }  // namespace
