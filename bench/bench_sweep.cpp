@@ -15,10 +15,17 @@
 // four blocks, resumed) asserts the crash-safety contract: the resumed
 // digest must match the clean run bit for bit ("resume" block).
 //
-// Usage: bench_sweep [--smoke] [--out FILE] [--threads N]
-//   --smoke      small grid (CI smoke: seconds, not minutes)
-//   --out FILE   write the JSON report there (default BENCH_SWEEP.json)
-//   --threads N  add N to the measured thread counts (default 1, 2, 8)
+// With --worker-bin the bench additionally gates the DISTRIBUTED digest
+// contract: it runs the given greenhpc CLI's `sweep` command on a small
+// grid with 0, 1, 2 and 4 worker processes and requires all four digests
+// to be bit-identical ("distributed" block in the JSON; a mismatch fails
+// the bench). Without the flag the gate reports itself skipped.
+//
+// Usage: bench_sweep [--smoke] [--out FILE] [--threads N] [--worker-bin PATH]
+//   --smoke           small grid (CI smoke: seconds, not minutes)
+//   --out FILE        write the JSON report there (default BENCH_SWEEP.json)
+//   --threads N       add N to the measured thread counts (default 1, 2, 8)
+//   --worker-bin PATH greenhpc CLI binary for the distributed digest gate
 
 #include <algorithm>
 #include <chrono>
@@ -100,17 +107,53 @@ struct SweepSample {
   bool serial_fallback = false;
 };
 
+/// One CLI run of the distributed digest gate.
+struct DistributedSample {
+  int workers = 0;
+  std::uint64_t digest = 0;
+  bool ok = false;  ///< CLI exited 0 and printed a digest line
+};
+
+/// Run `cli sweep --workers N` on a small fixed grid and scrape the
+/// `digest: <hex16>` line from its stdout (stderr passes through to the
+/// operator). ok=false when the CLI fails or prints no digest.
+DistributedSample run_distributed(const std::string& cli, int workers) {
+  DistributedSample s;
+  s.workers = workers;
+  const std::string cmd =
+      cli +
+      " sweep --quiet --regions DE,FR --kinds average --nodes 64 --jobs 60"
+      " --days 2 --replicas 2 --sched easy,carbon-easy --block 4 --workers " +
+      std::to_string(workers);
+  std::FILE* pipe = ::popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return s;
+  char line[512];
+  while (std::fgets(line, sizeof(line), pipe) != nullptr) {
+    unsigned long long d = 0;
+    if (std::sscanf(line, "digest: %16llx", &d) == 1) {
+      s.digest = d;
+      s.ok = true;
+    }
+  }
+  const int rc = ::pclose(pipe);
+  if (rc != 0) s.ok = false;
+  return s;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool smoke = false;
   std::string out_path = "BENCH_SWEEP.json";
+  std::string worker_bin;
   std::vector<std::size_t> thread_counts = {1, 2, 8};
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--worker-bin") == 0 && i + 1 < argc) {
+      worker_bin = argv[++i];
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       const long t = std::atol(argv[++i]);
       if (t < 1) {
@@ -119,7 +162,9 @@ int main(int argc, char** argv) {
       }
       thread_counts.push_back(static_cast<std::size_t>(t));
     } else {
-      std::fprintf(stderr, "usage: bench_sweep [--smoke] [--out FILE] [--threads N]\n");
+      std::fprintf(stderr,
+                   "usage: bench_sweep [--smoke] [--out FILE] [--threads N] "
+                   "[--worker-bin PATH]\n");
       return 2;
     }
   }
@@ -270,6 +315,30 @@ int main(int argc, char** argv) {
               "digest %s the clean run\n",
               replayed, resume_identical ? "matches" : "DIVERGED from");
 
+  // --- distributed digest gate: CLI sweep with 0/1/2/4 worker processes ---
+  // The coordinator contract: sharding blocks across worker PROCESSES must
+  // reproduce the in-process digest bit for bit for any worker count.
+  std::vector<DistributedSample> dist;
+  bool dist_identical = true;
+  if (!worker_bin.empty()) {
+    for (const int w : {0, 1, 2, 4}) {
+      const DistributedSample s = run_distributed(worker_bin, w);
+      if (!s.ok) {
+        std::fprintf(stderr, "distributed gate: `%s sweep --workers %d` failed\n",
+                     worker_bin.c_str(), w);
+        dist_identical = false;
+      }
+      dist.push_back(s);
+    }
+    for (const DistributedSample& s : dist) {
+      dist_identical &= s.ok && s.digest == dist.front().digest;
+    }
+    std::printf("distributed gate (0/1/2/4 workers): digests %s\n",
+                dist_identical ? "bit-identical" : "DIVERGED");
+  } else {
+    std::printf("distributed gate: skipped (pass --worker-bin PATH to run it)\n");
+  }
+
   std::FILE* f = std::fopen(out_path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
@@ -305,6 +374,20 @@ int main(int argc, char** argv) {
                "\"digest_matches\": %s},\n",
                replayed, static_cast<unsigned long long>(resumed_digest),
                resume_identical ? "true" : "false");
+  if (worker_bin.empty()) {
+    std::fprintf(f, "  \"distributed\": {\"ran\": false},\n");
+  } else {
+    std::fprintf(f, "  \"distributed\": {\"ran\": true, \"bit_identical\": %s, "
+                    "\"runs\": [\n",
+                 dist_identical ? "true" : "false");
+    for (std::size_t i = 0; i < dist.size(); ++i) {
+      std::fprintf(f,
+                   "    {\"workers\": %d, \"digest\": \"%016llx\", \"ok\": %s}%s\n",
+                   dist[i].workers, static_cast<unsigned long long>(dist[i].digest),
+                   dist[i].ok ? "true" : "false", i + 1 < dist.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]},\n");
+  }
   std::fprintf(f, "  \"runs\": [\n");
   for (std::size_t i = 0; i < samples.size(); ++i) {
     const SweepSample& s = samples[i];
@@ -342,6 +425,12 @@ int main(int argc, char** argv) {
   }
   if (!scaling_ok) {
     std::fprintf(stderr, "FAIL: sweep scaling below 0.7x per thread\n");
+    return 1;
+  }
+  if (!dist_identical) {
+    std::fprintf(stderr,
+                 "FAIL: distributed sweep digests diverged across worker "
+                 "process counts (0/1/2/4 workers must be bit-identical)\n");
     return 1;
   }
   return 0;

@@ -18,47 +18,6 @@ namespace greenhpc::core {
 
 namespace {
 
-/// Resolved grid axes: every empty axis replaced by its base value.
-struct Axes {
-  std::vector<carbon::Region> regions;
-  std::vector<carbon::IntensityKind> kinds;
-  std::vector<int> nodes;
-  std::vector<int> jobs;
-};
-
-Axes resolve_axes(const SweepGrid& grid) {
-  Axes a;
-  a.regions = grid.regions.empty() ? std::vector<carbon::Region>{grid.base.region}
-                                   : grid.regions;
-  a.kinds = grid.intensity_kinds.empty()
-                ? std::vector<carbon::IntensityKind>{grid.base.intensity_kind}
-                : grid.intensity_kinds;
-  a.nodes = grid.cluster_nodes.empty() ? std::vector<int>{grid.base.cluster.nodes}
-                                       : grid.cluster_nodes;
-  a.jobs = grid.job_counts.empty() ? std::vector<int>{grid.base.workload.job_count}
-                                   : grid.job_counts;
-  return a;
-}
-
-std::size_t axes_cells(const Axes& a, std::size_t policies) {
-  return a.regions.size() * a.kinds.size() * a.nodes.size() * a.jobs.size() * policies;
-}
-
-/// FNV-1a over the bit patterns of one case's metrics.
-void digest_metrics(std::uint64_t& h, const SweepCaseMetrics& m) {
-  const double fields[] = {m.total_carbon_t,  m.total_energy_mwh, m.mean_wait_h,
-                           m.mean_bounded_slowdown, m.utilization, m.green_energy_share,
-                           m.completed};
-  for (const double v : fields) {
-    std::uint64_t bits;
-    std::memcpy(&bits, &v, sizeof(bits));
-    for (int i = 0; i < 8; ++i) {
-      h ^= (bits >> (8 * i)) & 0xffu;
-      h *= 1099511628211ull;
-    }
-  }
-}
-
 /// Append a double's exact bit pattern to a config-digest buffer.
 void digest_field(std::string& buf, double v) {
   char tmp[24];
@@ -73,15 +32,55 @@ void digest_field(std::string& buf, long long v) {
   buf += ';';
 }
 
+std::vector<carbon::Region> resolve_regions(const SweepGrid& grid) {
+  return grid.regions.empty() ? std::vector<carbon::Region>{grid.base.region}
+                              : grid.regions;
+}
+std::vector<carbon::IntensityKind> resolve_kinds(const SweepGrid& grid) {
+  return grid.intensity_kinds.empty()
+             ? std::vector<carbon::IntensityKind>{grid.base.intensity_kind}
+             : grid.intensity_kinds;
+}
+std::vector<int> resolve_nodes(const SweepGrid& grid) {
+  return grid.cluster_nodes.empty() ? std::vector<int>{grid.base.cluster.nodes}
+                                    : grid.cluster_nodes;
+}
+std::vector<int> resolve_jobs(const SweepGrid& grid) {
+  return grid.job_counts.empty() ? std::vector<int>{grid.base.workload.job_count}
+                                 : grid.job_counts;
+}
+
 }  // namespace
+
+void sweep_digest_metrics(std::uint64_t& h, const SweepCaseMetrics& m) {
+  const double fields[] = {m.total_carbon_t,  m.total_energy_mwh, m.mean_wait_h,
+                           m.mean_bounded_slowdown, m.utilization, m.green_energy_share,
+                           m.completed};
+  for (const double v : fields) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    for (int i = 0; i < 8; ++i) {
+      h ^= (bits >> (8 * i)) & 0xffu;
+      h *= 1099511628211ull;
+    }
+  }
+}
+
+std::uint64_t sweep_block_digest(const SweepBlock& block) {
+  std::uint64_t h = kSweepDigestBasis;
+  for (const SweepCaseOutcome& e : block.cases) {
+    if (e.ok) sweep_digest_metrics(h, e.metrics);
+  }
+  return h;
+}
 
 std::size_t SweepGrid::case_count() const {
   return cell_count() * static_cast<std::size_t>(std::max(1, seed_replicas));
 }
 
 std::size_t SweepGrid::cell_count() const {
-  const Axes a = resolve_axes(*this);
-  return axes_cells(a, policies.size());
+  return resolve_regions(*this).size() * resolve_kinds(*this).size() *
+         resolve_nodes(*this).size() * resolve_jobs(*this).size() * policies.size();
 }
 
 std::uint64_t SweepGrid::config_digest() const {
@@ -90,19 +89,18 @@ std::uint64_t SweepGrid::config_digest() const {
   // labels, replicas, and every base field the simulation reads — then
   // FNV the buffer. Doubles go in as exact bit patterns: two grids hash
   // equal iff they expand to the same simulations.
-  const Axes a = resolve_axes(*this);
   std::string buf = "sweep-grid-v1;";
-  for (const carbon::Region r : a.regions) {
+  for (const carbon::Region r : resolve_regions(*this)) {
     digest_field(buf, static_cast<long long>(r));
   }
   buf += '|';
-  for (const carbon::IntensityKind k : a.kinds) {
+  for (const carbon::IntensityKind k : resolve_kinds(*this)) {
     digest_field(buf, static_cast<long long>(k));
   }
   buf += '|';
-  for (const int n : a.nodes) digest_field(buf, static_cast<long long>(n));
+  for (const int n : resolve_nodes(*this)) digest_field(buf, static_cast<long long>(n));
   buf += '|';
-  for (const int n : a.jobs) digest_field(buf, static_cast<long long>(n));
+  for (const int n : resolve_jobs(*this)) digest_field(buf, static_cast<long long>(n));
   buf += '|';
   digest_field(buf, static_cast<long long>(seed_replicas));
   for (const SweepPolicy& p : policies) {
@@ -154,6 +152,178 @@ double SweepCellStats::ci95(const util::RunningStats& s) {
   return 1.96 * s.sample_stddev() / std::sqrt(static_cast<double>(s.count()));
 }
 
+// ---------------------------------------------------------------------------
+// SweepCaseRunner
+
+struct SweepCaseRunner::Coords {
+  std::size_t region_idx, kind_idx, nodes_idx, jobs_idx, policy_idx;
+  int replica;
+};
+
+SweepCaseRunner::SweepCaseRunner(const SweepGrid& grid)
+    : SweepCaseRunner(grid, Options()) {}
+
+SweepCaseRunner::SweepCaseRunner(const SweepGrid& grid, Options opts)
+    : grid_(&grid), opts_(opts) {
+  GREENHPC_REQUIRE(!grid.policies.empty(), "sweep grid needs at least one policy");
+  GREENHPC_REQUIRE(grid.seed_replicas >= 1, "seed_replicas must be >= 1");
+  for (const auto& p : grid.policies) {
+    GREENHPC_REQUIRE(static_cast<bool>(p.scheduler),
+                     "sweep policy needs a scheduler factory");
+  }
+  regions_ = resolve_regions(grid);
+  kinds_ = resolve_kinds(grid);
+  nodes_ = resolve_nodes(grid);
+  jobs_ = resolve_jobs(grid);
+  replicas_ = static_cast<std::size_t>(grid.seed_replicas);
+  n_cells_ = regions_.size() * kinds_.size() * nodes_.size() * jobs_.size() *
+             grid.policies.size();
+  n_cases_ = n_cells_ * replicas_;
+}
+
+SweepCaseRunner::Coords SweepCaseRunner::decode(std::size_t flat) const {
+  // Replica is the innermost index, so cases of one cell are consecutive;
+  // then policy, jobs, nodes, kind, region outward.
+  Coords c;
+  c.replica = static_cast<int>(flat % replicas_);
+  std::size_t rest = flat / replicas_;
+  c.policy_idx = rest % grid_->policies.size();
+  rest /= grid_->policies.size();
+  c.jobs_idx = rest % jobs_.size();
+  rest /= jobs_.size();
+  c.nodes_idx = rest % nodes_.size();
+  rest /= nodes_.size();
+  c.kind_idx = rest % kinds_.size();
+  rest /= kinds_.size();
+  c.region_idx = rest;
+  return c;
+}
+
+std::string SweepCaseRunner::describe(std::size_t flat) const {
+  const Coords c = decode(flat);
+  return "region=" + std::string(carbon::traits(regions_[c.region_idx]).code) +
+         " kind=" +
+         (kinds_[c.kind_idx] == carbon::IntensityKind::Average ? "avg" : "marg") +
+         " nodes=" + std::to_string(nodes_[c.nodes_idx]) +
+         " jobs=" + std::to_string(jobs_[c.jobs_idx]) +
+         " policy=" + grid_->policies[c.policy_idx].label +
+         " replica=" + std::to_string(c.replica);
+}
+
+void SweepCaseRunner::init_result(SweepResult& result) const {
+  result.cases = n_cases_;
+  result.replicas = static_cast<int>(replicas_);
+  result.digest = kSweepDigestBasis;
+  result.cells.clear();
+  result.cells.reserve(n_cells_);
+  for (const carbon::Region region : regions_) {
+    for (const carbon::IntensityKind kind : kinds_) {
+      for (const int nodes : nodes_) {
+        for (const int jobs : jobs_) {
+          for (const auto& policy : grid_->policies) {
+            SweepCellStats cell;
+            cell.region = region;
+            cell.kind = kind;
+            cell.nodes = nodes;
+            cell.jobs = jobs;
+            cell.policy = policy.label;
+            result.cells.push_back(std::move(cell));
+          }
+        }
+      }
+    }
+  }
+}
+
+void SweepCaseRunner::fold(SweepResult& result, std::size_t flat,
+                           const SweepCaseOutcome& e) const {
+  if (!e.ok) {
+    result.failed_cases.push_back(
+        SweepFailedCase{flat, describe(flat), e.error, e.attempts});
+    return;
+  }
+  const SweepCaseMetrics& m = e.metrics;
+  SweepCellStats& cell = result.cells[flat / replicas_];
+  cell.carbon_t.add(m.total_carbon_t);
+  cell.energy_mwh.add(m.total_energy_mwh);
+  cell.wait_h.add(m.mean_wait_h);
+  cell.slowdown.add(m.mean_bounded_slowdown);
+  cell.utilization.add(m.utilization);
+  cell.green_share.add(m.green_energy_share);
+  cell.completed.add(m.completed);
+  sweep_digest_metrics(result.digest, m);
+}
+
+SweepCaseOutcome SweepCaseRunner::run_case(std::size_t flat) const {
+  static obs::Counter& retries_counter =
+      obs::Registry::global().counter("sweep.case_retries");
+  static obs::Counter& quarantined_counter =
+      obs::Registry::global().counter("sweep.cases_quarantined");
+
+  const auto simulate = [&] {
+    const Coords c = decode(flat);
+    ScenarioConfig cfg = grid_->base;
+    cfg.region = regions_[c.region_idx];
+    cfg.intensity_kind = kinds_[c.kind_idx];
+    cfg.cluster.nodes = nodes_[c.nodes_idx];
+    cfg.workload.job_count = jobs_[c.jobs_idx];
+    // Jobs must fit the swept cluster; clamping (rather than scaling)
+    // keeps the workload key shared across node counts above the bound.
+    cfg.workload.max_job_nodes =
+        std::min(cfg.workload.max_job_nodes, cfg.cluster.nodes);
+    cfg.seed = SweepEngine::replica_seed(grid_->base.seed, c.replica);
+
+    // Construction resolves through the shared-asset caches: the trace
+    // and job list are generated once per distinct key and shared.
+    const ScenarioRunner runner(cfg);
+    const auto& policy = grid_->policies[c.policy_idx];
+    const PolicyOutcome out = runner.run(policy.label, policy.scheduler, policy.power);
+
+    SweepCaseMetrics m;
+    m.total_carbon_t = out.total_carbon_t;
+    m.total_energy_mwh = out.total_energy_mwh;
+    m.mean_wait_h = out.mean_wait_h;
+    m.mean_bounded_slowdown = out.mean_bounded_slowdown;
+    m.utilization = out.utilization;
+    m.green_energy_share = out.green_energy_share;
+    m.completed = static_cast<double>(out.completed);
+    return m;
+  };
+
+  // Failure isolation: one case = one simulation attempt + a capped
+  // exponential backoff retry budget (the same backoff shape as the
+  // resilience layer's job requeue). A case that exhausts the budget is
+  // quarantined, not fatal.
+  SweepCaseOutcome entry;
+  for (int attempt = 0;; ++attempt) {
+    entry.attempts = attempt + 1;
+    try {
+      entry.metrics = simulate();
+      entry.ok = true;
+      return entry;
+    } catch (const std::exception& e) {
+      entry.error = e.what();
+    } catch (...) {
+      entry.error = "unknown exception";
+    }
+    if (attempt >= opts_.case_retries) {
+      entry.ok = false;
+      quarantined_counter.add();
+      return entry;
+    }
+    retries_counter.add();
+    const double backoff_s =
+        std::min(opts_.retry_backoff_cap_s,
+                 opts_.retry_backoff_base_s * static_cast<double>(1ull << attempt));
+    if (backoff_s > 0.0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(backoff_s));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SweepEngine
+
 SweepEngine::SweepEngine() : SweepEngine(Options()) {}
 
 SweepEngine::SweepEngine(Options opts) : opts_(std::move(opts)) {
@@ -168,108 +338,15 @@ std::uint64_t SweepEngine::replica_seed(std::uint64_t base, int replica) {
 }
 
 SweepResult SweepEngine::run(const SweepGrid& grid) const {
-  GREENHPC_REQUIRE(!grid.policies.empty(), "sweep grid needs at least one policy");
-  GREENHPC_REQUIRE(grid.seed_replicas >= 1, "seed_replicas must be >= 1");
-  for (const auto& p : grid.policies) {
-    GREENHPC_REQUIRE(static_cast<bool>(p.scheduler),
-                     "sweep policy needs a scheduler factory");
-  }
-
-  const Axes axes = resolve_axes(grid);
-  const std::size_t replicas = static_cast<std::size_t>(grid.seed_replicas);
-  const std::size_t n_cells = axes_cells(axes, grid.policies.size());
-  const std::size_t n_cases = n_cells * replicas;
+  SweepCaseRunner::Options case_opts;
+  case_opts.case_retries = opts_.case_retries;
+  case_opts.retry_backoff_base_s = opts_.retry_backoff_base_s;
+  case_opts.retry_backoff_cap_s = opts_.retry_backoff_cap_s;
+  const SweepCaseRunner runner(grid, case_opts);
+  const std::size_t n_cases = runner.case_count();
 
   SweepResult result;
-  result.cases = n_cases;
-  result.replicas = grid.seed_replicas;
-  result.digest = 1469598103934665603ull;  // FNV-1a offset basis
-
-  // Cell table in cell-major order; replicas fold into it per block.
-  result.cells.reserve(n_cells);
-  for (const carbon::Region region : axes.regions) {
-    for (const carbon::IntensityKind kind : axes.kinds) {
-      for (const int nodes : axes.nodes) {
-        for (const int jobs : axes.jobs) {
-          for (const auto& policy : grid.policies) {
-            SweepCellStats cell;
-            cell.region = region;
-            cell.kind = kind;
-            cell.nodes = nodes;
-            cell.jobs = jobs;
-            cell.policy = policy.label;
-            result.cells.push_back(std::move(cell));
-          }
-        }
-      }
-    }
-  }
-
-  // Decode flat case id -> (cell, replica); replica is the innermost
-  // index, so cases of one cell are consecutive.
-  const auto simulate_case = [&](std::size_t flat) {
-    const std::size_t cell_idx = flat / replicas;
-    const int replica = static_cast<int>(flat % replicas);
-    std::size_t rest = cell_idx;
-    const std::size_t policy_idx = rest % grid.policies.size();
-    rest /= grid.policies.size();
-    const std::size_t jobs_idx = rest % axes.jobs.size();
-    rest /= axes.jobs.size();
-    const std::size_t nodes_idx = rest % axes.nodes.size();
-    rest /= axes.nodes.size();
-    const std::size_t kind_idx = rest % axes.kinds.size();
-    rest /= axes.kinds.size();
-    const std::size_t region_idx = rest;
-
-    ScenarioConfig cfg = grid.base;
-    cfg.region = axes.regions[region_idx];
-    cfg.intensity_kind = axes.kinds[kind_idx];
-    cfg.cluster.nodes = axes.nodes[nodes_idx];
-    cfg.workload.job_count = axes.jobs[jobs_idx];
-    // Jobs must fit the swept cluster; clamping (rather than scaling)
-    // keeps the workload key shared across node counts above the bound.
-    cfg.workload.max_job_nodes =
-        std::min(cfg.workload.max_job_nodes, cfg.cluster.nodes);
-    cfg.seed = replica_seed(grid.base.seed, replica);
-
-    // Construction resolves through the shared-asset caches: the trace
-    // and job list are generated once per distinct key and shared.
-    const ScenarioRunner runner(cfg);
-    const auto& policy = grid.policies[policy_idx];
-    const PolicyOutcome out = runner.run(policy.label, policy.scheduler, policy.power);
-
-    SweepCaseMetrics m;
-    m.total_carbon_t = out.total_carbon_t;
-    m.total_energy_mwh = out.total_energy_mwh;
-    m.mean_wait_h = out.mean_wait_h;
-    m.mean_bounded_slowdown = out.mean_bounded_slowdown;
-    m.utilization = out.utilization;
-    m.green_energy_share = out.green_energy_share;
-    m.completed = static_cast<double>(out.completed);
-    return m;
-  };
-
-  /// Resolved coordinates of a flat case, for quarantine reports.
-  const auto describe_case = [&](std::size_t flat) {
-    const std::size_t cell_idx = flat / replicas;
-    const int replica = static_cast<int>(flat % replicas);
-    std::size_t rest = cell_idx;
-    const std::size_t policy_idx = rest % grid.policies.size();
-    rest /= grid.policies.size();
-    const std::size_t jobs_idx = rest % axes.jobs.size();
-    rest /= axes.jobs.size();
-    const std::size_t nodes_idx = rest % axes.nodes.size();
-    rest /= axes.nodes.size();
-    const std::size_t kind_idx = rest % axes.kinds.size();
-    rest /= axes.kinds.size();
-    return "region=" + std::string(carbon::traits(axes.regions[rest]).code) +
-           " kind=" +
-           (axes.kinds[kind_idx] == carbon::IntensityKind::Average ? "avg" : "marg") +
-           " nodes=" + std::to_string(axes.nodes[nodes_idx]) +
-           " jobs=" + std::to_string(axes.jobs[jobs_idx]) +
-           " policy=" + grid.policies[policy_idx].label +
-           " replica=" + std::to_string(replica);
-  };
+  runner.init_result(result);
 
   // Journal binding: the journal must have been opened against exactly
   // this grid, and its recorded block size wins so block boundaries line
@@ -283,64 +360,6 @@ SweepResult SweepEngine::run(const SweepGrid& grid) const {
                      "journal case count does not match this grid");
     block_size = journal->block();
   }
-
-  static obs::Counter& retries_counter =
-      obs::Registry::global().counter("sweep.case_retries");
-  static obs::Counter& quarantined_counter =
-      obs::Registry::global().counter("sweep.cases_quarantined");
-
-  // Fold one case outcome into the cell table / digest / quarantine list.
-  // Replayed journal entries and freshly simulated cases take the same
-  // path, which is what makes resume bit-identical by construction.
-  const auto fold_entry = [&](std::size_t flat, const SweepJournal::CaseEntry& e) {
-    if (!e.ok) {
-      result.failed_cases.push_back(
-          SweepFailedCase{flat, describe_case(flat), e.error, e.attempts});
-      return;
-    }
-    const SweepCaseMetrics& m = e.metrics;
-    SweepCellStats& cell = result.cells[flat / replicas];
-    cell.carbon_t.add(m.total_carbon_t);
-    cell.energy_mwh.add(m.total_energy_mwh);
-    cell.wait_h.add(m.mean_wait_h);
-    cell.slowdown.add(m.mean_bounded_slowdown);
-    cell.utilization.add(m.utilization);
-    cell.green_share.add(m.green_energy_share);
-    cell.completed.add(m.completed);
-    digest_metrics(result.digest, m);
-  };
-
-  // Failure isolation: one case = one simulation attempt + a capped
-  // exponential backoff retry budget (the same backoff shape as the
-  // resilience layer's job requeue). A case that exhausts the budget is
-  // quarantined, not fatal.
-  const auto run_case = [&](std::size_t flat) {
-    SweepJournal::CaseEntry entry;
-    for (int attempt = 0;; ++attempt) {
-      entry.attempts = attempt + 1;
-      try {
-        entry.metrics = simulate_case(flat);
-        entry.ok = true;
-        return entry;
-      } catch (const std::exception& e) {
-        entry.error = e.what();
-      } catch (...) {
-        entry.error = "unknown exception";
-      }
-      if (attempt >= opts_.case_retries) {
-        entry.ok = false;
-        quarantined_counter.add();
-        return entry;
-      }
-      retries_counter.add();
-      const double backoff_s =
-          std::min(opts_.retry_backoff_cap_s,
-                   opts_.retry_backoff_base_s * static_cast<double>(1ull << attempt));
-      if (backoff_s > 0.0) {
-        std::this_thread::sleep_for(std::chrono::duration<double>(backoff_s));
-      }
-    }
-  };
 
   util::ThreadPool& pool = opts_.pool != nullptr ? *opts_.pool : util::ThreadPool::global();
   // Engine-side observability: per-block phase timing feeds the metrics
@@ -365,7 +384,7 @@ SweepResult SweepEngine::run(const SweepGrid& grid) const {
     GREENHPC_TRACE_SPAN("sweep.replay");
     for (const SweepJournal::BlockRecord& rec : journal->completed()) {
       for (std::size_t i = 0; i < rec.cases.size(); ++i) {
-        fold_entry(rec.start + i, rec.cases[i]);
+        runner.fold(result, rec.start + i, rec.cases[i]);
       }
       GREENHPC_REQUIRE(result.digest == rec.digest_after,
                        "journal replay digest mismatch — the journal does not "
@@ -378,7 +397,7 @@ SweepResult SweepEngine::run(const SweepGrid& grid) const {
     start_case = journal->resume_point();
   }
 
-  std::vector<SweepJournal::CaseEntry> scratch(
+  std::vector<SweepCaseOutcome> scratch(
       std::min(block_size, n_cases - std::min(n_cases, start_case)));
   const auto run_start = std::chrono::steady_clock::now();
   for (std::size_t block_start = start_case; block_start < n_cases;
@@ -390,7 +409,7 @@ SweepResult SweepEngine::run(const SweepGrid& grid) const {
       // is a whole simulation)...
       GREENHPC_TRACE_SPAN("sweep.block.simulate");
       pool.parallel_for_chunked(block_n, 1, [&](std::size_t i) {
-        scratch[i] = run_case(block_start + i);
+        scratch[i] = runner.run_case(block_start + i);
       });
     }
     const auto fold_begin = std::chrono::steady_clock::now();
@@ -399,7 +418,7 @@ SweepResult SweepEngine::run(const SweepGrid& grid) const {
       // digest see every case in the same sequence for any thread count.
       GREENHPC_TRACE_SPAN("sweep.block.fold");
       for (std::size_t i = 0; i < block_n; ++i) {
-        fold_entry(block_start + i, scratch[i]);
+        runner.fold(result, block_start + i, scratch[i]);
       }
     }
     if (journal != nullptr) {

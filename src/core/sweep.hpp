@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -32,6 +33,12 @@
 namespace greenhpc::core {
 
 class SweepJournal;
+
+/// FNV-1a offset basis: the seed of every running sweep digest — the
+/// engine's global digest, a shard journal's per-block digests, and the
+/// worker protocol's block records all start here so their folds are
+/// interchangeable.
+inline constexpr std::uint64_t kSweepDigestBasis = 1469598103934665603ull;
 
 /// One labelled policy combination under comparison.
 struct SweepPolicy {
@@ -113,6 +120,39 @@ struct SweepFailedCase {
   int attempts = 0;         ///< simulation attempts consumed (1 + retries)
 };
 
+/// One case's outcome in transportable form: the exact metric bit
+/// patterns of a success, or the quarantine record of a failure. This is
+/// the unit the journal persists, the wire protocol ships, and the fold
+/// consumes — simulated, replayed and remotely-computed cases are
+/// indistinguishable past this point, which is what makes resume and
+/// distribution bit-identical by construction.
+struct SweepCaseOutcome {
+  bool ok = true;
+  SweepCaseMetrics metrics;  ///< valid when ok
+  int attempts = 1;
+  std::string error;         ///< exception text when !ok
+};
+
+/// One completed block of consecutive flat cases. `cases[i]` is flat case
+/// `start + i`. `digest_after` is context-dependent: the engine's chained
+/// journal stores the running sweep digest after folding the block; shard
+/// journals and the worker protocol store the BLOCK-LOCAL digest (fold of
+/// just these cases from kSweepDigestBasis), because a worker cannot know
+/// the global fold position of its block.
+struct SweepBlock {
+  std::size_t start = 0;
+  std::vector<SweepCaseOutcome> cases;
+  std::uint64_t digest_after = 0;
+};
+
+/// Fold one case's metric bit patterns into a running FNV-1a digest.
+void sweep_digest_metrics(std::uint64_t& h, const SweepCaseMetrics& m);
+
+/// Block-local digest of a block record: every ok case folded in order
+/// starting from kSweepDigestBasis (quarantined cases contribute nothing,
+/// mirroring the global digest's contract).
+[[nodiscard]] std::uint64_t sweep_block_digest(const SweepBlock& block);
+
 struct SweepResult {
   /// Cell-major order: regions × kinds × nodes × jobs × policies.
   std::vector<SweepCellStats> cells;
@@ -129,6 +169,64 @@ struct SweepResult {
   std::vector<SweepFailedCase> failed_cases;
   /// Cases folded from a journal instead of simulated (resume).
   std::size_t replayed_cases = 0;
+};
+
+/// The shared execution substrate of every sweep runner — the in-process
+/// SweepEngine, a SweepWorker process, and the SweepCoordinator's
+/// in-process degradation path all drive the SAME case pipeline through
+/// this class: flat case id -> resolved scenario -> simulation with
+/// retry/quarantine -> SweepCaseOutcome, plus the serial fold of outcomes
+/// into a SweepResult. One implementation is the digest-identity
+/// argument: there is no second code path that could diverge.
+class SweepCaseRunner {
+ public:
+  struct Options {
+    /// Failure isolation: extra attempts before a throwing case is
+    /// quarantined (capped exponential backoff between attempts).
+    int case_retries = 2;
+    double retry_backoff_base_s = 0.01;
+    double retry_backoff_cap_s = 1.0;
+  };
+
+  /// Resolves the grid's axes. Throws InvalidArgument on an empty policy
+  /// list, a null scheduler factory, or a non-positive replica count.
+  /// `grid` must outlive the runner (held by reference).
+  SweepCaseRunner(const SweepGrid& grid, Options opts);
+  explicit SweepCaseRunner(const SweepGrid& grid);
+
+  [[nodiscard]] std::size_t case_count() const { return n_cases_; }
+  [[nodiscard]] std::size_t cell_count() const { return n_cells_; }
+  [[nodiscard]] int replicas() const { return static_cast<int>(replicas_); }
+
+  /// Simulate one flat case with the retry/quarantine policy. Never
+  /// throws on case failure — a case that exhausts its budget returns
+  /// ok == false. Thread-safe: cases are independent.
+  [[nodiscard]] SweepCaseOutcome run_case(std::size_t flat) const;
+
+  /// Resolved coordinates of a flat case, for quarantine reports.
+  [[nodiscard]] std::string describe(std::size_t flat) const;
+
+  /// Size result's cell table (cell-major coordinates) and case counts.
+  void init_result(SweepResult& result) const;
+
+  /// Fold one outcome into result: Welford cells + digest for a success,
+  /// the failed_cases list for a quarantine. MUST be called in flat case
+  /// order — the digest is order-defined.
+  void fold(SweepResult& result, std::size_t flat, const SweepCaseOutcome& e) const;
+
+ private:
+  struct Coords;
+  [[nodiscard]] Coords decode(std::size_t flat) const;
+
+  const SweepGrid* grid_;
+  Options opts_;
+  std::vector<carbon::Region> regions_;
+  std::vector<carbon::IntensityKind> kinds_;
+  std::vector<int> nodes_;
+  std::vector<int> jobs_;
+  std::size_t replicas_ = 1;
+  std::size_t n_cells_ = 0;
+  std::size_t n_cases_ = 0;
 };
 
 class SweepEngine {

@@ -1,0 +1,479 @@
+#include "core/sweep_coordinator.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <thread>
+
+#include "core/sweep_journal.hpp"
+#include "core/sweep_protocol.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/deadline.hpp"
+#include "util/error.hpp"
+#include "util/subprocess.hpp"
+
+namespace greenhpc::core {
+
+// ---------------------------------------------------------------------------
+// BlockLedger
+
+BlockLedger::BlockLedger(std::size_t cases, std::size_t block)
+    : BlockLedger(cases, block, Options()) {}
+
+BlockLedger::BlockLedger(std::size_t cases, std::size_t block, Options opts)
+    : cases_(cases), block_(block), opts_(opts) {
+  GREENHPC_REQUIRE(block_ > 0, "ledger block size must be positive");
+  const std::size_t n = cases_ == 0 ? 0 : (cases_ + block_ - 1) / block_;
+  states_.resize(n);
+  pending_ = n;
+}
+
+std::size_t BlockLedger::size_of(std::size_t index) const {
+  return std::min(block_, cases_ - index * block_);
+}
+
+bool BlockLedger::lease(int worker, double now_s, std::size_t& start_out) {
+  // Lowest-start-first keeps the fold frontier moving: the block gating
+  // next_to_fold() is always the most urgent lease.
+  for (std::size_t i = next_fold_; i < states_.size(); ++i) {
+    Entry& e = states_[i];
+    if (e.state != State::Pending) continue;
+    if (now_s < e.ready_at_s) continue;  // still in reassignment backoff
+    e.state = State::Leased;
+    e.worker = worker;
+    --pending_;
+    ++leased_;
+    start_out = i * block_;
+    return true;
+  }
+  return false;
+}
+
+std::size_t BlockLedger::orphan_worker(int worker, double now_s) {
+  std::size_t orphaned = 0;
+  for (Entry& e : states_) {
+    if (e.state != State::Leased || e.worker != worker) continue;
+    e.state = State::Pending;
+    e.worker = -1;
+    const double backoff =
+        std::min(opts_.backoff_cap_s,
+                 opts_.backoff_base_s * std::pow(2.0, e.orphanings));
+    ++e.orphanings;
+    e.ready_at_s = now_s + backoff;
+    --leased_;
+    ++pending_;
+    ++orphaned;
+  }
+  return orphaned;
+}
+
+BlockLedger::Deliver BlockLedger::deliver(const SweepBlock& rec) {
+  GREENHPC_REQUIRE(rec.start % block_ == 0 && rec.start < cases_,
+                   "block record is not aligned to the sweep's block grid");
+  const std::size_t index = rec.start / block_;
+  GREENHPC_REQUIRE(rec.cases.size() == size_of(index),
+                   "block record has the wrong case count");
+  GREENHPC_REQUIRE(sweep_block_digest(rec) == rec.digest_after,
+                   "block record digest does not re-fold");
+  Entry& e = states_[index];
+  if (e.state == State::Ready || e.state == State::Folded) {
+    // At-least-once delivery: honest duplicates (same bits) are normal;
+    // the same block with different bits is nondeterminism or forgery
+    // and folding either copy could fabricate results.
+    GREENHPC_REQUIRE(e.digest == rec.digest_after,
+                     "conflicting duplicate record for block " +
+                         std::to_string(rec.start) +
+                         " — nondeterminism or corruption");
+    ++duplicates_;
+    return Deliver::Duplicate;
+  }
+  if (e.state == State::Leased) {
+    --leased_;
+  } else {
+    --pending_;
+  }
+  e.state = State::Ready;
+  e.worker = -1;
+  e.digest = rec.digest_after;
+  e.record = rec;
+  return Deliver::Accepted;
+}
+
+bool BlockLedger::next_to_fold(SweepBlock& out) {
+  if (next_fold_ >= states_.size()) return false;
+  Entry& e = states_[next_fold_];
+  if (e.state != State::Ready) return false;
+  out = std::move(e.record);
+  e.record = SweepBlock{};
+  e.state = State::Folded;
+  ++folded_blocks_;
+  ++next_fold_;
+  return true;
+}
+
+double BlockLedger::next_ready_s() const {
+  double best = std::numeric_limits<double>::infinity();
+  for (const Entry& e : states_) {
+    if (e.state == State::Pending) best = std::min(best, e.ready_at_s);
+  }
+  return best;
+}
+
+// ---------------------------------------------------------------------------
+// SweepCoordinator
+
+namespace {
+
+/// Coordinator-side view of one worker process.
+struct WorkerConn {
+  int id = -1;  ///< stable worker index (ledger lease owner, stats slot)
+  util::Subprocess proc;
+  std::unique_ptr<util::LineChannel> channel;
+  bool alive = true;
+  bool hello_ok = false;
+  int misses = 0;                 ///< consecutive heartbeat misses
+  util::Deadline liveness;        ///< hello deadline, then heartbeat deadline
+  bool has_lease = false;
+  std::size_t lease_start = 0;
+  util::Deadline lease_deadline;  ///< hung-worker trap
+};
+
+}  // namespace
+
+SweepCoordinator::SweepCoordinator(Options opts) : opts_(std::move(opts)) {
+  if (opts_.block == 0) opts_.block = 256;
+}
+
+SweepResult SweepCoordinator::run(const SweepGrid& grid) {
+  GREENHPC_TRACE_SPAN("sweep.coordinator");
+  static obs::Counter& deaths_counter =
+      obs::Registry::global().counter("sweep.worker_deaths");
+  static obs::Counter& reassigned_counter =
+      obs::Registry::global().counter("sweep.blocks_reassigned");
+  static obs::Counter& hb_miss_counter =
+      obs::Registry::global().counter("sweep.heartbeat_misses");
+  static obs::Counter& dup_counter =
+      obs::Registry::global().counter("sweep.duplicate_block_records");
+  static obs::Gauge& alive_gauge =
+      obs::Registry::global().gauge("sweep.workers_alive");
+
+  stats_ = Stats{};
+  const SweepCaseRunner runner(grid, opts_.case_opts);
+  const std::size_t n_cases = runner.case_count();
+  const std::uint64_t config = grid.config_digest();
+  SweepResult result;
+  runner.init_result(result);
+
+  // Resume: seed the ledger with every block the surviving shard
+  // journals prove complete, and bump the shard generation so this run's
+  // files never clobber the evidence it just recovered from.
+  std::size_t block_size = opts_.block;
+  int gen = 0;
+  std::vector<SweepBlock> seeded;
+  if (!opts_.journal_dir.empty() && opts_.resume) {
+    SweepJournal::ShardLoad load =
+        SweepJournal::load_shards(opts_.journal_dir, config, n_cases);
+    if (load.block != 0) block_size = load.block;
+    gen = load.max_gen + 1;
+    seeded = std::move(load.blocks);
+  }
+  stats_.shard_generation = gen;
+
+  BlockLedger::Options lopts;
+  lopts.backoff_base_s = opts_.lease_backoff_base_s;
+  lopts.backoff_cap_s = opts_.lease_backoff_cap_s;
+  BlockLedger ledger(n_cases, block_size, lopts);
+
+  std::size_t folded_cases = 0;
+  const auto drain_folds = [&] {
+    // The determinism gate: blocks fold strictly in flat case order, no
+    // matter which worker finished first, so digest and failed_cases are
+    // those of the serial engine.
+    SweepBlock b;
+    while (ledger.next_to_fold(b)) {
+      for (std::size_t i = 0; i < b.cases.size(); ++i) {
+        runner.fold(result, b.start + i, b.cases[i]);
+      }
+      folded_cases += b.cases.size();
+      if (opts_.progress) opts_.progress(folded_cases, n_cases);
+    }
+  };
+
+  for (const SweepBlock& b : seeded) {
+    if (ledger.deliver(b) == BlockLedger::Deliver::Accepted) {
+      ++stats_.replayed_blocks;
+      result.replayed_cases += b.cases.size();
+    }
+  }
+  seeded.clear();
+  drain_folds();
+
+  // In-process execution: the workers==0 configuration AND the
+  // all-workers-dead degradation path. Journals its blocks into its own
+  // shard so coordinator crashes stay recoverable on this path too.
+  const auto run_in_process = [&] {
+    if (ledger.all_folded()) return;
+    util::ThreadPool& pool =
+        opts_.pool != nullptr ? *opts_.pool : util::ThreadPool::global();
+    std::unique_ptr<SweepJournal> shard;
+    if (!opts_.journal_dir.empty()) {
+      shard = std::make_unique<SweepJournal>(SweepJournal::create_shard(
+          opts_.journal_dir, SweepJournal::shard_file_name(gen, "coord"),
+          config, n_cases, block_size));
+    }
+    const double kNoBackoff = std::numeric_limits<double>::infinity();
+    std::size_t start = 0;
+    while (ledger.lease(-1, kNoBackoff, start)) {
+      SweepBlock b;
+      b.start = start;
+      b.cases.resize(std::min(block_size, n_cases - start));
+      pool.parallel_for_chunked(b.cases.size(), 1, [&](std::size_t i) {
+        b.cases[i] = runner.run_case(start + i);
+      });
+      b.digest_after = sweep_block_digest(b);
+      if (shard != nullptr) shard->append(b);
+      ledger.deliver(b);
+      drain_folds();
+    }
+  };
+
+  if (opts_.workers <= 0 || ledger.all_folded()) {
+    run_in_process();
+    return result;
+  }
+
+  GREENHPC_REQUIRE(!opts_.worker_argv.empty(),
+                   "distributed sweep needs the worker exec argv");
+
+  util::MonotoneClock clock;
+  std::vector<WorkerConn> conns;
+  conns.reserve(static_cast<std::size_t>(opts_.workers));
+  stats_.workers.assign(static_cast<std::size_t>(opts_.workers), WorkerInfo{});
+
+  const auto alive_count = [&] {
+    std::size_t n = 0;
+    for (const WorkerConn& c : conns) n += c.alive ? 1 : 0;
+    return n;
+  };
+
+  const auto declare_dead = [&](WorkerConn& c, const char* why) {
+    if (!c.alive) return;
+    c.alive = false;
+    c.has_lease = false;
+    const long pid = static_cast<long>(c.proc.pid());
+    c.proc.kill_hard();
+    const std::size_t orphaned = ledger.orphan_worker(c.id, clock.now_s());
+    stats_.blocks_reassigned += orphaned;
+    for (std::size_t i = 0; i < orphaned; ++i) reassigned_counter.add();
+    ++stats_.worker_deaths;
+    deaths_counter.add();
+    stats_.workers[static_cast<std::size_t>(c.id)].died = true;
+    alive_gauge.set(static_cast<double>(alive_count()));
+    std::fprintf(stderr,
+                 "greenhpc: sweep worker %d (pid %ld) dead: %s; %zu block(s) "
+                 "returned for reassignment\n",
+                 c.id, pid, why, orphaned);
+  };
+
+  for (int k = 0; k < opts_.workers; ++k) {
+    std::vector<std::string> argv = opts_.worker_argv;
+    if (!opts_.journal_dir.empty()) {
+      argv.push_back("--shard-path");
+      argv.push_back(opts_.journal_dir + "/" +
+                     SweepJournal::shard_file_name(gen, "w" + std::to_string(k)));
+    }
+    argv.push_back("--block");
+    argv.push_back(std::to_string(block_size));
+    WorkerConn c;
+    c.id = k;
+    try {
+      c.proc = util::Subprocess::spawn(argv);
+    } catch (const std::exception& e) {
+      // A spawn failure is a dead worker, not a dead sweep.
+      stats_.workers[static_cast<std::size_t>(k)].died = true;
+      ++stats_.worker_deaths;
+      deaths_counter.add();
+      std::fprintf(stderr, "greenhpc: cannot spawn sweep worker %d: %s\n", k,
+                   e.what());
+      continue;
+    }
+    stats_.workers[static_cast<std::size_t>(k)].pid =
+        static_cast<long>(c.proc.pid());
+    c.proc.set_stdout_nonblocking();
+    c.channel = std::make_unique<util::LineChannel>(c.proc.stdout_fd());
+    c.liveness = util::Deadline(clock.now_s(), opts_.hello_timeout_s);
+    conns.push_back(std::move(c));
+  }
+  alive_gauge.set(static_cast<double>(alive_count()));
+
+  // Returns false when the worker must be declared dead (protocol
+  // violation, unfoldable record). Throws only on config skew — a worker
+  // computing a DIFFERENT grid is an operator error no reassignment can
+  // fix, so it fails the sweep loudly.
+  const auto handle_line = [&](WorkerConn& c, const std::string& line) -> bool {
+    const Message m = parse_message(line);
+    switch (m.kind) {
+      case MsgKind::Hello:
+        GREENHPC_REQUIRE(
+            m.config_digest == config && m.cases == n_cases &&
+                m.block_size == block_size,
+            "sweep worker disagrees about the grid (config/case-count/block "
+            "skew) — refusing to fold its results");
+        c.hello_ok = true;
+        c.misses = 0;
+        c.liveness.extend(clock.now_s(), opts_.heartbeat_timeout_s);
+        return true;
+      case MsgKind::Heartbeat:
+        c.misses = 0;
+        c.liveness.extend(clock.now_s(), opts_.heartbeat_timeout_s);
+        return true;
+      case MsgKind::Block: {
+        BlockLedger::Deliver d;
+        try {
+          d = ledger.deliver(m.block);
+        } catch (const std::exception&) {
+          return false;  // structurally wrong record: the worker is broken
+        }
+        if (d == BlockLedger::Deliver::Duplicate) {
+          ++stats_.duplicate_block_records;
+          dup_counter.add();
+        } else {
+          ++stats_.workers[static_cast<std::size_t>(c.id)].blocks;
+        }
+        if (c.has_lease && m.block.start == c.lease_start) c.has_lease = false;
+        c.misses = 0;
+        c.liveness.extend(clock.now_s(), opts_.heartbeat_timeout_s);
+        drain_folds();
+        return true;
+      }
+      default:
+        return false;  // malformed or a coordinator-only verb
+    }
+  };
+
+  while (!ledger.all_folded() && alive_count() > 0) {
+    // Hand work to every idle, handshaken worker.
+    for (WorkerConn& c : conns) {
+      if (!c.alive || !c.hello_ok || c.has_lease) continue;
+      std::size_t start = 0;
+      if (!ledger.lease(c.id, clock.now_s(), start)) break;
+      const std::size_t count = std::min(block_size, n_cases - start);
+      if (!util::write_all(c.proc.stdin_fd(),
+                           encode_assign(start, count) + "\n")) {
+        declare_dead(c, "assign write failed");
+        continue;
+      }
+      c.has_lease = true;
+      c.lease_start = start;
+      c.lease_deadline = util::Deadline(clock.now_s(), opts_.lease_timeout_s);
+    }
+
+    // Sleep until the earliest of: any pipe readable, the next liveness
+    // or lease deadline, the next backoff expiry. Capped so a lost
+    // wakeup can only cost one beat.
+    const double now = clock.now_s();
+    double timeout = 0.25;
+    for (const WorkerConn& c : conns) {
+      if (!c.alive) continue;
+      timeout = std::min(timeout, c.liveness.remaining_s(now));
+      if (c.has_lease) {
+        timeout = std::min(timeout, c.lease_deadline.remaining_s(now));
+      }
+    }
+    const double next_ready = ledger.next_ready_s();
+    if (next_ready < std::numeric_limits<double>::infinity()) {
+      timeout = std::min(timeout, std::max(0.0, next_ready - now));
+    }
+    timeout = std::max(timeout, 0.005);
+
+    std::vector<int> fds;
+    fds.reserve(conns.size());
+    for (const WorkerConn& c : conns) {
+      fds.push_back(c.alive ? c.proc.stdout_fd() : -1);
+    }
+    for (const std::size_t idx : util::poll_readable(fds, timeout)) {
+      WorkerConn& c = conns[idx];
+      if (!c.alive) continue;
+      bool dead = false;
+      for (;;) {
+        const util::LineChannel::Fill f = c.channel->fill();
+        std::string line;
+        while (c.channel->next_line(line)) {
+          if (!handle_line(c, line)) {
+            dead = true;
+            break;
+          }
+        }
+        if (dead || f == util::LineChannel::Fill::WouldBlock) break;
+        if (f == util::LineChannel::Fill::Eof ||
+            f == util::LineChannel::Fill::Error) {
+          dead = true;
+          break;
+        }
+      }
+      if (dead) declare_dead(c, "pipe closed or protocol violation");
+    }
+
+    // Failure detectors: hello deadline, heartbeat misses, hung leases.
+    const double tick = clock.now_s();
+    for (WorkerConn& c : conns) {
+      if (!c.alive) continue;
+      if (!c.hello_ok) {
+        if (c.liveness.expired(tick)) declare_dead(c, "no hello before deadline");
+        continue;
+      }
+      if (c.liveness.expired(tick)) {
+        ++c.misses;
+        ++stats_.heartbeat_misses;
+        ++stats_.workers[static_cast<std::size_t>(c.id)].heartbeat_misses;
+        hb_miss_counter.add();
+        if (c.misses >= opts_.heartbeat_miss_limit) {
+          declare_dead(c, "heartbeat timeout");
+          continue;
+        }
+        c.liveness.extend(tick, opts_.heartbeat_timeout_s);
+      }
+      if (c.has_lease && c.lease_deadline.expired(tick)) {
+        declare_dead(c, "lease timeout (hung block)");
+      }
+    }
+  }
+
+  // Graceful shutdown: shutdown verb + stdin EOF, a short grace window,
+  // then SIGKILL. The destructorial kill is the backstop either way.
+  for (WorkerConn& c : conns) {
+    if (!c.alive) continue;
+    util::write_all(c.proc.stdin_fd(), encode_shutdown() + "\n");
+    c.proc.close_stdin();
+  }
+  const double grace_end = clock.now_s() + 2.0;
+  for (WorkerConn& c : conns) {
+    if (!c.alive) continue;
+    while (c.proc.running() && clock.now_s() < grace_end) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    if (c.proc.running()) {
+      c.proc.kill_hard();
+    } else {
+      c.proc.wait();
+    }
+  }
+  alive_gauge.set(0.0);
+
+  if (!ledger.all_folded()) {
+    // Graceful degradation: every worker is gone, work remains. Slower
+    // is acceptable; wrong or empty-handed is not.
+    stats_.degraded_in_process = true;
+    std::fprintf(stderr,
+                 "greenhpc: all %d sweep worker(s) died; running the remaining "
+                 "%zu block(s) in-process\n",
+                 opts_.workers, ledger.pending() + ledger.leased());
+    run_in_process();
+  }
+  return result;
+}
+
+}  // namespace greenhpc::core

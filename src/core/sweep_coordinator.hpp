@@ -1,0 +1,196 @@
+#pragma once
+// Fault-tolerant distributed sweep: the coordinator side.
+//
+// SweepCoordinator shards a sweep's blocks across N worker PROCESSES
+// (fork/exec of the CLI's hidden `sweep-worker` command, local pipe
+// transport) and folds their digest-verified block records into one
+// SweepResult. The process boundary is the fault model: a worker that
+// crashes, hangs, is OOM-killed or `kill -9`ed is detected (EOF on its
+// pipe, missed heartbeats, or an expired lease), its in-flight block is
+// returned to the pool under capped exponential backoff, and the sweep
+// continues. If EVERY worker dies the coordinator degrades to running
+// the remaining blocks in-process — a distributed sweep can end slower,
+// never wrong and never empty-handed.
+//
+// Digest identity is the core invariant: the fold consumes blocks in
+// flat case order (BlockLedger releases them contiguously), each block's
+// record carries its block-local FNV digest verified on receipt, and
+// simulation itself is the same SweepCaseRunner the in-process engine
+// uses. The result digest is therefore bit-identical to a single-process
+// run for ANY worker count and ANY failure/kill schedule — enforced by
+// tests, a bench gate and the CI distributed-sweep job.
+//
+// Recovery composes with the journal layer: workers journal completed
+// blocks into per-worker shard files (see SweepJournal shard mode), and
+// a RESTARTED coordinator seeds its ledger from the union of surviving
+// shards, so even coordinator death loses at most in-flight blocks.
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/sweep.hpp"
+#include "util/parallel.hpp"
+
+namespace greenhpc::core {
+
+/// The coordinator's assignment state machine, one entry per block:
+///
+///   Pending --lease()--> Leased --deliver()--> Ready --next_to_fold()--> Folded
+///      ^                    |
+///      +---orphan_worker()--+   (backoff: base * 2^orphanings, capped)
+///
+/// Pure bookkeeping over synthetic double-seconds timestamps — no I/O,
+/// no real clock — so every failure schedule is unit-testable without
+/// sleeping. deliver() accepts records from ANY source (worker message,
+/// shard replay, in-process fallback) and deduplicates at-least-once
+/// delivery into exactly-once folding, keyed by block start + digest.
+class BlockLedger {
+ public:
+  struct Options {
+    /// Reassignment backoff for a block orphaned k times: base * 2^k,
+    /// capped. Spaces out retries of a block that keeps killing its
+    /// workers instead of hot-looping the fleet into it.
+    double backoff_base_s = 0.25;
+    double backoff_cap_s = 5.0;
+  };
+
+  BlockLedger(std::size_t cases, std::size_t block, Options opts);
+  BlockLedger(std::size_t cases, std::size_t block);
+
+  /// Lease the lowest pending block whose backoff has elapsed to
+  /// `worker`; false when none is leasable right now.
+  bool lease(int worker, double now_s, std::size_t& start_out);
+
+  /// Return every block leased to `worker` to Pending with backoff
+  /// (the worker died or hung). Returns how many blocks were orphaned.
+  std::size_t orphan_worker(int worker, double now_s);
+
+  enum class Deliver { Accepted, Duplicate };
+
+  /// Accept a completed block record. Validates alignment, size and the
+  /// block-local digest re-fold (InvalidArgument on a structurally wrong
+  /// record — the transport checksum already passed, so this is a logic
+  /// bug or forged input, not line noise). A record for an
+  /// already-delivered block is a Duplicate when the digests agree and
+  /// an InvalidArgument when they differ: duplicate delivery is normal
+  /// under at-least-once semantics, disagreement is nondeterminism.
+  Deliver deliver(const SweepBlock& rec);
+
+  /// Pop the next block in FLAT CASE ORDER if it is Ready — the gate
+  /// that makes out-of-order completion fold deterministically. False
+  /// while the next-to-fold block is still outstanding.
+  bool next_to_fold(SweepBlock& out);
+
+  [[nodiscard]] bool all_folded() const { return folded_blocks_ == states_.size(); }
+  /// Blocks currently assignable or in backoff.
+  [[nodiscard]] std::size_t pending() const { return pending_; }
+  [[nodiscard]] std::size_t leased() const { return leased_; }
+  [[nodiscard]] std::size_t duplicates() const { return duplicates_; }
+  /// Earliest instant a pending block's backoff elapses (for the event
+  /// loop's poll timeout); +infinity when nothing is waiting on time.
+  [[nodiscard]] double next_ready_s() const;
+  [[nodiscard]] std::size_t block() const { return block_; }
+  [[nodiscard]] std::size_t cases() const { return cases_; }
+
+ private:
+  enum class State { Pending, Leased, Ready, Folded };
+  struct Entry {
+    State state = State::Pending;
+    int worker = -1;
+    int orphanings = 0;
+    double ready_at_s = 0.0;    ///< backoff gate while Pending
+    std::uint64_t digest = 0;   ///< block-local digest once Ready/Folded
+    SweepBlock record;          ///< payload once Ready (cleared on fold)
+  };
+
+  [[nodiscard]] std::size_t size_of(std::size_t index) const;
+
+  std::size_t cases_ = 0;
+  std::size_t block_ = 0;
+  Options opts_;
+  std::vector<Entry> states_;
+  std::size_t next_fold_ = 0;      ///< index of the next block to fold
+  std::size_t folded_blocks_ = 0;
+  std::size_t pending_ = 0;
+  std::size_t leased_ = 0;
+  std::size_t duplicates_ = 0;
+};
+
+class SweepCoordinator {
+ public:
+  struct Options {
+    /// Worker processes to spawn. 0 = run everything in-process (the
+    /// degradation path, directly; useful for tests and as the CLI's
+    /// implicit default).
+    int workers = 0;
+    /// Exec argv of ONE worker (path + `sweep-worker` + grid flags); the
+    /// coordinator appends per-worker `--shard-path`/`--block` flags.
+    /// Required when workers > 0.
+    std::vector<std::string> worker_argv;
+    /// Run directory for shard journals; empty = no journaling (a worker
+    /// death then re-simulates its unreported blocks).
+    std::string journal_dir;
+    /// Seed the ledger from existing shard journals under journal_dir
+    /// before spawning anyone (coordinator restart).
+    bool resume = false;
+    /// Cases per block (ignored on resume when shards recorded one).
+    std::size_t block = 256;
+
+    // Liveness knobs (wall-clock seconds).
+    double heartbeat_interval_s = 0.5;   ///< expected worker cadence
+    double heartbeat_timeout_s = 2.0;    ///< silence counted as one miss
+    int heartbeat_miss_limit = 3;        ///< misses before declared dead
+    double hello_timeout_s = 10.0;       ///< spawn -> hello deadline
+    /// A leased block must complete within this long (hung-worker trap;
+    /// scale to the slowest expected block).
+    double lease_timeout_s = 300.0;
+
+    /// Reassignment backoff (see BlockLedger::Options).
+    double lease_backoff_base_s = 0.25;
+    double lease_backoff_cap_s = 5.0;
+
+    SweepCaseRunner::Options case_opts;
+    /// Progress callback, (cases folded, cases total) — same contract as
+    /// SweepEngine::Options::progress (runs on the calling thread).
+    std::function<void(std::size_t, std::size_t)> progress;
+    /// Pool for the in-process path; null = the process-global pool.
+    util::ThreadPool* pool = nullptr;
+  };
+
+  /// Post-run accounting, surfaced into the run report and tests.
+  struct WorkerInfo {
+    long pid = -1;
+    std::size_t blocks = 0;            ///< blocks delivered
+    std::size_t heartbeat_misses = 0;
+    bool died = false;                 ///< exited/was killed before shutdown
+  };
+  struct Stats {
+    std::vector<WorkerInfo> workers;
+    std::size_t blocks_reassigned = 0;
+    std::size_t worker_deaths = 0;
+    std::size_t heartbeat_misses = 0;
+    std::size_t duplicate_block_records = 0;
+    std::size_t replayed_blocks = 0;   ///< seeded from shard journals
+    bool degraded_in_process = false;  ///< fallback path ran
+    int shard_generation = 0;          ///< generation of this run's shards
+  };
+
+  explicit SweepCoordinator(Options opts);
+
+  /// Run the sweep to completion (workers + fallback). Throws
+  /// InvalidArgument on a bad grid, a config-skewed worker hello, or
+  /// shards that disagree; worker DEATH is never an exception.
+  [[nodiscard]] SweepResult run(const SweepGrid& grid);
+
+  /// Accounting of the last run().
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  Options opts_;
+  Stats stats_;
+};
+
+}  // namespace greenhpc::core

@@ -1,16 +1,19 @@
 #include "core/sweep_journal.hpp"
 
+#include <dirent.h>
 #include <fcntl.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
-#include <sstream>
+#include <map>
 
-#include "obs/run_report.hpp"  // obs::fnv1a
+#include "core/sweep_wire.hpp"
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 
 namespace greenhpc::core {
@@ -19,101 +22,7 @@ namespace {
 
 constexpr const char* kMagic = "greenhpc-sweep-journal";
 constexpr const char* kVersion = "v1";
-
-std::string hex64(std::uint64_t v) {
-  char buf[24];
-  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(v));
-  return buf;
-}
-
-bool parse_hex64(const std::string& tok, std::uint64_t& out) {
-  if (tok.empty() || tok.size() > 16) return false;
-  char* end = nullptr;
-  errno = 0;
-  const unsigned long long v = std::strtoull(tok.c_str(), &end, 16);
-  if (errno != 0 || end != tok.c_str() + tok.size()) return false;
-  out = static_cast<std::uint64_t>(v);
-  return true;
-}
-
-bool parse_size(const std::string& tok, std::size_t& out) {
-  if (tok.empty()) return false;
-  char* end = nullptr;
-  errno = 0;
-  const unsigned long long v = std::strtoull(tok.c_str(), &end, 10);
-  if (errno != 0 || end != tok.c_str() + tok.size()) return false;
-  out = static_cast<std::size_t>(v);
-  return true;
-}
-
-std::uint64_t double_bits(double v) {
-  std::uint64_t bits;
-  std::memcpy(&bits, &v, sizeof(bits));
-  return bits;
-}
-
-double bits_double(std::uint64_t bits) {
-  double v;
-  std::memcpy(&v, &bits, sizeof(v));
-  return v;
-}
-
-/// Error texts travel hex-encoded so they stay one whitespace-free token
-/// regardless of content; "-" encodes the empty string.
-std::string encode_text(const std::string& s) {
-  if (s.empty()) return "-";
-  static const char* digits = "0123456789abcdef";
-  std::string out;
-  out.reserve(s.size() * 2);
-  for (unsigned char c : s) {
-    out += digits[c >> 4];
-    out += digits[c & 0xf];
-  }
-  return out;
-}
-
-bool decode_text(const std::string& tok, std::string& out) {
-  out.clear();
-  if (tok == "-") return true;
-  if (tok.size() % 2 != 0) return false;
-  auto nibble = [](char c) -> int {
-    if (c >= '0' && c <= '9') return c - '0';
-    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
-    return -1;
-  };
-  for (std::size_t i = 0; i < tok.size(); i += 2) {
-    const int hi = nibble(tok[i]);
-    const int lo = nibble(tok[i + 1]);
-    if (hi < 0 || lo < 0) return false;
-    out += static_cast<char>((hi << 4) | lo);
-  }
-  return true;
-}
-
-/// Append the ` | <fnv16>` trailer that lets the parser reject torn and
-/// bit-flipped lines.
-std::string seal_line(const std::string& content) {
-  return content + " | " + hex64(obs::fnv1a(content)) + "\n";
-}
-
-/// Split a sealed line into content and checksum; false on a malformed or
-/// checksum-failing line.
-bool unseal_line(const std::string& line, std::string& content) {
-  const std::size_t sep = line.rfind(" | ");
-  if (sep == std::string::npos) return false;
-  content = line.substr(0, sep);
-  std::uint64_t sum = 0;
-  if (!parse_hex64(line.substr(sep + 3), sum)) return false;
-  return sum == obs::fnv1a(content);
-}
-
-std::vector<std::string> tokens_of(const std::string& content) {
-  std::vector<std::string> toks;
-  std::istringstream ss(content);
-  std::string t;
-  while (ss >> t) toks.push_back(t);
-  return toks;
-}
+constexpr const char* kShardVersion = "v1-shard";
 
 void mkdir_recursive(const std::string& dir) {
   std::string partial;
@@ -151,72 +60,120 @@ void append_durable(const std::string& path, const std::string& data) {
   GREENHPC_REQUIRE(rc == 0, "journal fsync failed: " + path);
 }
 
-std::string serialize_block(const SweepJournal::BlockRecord& rec) {
-  std::string content = "block " + std::to_string(rec.start) + ' ' +
-                        std::to_string(rec.cases.size()) + ' ' +
-                        hex64(rec.digest_after);
-  for (const SweepJournal::CaseEntry& e : rec.cases) {
-    if (e.ok) {
-      const double fields[] = {e.metrics.total_carbon_t,
-                               e.metrics.total_energy_mwh,
-                               e.metrics.mean_wait_h,
-                               e.metrics.mean_bounded_slowdown,
-                               e.metrics.utilization,
-                               e.metrics.green_energy_share,
-                               e.metrics.completed};
-      content += " c";
-      for (const double v : fields) content += ' ' + hex64(double_bits(v));
-    } else {
-      content += " f " + std::to_string(e.attempts) + ' ' + encode_text(e.error);
-    }
+/// Write the fsynced header of a fresh journal file and fsync the
+/// directory entry, so the file survives a crash the moment create()
+/// returns.
+void write_header_durable(const std::string& dir, const std::string& path,
+                          const std::string& version, std::uint64_t config_digest,
+                          std::size_t cases, std::size_t block) {
+  const std::string header =
+      wire::seal(std::string(kMagic) + ' ' + version + ' ' +
+                 wire::hex64(config_digest) + ' ' + std::to_string(cases) + ' ' +
+                 std::to_string(block)) +
+      "\n";
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    GREENHPC_REQUIRE(static_cast<bool>(out), "cannot create journal file: " + path);
+    out << header;
+    out.flush();
+    GREENHPC_REQUIRE(static_cast<bool>(out), "journal header write failed: " + path);
   }
-  return seal_line(content);
+  const int fd = ::open(path.c_str(), O_WRONLY);
+  GREENHPC_REQUIRE(fd >= 0, "cannot reopen journal: " + path);
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  GREENHPC_REQUIRE(rc == 0, "journal fsync failed: " + path);
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
 }
 
-/// Parse one sealed block line; false on any structural problem (the
-/// caller then discards this line and everything after it).
-bool parse_block(const std::string& content, SweepJournal::BlockRecord& rec) {
-  const std::vector<std::string> toks = tokens_of(content);
-  if (toks.size() < 4 || toks[0] != "block") return false;
-  std::size_t count = 0;
-  if (!parse_size(toks[1], rec.start) || !parse_size(toks[2], count) ||
-      !parse_hex64(toks[3], rec.digest_after)) {
-    return false;
+struct Header {
+  std::string version;
+  std::uint64_t config = 0;
+  std::size_t cases = 0;
+  std::size_t block = 0;
+};
+
+/// Parse and validate a journal header line against the grid. The
+/// version check is against `version`; everything else throws the same
+/// clear InvalidArgument messages for chained and shard files.
+Header read_header(const std::string& line, const std::string& path,
+                   const std::string& version, std::uint64_t config_digest,
+                   std::size_t cases) {
+  std::string content;
+  GREENHPC_REQUIRE(wire::unseal(line, content),
+                   "cannot resume: journal header is corrupt (checksum "
+                   "mismatch): " + path);
+  const std::vector<std::string> head = wire::tokens_of(content);
+  GREENHPC_REQUIRE(head.size() == 5 && head[0] == kMagic,
+                   "cannot resume: not a sweep journal: " + path);
+  GREENHPC_REQUIRE(head[1] == version,
+                   "cannot resume: unsupported journal version '" + head[1] +
+                       "' (expected " + version + "): " + path);
+  Header h;
+  h.version = head[1];
+  GREENHPC_REQUIRE(wire::parse_hex64(head[2], h.config) &&
+                       wire::parse_size(head[3], h.cases) &&
+                       wire::parse_size(head[4], h.block) && h.block > 0,
+                   "cannot resume: journal header is malformed: " + path);
+  GREENHPC_REQUIRE(h.config == config_digest,
+                   "cannot resume: journal was written for a different grid "
+                   "(config digest " + wire::hex64(h.config) + " != " +
+                       wire::hex64(config_digest) + "): " + path);
+  GREENHPC_REQUIRE(h.cases == cases,
+                   "cannot resume: journal case count " +
+                       std::to_string(h.cases) + " != grid case count " +
+                       std::to_string(cases) + ": " + path);
+  return h;
+}
+
+/// Satellite hardening: dropping a torn/corrupt suffix must be loud.
+/// One stderr line (file, first dropped line, bytes discarded) plus a
+/// metrics counter — silent data loss in a recovery path is how
+/// corruption goes unnoticed for months.
+void report_truncation(const std::string& path, std::size_t first_bad_line,
+                       std::size_t bytes_dropped) {
+  if (bytes_dropped == 0) return;
+  static obs::Counter& truncations =
+      obs::Registry::global().counter("sweep.journal_truncations");
+  truncations.add();
+  std::fprintf(stderr,
+               "greenhpc: journal %s: dropped %zu bytes of torn/corrupt "
+               "suffix starting at line %zu\n",
+               path.c_str(), bytes_dropped, first_bad_line);
+}
+
+[[nodiscard]] std::size_t file_size_of(const std::string& path) {
+  struct stat st{};
+  if (::stat(path.c_str(), &st) != 0) return 0;
+  return static_cast<std::size_t>(st.st_size);
+}
+
+bool is_shard_file_name(const std::string& name) {
+  constexpr const char* kPrefix = "shard-";
+  constexpr const char* kSuffix = ".journal";
+  if (name.size() < std::strlen(kPrefix) + std::strlen(kSuffix)) return false;
+  return name.compare(0, std::strlen(kPrefix), kPrefix) == 0 &&
+         name.compare(name.size() - std::strlen(kSuffix), std::strlen(kSuffix),
+                      kSuffix) == 0;
+}
+
+/// Generation number out of `shard-g<gen>-<tag>.journal`; -1 when the
+/// name does not carry one (foreign but tolerated shard names).
+int shard_gen_of(const std::string& name) {
+  constexpr const char* kGenPrefix = "shard-g";
+  if (name.compare(0, std::strlen(kGenPrefix), kGenPrefix) != 0) return -1;
+  std::size_t i = std::strlen(kGenPrefix);
+  if (i >= name.size() || name[i] < '0' || name[i] > '9') return -1;
+  int gen = 0;
+  while (i < name.size() && name[i] >= '0' && name[i] <= '9') {
+    gen = gen * 10 + (name[i] - '0');
+    ++i;
   }
-  rec.cases.clear();
-  std::size_t i = 4;
-  while (i < toks.size()) {
-    SweepJournal::CaseEntry entry;
-    if (toks[i] == "c") {
-      if (i + 7 >= toks.size()) return false;
-      double* fields[] = {&entry.metrics.total_carbon_t,
-                          &entry.metrics.total_energy_mwh,
-                          &entry.metrics.mean_wait_h,
-                          &entry.metrics.mean_bounded_slowdown,
-                          &entry.metrics.utilization,
-                          &entry.metrics.green_energy_share,
-                          &entry.metrics.completed};
-      for (std::size_t k = 0; k < 7; ++k) {
-        std::uint64_t bits = 0;
-        if (!parse_hex64(toks[i + 1 + k], bits)) return false;
-        *fields[k] = bits_double(bits);
-      }
-      entry.ok = true;
-      i += 8;
-    } else if (toks[i] == "f") {
-      if (i + 2 >= toks.size()) return false;
-      std::size_t attempts = 0;
-      if (!parse_size(toks[i + 1], attempts)) return false;
-      entry.attempts = static_cast<int>(attempts);
-      if (!decode_text(toks[i + 2], entry.error)) return false;
-      entry.ok = false;
-      i += 3;
-    } else {
-      return false;
-    }
-    rec.cases.push_back(std::move(entry));
-  }
-  return rec.cases.size() == count;
+  return (i < name.size() && name[i] == '-') ? gen : -1;
 }
 
 }  // namespace
@@ -224,6 +181,30 @@ bool parse_block(const std::string& content, SweepJournal::BlockRecord& rec) {
 std::size_t SweepJournal::resume_point() const {
   if (completed_.empty()) return 0;
   return completed_.back().start + completed_.back().cases.size();
+}
+
+std::string SweepJournal::serialize_block_line(const BlockRecord& rec) {
+  return wire::serialize_block(rec);
+}
+
+bool SweepJournal::parse_block_line(const std::string& line, BlockRecord& rec) {
+  std::string content;
+  return wire::unseal(line, content) && wire::parse_block(content, rec);
+}
+
+bool SweepJournal::exists(const std::string& dir) {
+  if (file_size_of(dir + "/" + kFileName) > 0) return true;
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return false;
+  bool found = false;
+  while (const struct dirent* ent = ::readdir(d)) {
+    if (is_shard_file_name(ent->d_name)) {
+      found = true;
+      break;
+    }
+  }
+  ::closedir(d);
+  return found;
 }
 
 SweepJournal SweepJournal::create(const std::string& dir,
@@ -237,29 +218,32 @@ SweepJournal SweepJournal::create(const std::string& dir,
   j.config_digest_ = config_digest;
   j.cases_ = cases;
   j.block_ = block;
-  const std::string header =
-      seal_line(std::string(kMagic) + ' ' + kVersion + ' ' + hex64(config_digest) +
-                ' ' + std::to_string(cases) + ' ' + std::to_string(block));
-  {
-    std::ofstream out(j.path_, std::ios::binary | std::ios::trunc);
-    GREENHPC_REQUIRE(static_cast<bool>(out),
-                     "cannot create journal file: " + j.path_);
-    out << header;
-    out.flush();
-    GREENHPC_REQUIRE(static_cast<bool>(out), "journal header write failed: " + j.path_);
-  }
-  // Durable header + directory entry before any block is reported done.
-  const int fd = ::open(j.path_.c_str(), O_WRONLY);
-  GREENHPC_REQUIRE(fd >= 0, "cannot reopen journal: " + j.path_);
-  const int rc = ::fsync(fd);
-  ::close(fd);
-  GREENHPC_REQUIRE(rc == 0, "journal fsync failed: " + j.path_);
-  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
-  if (dfd >= 0) {
-    ::fsync(dfd);
-    ::close(dfd);
-  }
+  write_header_durable(dir, j.path_, kVersion, config_digest, cases, block);
   return j;
+}
+
+SweepJournal SweepJournal::create_shard(const std::string& dir,
+                                        const std::string& file_name,
+                                        std::uint64_t config_digest,
+                                        std::size_t cases, std::size_t block) {
+  GREENHPC_REQUIRE(!dir.empty(), "journal directory must not be empty");
+  GREENHPC_REQUIRE(block > 0, "journal block size must be positive");
+  GREENHPC_REQUIRE(is_shard_file_name(file_name),
+                   "shard journal file name must look like shard-*.journal: " +
+                       file_name);
+  mkdir_recursive(dir);
+  SweepJournal j;
+  j.path_ = dir + "/" + file_name;
+  j.config_digest_ = config_digest;
+  j.cases_ = cases;
+  j.block_ = block;
+  j.shard_ = true;
+  write_header_durable(dir, j.path_, kShardVersion, config_digest, cases, block);
+  return j;
+}
+
+std::string SweepJournal::shard_file_name(int gen, const std::string& tag) {
+  return "shard-g" + std::to_string(gen) + "-" + tag + ".journal";
 }
 
 SweepJournal SweepJournal::resume(const std::string& dir,
@@ -273,43 +257,22 @@ SweepJournal SweepJournal::resume(const std::string& dir,
   std::string line;
   GREENHPC_REQUIRE(static_cast<bool>(std::getline(in, line)),
                    "cannot resume: journal is empty: " + j.path_);
-  std::string content;
-  GREENHPC_REQUIRE(unseal_line(line, content),
-                   "cannot resume: journal header is corrupt (checksum "
-                   "mismatch): " + j.path_);
-  const std::vector<std::string> head = tokens_of(content);
-  GREENHPC_REQUIRE(head.size() == 5 && head[0] == kMagic,
-                   "cannot resume: not a sweep journal: " + j.path_);
-  GREENHPC_REQUIRE(head[1] == kVersion,
-                   "cannot resume: unsupported journal version '" + head[1] +
-                       "' (expected " + kVersion + ")");
-  std::uint64_t recorded_config = 0;
-  std::size_t recorded_cases = 0;
-  std::size_t recorded_block = 0;
-  GREENHPC_REQUIRE(parse_hex64(head[2], recorded_config) &&
-                       parse_size(head[3], recorded_cases) &&
-                       parse_size(head[4], recorded_block) && recorded_block > 0,
-                   "cannot resume: journal header is malformed: " + j.path_);
-  GREENHPC_REQUIRE(recorded_config == config_digest,
-                   "cannot resume: journal was written for a different grid "
-                   "(config digest " + hex64(recorded_config) + " != " +
-                       hex64(config_digest) + ")");
-  GREENHPC_REQUIRE(recorded_cases == cases,
-                   "cannot resume: journal case count " +
-                       std::to_string(recorded_cases) + " != grid case count " +
-                       std::to_string(cases));
-  j.config_digest_ = recorded_config;
-  j.cases_ = recorded_cases;
-  j.block_ = recorded_block;
+  const Header h = read_header(line, j.path_, kVersion, config_digest, cases);
+  j.config_digest_ = h.config;
+  j.cases_ = h.cases;
+  j.block_ = h.block;
 
   // Load the longest valid prefix of block records. A line that fails its
   // checksum (torn tail, bit flip) or breaks the block chain invalidates
   // itself AND everything after it — later records could depend on state
   // the corrupt one was supposed to establish.
   std::size_t valid_bytes = line.size() + 1;  // header + '\n'
+  std::size_t line_no = 1;
+  std::string content;
   while (std::getline(in, line)) {
+    ++line_no;
     BlockRecord rec;
-    if (!unseal_line(line, content) || !parse_block(content, rec)) break;
+    if (!wire::unseal(line, content) || !wire::parse_block(content, rec)) break;
     if (rec.start != j.resume_point()) break;  // chain break = corruption
     const std::size_t expect =
         std::min(j.block_, j.cases_ - std::min(j.cases_, rec.start));
@@ -318,6 +281,7 @@ SweepJournal SweepJournal::resume(const std::string& dir,
     j.completed_.push_back(std::move(rec));
   }
   in.close();
+  report_truncation(j.path_, line_no, file_size_of(j.path_) - valid_bytes);
   // Truncate away the invalid suffix so appended blocks follow the last
   // valid record, not garbage.
   GREENHPC_REQUIRE(::truncate(j.path_.c_str(),
@@ -326,11 +290,101 @@ SweepJournal SweepJournal::resume(const std::string& dir,
   return j;
 }
 
+SweepJournal::ShardLoad SweepJournal::load_shards(const std::string& dir,
+                                                  std::uint64_t config_digest,
+                                                  std::size_t cases) {
+  ShardLoad load;
+  std::vector<std::string> names;
+  if (DIR* d = ::opendir(dir.c_str())) {
+    while (const struct dirent* ent = ::readdir(d)) {
+      if (is_shard_file_name(ent->d_name)) names.emplace_back(ent->d_name);
+    }
+    ::closedir(d);
+  }
+  // readdir order is filesystem-dependent; sort so duplicate accounting
+  // and error attribution are deterministic.
+  std::sort(names.begin(), names.end());
+
+  std::map<std::size_t, std::uint64_t> seen;  // start -> block-local digest
+  for (const std::string& name : names) {
+    const std::string path = dir + "/" + name;
+    load.max_gen = std::max(load.max_gen, shard_gen_of(name));
+    std::ifstream in(path, std::ios::binary);
+    if (!in) continue;  // raced away (a worker crashed mid-create): skip
+    ++load.files;
+    std::string line;
+    if (!std::getline(in, line)) {
+      // Header never made it to disk — the worker died inside create.
+      // An empty shard carries no records; nothing to recover.
+      continue;
+    }
+    const Header h = read_header(line, path, kShardVersion, config_digest, cases);
+    if (load.block == 0) load.block = h.block;
+    GREENHPC_REQUIRE(h.block == load.block,
+                     "cannot resume: shard journals disagree on block size (" +
+                         std::to_string(h.block) + " vs " +
+                         std::to_string(load.block) + "): " + path);
+
+    std::size_t valid_bytes = line.size() + 1;
+    std::size_t line_no = 1;
+    std::string content;
+    while (std::getline(in, line)) {
+      ++line_no;
+      BlockRecord rec;
+      // Per-file valid-prefix: any torn, corrupt or structurally invalid
+      // record drops the rest of THIS file only — other shards are
+      // independent evidence and keep their records.
+      if (!wire::unseal(line, content) || !wire::parse_block(content, rec)) break;
+      if (rec.cases.empty() || rec.start % load.block != 0 ||
+          rec.start >= cases ||
+          rec.cases.size() != std::min(load.block, cases - rec.start)) {
+        break;
+      }
+      if (sweep_block_digest(rec) != rec.digest_after) break;
+      valid_bytes += line.size() + 1;
+
+      const auto it = seen.find(rec.start);
+      if (it != seen.end()) {
+        // At-least-once delivery makes honest duplicates normal (worker
+        // journaled, sent, died; coordinator reassigned). The SAME block
+        // with a DIFFERENT digest is something else entirely.
+        GREENHPC_REQUIRE(it->second == rec.digest_after,
+                         "cannot resume: shards disagree about block " +
+                             std::to_string(rec.start) + " (digest " +
+                             wire::hex64(it->second) + " vs " +
+                             wire::hex64(rec.digest_after) +
+                             ") — nondeterminism or corruption: " + path);
+        ++load.duplicate_blocks;
+        continue;
+      }
+      seen.emplace(rec.start, rec.digest_after);
+      load.blocks.push_back(std::move(rec));
+    }
+    in.close();
+    report_truncation(path, line_no, file_size_of(path) - valid_bytes);
+  }
+  std::sort(load.blocks.begin(), load.blocks.end(),
+            [](const BlockRecord& a, const BlockRecord& b) {
+              return a.start < b.start;
+            });
+  return load;
+}
+
 void SweepJournal::append(const BlockRecord& record) {
-  GREENHPC_ASSERT(record.start == resume_point(),
-                  "journal blocks must be appended in case order");
   GREENHPC_ASSERT(!record.cases.empty(), "journal block must not be empty");
-  append_durable(path_, serialize_block(record));
+  if (shard_) {
+    GREENHPC_ASSERT(record.start % block_ == 0 && record.start < cases_,
+                    "shard journal blocks must be block-aligned");
+    GREENHPC_ASSERT(record.cases.size() ==
+                        std::min(block_, cases_ - record.start),
+                    "shard journal block has the wrong case count");
+    GREENHPC_ASSERT(sweep_block_digest(record) == record.digest_after,
+                    "shard journal block digest does not re-fold");
+  } else {
+    GREENHPC_ASSERT(record.start == resume_point(),
+                    "journal blocks must be appended in case order");
+  }
+  append_durable(path_, wire::serialize_block(record) + "\n");
   completed_.push_back(record);
 }
 

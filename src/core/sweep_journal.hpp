@@ -29,8 +29,22 @@
 // for a quarantined case. Hardening: a torn or bit-flipped line fails
 // its checksum (or breaks the block chain) and drops that line AND
 // everything after it — the engine re-runs from the last valid block.
-// A corrupt header, a version/config/shape mismatch, or a digest that
-// does not re-fold throws greenhpc::InvalidArgument with a clear message.
+// Dropping a suffix is reported: one stderr line naming the file, the
+// first dropped line and the bytes discarded, plus the
+// `sweep.journal_truncations` counter. A corrupt header, a
+// version/config/shape mismatch, or a digest that does not re-fold
+// throws greenhpc::InvalidArgument with a clear message.
+//
+// SHARD MODE (distributed sweeps): each SweepWorker journals the blocks
+// it completed into its own `shard-g<gen>-<tag>.journal` (version token
+// `v1-shard`). Shard records may arrive in ANY block order (the
+// coordinator leases blocks out of sequence after failures), must be
+// block-aligned, and store the BLOCK-LOCAL digest (fold of just that
+// block's cases from kSweepDigestBasis) because a worker cannot know its
+// block's global fold position. A restarted coordinator resumes from the
+// UNION of all shard files under the run directory via load_shards();
+// the generation number in the file name is bumped per coordinator run
+// so a restart never clobbers the shards that survived the crash.
 
 #include <cstdint>
 #include <string>
@@ -42,22 +56,10 @@ namespace greenhpc::core {
 
 class SweepJournal {
  public:
-  /// One case's journaled outcome: metrics when it simulated, the
-  /// quarantine record when it exhausted its retry budget.
-  struct CaseEntry {
-    bool ok = true;
-    SweepCaseMetrics metrics;  ///< valid when ok
-    int attempts = 1;
-    std::string error;         ///< exception text when !ok
-  };
-
-  /// One completed block: `cases[i]` is flat case `start + i`, and
-  /// `digest_after` is the running sweep digest after folding the block.
-  struct BlockRecord {
-    std::size_t start = 0;
-    std::vector<CaseEntry> cases;
-    std::uint64_t digest_after = 0;
-  };
+  /// Journal records are plain sweep blocks; the aliases keep the
+  /// journal's historical vocabulary compiling.
+  using CaseEntry = SweepCaseOutcome;
+  using BlockRecord = SweepBlock;
 
   SweepJournal(SweepJournal&&) = default;
   SweepJournal& operator=(SweepJournal&&) = default;
@@ -72,17 +74,69 @@ class SweepJournal {
   /// Reopen an existing journal for resume. Validates the header against
   /// the grid (InvalidArgument on version/config/case-count mismatch),
   /// loads the longest valid prefix of block records (a torn or corrupt
-  /// line drops itself and everything after it), truncates the file to
-  /// that prefix, and reopens for append.
+  /// line drops itself and everything after it, logged + counted),
+  /// truncates the file to that prefix, and reopens for append.
   [[nodiscard]] static SweepJournal resume(const std::string& dir,
                                            std::uint64_t config_digest,
                                            std::size_t cases);
 
-  /// Blocks proven complete by the journal, chained from case 0 in order.
+  /// Whether any journal file (chained or shard) exists under `dir` —
+  /// the CLI's resume-or-start probe.
+  [[nodiscard]] static bool exists(const std::string& dir);
+
+  // --- shard mode (distributed sweeps) ----------------------------------
+
+  /// Start a fresh shard journal `dir/file_name` (dir created if
+  /// missing). Shard records may be appended in any block order; each
+  /// must be block-aligned and carry its block-local digest.
+  [[nodiscard]] static SweepJournal create_shard(const std::string& dir,
+                                                const std::string& file_name,
+                                                std::uint64_t config_digest,
+                                                std::size_t cases,
+                                                std::size_t block);
+
+  /// Canonical shard file name: `shard-g<gen>-<tag>.journal`.
+  [[nodiscard]] static std::string shard_file_name(int gen, const std::string& tag);
+
+  /// The union of every `shard-*.journal` under `dir`.
+  struct ShardLoad {
+    /// Distinct completed blocks, sorted by start (block-local digests
+    /// verified by re-fold).
+    std::vector<BlockRecord> blocks;
+    std::size_t files = 0;             ///< shard files scanned
+    std::size_t duplicate_blocks = 0;  ///< identical records dropped
+    int max_gen = -1;                  ///< highest generation seen (-1: none)
+    std::size_t block = 0;             ///< block size recorded by the shards
+  };
+
+  /// Scan `dir` for shard journals and merge their valid records.
+  /// Per-file valid-prefix recovery: a torn/corrupt line drops the rest
+  /// of THAT file only (logged + counted). The same block reported by
+  /// two shards (at-least-once delivery) deduplicates by start; a start
+  /// collision with DIFFERENT digests throws InvalidArgument — that is
+  /// not duplicate delivery, it is nondeterminism or corruption, and
+  /// folding either copy could fabricate results. Headers must agree
+  /// with the grid and with each other. An empty/missing dir is a valid
+  /// empty load.
+  [[nodiscard]] static ShardLoad load_shards(const std::string& dir,
+                                             std::uint64_t config_digest,
+                                             std::size_t cases);
+
+  /// Serialize one block record to its sealed journal/wire line (no
+  /// trailing newline). The pipe protocol ships exactly these bytes.
+  [[nodiscard]] static std::string serialize_block_line(const BlockRecord& rec);
+  /// Parse a sealed block line; false on a torn/corrupt/malformed line.
+  [[nodiscard]] static bool parse_block_line(const std::string& line,
+                                             BlockRecord& rec);
+
+  // ----------------------------------------------------------------------
+
+  /// Blocks proven complete by the journal. Chained mode: contiguous
+  /// from case 0, in order. Shard mode: the order they were appended.
   [[nodiscard]] const std::vector<BlockRecord>& completed() const {
     return completed_;
   }
-  /// First case not covered by a completed block.
+  /// First case not covered by a completed block (chained mode).
   [[nodiscard]] std::size_t resume_point() const;
   /// Block size recorded in the header; a resumed engine adopts it so
   /// block boundaries line up with the journaled records.
@@ -91,13 +145,18 @@ class SweepJournal {
   [[nodiscard]] std::uint64_t config_digest() const { return config_digest_; }
   /// The journal file this instance appends to.
   [[nodiscard]] const std::string& path() const { return path_; }
+  /// Whether this journal was opened in shard mode.
+  [[nodiscard]] bool is_shard() const { return shard_; }
 
   /// Append one completed block: serialize, write, flush, fsync. The
-  /// record is durable when this returns. Blocks must be appended in
-  /// case order (start == resume_point()); anything else is a LogicError.
+  /// record is durable when this returns. Chained mode: blocks must
+  /// arrive in case order (start == resume_point()). Shard mode: any
+  /// order, but the record must be block-aligned with the right size and
+  /// its digest must re-fold (LogicError otherwise — the caller built a
+  /// broken record).
   void append(const BlockRecord& record);
 
-  /// Journal file name inside a run directory.
+  /// Journal file name inside a run directory (chained mode).
   static constexpr const char* kFileName = "sweep.journal";
 
  private:
@@ -107,6 +166,7 @@ class SweepJournal {
   std::uint64_t config_digest_ = 0;
   std::size_t cases_ = 0;
   std::size_t block_ = 0;
+  bool shard_ = false;
   std::vector<BlockRecord> completed_;
 };
 

@@ -1,0 +1,76 @@
+#include "core/sweep_protocol.hpp"
+
+#include "core/sweep_wire.hpp"
+
+namespace greenhpc::core {
+
+std::string encode_hello(long pid, std::uint64_t config_digest,
+                         std::size_t cases, std::size_t block_size) {
+  return wire::seal("hello " + std::to_string(pid) + ' ' +
+                    wire::hex64(config_digest) + ' ' + std::to_string(cases) +
+                    ' ' + std::to_string(block_size));
+}
+
+std::string encode_heartbeat(long pid) {
+  return wire::seal("hb " + std::to_string(pid));
+}
+
+std::string encode_assign(std::size_t start, std::size_t count) {
+  return wire::seal("assign " + std::to_string(start) + ' ' +
+                    std::to_string(count));
+}
+
+std::string encode_shutdown() { return wire::seal("shutdown"); }
+
+std::string encode_block(const SweepBlock& block) {
+  return wire::serialize_block(block);
+}
+
+Message parse_message(const std::string& line) {
+  Message msg;  // Malformed until proven otherwise
+  std::string content;
+  if (!wire::unseal(line, content)) return msg;
+  const std::vector<std::string> toks = wire::tokens_of(content);
+  if (toks.empty()) return msg;
+
+  if (toks[0] == "hello") {
+    std::size_t pid = 0;
+    if (toks.size() != 5 || !wire::parse_size(toks[1], pid) ||
+        !wire::parse_hex64(toks[2], msg.config_digest) ||
+        !wire::parse_size(toks[3], msg.cases) ||
+        !wire::parse_size(toks[4], msg.block_size) || msg.block_size == 0) {
+      return msg;
+    }
+    msg.pid = static_cast<long>(pid);
+    msg.kind = MsgKind::Hello;
+    return msg;
+  }
+  if (toks[0] == "hb") {
+    std::size_t pid = 0;
+    if (toks.size() != 2 || !wire::parse_size(toks[1], pid)) return msg;
+    msg.pid = static_cast<long>(pid);
+    msg.kind = MsgKind::Heartbeat;
+    return msg;
+  }
+  if (toks[0] == "assign") {
+    if (toks.size() != 3 || !wire::parse_size(toks[1], msg.start) ||
+        !wire::parse_size(toks[2], msg.count) || msg.count == 0) {
+      return msg;
+    }
+    msg.kind = MsgKind::Assign;
+    return msg;
+  }
+  if (toks[0] == "shutdown") {
+    if (toks.size() != 1) return msg;
+    msg.kind = MsgKind::Shutdown;
+    return msg;
+  }
+  if (toks[0] == "block") {
+    if (!wire::parse_block(content, msg.block)) return msg;
+    msg.kind = MsgKind::Block;
+    return msg;
+  }
+  return msg;
+}
+
+}  // namespace greenhpc::core

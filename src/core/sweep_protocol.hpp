@@ -1,0 +1,64 @@
+#pragma once
+// Coordinator/worker pipe protocol for distributed sweeps.
+//
+// One line per message, every line sealed with the same FNV trailer as
+// the journal (` | <fnv16>`), so a byte mangled in transit is a parse
+// failure, never a silently wrong assignment or result. The vocabulary
+// is deliberately tiny — four control messages plus the journal's block
+// record line reused verbatim as the result message:
+//
+//   worker -> coordinator:  hello <pid> <config16> <cases> <block>
+//   worker -> coordinator:  hb <pid>
+//   worker -> coordinator:  block <start> <count> <digest16> ...   (journal line)
+//   coordinator -> worker:  assign <start> <count>
+//   coordinator -> worker:  shutdown
+//
+// `hello` doubles as the handshake AND the configuration cross-check:
+// the worker derives (config digest, case count, block size) from its
+// own command line, and the coordinator refuses a worker whose view of
+// the grid differs — a version-skewed or mislaunched worker must fail
+// loudly at connect, not contribute silently wrong blocks. `block`
+// carries the BLOCK-LOCAL digest (fold from kSweepDigestBasis), since a
+// worker cannot know its block's global fold position.
+//
+// Malformed input never throws: a line that does not parse becomes
+// MsgKind::Malformed and the receiver's policy decides (the coordinator
+// treats a malformed worker line as worker death; the worker exits).
+
+#include <cstdint>
+#include <string>
+
+#include "core/sweep.hpp"
+
+namespace greenhpc::core {
+
+enum class MsgKind { Hello, Heartbeat, Assign, Shutdown, Block, Malformed };
+
+/// A parsed protocol message; only the fields of its kind are valid.
+struct Message {
+  MsgKind kind = MsgKind::Malformed;
+  // Hello / Heartbeat
+  long pid = 0;
+  std::uint64_t config_digest = 0;  ///< Hello
+  std::size_t cases = 0;            ///< Hello
+  std::size_t block_size = 0;       ///< Hello
+  // Assign
+  std::size_t start = 0;
+  std::size_t count = 0;
+  // Block
+  SweepBlock block;
+};
+
+[[nodiscard]] std::string encode_hello(long pid, std::uint64_t config_digest,
+                                       std::size_t cases, std::size_t block_size);
+[[nodiscard]] std::string encode_heartbeat(long pid);
+[[nodiscard]] std::string encode_assign(std::size_t start, std::size_t count);
+[[nodiscard]] std::string encode_shutdown();
+/// A block result message IS the journal's sealed block line.
+[[nodiscard]] std::string encode_block(const SweepBlock& block);
+
+/// Parse one sealed line into a Message; any defect (bad checksum, bad
+/// token, wrong arity) yields MsgKind::Malformed.
+[[nodiscard]] Message parse_message(const std::string& line);
+
+}  // namespace greenhpc::core

@@ -1,0 +1,194 @@
+#pragma once
+// Shared line codec for sweep persistence and transport.
+//
+// The sweep journal (crash-safe WAL) and the coordinator/worker pipe
+// protocol speak the SAME line format for block records: ASCII tokens
+// sealed with an FNV-1a trailer (` | <fnv16>`), metric doubles as exact
+// 64-bit hex patterns, error text hex-encoded into one token. Sharing
+// the codec is a correctness argument, not just deduplication — a block
+// that round-trips the wire and a block that round-trips the journal are
+// byte-identical, so "worker sent it" and "worker journaled it" can
+// never disagree about the payload.
+//
+// Everything here is internal plumbing (namespace core::wire); public
+// entry points live on SweepJournal and in sweep_protocol.hpp.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/sweep.hpp"
+#include "obs/run_report.hpp"  // obs::fnv1a
+
+namespace greenhpc::core::wire {
+
+inline std::string hex64(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+inline bool parse_hex64(const std::string& tok, std::uint64_t& out) {
+  if (tok.empty() || tok.size() > 16) return false;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(tok.c_str(), &end, 16);
+  if (errno != 0 || end != tok.c_str() + tok.size()) return false;
+  out = static_cast<std::uint64_t>(v);
+  return true;
+}
+
+inline bool parse_size(const std::string& tok, std::size_t& out) {
+  if (tok.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(tok.c_str(), &end, 10);
+  if (errno != 0 || end != tok.c_str() + tok.size()) return false;
+  out = static_cast<std::size_t>(v);
+  return true;
+}
+
+inline std::uint64_t double_bits(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+inline double bits_double(std::uint64_t bits) {
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+/// Error texts travel hex-encoded so they stay one whitespace-free token
+/// regardless of content; "-" encodes the empty string.
+inline std::string encode_text(const std::string& s) {
+  if (s.empty()) return "-";
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  out.reserve(s.size() * 2);
+  for (unsigned char c : s) {
+    out += digits[c >> 4];
+    out += digits[c & 0xf];
+  }
+  return out;
+}
+
+inline bool decode_text(const std::string& tok, std::string& out) {
+  out.clear();
+  if (tok == "-") return true;
+  if (tok.size() % 2 != 0) return false;
+  auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    return -1;
+  };
+  for (std::size_t i = 0; i < tok.size(); i += 2) {
+    const int hi = nibble(tok[i]);
+    const int lo = nibble(tok[i + 1]);
+    if (hi < 0 || lo < 0) return false;
+    out += static_cast<char>((hi << 4) | lo);
+  }
+  return true;
+}
+
+/// Append the ` | <fnv16>` trailer that lets the receiver reject torn
+/// and bit-flipped lines. No trailing newline — the journal appends '\n'
+/// itself; the pipe transport's LineWriter frames lines on its own.
+inline std::string seal(const std::string& content) {
+  return content + " | " + hex64(obs::fnv1a(content));
+}
+
+/// Split a sealed line into content and checksum; false on a malformed
+/// or checksum-failing line.
+inline bool unseal(const std::string& line, std::string& content) {
+  const std::size_t sep = line.rfind(" | ");
+  if (sep == std::string::npos) return false;
+  content = line.substr(0, sep);
+  std::uint64_t sum = 0;
+  if (!parse_hex64(line.substr(sep + 3), sum)) return false;
+  return sum == obs::fnv1a(content);
+}
+
+inline std::vector<std::string> tokens_of(const std::string& content) {
+  std::vector<std::string> toks;
+  std::istringstream ss(content);
+  std::string t;
+  while (ss >> t) toks.push_back(t);
+  return toks;
+}
+
+/// Serialize a block record to a sealed line (no newline):
+///   block <start> <count> <digest16> [c <m1>..<m7> | f <attempts> <hexmsg>]...
+inline std::string serialize_block(const SweepBlock& rec) {
+  std::string content = "block " + std::to_string(rec.start) + ' ' +
+                        std::to_string(rec.cases.size()) + ' ' +
+                        hex64(rec.digest_after);
+  for (const SweepCaseOutcome& e : rec.cases) {
+    if (e.ok) {
+      const double fields[] = {e.metrics.total_carbon_t,
+                               e.metrics.total_energy_mwh,
+                               e.metrics.mean_wait_h,
+                               e.metrics.mean_bounded_slowdown,
+                               e.metrics.utilization,
+                               e.metrics.green_energy_share,
+                               e.metrics.completed};
+      content += " c";
+      for (const double v : fields) content += ' ' + hex64(double_bits(v));
+    } else {
+      content += " f " + std::to_string(e.attempts) + ' ' + encode_text(e.error);
+    }
+  }
+  return seal(content);
+}
+
+/// Parse the CONTENT of a block line (already unsealed); false on any
+/// structural problem.
+inline bool parse_block(const std::string& content, SweepBlock& rec) {
+  const std::vector<std::string> toks = tokens_of(content);
+  if (toks.size() < 4 || toks[0] != "block") return false;
+  std::size_t count = 0;
+  if (!parse_size(toks[1], rec.start) || !parse_size(toks[2], count) ||
+      !parse_hex64(toks[3], rec.digest_after)) {
+    return false;
+  }
+  rec.cases.clear();
+  std::size_t i = 4;
+  while (i < toks.size()) {
+    SweepCaseOutcome entry;
+    if (toks[i] == "c") {
+      if (i + 7 >= toks.size()) return false;
+      double* fields[] = {&entry.metrics.total_carbon_t,
+                          &entry.metrics.total_energy_mwh,
+                          &entry.metrics.mean_wait_h,
+                          &entry.metrics.mean_bounded_slowdown,
+                          &entry.metrics.utilization,
+                          &entry.metrics.green_energy_share,
+                          &entry.metrics.completed};
+      for (std::size_t k = 0; k < 7; ++k) {
+        std::uint64_t bits = 0;
+        if (!parse_hex64(toks[i + 1 + k], bits)) return false;
+        *fields[k] = bits_double(bits);
+      }
+      entry.ok = true;
+      i += 8;
+    } else if (toks[i] == "f") {
+      if (i + 2 >= toks.size()) return false;
+      std::size_t attempts = 0;
+      if (!parse_size(toks[i + 1], attempts)) return false;
+      entry.attempts = static_cast<int>(attempts);
+      if (!decode_text(toks[i + 2], entry.error)) return false;
+      entry.ok = false;
+      i += 3;
+    } else {
+      return false;
+    }
+    rec.cases.push_back(std::move(entry));
+  }
+  return rec.cases.size() == count;
+}
+
+}  // namespace greenhpc::core::wire

@@ -1,0 +1,138 @@
+#include "core/sweep_worker.hpp"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "core/sweep_journal.hpp"
+#include "core/sweep_protocol.hpp"
+#include "util/error.hpp"
+#include "util/subprocess.hpp"
+
+namespace greenhpc::core {
+
+namespace {
+
+/// Split `dir/file` for SweepJournal::create_shard.
+void split_path(const std::string& path, std::string& dir, std::string& file) {
+  const std::size_t slash = path.rfind('/');
+  if (slash == std::string::npos) {
+    dir = ".";
+    file = path;
+  } else {
+    dir = path.substr(0, slash);
+    file = path.substr(slash + 1);
+  }
+}
+
+}  // namespace
+
+SweepWorker::SweepWorker(Options opts) : opts_(std::move(opts)) {
+  if (opts_.block == 0) opts_.block = 256;
+}
+
+int SweepWorker::run(const SweepGrid& grid) {
+  std::unique_ptr<SweepCaseRunner> runner;
+  try {
+    runner = std::make_unique<SweepCaseRunner>(grid, opts_.case_opts);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "greenhpc: sweep worker rejects grid: %s\n", e.what());
+    return 3;
+  }
+  const std::size_t n_cases = runner->case_count();
+  const std::uint64_t config = grid.config_digest();
+  util::ThreadPool& pool =
+      opts_.pool != nullptr ? *opts_.pool : util::ThreadPool::global();
+
+  std::unique_ptr<SweepJournal> shard;
+  if (!opts_.shard_path.empty()) {
+    std::string dir, file;
+    split_path(opts_.shard_path, dir, file);
+    shard = std::make_unique<SweepJournal>(
+        SweepJournal::create_shard(dir, file, config, n_cases, opts_.block));
+  }
+
+  util::LineWriter out(opts_.out_fd);
+  util::LineChannel in(opts_.in_fd);  // blocking fd: fill() waits for data
+  const long pid = static_cast<long>(::getpid());
+
+  if (!out.write_line(encode_hello(pid, config, n_cases, opts_.block))) {
+    return 0;  // coordinator already gone; nothing to serve
+  }
+
+  // Heartbeat side thread: liveness must keep flowing WHILE a block
+  // simulates, or a long block is indistinguishable from a hang. The
+  // LineWriter mutex keeps heartbeat lines and block lines from
+  // interleaving bytes.
+  std::mutex hb_mu;
+  std::condition_variable hb_cv;
+  bool hb_stop = false;
+  std::thread heartbeat([&] {
+    std::unique_lock<std::mutex> lock(hb_mu);
+    for (;;) {
+      hb_cv.wait_for(lock,
+                     std::chrono::duration<double>(opts_.heartbeat_interval_s));
+      if (hb_stop) return;
+      if (!out.write_line(encode_heartbeat(pid))) return;  // peer gone
+    }
+  });
+  const auto stop_heartbeat = [&] {
+    {
+      std::lock_guard<std::mutex> lock(hb_mu);
+      hb_stop = true;
+    }
+    hb_cv.notify_all();
+    heartbeat.join();
+  };
+
+  std::string line;
+  int rc = 0;
+  for (;;) {
+    while (!in.next_line(line)) {
+      const util::LineChannel::Fill f = in.fill();
+      if (f == util::LineChannel::Fill::Eof ||
+          f == util::LineChannel::Fill::Error) {
+        if (!in.next_line(line)) {
+          stop_heartbeat();
+          return 0;  // coordinator hung up: clean exit
+        }
+        break;
+      }
+    }
+    const Message m = parse_message(line);
+    if (m.kind == MsgKind::Shutdown) break;
+    if (m.kind != MsgKind::Assign) {
+      rc = 2;  // the coordinator never sends anything else
+      break;
+    }
+    if (m.start % opts_.block != 0 || m.start >= n_cases ||
+        m.count != std::min(opts_.block, n_cases - m.start)) {
+      rc = 2;
+      break;
+    }
+
+    SweepBlock block;
+    block.start = m.start;
+    block.cases.resize(m.count);
+    pool.parallel_for_chunked(m.count, 1, [&](std::size_t i) {
+      block.cases[i] = runner->run_case(m.start + i);
+    });
+    block.digest_after = sweep_block_digest(block);
+
+    // Durability before visibility: once the coordinator sees this
+    // record it may never be re-leased, so it must already be on disk.
+    if (shard != nullptr) shard->append(block);
+    if (!out.write_line(SweepJournal::serialize_block_line(block))) {
+      break;  // coordinator died mid-run; the shard record survives
+    }
+  }
+  stop_heartbeat();
+  return rc;
+}
+
+}  // namespace greenhpc::core

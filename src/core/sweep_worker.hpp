@@ -1,0 +1,53 @@
+#pragma once
+// Fault-tolerant distributed sweep: the worker side.
+//
+// A SweepWorker is one leased-block executor: it handshakes over its
+// stdin/stdout pipes (`hello` carries its independently-derived config
+// digest, so a mislaunched worker is rejected at connect), heartbeats
+// from a side thread while simulating, and for each `assign` simulates
+// the block with the SAME SweepCaseRunner the in-process engine uses,
+// journals the completed record into its own shard file, and only then
+// reports it — journal-before-report is what lets the coordinator treat
+// a worker death after journaling as recoverable evidence rather than
+// lost work. EOF on stdin (coordinator died) or a `shutdown` verb ends
+// the worker cleanly; it owns no state anyone needs to clean up.
+
+#include <string>
+
+#include "core/sweep.hpp"
+#include "util/parallel.hpp"
+
+namespace greenhpc::core {
+
+class SweepWorker {
+ public:
+  struct Options {
+    int in_fd = 0;   ///< assignment stream (coordinator -> worker)
+    int out_fd = 1;  ///< report stream (worker -> coordinator)
+    /// Heartbeat cadence; the coordinator's timeout should be a small
+    /// multiple of this.
+    double heartbeat_interval_s = 0.5;
+    /// Shard journal file (`dir/shard-g<gen>-<tag>.journal`); empty =
+    /// no journaling (results live only in the report stream).
+    std::string shard_path;
+    /// Cases per block; must match the coordinator's grid view.
+    std::size_t block = 256;
+    SweepCaseRunner::Options case_opts;
+    /// Pool for intra-block parallelism; null = the process-global pool.
+    util::ThreadPool* pool = nullptr;
+  };
+
+  explicit SweepWorker(Options opts);
+
+  /// Serve assignments until shutdown/EOF. Returns the process exit
+  /// code: 0 clean (shutdown, stdin EOF, or coordinator gone mid-write),
+  /// 2 on a protocol violation from the coordinator, 3 on a grid the
+  /// runner rejects. Exceptions inside a CASE never surface here — the
+  /// runner quarantines them into the block record.
+  [[nodiscard]] int run(const SweepGrid& grid);
+
+ private:
+  Options opts_;
+};
+
+}  // namespace greenhpc::core

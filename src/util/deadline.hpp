@@ -1,0 +1,48 @@
+#pragma once
+// Deadline timers for liveness protocols.
+//
+// The sweep coordinator's failure detectors are all of one shape: "if X
+// has not happened by T, act". Deadline wraps that shape over the steady
+// clock (never the wall clock — NTP steps must not fire a failure
+// detector), and MonotoneClock gives the coordinator a single seconds-
+// since-start timebase its whole event loop shares, so lease ages,
+// heartbeat gaps and backoff schedules are directly comparable numbers.
+
+#include <chrono>
+
+namespace greenhpc::util {
+
+/// Seconds elapsed since construction, read off the steady clock.
+class MonotoneClock {
+ public:
+  MonotoneClock() : t0_(std::chrono::steady_clock::now()) {}
+  [[nodiscard]] double now_s() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point t0_;
+};
+
+/// A point on a MonotoneClock timeline, with expiry and extension.
+/// Timestamps are plain doubles (seconds) so state machines can be unit
+/// tested with synthetic clocks — no sleeping in tests.
+class Deadline {
+ public:
+  Deadline() = default;
+  Deadline(double now_s, double delay_s) : at_s_(now_s + delay_s) {}
+
+  [[nodiscard]] bool expired(double now_s) const { return now_s >= at_s_; }
+  [[nodiscard]] double remaining_s(double now_s) const {
+    return at_s_ > now_s ? at_s_ - now_s : 0.0;
+  }
+  [[nodiscard]] double at_s() const { return at_s_; }
+  /// Push the deadline out to now + delay (heartbeat arrived: re-arm).
+  void extend(double now_s, double delay_s) { at_s_ = now_s + delay_s; }
+
+ private:
+  double at_s_ = 0.0;
+};
+
+}  // namespace greenhpc::util

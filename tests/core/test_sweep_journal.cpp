@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <memory>
 #include <sstream>
@@ -410,6 +411,206 @@ TEST(SweepJournal, AppendOutOfOrderIsALogicError) {
   rec.cases.resize(5);
   EXPECT_THROW(journal.append(rec), LogicError);
   EXPECT_EQ(journal.resume_point(), 0u);
+}
+
+TEST(SweepJournal, DroppedSuffixIsReportedOnStderrAndCounted) {
+  // Satellite hardening: silent truncation in a recovery path is how
+  // corruption goes unnoticed. Tearing the journal must produce ONE
+  // stderr line naming the file, the first dropped line and the bytes
+  // discarded, and bump sweep.journal_truncations.
+  const SweepGrid grid = small_grid();
+  const std::string dir = run_dir("loud_truncation");
+  {
+    SweepJournal journal =
+        SweepJournal::create(dir, grid.config_digest(), grid.case_count(), 5);
+    SweepEngine::Options opts;
+    opts.journal = &journal;
+    (void)SweepEngine(std::move(opts)).run(grid);
+  }
+  const std::string path = dir + "/" + SweepJournal::kFileName;
+  const std::string intact = read_file(path);
+  write_file(path, intact.substr(0, intact.size() - 33));
+
+  obs::Counter& truncations =
+      obs::Registry::global().counter("sweep.journal_truncations");
+  const std::uint64_t before = truncations.value();
+  ::testing::internal::CaptureStderr();
+  SweepJournal resumed =
+      SweepJournal::resume(dir, grid.config_digest(), grid.case_count());
+  const std::string err = ::testing::internal::GetCapturedStderr();
+
+  EXPECT_EQ(truncations.value() - before, 1u);
+  EXPECT_NE(err.find(path), std::string::npos) << err;
+  EXPECT_NE(err.find("dropped"), std::string::npos) << err;
+  // 6 lines (header + 5 blocks): the torn final record is line 6.
+  EXPECT_NE(err.find("starting at line 6"), std::string::npos) << err;
+  EXPECT_EQ(resumed.completed().size(), 4u);
+
+  // A clean resume reports nothing and counts nothing.
+  ::testing::internal::CaptureStderr();
+  (void)SweepJournal::resume(dir, grid.config_digest(), grid.case_count());
+  EXPECT_EQ(::testing::internal::GetCapturedStderr(), "");
+  EXPECT_EQ(truncations.value() - before, 1u);
+}
+
+// --- shard mode (distributed sweeps) --------------------------------------
+
+/// Internally-consistent synthetic shard record (the journal verifies the
+/// digest re-fold, not the simulation).
+SweepJournal::BlockRecord shard_rec(std::size_t cases_total, std::size_t block,
+                                    std::size_t start) {
+  SweepJournal::BlockRecord rec;
+  rec.start = start;
+  rec.cases.resize(std::min(block, cases_total - start));
+  for (std::size_t i = 0; i < rec.cases.size(); ++i) {
+    rec.cases[i].ok = true;
+    rec.cases[i].metrics.total_energy_mwh = static_cast<double>(start + i) + 0.25;
+  }
+  rec.digest_after = sweep_block_digest(rec);
+  return rec;
+}
+
+/// Fresh directory for shard tests (removes shards from earlier runs).
+std::string shard_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "greenhpc_shards_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+TEST(SweepShardJournal, OutOfOrderAppendsMergeIntoOneSortedUnion) {
+  const std::string dir = shard_dir("union");
+  constexpr std::uint64_t kConfig = 0xfeed;
+  {
+    SweepJournal a = SweepJournal::create_shard(
+        dir, SweepJournal::shard_file_name(0, "w0"), kConfig, 10, 4);
+    EXPECT_TRUE(a.is_shard());
+    a.append(shard_rec(10, 4, 8));  // shard order is completion order,
+    a.append(shard_rec(10, 4, 0));  // not case order
+    SweepJournal b = SweepJournal::create_shard(
+        dir, SweepJournal::shard_file_name(1, "w1"), kConfig, 10, 4);
+    b.append(shard_rec(10, 4, 4));
+  }
+  EXPECT_TRUE(SweepJournal::exists(dir));
+
+  const SweepJournal::ShardLoad load = SweepJournal::load_shards(dir, kConfig, 10);
+  ASSERT_EQ(load.blocks.size(), 3u);
+  EXPECT_EQ(load.blocks[0].start, 0u);
+  EXPECT_EQ(load.blocks[1].start, 4u);
+  EXPECT_EQ(load.blocks[2].start, 8u);
+  EXPECT_EQ(load.blocks[2].cases.size(), 2u);
+  EXPECT_EQ(load.files, 2u);
+  EXPECT_EQ(load.duplicate_blocks, 0u);
+  EXPECT_EQ(load.max_gen, 1);  // a restart would journal as generation 2
+  EXPECT_EQ(load.block, 4u);
+
+  // Foreign shards are rejected exactly like foreign chained journals.
+  EXPECT_THROW((void)SweepJournal::load_shards(dir, kConfig ^ 1, 10),
+               InvalidArgument);
+  EXPECT_THROW((void)SweepJournal::load_shards(dir, kConfig, 11), InvalidArgument);
+
+  // A missing or empty directory is a valid empty load, not an error.
+  const SweepJournal::ShardLoad empty =
+      SweepJournal::load_shards(shard_dir("never_written"), kConfig, 10);
+  EXPECT_TRUE(empty.blocks.empty());
+  EXPECT_EQ(empty.files, 0u);
+  EXPECT_EQ(empty.max_gen, -1);
+}
+
+TEST(SweepShardJournal, AtLeastOnceDuplicatesDedupConflictsThrow) {
+  constexpr std::uint64_t kConfig = 0xbeef;
+  {
+    const std::string dir = shard_dir("dup");
+    SweepJournal a = SweepJournal::create_shard(
+        dir, SweepJournal::shard_file_name(0, "w0"), kConfig, 8, 4);
+    SweepJournal b = SweepJournal::create_shard(
+        dir, SweepJournal::shard_file_name(0, "w1"), kConfig, 8, 4);
+    // Block 0 delivered twice (a reassignment both halves of which
+    // finished): bit-identical records, deduplicated without complaint.
+    a.append(shard_rec(8, 4, 0));
+    b.append(shard_rec(8, 4, 0));
+    b.append(shard_rec(8, 4, 4));
+    const SweepJournal::ShardLoad load = SweepJournal::load_shards(dir, kConfig, 8);
+    ASSERT_EQ(load.blocks.size(), 2u);
+    EXPECT_EQ(load.duplicate_blocks, 1u);
+  }
+  {
+    // The same block with DIFFERENT bits is nondeterminism or corruption:
+    // folding either copy could fabricate results, so loading refuses.
+    const std::string dir = shard_dir("conflict");
+    SweepJournal a = SweepJournal::create_shard(
+        dir, SweepJournal::shard_file_name(0, "w0"), kConfig, 8, 4);
+    SweepJournal b = SweepJournal::create_shard(
+        dir, SweepJournal::shard_file_name(0, "w1"), kConfig, 8, 4);
+    a.append(shard_rec(8, 4, 0));
+    SweepJournal::BlockRecord twisted = shard_rec(8, 4, 0);
+    twisted.cases[1].metrics.total_energy_mwh += 1.0;
+    twisted.digest_after = sweep_block_digest(twisted);
+    b.append(twisted);
+    EXPECT_THROW((void)SweepJournal::load_shards(dir, kConfig, 8), InvalidArgument);
+  }
+}
+
+TEST(SweepShardJournal, TornLineDropsTheRestOfThatFileOnly) {
+  const std::string dir = shard_dir("torn");
+  constexpr std::uint64_t kConfig = 0xcafe;
+  const std::string name_a = SweepJournal::shard_file_name(0, "w0");
+  {
+    SweepJournal a =
+        SweepJournal::create_shard(dir, name_a, kConfig, 16, 4);
+    a.append(shard_rec(16, 4, 0));
+    a.append(shard_rec(16, 4, 4));
+    a.append(shard_rec(16, 4, 8));  // will sit after the corruption
+    SweepJournal b = SweepJournal::create_shard(
+        dir, SweepJournal::shard_file_name(0, "w1"), kConfig, 16, 4);
+    b.append(shard_rec(16, 4, 4));   // honest duplicate of a's record
+    b.append(shard_rec(16, 4, 12));
+  }
+  // Flip a bit inside a's SECOND record: its valid prefix ends at block
+  // 0, so a loses blocks 4 and 8 — but b still proves 4 and 12.
+  const std::string path = dir + "/" + name_a;
+  std::string content = read_file(path);
+  std::size_t line_start = content.find('\n') + 1;  // header
+  line_start = content.find('\n', line_start) + 1;  // first record
+  content[line_start + 30] ^= 0x1;
+  write_file(path, content);
+
+  obs::Counter& truncations =
+      obs::Registry::global().counter("sweep.journal_truncations");
+  const std::uint64_t before = truncations.value();
+  ::testing::internal::CaptureStderr();
+  const SweepJournal::ShardLoad load = SweepJournal::load_shards(dir, kConfig, 16);
+  const std::string err = ::testing::internal::GetCapturedStderr();
+
+  ASSERT_EQ(load.blocks.size(), 3u);
+  EXPECT_EQ(load.blocks[0].start, 0u);
+  EXPECT_EQ(load.blocks[1].start, 4u);
+  EXPECT_EQ(load.blocks[2].start, 12u);
+  EXPECT_EQ(truncations.value() - before, 1u);
+  EXPECT_NE(err.find(path), std::string::npos) << err;
+  EXPECT_NE(err.find("starting at line 3"), std::string::npos) << err;
+}
+
+TEST(SweepShardJournal, AppendRejectsStructurallyBrokenRecords) {
+  const std::string dir = shard_dir("broken_append");
+  SweepJournal shard = SweepJournal::create_shard(
+      dir, SweepJournal::shard_file_name(0, "w0"), 0x1, 10, 4);
+
+  SweepJournal::BlockRecord misaligned = shard_rec(10, 4, 4);
+  misaligned.start = 2;
+  EXPECT_THROW(shard.append(misaligned), LogicError);
+
+  SweepJournal::BlockRecord bad_digest = shard_rec(10, 4, 0);
+  bad_digest.digest_after ^= 1;
+  EXPECT_THROW(shard.append(bad_digest), LogicError);
+
+  SweepJournal::BlockRecord wrong_size = shard_rec(10, 4, 0);
+  wrong_size.cases.pop_back();
+  wrong_size.digest_after = sweep_block_digest(wrong_size);
+  EXPECT_THROW(shard.append(wrong_size), LogicError);
+
+  shard.append(shard_rec(10, 4, 8));  // out-of-order is FINE in shard mode
+  shard.append(shard_rec(10, 4, 0));
+  EXPECT_EQ(shard.completed().size(), 2u);
 }
 
 }  // namespace

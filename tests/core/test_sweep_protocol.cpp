@@ -1,0 +1,179 @@
+#include "core/sweep_protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "core/sweep_wire.hpp"
+
+namespace greenhpc::core {
+namespace {
+
+/// A block record exercising both case shapes: exact (including awkward)
+/// double bit patterns for the success path, hex-encoded error text with
+/// whitespace and non-ASCII bytes for the quarantine path.
+SweepBlock sample_block() {
+  SweepBlock rec;
+  rec.start = 12;
+  SweepCaseOutcome ok;
+  ok.ok = true;
+  ok.metrics.total_carbon_t = 1.25;
+  ok.metrics.total_energy_mwh = -0.0;  // signed zero must survive
+  ok.metrics.mean_wait_h = 3.5e-321;   // subnormal must survive
+  ok.metrics.mean_bounded_slowdown = 7.0;
+  ok.metrics.utilization = 0.875;
+  ok.metrics.green_energy_share = 1.0 / 3.0;
+  ok.metrics.completed = 48.0;
+  ok.attempts = 1;
+  SweepCaseOutcome bad;
+  bad.ok = false;
+  bad.attempts = 3;
+  bad.error = "scheduler exploded: node 7 | \"quoted\"\nline two\xc3\xa9";
+  rec.cases = {ok, bad, ok};
+  rec.digest_after = sweep_block_digest(rec);
+  return rec;
+}
+
+TEST(SweepWire, SealAndUnsealRejectCorruption) {
+  const std::string line = wire::seal("hello world 42");
+  std::string content;
+  ASSERT_TRUE(wire::unseal(line, content));
+  EXPECT_EQ(content, "hello world 42");
+
+  std::string flipped = line;
+  flipped[1] ^= 0x1;
+  EXPECT_FALSE(wire::unseal(flipped, content));
+
+  EXPECT_FALSE(wire::unseal("no trailer here", content));
+  EXPECT_FALSE(wire::unseal(line.substr(0, line.size() - 3), content));
+  // Checksum over content INCLUDING an embedded " | " stays unambiguous:
+  // unseal splits at the LAST separator.
+  const std::string tricky = wire::seal("a | b | c");
+  ASSERT_TRUE(wire::unseal(tricky, content));
+  EXPECT_EQ(content, "a | b | c");
+}
+
+TEST(SweepWire, DoubleBitsRoundTripExactly) {
+  const double values[] = {0.0, -0.0, 1.0 / 3.0, 3.5e-321, 1e308,
+                           -2.5, std::nan("")};
+  for (const double v : values) {
+    const std::uint64_t bits = wire::double_bits(v);
+    std::uint64_t parsed = 0;
+    ASSERT_TRUE(wire::parse_hex64(wire::hex64(bits), parsed));
+    EXPECT_EQ(parsed, bits);
+    EXPECT_EQ(wire::double_bits(wire::bits_double(parsed)), bits);
+  }
+  std::uint64_t out = 0;
+  EXPECT_FALSE(wire::parse_hex64("", out));
+  EXPECT_FALSE(wire::parse_hex64("xyz", out));
+  EXPECT_FALSE(wire::parse_hex64("0123456789abcdef0", out));  // 17 digits
+}
+
+TEST(SweepWire, TextEncodingRoundTripsArbitraryBytes) {
+  std::string decoded;
+  ASSERT_TRUE(wire::decode_text(wire::encode_text(""), decoded));
+  EXPECT_EQ(decoded, "");
+  const std::string nasty("tab\t nl\n nul\0 hi\xff", 17);
+  ASSERT_TRUE(wire::decode_text(wire::encode_text(nasty), decoded));
+  EXPECT_EQ(decoded, nasty);
+  EXPECT_FALSE(wire::decode_text("abc", decoded));   // odd length
+  EXPECT_FALSE(wire::decode_text("zz", decoded));    // not hex
+}
+
+TEST(SweepWire, BlockRoundTripIsExact) {
+  const SweepBlock rec = sample_block();
+  const std::string line = wire::serialize_block(rec);
+  std::string content;
+  ASSERT_TRUE(wire::unseal(line, content));
+  SweepBlock back;
+  ASSERT_TRUE(wire::parse_block(content, back));
+  EXPECT_EQ(back.start, rec.start);
+  EXPECT_EQ(back.digest_after, rec.digest_after);
+  ASSERT_EQ(back.cases.size(), rec.cases.size());
+  for (std::size_t i = 0; i < rec.cases.size(); ++i) {
+    EXPECT_EQ(back.cases[i].ok, rec.cases[i].ok);
+    if (rec.cases[i].ok) {
+      EXPECT_EQ(wire::double_bits(back.cases[i].metrics.mean_wait_h),
+                wire::double_bits(rec.cases[i].metrics.mean_wait_h));
+      EXPECT_EQ(wire::double_bits(back.cases[i].metrics.total_energy_mwh),
+                wire::double_bits(rec.cases[i].metrics.total_energy_mwh));
+    } else {
+      EXPECT_EQ(back.cases[i].attempts, rec.cases[i].attempts);
+      EXPECT_EQ(back.cases[i].error, rec.cases[i].error);
+    }
+  }
+  // The parsed record re-folds to the same block-local digest.
+  EXPECT_EQ(sweep_block_digest(back), rec.digest_after);
+}
+
+TEST(SweepWire, ParseBlockRejectsStructuralDefects) {
+  SweepBlock rec;
+  EXPECT_FALSE(wire::parse_block("", rec));
+  EXPECT_FALSE(wire::parse_block("record 0 1 0", rec));          // wrong verb
+  EXPECT_FALSE(wire::parse_block("block 0 1 0 x", rec));        // bad entry tag
+  EXPECT_FALSE(wire::parse_block("block 0 2 0 c 1 2 3 4 5 6 7", rec));  // count
+  EXPECT_FALSE(wire::parse_block("block 0 1 0 c 1 2 3", rec));  // short metrics
+  EXPECT_FALSE(wire::parse_block("block 0 1 0 f 2", rec));      // short failure
+}
+
+TEST(SweepProtocol, ControlMessagesRoundTrip) {
+  const Message hello = parse_message(encode_hello(4242, 0xdeadbeefcafe, 96, 8));
+  EXPECT_EQ(hello.kind, MsgKind::Hello);
+  EXPECT_EQ(hello.pid, 4242);
+  EXPECT_EQ(hello.config_digest, 0xdeadbeefcafeull);
+  EXPECT_EQ(hello.cases, 96u);
+  EXPECT_EQ(hello.block_size, 8u);
+
+  const Message hb = parse_message(encode_heartbeat(4242));
+  EXPECT_EQ(hb.kind, MsgKind::Heartbeat);
+  EXPECT_EQ(hb.pid, 4242);
+
+  const Message assign = parse_message(encode_assign(24, 8));
+  EXPECT_EQ(assign.kind, MsgKind::Assign);
+  EXPECT_EQ(assign.start, 24u);
+  EXPECT_EQ(assign.count, 8u);
+
+  EXPECT_EQ(parse_message(encode_shutdown()).kind, MsgKind::Shutdown);
+}
+
+TEST(SweepProtocol, BlockMessageCarriesTheRecord) {
+  const SweepBlock rec = sample_block();
+  const Message msg = parse_message(encode_block(rec));
+  ASSERT_EQ(msg.kind, MsgKind::Block);
+  EXPECT_EQ(msg.block.start, rec.start);
+  EXPECT_EQ(msg.block.digest_after, rec.digest_after);
+  EXPECT_EQ(msg.block.cases.size(), rec.cases.size());
+  EXPECT_EQ(sweep_block_digest(msg.block), rec.digest_after);
+}
+
+TEST(SweepProtocol, AnyDefectIsMalformedNeverAThrow) {
+  EXPECT_EQ(parse_message("").kind, MsgKind::Malformed);
+  EXPECT_EQ(parse_message("hello unsealed").kind, MsgKind::Malformed);
+  EXPECT_EQ(parse_message(wire::seal("frobnicate 1 2")).kind, MsgKind::Malformed);
+  EXPECT_EQ(parse_message(wire::seal("hb")).kind, MsgKind::Malformed);  // arity
+  EXPECT_EQ(parse_message(wire::seal("assign 5")).kind, MsgKind::Malformed);
+  EXPECT_EQ(parse_message(wire::seal("assign 5 0")).kind,
+            MsgKind::Malformed);  // zero-count assignment is meaningless
+  EXPECT_EQ(parse_message(wire::seal("hello 1 nothex 10 2")).kind,
+            MsgKind::Malformed);
+  EXPECT_EQ(parse_message(wire::seal("hello 1 0 10 0")).kind,
+            MsgKind::Malformed);  // zero block size
+
+  // A sealed line whose checksum fails after a single bit flip.
+  std::string line = encode_assign(24, 8);
+  line[8] ^= 0x1;
+  EXPECT_EQ(parse_message(line).kind, MsgKind::Malformed);
+
+  // A block line with a good seal but torn content (truncated before
+  // sealing would fail the count check).
+  SweepBlock rec = sample_block();
+  rec.cases.pop_back();  // count now disagrees with the recorded 3
+  std::string content;
+  ASSERT_TRUE(wire::unseal(wire::serialize_block(sample_block()), content));
+  const std::string torn = wire::seal(content.substr(0, content.size() - 20));
+  EXPECT_EQ(parse_message(torn).kind, MsgKind::Malformed);
+}
+
+}  // namespace
+}  // namespace greenhpc::core

@@ -5,6 +5,7 @@
 #include <unistd.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -94,6 +95,35 @@ TEST_F(AtomicFileTest, UnwritableDirectoryThrows) {
                std::runtime_error);
   EXPECT_THROW(atomic_write_file("", [](std::ostream& os) { os << "x"; }),
                std::runtime_error);
+}
+
+TEST_F(AtomicFileTest, MissingParentLeavesNoStrayTemporaries) {
+  // The temporary lives NEXT TO the destination, so a missing parent
+  // must fail cleanly without scattering `.tmp.<pid>` files anywhere
+  // else (cwd, /tmp, ...). Probe the only other plausible landing spot.
+  const std::string dir = scratch("no_parent_dir");  // never created
+  const std::string path = dir + "/report.json";
+  EXPECT_THROW(atomic_write_file(path, [](std::ostream& os) { os << "x"; }),
+               std::runtime_error);
+  const std::string suffix = ".tmp." + std::to_string(static_cast<long>(getpid()));
+  EXPECT_FALSE(exists(path));
+  EXPECT_FALSE(exists(path + suffix));
+  EXPECT_FALSE(exists("report.json" + suffix));  // not dropped in cwd
+}
+
+TEST_F(AtomicFileTest, ParentDirectoryDisappearingMidWriteFailsCleanly) {
+  // A run directory reaped by a janitor (or an operator's rm -rf)
+  // between the temporary write and the rename: the commit must fail
+  // with a clear error, not resurrect the directory or leave debris.
+  const std::string dir = ::testing::TempDir() + "greenhpc_atomic_vanishing";
+  std::filesystem::remove_all(dir);
+  ASSERT_TRUE(std::filesystem::create_directory(dir));
+  const std::string path = dir + "/report.json";
+  set_atomic_write_failure_hook([dir] { std::filesystem::remove_all(dir); });
+  EXPECT_THROW(atomic_write_file(path, [](std::ostream& os) { os << "gone"; }),
+               std::runtime_error);
+  EXPECT_FALSE(std::filesystem::exists(dir))
+      << "the failed commit must not resurrect the removed directory";
 }
 
 TEST_F(AtomicFileTest, HookClearedAfterwardsCommitsNormally) {

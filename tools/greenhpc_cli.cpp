@@ -10,10 +10,14 @@
 //   greenhpc regions                              list region presets
 //   greenhpc sweep    --regions DE,FR --nodes 64,128 [--replicas 3]
 //                     [--sched easy,carbon-easy]   mean±CI policy comparison
-//                     [--journal DIR] [--resume]    over a parameter grid;
-//                     [--retries N] [--csv FILE]   journaled runs survive a
-//                                                  SIGKILL and resume with a
-//                                                  bit-identical digest
+//                     [--journal DIR] [--resume |   over a parameter grid;
+//                      --resume-or-start|--restart] journaled runs survive a
+//                     [--retries N] [--csv FILE]   SIGKILL and resume with a
+//                     [--workers N]                bit-identical digest;
+//                                                  --workers shards blocks
+//                                                  across worker processes
+//                                                  with heartbeat-driven
+//                                                  reassignment on death
 //
 // Global flags:
 //   --threads N         size the worker pool (overrides GREENHPC_THREADS)
@@ -25,6 +29,8 @@
 //
 // Exit status: 0 on success, 2 on usage errors.
 
+#include <unistd.h>
+
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -33,6 +39,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "carbon/trace_io.hpp"
@@ -41,7 +48,9 @@
 #include "obs/run_report.hpp"
 #include "obs/trace.hpp"
 #include "core/sweep.hpp"
+#include "core/sweep_coordinator.hpp"
 #include "core/sweep_journal.hpp"
+#include "core/sweep_worker.hpp"
 #include "embodied/systems.hpp"
 #include "hpcsim/swf_io.hpp"
 #include "procure/carbon500.hpp"
@@ -272,7 +281,11 @@ int write_artifact(const std::string& path, const char* what, WriteBody&& body) 
   return 0;
 }
 
-int cmd_sweep(const Args& args, obs::RunReport& report) {
+/// Grid construction shared by `sweep` (coordinator side) and the hidden
+/// `sweep-worker` command: both must derive EXACTLY the same grid from
+/// the same flags, or the worker's hello-time config digest cross-check
+/// refuses the fold.
+core::SweepGrid build_sweep_grid(const Args& args) {
   core::SweepGrid grid;
   grid.base.cluster.nodes = 64;
   const double span_days = args.num("days", 2.0);
@@ -302,56 +315,98 @@ int cmd_sweep(const Args& args, obs::RunReport& report) {
   grid.seed_replicas = static_cast<int>(args.num("replicas", 3));
   for (const auto& name : split_list(args.get("sched", "easy,carbon-easy")))
     grid.policies.push_back({name, scheduler_factory(name), nullptr});
+  return grid;
+}
 
-  core::SweepEngine::Options opts;
-  opts.block = static_cast<std::size_t>(args.num("block", 256));
-  opts.case_retries = static_cast<int>(args.num("retries", 2));
-
-  // Crash-safe sweeps: --journal DIR writes a fsynced record per completed
-  // block; --resume reopens that journal and replays the proven blocks
-  // instead of re-simulating them. The resumed digest is bit-identical to
-  // an uninterrupted run (asserted by tests and the CI kill-and-resume job).
-  std::unique_ptr<core::SweepJournal> journal;
-  if (args.has("journal")) {
-    const std::string dir = args.get("journal", "");
-    if (dir.empty()) {
-      std::fprintf(stderr, "--journal wants a run directory\n");
-      return 2;
-    }
-    if (args.has("resume")) {
-      journal = std::make_unique<core::SweepJournal>(core::SweepJournal::resume(
-          dir, grid.config_digest(), grid.case_count()));
-      std::fprintf(stderr, "journal: resuming from case %zu / %zu (%zu blocks proven)\n",
-                   journal->resume_point(), grid.case_count(),
-                   journal->completed().size());
+std::function<void(std::size_t, std::size_t)> make_sweep_progress(
+    const Args& args, std::size_t total) {
+  if (args.has("quiet")) return nullptr;
+  // --progress appends a live throughput readout from the engine's
+  // sweep.cases_per_s gauge (updated before each progress call).
+  const bool live_rate = args.has("progress");
+  obs::Gauge& rate = obs::Registry::global().gauge("sweep.cases_per_s");
+  return [total, live_rate, &rate](std::size_t done, std::size_t) {
+    if (live_rate) {
+      std::fprintf(stderr, "\r%zu / %zu cases (%.1f cases/s)", done, total,
+                   rate.value());
     } else {
-      journal = std::make_unique<core::SweepJournal>(core::SweepJournal::create(
-          dir, grid.config_digest(), grid.case_count(), opts.block));
+      std::fprintf(stderr, "\r%zu / %zu cases", done, total);
     }
-    opts.journal = journal.get();
-  } else if (args.has("resume")) {
-    std::fprintf(stderr, "--resume wants --journal DIR\n");
+    if (done == total) std::fprintf(stderr, "\n");
+  };
+}
+
+/// How a sweep relates to any journal already in the run directory.
+enum class SweepJournalMode { None, Fresh, Resume, Restart };
+
+/// Resolve the journal flags (satellite hardening: `--resume` against a
+/// missing or empty journal directory is a CLEAR error, never a silent
+/// fresh start). Returns 0 and fills mode/dir, or a CLI exit code.
+int resolve_journal_mode(const Args& args, SweepJournalMode& mode,
+                         std::string& dir) {
+  mode = SweepJournalMode::None;
+  dir = args.get("journal", "");
+  const int pick = (args.has("resume") ? 1 : 0) +
+                   (args.has("resume-or-start") ? 1 : 0) +
+                   (args.has("restart") ? 1 : 0);
+  if (pick > 1) {
+    std::fprintf(stderr,
+                 "--resume, --resume-or-start and --restart are mutually "
+                 "exclusive\n");
     return 2;
   }
-
-  const std::size_t total = grid.case_count();
-  if (!args.has("quiet")) {
-    // --progress appends a live throughput readout from the engine's
-    // sweep.cases_per_s gauge (updated before each progress call).
-    const bool live_rate = args.has("progress");
-    obs::Gauge& rate = obs::Registry::global().gauge("sweep.cases_per_s");
-    opts.progress = [total, live_rate, &rate](std::size_t done, std::size_t) {
-      if (live_rate) {
-        std::fprintf(stderr, "\r%zu / %zu cases (%.1f cases/s)", done, total,
-                     rate.value());
-      } else {
-        std::fprintf(stderr, "\r%zu / %zu cases", done, total);
-      }
-      if (done == total) std::fprintf(stderr, "\n");
-    };
+  if (!args.has("journal")) {
+    if (pick > 0) {
+      std::fprintf(stderr, "--resume/--resume-or-start/--restart want --journal DIR\n");
+      return 2;
+    }
+    return 0;
   }
-  const core::SweepResult result = core::SweepEngine(std::move(opts)).run(grid);
+  if (dir.empty()) {
+    std::fprintf(stderr, "--journal wants a run directory\n");
+    return 2;
+  }
+  const bool have = core::SweepJournal::exists(dir);
+  if (args.has("resume")) {
+    if (!have) {
+      std::fprintf(stderr,
+                   "cannot resume: no journal found under %s — refusing to "
+                   "silently start a fresh sweep\n"
+                   "  (use --resume-or-start to begin when nothing is "
+                   "resumable, or drop --resume)\n",
+                   dir.c_str());
+      return 2;
+    }
+    mode = SweepJournalMode::Resume;
+  } else if (args.has("resume-or-start")) {
+    if (have) {
+      mode = SweepJournalMode::Resume;
+    } else {
+      std::fprintf(stderr, "journal: nothing to resume under %s; starting fresh\n",
+                   dir.c_str());
+      mode = SweepJournalMode::Fresh;
+    }
+  } else if (args.has("restart")) {
+    mode = SweepJournalMode::Restart;
+  } else {
+    if (have) {
+      std::fprintf(stderr,
+                   "journal: %s already holds a sweep journal; refusing to "
+                   "overwrite completed work\n"
+                   "  (use --resume to continue it, --resume-or-start to "
+                   "continue-or-begin, or --restart to discard it)\n",
+                   dir.c_str());
+      return 2;
+    }
+    mode = SweepJournalMode::Fresh;
+  }
+  return 0;
+}
 
+/// Table + digest + quarantine printing and run-report numbers shared by
+/// the in-process and distributed sweep paths.
+int report_sweep_result(const Args& args, const core::SweepResult& result,
+                        obs::RunReport& report) {
   util::Table table({"region", "kind", "nodes", "jobs", "policy", "carbon[t]",
                      "±95%", "MWh", "wait[h]", "util[%]", "green[%]", "done"});
   for (const auto& cell : result.cells) {
@@ -436,6 +491,127 @@ int cmd_sweep(const Args& args, obs::RunReport& report) {
   return 0;
 }
 
+/// Absolute path of this binary (for re-exec'ing as `sweep-worker`);
+/// set by main() before command dispatch.
+std::string g_self_exe;
+
+int cmd_sweep(const Args& args, obs::RunReport& report) {
+  const core::SweepGrid grid = build_sweep_grid(args);
+  const std::size_t block = static_cast<std::size_t>(args.num("block", 256));
+  const int retries = static_cast<int>(args.num("retries", 2));
+  const int workers = static_cast<int>(args.num("workers", 0));
+  if (workers < 0) {
+    std::fprintf(stderr, "--workers wants a non-negative count\n");
+    return 2;
+  }
+
+  SweepJournalMode mode = SweepJournalMode::None;
+  std::string dir;
+  if (const int rc = resolve_journal_mode(args, mode, dir); rc != 0) return rc;
+
+  if (workers > 0) {
+    // Distributed sweep: shard blocks across worker processes. Each
+    // worker re-derives the grid from the SAME flags (whitelisted below)
+    // and cross-checks its config digest at hello, so a skewed worker is
+    // rejected instead of folded.
+    core::SweepCoordinator::Options copts;
+    copts.workers = workers;
+    copts.block = block;
+    copts.case_opts.case_retries = retries;
+    copts.journal_dir = mode == SweepJournalMode::None ? "" : dir;
+    copts.resume = mode == SweepJournalMode::Resume;
+    copts.heartbeat_interval_s = args.num("hb-interval", 0.5);
+    copts.heartbeat_timeout_s = args.num("hb-timeout", 2.0);
+    copts.hello_timeout_s = args.num("hello-timeout", 30.0);
+    copts.lease_timeout_s = args.num("lease-timeout", 600.0);
+    copts.progress = make_sweep_progress(args, grid.case_count());
+
+    std::vector<std::string> wargv{g_self_exe, "sweep-worker"};
+    for (const char* key : {"regions", "kinds", "nodes", "jobs-list", "jobs",
+                            "days", "replicas", "sched", "seed", "retries",
+                            "hb-interval"}) {
+      if (!args.has(key)) continue;
+      wargv.push_back(std::string("--") + key);
+      const std::string value = args.get(key, "");
+      if (!value.empty()) wargv.push_back(value);
+    }
+    // Split the machine between the workers instead of oversubscribing
+    // it N-fold (each worker's pool would otherwise default to every
+    // hardware thread).
+    const int machine =
+        args.has("threads")
+            ? static_cast<int>(args.num("threads", 1))
+            : static_cast<int>(std::thread::hardware_concurrency());
+    wargv.push_back("--threads");
+    wargv.push_back(std::to_string(std::max(1, machine / workers)));
+    copts.worker_argv = std::move(wargv);
+
+    core::SweepCoordinator coordinator(std::move(copts));
+    const core::SweepResult result = coordinator.run(grid);
+    const core::SweepCoordinator::Stats& st = coordinator.stats();
+
+    const int rc = report_sweep_result(args, result, report);
+    std::fprintf(stderr,
+                 "workers: %d spawned, %zu death(s), %zu block(s) reassigned, "
+                 "%zu heartbeat miss(es)%s\n",
+                 workers, st.worker_deaths, st.blocks_reassigned,
+                 st.heartbeat_misses,
+                 st.degraded_in_process ? " — degraded to in-process" : "");
+    report.add("workers", static_cast<double>(workers));
+    report.add("worker_deaths", static_cast<double>(st.worker_deaths));
+    report.add("blocks_reassigned", static_cast<double>(st.blocks_reassigned));
+    report.add("heartbeat_misses", static_cast<double>(st.heartbeat_misses));
+    report.add("duplicate_block_records",
+               static_cast<double>(st.duplicate_block_records));
+    report.add("replayed_blocks", static_cast<double>(st.replayed_blocks));
+    report.add("shard_generation", static_cast<double>(st.shard_generation));
+    report.add("degraded_in_process", st.degraded_in_process ? 1.0 : 0.0);
+    for (std::size_t k = 0; k < st.workers.size(); ++k) {
+      const core::SweepCoordinator::WorkerInfo& w = st.workers[k];
+      report.add("worker_" + std::to_string(k) + "_blocks",
+                 static_cast<double>(w.blocks));
+      report.add("worker_" + std::to_string(k) + "_heartbeat_misses",
+                 static_cast<double>(w.heartbeat_misses));
+      report.add("worker_" + std::to_string(k) + "_died", w.died ? 1.0 : 0.0);
+    }
+    return rc;
+  }
+
+  // Single-process path: the original engine, with the chained journal.
+  core::SweepEngine::Options opts;
+  opts.block = block;
+  opts.case_retries = retries;
+  std::unique_ptr<core::SweepJournal> journal;
+  if (mode == SweepJournalMode::Resume) {
+    journal = std::make_unique<core::SweepJournal>(core::SweepJournal::resume(
+        dir, grid.config_digest(), grid.case_count()));
+    std::fprintf(stderr,
+                 "journal: resuming from case %zu / %zu (%zu blocks proven)\n",
+                 journal->resume_point(), grid.case_count(),
+                 journal->completed().size());
+  } else if (mode != SweepJournalMode::None) {
+    journal = std::make_unique<core::SweepJournal>(core::SweepJournal::create(
+        dir, grid.config_digest(), grid.case_count(), opts.block));
+  }
+  opts.journal = journal.get();
+  opts.progress = make_sweep_progress(args, grid.case_count());
+  const core::SweepResult result = core::SweepEngine(std::move(opts)).run(grid);
+  return report_sweep_result(args, result, report);
+}
+
+/// Hidden command: one distributed-sweep worker process. Spawned by the
+/// coordinator, never by hand — stdin/stdout ARE the protocol channel,
+/// so nothing else in this path may write to stdout.
+int cmd_sweep_worker(const Args& args) {
+  const core::SweepGrid grid = build_sweep_grid(args);
+  core::SweepWorker::Options wopts;
+  wopts.block = static_cast<std::size_t>(args.num("block", 256));
+  wopts.heartbeat_interval_s = args.num("hb-interval", 0.5);
+  wopts.shard_path = args.get("shard-path", "");
+  wopts.case_opts.case_retries = static_cast<int>(args.num("retries", 2));
+  return core::SweepWorker(std::move(wopts)).run(grid);
+}
+
 void print_usage(std::FILE* out) {
   std::fprintf(out,
                "usage: greenhpc <command> [--flags]\n"
@@ -450,13 +626,18 @@ void print_usage(std::FILE* out) {
                "        --nodes 64,128 [--jobs-list 150,300] [--replicas 3]\n"
                "        [--sched easy,carbon-easy] [--days 2] [--seed N]\n"
                "        [--block 256] [--quiet] [--progress] [--csv FILE]\n"
-               "        [--journal DIR] [--resume] [--retries N]\n"
+               "        [--journal DIR] [--resume | --resume-or-start | --restart]\n"
+               "        [--retries N] [--workers N]\n"
                "                                aggregate a parameter-grid sweep;\n"
                "                                --journal makes it crash-restartable\n"
                "                                (kill it, rerun with --resume: the\n"
                "                                digest is bit-identical), --retries\n"
                "                                bounds per-case retry before a case\n"
-               "                                is quarantined instead of fatal\n"
+               "                                is quarantined instead of fatal,\n"
+               "                                --workers N shards blocks across N\n"
+               "                                worker processes (a killed worker's\n"
+               "                                blocks are reassigned; the digest\n"
+               "                                stays bit-identical)\n"
                "global flags:\n"
                "  --threads N         worker-pool size (overrides GREENHPC_THREADS)\n"
                "  --trace-out FILE    runtime trace (Chrome trace_event JSON,\n"
@@ -472,8 +653,11 @@ int usage() {
 }
 
 bool known_command(const std::string& command) {
+  // `sweep-worker` is deliberately absent from the usage text: it is the
+  // coordinator's re-exec target, not an operator command.
   return command == "regions" || command == "trace" || command == "fig1" ||
-         command == "carbon500" || command == "simulate" || command == "sweep";
+         command == "carbon500" || command == "simulate" || command == "sweep" ||
+         command == "sweep-worker";
 }
 
 }  // namespace
@@ -491,6 +675,16 @@ int main(int argc, char** argv) {
   }
   Args args(argc, argv, 2);
   if (!args.ok()) return usage();
+  {
+    char buf[4096];
+    const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+    if (n > 0) {
+      buf[n] = '\0';
+      g_self_exe = buf;
+    } else {
+      g_self_exe = argv[0];
+    }
+  }
 
   const std::string trace_out = args.get("trace-out", "");
   const std::string metrics_out = args.get("metrics-out", "");
@@ -522,6 +716,7 @@ int main(int argc, char** argv) {
     if (command == "carbon500") ret = cmd_carbon500();
     if (command == "simulate") ret = cmd_simulate(args, report);
     if (command == "sweep") ret = cmd_sweep(args, report);
+    if (command == "sweep-worker") ret = cmd_sweep_worker(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     ret = 2;

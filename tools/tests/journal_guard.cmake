@@ -1,0 +1,71 @@
+# CLI-level resume-mode guard rails, run as a ctest:
+#   cmake -DCLI=<greenhpc binary> -DWORKDIR=<scratch dir> -P journal_guard.cmake
+#
+# The satellite contract: --resume over nothing resumable is a clear error
+# (never a silent fresh start), a bare --journal refuses to clobber
+# completed work, --resume-or-start takes whichever branch applies, and
+# --restart is the explicit discard.
+
+if(NOT DEFINED CLI OR NOT DEFINED WORKDIR)
+  message(FATAL_ERROR "usage: cmake -DCLI=... -DWORKDIR=... -P journal_guard.cmake")
+endif()
+
+file(REMOVE_RECURSE "${WORKDIR}")
+file(MAKE_DIRECTORY "${WORKDIR}")
+
+set(SWEEP_ARGS sweep --quiet --regions DE --kinds average --nodes 64
+    --jobs 40 --days 1 --replicas 2 --sched easy --block 4)
+
+function(run_sweep rc_var err_var)
+  execute_process(
+    COMMAND ${CLI} ${SWEEP_ARGS} ${ARGN}
+    WORKING_DIRECTORY "${WORKDIR}"
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err
+    RESULT_VARIABLE rc)
+  set(${rc_var} "${rc}" PARENT_SCOPE)
+  set(${err_var} "${err}" PARENT_SCOPE)
+endfunction()
+
+# 1. --resume with nothing resumable: a clear refusal, exit nonzero.
+run_sweep(rc err --journal jd --resume)
+if(rc EQUAL 0 OR NOT err MATCHES "cannot resume: no journal found")
+  message(FATAL_ERROR "--resume over a missing journal must refuse loudly "
+                      "(rc=${rc}):\n${err}")
+endif()
+
+# 2. --resume-or-start with nothing resumable: starts fresh, says so.
+run_sweep(rc err --journal jd --resume-or-start)
+if(NOT rc EQUAL 0 OR NOT err MATCHES "starting fresh")
+  message(FATAL_ERROR "--resume-or-start must begin when nothing is resumable "
+                      "(rc=${rc}):\n${err}")
+endif()
+
+# 3. A bare --journal over the now-existing journal: refuses to clobber.
+run_sweep(rc err --journal jd)
+if(rc EQUAL 0 OR NOT err MATCHES "already holds a sweep journal")
+  message(FATAL_ERROR "bare --journal must refuse to overwrite completed work "
+                      "(rc=${rc}):\n${err}")
+endif()
+
+# 4. --resume over the completed journal: pure replay, exit 0.
+run_sweep(rc err --journal jd --resume)
+if(NOT rc EQUAL 0 OR NOT err MATCHES "resuming from case")
+  message(FATAL_ERROR "--resume over a complete journal must replay "
+                      "(rc=${rc}):\n${err}")
+endif()
+
+# 5. --restart: the explicit discard path still works.
+run_sweep(rc err --journal jd --restart)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "--restart must discard and rerun (rc=${rc}):\n${err}")
+endif()
+
+# 6. The modes are mutually exclusive.
+run_sweep(rc err --journal jd --resume --restart)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "--resume --restart together must be rejected")
+endif()
+
+message(STATUS "journal guard rails hold: refuse-to-clobber, loud --resume, "
+               "resume-or-start, restart")
