@@ -10,9 +10,11 @@
 // the event tracer enabled and reports the overhead ratio plus a
 // span-derived phase breakdown ("tracing" block in the JSON).
 //
-// Usage: bench_perf [--smoke] [--out FILE] [--baseline FILE] [--before FILE]
+// Usage: bench_perf [--smoke] [--json-out FILE] [--baseline FILE]
+//                   [--before FILE]
 //   --smoke      smallest scale only (CI perf gate)
-//   --out FILE   write the JSON report there (default BENCH_PERF.json)
+//   --json-out FILE  write the JSON report there (default BENCH_PERF.json;
+//                    --out is accepted as an alias)
 //   --baseline   compare against a committed baseline JSON; exit nonzero
 //                on a >2x ticks/s regression of the reference hot loop
 //   --before     merge pre-optimization measurements (keys like
@@ -229,7 +231,9 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
-    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+    } else if ((std::strcmp(argv[i], "--out") == 0 ||
+                std::strcmp(argv[i], "--json-out") == 0) &&
+               i + 1 < argc) {
       out_path = argv[++i];
     } else if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < argc) {
       baseline_path = argv[++i];
@@ -237,8 +241,8 @@ int main(int argc, char** argv) {
       before_path = argv[++i];
     } else {
       std::fprintf(stderr,
-                   "usage: bench_perf [--smoke] [--out FILE] [--baseline FILE] "
-                   "[--before FILE]\n");
+                   "usage: bench_perf [--smoke] [--json-out FILE] "
+                   "[--baseline FILE] [--before FILE]\n");
       return 2;
     }
   }

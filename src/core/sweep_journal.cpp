@@ -388,4 +388,8 @@ void SweepJournal::append(const BlockRecord& record) {
   completed_.push_back(record);
 }
 
+std::uint64_t journal_truncations() {
+  return obs::Registry::global().counter("sweep.journal_truncations").value();
+}
+
 }  // namespace greenhpc::core

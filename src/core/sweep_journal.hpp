@@ -170,4 +170,10 @@ class SweepJournal {
   std::vector<BlockRecord> completed_;
 };
 
+/// Process-wide count of journal truncation events so far (the
+/// `sweep.journal_truncations` metrics counter): torn or corrupt journal
+/// suffixes dropped during resume. Surfaced in the sweep run report so a
+/// resumed run that silently lost work is auditable from the artifact.
+[[nodiscard]] std::uint64_t journal_truncations();
+
 }  // namespace greenhpc::core

@@ -8,6 +8,10 @@
 // powerstack/ modules; hpcsim only defines the contract, keeping the
 // dependency graph acyclic.
 
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <span>
 #include <vector>
 
 #include "hpcsim/cluster.hpp"
@@ -15,6 +19,40 @@
 #include "util/units.hpp"
 
 namespace greenhpc::hpcsim {
+
+/// Structure-of-arrays view over per-job state: parallel arrays indexed
+/// by slot (resolve a JobId with SimulationView::slot_of). The engine
+/// owns the storage (an arena-allocated SimCore); spans stay valid for
+/// the life of the view, and the dynamic columns (progress, allocation,
+/// wall clock) are updated in place each tick. Policies on the hot path
+/// should read these flat columns instead of spec()/info(), which cost a
+/// virtual call plus a pointer chase per job.
+struct JobTable {
+  // --- static columns (flattened from JobSpec at construction) ---
+  std::span<const double> eff_power_w;     ///< effective busy-node draw (W)
+  std::span<const double> runtime_s;       ///< natural-size full-power runtime
+  std::span<const double> walltime_s;      ///< user walltime estimate
+  std::span<const double> submit_s;        ///< submission time
+  std::span<const double> ckpt_overhead_s; ///< checkpoint overhead
+  std::span<const std::int32_t> nodes_requested;
+  std::span<const std::int32_t> nodes_used;
+  std::span<const std::int32_t> min_nodes;
+  std::span<const std::int32_t> max_nodes;
+  std::span<const JobKind> kind;
+  std::span<const std::uint8_t> checkpointable;
+  // --- dynamic columns (engine-maintained) ---
+  std::span<const double> progress;          ///< completed work fraction
+  std::span<const double> wall_used_s;       ///< accumulated running wall time
+  std::span<const double> start_s;           ///< first start (0 until started)
+  std::span<const double> last_checkpoint_s; ///< periodic-checkpoint clock
+  std::span<const std::int32_t> alloc_nodes; ///< nodes currently held
+};
+
+/// Sentinel horizon for SchedulingPolicy::quiescent_until: quiescent
+/// until the next discrete event, however far away.
+[[nodiscard]] inline Duration quiescent_forever() {
+  return seconds(std::numeric_limits<double>::infinity());
+}
 
 /// Read/act surface a scheduling policy sees each tick. Implemented by the
 /// simulator; all mutating calls are validated and return false (rather
@@ -64,6 +102,10 @@ class SimulationView {
   [[nodiscard]] virtual const std::vector<JobId>& suspended_jobs() const = 0;
   [[nodiscard]] virtual const JobSpec& spec(JobId id) const = 0;
   [[nodiscard]] virtual const JobRuntimeInfo& info(JobId id) const = 0;
+  /// Structure-of-arrays twin of spec()/info() (see JobTable above).
+  [[nodiscard]] virtual const JobTable& job_table() const = 0;
+  /// Slot index of a job in the JobTable columns.
+  [[nodiscard]] virtual std::size_t slot_of(JobId id) const = 0;
   /// Remaining wall time of a running/suspended job at its current speed
   /// (walltime-based estimate for pending jobs).
   [[nodiscard]] virtual Duration estimated_remaining(JobId id) const = 0;
@@ -103,6 +145,38 @@ class SchedulingPolicy {
   virtual void on_tick(SimulationView& view) = 0;
   /// Display name for experiment tables.
   [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Quiescence attestation for the engine's span batch kernel (see
+  /// DESIGN.md, "Performance architecture"). The engine calls this only
+  /// after an on_tick that took no action, and only re-enters the
+  /// per-tick path at the first discrete event (arrival, completion,
+  /// walltime kill, fault, repair, requeue release) or at the returned
+  /// horizon, whichever is earlier. A policy returning a horizon > now
+  /// asserts: given the discrete state (queues, allocations, free/down
+  /// nodes) stays exactly as observed and the power budget stays
+  /// constant, repeating on_tick at any tick before the horizon would
+  /// take no action — regardless of how the carbon signal moves. A
+  /// policy whose decisions depend on the intensity signal or on wall
+  /// time must bound the horizon accordingly. The default opts out
+  /// (returns now), which always preserves tick-exact behaviour.
+  [[nodiscard]] virtual Duration quiescent_until(const SimulationView& view) const {
+    return view.now();
+  }
+
+  /// Stronger attestation consulted together with quiescent_until: when
+  /// true, the no-action promise additionally survives new arrivals
+  /// being appended to the back of the pending queue mid-span (the
+  /// engine then performs the queue pushes itself at the exact arrival
+  /// ticks and keeps integrating). Only sound when no appended job could
+  /// be started or otherwise acted on before the next discrete event —
+  /// e.g. FCFS behind a blocked head (strict order shields the tail), or
+  /// any scheduler with zero free nodes. The default (false) breaks the
+  /// span at every arrival, which always preserves tick-exact behaviour.
+  [[nodiscard]] virtual bool quiescent_over_arrivals(
+      const SimulationView& view) const {
+    (void)view;
+    return false;
+  }
 };
 
 /// A system power-budget policy (the PowerStack's top level, section 3.1):

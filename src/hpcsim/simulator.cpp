@@ -92,6 +92,28 @@ Simulator::Simulator(Config config, util::Shared<std::vector<JobSpec>> jobs)
                      }
                      return slots_[a].spec->id < slots_[b].spec->id;
                    });
+
+  // Flatten the static job description into the SoA core and expose the
+  // columns through the policy-facing table view.
+  const std::size_t n = slots_.size();
+  core_.init(n);
+  for (std::size_t i = 0; i < n; ++i) core_.fill_static(i, *slots_[i].spec);
+  table_.eff_power_w = {core_.eff_power_w, n};
+  table_.runtime_s = {core_.runtime_s, n};
+  table_.walltime_s = {core_.walltime_s, n};
+  table_.submit_s = {core_.submit_s, n};
+  table_.ckpt_overhead_s = {core_.ckpt_overhead_s, n};
+  table_.nodes_requested = {core_.nodes_requested, n};
+  table_.nodes_used = {core_.nodes_used, n};
+  table_.min_nodes = {core_.min_nodes, n};
+  table_.max_nodes = {core_.max_nodes, n};
+  table_.kind = {core_.kind, n};
+  table_.checkpointable = {core_.checkpointable, n};
+  table_.progress = {core_.progress, n};
+  table_.wall_used_s = {core_.wall_used_s, n};
+  table_.start_s = {core_.start_s, n};
+  table_.last_checkpoint_s = {core_.last_checkpoint_s, n};
+  table_.alloc_nodes = {core_.alloc_nodes, n};
 }
 
 std::size_t Simulator::slot_index_slow(JobId id) const {
@@ -101,10 +123,13 @@ std::size_t Simulator::slot_index_slow(JobId id) const {
 }
 
 void Simulator::list_push(std::vector<JobId>& list, Queue kind, JobId id) {
-  JobSlot& s = slots_[slot_index(id)];
+  const std::size_t idx = slot_index(id);
+  JobSlot& s = slots_[idx];
   s.queue = kind;
   s.list_pos = static_cast<std::int32_t>(list.size());
   list.push_back(id);
+  if (&list == &running_) running_slots_.push_back(idx);
+  ++epoch_;
 }
 
 void Simulator::list_erase(std::vector<JobId>& list, JobId id) {
@@ -113,42 +138,48 @@ void Simulator::list_erase(std::vector<JobId>& list, JobId id) {
   GREENHPC_REQUIRE(pos < list.size() && list[pos] == id,
                    "phase-list bookkeeping out of sync");
   list.erase(list.begin() + static_cast<std::ptrdiff_t>(pos));
+  if (&list == &running_) {
+    running_slots_.erase(running_slots_.begin() +
+                         static_cast<std::ptrdiff_t>(pos));
+  }
   for (std::size_t i = pos; i < list.size(); ++i) {
     slots_[slot_index(list[i])].list_pos = static_cast<std::int32_t>(i);
   }
   s.queue = Queue::None;
   s.list_pos = -1;
+  ++epoch_;
 }
 
-int Simulator::busy_nodes_of(const JobSlot& s) {
-  if (s.spec->kind == JobKind::Malleable) return s.info.alloc_nodes;
-  return std::min(s.info.alloc_nodes, s.spec->nodes_used);
+int Simulator::busy_nodes_of(std::size_t i) const {
+  const int alloc = core_.alloc_nodes[i];
+  if (core_.kind[i] == JobKind::Malleable) return alloc;
+  return std::min(alloc, static_cast<int>(core_.nodes_used[i]));
 }
 
-double Simulator::scale_speed(const JobSlot& s) {
-  const double busy = static_cast<double>(busy_nodes_of(s));
-  const double natural = static_cast<double>(s.spec->nodes_used);
+double Simulator::scale_speed(std::size_t i) const {
+  const double busy = static_cast<double>(busy_nodes_of(i));
+  const double natural = static_cast<double>(core_.nodes_used[i]);
   if (busy == natural) return 1.0;
-  return std::pow(busy / natural, s.spec->scale_gamma);
+  return std::pow(busy / natural, core_.scale_gamma[i]);
 }
 
-double Simulator::cap_speed(const JobSlot& s, double cap) {
+double Simulator::cap_speed(std::size_t i, double cap) const {
   if (cap == 1.0) return 1.0;  // pow(1, alpha) == 1 exactly
-  if (cap != s.cap_key) {
-    s.cap_key = cap;
-    s.cap_val = std::pow(cap, s.spec->power_alpha);
+  if (cap != core_.cap_key[i]) {
+    core_.cap_key[i] = cap;
+    core_.cap_val[i] = std::pow(cap, core_.power_alpha[i]);
   }
-  return s.cap_val;
+  return core_.cap_val[i];
 }
 
-double Simulator::scale_factor(const JobSlot& s) {
-  const int busy = busy_nodes_of(s);
-  if (busy == s.spec->nodes_used) return 1.0;
-  if (busy != s.scale_key) {
-    s.scale_key = busy;
-    s.scale_val = scale_speed(s);
+double Simulator::scale_factor(std::size_t i) const {
+  const int busy = busy_nodes_of(i);
+  if (busy == core_.nodes_used[i]) return 1.0;
+  if (busy != core_.scale_key[i]) {
+    core_.scale_key[i] = busy;
+    core_.scale_val[i] = scale_speed(i);
   }
-  return s.scale_val;
+  return core_.scale_val[i];
 }
 
 double Simulator::carbon_intensity_at(Duration t) const {
@@ -156,20 +187,35 @@ double Simulator::carbon_intensity_at(Duration t) const {
 }
 
 const JobSpec& Simulator::spec(JobId id) const { return *slot(id).spec; }
-const JobRuntimeInfo& Simulator::info(JobId id) const { return slot(id).info; }
+
+const JobRuntimeInfo& Simulator::info(JobId id) const {
+  // The SoA core owns the hot fields; mirror them into the cold struct so
+  // the legacy per-job accessor stays coherent for policies and tests.
+  const std::size_t i = slot_index(id);
+  JobRuntimeInfo& inf = slots_[i].info;
+  inf.progress = core_.progress[i];
+  inf.alloc_nodes = core_.alloc_nodes[i];
+  inf.start = seconds(core_.start_s[i]);
+  inf.wall_used = seconds(core_.wall_used_s[i]);
+  inf.last_checkpoint = seconds(core_.last_checkpoint_s[i]);
+  inf.energy = joules(core_.energy_j[i]);
+  inf.carbon = grams_co2(core_.carbon_g[i]);
+  return inf;
+}
 
 Duration Simulator::estimated_remaining(JobId id) const {
-  const JobSlot& s = slot(id);
-  const double remaining_fraction = std::max(0.0, 1.0 - s.info.progress);
+  const std::size_t i = slot_index(id);
+  const JobSlot& s = slots_[i];
+  const double remaining_fraction = std::max(0.0, 1.0 - core_.progress[i]);
   switch (s.info.phase) {
     case JobPhase::Pending:
       return s.spec->walltime;
     case JobPhase::Running: {
-      const double speed = cap_speed(s, last_cap_) * scale_factor(s);
-      return seconds(remaining_fraction * s.spec->runtime.seconds() / std::max(speed, 1e-9));
+      const double speed = cap_speed(i, last_cap_) * scale_factor(i);
+      return seconds(remaining_fraction * core_.runtime_s[i] / std::max(speed, 1e-9));
     }
     case JobPhase::Suspended:
-      return seconds(remaining_fraction * s.spec->runtime.seconds());
+      return seconds(remaining_fraction * core_.runtime_s[i]);
     case JobPhase::Done:
       return seconds(0.0);
   }
@@ -179,11 +225,10 @@ Duration Simulator::estimated_remaining(JobId id) const {
 Power Simulator::full_draw() const {
   double watts_total =
       cfg_.cluster.node_idle.watts() * static_cast<double>(free_nodes_);
-  for (JobId id : running_) {
-    const JobSlot& s = slots_[slot_index(id)];
-    const int busy = busy_nodes_of(s);
-    const int extra = s.info.alloc_nodes - busy;
-    watts_total += static_cast<double>(busy) * s.spec->effective_node_power().watts() +
+  for (const std::size_t i : running_slots_) {
+    const int busy = busy_nodes_of(i);
+    const int extra = core_.alloc_nodes[i] - busy;
+    watts_total += static_cast<double>(busy) * core_.eff_power_w[i] +
                    static_cast<double>(extra) * cfg_.cluster.node_idle.watts();
   }
   return watts(watts_total);
@@ -196,14 +241,15 @@ bool Simulator::allocation_valid(const JobSpec& job, int nodes) const {
 }
 
 bool Simulator::start(JobId id, int nodes) {
-  JobSlot& s = slot(id);
+  const std::size_t i = slot_index(id);
+  JobSlot& s = slots_[i];
   if (s.info.phase != JobPhase::Pending) return false;
   if (!allocation_valid(*s.spec, nodes)) return false;
   if (nodes > free_nodes_) return false;
   s.info.phase = JobPhase::Running;
-  s.info.alloc_nodes = nodes;
-  s.info.start = now_;
-  s.info.last_checkpoint = now_;  // periodic-checkpoint clock starts here
+  core_.alloc_nodes[i] = nodes;
+  core_.start_s[i] = now_.seconds();
+  core_.last_checkpoint_s[i] = now_.seconds();  // periodic-checkpoint clock
   free_nodes_ -= nodes;
   // A Pending job sits in the pending queue, or still in the requeue
   // buffer while its post-failure backoff runs (a policy starting it
@@ -216,17 +262,18 @@ bool Simulator::start(JobId id, int nodes) {
 }
 
 bool Simulator::suspend(JobId id) {
-  JobSlot& s = slot(id);
+  const std::size_t i = slot_index(id);
+  JobSlot& s = slots_[i];
   if (s.info.phase != JobPhase::Running || !s.spec->checkpointable) return false;
   // Charge the checkpoint overhead as lost progress (bounded at zero).
-  const double lost = s.spec->checkpoint_overhead.seconds() / s.spec->runtime.seconds();
-  s.info.progress = std::max(0.0, s.info.progress - lost);
+  const double lost = core_.ckpt_overhead_s[i] / core_.runtime_s[i];
+  core_.progress[i] = std::max(0.0, core_.progress[i] - lost);
   // A suspend writes a checkpoint: failures roll back here, not to scratch.
-  s.info.ckpt_progress = s.info.progress;
-  s.info.energy_mark = s.info.energy;
-  s.info.carbon_mark = s.info.carbon;
-  free_nodes_ += s.info.alloc_nodes;
-  s.info.alloc_nodes = 0;
+  s.info.ckpt_progress = core_.progress[i];
+  s.info.energy_mark = joules(core_.energy_j[i]);
+  s.info.carbon_mark = grams_co2(core_.carbon_g[i]);
+  free_nodes_ += core_.alloc_nodes[i];
+  core_.alloc_nodes[i] = 0;
   s.info.phase = JobPhase::Suspended;
   ++s.info.suspend_count;
   list_erase(running_, id);
@@ -237,33 +284,36 @@ bool Simulator::suspend(JobId id) {
 }
 
 bool Simulator::checkpoint(JobId id) {
-  JobSlot& s = slot(id);
+  const std::size_t i = slot_index(id);
+  JobSlot& s = slots_[i];
   if (s.info.phase != JobPhase::Running || !s.spec->checkpointable) return false;
   // The job keeps its nodes but spends checkpoint_overhead writing state
   // instead of progressing; charged as lost progress like suspend.
-  const double lost = s.spec->checkpoint_overhead.seconds() / s.spec->runtime.seconds();
-  s.info.progress = std::max(0.0, s.info.progress - lost);
-  s.info.ckpt_progress = s.info.progress;
-  s.info.last_checkpoint = now_;
+  const double lost = core_.ckpt_overhead_s[i] / core_.runtime_s[i];
+  core_.progress[i] = std::max(0.0, core_.progress[i] - lost);
+  s.info.ckpt_progress = core_.progress[i];
+  core_.last_checkpoint_s[i] = now_.seconds();
   ++s.info.checkpoint_count;
   ++result_.checkpoints_taken;
   result_.checkpoint_node_seconds +=
-      s.spec->checkpoint_overhead.seconds() * static_cast<double>(s.spec->nodes_used);
-  s.info.energy_mark = s.info.energy;
-  s.info.carbon_mark = s.info.carbon;
+      core_.ckpt_overhead_s[i] * static_cast<double>(core_.nodes_used[i]);
+  s.info.energy_mark = joules(core_.energy_j[i]);
+  s.info.carbon_mark = grams_co2(core_.carbon_g[i]);
+  ++epoch_;
   static obs::Counter& checkpoints = sim_counter("sim.checkpoints");
   checkpoints.add();
   return true;
 }
 
 bool Simulator::resume(JobId id, int nodes) {
-  JobSlot& s = slot(id);
+  const std::size_t i = slot_index(id);
+  JobSlot& s = slots_[i];
   if (s.info.phase != JobPhase::Suspended) return false;
   if (!allocation_valid(*s.spec, nodes)) return false;
   if (nodes > free_nodes_) return false;
   s.info.phase = JobPhase::Running;
-  s.info.alloc_nodes = nodes;
-  s.info.last_checkpoint = now_;
+  core_.alloc_nodes[i] = nodes;
+  core_.last_checkpoint_s[i] = now_.seconds();
   free_nodes_ -= nodes;
   list_erase(suspended_, id);
   list_push(running_, Queue::Running, id);
@@ -273,35 +323,38 @@ bool Simulator::resume(JobId id, int nodes) {
 }
 
 bool Simulator::reshape(JobId id, int nodes) {
-  JobSlot& s = slot(id);
+  const std::size_t i = slot_index(id);
+  JobSlot& s = slots_[i];
   if (s.info.phase != JobPhase::Running || s.spec->kind != JobKind::Malleable) return false;
   if (!allocation_valid(*s.spec, nodes)) return false;
-  const int delta = nodes - s.info.alloc_nodes;
+  const int delta = nodes - core_.alloc_nodes[i];
   if (delta > free_nodes_) return false;
   free_nodes_ -= delta;
-  s.info.alloc_nodes = nodes;
+  core_.alloc_nodes[i] = nodes;
+  ++epoch_;
   static obs::Counter& reshapes = sim_counter("sim.reshapes");
   reshapes.add();
   return true;
 }
 
 void Simulator::fail_job(JobId id) {
-  JobSlot& s = slot(id);
+  const std::size_t i = slot_index(id);
+  JobSlot& s = slots_[i];
   const double restored =
-      s.spec->checkpointable ? std::min(s.info.ckpt_progress, s.info.progress) : 0.0;
-  const double lost = std::max(0.0, s.info.progress - restored);
+      s.spec->checkpointable ? std::min(s.info.ckpt_progress, core_.progress[i]) : 0.0;
+  const double lost = std::max(0.0, core_.progress[i] - restored);
   result_.lost_node_seconds +=
-      lost * s.spec->runtime.seconds() * static_cast<double>(s.spec->nodes_used);
+      lost * core_.runtime_s[i] * static_cast<double>(core_.nodes_used[i]);
   // Everything burnt since the last checkpoint produced no retained work.
-  result_.wasted_energy += s.info.energy - s.info.energy_mark;
-  result_.wasted_carbon += s.info.carbon - s.info.carbon_mark;
-  s.info.energy_mark = s.info.energy;
-  s.info.carbon_mark = s.info.carbon;
-  free_nodes_ += s.info.alloc_nodes;
-  s.info.alloc_nodes = 0;
-  s.info.progress = restored;
+  result_.wasted_energy += joules(core_.energy_j[i]) - s.info.energy_mark;
+  result_.wasted_carbon += grams_co2(core_.carbon_g[i]) - s.info.carbon_mark;
+  s.info.energy_mark = joules(core_.energy_j[i]);
+  s.info.carbon_mark = grams_co2(core_.carbon_g[i]);
+  free_nodes_ += core_.alloc_nodes[i];
+  core_.alloc_nodes[i] = 0;
+  core_.progress[i] = restored;
   // Requeue resets the walltime clock to the restored execution point.
-  s.info.wall_used = seconds(restored * s.spec->runtime.seconds());
+  core_.wall_used_s[i] = restored * core_.runtime_s[i];
   ++s.info.failure_count;
   ++result_.job_failures;
   static obs::Counter& failures = sim_counter("sim.job_failures");
@@ -336,14 +389,16 @@ void Simulator::fail_one_node() {
   const std::int64_t r = victim_rng_.uniform_int(0, up - 1);
   if (r < free_nodes_) {
     --free_nodes_;
+    ++epoch_;
     return;
   }
   std::int64_t acc = free_nodes_;
-  for (JobId id : running_) {
-    acc += slots_[slot_index(id)].info.alloc_nodes;
+  for (std::size_t j = 0; j < running_.size(); ++j) {
+    acc += core_.alloc_nodes[running_slots_[j]];
     if (r < acc) {
-      fail_job(id);       // releases the job's whole allocation...
-      --free_nodes_;      // ...then the failed node itself goes down
+      fail_job(running_[j]);  // releases the job's whole allocation...
+      --free_nodes_;          // ...then the failed node itself goes down
+      ++epoch_;
       return;
     }
   }
@@ -363,6 +418,7 @@ void Simulator::advance_faults() {
     if (repairs_[i] <= now_) {
       --nodes_down_;
       ++free_nodes_;
+      ++epoch_;
     } else {
       repairs_[w++] = repairs_[i];
     }
@@ -426,11 +482,12 @@ void Simulator::integrate_tick() {
   // Uniform cap on the busy (job) share when over budget.
   double busy_full_w = 0.0;
   double baseline_w = idle_w * static_cast<double>(free_nodes_);
-  for (JobId id : running_) {
-    const JobSlot& s = slots_[slot_index(id)];
-    const int busy = busy_nodes_of(s);
-    const int extra = s.info.alloc_nodes - busy;
-    busy_full_w += static_cast<double>(busy) * s.spec->effective_node_power().watts();
+  const std::size_t nrun = running_slots_.size();
+  for (std::size_t j = 0; j < nrun; ++j) {
+    const std::size_t i = running_slots_[j];
+    const int busy = busy_nodes_of(i);
+    const int extra = core_.alloc_nodes[i] - busy;
+    busy_full_w += static_cast<double>(busy) * core_.eff_power_w[i];
     baseline_w += static_cast<double>(extra) * idle_w;
   }
   double cap = 1.0;
@@ -449,59 +506,61 @@ void Simulator::integrate_tick() {
   // Integrate each running job; handle mid-tick completion analytically.
   double tick_energy_j = 0.0;
   double busy_nodes_total = 0.0;
-  std::vector<JobId>& finished = finished_scratch_;
-  finished.clear();
-  for (JobId id : running_) {
-    JobSlot& s = slots_[slot_index(id)];
-    const int busy = busy_nodes_of(s);
-    const int extra = s.info.alloc_nodes - busy;
-    const double speed = cap_speed(s, cap) * scale_factor(s);
-    const double rate = speed / s.spec->runtime.seconds();  // progress per second
-    const double draw_w = static_cast<double>(busy) * s.spec->effective_node_power().watts() * cap +
+  bool any_finished = false;
+  for (std::size_t j = 0; j < nrun; ++j) {
+    const std::size_t i = running_slots_[j];
+    JobSlot& s = slots_[i];
+    const int busy = busy_nodes_of(i);
+    const int extra = core_.alloc_nodes[i] - busy;
+    const double speed = cap_speed(i, cap) * scale_factor(i);
+    const double rate = speed / core_.runtime_s[i];  // progress per second
+    const double draw_w = static_cast<double>(busy) * core_.eff_power_w[i] * cap +
                           static_cast<double>(extra) * idle_w;
     double dt = tick_s;
-    if (rate > 0.0 && s.info.progress + rate * tick_s >= 1.0) {
-      dt = (1.0 - s.info.progress) / rate;
-      s.info.progress = 1.0;
+    if (rate > 0.0 && core_.progress[i] + rate * tick_s >= 1.0) {
+      dt = (1.0 - core_.progress[i]) / rate;
+      core_.progress[i] = 1.0;
       s.info.phase = JobPhase::Done;
       s.info.finish = now_ + seconds(dt);
-      finished.push_back(id);
+      any_finished = true;
     } else {
       // Walltime enforcement: the clock only runs while the job executes.
       if (cfg_.cluster.enforce_walltime) {
-        const Duration remaining_wall = s.spec->walltime - s.info.wall_used;
-        if (remaining_wall <= seconds(tick_s)) {
-          dt = std::max(0.0, remaining_wall.seconds());
+        const double remaining_wall = core_.walltime_s[i] - core_.wall_used_s[i];
+        if (remaining_wall <= tick_s) {
+          dt = std::max(0.0, remaining_wall);
           s.info.phase = JobPhase::Done;
           s.info.killed = true;
           s.info.finish = now_ + seconds(dt);
-          finished.push_back(id);
+          any_finished = true;
           ++result_.walltime_kills;
           static obs::Counter& kills = sim_counter("sim.walltime_kills");
           kills.add();
         }
       }
-      s.info.progress += rate * dt;
+      core_.progress[i] += rate * dt;
     }
-    s.info.wall_used += seconds(dt);
+    core_.wall_used_s[i] += dt;
     const double job_energy_j = draw_w * dt;
-    s.info.energy += joules(job_energy_j);
-    s.info.carbon += grams_co2(job_energy_j / 3.6e6 * ci_true_);
+    core_.energy_j[i] += job_energy_j;
+    core_.carbon_g[i] += job_energy_j / 3.6e6 * ci_true_;
     tick_energy_j += job_energy_j;
-    busy_nodes_total += static_cast<double>(s.info.alloc_nodes) * (dt / tick_s);
+    busy_nodes_total += static_cast<double>(core_.alloc_nodes[i]) * (dt / tick_s);
   }
-  if (!finished.empty()) {
+  if (any_finished) {
     // Single order-preserving compaction of the running list: completed
     // slots release their nodes; survivors keep their relative order (and
     // get their positions rewritten once), so policies observe the same
     // queue the per-id erase produced.
+    ++epoch_;
     std::size_t w = 0;
-    for (std::size_t i = 0; i < running_.size(); ++i) {
-      const JobId id = running_[i];
-      JobSlot& s = slots_[slot_index(id)];
+    for (std::size_t r = 0; r < running_.size(); ++r) {
+      const JobId id = running_[r];
+      const std::size_t i = running_slots_[r];
+      JobSlot& s = slots_[i];
       if (s.info.phase == JobPhase::Done) {
-        free_nodes_ += s.info.alloc_nodes;
-        s.info.alloc_nodes = 0;
+        free_nodes_ += core_.alloc_nodes[i];
+        core_.alloc_nodes[i] = 0;
         s.queue = Queue::None;
         s.list_pos = -1;
         result_.makespan = std::max(result_.makespan, s.info.finish);
@@ -512,10 +571,13 @@ void Simulator::integrate_tick() {
         }
       } else {
         s.list_pos = static_cast<std::int32_t>(w);
-        running_[w++] = id;
+        running_[w] = id;
+        running_slots_[w] = i;
+        ++w;
       }
     }
     running_.resize(w);
+    running_slots_.resize(w);
   }
 
   // Idle draw: nodes free for the whole tick plus freed fractions of
@@ -599,12 +661,257 @@ void Simulator::fast_forward_idle(Duration stop) {
   }
 }
 
+std::size_t Simulator::run_span(Duration span_end, bool ride_arrivals) {
+  GREENHPC_TRACE_SPAN("sim.span");
+  static obs::Counter& span_ticks = sim_counter("sim.span_ticks");
+  static obs::Counter& spans_counter = sim_counter("sim.spans");
+  const Duration tick = cfg_.cluster.tick;
+  const double tick_s = tick.seconds();
+  const double idle_w = cfg_.cluster.node_idle.watts();
+  const std::size_t k = running_slots_.size();
+
+  // Per-span constants, computed with integrate_tick's exact operations
+  // on the frozen discrete state. Same operands, same order: the values
+  // integrate_tick would recompute tick after tick are hoisted, not
+  // approximated.
+  double busy_full_w = 0.0;
+  double baseline_w = idle_w * static_cast<double>(free_nodes_);
+  for (std::size_t j = 0; j < k; ++j) {
+    const std::size_t i = running_slots_[j];
+    const int busy = busy_nodes_of(i);
+    const int extra = core_.alloc_nodes[i] - busy;
+    busy_full_w += static_cast<double>(busy) * core_.eff_power_w[i];
+    baseline_w += static_cast<double>(extra) * idle_w;
+  }
+  double cap = 1.0;
+  bool violation = false;
+  if (busy_full_w > 0.0 && baseline_w + busy_full_w > budget_now_.watts()) {
+    cap = (budget_now_.watts() - baseline_w) / busy_full_w;
+    if (cap < cfg_.cluster.min_cap_fraction) {
+      cap = cfg_.cluster.min_cap_fraction;
+      violation = true;
+    }
+    cap = std::min(cap, 1.0);
+  } else if (busy_full_w == 0.0 && baseline_w > budget_now_.watts()) {
+    violation = true;  // idle floor alone exceeds the budget
+  }
+  last_cap_ = cap;
+
+  // Gather the running set into the compacted scratch columns: per-tick
+  // constants (energy, carbon integrand, progress step) plus local
+  // accumulators that scatter back at span exit. Accumulating locally is
+  // bit-identical to accumulating in place — each accumulator receives
+  // the same additions in the same order.
+  double tick_energy_j = 0.0;
+  double busy_nodes_total = 0.0;
+  for (std::size_t j = 0; j < k; ++j) {
+    const std::size_t i = running_slots_[j];
+    const int busy = busy_nodes_of(i);
+    const int extra = core_.alloc_nodes[i] - busy;
+    const double speed = cap_speed(i, cap) * scale_factor(i);
+    const double rate = speed / core_.runtime_s[i];
+    const double draw_w = static_cast<double>(busy) * core_.eff_power_w[i] * cap +
+                          static_cast<double>(extra) * idle_w;
+    const double job_energy_j = draw_w * tick_s;
+    core_.sp_slot[j] = static_cast<std::int32_t>(i);
+    core_.sp_ej[j] = job_energy_j;
+    core_.sp_dj[j] = job_energy_j / 3.6e6;
+    core_.sp_rp[j] = rate * tick_s;
+    core_.sp_prog[j] = core_.progress[i];
+    core_.sp_wall[j] = core_.wall_used_s[i];
+    core_.sp_wl[j] = core_.walltime_s[i];
+    core_.sp_en[j] = core_.energy_j[i];
+    core_.sp_cb[j] = core_.carbon_g[i];
+    tick_energy_j += job_energy_j;
+    busy_nodes_total += static_cast<double>(core_.alloc_nodes[i]) * (tick_s / tick_s);
+  }
+  const double idle_energy_j = idle_w * static_cast<double>(free_nodes_) * tick_s;
+  tick_energy_j += idle_energy_j;
+  const double idle_carbon_per_ci = idle_energy_j / 3.6e6;
+  const double total_carbon_per_ci = tick_energy_j / 3.6e6;
+  const double system_power_w = tick_energy_j / tick_s;
+  const double budget_w = budget_now_.watts();
+  const bool enforce_wt = cfg_.cluster.enforce_walltime;
+  const bool telemetry = cfg_.telemetry != nullptr;
+
+  // With no feed the observed intensity IS the ground-truth trace, which
+  // is piecewise-constant per trace segment — hoist the sample and reload
+  // only at segment boundaries instead of per tick. seg_end starts at
+  // now_ to force the first load.
+  const bool hoist_ci = cfg_.feed == nullptr;
+  const util::TimeSeries& trace = *cfg_.carbon_intensity;
+  Duration seg_end = now_;
+  // Check-free chunks need a constant observed intensity and no per-tick
+  // telemetry records (those carry the per-tick timestamp).
+  const bool chunkable = hoist_ci && !telemetry;
+
+  std::size_t n = 0;
+  while (now_ < span_end) {
+    // Arrival-riding: the policy attested (quiescent_over_arrivals) that
+    // back-of-queue arrivals cannot change its decisions mid-span, so the
+    // engine performs the queue pushes itself at the exact arrival ticks
+    // — the same top-of-tick position the per-tick loop uses, and
+    // idempotent with its replay when the span exits on an event.
+    if (ride_arrivals) {
+      while (next_arrival_ < arrival_order_.size() &&
+             slots_[arrival_order_[next_arrival_]].spec->submit <= now_) {
+        list_push(pending_, Queue::Pending,
+                  slots_[arrival_order_[next_arrival_]].spec->id);
+        ++next_arrival_;
+      }
+    }
+    // Exit checks run BEFORE this tick is observed or integrated: the
+    // per-tick path replays the event tick in full (analytic mid-tick
+    // completion, walltime clamp, feed observation).
+    bool event = false;
+    for (std::size_t j = 0; j < k; ++j) {
+      event |= core_.sp_rp[j] > 0.0 && core_.sp_prog[j] + core_.sp_rp[j] >= 1.0;
+    }
+    if (enforce_wt) {
+      for (std::size_t j = 0; j < k; ++j) {
+        event |= core_.sp_wl[j] - core_.sp_wall[j] <= tick_s;
+      }
+    }
+    if (event) break;
+    if (hoist_ci) {
+      if (now_ >= seg_end) {
+        ci_true_ = trace.sample_at_clamped(now_, ci_cursor_);
+        ci_now_ = ci_true_;
+        staleness_ = seconds(0.0);
+        if (now_ < trace.start()) {
+          seg_end = trace.start() + trace.step();
+        } else if (now_ < trace.end()) {
+          seg_end = trace.start() +
+                    seconds(static_cast<double>(trace.index_at(now_) + 1) *
+                            trace.step().seconds());
+        } else {
+          seg_end = span_end;  // clamped past the end: constant forever
+        }
+      }
+    } else {
+      observe_intensity();
+    }
+    const double ci = ci_true_;
+
+    if (chunkable) {
+      // Check-free chunk: run t ticks with no per-tick exit, segment-
+      // reload or arrival tests, for a t conservatively proven to
+      // trigger none of them. The absolute margins (1e-9 progress,
+      // 1e-3 s walltime, 1e-2 s clock) dwarf the worst-case rounding the
+      // repeated additions can accumulate over 2^21 ticks (< 1e-5 in
+      // these units), so every skipped test provably evaluates false;
+      // every arithmetic operation performed is the same operation in
+      // the same order as the per-tick loop, so the chunk is
+      // bit-identical. Whatever the margins shave off is handled by the
+      // per-tick iterations that follow.
+      const double now_s = now_.seconds();
+      double lim = 2097152.0;
+      lim = std::min(lim, (span_end.seconds() - now_s - 1e-2) / tick_s);
+      lim = std::min(lim, (seg_end.seconds() - now_s - 1e-2) / tick_s);
+      if (ride_arrivals && next_arrival_ < arrival_order_.size()) {
+        lim = std::min(
+            lim,
+            (slots_[arrival_order_[next_arrival_]].spec->submit.seconds() -
+             now_s - 1e-2) /
+                tick_s);
+      }
+      long t = lim > 0.0 ? static_cast<long>(lim) : 0;
+      for (std::size_t j = 0; j < k && t > 0; ++j) {
+        if (core_.sp_rp[j] > 0.0) {
+          const double tp =
+              (1.0 - 1e-9 - core_.sp_prog[j]) / core_.sp_rp[j] - 1.0;
+          t = std::min(t, tp > 0.0 ? static_cast<long>(tp) : 0L);
+        }
+        if (enforce_wt) {
+          const double tw =
+              (core_.sp_wl[j] - core_.sp_wall[j] - tick_s - 1e-3) / tick_s -
+              1.0;
+          t = std::min(t, tw > 0.0 ? static_cast<long>(tw) : 0L);
+        }
+      }
+      if (t >= 4) {
+        for (long s = 0; s < t; ++s) {
+          for (std::size_t j = 0; j < k; ++j) {
+            core_.sp_prog[j] += core_.sp_rp[j];
+            core_.sp_wall[j] += tick_s;
+            core_.sp_en[j] += core_.sp_ej[j];
+            core_.sp_cb[j] += core_.sp_dj[j] * ci;
+          }
+        }
+        for (long s = 0; s < t; ++s) {
+          result_.idle_energy += joules(idle_energy_j);
+          result_.idle_carbon += grams_co2(idle_carbon_per_ci * ci);
+          result_.total_energy += joules(tick_energy_j);
+          result_.total_carbon += grams_co2(total_carbon_per_ci * ci);
+          now_ += tick;
+        }
+        if (violation) result_.budget_violations += static_cast<int>(t);
+        const auto m = static_cast<std::size_t>(t);
+        result_.system_power.append_fill(m, system_power_w);
+        result_.power_budget.append_fill(m, budget_w);
+        result_.carbon_intensity.append_fill(m, ci);
+        result_.busy_nodes.append_fill(m, busy_nodes_total);
+        ci_history_.insert(ci_history_.end(), m, ci_now_);
+        n += m;
+        continue;
+      }
+    }
+
+    for (std::size_t j = 0; j < k; ++j) {
+      core_.sp_prog[j] += core_.sp_rp[j];
+      core_.sp_wall[j] += tick_s;
+      core_.sp_en[j] += core_.sp_ej[j];
+      core_.sp_cb[j] += core_.sp_dj[j] * ci;
+    }
+    if (violation) ++result_.budget_violations;
+    result_.idle_energy += joules(idle_energy_j);
+    result_.idle_carbon += grams_co2(idle_carbon_per_ci * ci);
+    result_.total_energy += joules(tick_energy_j);
+    result_.total_carbon += grams_co2(total_carbon_per_ci * ci);
+    result_.system_power.push_back(system_power_w);
+    result_.power_budget.push_back(budget_w);
+    result_.carbon_intensity.push_back(ci);
+    result_.busy_nodes.push_back(busy_nodes_total);
+    if (telemetry) {
+      cfg_.telemetry->record("system.power", now_, system_power_w);
+      cfg_.telemetry->record("system.budget", now_, budget_w);
+      cfg_.telemetry->record("system.ci", now_, ci);
+      cfg_.telemetry->record("system.busy_nodes", now_, busy_nodes_total);
+      if (cfg_.faults.enabled()) {
+        cfg_.telemetry->record("system.nodes_down", now_,
+                               static_cast<double>(nodes_down_));
+      }
+      if (cfg_.feed != nullptr) {
+        cfg_.telemetry->record("system.ci_observed", now_, ci_now_);
+        cfg_.telemetry->record("system.ci_staleness", now_, staleness_.seconds());
+      }
+    }
+    ci_history_.push_back(ci_now_);
+    now_ += tick;
+    ++n;
+  }
+  // Scatter the local accumulators back to the slot columns.
+  for (std::size_t j = 0; j < k; ++j) {
+    const auto i = static_cast<std::size_t>(core_.sp_slot[j]);
+    core_.progress[i] = core_.sp_prog[j];
+    core_.wall_used_s[i] = core_.sp_wall[j];
+    core_.energy_j[i] = core_.sp_en[j];
+    core_.carbon_g[i] = core_.sp_cb[j];
+  }
+  if (n > 0) {
+    span_ticks.add(n);
+    spans_counter.add();
+  }
+  return n;
+}
+
 SimulationResult Simulator::run(SchedulingPolicy& sched, PowerBudgetPolicy* power) {
   GREENHPC_REQUIRE(!ran_, "Simulator::run may be called only once");
   ran_ = true;
   GREENHPC_TRACE_SPAN("sim.run");
   static obs::Counter& ticks_counter = sim_counter("sim.ticks");
   const Duration tick = cfg_.cluster.tick;
+  const bool fast_paths = !cfg_.reference_mode;
   while (now_ < cfg_.max_time) {
     // 1. arrivals
     while (next_arrival_ < arrival_order_.size() &&
@@ -622,23 +929,58 @@ SimulationResult Simulator::run(SchedulingPolicy& sched, PowerBudgetPolicy* powe
       break;
     }
 
-    // Idle fast-forward: with no job anywhere and nothing due before the
-    // next arrival or failure event, ticks cannot differ from the pure
-    // idle-floor tick; burn through them without the policy machinery.
-    // (Gated on power == nullptr: a budget policy must keep observing
-    // every tick, both for its own state and for the budget series.)
-    if (power == nullptr && pending_.empty() && running_.empty() &&
-        suspended_.empty() && requeued_.empty() && repairs_.empty() &&
-        !all_arrived) {
-      Duration stop = std::min(cfg_.max_time,
-                               slots_[arrival_order_[next_arrival_]].spec->submit);
-      if (next_failure_ < cfg_.faults.events.size()) {
-        stop = std::min(stop, cfg_.faults.events[next_failure_].time);
+    if (fast_paths && power == nullptr) {
+      // Idle fast-forward: with no job anywhere and nothing due before
+      // the next arrival or failure event, ticks cannot differ from the
+      // pure idle-floor tick; burn through them without the policy
+      // machinery. (Gated on power == nullptr: a budget policy must keep
+      // observing every tick, both for its own state and for the budget
+      // series.)
+      if (pending_.empty() && running_.empty() && suspended_.empty() &&
+          requeued_.empty() && repairs_.empty() && !all_arrived) {
+        Duration stop = std::min(cfg_.max_time,
+                                 slots_[arrival_order_[next_arrival_]].spec->submit);
+        if (next_failure_ < cfg_.faults.events.size()) {
+          stop = std::min(stop, cfg_.faults.events[next_failure_].time);
+        }
+        if (now_ < stop) {
+          budget_now_ = cfg_.cluster.max_power();
+          fast_forward_idle(stop);
+          continue;  // re-run arrivals/faults at the first non-idle tick
+        }
       }
-      if (now_ < stop) {
-        budget_now_ = cfg_.cluster.max_power();
-        fast_forward_idle(stop);
-        continue;  // re-run arrivals/faults at the first non-idle tick
+      // Span batch kernel: the scheduler saw exactly this discrete state
+      // last tick and did nothing (epoch check), and attests it stays
+      // quiescent up to a horizon. Integrate to the horizon or the next
+      // discrete event (arrival, fault, repair, requeue release) in one
+      // flat kernel; completions/kills end the span from inside.
+      else if (epoch_ == epoch_before_sched_) {
+        const Duration horizon = sched.quiescent_until(*this);
+        if (horizon > now_) {
+          // With a stronger attestation the span rides over arrivals:
+          // they stop bounding span_end and the kernel pushes them onto
+          // the pending queue at their exact ticks instead.
+          const bool ride =
+              !all_arrived && sched.quiescent_over_arrivals(*this);
+          Duration span_end = std::min(horizon, cfg_.max_time);
+          if (!all_arrived && !ride) {
+            span_end = std::min(
+                span_end, slots_[arrival_order_[next_arrival_]].spec->submit);
+          }
+          if (next_failure_ < cfg_.faults.events.size()) {
+            span_end = std::min(span_end, cfg_.faults.events[next_failure_].time);
+          }
+          for (const Duration r : repairs_) span_end = std::min(span_end, r);
+          for (const JobId id : requeued_) {
+            span_end = std::min(span_end, slots_[slot_index(id)].info.requeue_ready);
+          }
+          if (span_end > now_) {
+            budget_now_ = cfg_.cluster.max_power();
+            if (run_span(span_end, ride) > 0) continue;
+            // 0 ticks: an event lands in the very first tick — take the
+            // per-tick path below so it is handled exactly.
+          }
+        }
       }
     }
 
@@ -649,6 +991,7 @@ SimulationResult Simulator::run(SchedulingPolicy& sched, PowerBudgetPolicy* powe
                       : cfg_.cluster.max_power();
 
     // 3. scheduling decisions
+    epoch_before_sched_ = epoch_;
     {
       GREENHPC_TRACE_SPAN("sim.schedule");
       sched.on_tick(*this);
@@ -665,20 +1008,21 @@ SimulationResult Simulator::run(SchedulingPolicy& sched, PowerBudgetPolicy* powe
   }
 
   result_.jobs.reserve(slots_.size());
-  for (const auto& s : slots_) {
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    const JobSlot& s = slots_[i];
     JobRecord rec;
     rec.spec = *s.spec;
     rec.completed = s.info.phase == JobPhase::Done && !s.info.killed && !s.info.failed;
     rec.killed = s.info.killed;
     rec.failed = s.info.failed;
     rec.submit = s.spec->submit;
-    rec.start = s.info.start;
+    rec.start = seconds(core_.start_s[i]);
     rec.finish = s.info.finish;
     rec.suspend_count = s.info.suspend_count;
     rec.checkpoint_count = s.info.checkpoint_count;
     rec.failure_count = s.info.failure_count;
-    rec.energy = s.info.energy;
-    rec.carbon = s.info.carbon;
+    rec.energy = joules(core_.energy_j[i]);
+    rec.carbon = grams_co2(core_.carbon_g[i]);
     result_.jobs.push_back(std::move(rec));
   }
   return std::move(result_);

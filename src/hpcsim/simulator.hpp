@@ -53,6 +53,7 @@
 #include "hpcsim/job.hpp"
 #include "hpcsim/policy.hpp"
 #include "hpcsim/result.hpp"
+#include "hpcsim/sim_core.hpp"
 #include "telemetry/sensor_store.hpp"
 #include "util/rng.hpp"
 #include "util/shared.hpp"
@@ -82,6 +83,12 @@ class Simulator final : public SimulationView {
     /// Observation channel for the carbon-intensity signal policies see;
     /// null = perfect feed (observed == true). Must outlive the run.
     IntensityFeed* feed = nullptr;
+    /// Force the tick-exact reference path: disables the span batch
+    /// kernel and the idle fast-forward, so every tick runs the full
+    /// arrivals/faults/schedule/integrate sequence. The fast paths are
+    /// bit-identical by construction; this knob exists so the
+    /// equivalence property test (and debugging sessions) can prove it.
+    bool reference_mode = false;
   };
 
   /// The job list need not be sorted; it is indexed by JobId internally.
@@ -122,6 +129,10 @@ class Simulator final : public SimulationView {
   }
   [[nodiscard]] const JobSpec& spec(JobId id) const override;
   [[nodiscard]] const JobRuntimeInfo& info(JobId id) const override;
+  [[nodiscard]] const JobTable& job_table() const override { return table_; }
+  [[nodiscard]] std::size_t slot_of(JobId id) const override {
+    return slot_index(id);
+  }
   [[nodiscard]] Duration estimated_remaining(JobId id) const override;
   [[nodiscard]] Power power_budget() const override { return budget_now_; }
   [[nodiscard]] Power full_draw() const override;
@@ -140,16 +151,14 @@ class Simulator final : public SimulationView {
     /// Static description, pointing into the shared job list (immutable,
     /// owned by jobs_ for the Simulator's lifetime).
     const JobSpec* spec = nullptr;
-    JobRuntimeInfo info;
+    /// Cold per-job state (phase, finish, counters, resilience marks).
+    /// The hot fields SimCore owns (progress, allocation, wall clock,
+    /// energy, carbon, start/checkpoint times) are mirrored into here on
+    /// demand by info() — mutable so the const accessor can refresh them.
+    mutable JobRuntimeInfo info;
     /// Phase-list membership (position-bookkept ordered erase).
     Queue queue = Queue::None;
     std::int32_t list_pos = -1;
-    /// pow() caches; keys chosen so the defaults are consistent
-    /// (pow(1, alpha) == 1, busy == natural => scale 1).
-    mutable double cap_key = 1.0;
-    mutable double cap_val = 1.0;
-    mutable int scale_key = -1;
-    mutable double scale_val = 1.0;
   };
 
   /// O(1) id -> slot resolution through the dense table (ids are small
@@ -168,13 +177,15 @@ class Simulator final : public SimulationView {
   /// Busy nodes of a running job (nodes that draw job power and produce
   /// progress): all allocated nodes for malleable jobs, nodes_used for
   /// rigid/moldable jobs with over-allocation.
-  [[nodiscard]] static int busy_nodes_of(const JobSlot& s);
+  [[nodiscard]] int busy_nodes_of(std::size_t i) const;
   /// Speed multiplier from allocation size (power-law strong scaling).
-  [[nodiscard]] static double scale_speed(const JobSlot& s);
-  /// Cached pow(cap, alpha); exact 1.0 for the uncapped case.
-  [[nodiscard]] static double cap_speed(const JobSlot& s, double cap);
+  [[nodiscard]] double scale_speed(std::size_t i) const;
+  /// Cached pow(cap, alpha); exact 1.0 for the uncapped case. (The cache
+  /// columns are raw pointers into the arena, so const methods may
+  /// refresh them — same contract as the former mutable members.)
+  [[nodiscard]] double cap_speed(std::size_t i, double cap) const;
   /// Cached scale_speed keyed on the busy-node count.
-  [[nodiscard]] static double scale_factor(const JobSlot& s);
+  [[nodiscard]] double scale_factor(std::size_t i) const;
   [[nodiscard]] bool allocation_valid(const JobSpec& spec, int nodes) const;
 
   /// Append to / remove from a phase list, keeping each member slot's
@@ -191,6 +202,18 @@ class Simulator final : public SimulationView {
   /// history, telemetry) while skipping the policy and fault machinery
   /// that provably cannot act.
   void fast_forward_idle(Duration stop);
+  /// Span batch kernel: integrate ticks in [now, span_end) in one flat
+  /// loop over the running set, entered only when the scheduler took no
+  /// action at the current discrete state (epoch check) and attests
+  /// quiescence (SchedulingPolicy::quiescent_until), and no arrival,
+  /// fault event, repair or requeue release falls inside the span. The
+  /// per-tick constants (cap, per-job draw/rate, totals) are hoisted
+  /// once; every accumulator receives the same additions in the same
+  /// order as the per-tick path, so results are bit-identical. Exits
+  /// before the first tick a completion or walltime kill would land in;
+  /// the per-tick path replays that tick in full. Returns the number of
+  /// ticks integrated (0 when an event lands in the very first tick).
+  std::size_t run_span(Duration span_end, bool ride_arrivals);
 
   // --- fault machinery (all no-ops with an empty failure schedule) ---
   /// Return repaired nodes to service, apply due failure events, release
@@ -209,6 +232,10 @@ class Simulator final : public SimulationView {
   /// Shared immutable job list the slots' spec pointers resolve into.
   util::Shared<std::vector<JobSpec>> jobs_;
   std::vector<JobSlot> slots_;
+  /// Structure-of-arrays hot state (see sim_core.hpp) + the read-only
+  /// view of it policies consume.
+  SimCore core_;
+  JobTable table_;
   std::unordered_map<JobId, std::size_t> index_;
   /// Dense id -> slot table (empty when the id space is too sparse).
   std::vector<std::int32_t> dense_index_;
@@ -227,14 +254,24 @@ class Simulator final : public SimulationView {
   int nodes_down_ = 0;
   std::vector<JobId> pending_;
   std::vector<JobId> running_;
+  /// Slot indices parallel to running_ (same order): the integrate and
+  /// span kernels iterate this instead of re-resolving ids.
+  std::vector<std::size_t> running_slots_;
   std::vector<JobId> suspended_;
   std::vector<JobId> requeued_;  ///< killed by failures, waiting out backoff
-  std::vector<JobId> finished_scratch_;  ///< per-tick completion buffer
   std::vector<double> ci_history_;
   util::TimeSeries::Cursor ci_cursor_;  ///< monotonic ground-truth sampling
   std::size_t next_failure_ = 0;
   std::vector<Duration> repairs_;  ///< pending per-node repair completions
   util::Rng victim_rng_{0};
+
+  /// Discrete-mutation epoch: bumped on every observable discrete change
+  /// (phase-list membership, allocations, checkpoints, node up/down).
+  /// The span kernel is gated on the epoch being unchanged since just
+  /// before the last on_tick — i.e. the policy saw exactly this state
+  /// and did nothing.
+  std::uint64_t epoch_ = 0;
+  std::uint64_t epoch_before_sched_ = ~std::uint64_t{0};
 
   SimulationResult result_;
   bool ran_ = false;

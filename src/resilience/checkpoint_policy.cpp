@@ -39,13 +39,28 @@ Duration PeriodicCheckpointPolicy::interval_for(const hpcsim::JobSpec& spec) con
 
 void PeriodicCheckpointPolicy::on_tick(hpcsim::SimulationView& view) {
   inner_.on_tick(view);
+  const hpcsim::JobTable& t = view.job_table();
   for (hpcsim::JobId id : view.running_jobs()) {
-    const auto& spec = view.spec(id);
-    if (!spec.checkpointable || spec.checkpoint_overhead.seconds() <= 0.0) continue;
-    if (view.now() - view.info(id).last_checkpoint >= interval_for(spec)) {
+    const std::size_t i = view.slot_of(id);
+    if (t.checkpointable[i] == 0 || t.ckpt_overhead_s[i] <= 0.0) continue;
+    if (view.now() - seconds(t.last_checkpoint_s[i]) >= interval_for(view.spec(id))) {
       view.checkpoint(id);
     }
   }
+}
+
+Duration PeriodicCheckpointPolicy::quiescent_until(
+    const hpcsim::SimulationView& view) const {
+  Duration horizon = inner_.quiescent_until(view);
+  const hpcsim::JobTable& t = view.job_table();
+  for (hpcsim::JobId id : view.running_jobs()) {
+    const std::size_t i = view.slot_of(id);
+    if (t.checkpointable[i] == 0 || t.ckpt_overhead_s[i] <= 0.0) continue;
+    const Duration due =
+        seconds(t.last_checkpoint_s[i]) + interval_for(view.spec(id));
+    if (due < horizon) horizon = due;
+  }
+  return horizon < view.now() ? view.now() : horizon;
 }
 
 }  // namespace greenhpc::resilience

@@ -43,6 +43,21 @@ class PeriodicCheckpointPolicy final : public hpcsim::SchedulingPolicy {
     return inner_.name() + "+ydckpt";
   }
 
+  /// Quiescent until the earliest periodic checkpoint comes due (each
+  /// running checkpointable job's last checkpoint plus its Young/Daly or
+  /// fixed interval) or the inner policy's own horizon, whichever is
+  /// first. The due times are fixed while the discrete state is frozen —
+  /// the checkpoint clock only moves on checkpoint/start/resume, all of
+  /// which end a span through the engine's epoch gate.
+  [[nodiscard]] Duration quiescent_until(
+      const hpcsim::SimulationView& view) const override;
+
+  /// The periodic checkpoint clock never looks at the pending queue.
+  [[nodiscard]] bool quiescent_over_arrivals(
+      const hpcsim::SimulationView& view) const override {
+    return inner_.quiescent_over_arrivals(view);
+  }
+
   /// Young's interval sqrt(2 * overhead * node_mtbf / nodes) for a job
   /// spanning `nodes` nodes.
   [[nodiscard]] static Duration young_daly_interval(Duration overhead,

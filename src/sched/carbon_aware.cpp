@@ -100,11 +100,12 @@ void CarbonAwareEasyScheduler::on_tick(hpcsim::SimulationView& view) {
   // Queue-pressure guard: holding jobs while the backlog is deep only
   // trades wait time for no carbon benefit (the machine will be full
   // either way), so the gate opens under pressure.
+  const hpcsim::JobTable& table = view.job_table();
   double backlog_nodes = 0.0;
   const double backlog_limit =
       cfg_.backlog_pressure_limit * static_cast<double>(view.cluster().nodes);
   for (hpcsim::JobId id : pending) {
-    backlog_nodes += static_cast<double>(start_nodes(view.spec(id)));
+    backlog_nodes += static_cast<double>(start_nodes(table, view.slot_of(id)));
     if (backlog_nodes > backlog_limit) break;  // only the comparison matters
   }
   const bool pressured = backlog_nodes > backlog_limit;
@@ -126,7 +127,7 @@ void CarbonAwareEasyScheduler::on_tick(hpcsim::SimulationView& view) {
   eligible.clear();
   eligible.reserve(pending.size());
   for (hpcsim::JobId id : pending) {
-    const Duration waited = view.now() - view.spec(id).submit;
+    const Duration waited = view.now() - seconds(table.submit_s[view.slot_of(id)]);
     const bool over_budget = waited >= cfg_.max_hold;
     if (hold_allowed && !over_budget) {
       held_jobs.add();

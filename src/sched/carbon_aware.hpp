@@ -51,6 +51,30 @@ class CarbonAwareEasyScheduler final : public hpcsim::SchedulingPolicy {
   void on_tick(hpcsim::SimulationView& view) override;
   [[nodiscard]] std::string name() const override { return "carbon-easy"; }
 
+  /// The green gate re-reads the intensity signal every tick, so with
+  /// work pending and nodes free the policy cannot promise anything
+  /// beyond now. It can when no decision is reachable: nothing pending
+  /// (on_tick returns immediately), or zero free nodes (no start can
+  /// succeed; holds are aged against submit time, not tick-counted, and
+  /// the incremental threshold/history windows consume the intensity
+  /// history in batch to the same values). Both states end with a
+  /// discrete event, which ends the span via the engine's epoch gate.
+  [[nodiscard]] Duration quiescent_until(
+      const hpcsim::SimulationView& view) const override {
+    if (view.pending_jobs().empty() || view.free_nodes() == 0) {
+      return hpcsim::quiescent_forever();
+    }
+    return view.now();
+  }
+
+  /// With zero free nodes no start can succeed regardless of what
+  /// arrives; hold bookkeeping is recomputed from submit times when the
+  /// queue is next examined, so skipped ticks observe nothing.
+  [[nodiscard]] bool quiescent_over_arrivals(
+      const hpcsim::SimulationView& view) const override {
+    return view.free_nodes() == 0;
+  }
+
   /// Green threshold currently in force (for tests and reporting).
   /// Recomputes from scratch; the tick loop uses the incremental twin
   /// below, which returns bit-identical values.

@@ -48,6 +48,27 @@ class CheckpointDecorator final : public hpcsim::SchedulingPolicy {
   void on_tick(hpcsim::SimulationView& view) override;
   [[nodiscard]] std::string name() const override;
 
+  /// The suspend/resume thresholds re-read the intensity signal every
+  /// tick, so the decorator is only quiescent when no suspend or resume
+  /// is reachable regardless of the signal: nothing suspended and no
+  /// running job checkpointable. Then only the inner policy can act, and
+  /// its own attestation bounds the horizon.
+  [[nodiscard]] Duration quiescent_until(
+      const hpcsim::SimulationView& view) const override {
+    if (!view.suspended_jobs().empty()) return view.now();
+    const hpcsim::JobTable& t = view.job_table();
+    for (const hpcsim::JobId id : view.running_jobs()) {
+      if (t.checkpointable[view.slot_of(id)] != 0) return view.now();
+    }
+    return inner_->quiescent_until(view);
+  }
+
+  /// Suspend/resume decisions never look at the pending queue.
+  [[nodiscard]] bool quiescent_over_arrivals(
+      const hpcsim::SimulationView& view) const override {
+    return inner_->quiescent_over_arrivals(view);
+  }
+
  private:
   [[nodiscard]] double quantile_threshold(const hpcsim::SimulationView& view,
                                           double quantile) const;
@@ -73,6 +94,21 @@ class MalleableDecorator final : public hpcsim::SchedulingPolicy {
 
   void on_tick(hpcsim::SimulationView& view) override;
   [[nodiscard]] std::string name() const override;
+
+  /// Reshape decisions read only the budget and the current draw, both
+  /// constant while the discrete state is frozen (and the engine only
+  /// asks after an on_tick that reshaped nothing), so the inner policy's
+  /// attestation is the binding one.
+  [[nodiscard]] Duration quiescent_until(
+      const hpcsim::SimulationView& view) const override {
+    return inner_->quiescent_until(view);
+  }
+
+  /// Reshape decisions never look at the pending queue.
+  [[nodiscard]] bool quiescent_over_arrivals(
+      const hpcsim::SimulationView& view) const override {
+    return inner_->quiescent_over_arrivals(view);
+  }
 
  private:
   Config cfg_;

@@ -1,6 +1,7 @@
 #include "sched/easy_backfill.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "obs/metrics.hpp"
 #include "sched/fcfs.hpp"
@@ -10,12 +11,12 @@ namespace greenhpc::sched {
 std::vector<ReleaseEvent> projected_releases(const hpcsim::SimulationView& view) {
   std::vector<ReleaseEvent> releases;
   const Duration now = view.now();
+  const hpcsim::JobTable& t = view.job_table();
   for (hpcsim::JobId id : view.running_jobs()) {
-    const auto& spec = view.spec(id);
-    const auto& info = view.info(id);
-    Duration end = info.start + spec.walltime;
+    const std::size_t i = view.slot_of(id);
+    Duration end = seconds(t.start_s[i]) + seconds(t.walltime_s[i]);
     if (end <= now) end = now + view.cluster().tick;  // overran its estimate
-    releases.push_back({end, info.alloc_nodes});
+    releases.push_back({end, t.alloc_nodes[i]});
   }
   std::sort(releases.begin(), releases.end(),
             [](const ReleaseEvent& a, const ReleaseEvent& b) { return a.time < b.time; });
@@ -24,13 +25,14 @@ std::vector<ReleaseEvent> projected_releases(const hpcsim::SimulationView& view)
 
 const std::vector<ReleaseEvent>& ReleaseCache::get(const hpcsim::SimulationView& view) {
   const Duration now = view.now();
+  const hpcsim::JobTable& t = view.job_table();
   scratch_.clear();
   bool any_overrun = false;
   for (hpcsim::JobId id : view.running_jobs()) {
-    const auto& info = view.info(id);
-    const Duration end = info.start + view.spec(id).walltime;
+    const std::size_t i = view.slot_of(id);
+    const Duration end = seconds(t.start_s[i]) + seconds(t.walltime_s[i]);
     if (end <= now) any_overrun = true;
-    scratch_.push_back({id, info.alloc_nodes, end});
+    scratch_.push_back({id, t.alloc_nodes[i], end});
   }
   // An overrunning job's projected release is now + tick, which moves
   // every tick even with the set unchanged — never reuse across it.
@@ -78,6 +80,14 @@ int shrink_to_fit_nodes(const hpcsim::JobSpec& spec, int available) {
   return 0;
 }
 
+int shrink_to_fit_nodes(const hpcsim::JobTable& t, std::size_t i, int available) {
+  const int natural = std::clamp(t.nodes_used[i], t.min_nodes[i], t.max_nodes[i]);
+  if (natural <= available) return natural;
+  if (t.kind[i] != hpcsim::JobKind::Moldable) return 0;
+  if (available >= t.min_nodes[i]) return std::min(available, natural);
+  return 0;
+}
+
 int easy_pass(hpcsim::SimulationView& view, const std::vector<hpcsim::JobId>& queue,
               bool shrink_moldable, ReleaseCache* cache) {
   static obs::Counter& head_started =
@@ -86,15 +96,16 @@ int easy_pass(hpcsim::SimulationView& view, const std::vector<hpcsim::JobId>& qu
       obs::Registry::global().counter("sched.easy.reservations");
   static obs::Counter& backfilled =
       obs::Registry::global().counter("sched.easy.backfilled");
+  const hpcsim::JobTable& table = view.job_table();
   int started = 0;
   std::size_t head = 0;
   // Phase 1: start in order while possible.
   while (head < queue.size()) {
     const hpcsim::JobId id = queue[head];
-    const auto& spec = view.spec(id);
-    int nodes = start_nodes(spec);
+    const std::size_t s = view.slot_of(id);
+    int nodes = start_nodes(table, s);
     if (shrink_moldable) {
-      const int fitted = shrink_to_fit_nodes(spec, view.free_nodes());
+      const int fitted = shrink_to_fit_nodes(table, s, view.free_nodes());
       if (fitted > 0) nodes = fitted;
     }
     if (view.start(id, nodes)) {
@@ -110,7 +121,7 @@ int easy_pass(hpcsim::SimulationView& view, const std::vector<hpcsim::JobId>& qu
   // Phase 2: reservation for the blocked head.
   reservations.add();
   const hpcsim::JobId blocked = queue[head];
-  const int needed = start_nodes(view.spec(blocked));
+  const int needed = start_nodes(table, view.slot_of(blocked));
   std::vector<ReleaseEvent> local;
   if (cache == nullptr) local = projected_releases(view);
   const std::vector<ReleaseEvent>& releases = cache != nullptr ? cache->get(view) : local;
@@ -121,14 +132,15 @@ int easy_pass(hpcsim::SimulationView& view, const std::vector<hpcsim::JobId>& qu
   for (std::size_t i = head + 1; i < queue.size(); ++i) {
     if (view.free_nodes() == 0) break;  // every candidate needs >= 1 node
     const hpcsim::JobId id = queue[i];
-    const auto& spec = view.spec(id);
-    int nodes = start_nodes(spec);
+    const std::size_t s = view.slot_of(id);
+    int nodes = start_nodes(table, s);
     if (shrink_moldable && nodes > view.free_nodes()) {
-      const int fitted = shrink_to_fit_nodes(spec, view.free_nodes());
+      const int fitted = shrink_to_fit_nodes(table, s, view.free_nodes());
       if (fitted > 0) nodes = fitted;
     }
     if (nodes > view.free_nodes()) continue;
-    const bool ends_before_shadow = view.now() + spec.walltime <= res.shadow;
+    const bool ends_before_shadow =
+        view.now() + seconds(table.walltime_s[s]) <= res.shadow;
     const bool fits_in_spare = nodes <= spare;
     if (!ends_before_shadow && !fits_in_spare) continue;
     if (view.start(id, nodes)) {
@@ -143,6 +155,25 @@ int easy_pass(hpcsim::SimulationView& view, const std::vector<hpcsim::JobId>& qu
 void EasyBackfillScheduler::on_tick(hpcsim::SimulationView& view) {
   scratch_ = view.pending_jobs();  // snapshot: start() mutates the queue
   if (!scratch_.empty()) easy_pass(view, scratch_, shrink_moldable_, &releases_);
+}
+
+Duration EasyBackfillScheduler::quiescent_until(
+    const hpcsim::SimulationView& view) const {
+  if (view.pending_jobs().empty()) return hpcsim::quiescent_forever();
+  // Every start needs at least one free node; with none, neither the
+  // in-order pass nor backfill can act until something discrete releases
+  // nodes (which ends the span through the engine's epoch gate).
+  if (view.free_nodes() == 0) return hpcsim::quiescent_forever();
+  const hpcsim::JobTable& t = view.job_table();
+  double end_min_s = std::numeric_limits<double>::infinity();
+  for (const hpcsim::JobId id : view.running_jobs()) {
+    const std::size_t i = view.slot_of(id);
+    end_min_s = std::min(end_min_s, t.start_s[i] + t.walltime_s[i]);
+  }
+  const Duration end_min = seconds(end_min_s);
+  // A job already past its projected end makes the shadow slide with the
+  // clock: opt out (horizon = now keeps the engine tick-exact).
+  return end_min > view.now() ? end_min : view.now();
 }
 
 }  // namespace greenhpc::sched

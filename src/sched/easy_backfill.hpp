@@ -76,6 +76,26 @@ class EasyBackfillScheduler final : public hpcsim::SchedulingPolicy {
     return shrink_moldable_ ? "easy-backfill+mold" : "easy-backfill";
   }
 
+  /// EASY is carbon-blind; under a frozen discrete state only the moving
+  /// clock can change a decision, and it enters exactly two ways: a
+  /// running job crossing its walltime-projected end (its release remaps
+  /// to the sliding `now + tick`, which can reorder the timeline and move
+  /// the shadow), and backfill's `now + walltime <= shadow` test — which
+  /// with no overrun is monotone (flips only toward *not* starting, and
+  /// we know nothing started at the frozen state). Hence: quiescent until
+  /// the earliest projected end; forever when nothing is pending or no
+  /// node is free (no start can succeed regardless of time).
+  [[nodiscard]] Duration quiescent_until(
+      const hpcsim::SimulationView& view) const override;
+
+  /// Unlike FCFS, backfill can reach past a blocked head, so a new
+  /// arrival may genuinely start — except with zero free nodes, where no
+  /// start of any kind can succeed.
+  [[nodiscard]] bool quiescent_over_arrivals(
+      const hpcsim::SimulationView& view) const override {
+    return view.free_nodes() == 0;
+  }
+
  private:
   bool shrink_moldable_;
   ReleaseCache releases_;
@@ -86,6 +106,9 @@ class EasyBackfillScheduler final : public hpcsim::SchedulingPolicy {
 /// moldable shrinking is allowed: the natural size if it fits, otherwise
 /// the largest feasible size within the moldable range (0 = cannot start).
 [[nodiscard]] int shrink_to_fit_nodes(const hpcsim::JobSpec& spec, int available);
+/// SoA twin over the flat job table.
+[[nodiscard]] int shrink_to_fit_nodes(const hpcsim::JobTable& t, std::size_t i,
+                                      int available);
 
 /// The shared EASY pass over an explicitly ordered candidate list: starts
 /// what fits, reserves for the first blocked candidate, backfills the

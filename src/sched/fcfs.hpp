@@ -3,6 +3,8 @@
 // pending jobs strictly in submission order; block on the first job that
 // does not fit.
 
+#include <algorithm>
+
 #include "hpcsim/policy.hpp"
 
 namespace greenhpc::sched {
@@ -11,13 +13,33 @@ namespace greenhpc::sched {
 /// the natural size (clamped into the malleable range) otherwise.
 [[nodiscard]] int start_nodes(const hpcsim::JobSpec& spec);
 
+/// SoA twin of start_nodes for hot paths that walk the flat job table.
+[[nodiscard]] inline int start_nodes(const hpcsim::JobTable& t, std::size_t i) {
+  if (t.kind[i] == hpcsim::JobKind::Rigid) return t.nodes_requested[i];
+  return std::clamp(t.nodes_used[i], t.min_nodes[i], t.max_nodes[i]);
+}
+
 class FcfsScheduler final : public hpcsim::SchedulingPolicy {
  public:
   void on_tick(hpcsim::SimulationView& view) override;
   [[nodiscard]] std::string name() const override { return "fcfs"; }
 
- private:
-  std::vector<hpcsim::JobId> scratch_;  ///< queue snapshot, reused across ticks
+  /// FCFS reads neither the clock nor the carbon signal: with the queues,
+  /// allocations and free-node count frozen, the head job either fits now
+  /// or never will until something discrete changes. Quiescent until the
+  /// next discrete event.
+  [[nodiscard]] Duration quiescent_until(
+      const hpcsim::SimulationView&) const override {
+    return hpcsim::quiescent_forever();
+  }
+
+  /// Strict submission order shields the queue tail: while the head is
+  /// blocked (which it is whenever on_tick took no action with work
+  /// pending), arrivals join behind it and can never be reached.
+  [[nodiscard]] bool quiescent_over_arrivals(
+      const hpcsim::SimulationView& view) const override {
+    return !view.pending_jobs().empty();
+  }
 };
 
 }  // namespace greenhpc::sched

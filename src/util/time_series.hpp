@@ -44,6 +44,10 @@ class TimeSeries {
   [[nodiscard]] double at(std::size_t i) const;
   /// Append one sample at the end of the series.
   void push_back(double v) { values_.push_back(v); }
+  /// Append `n` copies of the same sample (bulk twin of push_back).
+  void append_fill(std::size_t n, double v) {
+    values_.insert(values_.end(), n, v);
+  }
 
   /// Zero-order-hold lookup of the sample covering absolute time t.
   /// Requires t within [start, end).

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/run_report.hpp"
 #include "sched/easy_backfill.hpp"
 #include "sched/fcfs.hpp"
 #include "util/error.hpp"
@@ -451,6 +452,17 @@ TEST(SweepJournal, DroppedSuffixIsReportedOnStderrAndCounted) {
   (void)SweepJournal::resume(dir, grid.config_digest(), grid.case_count());
   EXPECT_EQ(::testing::internal::GetCapturedStderr(), "");
   EXPECT_EQ(truncations.value() - before, 1u);
+
+  // The accessor the sweep run report embeds tracks the same counter, so
+  // the truncation shows up in the report JSON's sweep block.
+  EXPECT_EQ(journal_truncations(), truncations.value());
+  obs::RunReport report;
+  report.tool = "greenhpc sweep";
+  report.embed_metrics = false;
+  report.add("journal_truncations", static_cast<double>(journal_truncations()));
+  std::ostringstream os;
+  report.write_json(os);
+  EXPECT_NE(os.str().find("\"journal_truncations\": "), std::string::npos);
 }
 
 // --- shard mode (distributed sweeps) --------------------------------------

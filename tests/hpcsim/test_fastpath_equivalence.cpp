@@ -1,0 +1,226 @@
+// Fast-path / reference-path equivalence property (perf guardrail).
+//
+// The simulator's hot path (SoA span batch kernel, check-free chunks,
+// arrival riding, idle fast-forward, segment-hoisted intensity sampling)
+// claims to be bit-identical to the tick-exact reference loop. The golden
+// fixture pins three specific runs; this test proves the claim across a
+// randomized family of small scenarios: for each sampled (workload,
+// scheduler, faults) combination the simulation runs twice — once with
+// Config::reference_mode forcing the per-tick path, once with the fast
+// paths enabled — and the two SimulationResults must match field by
+// field, every double compared by bit pattern.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "carbon/forecast.hpp"
+#include "core/scenario.hpp"
+#include "hpcsim/simulator.hpp"
+#include "resilience/checkpoint_policy.hpp"
+#include "sched/carbon_aware.hpp"
+#include "sched/decorators.hpp"
+#include "sched/easy_backfill.hpp"
+#include "sched/fcfs.hpp"
+
+namespace greenhpc {
+namespace {
+
+/// Bit-pattern equality: catches last-bit drift that value comparison
+/// (or -0.0 == 0.0) would miss.
+::testing::AssertionResult same_bits(const char* expr_a, const char* expr_b,
+                                     double a, double b) {
+  std::uint64_t ba = 0;
+  std::uint64_t bb = 0;
+  std::memcpy(&ba, &a, sizeof(ba));
+  std::memcpy(&bb, &b, sizeof(bb));
+  if (ba == bb) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure()
+         << expr_a << " and " << expr_b << " differ: " << a << " vs " << b
+         << " (bits 0x" << std::hex << ba << " vs 0x" << bb << ")";
+}
+#define EXPECT_SAME_BITS(a, b) EXPECT_PRED_FORMAT2(same_bits, (a), (b))
+
+void expect_same_series(const util::TimeSeries& ref, const util::TimeSeries& fast,
+                        const char* what) {
+  ASSERT_EQ(ref.size(), fast.size()) << what;
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_SAME_BITS(ref.values()[i], fast.values()[i])
+        << what << " sample " << i;
+    if (::testing::Test::HasFailure()) return;  // one divergence is enough
+  }
+}
+
+void expect_equivalent(const hpcsim::SimulationResult& ref,
+                       const hpcsim::SimulationResult& fast) {
+  EXPECT_SAME_BITS(ref.makespan.seconds(), fast.makespan.seconds());
+  EXPECT_SAME_BITS(ref.total_energy.joules(), fast.total_energy.joules());
+  EXPECT_SAME_BITS(ref.total_carbon.grams(), fast.total_carbon.grams());
+  EXPECT_SAME_BITS(ref.idle_energy.joules(), fast.idle_energy.joules());
+  EXPECT_SAME_BITS(ref.idle_carbon.grams(), fast.idle_carbon.grams());
+  EXPECT_EQ(ref.completed_jobs, fast.completed_jobs);
+  EXPECT_EQ(ref.walltime_kills, fast.walltime_kills);
+  EXPECT_EQ(ref.budget_violations, fast.budget_violations);
+  EXPECT_EQ(ref.node_failures, fast.node_failures);
+  EXPECT_EQ(ref.job_failures, fast.job_failures);
+  EXPECT_EQ(ref.jobs_failed, fast.jobs_failed);
+  EXPECT_EQ(ref.checkpoints_taken, fast.checkpoints_taken);
+  EXPECT_SAME_BITS(ref.lost_node_seconds, fast.lost_node_seconds);
+  EXPECT_SAME_BITS(ref.checkpoint_node_seconds, fast.checkpoint_node_seconds);
+  EXPECT_SAME_BITS(ref.wasted_energy.joules(), fast.wasted_energy.joules());
+  EXPECT_SAME_BITS(ref.wasted_carbon.grams(), fast.wasted_carbon.grams());
+
+  ASSERT_EQ(ref.jobs.size(), fast.jobs.size());
+  for (std::size_t i = 0; i < ref.jobs.size(); ++i) {
+    const auto& rj = ref.jobs[i];
+    const auto& fj = fast.jobs[i];
+    ASSERT_EQ(rj.spec.id, fj.spec.id);
+    EXPECT_EQ(rj.completed, fj.completed) << "job " << rj.spec.id;
+    EXPECT_EQ(rj.killed, fj.killed) << "job " << rj.spec.id;
+    EXPECT_EQ(rj.failed, fj.failed) << "job " << rj.spec.id;
+    EXPECT_EQ(rj.suspend_count, fj.suspend_count) << "job " << rj.spec.id;
+    EXPECT_EQ(rj.checkpoint_count, fj.checkpoint_count) << "job " << rj.spec.id;
+    EXPECT_EQ(rj.failure_count, fj.failure_count) << "job " << rj.spec.id;
+    EXPECT_SAME_BITS(rj.start.seconds(), fj.start.seconds())
+        << "job " << rj.spec.id;
+    EXPECT_SAME_BITS(rj.finish.seconds(), fj.finish.seconds())
+        << "job " << rj.spec.id;
+    EXPECT_SAME_BITS(rj.energy.joules(), fj.energy.joules())
+        << "job " << rj.spec.id;
+    EXPECT_SAME_BITS(rj.carbon.grams(), fj.carbon.grams())
+        << "job " << rj.spec.id;
+    if (::testing::Test::HasFailure()) return;
+  }
+
+  // The per-tick series pin tick alignment: the fast paths must neither
+  // drop, duplicate nor perturb a single sample.
+  expect_same_series(ref.system_power, fast.system_power, "system_power");
+  expect_same_series(ref.power_budget, fast.power_budget, "power_budget");
+  expect_same_series(ref.carbon_intensity, fast.carbon_intensity,
+                     "carbon_intensity");
+  expect_same_series(ref.busy_nodes, fast.busy_nodes, "busy_nodes");
+}
+
+struct Combo {
+  const char* scheduler;  // fcfs | easy | carbon-easy | easy+ydckpt | ckpt-dec
+  std::uint64_t seed;
+  int nodes;
+  int jobs;
+  double span_days;  // dense (short) vs sparse (long, exercises idle-ff)
+  bool faults;
+};
+
+std::unique_ptr<hpcsim::SchedulingPolicy> make_scheduler(const std::string& name) {
+  if (name == "fcfs") return std::make_unique<sched::FcfsScheduler>();
+  if (name == "easy") return std::make_unique<sched::EasyBackfillScheduler>();
+  if (name == "carbon-easy") {
+    sched::CarbonAwareEasyScheduler::Config cc;
+    cc.max_hold = hours(6.0);
+    cc.lookahead = hours(6.0);
+    return std::make_unique<sched::CarbonAwareEasyScheduler>(
+        cc, std::make_shared<carbon::PersistenceForecaster>());
+  }
+  if (name == "ckpt-dec") {
+    sched::CheckpointDecorator::Config dc;
+    return std::make_unique<sched::CheckpointDecorator>(
+        dc, std::make_unique<sched::EasyBackfillScheduler>());
+  }
+  GREENHPC_REQUIRE(false, "unknown scheduler in equivalence combo");
+  return nullptr;
+}
+
+hpcsim::SimulationResult run_once(const Combo& combo, bool reference_mode) {
+  core::ScenarioConfig sc;
+  sc.cluster.nodes = combo.nodes;
+  sc.cluster.node_tdp = watts(500.0);
+  sc.cluster.node_idle = watts(110.0);
+  sc.cluster.tick = minutes(2.0);
+  sc.region = carbon::Region::Germany;
+  sc.trace_span = days(combo.span_days + 4.0);
+  sc.trace_step = minutes(15.0);
+  sc.workload.job_count = combo.jobs;
+  sc.workload.span = days(combo.span_days);
+  sc.workload.max_job_nodes = combo.nodes / 2;
+  sc.workload.runtime_mean = hours(2.0);
+  sc.workload.node_power_mean = watts(420.0);
+  sc.workload.node_power_limit = watts(500.0);
+  sc.workload.checkpointable_fraction = 0.5;
+  sc.workload.moldable_fraction = 0.2;
+  sc.seed = combo.seed;
+  const core::ScenarioRunner runner(sc);
+
+  hpcsim::Simulator::Config cfg;
+  cfg.cluster = runner.config().cluster;
+  cfg.carbon_intensity = runner.trace();
+  cfg.reference_mode = reference_mode;
+  if (combo.faults) {
+    for (int k = 0; k < 10; ++k) {
+      cfg.faults.events.push_back(
+          {hours(2.0 + 5.0 * k), 1 + (k % 2), minutes(90.0)});
+    }
+    cfg.faults.max_retries = 4;
+    cfg.faults.backoff_base = minutes(5.0);
+    cfg.faults.victim_seed = combo.seed ^ 0x5eedu;
+  }
+
+  std::unique_ptr<hpcsim::SchedulingPolicy> sched;
+  std::unique_ptr<hpcsim::SchedulingPolicy> inner;
+  if (std::string(combo.scheduler) == "easy+ydckpt") {
+    inner = make_scheduler("easy");
+    resilience::CheckpointPolicyConfig cp;
+    cp.node_mtbf = hours(400.0);
+    sched = std::make_unique<resilience::PeriodicCheckpointPolicy>(*inner, cp);
+  } else {
+    sched = make_scheduler(combo.scheduler);
+  }
+
+  hpcsim::Simulator sim(cfg, runner.jobs());
+  return sim.run(*sched);
+}
+
+class FastPathEquivalence : public ::testing::TestWithParam<Combo> {};
+
+TEST_P(FastPathEquivalence, ReferenceAndFastPathsMatchBitForBit) {
+  const Combo& combo = GetParam();
+  const auto ref = run_once(combo, /*reference_mode=*/true);
+  const auto fast = run_once(combo, /*reference_mode=*/false);
+  EXPECT_GT(ref.completed_jobs, 0);
+  expect_equivalent(ref, fast);
+}
+
+std::string combo_name(const ::testing::TestParamInfo<Combo>& info) {
+  std::string s = info.param.scheduler;
+  for (char& c : s) {
+    if (c == '-' || c == '+') c = '_';
+  }
+  s += info.param.faults ? "_faults" : "_clean";
+  s += info.param.span_days < 1.0 ? "_dense" : "_sparse";
+  s += "_s" + std::to_string(info.param.seed);
+  return s;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Randomized, FastPathEquivalence,
+    ::testing::Values(
+        // Dense arrivals: spans ride over arrivals (FCFS) or break on them.
+        Combo{"fcfs", 11, 32, 90, 0.5, false},
+        Combo{"fcfs", 12, 48, 140, 0.5, true},
+        Combo{"easy", 21, 32, 90, 0.5, false},
+        Combo{"easy", 22, 48, 140, 0.5, true},
+        Combo{"carbon-easy", 31, 32, 90, 0.5, false},
+        Combo{"carbon-easy", 32, 48, 120, 0.5, true},
+        // Sparse arrivals: idle gaps exercise fast-forward + span restarts.
+        Combo{"fcfs", 41, 16, 30, 4.0, false},
+        Combo{"easy", 42, 16, 30, 4.0, true},
+        Combo{"carbon-easy", 43, 16, 30, 4.0, false},
+        // Checkpoint layers bound the span horizon from the policy side.
+        Combo{"easy+ydckpt", 51, 32, 80, 0.5, false},
+        Combo{"easy+ydckpt", 52, 16, 40, 4.0, true},
+        Combo{"ckpt-dec", 61, 32, 80, 0.5, false}),
+    combo_name);
+
+}  // namespace
+}  // namespace greenhpc

@@ -456,6 +456,8 @@ int report_sweep_result(const Args& args, const core::SweepResult& result,
   report.add("replicas", static_cast<double>(result.replicas));
   report.add("replayed_cases", static_cast<double>(result.replayed_cases));
   report.add("failed_cases", static_cast<double>(result.failed_cases.size()));
+  report.add("journal_truncations",
+             static_cast<double>(core::journal_truncations()));
   for (std::size_t i = 0; i < std::min<std::size_t>(result.failed_cases.size(), 5);
        ++i) {
     const auto& f = result.failed_cases[i];
