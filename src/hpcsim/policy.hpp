@@ -170,9 +170,43 @@ class SchedulingPolicy {
   /// ticks and keeps integrating). Only sound when no appended job could
   /// be started or otherwise acted on before the next discrete event —
   /// e.g. FCFS behind a blocked head (strict order shields the tail), or
-  /// any scheduler with zero free nodes. The default (false) breaks the
+  /// any scheduler with zero free nodes. The engine re-asks this after
+  /// every in-span release (which may invalidate it — freed nodes can
+  /// make a future arrival startable); like quiescent_over_release, the
+  /// re-ask may observe mid-span-stale continuous columns, so the answer
+  /// must depend only on discrete state. The default (false) breaks the
   /// span at every arrival, which always preserves tick-exact behaviour.
   [[nodiscard]] virtual bool quiescent_over_arrivals(
+      const SimulationView& view) const {
+    (void)view;
+    return false;
+  }
+
+  /// Release attestation for in-span completion handling. The engine
+  /// resolves completions and walltime kills *inside* a span (the event
+  /// tick runs the exact integrate path, including node release and
+  /// record emission) and then asks this question with the view already
+  /// reflecting the post-release state: running list compacted, freed
+  /// nodes back in free_nodes(). Returning true asserts that on_tick at
+  /// the post-release discrete state would take no action — no start,
+  /// suspend, resume, reshape or checkpoint — at this tick AND at every
+  /// remaining tick of the already-attested window, so the span may
+  /// continue under its original horizon; only when that window is
+  /// exhausted does the engine re-ask quiescent_until /
+  /// quiescent_over_arrivals to extend it. Two contract consequences:
+  /// (1) the answer must depend only on discrete state — queues,
+  /// allocations, free/down nodes, static specs and event-updated fields
+  /// like checkpoint marks — because the view's continuous integrator
+  /// columns (progress, energy, carbon, walltime used) may be mid-span
+  /// stale when this is asked; (2) the attestation logic must be
+  /// time-independent over the window (a release only shrinks the
+  /// running set, so horizons derived from per-job minima over it stay
+  /// conservative). Returning false fences the span at the release; the
+  /// per-tick path resumes at the next tick and the policy reacts there,
+  /// exactly as the reference loop would. The default (false) always
+  /// preserves tick-exact behaviour. Decorators must forward only when
+  /// their own layer provably ignores node releases.
+  [[nodiscard]] virtual bool quiescent_over_release(
       const SimulationView& view) const {
     (void)view;
     return false;

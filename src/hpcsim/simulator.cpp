@@ -534,8 +534,7 @@ void Simulator::integrate_tick() {
           s.info.finish = now_ + seconds(dt);
           any_finished = true;
           ++result_.walltime_kills;
-          static obs::Counter& kills = sim_counter("sim.walltime_kills");
-          kills.add();
+          ++pending_kills_;  // batched: flushed once per span / tick
         }
       }
       core_.progress[i] += rate * dt;
@@ -566,8 +565,7 @@ void Simulator::integrate_tick() {
         result_.makespan = std::max(result_.makespan, s.info.finish);
         if (!s.info.killed) {
           ++result_.completed_jobs;
-          static obs::Counter& completed = sim_counter("sim.jobs_completed");
-          completed.add();
+          ++pending_completions_;  // batched: flushed once per span / tick
         }
       } else {
         s.list_pos = static_cast<std::int32_t>(w);
@@ -661,19 +659,90 @@ void Simulator::fast_forward_idle(Duration stop) {
   }
 }
 
-std::size_t Simulator::run_span(Duration span_end, bool ride_arrivals) {
+void Simulator::flush_job_counters() {
+  if (pending_completions_ > 0) {
+    static obs::Counter& completed = sim_counter("sim.jobs_completed");
+    completed.add(pending_completions_);
+    pending_completions_ = 0;
+  }
+  if (pending_kills_ > 0) {
+    static obs::Counter& kills = sim_counter("sim.walltime_kills");
+    kills.add(pending_kills_);
+    pending_kills_ = 0;
+  }
+}
+
+std::size_t Simulator::run_span(SchedulingPolicy& sched, Duration hard_end,
+                                Duration span_end, bool ride_arrivals) {
   GREENHPC_TRACE_SPAN("sim.span");
   static obs::Counter& span_ticks = sim_counter("sim.span_ticks");
   static obs::Counter& spans_counter = sim_counter("sim.spans");
+  static obs::Counter& span_event_ticks = sim_counter("sim.span_completion_ticks");
   const Duration tick = cfg_.cluster.tick;
   const double tick_s = tick.seconds();
   const double idle_w = cfg_.cluster.node_idle.watts();
-  const std::size_t k = running_slots_.size();
+  const bool enforce_wt = cfg_.cluster.enforce_walltime;
+  const bool telemetry = cfg_.telemetry != nullptr;
 
-  // Per-span constants, computed with integrate_tick's exact operations
-  // on the frozen discrete state. Same operands, same order: the values
-  // integrate_tick would recompute tick after tick are hoisted, not
-  // approximated.
+  // With no feed the observed intensity IS the ground-truth trace, which
+  // is piecewise-constant per trace segment — hoist the sample and reload
+  // only at segment boundaries instead of per tick. seg_end starts at
+  // now_ to force the first load; it persists across sub-spans (the
+  // trace does not care about completions).
+  const bool hoist_ci = cfg_.feed == nullptr;
+  const util::TimeSeries& trace = *cfg_.carbon_intensity;
+  Duration seg_end = now_;
+  // Check-free chunks need a constant observed intensity and no per-tick
+  // telemetry records (those carry the per-tick timestamp).
+  const bool chunkable = hoist_ci && !telemetry;
+
+  std::size_t n = 0;
+  std::size_t event_ticks = 0;
+  const double budget_w = budget_now_.watts();
+
+  // Sub-span state: hoisted by the full pass below, or patched
+  // incrementally after an in-span completion when the cap provably did
+  // not move (see the incremental re-hoist at the bottom of the loop).
+  std::size_t k = 0;
+  double cap = 1.0;
+  bool violation = false;
+  double tick_energy_j = 0.0;
+  double busy_nodes_total = 0.0;
+  double idle_energy_j = 0.0;
+  double idle_carbon_per_ci = 0.0;
+  double total_carbon_per_ci = 0.0;
+  double system_power_w = 0.0;
+  bool full_hoist = true;
+  bool cap_stable = false;
+
+  // Sync the compacted survivors' integrator columns from the (always
+  // authoritative) scratch accumulators. The in-span event path leaves
+  // survivor columns mid-span stale, so every point where continuous
+  // state may be read — span exit, horizon re-asks, a full re-gather —
+  // scatters first. quiescent_over_release deliberately needs no sync:
+  // its contract is discrete-state-only.
+  const auto scatter = [this](std::size_t count) {
+    for (std::size_t j = 0; j < count; ++j) {
+      const auto i = static_cast<std::size_t>(core_.sp_slot[j]);
+      core_.progress[i] = core_.sp_prog[j];
+      core_.wall_used_s[i] = core_.sp_wall[j];
+      core_.energy_j[i] = core_.sp_en[j];
+      core_.carbon_g[i] = core_.sp_cb[j];
+    }
+  };
+
+  // One iteration per sub-span: hoist constants for the current running
+  // set, integrate flat ticks to the next finish, resolve the finish
+  // in-kernel, re-attest, continue. The loop exits at the horizon / hard
+  // bound, or at the first release the policy reacts to.
+  for (;;) {
+  if (full_hoist) {
+  k = running_slots_.size();
+
+  // Per-sub-span constants, computed with integrate_tick's exact
+  // operations on the frozen discrete state. Same operands, same order:
+  // the values integrate_tick would recompute tick after tick are
+  // hoisted, not approximated.
   double busy_full_w = 0.0;
   double baseline_w = idle_w * static_cast<double>(free_nodes_);
   for (std::size_t j = 0; j < k; ++j) {
@@ -683,8 +752,8 @@ std::size_t Simulator::run_span(Duration span_end, bool ride_arrivals) {
     busy_full_w += static_cast<double>(busy) * core_.eff_power_w[i];
     baseline_w += static_cast<double>(extra) * idle_w;
   }
-  double cap = 1.0;
-  bool violation = false;
+  cap = 1.0;
+  violation = false;
   if (busy_full_w > 0.0 && baseline_w + busy_full_w > budget_now_.watts()) {
     cap = (budget_now_.watts() - baseline_w) / busy_full_w;
     if (cap < cfg_.cluster.min_cap_fraction) {
@@ -696,14 +765,23 @@ std::size_t Simulator::run_span(Duration span_end, bool ride_arrivals) {
     violation = true;  // idle floor alone exceeds the budget
   }
   last_cap_ = cap;
+  // A node release flips its draw between the job term and the idle
+  // floor, moving total demand by at most idle_w per node — nodes *
+  // idle_w across every possible compaction of this set. Slack beyond
+  // that bound (plus a 1 W margin that dwarfs accumulated rounding)
+  // proves the cap stays 1.0 and uncapped through any sequence of
+  // in-span releases, so the per-event cap recompute can be skipped.
+  cap_stable = cap == 1.0 && !violation &&
+               budget_now_.watts() - (baseline_w + busy_full_w) >
+                   static_cast<double>(cfg_.cluster.nodes) * idle_w + 1.0;
 
   // Gather the running set into the compacted scratch columns: per-tick
   // constants (energy, carbon integrand, progress step) plus local
-  // accumulators that scatter back at span exit. Accumulating locally is
-  // bit-identical to accumulating in place — each accumulator receives
-  // the same additions in the same order.
-  double tick_energy_j = 0.0;
-  double busy_nodes_total = 0.0;
+  // accumulators that scatter back at sub-span exit. Accumulating
+  // locally is bit-identical to accumulating in place — each accumulator
+  // receives the same additions in the same order.
+  tick_energy_j = 0.0;
+  busy_nodes_total = 0.0;
   for (std::size_t j = 0; j < k; ++j) {
     const std::size_t i = running_slots_[j];
     const int busy = busy_nodes_of(i);
@@ -725,27 +803,15 @@ std::size_t Simulator::run_span(Duration span_end, bool ride_arrivals) {
     tick_energy_j += job_energy_j;
     busy_nodes_total += static_cast<double>(core_.alloc_nodes[i]) * (tick_s / tick_s);
   }
-  const double idle_energy_j = idle_w * static_cast<double>(free_nodes_) * tick_s;
+  idle_energy_j = idle_w * static_cast<double>(free_nodes_) * tick_s;
   tick_energy_j += idle_energy_j;
-  const double idle_carbon_per_ci = idle_energy_j / 3.6e6;
-  const double total_carbon_per_ci = tick_energy_j / 3.6e6;
-  const double system_power_w = tick_energy_j / tick_s;
-  const double budget_w = budget_now_.watts();
-  const bool enforce_wt = cfg_.cluster.enforce_walltime;
-  const bool telemetry = cfg_.telemetry != nullptr;
+  idle_carbon_per_ci = idle_energy_j / 3.6e6;
+  total_carbon_per_ci = tick_energy_j / 3.6e6;
+  system_power_w = tick_energy_j / tick_s;
+  }
+  full_hoist = true;
 
-  // With no feed the observed intensity IS the ground-truth trace, which
-  // is piecewise-constant per trace segment — hoist the sample and reload
-  // only at segment boundaries instead of per tick. seg_end starts at
-  // now_ to force the first load.
-  const bool hoist_ci = cfg_.feed == nullptr;
-  const util::TimeSeries& trace = *cfg_.carbon_intensity;
-  Duration seg_end = now_;
-  // Check-free chunks need a constant observed intensity and no per-tick
-  // telemetry records (those carry the per-tick timestamp).
-  const bool chunkable = hoist_ci && !telemetry;
-
-  std::size_t n = 0;
+  bool event = false;
   while (now_ < span_end) {
     // Arrival-riding: the policy attested (quiescent_over_arrivals) that
     // back-of-queue arrivals cannot change its decisions mid-span, so the
@@ -761,13 +827,14 @@ std::size_t Simulator::run_span(Duration span_end, bool ride_arrivals) {
       }
     }
     // Exit checks run BEFORE this tick is observed or integrated: the
-    // per-tick path replays the event tick in full (analytic mid-tick
-    // completion, walltime clamp, feed observation).
-    bool event = false;
+    // tick an event lands in leaves the flat loop and is resolved below
+    // by the exact integrate path (analytic mid-tick completion,
+    // walltime clamp, feed observation).
+    event = false;
     for (std::size_t j = 0; j < k; ++j) {
       event |= core_.sp_rp[j] > 0.0 && core_.sp_prog[j] + core_.sp_rp[j] >= 1.0;
     }
-    if (enforce_wt) {
+    if (enforce_wt && !event) {
       for (std::size_t j = 0; j < k; ++j) {
         event |= core_.sp_wl[j] - core_.sp_wall[j] <= tick_s;
       }
@@ -829,7 +896,11 @@ std::size_t Simulator::run_span(Duration span_end, bool ride_arrivals) {
           t = std::min(t, tw > 0.0 ? static_cast<long>(tw) : 0L);
         }
       }
-      if (t >= 4) {
+      // Engage for any t >= 1: the limit computation is already paid by
+      // this point, and a chunked tick is strictly cheaper than the
+      // checked fall-through below (which would recompute the limit on
+      // the very next tick).
+      if (t >= 1) {
         for (long s = 0; s < t; ++s) {
           for (std::size_t j = 0; j < k; ++j) {
             core_.sp_prog[j] += core_.sp_rp[j];
@@ -890,18 +961,296 @@ std::size_t Simulator::run_span(Duration span_end, bool ride_arrivals) {
     now_ += tick;
     ++n;
   }
-  // Scatter the local accumulators back to the slot columns.
+  if (!event || !cfg_.span_completions) {
+    // Span exit (horizon / bound reached, or fencing mode where the
+    // per-tick path replays the event tick): scatter the local
+    // accumulators back to the slot columns. The in-span event path
+    // skips this — its fused pass below finalizes the leavers' columns
+    // itself and keeps the survivors scratch-resident, so the
+    // intermediate pre-tick sync would be dead stores.
+    scatter(k);
+    break;
+  }
+
+  // --- in-span event tick (analytic) -----------------------------------
+  // The tick a completion or walltime kill lands in replays
+  // integrate_tick's exact per-tick sequence — same expressions, same
+  // operand order — fused with the order-preserving compaction of the
+  // running lists AND of the scratch columns, so the kernel continues
+  // without a full re-gather. The cap is the hoisted one: integrate_tick
+  // would recompute it from the same frozen discrete state, hence
+  // bit-identically. Arrivals due at this tick were already pushed above
+  // when riding; when not riding, span_end is bounded by the next
+  // arrival so none are due. Faults, repairs and requeue releases cannot
+  // occur before hard_end, and the policy's quiescence attestation
+  // covers this tick (< span_end <= horizon), so skipping on_tick is
+  // exact. The per-job branches read scratch — authoritative since the
+  // last gather. Leavers get their columns finalized here (their scratch
+  // rows are recycled by the compaction); survivors advance in scratch
+  // only and their columns catch up at the next scatter point.
+  if (hoist_ci) {
+    if (now_ >= seg_end) {
+      // Segment boundary falls on the event tick: load the fresh sample
+      // (same call the flat loop would make; seg_end stays put so the
+      // next sub-span recomputes the segment bound).
+      ci_true_ = trace.sample_at_clamped(now_, ci_cursor_);
+      ci_now_ = ci_true_;
+      staleness_ = seconds(0.0);
+    }
+  } else {
+    observe_intensity();
+  }
+  // Next sub-span totals, accumulated over the survivors in compacted
+  // order — the same additions in the same order the re-hoist's totals
+  // rebuild would perform, so using them is bit-identical.
+  double next_energy_j = 0.0;
+  double next_busy_nodes = 0.0;
+  {
+  const double ci = ci_true_;
+  double ev_energy_j = 0.0;
+  double ev_busy_nodes = 0.0;
+  bool any_finished = false;
+  std::size_t w = 0;
   for (std::size_t j = 0; j < k; ++j) {
     const auto i = static_cast<std::size_t>(core_.sp_slot[j]);
-    core_.progress[i] = core_.sp_prog[j];
-    core_.wall_used_s[i] = core_.sp_wall[j];
-    core_.energy_j[i] = core_.sp_en[j];
-    core_.carbon_g[i] = core_.sp_cb[j];
+    JobSlot& s = slots_[i];
+    bool done = false;
+    if (core_.sp_rp[j] > 0.0 && core_.sp_prog[j] + core_.sp_rp[j] >= 1.0) {
+      // Analytic mid-tick completion: dt, energy and carbon from the
+      // recomputed rate and draw (same inputs and expressions as
+      // integrate_tick's, so bit-identical values).
+      const int busy = busy_nodes_of(i);
+      const int extra = core_.alloc_nodes[i] - busy;
+      const double speed = cap_speed(i, cap) * scale_factor(i);
+      const double rate = speed / core_.runtime_s[i];
+      const double draw_w = static_cast<double>(busy) * core_.eff_power_w[i] * cap +
+                            static_cast<double>(extra) * idle_w;
+      const double dt = (1.0 - core_.sp_prog[j]) / rate;
+      core_.progress[i] = 1.0;
+      s.info.phase = JobPhase::Done;
+      s.info.finish = now_ + seconds(dt);
+      core_.wall_used_s[i] = core_.sp_wall[j] + dt;
+      const double job_energy_j = draw_w * dt;
+      core_.energy_j[i] = core_.sp_en[j] + job_energy_j;
+      core_.carbon_g[i] = core_.sp_cb[j] + job_energy_j / 3.6e6 * ci;
+      ev_energy_j += job_energy_j;
+      ev_busy_nodes += static_cast<double>(core_.alloc_nodes[i]) * (dt / tick_s);
+      done = true;
+    } else {
+      bool killed = false;
+      double dt = tick_s;
+      if (enforce_wt) {
+        const double remaining_wall = core_.sp_wl[j] - core_.sp_wall[j];
+        if (remaining_wall <= tick_s) {
+          dt = std::max(0.0, remaining_wall);
+          killed = true;
+        }
+      }
+      if (killed) {
+        // Walltime clamp: the clock only runs while the job executes.
+        const int busy = busy_nodes_of(i);
+        const int extra = core_.alloc_nodes[i] - busy;
+        const double speed = cap_speed(i, cap) * scale_factor(i);
+        const double rate = speed / core_.runtime_s[i];
+        const double draw_w = static_cast<double>(busy) * core_.eff_power_w[i] * cap +
+                              static_cast<double>(extra) * idle_w;
+        s.info.phase = JobPhase::Done;
+        s.info.killed = true;
+        s.info.finish = now_ + seconds(dt);
+        ++result_.walltime_kills;
+        ++pending_kills_;  // batched: flushed once per span / tick
+        core_.progress[i] = core_.sp_prog[j] + rate * dt;
+        core_.wall_used_s[i] = core_.sp_wall[j] + dt;
+        const double job_energy_j = draw_w * dt;
+        core_.energy_j[i] = core_.sp_en[j] + job_energy_j;
+        core_.carbon_g[i] = core_.sp_cb[j] + job_energy_j / 3.6e6 * ci;
+        ev_energy_j += job_energy_j;
+        ev_busy_nodes += static_cast<double>(core_.alloc_nodes[i]) * (dt / tick_s);
+        done = true;
+      } else {
+        // Survivor: the flat-tick update (bit-identical to the one
+        // integrate_tick would recompute), kept scratch-resident — the
+        // columns catch up at the next scatter point; compaction keeps
+        // the relative order.
+        const double prog = core_.sp_prog[j] + core_.sp_rp[j];
+        const double wall = core_.sp_wall[j] + tick_s;
+        const double en = core_.sp_en[j] + core_.sp_ej[j];
+        const double cb = core_.sp_cb[j] + core_.sp_dj[j] * ci;
+        const double bn = static_cast<double>(core_.alloc_nodes[i]) * (tick_s / tick_s);
+        ev_energy_j += core_.sp_ej[j];
+        ev_busy_nodes += bn;
+        next_energy_j += core_.sp_ej[j];
+        next_busy_nodes += bn;
+        core_.sp_prog[w] = prog;
+        core_.sp_wall[w] = wall;
+        core_.sp_en[w] = en;
+        core_.sp_cb[w] = cb;
+        if (w != j) {
+          core_.sp_slot[w] = core_.sp_slot[j];
+          core_.sp_ej[w] = core_.sp_ej[j];
+          core_.sp_dj[w] = core_.sp_dj[j];
+          core_.sp_rp[w] = core_.sp_rp[j];
+          core_.sp_wl[w] = core_.sp_wl[j];
+          s.list_pos = static_cast<std::int32_t>(w);
+          running_[w] = running_[j];
+          running_slots_[w] = i;
+        }
+        ++w;
+      }
+    }
+    if (done) {
+      any_finished = true;
+      free_nodes_ += core_.alloc_nodes[i];
+      core_.alloc_nodes[i] = 0;
+      s.queue = Queue::None;
+      s.list_pos = -1;
+      result_.makespan = std::max(result_.makespan, s.info.finish);
+      if (!s.info.killed) {
+        ++result_.completed_jobs;
+        ++pending_completions_;  // batched: flushed once per span / tick
+      }
+    }
   }
+  if (any_finished) ++epoch_;
+  running_.resize(w);
+  running_slots_.resize(w);
+  k = w;
+
+  // End-of-tick idle term uses the post-release free count, exactly as
+  // integrate_tick does.
+  const double ev_idle_j = idle_w * static_cast<double>(free_nodes_) * tick_s;
+  ev_energy_j += ev_idle_j;
+  result_.idle_energy += joules(ev_idle_j);
+  result_.idle_carbon += grams_co2(ev_idle_j / 3.6e6 * ci);
+  result_.total_energy += joules(ev_energy_j);
+  result_.total_carbon += grams_co2(ev_energy_j / 3.6e6 * ci);
+  if (violation) ++result_.budget_violations;
+  result_.system_power.push_back(ev_energy_j / tick_s);
+  result_.power_budget.push_back(budget_w);
+  result_.carbon_intensity.push_back(ci);
+  result_.busy_nodes.push_back(ev_busy_nodes);
+  if (telemetry) {
+    cfg_.telemetry->record("system.power", now_, ev_energy_j / tick_s);
+    cfg_.telemetry->record("system.budget", now_, budget_w);
+    cfg_.telemetry->record("system.ci", now_, ci);
+    cfg_.telemetry->record("system.busy_nodes", now_, ev_busy_nodes);
+    if (cfg_.faults.enabled()) {
+      cfg_.telemetry->record("system.nodes_down", now_,
+                             static_cast<double>(nodes_down_));
+    }
+    if (cfg_.feed != nullptr) {
+      cfg_.telemetry->record("system.ci_observed", now_, ci_now_);
+      cfg_.telemetry->record("system.ci_staleness", now_, staleness_.seconds());
+    }
+  }
+  }
+  ci_history_.push_back(ci_now_);
+  now_ += tick;
+  ++n;
+  ++event_ticks;
+
+  if (running_.empty() || now_ >= hard_end) {
+    // Drained, or a fault/repair/requeue event is due.
+    scatter(k);
+    break;
+  }
+  // Release-reaction fencing: continue only if the policy attests that
+  // on_tick at the post-release state would take no action for the rest
+  // of the attested window. This is a discrete-state-only question by
+  // contract, so the stale survivor columns are not an obstacle.
+  if (!sched.quiescent_over_release(*this)) {
+    scatter(k);
+    break;
+  }
+  // Riding attested before the release can be invalidated by it — e.g.
+  // EASY rides arrivals only with zero free nodes, and the release just
+  // freed some. Re-confirm (a discrete-state-only question, same stale-
+  // view terms as quiescent_over_release); when riding flips off,
+  // re-bound the window by the next submission.
+  if (ride_arrivals && !sched.quiescent_over_arrivals(*this)) {
+    ride_arrivals = false;
+    if (next_arrival_ < arrival_order_.size()) {
+      span_end = std::min(span_end,
+                          slots_[arrival_order_[next_arrival_]].spec->submit);
+    }
+  }
+  if (now_ >= span_end) {
+    // Original window exhausted at the event: sync the columns — the
+    // horizon questions may read continuous state — and try to extend
+    // the span under a freshly attested horizon (a completion often
+    // EXTENDS it: e.g. EASY's earliest projected end moves later when
+    // the finished job leaves the release schedule).
+    scatter(k);
+    const Duration horizon = sched.quiescent_until(*this);
+    if (horizon <= now_) break;
+    const bool all_arrived = next_arrival_ == arrival_order_.size();
+    ride_arrivals = !all_arrived && sched.quiescent_over_arrivals(*this);
+    span_end = std::min(horizon, hard_end);
+    if (!all_arrived && !ride_arrivals) {
+      span_end = std::min(span_end,
+                          slots_[arrival_order_[next_arrival_]].spec->submit);
+    }
+    if (span_end <= now_) break;
+  }
+
+  // Incremental re-hoist: recompute the cap over the compacted running
+  // set (same expressions as the full hoist). When it lands on exactly
+  // the old cap — the common case without a power budget, where both
+  // are 1.0 — every per-job scratch constant is provably unchanged
+  // (same cap, same per-job state), so the whole-tick totals come
+  // straight from the event pass's fused accumulators and the full
+  // gather is skipped. A moved cap falls back to the full hoist at the
+  // top of the loop. When the full hoist proved the cap stable across
+  // releases (cap_stable), even the recompute is skipped.
+  {
+    double ncap = 1.0;
+    bool nviol = false;
+    if (!cap_stable) {
+      double busy_full_w = 0.0;
+      double baseline_w = idle_w * static_cast<double>(free_nodes_);
+      for (std::size_t j = 0; j < k; ++j) {
+        const std::size_t i = running_slots_[j];
+        const int busy = busy_nodes_of(i);
+        const int extra = core_.alloc_nodes[i] - busy;
+        busy_full_w += static_cast<double>(busy) * core_.eff_power_w[i];
+        baseline_w += static_cast<double>(extra) * idle_w;
+      }
+      if (busy_full_w > 0.0 && baseline_w + busy_full_w > budget_now_.watts()) {
+        ncap = (budget_now_.watts() - baseline_w) / busy_full_w;
+        if (ncap < cfg_.cluster.min_cap_fraction) {
+          ncap = cfg_.cluster.min_cap_fraction;
+          nviol = true;
+        }
+        ncap = std::min(ncap, 1.0);
+      } else if (busy_full_w == 0.0 && baseline_w > budget_now_.watts()) {
+        nviol = true;
+      }
+    }
+    if (ncap == cap) {
+      last_cap_ = ncap;
+      violation = nviol;
+      tick_energy_j = next_energy_j;
+      busy_nodes_total = next_busy_nodes;
+      idle_energy_j = idle_w * static_cast<double>(free_nodes_) * tick_s;
+      tick_energy_j += idle_energy_j;
+      idle_carbon_per_ci = idle_energy_j / 3.6e6;
+      total_carbon_per_ci = tick_energy_j / 3.6e6;
+      system_power_w = tick_energy_j / tick_s;
+      full_hoist = false;
+    } else {
+      // Cap moved: the loop re-runs the full hoist, whose gather reads
+      // the columns — bring the survivors' columns up to date first
+      // (idempotent if the window-extension path already did).
+      scatter(k);
+    }
+  }
+  }  // for (;;) — next sub-span continues over the compacted running set
   if (n > 0) {
     span_ticks.add(n);
     spans_counter.add();
   }
+  if (event_ticks > 0) span_event_ticks.add(event_ticks);
+  flush_job_counters();
   return n;
 }
 
@@ -952,8 +1301,10 @@ SimulationResult Simulator::run(SchedulingPolicy& sched, PowerBudgetPolicy* powe
       // Span batch kernel: the scheduler saw exactly this discrete state
       // last tick and did nothing (epoch check), and attests it stays
       // quiescent up to a horizon. Integrate to the horizon or the next
-      // discrete event (arrival, fault, repair, requeue release) in one
-      // flat kernel; completions/kills end the span from inside.
+      // discrete event in one flat kernel; completions and walltime
+      // kills are resolved inside (with release-reaction fencing), while
+      // fault events, repairs and requeue releases bound the span hard —
+      // nothing the kernel does can create or move one of those.
       else if (epoch_ == epoch_before_sched_) {
         const Duration horizon = sched.quiescent_until(*this);
         if (horizon > now_) {
@@ -962,23 +1313,25 @@ SimulationResult Simulator::run(SchedulingPolicy& sched, PowerBudgetPolicy* powe
           // the pending queue at their exact ticks instead.
           const bool ride =
               !all_arrived && sched.quiescent_over_arrivals(*this);
-          Duration span_end = std::min(horizon, cfg_.max_time);
+          Duration hard_end = cfg_.max_time;
+          if (next_failure_ < cfg_.faults.events.size()) {
+            hard_end = std::min(hard_end, cfg_.faults.events[next_failure_].time);
+          }
+          for (const Duration r : repairs_) hard_end = std::min(hard_end, r);
+          for (const JobId id : requeued_) {
+            hard_end = std::min(hard_end, slots_[slot_index(id)].info.requeue_ready);
+          }
+          Duration span_end = std::min(horizon, hard_end);
           if (!all_arrived && !ride) {
             span_end = std::min(
                 span_end, slots_[arrival_order_[next_arrival_]].spec->submit);
           }
-          if (next_failure_ < cfg_.faults.events.size()) {
-            span_end = std::min(span_end, cfg_.faults.events[next_failure_].time);
-          }
-          for (const Duration r : repairs_) span_end = std::min(span_end, r);
-          for (const JobId id : requeued_) {
-            span_end = std::min(span_end, slots_[slot_index(id)].info.requeue_ready);
-          }
           if (span_end > now_) {
             budget_now_ = cfg_.cluster.max_power();
-            if (run_span(span_end, ride) > 0) continue;
-            // 0 ticks: an event lands in the very first tick — take the
-            // per-tick path below so it is handled exactly.
+            if (run_span(sched, hard_end, span_end, ride) > 0) continue;
+            // 0 ticks: an event lands in the very first tick with
+            // span_completions off — take the per-tick path below so it
+            // is handled exactly.
           }
         }
       }
@@ -1002,6 +1355,7 @@ SimulationResult Simulator::run(SchedulingPolicy& sched, PowerBudgetPolicy* powe
       GREENHPC_TRACE_SPAN("sim.integrate");
       integrate_tick();
     }
+    flush_job_counters();
     ci_history_.push_back(ci_now_);
     now_ += tick;
     ticks_counter.add();

@@ -89,6 +89,16 @@ class Simulator final : public SimulationView {
     /// bit-identical by construction; this knob exists so the
     /// equivalence property test (and debugging sessions) can prove it.
     bool reference_mode = false;
+    /// Resolve completions and walltime kills inside the span batch
+    /// kernel (the default): the event tick runs the exact integrate
+    /// path in-kernel, and the span continues when the policy attests
+    /// the release changes nothing (SchedulingPolicy::
+    /// quiescent_over_release). false restores the previous fencing
+    /// behaviour — every completion terminates the span and the per-tick
+    /// path replays the event tick — which is what bench_perf's dense
+    /// scale compares against. Both settings are bit-identical to the
+    /// reference loop.
+    bool span_completions = true;
   };
 
   /// The job list need not be sorted; it is indexed by JobId internally.
@@ -205,15 +215,27 @@ class Simulator final : public SimulationView {
   /// Span batch kernel: integrate ticks in [now, span_end) in one flat
   /// loop over the running set, entered only when the scheduler took no
   /// action at the current discrete state (epoch check) and attests
-  /// quiescence (SchedulingPolicy::quiescent_until), and no arrival,
-  /// fault event, repair or requeue release falls inside the span. The
+  /// quiescence (SchedulingPolicy::quiescent_until), and no fault
+  /// event, repair or requeue release falls before hard_end. The
   /// per-tick constants (cap, per-job draw/rate, totals) are hoisted
-  /// once; every accumulator receives the same additions in the same
-  /// order as the per-tick path, so results are bit-identical. Exits
-  /// before the first tick a completion or walltime kill would land in;
-  /// the per-tick path replays that tick in full. Returns the number of
-  /// ticks integrated (0 when an event lands in the very first tick).
-  std::size_t run_span(Duration span_end, bool ride_arrivals);
+  /// once per sub-span; every accumulator receives the same additions in
+  /// the same order as the per-tick path, so results are bit-identical.
+  /// A tick a completion or walltime kill lands in is resolved inside
+  /// the kernel (cfg_.span_completions): the scratch columns scatter
+  /// back and the exact integrate_tick runs — analytic mid-tick finish,
+  /// node release, record emission, order-preserving compaction — then
+  /// the span continues iff the policy attests the release changed
+  /// nothing (quiescent_over_release) under a re-asked horizon, and
+  /// fences back to the per-tick path otherwise. hard_end caps every
+  /// re-bound horizon (fault/repair/requeue/max_time events can never be
+  /// crossed). Returns the number of ticks integrated (0 only when an
+  /// event lands in the very first tick with span_completions off).
+  std::size_t run_span(SchedulingPolicy& sched, Duration hard_end,
+                       Duration span_end, bool ride_arrivals);
+  /// Flush the span-local per-completion counter batches to the obs
+  /// registry (one add(n) per span instead of one atomic add per
+  /// completion; see DESIGN.md).
+  void flush_job_counters();
 
   // --- fault machinery (all no-ops with an empty failure schedule) ---
   /// Return repaired nodes to service, apply due failure events, release
@@ -272,6 +294,12 @@ class Simulator final : public SimulationView {
   /// and did nothing.
   std::uint64_t epoch_ = 0;
   std::uint64_t epoch_before_sched_ = ~std::uint64_t{0};
+
+  /// Batched obs-counter deltas (per-completion events accumulate here
+  /// and flush in one relaxed add per span / per tick). Never read by
+  /// simulation logic — digest-neutral by construction.
+  std::uint32_t pending_completions_ = 0;
+  std::uint32_t pending_kills_ = 0;
 
   SimulationResult result_;
   bool ran_ = false;

@@ -25,6 +25,8 @@ WorkloadGenerator::WorkloadGenerator(WorkloadConfig config, std::uint64_t seed)
                    "checkpointable fraction must be in [0,1]");
   GREENHPC_REQUIRE(cfg_.diurnal_amplitude >= 0.0 && cfg_.diurnal_amplitude < 1.0,
                    "diurnal amplitude must be in [0,1)");
+  GREENHPC_REQUIRE(cfg_.arrival_quantum.seconds() >= 0.0,
+                   "arrival quantum must be >= 0");
   GREENHPC_REQUIRE(cfg_.mpi_wait_mean >= 0.0 && cfg_.mpi_wait_mean <= 0.45,
                    "mpi wait mean must be in [0, 0.45]");
   GREENHPC_REQUIRE(cfg_.powersave_adoption >= 0.0 && cfg_.powersave_adoption <= 1.0,
@@ -41,7 +43,11 @@ Duration WorkloadGenerator::draw_submit_time() {
     const double weight =
         1.0 + cfg_.diurnal_amplitude *
                   std::cos(2.0 * std::numbers::pi * (hour - 14.0) / 24.0);
-    if (rng_.uniform() * (1.0 + cfg_.diurnal_amplitude) <= weight) return seconds(t);
+    if (rng_.uniform() * (1.0 + cfg_.diurnal_amplitude) <= weight) {
+      const double q = cfg_.arrival_quantum.seconds();
+      if (q > 0.0) return seconds(std::floor(t / q) * q);
+      return seconds(t);
+    }
   }
 }
 

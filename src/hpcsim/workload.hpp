@@ -24,6 +24,13 @@ struct WorkloadConfig {
   Duration span = days(7.0);
   /// Relative strength of the working-hours submission peak (0 = uniform).
   double diurnal_amplitude = 0.5;
+  /// Non-zero quantizes submit times DOWN to multiples of this duration,
+  /// turning the diurnal stream into synchronized arrival waves with long
+  /// arrival-free gaps between them (the completion-bound regime the span
+  /// kernel exploits). Zero leaves the continuous stream untouched — the
+  /// RNG draw sequence is identical either way, so existing seeds and
+  /// cached workloads are unaffected when the knob is off.
+  Duration arrival_quantum = seconds(0.0);
 
   /// Per-job natural size is log-uniform in [1, max_job_nodes].
   int max_job_nodes = 128;

@@ -49,6 +49,19 @@ void PeriodicCheckpointPolicy::on_tick(hpcsim::SimulationView& view) {
   }
 }
 
+bool PeriodicCheckpointPolicy::quiescent_over_release(
+    const hpcsim::SimulationView& view) const {
+  const hpcsim::JobTable& t = view.job_table();
+  for (hpcsim::JobId id : view.running_jobs()) {
+    const std::size_t i = view.slot_of(id);
+    if (t.checkpointable[i] == 0 || t.ckpt_overhead_s[i] <= 0.0) continue;
+    if (view.now() - seconds(t.last_checkpoint_s[i]) >= interval_for(view.spec(id))) {
+      return false;  // on_tick would checkpoint this job right now
+    }
+  }
+  return inner_.quiescent_over_release(view);
+}
+
 Duration PeriodicCheckpointPolicy::quiescent_until(
     const hpcsim::SimulationView& view) const {
   Duration horizon = inner_.quiescent_until(view);

@@ -58,6 +58,13 @@ class PeriodicCheckpointPolicy final : public hpcsim::SchedulingPolicy {
     return inner_.quiescent_over_arrivals(view);
   }
 
+  /// A release never moves a checkpoint clock, but on_tick checkpoints
+  /// any running job whose interval elapsed by now — so attest only when
+  /// no checkpoint is due at the post-release tick, then defer to the
+  /// inner policy's release attestation.
+  [[nodiscard]] bool quiescent_over_release(
+      const hpcsim::SimulationView& view) const override;
+
   /// Young's interval sqrt(2 * overhead * node_mtbf / nodes) for a job
   /// spanning `nodes` nodes.
   [[nodiscard]] static Duration young_daly_interval(Duration overhead,

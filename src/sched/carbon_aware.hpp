@@ -75,6 +75,16 @@ class CarbonAwareEasyScheduler final : public hpcsim::SchedulingPolicy {
     return view.free_nodes() == 0;
   }
 
+  /// After an in-span release the green gate would re-examine the queue
+  /// against the freed nodes, so the only provable no-op is an empty
+  /// pending queue (on_tick returns before touching any state). A
+  /// release always leaves free_nodes() > 0, so the zero-free shortcut
+  /// that quiescent_until relies on never applies here.
+  [[nodiscard]] bool quiescent_over_release(
+      const hpcsim::SimulationView& view) const override {
+    return view.pending_jobs().empty();
+  }
+
   /// Green threshold currently in force (for tests and reporting).
   /// Recomputes from scratch; the tick loop uses the incremental twin
   /// below, which returns bit-identical values.

@@ -69,6 +69,21 @@ class CheckpointDecorator final : public hpcsim::SchedulingPolicy {
     return inner_->quiescent_over_arrivals(view);
   }
 
+  /// A node release cannot create a suspend/resume opportunity: resumes
+  /// need a suspended job and suspends need a running checkpointable
+  /// one, and a release produces neither. Re-check both guards against
+  /// the post-release state (they also gated span entry), then the inner
+  /// policy's own release attestation is the binding one.
+  [[nodiscard]] bool quiescent_over_release(
+      const hpcsim::SimulationView& view) const override {
+    if (!view.suspended_jobs().empty()) return false;
+    const hpcsim::JobTable& t = view.job_table();
+    for (const hpcsim::JobId id : view.running_jobs()) {
+      if (t.checkpointable[view.slot_of(id)] != 0) return false;
+    }
+    return inner_->quiescent_over_release(view);
+  }
+
  private:
   [[nodiscard]] double quantile_threshold(const hpcsim::SimulationView& view,
                                           double quantile) const;
@@ -109,6 +124,10 @@ class MalleableDecorator final : public hpcsim::SchedulingPolicy {
       const hpcsim::SimulationView& view) const override {
     return inner_->quiescent_over_arrivals(view);
   }
+
+  // quiescent_over_release intentionally stays the default (false): a
+  // release creates headroom that on_tick would grow malleable jobs
+  // into, so every in-span release must fence the span here.
 
  private:
   Config cfg_;

@@ -157,6 +157,28 @@ void EasyBackfillScheduler::on_tick(hpcsim::SimulationView& view) {
   if (!scratch_.empty()) easy_pass(view, scratch_, shrink_moldable_, &releases_);
 }
 
+bool EasyBackfillScheduler::quiescent_over_release(
+    const hpcsim::SimulationView& view) const {
+  const std::vector<hpcsim::JobId>& pending = view.pending_jobs();
+  if (pending.empty()) return true;
+  const int free = view.free_nodes();
+  if (free == 0) return true;
+  const hpcsim::JobTable& t = view.job_table();
+  for (const hpcsim::JobId id : pending) {
+    const std::size_t i = view.slot_of(id);
+    // Smallest allocation any phase could attempt: the natural size, or
+    // the moldable floor when shrinking is on (shrink_to_fit never goes
+    // below min_nodes). A job whose minimum exceeds the free count
+    // cannot be started by the head pass or by backfill.
+    int minimal = start_nodes(t, i);
+    if (shrink_moldable_ && t.kind[i] == hpcsim::JobKind::Moldable) {
+      minimal = std::min(minimal, t.min_nodes[i]);
+    }
+    if (minimal <= free) return false;
+  }
+  return true;
+}
+
 Duration EasyBackfillScheduler::quiescent_until(
     const hpcsim::SimulationView& view) const {
   if (view.pending_jobs().empty()) return hpcsim::quiescent_forever();

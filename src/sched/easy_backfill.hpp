@@ -96,6 +96,14 @@ class EasyBackfillScheduler final : public hpcsim::SchedulingPolicy {
     return view.free_nodes() == 0;
   }
 
+  /// After an in-span release, the EASY pass acts iff some pending job's
+  /// minimal feasible size fits the freed capacity (head start, or any
+  /// backfill candidate — the shadow/spare tests only further restrict).
+  /// When every pending job still needs more than free_nodes(), all
+  /// three phases are proven no-ops and the span may continue.
+  [[nodiscard]] bool quiescent_over_release(
+      const hpcsim::SimulationView& view) const override;
+
  private:
   bool shrink_moldable_;
   ReleaseCache releases_;

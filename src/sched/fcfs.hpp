@@ -40,6 +40,17 @@ class FcfsScheduler final : public hpcsim::SchedulingPolicy {
       const hpcsim::SimulationView& view) const override {
     return !view.pending_jobs().empty();
   }
+
+  /// After an in-span node release, FCFS acts iff the queue head now
+  /// fits: on_tick is a pure head-fits loop, so an empty queue or a head
+  /// needing more than the (post-release) free count is a proven no-op.
+  [[nodiscard]] bool quiescent_over_release(
+      const hpcsim::SimulationView& view) const override {
+    const std::vector<hpcsim::JobId>& pending = view.pending_jobs();
+    if (pending.empty()) return true;
+    const hpcsim::JobTable& t = view.job_table();
+    return start_nodes(t, view.slot_of(pending.front())) > view.free_nodes();
+  }
 };
 
 }  // namespace greenhpc::sched

@@ -3,12 +3,16 @@
 // The simulator's hot path (SoA span batch kernel, check-free chunks,
 // arrival riding, idle fast-forward, segment-hoisted intensity sampling)
 // claims to be bit-identical to the tick-exact reference loop. The golden
-// fixture pins three specific runs; this test proves the claim across a
+// fixture pins four specific runs; this test proves the claim across a
 // randomized family of small scenarios: for each sampled (workload,
-// scheduler, faults) combination the simulation runs twice — once with
-// Config::reference_mode forcing the per-tick path, once with the fast
-// paths enabled — and the two SimulationResults must match field by
-// field, every double compared by bit pattern.
+// scheduler, faults) combination the simulation runs three times — with
+// Config::reference_mode forcing the per-tick path, with every fast path
+// enabled (in-span completion kernel included), and with
+// Config::span_completions off (per-event fencing, the PR 7 behaviour) —
+// and the three SimulationResults must match field by field, every
+// double compared by bit pattern. The completion-dense "waves" combos
+// (hourly arrival quanta, small jobs, short tick) drive thousands of
+// finishes through the in-span event tick specifically.
 
 #include <gtest/gtest.h>
 
@@ -111,6 +115,11 @@ struct Combo {
   int jobs;
   double span_days;  // dense (short) vs sparse (long, exercises idle-ff)
   bool faults;
+  // Completion-dense regime: hourly arrival waves of small short jobs at
+  // a fine tick, so spans resolve many finishes via the in-span event
+  // tick (releases, record emission, survivor compaction) rather than
+  // integrating quietly to the horizon.
+  bool waves = false;
 };
 
 std::unique_ptr<hpcsim::SchedulingPolicy> make_scheduler(const std::string& name) {
@@ -132,23 +141,25 @@ std::unique_ptr<hpcsim::SchedulingPolicy> make_scheduler(const std::string& name
   return nullptr;
 }
 
-hpcsim::SimulationResult run_once(const Combo& combo, bool reference_mode) {
+hpcsim::SimulationResult run_once(const Combo& combo, bool reference_mode,
+                                  bool span_completions) {
   core::ScenarioConfig sc;
   sc.cluster.nodes = combo.nodes;
   sc.cluster.node_tdp = watts(500.0);
   sc.cluster.node_idle = watts(110.0);
-  sc.cluster.tick = minutes(2.0);
+  sc.cluster.tick = combo.waves ? seconds(30.0) : minutes(2.0);
   sc.region = carbon::Region::Germany;
   sc.trace_span = days(combo.span_days + 4.0);
   sc.trace_step = minutes(15.0);
   sc.workload.job_count = combo.jobs;
   sc.workload.span = days(combo.span_days);
-  sc.workload.max_job_nodes = combo.nodes / 2;
+  sc.workload.max_job_nodes = combo.waves ? 2 : combo.nodes / 2;
   sc.workload.runtime_mean = hours(2.0);
   sc.workload.node_power_mean = watts(420.0);
   sc.workload.node_power_limit = watts(500.0);
   sc.workload.checkpointable_fraction = 0.5;
   sc.workload.moldable_fraction = 0.2;
+  if (combo.waves) sc.workload.arrival_quantum = hours(1.0);
   sc.seed = combo.seed;
   const core::ScenarioRunner runner(sc);
 
@@ -156,6 +167,7 @@ hpcsim::SimulationResult run_once(const Combo& combo, bool reference_mode) {
   cfg.cluster = runner.config().cluster;
   cfg.carbon_intensity = runner.trace();
   cfg.reference_mode = reference_mode;
+  cfg.span_completions = span_completions;
   if (combo.faults) {
     for (int k = 0; k < 10; ++k) {
       cfg.faults.events.push_back(
@@ -185,10 +197,19 @@ class FastPathEquivalence : public ::testing::TestWithParam<Combo> {};
 
 TEST_P(FastPathEquivalence, ReferenceAndFastPathsMatchBitForBit) {
   const Combo& combo = GetParam();
-  const auto ref = run_once(combo, /*reference_mode=*/true);
-  const auto fast = run_once(combo, /*reference_mode=*/false);
+  const auto ref = run_once(combo, /*reference_mode=*/true,
+                            /*span_completions=*/true);
+  const auto fast = run_once(combo, /*reference_mode=*/false,
+                             /*span_completions=*/true);
+  const auto fenced = run_once(combo, /*reference_mode=*/false,
+                               /*span_completions=*/false);
   EXPECT_GT(ref.completed_jobs, 0);
   expect_equivalent(ref, fast);
+  if (::testing::Test::HasFailure()) return;
+  // The per-event fencing engine must agree too: a divergence here with
+  // ref==fast passing would finger the in-span completion kernel's
+  // fenced fallback path rather than the kernel itself.
+  expect_equivalent(ref, fenced);
 }
 
 std::string combo_name(const ::testing::TestParamInfo<Combo>& info) {
@@ -197,7 +218,8 @@ std::string combo_name(const ::testing::TestParamInfo<Combo>& info) {
     if (c == '-' || c == '+') c = '_';
   }
   s += info.param.faults ? "_faults" : "_clean";
-  s += info.param.span_days < 1.0 ? "_dense" : "_sparse";
+  s += info.param.waves ? "_waves"
+                        : (info.param.span_days < 1.0 ? "_dense" : "_sparse");
   s += "_s" + std::to_string(info.param.seed);
   return s;
 }
@@ -219,7 +241,15 @@ INSTANTIATE_TEST_SUITE_P(
         // Checkpoint layers bound the span horizon from the policy side.
         Combo{"easy+ydckpt", 51, 32, 80, 0.5, false},
         Combo{"easy+ydckpt", 52, 16, 40, 4.0, true},
-        Combo{"ckpt-dec", 61, 32, 80, 0.5, false}),
+        Combo{"ckpt-dec", 61, 32, 80, 0.5, false},
+        // Completion-dense waves: hourly arrival quanta of small short
+        // jobs at a 30 s tick — spans resolve runs of finishes through
+        // the in-span event tick (release + quiescent_over_release
+        // attestation + arrival-riding re-ask on every release).
+        Combo{"fcfs", 71, 64, 260, 0.5, false, true},
+        Combo{"easy", 72, 64, 260, 0.5, true, true},
+        Combo{"carbon-easy", 73, 48, 200, 0.5, false, true},
+        Combo{"easy+ydckpt", 74, 48, 180, 0.5, false, true}),
     combo_name);
 
 }  // namespace

@@ -9,8 +9,10 @@
 // here means an "optimization" changed simulation results.
 //
 // Covers a fault-free FCFS run, a fault-free carbon-aware EASY run (the
-// two extremes of policy complexity) and a fault-injected EASY run (the
-// victim-draw and requeue machinery).
+// two extremes of policy complexity), a fault-injected EASY run (the
+// victim-draw and requeue machinery) and a completion-dense EASY run
+// (the in-span completion kernel, cross-checked against the fenced
+// engine).
 
 #include <gtest/gtest.h>
 
@@ -106,6 +108,42 @@ core::ScenarioConfig golden_scenario() {
   return cfg;
 }
 
+/// The bench dense scale (bench_perf.cpp dense_config), duplicated for the
+/// same reason: 512 nodes, 2000 single-node jobs arriving in hourly waves
+/// at a 15 s tick — the completion-bound regime the in-span completion
+/// kernel resolves analytically.
+core::ScenarioConfig dense_scenario() {
+  core::ScenarioConfig cfg;
+  cfg.cluster.nodes = 512;
+  cfg.cluster.node_tdp = watts(500.0);
+  cfg.cluster.node_idle = watts(110.0);
+  cfg.cluster.tick = seconds(15.0);
+  cfg.region = carbon::Region::Germany;
+  cfg.trace_span = days(4.0);
+  cfg.trace_step = minutes(15.0);
+  cfg.workload.job_count = 2000;
+  cfg.workload.span = days(1.5);
+  cfg.workload.arrival_quantum = minutes(60.0);
+  cfg.workload.max_job_nodes = 1;
+  cfg.workload.runtime_mean = minutes(300.0);
+  cfg.workload.runtime_max = hours(12.0);
+  cfg.workload.node_power_mean = watts(420.0);
+  cfg.workload.node_power_limit = watts(500.0);
+  cfg.seed = 2023;
+  return cfg;
+}
+
+hpcsim::SimulationResult run_dense(hpcsim::SchedulingPolicy& sched,
+                                   bool span_completions) {
+  const core::ScenarioRunner runner(dense_scenario());
+  hpcsim::Simulator::Config cfg;
+  cfg.cluster = runner.config().cluster;
+  cfg.carbon_intensity = runner.trace();
+  cfg.span_completions = span_completions;
+  hpcsim::Simulator sim(cfg, runner.jobs());
+  return sim.run(sched);
+}
+
 hpcsim::SimulationResult run_golden(hpcsim::SchedulingPolicy& sched,
                                     bool with_faults) {
   const core::ScenarioRunner runner(golden_scenario());
@@ -131,6 +169,10 @@ hpcsim::SimulationResult run_golden(hpcsim::SchedulingPolicy& sched,
 constexpr std::uint64_t kGoldenFcfs = 0x75c804ab89d0e737ull;
 constexpr std::uint64_t kGoldenCarbonEasy = 0x06d083d01b4c2209ull;
 constexpr std::uint64_t kGoldenEasyFaults = 0x83eb17206180faa9ull;
+// Dense completion-bound scale, recorded with the in-span completion
+// kernel the same day the fenced engine produced the identical digest
+// (the test asserts both, so a drift in either path fails).
+constexpr std::uint64_t kGoldenEasyDense = 0xf8aadb5c80df7733ull;
 
 TEST(GoldenDeterminism, FcfsReferenceScenario) {
   sched::FcfsScheduler fcfs;
@@ -165,6 +207,25 @@ TEST(GoldenDeterminism, EasyWithInjectedFaults) {
               static_cast<unsigned long long>(d));
   EXPECT_GT(r.node_failures, 0);
   EXPECT_EQ(d, kGoldenEasyFaults);
+}
+
+// The completion-dense regime: thousands of single-node finishes resolve
+// inside batch spans. Pins the absolute digest AND cross-checks the
+// fenced (per-event span exit) engine against the in-span completion
+// kernel on the same scenario — a drift in either path fails here.
+TEST(GoldenDeterminism, EasyDenseCompletionScenario) {
+  sched::EasyBackfillScheduler easy_inspan;
+  const auto r = run_dense(easy_inspan, /*span_completions=*/true);
+  const std::uint64_t d = hash_result(r);
+  RecordProperty("digest", std::to_string(d));
+  std::printf("golden easy dense digest: 0x%016llx\n",
+              static_cast<unsigned long long>(d));
+  EXPECT_EQ(r.walltime_kills + r.completed_jobs, r.jobs.size());
+  EXPECT_EQ(d, kGoldenEasyDense);
+
+  sched::EasyBackfillScheduler easy_fenced;
+  const auto rf = run_dense(easy_fenced, /*span_completions=*/false);
+  EXPECT_EQ(hash_result(rf), d) << "fenced engine diverged from in-span kernel";
 }
 
 }  // namespace
