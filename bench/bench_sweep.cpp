@@ -19,7 +19,13 @@
 // contract: it runs the given greenhpc CLI's `sweep` command on a small
 // grid with 0, 1, 2 and 4 worker processes and requires all four digests
 // to be bit-identical ("distributed" block in the JSON; a mismatch fails
-// the bench). Without the flag the gate reports itself skipped.
+// the bench). A follow-on obs-shipping gate reruns the 2-worker grid with
+// the observability plane fully on (stat/trace shipping + fleet trace
+// merge) and fully off (--no-obs-ship): both digests must match the
+// reference bit for bit — the hard proof that shipped telemetry never
+// feeds the fold — and the shipping wall overhead is reported ("shipping"
+// block; warned above 5%, digest mismatch fails). Without the flag the
+// gates report themselves skipped.
 //
 // Usage: bench_sweep [--smoke] [--out FILE] [--threads N] [--worker-bin PATH]
 //   --smoke           small grid (CI smoke: seconds, not minutes)
@@ -31,6 +37,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -117,14 +124,17 @@ struct DistributedSample {
 /// Run `cli sweep --workers N` on a small fixed grid and scrape the
 /// `digest: <hex16>` line from its stdout (stderr passes through to the
 /// operator). ok=false when the CLI fails or prints no digest.
-DistributedSample run_distributed(const std::string& cli, int workers) {
+DistributedSample run_distributed(const std::string& cli, int workers,
+                                  const std::string& extra_flags = "",
+                                  int replicas = 2) {
   DistributedSample s;
   s.workers = workers;
   const std::string cmd =
       cli +
       " sweep --quiet --regions DE,FR --kinds average --nodes 64 --jobs 60"
-      " --days 2 --replicas 2 --sched easy,carbon-easy --block 4 --workers " +
-      std::to_string(workers);
+      " --days 2 --replicas " + std::to_string(replicas) +
+      " --sched easy,carbon-easy --block 4 --workers " +
+      std::to_string(workers) + extra_flags;
   std::FILE* pipe = ::popen(cmd.c_str(), "r");
   if (pipe == nullptr) return s;
   char line[512];
@@ -339,6 +349,63 @@ int main(int argc, char** argv) {
     std::printf("distributed gate: skipped (pass --worker-bin PATH to run it)\n");
   }
 
+  // --- obs shipping gate: telemetry must be digest-neutral and cheap ---
+  // The 2-worker CLI grid again, once with the observability plane fully
+  // on (stat shipping + fleet trace merge, which also turns on per-block
+  // trace shipping in every worker) and once with --no-obs-ship. Both
+  // digests must match each other bit for bit — the hard check that
+  // shipped telemetry never reaches the fold path — and, on the smoke
+  // grid, the distributed reference too. The wall overhead of shipping
+  // is min-of-2 measured and reported; above 5% it is warned, not
+  // failed (CI walls are noisy; the digest is the gate). The full bench
+  // scales the grid up (30 replicas) so the constant worker-spawn cost
+  // amortizes and the ratio reflects steady-state shipping cost.
+  bool ship_ran = false;
+  bool ship_identical = true;
+  double ship_on_s = 0.0;
+  double ship_off_s = 0.0;
+  std::uint64_t ship_on_digest = 0;
+  std::uint64_t ship_off_digest = 0;
+  double ship_overhead = 0.0;
+  if (!worker_bin.empty() && !dist.empty() && dist.front().ok) {
+    ship_ran = true;
+    const int ship_replicas = smoke ? 2 : 30;
+    const std::string fleet_path = out_path + ".fleet.json";
+    ship_on_s = ship_off_s = std::numeric_limits<double>::infinity();
+    for (int rep = 0; rep < 2; ++rep) {
+      auto t0 = Clock::now();
+      const DistributedSample on = run_distributed(
+          worker_bin, 2, " --fleet-trace-out " + fleet_path, ship_replicas);
+      ship_on_s = std::min(ship_on_s, seconds_since(t0));
+      ship_on_digest = on.digest;
+      ship_identical &= on.ok;
+      t0 = Clock::now();
+      const DistributedSample off =
+          run_distributed(worker_bin, 2, " --no-obs-ship", ship_replicas);
+      ship_off_s = std::min(ship_off_s, seconds_since(t0));
+      ship_off_digest = off.digest;
+      ship_identical &= off.ok && off.digest == on.digest;
+      if (ship_replicas == 2) {
+        ship_identical &= on.digest == dist.front().digest;
+      }
+    }
+    std::remove(fleet_path.c_str());
+    ship_overhead = ship_on_s / std::max(1e-9, ship_off_s) - 1.0;
+    std::printf(
+        "obs shipping gate (2 workers, %d replicas): digests %s; shipping "
+        "on %.3f s vs off %.3f s (%+.1f%% overhead)\n",
+        ship_replicas, ship_identical ? "bit-identical" : "DIVERGED",
+        ship_on_s, ship_off_s, 100.0 * ship_overhead);
+    if (ship_identical && ship_overhead > 0.05) {
+      std::fprintf(stderr,
+                   "WARN: obs shipping overhead %.1f%% exceeds the 5%% budget "
+                   "(digest neutrality still holds)\n",
+                   100.0 * ship_overhead);
+    }
+  } else {
+    std::printf("obs shipping gate: skipped (needs --worker-bin)\n");
+  }
+
   std::FILE* f = std::fopen(out_path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
@@ -388,6 +455,18 @@ int main(int argc, char** argv) {
     }
     std::fprintf(f, "  ]},\n");
   }
+  if (!ship_ran) {
+    std::fprintf(f, "  \"shipping\": {\"ran\": false},\n");
+  } else {
+    std::fprintf(f,
+                 "  \"shipping\": {\"ran\": true, \"bit_identical\": %s, "
+                 "\"wall_on_s\": %.6f, \"wall_off_s\": %.6f, "
+                 "\"overhead\": %.4f, \"digest_on\": \"%016llx\", "
+                 "\"digest_off\": \"%016llx\"},\n",
+                 ship_identical ? "true" : "false", ship_on_s, ship_off_s,
+                 ship_overhead, static_cast<unsigned long long>(ship_on_digest),
+                 static_cast<unsigned long long>(ship_off_digest));
+  }
   std::fprintf(f, "  \"runs\": [\n");
   for (std::size_t i = 0; i < samples.size(); ++i) {
     const SweepSample& s = samples[i];
@@ -431,6 +510,17 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "FAIL: distributed sweep digests diverged across worker "
                  "process counts (0/1/2/4 workers must be bit-identical)\n");
+    return 1;
+  }
+  if (!ship_identical) {
+    std::fprintf(stderr,
+                 "FAIL: observability shipping changed the sweep digest "
+                 "(on %016llx / off %016llx vs reference %016llx) — shipped "
+                 "telemetry must never reach the fold path\n",
+                 static_cast<unsigned long long>(ship_on_digest),
+                 static_cast<unsigned long long>(ship_off_digest),
+                 static_cast<unsigned long long>(
+                     dist.empty() ? 0 : dist.front().digest));
     return 1;
   }
   return 0;

@@ -1,5 +1,8 @@
 #include "core/sweep_coordinator.hpp"
 
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -9,8 +12,11 @@
 
 #include "core/sweep_journal.hpp"
 #include "core/sweep_protocol.hpp"
+#include "obs/fleet.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/atomic_file.hpp"
 #include "util/deadline.hpp"
 #include "util/error.hpp"
 #include "util/subprocess.hpp"
@@ -127,6 +133,11 @@ double BlockLedger::next_ready_s() const {
 
 namespace {
 
+/// Bucket bounds (seconds) for the heartbeat/stat receipt-lag
+/// histograms — sub-millisecond through a stalled event loop.
+const std::vector<double> kRttBounds = {5e-4, 1e-3, 2.5e-3, 5e-3,  1e-2,
+                                        2.5e-2, 5e-2, 0.1,  0.25, 1.0};
+
 /// Coordinator-side view of one worker process.
 struct WorkerConn {
   int id = -1;  ///< stable worker index (ledger lease owner, stats slot)
@@ -139,6 +150,17 @@ struct WorkerConn {
   bool has_lease = false;
   std::size_t lease_start = 0;
   util::Deadline lease_deadline;  ///< hung-worker trap
+
+  // Observability plane.
+  int lane = -1;                   ///< fleet trace lane (-1 = no fleet)
+  bool obs_aligned = false;        ///< clock anchor received
+  std::int64_t obs_offset_ns = 0;  ///< local ns = remote ns + offset
+  std::uint64_t lease_grant_ns = 0;  ///< for synthesized lease spans
+  obs::FlightRecorder fr{256};
+  std::unique_ptr<obs::Histogram> rtt;  ///< per-worker receipt lag
+  /// Latest shipped sweep.block_seconds snapshot (cumulative, so the
+  /// last one wins; merged fleet-wide at finalization).
+  obs::HistogramSnapshot block_hist;
 };
 
 }  // namespace
@@ -159,6 +181,17 @@ SweepResult SweepCoordinator::run(const SweepGrid& grid) {
       obs::Registry::global().counter("sweep.duplicate_block_records");
   static obs::Gauge& alive_gauge =
       obs::Registry::global().gauge("sweep.workers_alive");
+  static obs::Counter& obs_rejected_counter =
+      obs::Registry::global().counter("sweep.obs_lines_rejected");
+  static obs::Gauge& lease_age_gauge =
+      obs::Registry::global().gauge("sweep.lease_age_s");
+  static obs::Histogram& rtt_registry_hist =
+      obs::Registry::global().histogram("sweep.heartbeat_rtt_s", kRttBounds);
+  // Fleet-summed throughput: each worker ships its own sweep.cases_per_s
+  // gauge; the coordinator republishes the sum so --progress (and the
+  // metrics snapshot) show fleet throughput, not a dead-zero local gauge.
+  static obs::Gauge& rate_gauge =
+      obs::Registry::global().gauge("sweep.cases_per_s");
 
   stats_ = Stats{};
   const SweepCaseRunner runner(grid, opts_.case_opts);
@@ -166,6 +199,77 @@ SweepResult SweepCoordinator::run(const SweepGrid& grid) {
   const std::uint64_t config = grid.config_digest();
   SweepResult result;
   runner.init_result(result);
+
+  util::MonotoneClock clock;
+
+  // Observability plane: the merged fleet trace (one lane per process),
+  // the coordinator's own flight recorder, and the per-run RTT fold.
+  // All of it is bookkeeping beside the fold path — digests cannot see it.
+  std::unique_ptr<obs::FleetTrace> fleet;
+  int coord_lane = -1;
+  const std::uint64_t run_begin_ns = obs::Tracer::now_ns();
+  if (!opts_.fleet_trace_path.empty()) {
+    fleet = std::make_unique<obs::FleetTrace>();
+    coord_lane = fleet->add_lane(static_cast<long>(::getpid()),
+                                 "greenhpc sweep coordinator");
+  }
+  obs::FlightRecorder coord_fr(opts_.flight_recorder_events);
+  obs::Histogram fleet_rtt(kRttBounds);  // this run only (registry accumulates)
+
+  /// Instant event on the coordinator's control-plane lane. Goes through
+  /// FleetTrace directly (local clock, zero offset) so the control plane
+  /// shows up even when the process-global Tracer is disabled.
+  const auto fleet_mark = [&](const char* name, double value) {
+    if (fleet == nullptr) return;
+    obs::RemoteTraceEvent e;
+    e.name = name;
+    e.cat = "fleet";
+    e.phase = 'i';
+    e.ts_ns = obs::Tracer::now_ns();
+    e.value = value;
+    fleet->add_event(coord_lane, std::move(e));
+  };
+
+  /// Dump a flight recorder as a postmortem JSONL artifact; returns the
+  /// path ("" when postmortems are off or the write failed — a failed
+  /// postmortem must never fail the sweep).
+  const auto dump_recorder = [&](const obs::FlightRecorder& fr,
+                                 const std::string& file) -> std::string {
+    if (opts_.postmortem_dir.empty()) return std::string();
+    ::mkdir(opts_.postmortem_dir.c_str(), 0777);  // EEXIST is fine
+    const std::string path = opts_.postmortem_dir + "/" + file;
+    try {
+      util::atomic_write_file(path,
+                              [&](std::ostream& os) { fr.write_jsonl(os); });
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "greenhpc: cannot write postmortem %s: %s\n",
+                   path.c_str(), e.what());
+      return std::string();
+    }
+    ++stats_.postmortems_written;
+    return path;
+  };
+
+  /// Close the coordinator's run span and publish the merged trace.
+  const auto finalize_fleet = [&] {
+    if (fleet == nullptr) return;
+    obs::RemoteTraceEvent run_span;
+    run_span.name = "coord.run";
+    run_span.cat = "fleet";
+    run_span.phase = 'X';
+    run_span.ts_ns = run_begin_ns;
+    run_span.dur_ns = obs::Tracer::now_ns() - run_begin_ns;
+    fleet->add_event(coord_lane, std::move(run_span));
+    try {
+      util::atomic_write_file(
+          opts_.fleet_trace_path,
+          [&](std::ostream& os) { fleet->write_chrome_json(os); });
+      stats_.fleet_trace_path = opts_.fleet_trace_path;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "greenhpc: cannot write fleet trace %s: %s\n",
+                   opts_.fleet_trace_path.c_str(), e.what());
+    }
+  };
 
   // Resume: seed the ledger with every block the surviving shard
   // journals prove complete, and bump the shard generation so this run's
@@ -179,6 +283,9 @@ SweepResult SweepCoordinator::run(const SweepGrid& grid) {
     if (load.block != 0) block_size = load.block;
     gen = load.max_gen + 1;
     seeded = std::move(load.blocks);
+    coord_fr.record(clock.now_s(), "restart",
+                    "gen=" + std::to_string(gen) +
+                        " shard_blocks=" + std::to_string(seeded.size()));
   }
   stats_.shard_generation = gen;
 
@@ -194,6 +301,7 @@ SweepResult SweepCoordinator::run(const SweepGrid& grid) {
     // those of the serial engine.
     SweepBlock b;
     while (ledger.next_to_fold(b)) {
+      fleet_mark("coord.fold", static_cast<double>(b.start));
       for (std::size_t i = 0; i < b.cases.size(); ++i) {
         runner.fold(result, b.start + i, b.cases[i]);
       }
@@ -206,10 +314,20 @@ SweepResult SweepCoordinator::run(const SweepGrid& grid) {
     if (ledger.deliver(b) == BlockLedger::Deliver::Accepted) {
       ++stats_.replayed_blocks;
       result.replayed_cases += b.cases.size();
+      coord_fr.record(clock.now_s(), "replayed",
+                      "start=" + std::to_string(b.start) +
+                          " count=" + std::to_string(b.cases.size()));
     }
   }
   seeded.clear();
   drain_folds();
+
+  // A restarted coordinator is itself a postmortem trigger: the dump
+  // records what the shard union proved before anything new runs.
+  if (opts_.resume && !opts_.journal_dir.empty()) {
+    dump_recorder(coord_fr,
+                  "postmortem-restart-g" + std::to_string(gen) + ".jsonl");
+  }
 
   // In-process execution: the workers==0 configuration AND the
   // all-workers-dead degradation path. Journals its blocks into its own
@@ -242,13 +360,13 @@ SweepResult SweepCoordinator::run(const SweepGrid& grid) {
 
   if (opts_.workers <= 0 || ledger.all_folded()) {
     run_in_process();
+    finalize_fleet();
     return result;
   }
 
   GREENHPC_REQUIRE(!opts_.worker_argv.empty(),
                    "distributed sweep needs the worker exec argv");
 
-  util::MonotoneClock clock;
   std::vector<WorkerConn> conns;
   conns.reserve(static_cast<std::size_t>(opts_.workers));
   stats_.workers.assign(static_cast<std::size_t>(opts_.workers), WorkerInfo{});
@@ -270,8 +388,25 @@ SweepResult SweepCoordinator::run(const SweepGrid& grid) {
     for (std::size_t i = 0; i < orphaned; ++i) reassigned_counter.add();
     ++stats_.worker_deaths;
     deaths_counter.add();
-    stats_.workers[static_cast<std::size_t>(c.id)].died = true;
+    WorkerInfo& wi = stats_.workers[static_cast<std::size_t>(c.id)];
+    wi.died = true;
+    wi.busy = false;
     alive_gauge.set(static_cast<double>(alive_count()));
+    fleet_mark("coord.worker_dead", static_cast<double>(c.id));
+    if (orphaned > 0) {
+      fleet_mark("coord.reassign", static_cast<double>(orphaned));
+    }
+    c.fr.record(clock.now_s(), "dead",
+                std::string(why) + "; orphaned=" + std::to_string(orphaned));
+    // Worker death is THE postmortem trigger: dump the last protocol
+    // exchange this connection saw.
+    wi.postmortem_path =
+        dump_recorder(c.fr, "postmortem-w" + std::to_string(c.id) + "-pid" +
+                                std::to_string(pid) + ".jsonl");
+    if (c.rtt != nullptr) {
+      wi.rtt_p50_s = c.rtt->percentile(0.5);
+      wi.rtt_p99_s = c.rtt->percentile(0.99);
+    }
     std::fprintf(stderr,
                  "greenhpc: sweep worker %d (pid %ld) dead: %s; %zu block(s) "
                  "returned for reassignment\n",
@@ -287,6 +422,8 @@ SweepResult SweepCoordinator::run(const SweepGrid& grid) {
     }
     argv.push_back("--block");
     argv.push_back(std::to_string(block_size));
+    if (!opts_.ship_stats) argv.push_back("--no-ship-stats");
+    if (fleet != nullptr) argv.push_back("--ship-trace");
     WorkerConn c;
     c.id = k;
     try {
@@ -300,11 +437,18 @@ SweepResult SweepCoordinator::run(const SweepGrid& grid) {
                    e.what());
       continue;
     }
-    stats_.workers[static_cast<std::size_t>(k)].pid =
-        static_cast<long>(c.proc.pid());
+    const long wpid = static_cast<long>(c.proc.pid());
+    stats_.workers[static_cast<std::size_t>(k)].pid = wpid;
     c.proc.set_stdout_nonblocking();
     c.channel = std::make_unique<util::LineChannel>(c.proc.stdout_fd());
     c.liveness = util::Deadline(clock.now_s(), opts_.hello_timeout_s);
+    c.fr = obs::FlightRecorder(opts_.flight_recorder_events);
+    c.rtt = std::make_unique<obs::Histogram>(kRttBounds);
+    if (fleet != nullptr) {
+      c.lane = fleet->add_lane(wpid, "sweep worker " + std::to_string(k));
+    }
+    c.fr.record(clock.now_s(), "spawn", "pid=" + std::to_string(wpid));
+    fleet_mark("coord.spawn", static_cast<double>(k));
     conns.push_back(std::move(c));
   }
   alive_gauge.set(static_cast<double>(alive_count()));
@@ -314,7 +458,8 @@ SweepResult SweepCoordinator::run(const SweepGrid& grid) {
   // computing a DIFFERENT grid is an operator error no reassignment can
   // fix, so it fails the sweep loudly.
   const auto handle_line = [&](WorkerConn& c, const std::string& line) -> bool {
-    const Message m = parse_message(line);
+    Message m = parse_message(line);
+    WorkerInfo& wi = stats_.workers[static_cast<std::size_t>(c.id)];
     switch (m.kind) {
       case MsgKind::Hello:
         GREENHPC_REQUIRE(
@@ -323,12 +468,16 @@ SweepResult SweepCoordinator::run(const SweepGrid& grid) {
             "sweep worker disagrees about the grid (config/case-count/block "
             "skew) — refusing to fold its results");
         c.hello_ok = true;
+        wi.ready = true;
         c.misses = 0;
         c.liveness.extend(clock.now_s(), opts_.heartbeat_timeout_s);
+        c.fr.record(clock.now_s(), "hello", "pid=" + std::to_string(m.pid));
+        fleet_mark("coord.hello", static_cast<double>(c.id));
         return true;
       case MsgKind::Heartbeat:
         c.misses = 0;
         c.liveness.extend(clock.now_s(), opts_.heartbeat_timeout_s);
+        c.fr.record(clock.now_s(), "hb");
         return true;
       case MsgKind::Block: {
         BlockLedger::Deliver d;
@@ -341,14 +490,118 @@ SweepResult SweepCoordinator::run(const SweepGrid& grid) {
           ++stats_.duplicate_block_records;
           dup_counter.add();
         } else {
-          ++stats_.workers[static_cast<std::size_t>(c.id)].blocks;
+          ++wi.blocks;
         }
-        if (c.has_lease && m.block.start == c.lease_start) c.has_lease = false;
+        c.fr.record(clock.now_s(), "block",
+                    "start=" + std::to_string(m.block.start) +
+                        " count=" + std::to_string(m.block.cases.size()) +
+                        (d == BlockLedger::Deliver::Duplicate ? " dup" : ""));
+        fleet_mark("coord.block_recv", static_cast<double>(m.block.start));
+        if (c.has_lease && m.block.start == c.lease_start) {
+          c.has_lease = false;
+          wi.busy = false;
+          if (fleet != nullptr) {
+            // Synthesize the assign->completion window as a span on the
+            // control-plane lane, one thread row per worker.
+            obs::RemoteTraceEvent span;
+            span.name = "coord.lease";
+            span.cat = "fleet";
+            span.phase = 'X';
+            span.tid = c.id;
+            span.ts_ns = c.lease_grant_ns;
+            const std::uint64_t now_ns = obs::Tracer::now_ns();
+            span.dur_ns =
+                now_ns > c.lease_grant_ns ? now_ns - c.lease_grant_ns : 0;
+            fleet->add_event(coord_lane, std::move(span));
+          }
+        }
         c.misses = 0;
         c.liveness.extend(clock.now_s(), opts_.heartbeat_timeout_s);
         drain_folds();
         return true;
       }
+      case MsgKind::Stat: {
+        const std::uint64_t local_now = obs::Tracer::now_ns();
+        if (!c.obs_aligned) {
+          // First obs line = the clock anchor (sent right after hello,
+          // when the pipe is empty, so the pairing latency is minimal).
+          c.obs_aligned = true;
+          c.obs_offset_ns = static_cast<std::int64_t>(local_now) -
+                            static_cast<std::int64_t>(m.remote_now_ns);
+        } else {
+          // Receipt lag relative to the anchor: how much later than the
+          // anchor's pipe latency this line landed — the round-trip
+          // proxy the fleet RTT histograms aggregate.
+          const std::int64_t mapped =
+              static_cast<std::int64_t>(m.remote_now_ns) + c.obs_offset_ns;
+          const double rtt_s = std::max(
+              0.0,
+              static_cast<double>(static_cast<std::int64_t>(local_now) - mapped) *
+                  1e-9);
+          c.rtt->record(rtt_s);
+          fleet_rtt.record(rtt_s);
+          rtt_registry_hist.record(rtt_s);
+        }
+        if (fleet != nullptr && c.lane >= 0) {
+          fleet->align(c.lane, m.remote_now_ns, local_now);
+        }
+        if (const double* g = m.stats.find_gauge("sweep.cases_per_s")) {
+          wi.cases_per_s = *g;
+          double fleet_rate = 0.0;
+          for (const WorkerInfo& w : stats_.workers) fleet_rate += w.cases_per_s;
+          rate_gauge.set(fleet_rate);
+        }
+        if (const std::uint64_t* v = m.stats.find_counter("sweep.case_retries")) {
+          wi.case_retries = *v;
+        }
+        if (const std::uint64_t* v =
+                m.stats.find_counter("sweep.cases_quarantined")) {
+          wi.cases_quarantined = *v;
+        }
+        if (const obs::HistogramSnapshot* h =
+                m.stats.find_histogram("sweep.block_seconds")) {
+          c.block_hist = *h;
+        }
+        ++wi.stat_batches;
+        ++stats_.stat_batches;
+        c.fr.record(clock.now_s(), "stat",
+                    "counters=" + std::to_string(m.stats.counters.size()) +
+                        " gauges=" + std::to_string(m.stats.gauges.size()) +
+                        " hists=" + std::to_string(m.stats.histograms.size()));
+        c.misses = 0;
+        c.liveness.extend(clock.now_s(), opts_.heartbeat_timeout_s);
+        return true;
+      }
+      case MsgKind::Trace: {
+        const std::uint64_t local_now = obs::Tracer::now_ns();
+        if (fleet != nullptr && c.lane >= 0) {
+          fleet->align(c.lane, m.remote_now_ns, local_now);
+          fleet->add_dropped(c.lane, m.trace_dropped);
+          fleet->add_events(c.lane, m.trace_events);
+        }
+        ++wi.trace_batches;
+        wi.trace_events += m.trace_events.size();
+        ++stats_.trace_batches;
+        stats_.trace_events += m.trace_events.size();
+        c.fr.record(clock.now_s(), "trace",
+                    "events=" + std::to_string(m.trace_events.size()) +
+                        " dropped=" + std::to_string(m.trace_dropped));
+        c.misses = 0;
+        c.liveness.extend(clock.now_s(), opts_.heartbeat_timeout_s);
+        return true;
+      }
+      case MsgKind::ObsRejected:
+        // Telemetry must never kill the worker that ships it: drop the
+        // line, count it, and snapshot the flight recorder — a mangled
+        // obs line IS a postmortem trigger, just not a fatal one.
+        ++stats_.obs_lines_rejected;
+        obs_rejected_counter.add();
+        c.fr.record(clock.now_s(), "obs_rejected", line.substr(0, 96));
+        wi.postmortem_path = dump_recorder(
+            c.fr, "postmortem-w" + std::to_string(c.id) + "-pid" +
+                      std::to_string(static_cast<long>(c.proc.pid())) +
+                      ".jsonl");
+        return true;
       default:
         return false;  // malformed or a coordinator-only verb
     }
@@ -369,6 +622,12 @@ SweepResult SweepCoordinator::run(const SweepGrid& grid) {
       c.has_lease = true;
       c.lease_start = start;
       c.lease_deadline = util::Deadline(clock.now_s(), opts_.lease_timeout_s);
+      c.lease_grant_ns = obs::Tracer::now_ns();
+      stats_.workers[static_cast<std::size_t>(c.id)].busy = true;
+      c.fr.record(clock.now_s(), "assign",
+                  "start=" + std::to_string(start) +
+                      " count=" + std::to_string(count));
+      fleet_mark("coord.assign", static_cast<double>(start));
     }
 
     // Sleep until the earliest of: any pipe readable, the next liveness
@@ -419,6 +678,7 @@ SweepResult SweepCoordinator::run(const SweepGrid& grid) {
 
     // Failure detectors: hello deadline, heartbeat misses, hung leases.
     const double tick = clock.now_s();
+    double max_lease_age_s = 0.0;
     for (WorkerConn& c : conns) {
       if (!c.alive) continue;
       if (!c.hello_ok) {
@@ -430,16 +690,25 @@ SweepResult SweepCoordinator::run(const SweepGrid& grid) {
         ++stats_.heartbeat_misses;
         ++stats_.workers[static_cast<std::size_t>(c.id)].heartbeat_misses;
         hb_miss_counter.add();
+        c.fr.record(tick, "hb_miss", "misses=" + std::to_string(c.misses));
+        fleet_mark("coord.hb_miss", static_cast<double>(c.id));
         if (c.misses >= opts_.heartbeat_miss_limit) {
           declare_dead(c, "heartbeat timeout");
           continue;
         }
         c.liveness.extend(tick, opts_.heartbeat_timeout_s);
       }
-      if (c.has_lease && c.lease_deadline.expired(tick)) {
-        declare_dead(c, "lease timeout (hung block)");
+      if (c.has_lease) {
+        const double age_s =
+            opts_.lease_timeout_s - c.lease_deadline.remaining_s(tick);
+        max_lease_age_s = std::max(max_lease_age_s, age_s);
+        if (c.lease_deadline.expired(tick)) {
+          declare_dead(c, "lease timeout (hung block)");
+        }
       }
     }
+    lease_age_gauge.set(max_lease_age_s);
+    stats_.max_lease_age_s = std::max(stats_.max_lease_age_s, max_lease_age_s);
   }
 
   // Graceful shutdown: shutdown verb + stdin EOF, a short grace window,
@@ -448,6 +717,40 @@ SweepResult SweepCoordinator::run(const SweepGrid& grid) {
     if (!c.alive) continue;
     util::write_all(c.proc.stdin_fd(), encode_shutdown() + "\n");
     c.proc.close_stdin();
+    c.fr.record(clock.now_s(), "shutdown_sent");
+    fleet_mark("coord.shutdown", static_cast<double>(c.id));
+  }
+  // Drain the farewell batches: a worker ships its final stat/trace
+  // lines AFTER its last block record, i.e. after the fold frontier
+  // closed and the event loop exited — without this read-to-EOF pass a
+  // one-block worker's whole lane would be lost. Bounded by the same
+  // grace the process wait uses; late blocks are duplicates by now and
+  // handle_line absorbs them.
+  {
+    const double drain_end = clock.now_s() + 2.0;
+    for (WorkerConn& c : conns) {
+      if (!c.alive) continue;
+      bool open = true;
+      while (open) {
+        const util::LineChannel::Fill f = c.channel->fill();
+        std::string line;
+        while (c.channel->next_line(line)) {
+          if (!handle_line(c, line)) {
+            open = false;
+            break;
+          }
+        }
+        if (f == util::LineChannel::Fill::Eof ||
+            f == util::LineChannel::Fill::Error) {
+          break;
+        }
+        if (f == util::LineChannel::Fill::WouldBlock) {
+          const double left = drain_end - clock.now_s();
+          if (left <= 0.0) break;
+          (void)util::poll_readable({c.proc.stdout_fd()}, std::min(left, 0.05));
+        }
+      }
+    }
   }
   const double grace_end = clock.now_s() + 2.0;
   for (WorkerConn& c : conns) {
@@ -463,16 +766,50 @@ SweepResult SweepCoordinator::run(const SweepGrid& grid) {
   }
   alive_gauge.set(0.0);
 
+  // Rollup finalization: survivors get their RTT percentiles here (the
+  // dead already got theirs in declare_dead), and the fleet-wide
+  // percentiles come from this run's histogram, not the process-global
+  // registry one (which accumulates across runs).
+  obs::HistogramSnapshot merged_block_hist;
+  for (WorkerConn& c : conns) {
+    WorkerInfo& wi = stats_.workers[static_cast<std::size_t>(c.id)];
+    if (!wi.died) {
+      wi.rtt_p50_s = c.rtt->percentile(0.5);
+      wi.rtt_p99_s = c.rtt->percentile(0.99);
+    }
+    if (c.block_hist.counts.empty()) continue;
+    if (merged_block_hist.counts.empty()) {
+      merged_block_hist = c.block_hist;
+    } else if (merged_block_hist.bounds == c.block_hist.bounds) {
+      for (std::size_t i = 0; i < merged_block_hist.counts.size(); ++i) {
+        merged_block_hist.counts[i] += c.block_hist.counts[i];
+      }
+      merged_block_hist.sum += c.block_hist.sum;
+    }
+  }
+  if (merged_block_hist.total() > 0) {
+    stats_.block_seconds_p50_s = merged_block_hist.percentile(0.5);
+    stats_.block_seconds_p99_s = merged_block_hist.percentile(0.99);
+  }
+  stats_.rtt_p50_s = fleet_rtt.percentile(0.5);
+  stats_.rtt_p99_s = fleet_rtt.percentile(0.99);
+
   if (!ledger.all_folded()) {
     // Graceful degradation: every worker is gone, work remains. Slower
     // is acceptable; wrong or empty-handed is not.
     stats_.degraded_in_process = true;
+    coord_fr.record(clock.now_s(), "degrade",
+                    std::to_string(ledger.pending() + ledger.leased()) +
+                        " blocks to in-process fallback");
+    fleet_mark("coord.degrade",
+               static_cast<double>(ledger.pending() + ledger.leased()));
     std::fprintf(stderr,
                  "greenhpc: all %d sweep worker(s) died; running the remaining "
                  "%zu block(s) in-process\n",
                  opts_.workers, ledger.pending() + ledger.leased());
     run_in_process();
   }
+  finalize_fleet();
   return result;
 }
 

@@ -24,6 +24,19 @@
 // blocks into per-worker shard files (see SweepJournal shard mode), and
 // a RESTARTED coordinator seeds its ledger from the union of surviving
 // shards, so even coordinator death loses at most in-flight blocks.
+//
+// Observability plane: workers ship registry snapshots (`stat`) and
+// cat=="fleet" trace batches (`trace`) over the same sealed pipe; the
+// coordinator aligns each worker's clock at its first obs line, folds
+// the payloads into per-worker rollups (cases/s, retries, quarantines,
+// heartbeat RTT histograms) and — when `fleet_trace_path` is set — a
+// single merged Chrome trace with one process lane per worker plus its
+// own control-plane lane. A per-worker flight recorder keeps the last
+// few hundred protocol/ledger events; it is dumped as a postmortem
+// JSONL artifact into `postmortem_dir` when the worker dies, when it
+// ships a malformed obs line, and (for the coordinator's own recorder)
+// when a restarted coordinator reseeds from shards. None of it touches
+// the fold path, so every digest stays bit-identical with shipping on.
 
 #include <cstdint>
 #include <functional>
@@ -158,6 +171,19 @@ class SweepCoordinator {
     std::function<void(std::size_t, std::size_t)> progress;
     /// Pool for the in-process path; null = the process-global pool.
     util::ThreadPool* pool = nullptr;
+
+    // Observability plane.
+    /// Merged fleet Chrome trace artifact (one lane per worker + the
+    /// coordinator's control plane); empty = off. Setting it makes the
+    /// coordinator pass `--ship-trace` to every worker.
+    std::string fleet_trace_path;
+    /// Directory for postmortem JSONL flight-recorder dumps; empty = off.
+    std::string postmortem_dir;
+    /// Workers ship registry snapshots on `stat` lines (default on; off
+    /// only to measure shipping overhead — digests never depend on it).
+    bool ship_stats = true;
+    /// Flight recorder ring capacity (events kept per worker).
+    std::size_t flight_recorder_events = 256;
   };
 
   /// Post-run accounting, surfaced into the run report and tests.
@@ -166,6 +192,18 @@ class SweepCoordinator {
     std::size_t blocks = 0;            ///< blocks delivered
     std::size_t heartbeat_misses = 0;
     bool died = false;                 ///< exited/was killed before shutdown
+    bool ready = false;                ///< hello accepted (live status line)
+    bool busy = false;                 ///< currently holds a lease
+    // Fleet rollup (from shipped `stat` snapshots and receipt timing).
+    double cases_per_s = 0.0;          ///< worker's own sweep.cases_per_s
+    std::uint64_t case_retries = 0;    ///< worker's sweep.case_retries
+    std::uint64_t cases_quarantined = 0;
+    std::size_t stat_batches = 0;
+    std::size_t trace_batches = 0;
+    std::size_t trace_events = 0;
+    double rtt_p50_s = 0.0;  ///< stat-line round-trip percentiles
+    double rtt_p99_s = 0.0;
+    std::string postmortem_path;  ///< last flight-recorder dump, "" = none
   };
   struct Stats {
     std::vector<WorkerInfo> workers;
@@ -176,6 +214,21 @@ class SweepCoordinator {
     std::size_t replayed_blocks = 0;   ///< seeded from shard journals
     bool degraded_in_process = false;  ///< fallback path ran
     int shard_generation = 0;          ///< generation of this run's shards
+    // Observability plane.
+    std::size_t obs_lines_rejected = 0;  ///< defective stat/trace lines
+    std::size_t stat_batches = 0;
+    std::size_t trace_batches = 0;
+    std::size_t trace_events = 0;
+    double rtt_p50_s = 0.0;  ///< fleet-wide heartbeat/stat RTT
+    double rtt_p99_s = 0.0;
+    /// Block-simulation seconds percentiles, merged across every
+    /// worker's shipped sweep.block_seconds histogram (0 when nothing
+    /// shipped — e.g. --no-obs-ship).
+    double block_seconds_p50_s = 0.0;
+    double block_seconds_p99_s = 0.0;
+    double max_lease_age_s = 0.0;  ///< oldest in-flight lease observed
+    std::size_t postmortems_written = 0;
+    std::string fleet_trace_path;  ///< written artifact, "" = none
   };
 
   explicit SweepCoordinator(Options opts);

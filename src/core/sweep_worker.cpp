@@ -11,6 +11,9 @@
 
 #include "core/sweep_journal.hpp"
 #include "core/sweep_protocol.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/deadline.hpp"
 #include "util/error.hpp"
 #include "util/subprocess.hpp"
 
@@ -61,9 +64,60 @@ int SweepWorker::run(const SweepGrid& grid) {
   util::LineChannel in(opts_.in_fd);  // blocking fd: fill() waits for data
   const long pid = static_cast<long>(::getpid());
 
+  // Observability shipping (digest-neutral: the coordinator's fold path
+  // never reads stat/trace lines). Fleet spans are recorded directly
+  // into a small main-thread buffer rather than through the global
+  // Tracer: enabling the tracer would also switch on every per-tick
+  // simulator span, whose recording cost is exactly the shipping
+  // overhead the bench_sweep gate budgets at 5%. Three events per block
+  // need no ring.
+  const bool ship_obs = opts_.ship_stats || opts_.ship_trace;
+  static obs::Gauge& rate_gauge =
+      obs::Registry::global().gauge("sweep.cases_per_s");
+  static obs::Histogram& block_hist = obs::Registry::global().histogram(
+      "sweep.block_seconds", {1e-3, 1e-2, 0.1, 1.0, 10.0});
+  const auto ship_stat = [&] {
+    (void)out.write_line(encode_stat(pid, obs::Tracer::now_ns(),
+                                     obs::Registry::global().snapshot()));
+  };
+  // Pending cat=="fleet" events; MAIN THREAD ONLY, between blocks (the
+  // heartbeat thread never records).
+  std::vector<obs::RemoteTraceEvent> fleet_events;
+  const auto fleet_instant = [&](const char* name, double value) {
+    if (!opts_.ship_trace) return;
+    obs::RemoteTraceEvent e;
+    e.name = name;
+    e.cat = "fleet";
+    e.phase = 'i';
+    e.ts_ns = obs::Tracer::now_ns();
+    e.value = value;
+    fleet_events.push_back(std::move(e));
+  };
+  const auto fleet_span = [&](const char* name, std::uint64_t begin_ns) {
+    if (!opts_.ship_trace) return;
+    obs::RemoteTraceEvent e;
+    e.name = name;
+    e.cat = "fleet";
+    e.phase = 'X';
+    e.ts_ns = begin_ns;
+    const std::uint64_t now_ns = obs::Tracer::now_ns();
+    e.dur_ns = now_ns > begin_ns ? now_ns - begin_ns : 0;
+    fleet_events.push_back(std::move(e));
+  };
+  const auto ship_trace_batch = [&] {
+    if (!opts_.ship_trace) return;
+    (void)out.write_line(
+        encode_trace(pid, obs::Tracer::now_ns(), 0, fleet_events));
+    fleet_events.clear();
+  };
+
   if (!out.write_line(encode_hello(pid, config, n_cases, opts_.block))) {
     return 0;  // coordinator already gone; nothing to serve
   }
+  // The anchor line: the coordinator pairs this line's clock reading
+  // with its own receipt time to fix this worker's lane offset in the
+  // merged fleet trace, so it must ship before any span does.
+  if (ship_obs) ship_stat();
 
   // Heartbeat side thread: liveness must keep flowing WHILE a block
   // simulates, or a long block is indistinguishable from a hang. The
@@ -79,6 +133,11 @@ int SweepWorker::run(const SweepGrid& grid) {
                      std::chrono::duration<double>(opts_.heartbeat_interval_s));
       if (hb_stop) return;
       if (!out.write_line(encode_heartbeat(pid))) return;  // peer gone
+      // Piggyback a registry snapshot on the heartbeat cadence: the
+      // coordinator turns the line's clock reading into an RTT sample
+      // and its payload into the per-worker rollup. Registry::snapshot
+      // is safe concurrent with the simulating pool threads.
+      if (opts_.ship_stats) ship_stat();
     }
   });
   const auto stop_heartbeat = [&] {
@@ -89,6 +148,10 @@ int SweepWorker::run(const SweepGrid& grid) {
     hb_cv.notify_all();
     heartbeat.join();
   };
+
+  util::MonotoneClock clock;
+  const double t0_s = clock.now_s();
+  std::size_t done_cases = 0;
 
   std::string line;
   int rc = 0;
@@ -119,18 +182,40 @@ int SweepWorker::run(const SweepGrid& grid) {
     SweepBlock block;
     block.start = m.start;
     block.cases.resize(m.count);
-    pool.parallel_for_chunked(m.count, 1, [&](std::size_t i) {
-      block.cases[i] = runner->run_case(m.start + i);
-    });
-    block.digest_after = sweep_block_digest(block);
+    const double block_t0_s = clock.now_s();
+    fleet_instant("worker.assign", static_cast<double>(m.start));
+    {
+      const std::uint64_t span_t0_ns = obs::Tracer::now_ns();
+      pool.parallel_for_chunked(m.count, 1, [&](std::size_t i) {
+        block.cases[i] = runner->run_case(m.start + i);
+      });
+      block.digest_after = sweep_block_digest(block);
+      fleet_span("worker.block", span_t0_ns);
+    }
 
     // Durability before visibility: once the coordinator sees this
     // record it may never be re-leased, so it must already be on disk.
-    if (shard != nullptr) shard->append(block);
+    if (shard != nullptr) {
+      const std::uint64_t span_t0_ns = obs::Tracer::now_ns();
+      shard->append(block);
+      fleet_span("worker.journal", span_t0_ns);
+    }
+    block_hist.record(clock.now_s() - block_t0_s);
+    done_cases += m.count;
+    const double elapsed_s = clock.now_s() - t0_s;
+    if (elapsed_s > 0.0) {
+      rate_gauge.set(static_cast<double>(done_cases) / elapsed_s);
+    }
     if (!out.write_line(SweepJournal::serialize_block_line(block))) {
       break;  // coordinator died mid-run; the shard record survives
     }
+    if (opts_.ship_stats) ship_stat();
+    ship_trace_batch();
   }
+  // Last snapshot out the door (best effort — the coordinator may
+  // already be gone): the final protocol exchange a postmortem shows.
+  if (ship_obs) ship_stat();
+  ship_trace_batch();
   stop_heartbeat();
   return rc;
 }

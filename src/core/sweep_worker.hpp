@@ -11,6 +11,16 @@
 // a worker death after journaling as recoverable evidence rather than
 // lost work. EOF on stdin (coordinator died) or a `shutdown` verb ends
 // the worker cleanly; it owns no state anyone needs to clean up.
+//
+// Observability shipping: unless disabled, the worker batches its
+// process-local obs::Registry snapshot onto `stat` lines (one right
+// after hello — the coordinator's clock anchor — then one per heartbeat
+// and one per completed block) and, when `ship_trace` is on, its
+// cat=="fleet" trace events onto `trace` lines after each block. Both
+// ride the same LineWriter as heartbeats and block records, so shipped
+// telemetry can never interleave bytes into the result stream, and the
+// fold path ignores the new verbs entirely — shipping is digest-neutral
+// by construction (bench_sweep hard-checks it).
 
 #include <string>
 
@@ -35,6 +45,16 @@ class SweepWorker {
     SweepCaseRunner::Options case_opts;
     /// Pool for intra-block parallelism; null = the process-global pool.
     util::ThreadPool* pool = nullptr;
+    /// Ship obs::Registry snapshots on `stat` lines (anchor after hello,
+    /// then per heartbeat and per block). Off only for overhead
+    /// measurement — the lines are digest-neutral either way.
+    bool ship_stats = true;
+    /// Ship cat=="fleet" trace events on `trace` lines per block. The
+    /// events are recorded directly (not via the process-global Tracer,
+    /// which would also enable the costly per-tick simulator spans).
+    /// The coordinator requests it (via the `--ship-trace` worker flag)
+    /// when a fleet trace artifact was asked for.
+    bool ship_trace = false;
   };
 
   explicit SweepWorker(Options opts);

@@ -1,0 +1,142 @@
+#include "obs/fleet.hpp"
+
+#include <cstring>
+#include <ostream>
+
+namespace greenhpc::obs {
+
+namespace {
+
+void json_escape(std::ostream& os, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      os << '\\' << c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      os << "\\u00" << "0123456789abcdef"[(c >> 4) & 0xf]
+         << "0123456789abcdef"[c & 0xf];
+    } else {
+      os << c;
+    }
+  }
+}
+
+}  // namespace
+
+int FleetTrace::add_lane(long pid, std::string label) {
+  Lane lane;
+  lane.pid = pid;
+  lane.label = std::move(label);
+  lanes_.push_back(std::move(lane));
+  return static_cast<int>(lanes_.size()) - 1;
+}
+
+void FleetTrace::align(int lane, std::uint64_t remote_now_ns,
+                       std::uint64_t local_now_ns) {
+  Lane& l = lanes_.at(static_cast<std::size_t>(lane));
+  if (l.aligned) return;  // first anchor wins: the offset stays constant
+  l.offset_ns = static_cast<std::int64_t>(local_now_ns) -
+                static_cast<std::int64_t>(remote_now_ns);
+  l.aligned = true;
+}
+
+bool FleetTrace::aligned(int lane) const {
+  return lanes_.at(static_cast<std::size_t>(lane)).aligned;
+}
+
+std::uint64_t FleetTrace::map_ns(int lane, std::uint64_t remote_ts_ns) const {
+  const Lane& l = lanes_.at(static_cast<std::size_t>(lane));
+  const std::int64_t mapped =
+      static_cast<std::int64_t>(remote_ts_ns) + l.offset_ns;
+  return mapped < 0 ? 0 : static_cast<std::uint64_t>(mapped);
+}
+
+void FleetTrace::add_events(int lane,
+                            const std::vector<RemoteTraceEvent>& events) {
+  Lane& l = lanes_.at(static_cast<std::size_t>(lane));
+  l.events.reserve(l.events.size() + events.size());
+  for (RemoteTraceEvent e : events) {
+    e.ts_ns = map_ns(lane, e.ts_ns);
+    l.events.push_back(std::move(e));
+  }
+}
+
+void FleetTrace::add_event(int lane, RemoteTraceEvent event) {
+  Lane& l = lanes_.at(static_cast<std::size_t>(lane));
+  event.ts_ns = map_ns(lane, event.ts_ns);
+  l.events.push_back(std::move(event));
+}
+
+void FleetTrace::add_dropped(int lane, std::uint64_t dropped) {
+  lanes_.at(static_cast<std::size_t>(lane)).dropped += dropped;
+}
+
+void FleetTrace::add_local(int lane, const std::vector<ThreadTrace>& snapshot,
+                           const char* cat) {
+  Lane& l = lanes_.at(static_cast<std::size_t>(lane));
+  for (const ThreadTrace& tt : snapshot) {
+    for (const TraceEvent& e : tt.events) {
+      const char* ecat = e.cat != nullptr ? e.cat : "greenhpc";
+      if (cat != nullptr && std::strcmp(ecat, cat) != 0) continue;
+      RemoteTraceEvent r;
+      r.name = e.name;
+      r.cat = ecat;
+      r.tid = tt.tid;
+      r.phase = e.phase;
+      r.ts_ns = map_ns(lane, e.ts_ns);
+      r.dur_ns = e.dur_ns;
+      r.value = e.value;
+      l.events.push_back(std::move(r));
+    }
+  }
+}
+
+std::size_t FleetTrace::event_count(int lane) const {
+  return lanes_.at(static_cast<std::size_t>(lane)).events.size();
+}
+
+const std::vector<RemoteTraceEvent>& FleetTrace::events(int lane) const {
+  return lanes_.at(static_cast<std::size_t>(lane)).events;
+}
+
+std::uint64_t FleetTrace::dropped(int lane) const {
+  return lanes_.at(static_cast<std::size_t>(lane)).dropped;
+}
+
+void FleetTrace::write_chrome_json(std::ostream& os) const {
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  // Metadata first: one process_name record per lane makes every lane
+  // visible in the viewer even before (or without) any events.
+  for (const Lane& l : lanes_) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << l.pid
+       << ",\"tid\":0,\"args\":{\"name\":\"";
+    json_escape(os, l.label);
+    os << "\"}}";
+  }
+  for (const Lane& l : lanes_) {
+    for (const RemoteTraceEvent& e : l.events) {
+      if (!first) os << ",";
+      first = false;
+      os << "{\"name\":\"";
+      json_escape(os, e.name);
+      os << "\",\"cat\":\"";
+      json_escape(os, e.cat.empty() ? std::string("greenhpc") : e.cat);
+      os << "\",\"ph\":\"" << e.phase << "\",\"pid\":" << l.pid
+         << ",\"tid\":" << e.tid
+         << ",\"ts\":" << static_cast<double>(e.ts_ns) * 1e-3;
+      if (e.phase == 'X') {
+        os << ",\"dur\":" << static_cast<double>(e.dur_ns) * 1e-3;
+      } else if (e.phase == 'i') {
+        os << ",\"s\":\"t\",\"args\":{\"value\":" << e.value << "}";
+      } else if (e.phase == 'C') {
+        os << ",\"args\":{\"value\":" << e.value << "}";
+      }
+      os << "}";
+    }
+  }
+  os << "],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+}  // namespace greenhpc::obs

@@ -22,6 +22,8 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 namespace greenhpc::obs {
@@ -78,12 +80,45 @@ class Histogram {
   [[nodiscard]] double sum() const {
     return sum_.load(std::memory_order_relaxed);
   }
+  /// Estimated q-quantile (q clamped to [0,1]) by linear interpolation
+  /// inside the fixed buckets: bucket i spans (bounds[i-1], bounds[i]]
+  /// with an implicit lower edge of 0 for the first bucket (every series
+  /// we record is a non-negative duration). Quantiles landing in the
+  /// overflow bucket saturate to the last finite bound — the histogram
+  /// cannot know more. Returns 0 on an empty histogram.
+  [[nodiscard]] double percentile(double q) const;
   void reset();
 
  private:
   std::vector<double> bounds_;
   std::vector<std::atomic<std::uint64_t>> buckets_;
   std::atomic<double> sum_{0.0};
+};
+
+/// Point-in-time copy of one histogram (bounds + per-bucket counts).
+struct HistogramSnapshot {
+  std::string name;
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> counts;  ///< bounds.size() + 1, last = overflow
+  double sum = 0.0;
+
+  [[nodiscard]] std::uint64_t total() const;
+  /// Same fixed-bucket interpolation as Histogram::percentile.
+  [[nodiscard]] double percentile(double q) const;
+};
+
+/// Structured point-in-time copy of a whole registry — the unit the
+/// distributed sweep ships over the wire on `stat` lines
+/// (core/sweep_protocol.hpp) and the coordinator folds into its fleet
+/// rollup. Entries are name-sorted (map iteration order).
+struct StatSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<HistogramSnapshot> histograms;
+
+  [[nodiscard]] const std::uint64_t* find_counter(std::string_view name) const;
+  [[nodiscard]] const double* find_gauge(std::string_view name) const;
+  [[nodiscard]] const HistogramSnapshot* find_histogram(std::string_view name) const;
 };
 
 /// Named metric store. `global()` is the process-wide instance every
@@ -95,6 +130,10 @@ class Registry {
   Counter& counter(const std::string& name);
   Gauge& gauge(const std::string& name);
   Histogram& histogram(const std::string& name, std::vector<double> bounds);
+
+  /// Structured copy of every metric (safe from any thread; concurrent
+  /// updates land in either this snapshot or the next).
+  [[nodiscard]] StatSnapshot snapshot() const;
 
   /// {"counters":{...},"gauges":{...},"histograms":{...}} snapshot.
   void write_json(std::ostream& os) const;

@@ -74,7 +74,9 @@ class WorkerHarness {
     return util::write_all(to_worker_[1], sealed_line + "\n");
   }
 
-  /// Next message from the worker, counting skipped heartbeats.
+  /// Next control message from the worker, counting skipped heartbeats.
+  /// Shipped stat/trace telemetry is skipped too — these tests pin the
+  /// control conversation; test_obs_ship.cpp owns the obs plane.
   Message next_skipping_heartbeats() {
     std::string line;
     for (;;) {
@@ -86,6 +88,7 @@ class WorkerHarness {
         ++heartbeats_;
         continue;
       }
+      if (m.kind == MsgKind::Stat || m.kind == MsgKind::Trace) continue;
       return m;
     }
   }

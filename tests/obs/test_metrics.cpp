@@ -78,6 +78,81 @@ TEST(MetricsHistogram, BucketsAndOverflow) {
   EXPECT_DOUBLE_EQ(h.sum(), 0.0);
 }
 
+TEST(MetricsHistogram, PercentileIsZeroWhenEmpty) {
+  Histogram h({1.0, 2.0});
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.99), 0.0);
+}
+
+TEST(MetricsHistogram, PercentileInterpolatesWithinABucket) {
+  // 100 samples, all in the (1, 2] bucket: the quantile moves linearly
+  // across that bucket's span regardless of where the samples really sat.
+  Histogram h({1.0, 2.0, 4.0});
+  for (int i = 0; i < 100; ++i) h.record(1.5);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 1.0);   // rank 0 -> lower edge
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 1.5);   // halfway across the bucket
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 2.0);   // full rank -> upper bound
+}
+
+TEST(MetricsHistogram, PercentileSpansBucketsByCount) {
+  // 3 samples <= 1 and 1 sample in (1, 2]: p50 (rank 2 of 4) lands
+  // inside the first bucket, p99 inside the second.
+  Histogram h({1.0, 2.0});
+  h.record(0.5);
+  h.record(0.5);
+  h.record(0.5);
+  h.record(1.5);
+  const double p50 = h.percentile(0.5);
+  EXPECT_GT(p50, 0.0);
+  EXPECT_LE(p50, 1.0);
+  const double p99 = h.percentile(0.99);
+  EXPECT_GT(p99, 1.0);
+  EXPECT_LE(p99, 2.0);
+}
+
+TEST(MetricsHistogram, PercentileClampsQAndSaturatesOverflow) {
+  Histogram h({1.0, 8.0});
+  h.record(100.0);  // overflow bucket only
+  // Every quantile of an all-overflow histogram saturates to the last
+  // finite bound; out-of-range q is clamped, never UB.
+  EXPECT_DOUBLE_EQ(h.percentile(-1.0), h.percentile(0.0));
+  EXPECT_DOUBLE_EQ(h.percentile(2.0), h.percentile(1.0));
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 8.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.99), 8.0);
+}
+
+TEST(MetricsHistogram, SnapshotPercentileMatchesLiveHistogram) {
+  Registry reg;
+  Histogram& h = reg.histogram("h.pct", {0.001, 0.01, 0.1, 1.0});
+  for (int i = 0; i < 32; ++i) h.record(0.004);
+  for (int i = 0; i < 4; ++i) h.record(0.5);
+  const StatSnapshot snap = reg.snapshot();
+  const HistogramSnapshot* hs = snap.find_histogram("h.pct");
+  ASSERT_NE(hs, nullptr);
+  EXPECT_EQ(hs->total(), 36u);
+  for (const double q : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(hs->percentile(q), h.percentile(q)) << "q=" << q;
+  }
+}
+
+TEST(MetricsRegistry, SnapshotFindersLocateEveryKind) {
+  Registry reg;
+  reg.counter("snap.c").add(5);
+  reg.gauge("snap.g").set(-2.5);
+  reg.histogram("snap.h", {1.0}).record(0.25);
+  const StatSnapshot snap = reg.snapshot();
+  const std::uint64_t* c = snap.find_counter("snap.c");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(*c, 5u);
+  const double* g = snap.find_gauge("snap.g");
+  ASSERT_NE(g, nullptr);
+  EXPECT_DOUBLE_EQ(*g, -2.5);
+  ASSERT_NE(snap.find_histogram("snap.h"), nullptr);
+  EXPECT_EQ(snap.find_counter("snap.missing"), nullptr);
+  EXPECT_EQ(snap.find_gauge("snap.missing"), nullptr);
+  EXPECT_EQ(snap.find_histogram("snap.missing"), nullptr);
+}
+
 TEST(MetricsRegistry, LookupReturnsStableReferences) {
   Registry reg;
   Counter& a = reg.counter("obs.test.stable");

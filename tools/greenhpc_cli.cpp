@@ -14,10 +14,13 @@
 //                      --resume-or-start|--restart] journaled runs survive a
 //                     [--retries N] [--csv FILE]   SIGKILL and resume with a
 //                     [--workers N]                bit-identical digest;
-//                                                  --workers shards blocks
-//                                                  across worker processes
-//                                                  with heartbeat-driven
-//                                                  reassignment on death
+//                     [--fleet-trace-out FILE]     --workers shards blocks
+//                     [--postmortem-dir DIR]       across worker processes
+//                     [--no-obs-ship]              with heartbeat-driven
+//                                                  reassignment on death;
+//                                                  the fleet flags merge
+//                                                  worker traces and dump
+//                                                  crash postmortems
 //
 // Global flags:
 //   --threads N         size the worker pool (overrides GREENHPC_THREADS)
@@ -318,21 +321,79 @@ core::SweepGrid build_sweep_grid(const Args& args) {
   return grid;
 }
 
+/// Terminal-hygiene progress sink. On a TTY it redraws one `\r` status
+/// line (padded to erase a longer previous draw); on a non-TTY stderr
+/// (CI logs, `2>file`) it emits one complete line per update so logs
+/// stay greppable instead of one carriage-return-glued mega-line. The
+/// destructor closes any open TTY line, so EVERY exit path — including
+/// an exception unwinding out of the sweep — leaves the cursor on a
+/// fresh line before the error message prints.
+class ProgressPrinter {
+ public:
+  explicit ProgressPrinter(std::size_t total)
+      : total_(total), tty_(::isatty(::fileno(stderr)) != 0) {}
+  ~ProgressPrinter() { finish(); }
+  ProgressPrinter(const ProgressPrinter&) = delete;
+  ProgressPrinter& operator=(const ProgressPrinter&) = delete;
+
+  void update(std::size_t done, const std::string& extra) {
+    std::string line =
+        std::to_string(done) + " / " + std::to_string(total_) + " cases";
+    if (!extra.empty()) line += ' ' + extra;
+    if (tty_) {
+      const std::size_t drawn = line.size();
+      if (drawn < last_len_) line.append(last_len_ - drawn, ' ');
+      last_len_ = drawn;
+      std::fprintf(stderr, "\r%s", line.c_str());
+      std::fflush(stderr);
+      open_line_ = true;
+      if (done == total_) finish();
+    } else {
+      std::fprintf(stderr, "%s\n", line.c_str());
+    }
+  }
+
+  void finish() {
+    if (open_line_) {
+      std::fprintf(stderr, "\n");
+      open_line_ = false;
+    }
+  }
+
+ private:
+  std::size_t total_;
+  bool tty_;
+  bool open_line_ = false;
+  std::size_t last_len_ = 0;
+};
+
 std::function<void(std::size_t, std::size_t)> make_sweep_progress(
-    const Args& args, std::size_t total) {
+    const Args& args, std::size_t total,
+    std::function<std::string()> status = nullptr) {
   if (args.has("quiet")) return nullptr;
   // --progress appends a live throughput readout from the engine's
-  // sweep.cases_per_s gauge (updated before each progress call).
+  // sweep.cases_per_s gauge (updated before each progress call) plus an
+  // optional caller-supplied status (the distributed path wires in a
+  // live per-worker readout).
   const bool live_rate = args.has("progress");
   obs::Gauge& rate = obs::Registry::global().gauge("sweep.cases_per_s");
-  return [total, live_rate, &rate](std::size_t done, std::size_t) {
+  // shared_ptr so the printer lives exactly as long as the callback: the
+  // engine/coordinator drops the callback during unwind on failure, and
+  // the printer's destructor flushes the final newline right there.
+  auto printer = std::make_shared<ProgressPrinter>(total);
+  return [printer, live_rate, &rate, status = std::move(status)](
+             std::size_t done, std::size_t) {
+    std::string extra;
     if (live_rate) {
-      std::fprintf(stderr, "\r%zu / %zu cases (%.1f cases/s)", done, total,
-                   rate.value());
-    } else {
-      std::fprintf(stderr, "\r%zu / %zu cases", done, total);
+      char buf[48];
+      std::snprintf(buf, sizeof(buf), "(%.1f cases/s)", rate.value());
+      extra = buf;
+      if (status) {
+        const std::string s = status();
+        if (!s.empty()) extra += ' ' + s;
+      }
     }
-    if (done == total) std::fprintf(stderr, "\n");
+    printer->update(done, extra);
   };
 }
 
@@ -458,6 +519,19 @@ int report_sweep_result(const Args& args, const core::SweepResult& result,
   report.add("failed_cases", static_cast<double>(result.failed_cases.size()));
   report.add("journal_truncations",
              static_cast<double>(core::journal_truncations()));
+  // Block-simulation latency percentiles from the local registry (the
+  // in-process engine and the degraded fallback both record them; the
+  // distributed path additionally reports fleet_block_seconds_p50/p99
+  // merged from worker-shipped histograms).
+  {
+    const obs::StatSnapshot snap = obs::Registry::global().snapshot();
+    if (const obs::HistogramSnapshot* h =
+            snap.find_histogram("sweep.block_seconds");
+        h != nullptr && h->total() > 0) {
+      report.add("block_seconds_p50", h->percentile(0.5));
+      report.add("block_seconds_p99", h->percentile(0.99));
+    }
+  }
   for (std::size_t i = 0; i < std::min<std::size_t>(result.failed_cases.size(), 5);
        ++i) {
     const auto& f = result.failed_cases[i];
@@ -511,6 +585,13 @@ int cmd_sweep(const Args& args, obs::RunReport& report) {
   std::string dir;
   if (const int rc = resolve_journal_mode(args, mode, dir); rc != 0) return rc;
 
+  if (workers == 0 &&
+      (args.has("fleet-trace-out") || args.has("postmortem-dir"))) {
+    std::fprintf(stderr,
+                 "note: --fleet-trace-out/--postmortem-dir observe the worker "
+                 "fleet; without --workers N there is none to observe\n");
+  }
+
   if (workers > 0) {
     // Distributed sweep: shard blocks across worker processes. Each
     // worker re-derives the grid from the SAME flags (whitelisted below)
@@ -526,7 +607,33 @@ int cmd_sweep(const Args& args, obs::RunReport& report) {
     copts.heartbeat_timeout_s = args.num("hb-timeout", 2.0);
     copts.hello_timeout_s = args.num("hello-timeout", 30.0);
     copts.lease_timeout_s = args.num("lease-timeout", 600.0);
-    copts.progress = make_sweep_progress(args, grid.case_count());
+    copts.fleet_trace_path = args.get("fleet-trace-out", "");
+    copts.postmortem_dir = args.get("postmortem-dir", "");
+    copts.ship_stats = !args.has("no-obs-ship");
+
+    // Live per-worker status for --progress: the callback runs on the
+    // coordinator's own event-loop thread, so reading its stats here is
+    // race-free; coord is set before run() ever invokes progress.
+    core::SweepCoordinator* coord = nullptr;
+    copts.progress = make_sweep_progress(
+        args, grid.case_count(), [&coord]() -> std::string {
+          if (coord == nullptr) return "";
+          std::string s;
+          const auto& ws = coord->stats().workers;
+          for (std::size_t k = 0; k < ws.size(); ++k) {
+            if (!s.empty()) s += ' ';
+            s += 'w' + std::to_string(k) + ':';
+            if (ws[k].died) {
+              s += "dead";
+            } else if (!ws[k].ready) {
+              s += "spawn";
+            } else {
+              s += std::to_string(ws[k].blocks) + 'b';
+              if (ws[k].busy) s += '*';
+            }
+          }
+          return '[' + s + ']';
+        });
 
     std::vector<std::string> wargv{g_self_exe, "sweep-worker"};
     for (const char* key : {"regions", "kinds", "nodes", "jobs-list", "jobs",
@@ -549,7 +656,9 @@ int cmd_sweep(const Args& args, obs::RunReport& report) {
     copts.worker_argv = std::move(wargv);
 
     core::SweepCoordinator coordinator(std::move(copts));
+    coord = &coordinator;
     const core::SweepResult result = coordinator.run(grid);
+    coord = nullptr;
     const core::SweepCoordinator::Stats& st = coordinator.stats();
 
     const int rc = report_sweep_result(args, result, report);
@@ -559,6 +668,19 @@ int cmd_sweep(const Args& args, obs::RunReport& report) {
                  workers, st.worker_deaths, st.blocks_reassigned,
                  st.heartbeat_misses,
                  st.degraded_in_process ? " — degraded to in-process" : "");
+    if (st.stat_batches > 0 || st.trace_batches > 0 ||
+        st.obs_lines_rejected > 0) {
+      std::fprintf(stderr,
+                   "fleet: %zu stat batch(es), %zu trace event(s) in %zu "
+                   "batch(es), rtt p50 %.2f ms p99 %.2f ms, %zu obs line(s) "
+                   "rejected, %zu postmortem(s)\n",
+                   st.stat_batches, st.trace_events, st.trace_batches,
+                   1e3 * st.rtt_p50_s, 1e3 * st.rtt_p99_s,
+                   st.obs_lines_rejected, st.postmortems_written);
+    }
+    if (!st.fleet_trace_path.empty()) {
+      std::fprintf(stderr, "fleet trace: %s\n", st.fleet_trace_path.c_str());
+    }
     report.add("workers", static_cast<double>(workers));
     report.add("worker_deaths", static_cast<double>(st.worker_deaths));
     report.add("blocks_reassigned", static_cast<double>(st.blocks_reassigned));
@@ -568,13 +690,45 @@ int cmd_sweep(const Args& args, obs::RunReport& report) {
     report.add("replayed_blocks", static_cast<double>(st.replayed_blocks));
     report.add("shard_generation", static_cast<double>(st.shard_generation));
     report.add("degraded_in_process", st.degraded_in_process ? 1.0 : 0.0);
+    // Fleet observability rollup.
+    report.add("obs_lines_rejected",
+               static_cast<double>(st.obs_lines_rejected));
+    report.add("stat_batches", static_cast<double>(st.stat_batches));
+    report.add("trace_batches", static_cast<double>(st.trace_batches));
+    report.add("trace_events", static_cast<double>(st.trace_events));
+    report.add("heartbeat_rtt_p50_s", st.rtt_p50_s);
+    report.add("heartbeat_rtt_p99_s", st.rtt_p99_s);
+    report.add("max_lease_age_s", st.max_lease_age_s);
+    report.add("postmortems_written",
+               static_cast<double>(st.postmortems_written));
+    if (st.block_seconds_p50_s > 0.0) {
+      // Distinct key from the local-registry block_seconds_p50: a
+      // degraded run legitimately reports both (fleet-shipped blocks
+      // plus the in-process fallback's own).
+      report.add("fleet_block_seconds_p50", st.block_seconds_p50_s);
+      report.add("fleet_block_seconds_p99", st.block_seconds_p99_s);
+    }
+    if (!st.fleet_trace_path.empty()) {
+      report.add_label("fleet_trace", st.fleet_trace_path);
+    }
     for (std::size_t k = 0; k < st.workers.size(); ++k) {
       const core::SweepCoordinator::WorkerInfo& w = st.workers[k];
-      report.add("worker_" + std::to_string(k) + "_blocks",
-                 static_cast<double>(w.blocks));
-      report.add("worker_" + std::to_string(k) + "_heartbeat_misses",
+      const std::string p = "worker_" + std::to_string(k);
+      report.add(p + "_blocks", static_cast<double>(w.blocks));
+      report.add(p + "_heartbeat_misses",
                  static_cast<double>(w.heartbeat_misses));
-      report.add("worker_" + std::to_string(k) + "_died", w.died ? 1.0 : 0.0);
+      report.add(p + "_died", w.died ? 1.0 : 0.0);
+      report.add(p + "_cases_per_s", w.cases_per_s);
+      report.add(p + "_case_retries", static_cast<double>(w.case_retries));
+      report.add(p + "_cases_quarantined",
+                 static_cast<double>(w.cases_quarantined));
+      report.add(p + "_stat_batches", static_cast<double>(w.stat_batches));
+      report.add(p + "_trace_events", static_cast<double>(w.trace_events));
+      report.add(p + "_rtt_p50_s", w.rtt_p50_s);
+      report.add(p + "_rtt_p99_s", w.rtt_p99_s);
+      if (!w.postmortem_path.empty()) {
+        report.add_label(p + "_postmortem", w.postmortem_path);
+      }
     }
     return rc;
   }
@@ -611,6 +765,10 @@ int cmd_sweep_worker(const Args& args) {
   wopts.heartbeat_interval_s = args.num("hb-interval", 0.5);
   wopts.shard_path = args.get("shard-path", "");
   wopts.case_opts.case_retries = static_cast<int>(args.num("retries", 2));
+  // Appended by the coordinator, never typed by hand: shipping defaults
+  // on, trace shipping only when a fleet trace was requested.
+  wopts.ship_stats = !args.has("no-ship-stats");
+  wopts.ship_trace = args.has("ship-trace");
   return core::SweepWorker(std::move(wopts)).run(grid);
 }
 
@@ -630,6 +788,8 @@ void print_usage(std::FILE* out) {
                "        [--block 256] [--quiet] [--progress] [--csv FILE]\n"
                "        [--journal DIR] [--resume | --resume-or-start | --restart]\n"
                "        [--retries N] [--workers N]\n"
+               "        [--fleet-trace-out FILE] [--postmortem-dir DIR]\n"
+               "        [--no-obs-ship]\n"
                "                                aggregate a parameter-grid sweep;\n"
                "                                --journal makes it crash-restartable\n"
                "                                (kill it, rerun with --resume: the\n"
@@ -639,7 +799,15 @@ void print_usage(std::FILE* out) {
                "                                --workers N shards blocks across N\n"
                "                                worker processes (a killed worker's\n"
                "                                blocks are reassigned; the digest\n"
-               "                                stays bit-identical)\n"
+               "                                stays bit-identical);\n"
+               "                                --fleet-trace-out merges every\n"
+               "                                worker's spans into one Chrome trace\n"
+               "                                (one lane per worker + coordinator),\n"
+               "                                --postmortem-dir collects flight-\n"
+               "                                recorder JSONL dumps for dead\n"
+               "                                workers, --no-obs-ship disables\n"
+               "                                metric shipping (digests never\n"
+               "                                depend on it either way)\n"
                "global flags:\n"
                "  --threads N         worker-pool size (overrides GREENHPC_THREADS)\n"
                "  --trace-out FILE    runtime trace (Chrome trace_event JSON,\n"
