@@ -16,6 +16,7 @@
 #include "obs/trace.hpp"
 #include "powerstack/budget_tree.hpp"
 #include "sched/easy_backfill.hpp"
+#include "util/fault_injector.hpp"
 #include "util/parallel.hpp"
 
 namespace {
@@ -156,6 +157,39 @@ void BM_ObsEnabledSpanLoop(benchmark::State& state) {
   obs::Tracer::reset();
 }
 BENCHMARK(BM_ObsEnabledSpanLoop);
+
+// The fault-injection hooks live on the sweep fabric's hot paths (case
+// dispatch, journal append, heartbeat). The cost contract is that a
+// DISARMED injector is one relaxed atomic load per consult — this pair
+// of benchmarks keeps that honest against the armed (mutex + map) path.
+void BM_FaultInjectorDisarmedConsult(benchmark::State& state) {
+  auto& inj = util::FaultInjector::global();
+  inj.disarm();
+  const std::string site = "bench.site";
+  util::FaultHit hit;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(inj.consult(site, hit));
+    benchmark::DoNotOptimize(obs_work_unit(i++));
+  }
+}
+BENCHMARK(BM_FaultInjectorDisarmedConsult);
+
+void BM_FaultInjectorArmedConsult(benchmark::State& state) {
+  auto& inj = util::FaultInjector::global();
+  // Armed with a spec for a DIFFERENT site: the worst common case is
+  // paying the slow path without ever firing.
+  inj.arm({{"bench.other", 0, 1, util::FaultAction::Fail, 0}});
+  const std::string site = "bench.site";
+  util::FaultHit hit;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(inj.consult(site, hit));
+    benchmark::DoNotOptimize(obs_work_unit(i++));
+  }
+  inj.disarm();
+}
+BENCHMARK(BM_FaultInjectorArmedConsult);
 
 }  // namespace
 

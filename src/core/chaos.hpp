@@ -1,0 +1,170 @@
+#pragma once
+// Deterministic chaos harness for the distributed sweep fabric.
+//
+// A ChaosSchedule is a pre-computed fault plan: every decision (which
+// workers get killed, which heartbeats are dropped, which journal append
+// tears, whether a case is poisoned, whether the coordinator restarts
+// mid-fold) is drawn from a splitmix64 stream keyed by (chaos seed,
+// schedule index) — no wall clock, no entropy at run time — so a failing
+// schedule replays EXACTLY with the same seed. run_chaos() executes N
+// such schedules against a real coordinator + worker-process fleet and
+// hard-fails unless every terminal state is either bit-identical to the
+// clean-run digest or an explicitly reported quarantine:
+//
+//   - no poison in the plan  -> digest == clean digest, failed_cases empty
+//   - poisoned case f        -> digest == the in-process reference digest
+//                               with f quarantined, failed_cases == {f}
+//
+// and every schedule terminates within its deadline (no hang, no
+// coordinator crash). Timing-dependent counters (worker deaths, misses,
+// respawns) are deliberately NOT part of the verdict: the fabric's
+// contract is the terminal REPORT, not the path taken to it. The same
+// rule applies to quarantine error text — a case quarantined by probe
+// containment (worker deaths) and one quarantined by the in-process
+// retry budget read differently, but digest + failed flat ids agree.
+//
+// A final determinism pass re-runs one schedule and requires the
+// identical terminal report, closing the loop on the headline claim:
+// same chaos seed, same outcome, every time.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/sweep.hpp"
+#include "util/fault_injector.hpp"
+
+namespace greenhpc::core {
+
+/// Every site the schedule generator knows how to arm. `--sites` subsets
+/// this list; an unknown site name is rejected by run_chaos.
+[[nodiscard]] const std::vector<std::string>& chaos_site_catalogue();
+
+/// One derived fault plan. Pure data: deriving is side-effect free and
+/// deterministic in (chaos_seed, schedule, sites, workers, n_cases,
+/// n_blocks, wedge_stall_ms).
+struct ChaosSchedule {
+  std::uint64_t chaos_seed = 0;
+  int schedule = 0;
+  bool has_poison = false;
+  std::size_t poison_flat = 0;  ///< valid when has_poison
+  bool has_restart = false;     ///< a coord.fold fault is armed
+
+  /// Faults armed in worker slot w's FIRST incarnation (argv-encoded by
+  /// the coordinator's worker_extra_args hook). Includes the poison spec
+  /// when has_poison.
+  std::vector<std::vector<util::FaultSpec>> worker_faults;
+  /// Faults armed in the coordinator process itself: the poison spec
+  /// (so the in-process degradation path quarantines instead of folding
+  /// a poisoned metric) and, when has_restart, one coord.fold failure.
+  std::vector<util::FaultSpec> coordinator_faults;
+
+  static ChaosSchedule derive(std::uint64_t chaos_seed, int schedule,
+                              const std::vector<std::string>& sites,
+                              int workers, std::size_t n_cases,
+                              std::size_t n_blocks,
+                              std::uint64_t wedge_stall_ms);
+
+  /// Specs for worker `slot` at `incarnation`. Incarnation 0 gets the
+  /// full plan; respawned incarnations get ONLY the poison spec — a
+  /// respawn must be healthy or a kill-loop would drain the respawn
+  /// budget without ever making progress.
+  [[nodiscard]] std::vector<util::FaultSpec> worker_specs(
+      int slot, int incarnation) const;
+  /// coordinator_faults minus coord.fold: the restarted coordinator must
+  /// not be re-killed at the same fold or the restart loop never ends.
+  [[nodiscard]] std::vector<util::FaultSpec> resume_coordinator_faults() const;
+  /// Short human summary ("poison=7 restart fold@2 w0:[...] ...").
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Terminal verdict of one executed schedule.
+struct ChaosScheduleOutcome {
+  int schedule = 0;
+  bool pass = false;
+  std::string note;  ///< failure explanation; empty on pass
+  bool has_poison = false;
+  std::size_t poison_flat = 0;
+  bool restarted = false;  ///< a coordinator restart was exercised
+  std::uint64_t digest = 0;
+  std::size_t cases = 0;
+  std::vector<std::size_t> failed_flats;  ///< sorted quarantined flat ids
+  double elapsed_s = 0.0;
+  // Containment accounting copied from the coordinator's stats.
+  std::size_t worker_deaths = 0;
+  std::size_t workers_respawned = 0;
+  std::size_t workers_evicted_wedged = 0;
+  std::size_t suspect_blocks = 0;
+  std::size_t probes_launched = 0;
+  std::size_t probe_quarantined_cases = 0;
+  bool journal_degraded = false;
+  std::uint64_t journal_truncations = 0;
+};
+
+struct ChaosReport {
+  bool pass = false;
+  std::uint64_t chaos_seed = 0;
+  std::uint64_t clean_digest = 0;
+  int failures = 0;
+  int poison_schedules = 0;
+  int restart_schedules = 0;
+  std::vector<ChaosScheduleOutcome> schedules;
+  /// Determinism pass: one schedule re-run end to end, terminal report
+  /// compared field by field.
+  int determinism_schedule = -1;
+  bool determinism_pass = false;
+  /// Chaos event lane artifact (JSONL, one event per schedule verdict),
+  /// written under workdir. Empty if the write failed.
+  std::string events_path;
+};
+
+struct ChaosOptions {
+  /// Grid under chaos (must outlive the call). Keep it SMALL — every
+  /// schedule runs it to completion at least once.
+  const SweepGrid* grid = nullptr;
+  /// Base worker argv (self exe + "sweep-worker" + grid flags), exactly
+  /// as SweepCoordinator::Options::worker_argv expects it.
+  std::vector<std::string> worker_argv;
+  /// Scratch directory: per-schedule shard journals and the chaos event
+  /// artifact live here. Scrubbed per schedule, never globally deleted.
+  std::string workdir;
+
+  std::uint64_t chaos_seed = 1;
+  int schedules = 10;
+  int workers = 3;
+  /// Site subset to arm; empty = the full catalogue.
+  std::vector<std::string> sites;
+
+  std::size_t block = 2;
+  /// A schedule exceeding this wall-clock budget fails (hang trap).
+  double schedule_deadline_s = 120.0;
+  /// Stall length for the wedged-worker fault; must comfortably exceed
+  /// progress_timeout_s so the eviction trap, not the stall, ends it.
+  std::uint64_t wedge_stall_ms = 4000;
+
+  // Coordinator liveness tuning, aggressive defaults sized for a
+  // micro-grid (milliseconds-long blocks).
+  double heartbeat_interval_s = 0.05;
+  double heartbeat_timeout_s = 0.25;
+  int heartbeat_miss_limit = 2;
+  double hello_timeout_s = 10.0;
+  double lease_timeout_s = 10.0;
+  double progress_timeout_s = 3.0;
+  double lease_backoff_base_s = 0.05;
+  double lease_backoff_cap_s = 0.5;
+  int lease_suspect_after = 3;
+  int probe_case_deaths = 3;
+  int max_respawns = 16;
+
+  /// Invoked after each schedule's verdict (progress reporting).
+  std::function<void(const ChaosScheduleOutcome&)> on_schedule;
+};
+
+/// Run the harness. Throws InvalidArgument on bad options (null grid,
+/// unknown site, empty worker argv); schedule failures are reported in
+/// the ChaosReport, never thrown. Arms and disarms the process-global
+/// FaultInjector; the injector is disarmed on every exit path.
+[[nodiscard]] ChaosReport run_chaos(const ChaosOptions& opts);
+
+}  // namespace greenhpc::core

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <thread>
 
@@ -12,6 +13,7 @@
 #include "obs/run_report.hpp"  // obs::fnv1a
 #include "obs/trace.hpp"
 #include "util/error.hpp"
+#include "util/fault_injector.hpp"
 #include "util/rng.hpp"
 
 namespace greenhpc::core {
@@ -261,6 +263,21 @@ SweepCaseOutcome SweepCaseRunner::run_case(std::size_t flat) const {
       obs::Registry::global().counter("sweep.cases_quarantined");
 
   const auto simulate = [&] {
+    // Chaos hook: a poisoned flat case. In a worker process (lethal) a
+    // Kill action crashes the worker exactly where a real poison case
+    // would — mid-simulation, before any journaling. In the coordinator
+    // (never lethal) the same spec degrades to a thrown failure, which
+    // the retry/quarantine loop below contains: chaos must not be able
+    // to crash the in-process degradation path.
+    util::FaultHit poison;
+    if (util::FaultInjector::global().match_value("case.poison", flat, poison)) {
+      if (poison.action == util::FaultAction::Kill &&
+          util::FaultInjector::global().lethal()) {
+        std::_Exit(137);
+      }
+      throw util::InjectedFailure("injected poison case " +
+                                  std::to_string(flat));
+    }
     const Coords c = decode(flat);
     ScenarioConfig cfg = grid_->base;
     cfg.region = regions_[c.region_idx];
@@ -359,6 +376,7 @@ SweepResult SweepEngine::run(const SweepGrid& grid) const {
     GREENHPC_REQUIRE(journal->cases() == n_cases,
                      "journal case count does not match this grid");
     block_size = journal->block();
+    result.journal_truncations = journal->truncations();
   }
 
   util::ThreadPool& pool = opts_.pool != nullptr ? *opts_.pool : util::ThreadPool::global();
@@ -432,7 +450,22 @@ SweepResult SweepEngine::run(const SweepGrid& grid) const {
       rec.cases.assign(scratch.begin(),
                        scratch.begin() + static_cast<std::ptrdiff_t>(block_n));
       rec.digest_after = result.digest;
-      journal->append(rec);
+      try {
+        journal->append(rec);
+      } catch (const JournalIoError& e) {
+        // Containment: the journal is crash INSURANCE, not a correctness
+        // dependency. Losing the disk mid-sweep must not abort hours of
+        // simulation — degrade to journal-less, loudly, and keep going
+        // (a later crash simply restarts from the journal's valid prefix).
+        static obs::Counter& degraded =
+            obs::Registry::global().counter("sweep.journal_io_degraded");
+        degraded.add();
+        std::fprintf(stderr,
+                     "greenhpc: sweep journal degraded to journal-less "
+                     "operation: %s\n",
+                     e.what());
+        journal = nullptr;
+      }
     }
     const auto block_end = std::chrono::steady_clock::now();
     const std::chrono::duration<double> sim_d = fold_begin - block_begin;

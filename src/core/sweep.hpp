@@ -169,6 +169,10 @@ struct SweepResult {
   std::vector<SweepFailedCase> failed_cases;
   /// Cases folded from a journal instead of simulated (resume).
   std::size_t replayed_cases = 0;
+  /// Torn/corrupt journal suffixes dropped while resuming THIS run
+  /// (per-run, unlike the process-cumulative obs counter — two sweeps in
+  /// one process never bleed truncation counts into each other's report).
+  std::uint64_t journal_truncations = 0;
 };
 
 /// The shared execution substrate of every sweep runner — the in-process

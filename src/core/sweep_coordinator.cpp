@@ -19,6 +19,7 @@
 #include "util/atomic_file.hpp"
 #include "util/deadline.hpp"
 #include "util/error.hpp"
+#include "util/fault_injector.hpp"
 #include "util/subprocess.hpp"
 
 namespace greenhpc::core {
@@ -41,18 +42,38 @@ std::size_t BlockLedger::size_of(std::size_t index) const {
   return std::min(block_, cases_ - index * block_);
 }
 
-bool BlockLedger::lease(int worker, double now_s, std::size_t& start_out) {
+bool BlockLedger::lease(int worker, double now_s, Lease& out) {
   // Lowest-start-first keeps the fold frontier moving: the block gating
   // next_to_fold() is always the most urgent lease.
   for (std::size_t i = next_fold_; i < states_.size(); ++i) {
     Entry& e = states_[i];
     if (e.state != State::Pending) continue;
     if (now_s < e.ready_at_s) continue;  // still in reassignment backoff
+    if (e.suspect) {
+      // Suspect block: hand out ONE unpinned case as a probe. One probe
+      // in flight per block (the entry is Leased while it runs), so a
+      // probe death accuses exactly one case.
+      std::size_t j = 0;
+      while (j < e.probe_done.size() && e.probe_done[j] != 0) ++j;
+      if (j == e.probe_done.size()) continue;  // fully pinned, finalizing
+      e.state = State::Leased;
+      e.worker = worker;
+      e.probe_active = j;
+      --pending_;
+      ++leased_;
+      ++probes_launched_;
+      out.start = i * block_ + j;
+      out.count = 1;
+      out.probe = true;
+      return true;
+    }
     e.state = State::Leased;
     e.worker = worker;
     --pending_;
     ++leased_;
-    start_out = i * block_;
+    out.start = i * block_;
+    out.count = size_of(i);
+    out.probe = false;
     return true;
   }
   return false;
@@ -60,31 +81,112 @@ bool BlockLedger::lease(int worker, double now_s, std::size_t& start_out) {
 
 std::size_t BlockLedger::orphan_worker(int worker, double now_s) {
   std::size_t orphaned = 0;
-  for (Entry& e : states_) {
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    Entry& e = states_[i];
     if (e.state != State::Leased || e.worker != worker) continue;
-    e.state = State::Pending;
-    e.worker = -1;
     const double backoff =
         std::min(opts_.backoff_cap_s,
                  opts_.backoff_base_s * std::pow(2.0, e.orphanings));
     ++e.orphanings;
+    e.state = State::Pending;
+    e.worker = -1;
     e.ready_at_s = now_s + backoff;
     --leased_;
     ++pending_;
     ++orphaned;
+    if (e.suspect && e.probe_active != kNoProbe) {
+      // A probe death is evidence against ONE case, not the block.
+      const std::size_t j = e.probe_active;
+      e.probe_active = kNoProbe;
+      if (++e.probe_deaths[j] >= opts_.probe_case_deaths) {
+        SweepCaseOutcome q;
+        q.ok = false;
+        q.attempts = e.probe_deaths[j];
+        q.error = "case killed its worker in " +
+                  std::to_string(e.probe_deaths[j]) +
+                  " consecutive probe(s) — quarantined by poison containment";
+        e.probe_out[j] = std::move(q);
+        e.probe_done[j] = 1;
+        ++probe_quarantined_;
+        finalize_if_probed(i);
+      }
+    } else if (!e.suspect && opts_.suspect_after > 0 &&
+               e.orphanings >= opts_.suspect_after) {
+      // The block keeps killing whoever runs it: stop retrying it whole
+      // and start bisecting. Without this, a poison case is reassigned
+      // forever and eventually takes the entire fleet with it.
+      e.suspect = true;
+      const std::size_t n = size_of(i);
+      e.probe_out.assign(n, SweepCaseOutcome{});
+      e.probe_done.assign(n, 0);
+      e.probe_deaths.assign(n, 0);
+      ++suspect_blocks_;
+    }
   }
   return orphaned;
 }
 
+void BlockLedger::finalize_if_probed(std::size_t index) {
+  Entry& e = states_[index];
+  for (const std::uint8_t d : e.probe_done) {
+    if (d == 0) return;
+  }
+  // Every case pinned: synthesize the block record a healthy worker
+  // would have delivered. Quarantined cases are ok=false outcomes, so
+  // the block-local digest folds only the survivors — exactly the
+  // partial-digest contract the fold path already implements.
+  SweepBlock rec;
+  rec.start = index * block_;
+  rec.cases = std::move(e.probe_out);
+  rec.digest_after = sweep_block_digest(rec);
+  GREENHPC_ASSERT(e.state == State::Pending,
+                  "probe finalization from a non-pending entry");
+  e.digest = rec.digest_after;
+  e.record = std::move(rec);
+  e.state = State::Ready;
+  --pending_;
+  e.probe_out.clear();
+  e.probe_done.clear();
+  e.probe_deaths.clear();
+}
+
 BlockLedger::Deliver BlockLedger::deliver(const SweepBlock& rec) {
-  GREENHPC_REQUIRE(rec.start % block_ == 0 && rec.start < cases_,
-                   "block record is not aligned to the sweep's block grid");
-  const std::size_t index = rec.start / block_;
-  GREENHPC_REQUIRE(rec.cases.size() == size_of(index),
-                   "block record has the wrong case count");
+  GREENHPC_REQUIRE(!rec.cases.empty() && rec.start < cases_,
+                   "block record is empty or out of range");
   GREENHPC_REQUIRE(sweep_block_digest(rec) == rec.digest_after,
                    "block record digest does not re-fold");
+  const std::size_t index = rec.start / block_;
   Entry& e = states_[index];
+  const bool full =
+      rec.start % block_ == 0 && rec.cases.size() == size_of(index);
+  if (!full) {
+    // Single-case probe result for a suspect block.
+    GREENHPC_REQUIRE(rec.cases.size() == 1 && e.suspect,
+                     "block record is not aligned to the sweep's block grid");
+    if (e.state == State::Ready || e.state == State::Folded) {
+      ++duplicates_;  // the block was resolved while this probe was in flight
+      return Deliver::Duplicate;
+    }
+    const std::size_t j = rec.start % block_;
+    if (e.probe_done[j] != 0) {
+      ++duplicates_;
+      return Deliver::Duplicate;
+    }
+    e.probe_out[j] = rec.cases[0];
+    e.probe_done[j] = 1;
+    if (e.state == State::Leased && e.probe_active == j) {
+      e.probe_active = kNoProbe;
+      e.worker = -1;
+      e.state = State::Pending;
+      e.ready_at_s = 0.0;  // the next probe needs no backoff: this one worked
+      --leased_;
+      ++pending_;
+    }
+    finalize_if_probed(index);
+    return Deliver::Accepted;
+  }
+  GREENHPC_REQUIRE(rec.start % block_ == 0,
+                   "block record is not aligned to the sweep's block grid");
   if (e.state == State::Ready || e.state == State::Folded) {
     // At-least-once delivery: honest duplicates (same bits) are normal;
     // the same block with different bits is nondeterminism or forgery
@@ -103,6 +205,7 @@ BlockLedger::Deliver BlockLedger::deliver(const SweepBlock& rec) {
   }
   e.state = State::Ready;
   e.worker = -1;
+  e.probe_active = kNoProbe;
   e.digest = rec.digest_after;
   e.record = rec;
   return Deliver::Accepted;
@@ -149,7 +252,9 @@ struct WorkerConn {
   util::Deadline liveness;        ///< hello deadline, then heartbeat deadline
   bool has_lease = false;
   std::size_t lease_start = 0;
-  util::Deadline lease_deadline;  ///< hung-worker trap
+  util::Deadline lease_deadline;     ///< hung-worker trap
+  util::Deadline progress_deadline;  ///< wedged-but-heartbeating trap
+  int incarnation = 0;               ///< 0 = first spawn of this slot
 
   // Observability plane.
   int lane = -1;                   ///< fleet trace lane (-1 = no fleet)
@@ -185,6 +290,12 @@ SweepResult SweepCoordinator::run(const SweepGrid& grid) {
       obs::Registry::global().counter("sweep.obs_lines_rejected");
   static obs::Gauge& lease_age_gauge =
       obs::Registry::global().gauge("sweep.lease_age_s");
+  static obs::Counter& respawned_counter =
+      obs::Registry::global().counter("sweep.workers_respawned");
+  static obs::Counter& evicted_counter =
+      obs::Registry::global().counter("sweep.workers_evicted_wedged");
+  static obs::Counter& journal_degraded_counter =
+      obs::Registry::global().counter("sweep.journal_io_degraded");
   static obs::Histogram& rtt_registry_hist =
       obs::Registry::global().histogram("sweep.heartbeat_rtt_s", kRttBounds);
   // Fleet-summed throughput: each worker ships its own sweep.cases_per_s
@@ -283,16 +394,26 @@ SweepResult SweepCoordinator::run(const SweepGrid& grid) {
     if (load.block != 0) block_size = load.block;
     gen = load.max_gen + 1;
     seeded = std::move(load.blocks);
+    stats_.journal_truncations = load.truncations;
+    result.journal_truncations = load.truncations;
     coord_fr.record(clock.now_s(), "restart",
                     "gen=" + std::to_string(gen) +
-                        " shard_blocks=" + std::to_string(seeded.size()));
+                        " shard_blocks=" + std::to_string(seeded.size()) +
+                        " truncations=" + std::to_string(load.truncations));
   }
   stats_.shard_generation = gen;
 
   BlockLedger::Options lopts;
   lopts.backoff_base_s = opts_.lease_backoff_base_s;
   lopts.backoff_cap_s = opts_.lease_backoff_cap_s;
+  lopts.suspect_after = opts_.lease_suspect_after;
+  lopts.probe_case_deaths = opts_.probe_case_deaths;
   BlockLedger ledger(n_cases, block_size, lopts);
+  const auto finalize_containment = [&] {
+    stats_.suspect_blocks = ledger.suspects();
+    stats_.probes_launched = ledger.probes_launched();
+    stats_.probe_quarantined_cases = ledger.probe_quarantined();
+  };
 
   std::size_t folded_cases = 0;
   const auto drain_folds = [&] {
@@ -301,6 +422,18 @@ SweepResult SweepCoordinator::run(const SweepGrid& grid) {
     // those of the serial engine.
     SweepBlock b;
     while (ledger.next_to_fold(b)) {
+      // Chaos hook: simulated coordinator death at a fold boundary. The
+      // thrown InjectedFailure unwinds run() (worker children are killed
+      // by their Subprocess destructors); the chaos harness then
+      // restarts the coordinator with resume=true and proves the shard
+      // union re-folds to the same digest.
+      util::FaultHit coord_hit;
+      if (util::FaultInjector::global().consult("coord.fold", coord_hit) &&
+          coord_hit.action == util::FaultAction::Fail) {
+        throw util::InjectedFailure(
+            "injected coordinator failure before folding block " +
+            std::to_string(b.start));
+      }
       fleet_mark("coord.fold", static_cast<double>(b.start));
       for (std::size_t i = 0; i < b.cases.size(); ++i) {
         runner.fold(result, b.start + i, b.cases[i]);
@@ -332,27 +465,54 @@ SweepResult SweepCoordinator::run(const SweepGrid& grid) {
   // In-process execution: the workers==0 configuration AND the
   // all-workers-dead degradation path. Journals its blocks into its own
   // shard so coordinator crashes stay recoverable on this path too.
+  const auto journal_degrade = [&](const JournalIoError& e) {
+    // The journal is crash insurance, not a correctness dependency:
+    // losing the disk mid-sweep degrades to journal-less, loudly, and
+    // the sweep keeps going.
+    stats_.journal_degraded = true;
+    journal_degraded_counter.add();
+    coord_fr.record(clock.now_s(), "journal_degraded", e.what());
+    fleet_mark("coord.journal_degraded", 0.0);
+    std::fprintf(stderr,
+                 "greenhpc: shard journal degraded to journal-less "
+                 "operation: %s\n",
+                 e.what());
+  };
+
   const auto run_in_process = [&] {
     if (ledger.all_folded()) return;
     util::ThreadPool& pool =
         opts_.pool != nullptr ? *opts_.pool : util::ThreadPool::global();
     std::unique_ptr<SweepJournal> shard;
     if (!opts_.journal_dir.empty()) {
-      shard = std::make_unique<SweepJournal>(SweepJournal::create_shard(
-          opts_.journal_dir, SweepJournal::shard_file_name(gen, "coord"),
-          config, n_cases, block_size));
+      try {
+        shard = std::make_unique<SweepJournal>(SweepJournal::create_shard(
+            opts_.journal_dir, SweepJournal::shard_file_name(gen, "coord"),
+            config, n_cases, block_size));
+      } catch (const JournalIoError& e) {
+        journal_degrade(e);
+      }
     }
     const double kNoBackoff = std::numeric_limits<double>::infinity();
-    std::size_t start = 0;
-    while (ledger.lease(-1, kNoBackoff, start)) {
+    BlockLedger::Lease ls;
+    while (ledger.lease(-1, kNoBackoff, ls)) {
       SweepBlock b;
-      b.start = start;
-      b.cases.resize(std::min(block_size, n_cases - start));
+      b.start = ls.start;
+      b.cases.resize(ls.count);
       pool.parallel_for_chunked(b.cases.size(), 1, [&](std::size_t i) {
-        b.cases[i] = runner.run_case(start + i);
+        b.cases[i] = runner.run_case(ls.start + i);
       });
       b.digest_after = sweep_block_digest(b);
-      if (shard != nullptr) shard->append(b);
+      // Probe results are not shard-journaled: they are single-case and
+      // a restarted coordinator re-probes from its own evidence.
+      if (shard != nullptr && !ls.probe) {
+        try {
+          shard->append(b);
+        } catch (const JournalIoError& e) {
+          journal_degrade(e);
+          shard.reset();
+        }
+      }
       ledger.deliver(b);
       drain_folds();
     }
@@ -360,6 +520,7 @@ SweepResult SweepCoordinator::run(const SweepGrid& grid) {
 
   if (opts_.workers <= 0 || ledger.all_folded()) {
     run_in_process();
+    finalize_containment();
     finalize_fleet();
     return result;
   }
@@ -367,8 +528,10 @@ SweepResult SweepCoordinator::run(const SweepGrid& grid) {
   GREENHPC_REQUIRE(!opts_.worker_argv.empty(),
                    "distributed sweep needs the worker exec argv");
 
-  std::vector<WorkerConn> conns;
-  conns.reserve(static_cast<std::size_t>(opts_.workers));
+  // One WorkerConn per SLOT, not per spawn: a respawned worker reuses
+  // its slot (and its stats row), with a fresh incarnation and its own
+  // shard file so a dead incarnation's journaled evidence survives.
+  std::vector<WorkerConn> conns(static_cast<std::size_t>(opts_.workers));
   stats_.workers.assign(static_cast<std::size_t>(opts_.workers), WorkerInfo{});
 
   const auto alive_count = [&] {
@@ -384,6 +547,9 @@ SweepResult SweepCoordinator::run(const SweepGrid& grid) {
     const long pid = static_cast<long>(c.proc.pid());
     c.proc.kill_hard();
     const std::size_t orphaned = ledger.orphan_worker(c.id, clock.now_s());
+    // A probe death can be the final accusation that quarantines a case
+    // and completes its block — the fold frontier may be movable NOW.
+    drain_folds();
     stats_.blocks_reassigned += orphaned;
     for (std::size_t i = 0; i < orphaned; ++i) reassigned_counter.add();
     ++stats_.worker_deaths;
@@ -413,43 +579,72 @@ SweepResult SweepCoordinator::run(const SweepGrid& grid) {
                  c.id, pid, why, orphaned);
   };
 
-  for (int k = 0; k < opts_.workers; ++k) {
+  /// (Re)spawn slot `k` at incarnation `inc`. False = the spawn failed
+  /// (a dead worker, not a dead sweep).
+  const auto spawn_worker = [&](int k, int inc) -> bool {
     std::vector<std::string> argv = opts_.worker_argv;
     if (!opts_.journal_dir.empty()) {
+      // Incarnation-tagged shard name: a respawn must never truncate the
+      // shard its dead predecessor already made durable.
+      const std::string tag =
+          "w" + std::to_string(k) +
+          (inc > 0 ? "r" + std::to_string(inc) : std::string());
       argv.push_back("--shard-path");
       argv.push_back(opts_.journal_dir + "/" +
-                     SweepJournal::shard_file_name(gen, "w" + std::to_string(k)));
+                     SweepJournal::shard_file_name(gen, tag));
     }
     argv.push_back("--block");
     argv.push_back(std::to_string(block_size));
     if (!opts_.ship_stats) argv.push_back("--no-ship-stats");
     if (fleet != nullptr) argv.push_back("--ship-trace");
+    if (opts_.worker_extra_args) {
+      for (std::string& a : opts_.worker_extra_args(k, inc)) {
+        argv.push_back(std::move(a));
+      }
+    }
     WorkerConn c;
     c.id = k;
+    c.incarnation = inc;
     try {
       c.proc = util::Subprocess::spawn(argv);
     } catch (const std::exception& e) {
-      // A spawn failure is a dead worker, not a dead sweep.
       stats_.workers[static_cast<std::size_t>(k)].died = true;
       ++stats_.worker_deaths;
       deaths_counter.add();
       std::fprintf(stderr, "greenhpc: cannot spawn sweep worker %d: %s\n", k,
                    e.what());
-      continue;
+      c.alive = false;
+      conns[static_cast<std::size_t>(k)] = std::move(c);
+      return false;
     }
     const long wpid = static_cast<long>(c.proc.pid());
-    stats_.workers[static_cast<std::size_t>(k)].pid = wpid;
+    WorkerInfo& wi = stats_.workers[static_cast<std::size_t>(k)];
+    wi.pid = wpid;
+    wi.died = false;
+    wi.ready = false;
+    wi.busy = false;
     c.proc.set_stdout_nonblocking();
     c.channel = std::make_unique<util::LineChannel>(c.proc.stdout_fd());
     c.liveness = util::Deadline(clock.now_s(), opts_.hello_timeout_s);
     c.fr = obs::FlightRecorder(opts_.flight_recorder_events);
     c.rtt = std::make_unique<obs::Histogram>(kRttBounds);
     if (fleet != nullptr) {
-      c.lane = fleet->add_lane(wpid, "sweep worker " + std::to_string(k));
+      c.lane = fleet->add_lane(
+          wpid, "sweep worker " + std::to_string(k) +
+                    (inc > 0 ? " (respawn " + std::to_string(inc) + ")"
+                             : std::string()));
     }
-    c.fr.record(clock.now_s(), "spawn", "pid=" + std::to_string(wpid));
+    c.fr.record(clock.now_s(), "spawn",
+                "pid=" + std::to_string(wpid) + " inc=" + std::to_string(inc));
     fleet_mark("coord.spawn", static_cast<double>(k));
-    conns.push_back(std::move(c));
+    conns[static_cast<std::size_t>(k)] = std::move(c);
+    return true;
+  };
+
+  for (int k = 0; k < opts_.workers; ++k) {
+    conns[static_cast<std::size_t>(k)].id = k;
+    conns[static_cast<std::size_t>(k)].alive = false;
+    spawn_worker(k, 0);
   }
   alive_gauge.set(static_cast<double>(alive_count()));
 
@@ -607,27 +802,51 @@ SweepResult SweepCoordinator::run(const SweepGrid& grid) {
     }
   };
 
-  while (!ledger.all_folded() && alive_count() > 0) {
+  int respawns_used = 0;
+  const auto can_respawn = [&] {
+    return opts_.max_respawns > 0 && respawns_used < opts_.max_respawns;
+  };
+
+  while (!ledger.all_folded() && (alive_count() > 0 || can_respawn())) {
+    // Fleet survival: refill dead slots from the respawn budget before
+    // handing out work. Fresh incarnations get their own shard files
+    // (and, via worker_extra_args, their own fault schedules).
+    for (int k = 0; k < opts_.workers && can_respawn(); ++k) {
+      WorkerConn& c = conns[static_cast<std::size_t>(k)];
+      if (c.alive) continue;
+      ++respawns_used;
+      if (spawn_worker(k, c.incarnation + 1)) {
+        ++stats_.workers_respawned;
+        respawned_counter.add();
+        fleet_mark("coord.respawn", static_cast<double>(k));
+      }
+    }
+    alive_gauge.set(static_cast<double>(alive_count()));
+
     // Hand work to every idle, handshaken worker.
     for (WorkerConn& c : conns) {
       if (!c.alive || !c.hello_ok || c.has_lease) continue;
-      std::size_t start = 0;
-      if (!ledger.lease(c.id, clock.now_s(), start)) break;
-      const std::size_t count = std::min(block_size, n_cases - start);
+      BlockLedger::Lease ls;
+      if (!ledger.lease(c.id, clock.now_s(), ls)) break;
       if (!util::write_all(c.proc.stdin_fd(),
-                           encode_assign(start, count) + "\n")) {
+                           encode_assign(ls.start, ls.count) + "\n")) {
         declare_dead(c, "assign write failed");
         continue;
       }
       c.has_lease = true;
-      c.lease_start = start;
+      c.lease_start = ls.start;
       c.lease_deadline = util::Deadline(clock.now_s(), opts_.lease_timeout_s);
+      if (opts_.progress_timeout_s > 0.0) {
+        c.progress_deadline =
+            util::Deadline(clock.now_s(), opts_.progress_timeout_s);
+      }
       c.lease_grant_ns = obs::Tracer::now_ns();
       stats_.workers[static_cast<std::size_t>(c.id)].busy = true;
       c.fr.record(clock.now_s(), "assign",
-                  "start=" + std::to_string(start) +
-                      " count=" + std::to_string(count));
-      fleet_mark("coord.assign", static_cast<double>(start));
+                  "start=" + std::to_string(ls.start) +
+                      " count=" + std::to_string(ls.count) +
+                      (ls.probe ? " probe" : ""));
+      fleet_mark("coord.assign", static_cast<double>(ls.start));
     }
 
     // Sleep until the earliest of: any pipe readable, the next liveness
@@ -640,6 +859,9 @@ SweepResult SweepCoordinator::run(const SweepGrid& grid) {
       timeout = std::min(timeout, c.liveness.remaining_s(now));
       if (c.has_lease) {
         timeout = std::min(timeout, c.lease_deadline.remaining_s(now));
+        if (opts_.progress_timeout_s > 0.0) {
+          timeout = std::min(timeout, c.progress_deadline.remaining_s(now));
+        }
       }
     }
     const double next_ready = ledger.next_ready_s();
@@ -702,6 +924,22 @@ SweepResult SweepCoordinator::run(const SweepGrid& grid) {
         const double age_s =
             opts_.lease_timeout_s - c.lease_deadline.remaining_s(tick);
         max_lease_age_s = std::max(max_lease_age_s, age_s);
+        // The wedged trap fires FIRST and separately from the heartbeat
+        // detector: a worker stuck in a busy loop (or an injected stall)
+        // keeps heartbeating from its heartbeat thread, so liveness
+        // alone would wait out the full lease timeout.
+        if (opts_.progress_timeout_s > 0.0 &&
+            c.progress_deadline.expired(tick)) {
+          ++stats_.workers_evicted_wedged;
+          evicted_counter.add();
+          c.fr.record(tick, "wedged",
+                      "start=" + std::to_string(c.lease_start) +
+                          " no progress for " +
+                          std::to_string(opts_.progress_timeout_s) + "s");
+          fleet_mark("coord.evict_wedged", static_cast<double>(c.id));
+          declare_dead(c, "wedged: heartbeating but no block progress");
+          continue;
+        }
         if (c.lease_deadline.expired(tick)) {
           declare_dead(c, "lease timeout (hung block)");
         }
@@ -809,6 +1047,7 @@ SweepResult SweepCoordinator::run(const SweepGrid& grid) {
                  opts_.workers, ledger.pending() + ledger.leased());
     run_in_process();
   }
+  finalize_containment();
   finalize_fleet();
   return result;
 }

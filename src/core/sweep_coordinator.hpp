@@ -60,6 +60,20 @@ namespace greenhpc::core {
 /// sleeping. deliver() accepts records from ANY source (worker message,
 /// shard replay, in-process fallback) and deduplicates at-least-once
 /// delivery into exactly-once folding, keyed by block start + digest.
+///
+/// POISON CONTAINMENT: a block whose workers keep dying would otherwise
+/// be reassigned forever (capped backoff, unbounded attempts) and — once
+/// it has killed the whole fleet — crash into the in-process fallback
+/// too. With `suspect_after` set, a block orphaned that many times is
+/// declared SUSPECT and is no longer handed out whole: lease() bisects
+/// it into single-case PROBE leases (one in flight per suspect block).
+/// A probe that completes pins its case's outcome; a probe whose worker
+/// dies accuses exactly one case, and at `probe_case_deaths` accusations
+/// the case is quarantined (an ok=false outcome that folds into
+/// SweepResult::failed_cases, never into the digest). When every case of
+/// a suspect block is pinned, the ledger synthesizes the block record
+/// and folding proceeds exactly as if a worker had delivered it — the
+/// fleet stays alive and the sweep terminates with the poison named.
 class BlockLedger {
  public:
   struct Options {
@@ -68,17 +82,34 @@ class BlockLedger {
     /// workers instead of hot-looping the fleet into it.
     double backoff_base_s = 0.25;
     double backoff_cap_s = 5.0;
+    /// Orphanings of the SAME block before it is declared suspect and
+    /// further leases become single-case probes. 0 = containment off
+    /// (a block is retried whole forever — the pre-containment
+    /// semantics).
+    int suspect_after = 0;
+    /// Probe-worker deaths on the SAME case before it is quarantined.
+    int probe_case_deaths = 2;
   };
 
   BlockLedger(std::size_t cases, std::size_t block, Options opts);
   BlockLedger(std::size_t cases, std::size_t block);
 
+  /// One granted assignment: a whole block, or a single-case probe of a
+  /// suspect block (`count == 1`, `start` an arbitrary flat case id).
+  struct Lease {
+    std::size_t start = 0;
+    std::size_t count = 0;
+    bool probe = false;
+  };
+
   /// Lease the lowest pending block whose backoff has elapsed to
-  /// `worker`; false when none is leasable right now.
-  bool lease(int worker, double now_s, std::size_t& start_out);
+  /// `worker` (a single-case probe when that block is suspect); false
+  /// when none is leasable right now.
+  bool lease(int worker, double now_s, Lease& out);
 
   /// Return every block leased to `worker` to Pending with backoff
-  /// (the worker died or hung). Returns how many blocks were orphaned.
+  /// (the worker died or hung). A probe lease accuses its single case
+  /// (see class comment). Returns how many leases were orphaned.
   std::size_t orphan_worker(int worker, double now_s);
 
   enum class Deliver { Accepted, Duplicate };
@@ -90,6 +121,9 @@ class BlockLedger {
   /// already-delivered block is a Duplicate when the digests agree and
   /// an InvalidArgument when they differ: duplicate delivery is normal
   /// under at-least-once semantics, disagreement is nondeterminism.
+  /// A single-case record is a PROBE result and is only accepted for a
+  /// suspect block; it pins that case and, once every case of the block
+  /// is pinned, promotes the synthesized block to Ready.
   Deliver deliver(const SweepBlock& rec);
 
   /// Pop the next block in FLAT CASE ORDER if it is Ready — the gate
@@ -107,9 +141,16 @@ class BlockLedger {
   [[nodiscard]] double next_ready_s() const;
   [[nodiscard]] std::size_t block() const { return block_; }
   [[nodiscard]] std::size_t cases() const { return cases_; }
+  // Poison-containment accounting.
+  [[nodiscard]] std::size_t suspects() const { return suspect_blocks_; }
+  [[nodiscard]] std::size_t probes_launched() const { return probes_launched_; }
+  [[nodiscard]] std::size_t probe_quarantined() const {
+    return probe_quarantined_;
+  }
 
  private:
   enum class State { Pending, Leased, Ready, Folded };
+  static constexpr std::size_t kNoProbe = static_cast<std::size_t>(-1);
   struct Entry {
     State state = State::Pending;
     int worker = -1;
@@ -117,9 +158,17 @@ class BlockLedger {
     double ready_at_s = 0.0;    ///< backoff gate while Pending
     std::uint64_t digest = 0;   ///< block-local digest once Ready/Folded
     SweepBlock record;          ///< payload once Ready (cleared on fold)
+    // Suspect-block probe state (poison containment).
+    bool suspect = false;
+    std::size_t probe_active = kNoProbe;      ///< in-block offset in flight
+    std::vector<SweepCaseOutcome> probe_out;  ///< pinned outcomes
+    std::vector<std::uint8_t> probe_done;     ///< 1 = outcome pinned
+    std::vector<int> probe_deaths;            ///< accusations per case
   };
 
   [[nodiscard]] std::size_t size_of(std::size_t index) const;
+  /// Promote a fully-probed suspect block to Ready (synthesized record).
+  void finalize_if_probed(std::size_t index);
 
   std::size_t cases_ = 0;
   std::size_t block_ = 0;
@@ -130,6 +179,9 @@ class BlockLedger {
   std::size_t pending_ = 0;
   std::size_t leased_ = 0;
   std::size_t duplicates_ = 0;
+  std::size_t suspect_blocks_ = 0;
+  std::size_t probes_launched_ = 0;
+  std::size_t probe_quarantined_ = 0;
 };
 
 class SweepCoordinator {
@@ -160,10 +212,32 @@ class SweepCoordinator {
     /// A leased block must complete within this long (hung-worker trap;
     /// scale to the slowest expected block).
     double lease_timeout_s = 300.0;
+    /// Wedged-worker trap, DISTINCT from the heartbeat deadline: a
+    /// worker that heartbeats on time but makes no block progress for
+    /// this long is evicted (flight-recorded, counted in
+    /// `workers_evicted_wedged`). Heartbeats prove the process is alive;
+    /// this proves it is working. 0 = disabled.
+    double progress_timeout_s = 0.0;
 
     /// Reassignment backoff (see BlockLedger::Options).
     double lease_backoff_base_s = 0.25;
     double lease_backoff_cap_s = 5.0;
+    /// Poison containment (see BlockLedger::Options): orphanings before
+    /// a block is probed case-by-case, and probe deaths before the
+    /// accused case is quarantined.
+    int lease_suspect_after = 3;
+    int probe_case_deaths = 2;
+
+    /// Fleet survival budget: dead worker slots are respawned (fresh
+    /// incarnation, own shard file) until this many respawns have been
+    /// spent. 0 = a dead worker stays dead (pre-chaos behaviour).
+    int max_respawns = 0;
+    /// Extra argv appended when (re)spawning worker `slot` at
+    /// `incarnation` (0 = first spawn). The chaos harness uses this to
+    /// arm injector specs per worker — respawned incarnations get a
+    /// healthy schedule so a kill-loop cannot exhaust the budget.
+    std::function<std::vector<std::string>(int slot, int incarnation)>
+        worker_extra_args;
 
     SweepCaseRunner::Options case_opts;
     /// Progress callback, (cases folded, cases total) — same contract as
@@ -214,6 +288,14 @@ class SweepCoordinator {
     std::size_t replayed_blocks = 0;   ///< seeded from shard journals
     bool degraded_in_process = false;  ///< fallback path ran
     int shard_generation = 0;          ///< generation of this run's shards
+    // Containment accounting.
+    std::size_t workers_respawned = 0;
+    std::size_t workers_evicted_wedged = 0;  ///< heartbeating, no progress
+    std::size_t suspect_blocks = 0;          ///< blocks probed case-by-case
+    std::size_t probes_launched = 0;
+    std::size_t probe_quarantined_cases = 0;
+    std::size_t journal_truncations = 0;  ///< shard suffixes dropped on resume
+    bool journal_degraded = false;  ///< shard journaling lost to an I/O fault
     // Observability plane.
     std::size_t obs_lines_rejected = 0;  ///< defective stat/trace lines
     std::size_t stat_batches = 0;

@@ -15,6 +15,7 @@
 #include "core/sweep_wire.hpp"
 #include "obs/metrics.hpp"
 #include "util/error.hpp"
+#include "util/fault_injector.hpp"
 
 namespace greenhpc::core {
 
@@ -34,22 +35,27 @@ void mkdir_recursive(const std::string& dir) {
     if (i < dir.size()) partial += '/';
     if (partial.empty() || partial == "/") continue;
     if (::mkdir(partial.c_str(), 0777) != 0 && errno != EEXIST) {
-      GREENHPC_REQUIRE(false, "cannot create journal directory: " + partial +
-                                  ": " + std::strerror(errno));
+      throw JournalIoError("cannot create journal directory: " + partial +
+                           ": " + std::strerror(errno));
     }
   }
 }
 
 void append_durable(const std::string& path, const std::string& data) {
   const int fd = ::open(path.c_str(), O_WRONLY | O_APPEND);
-  GREENHPC_REQUIRE(fd >= 0, "cannot open journal for append: " + path);
+  if (fd < 0) {
+    throw JournalIoError("cannot open journal for append: " + path + ": " +
+                         std::strerror(errno));
+  }
   std::size_t off = 0;
   while (off < data.size()) {
     const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
     if (n < 0) {
       if (errno == EINTR) continue;
+      const int saved = errno;
       ::close(fd);
-      GREENHPC_REQUIRE(false, "journal write failed: " + path);
+      throw JournalIoError("journal write failed: " + path + ": " +
+                           std::strerror(saved));
     }
     off += static_cast<std::size_t>(n);
   }
@@ -57,7 +63,7 @@ void append_durable(const std::string& path, const std::string& data) {
   // once its record survives a crash.
   const int rc = ::fsync(fd);
   ::close(fd);
-  GREENHPC_REQUIRE(rc == 0, "journal fsync failed: " + path);
+  if (rc != 0) throw JournalIoError("journal fsync failed: " + path);
 }
 
 /// Write the fsynced header of a fresh journal file and fsync the
@@ -73,16 +79,16 @@ void write_header_durable(const std::string& dir, const std::string& path,
       "\n";
   {
     std::ofstream out(path, std::ios::binary | std::ios::trunc);
-    GREENHPC_REQUIRE(static_cast<bool>(out), "cannot create journal file: " + path);
+    if (!out) throw JournalIoError("cannot create journal file: " + path);
     out << header;
     out.flush();
-    GREENHPC_REQUIRE(static_cast<bool>(out), "journal header write failed: " + path);
+    if (!out) throw JournalIoError("journal header write failed: " + path);
   }
   const int fd = ::open(path.c_str(), O_WRONLY);
-  GREENHPC_REQUIRE(fd >= 0, "cannot reopen journal: " + path);
+  if (fd < 0) throw JournalIoError("cannot reopen journal: " + path);
   const int rc = ::fsync(fd);
   ::close(fd);
-  GREENHPC_REQUIRE(rc == 0, "journal fsync failed: " + path);
+  if (rc != 0) throw JournalIoError("journal fsync failed: " + path);
   const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
   if (dfd >= 0) {
     ::fsync(dfd);
@@ -130,13 +136,16 @@ Header read_header(const std::string& line, const std::string& path,
   return h;
 }
 
-/// Satellite hardening: dropping a torn/corrupt suffix must be loud.
-/// One stderr line (file, first dropped line, bytes discarded) plus a
-/// metrics counter — silent data loss in a recovery path is how
-/// corruption goes unnoticed for months.
-void report_truncation(const std::string& path, std::size_t first_bad_line,
-                       std::size_t bytes_dropped) {
-  if (bytes_dropped == 0) return;
+/// Dropping a torn/corrupt suffix must be loud. One stderr line (file,
+/// first dropped line, bytes discarded) plus a metrics counter — silent
+/// data loss in a recovery path is how corruption goes unnoticed for
+/// months. Returns 1 when a truncation happened so CALLERS can account
+/// per run (the obs counter is process-cumulative; RunReports must not
+/// bleed counts across back-to-back sweeps in one process).
+std::size_t report_truncation(const std::string& path,
+                              std::size_t first_bad_line,
+                              std::size_t bytes_dropped) {
+  if (bytes_dropped == 0) return 0;
   static obs::Counter& truncations =
       obs::Registry::global().counter("sweep.journal_truncations");
   truncations.add();
@@ -144,6 +153,7 @@ void report_truncation(const std::string& path, std::size_t first_bad_line,
                "greenhpc: journal %s: dropped %zu bytes of torn/corrupt "
                "suffix starting at line %zu\n",
                path.c_str(), bytes_dropped, first_bad_line);
+  return 1;
 }
 
 [[nodiscard]] std::size_t file_size_of(const std::string& path) {
@@ -281,7 +291,8 @@ SweepJournal SweepJournal::resume(const std::string& dir,
     j.completed_.push_back(std::move(rec));
   }
   in.close();
-  report_truncation(j.path_, line_no, file_size_of(j.path_) - valid_bytes);
+  j.truncations_ +=
+      report_truncation(j.path_, line_no, file_size_of(j.path_) - valid_bytes);
   // Truncate away the invalid suffix so appended blocks follow the last
   // valid record, not garbage.
   GREENHPC_REQUIRE(::truncate(j.path_.c_str(),
@@ -361,7 +372,8 @@ SweepJournal::ShardLoad SweepJournal::load_shards(const std::string& dir,
       load.blocks.push_back(std::move(rec));
     }
     in.close();
-    report_truncation(path, line_no, file_size_of(path) - valid_bytes);
+    load.truncations +=
+        report_truncation(path, line_no, file_size_of(path) - valid_bytes);
   }
   std::sort(load.blocks.begin(), load.blocks.end(),
             [](const BlockRecord& a, const BlockRecord& b) {
@@ -384,12 +396,29 @@ void SweepJournal::append(const BlockRecord& record) {
     GREENHPC_ASSERT(record.start == resume_point(),
                     "journal blocks must be appended in case order");
   }
-  append_durable(path_, wire::serialize_block(record) + "\n");
+  const std::string line = wire::serialize_block(record) + "\n";
+  util::FaultHit hit;
+  if (util::FaultInjector::global().consult("journal.append", hit)) {
+    switch (hit.action) {
+      case util::FaultAction::Fail:
+        // ENOSPC/EIO stand-in: the write never reaches the disk.
+        throw JournalIoError("injected journal I/O failure: " + path_);
+      case util::FaultAction::ShortWrite: {
+        // Torn-line stand-in: part of the record lands durably, then the
+        // device fails. resume()/load_shards() must drop the torn tail.
+        const std::size_t keep =
+            std::min<std::size_t>(hit.param, line.size());
+        append_durable(path_, line.substr(0, keep));
+        throw JournalIoError("injected short journal write (" +
+                             std::to_string(keep) + " of " +
+                             std::to_string(line.size()) + " bytes): " + path_);
+      }
+      default:
+        break;  // action meant for another site: ignore
+    }
+  }
+  append_durable(path_, line);
   completed_.push_back(record);
-}
-
-std::uint64_t journal_truncations() {
-  return obs::Registry::global().counter("sweep.journal_truncations").value();
 }
 
 }  // namespace greenhpc::core

@@ -47,12 +47,25 @@
 // so a restart never clobbers the shards that survived the crash.
 
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "core/sweep.hpp"
 
 namespace greenhpc::core {
+
+/// A journal I/O failure (ENOSPC, EIO, a vanished directory) at append
+/// time. Distinct from InvalidArgument/LogicError because the CORRECT
+/// response differs: a sweep must not abort mid-run because its crash
+/// insurance broke — callers catch this, count a warning, drop to
+/// journal-less operation and keep simulating. Configuration errors
+/// (wrong grid, misaligned block) stay InvalidArgument/LogicError and
+/// still abort.
+class JournalIoError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 class SweepJournal {
  public:
@@ -107,6 +120,7 @@ class SweepJournal {
     std::size_t duplicate_blocks = 0;  ///< identical records dropped
     int max_gen = -1;                  ///< highest generation seen (-1: none)
     std::size_t block = 0;             ///< block size recorded by the shards
+    std::size_t truncations = 0;       ///< files whose corrupt suffix was dropped
   };
 
   /// Scan `dir` for shard journals and merge their valid records.
@@ -147,13 +161,19 @@ class SweepJournal {
   [[nodiscard]] const std::string& path() const { return path_; }
   /// Whether this journal was opened in shard mode.
   [[nodiscard]] bool is_shard() const { return shard_; }
+  /// Truncation events THIS instance performed (resume() dropping a
+  /// torn/corrupt suffix). Per-run by construction — two sweeps in one
+  /// process each report only their own journal's truncations.
+  [[nodiscard]] std::uint64_t truncations() const { return truncations_; }
 
   /// Append one completed block: serialize, write, flush, fsync. The
   /// record is durable when this returns. Chained mode: blocks must
   /// arrive in case order (start == resume_point()). Shard mode: any
   /// order, but the record must be block-aligned with the right size and
   /// its digest must re-fold (LogicError otherwise — the caller built a
-  /// broken record).
+  /// broken record). Throws JournalIoError if the write or fsync fails;
+  /// the record is NOT recorded as completed in that case (the file may
+  /// hold a torn line, which resume() will drop).
   void append(const BlockRecord& record);
 
   /// Journal file name inside a run directory (chained mode).
@@ -167,13 +187,8 @@ class SweepJournal {
   std::size_t cases_ = 0;
   std::size_t block_ = 0;
   bool shard_ = false;
+  std::uint64_t truncations_ = 0;
   std::vector<BlockRecord> completed_;
 };
-
-/// Process-wide count of journal truncation events so far (the
-/// `sweep.journal_truncations` metrics counter): torn or corrupt journal
-/// suffixes dropped during resume. Surfaced in the sweep run report so a
-/// resumed run that silently lost work is auditable from the artifact.
-[[nodiscard]] std::uint64_t journal_truncations();
 
 }  // namespace greenhpc::core

@@ -5,6 +5,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -15,11 +16,21 @@
 #include "obs/trace.hpp"
 #include "util/deadline.hpp"
 #include "util/error.hpp"
+#include "util/fault_injector.hpp"
 #include "util/subprocess.hpp"
 
 namespace greenhpc::core {
 
 namespace {
+
+/// Injected sleep, milliseconds (Stall/Delay actions).
+void chaos_sleep_ms(std::uint64_t ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+/// Injected process death. 137 = the 128+SIGKILL convention, so chaos
+/// kills look exactly like the OOM-killer to the coordinator.
+[[noreturn]] void chaos_kill() { std::_Exit(137); }
 
 /// Split `dir/file` for SweepJournal::create_shard.
 void split_path(const std::string& path, std::string& dir, std::string& file) {
@@ -40,6 +51,21 @@ SweepWorker::SweepWorker(Options opts) : opts_(std::move(opts)) {
 }
 
 int SweepWorker::run(const SweepGrid& grid) {
+  util::FaultInjector& chaos = util::FaultInjector::global();
+  {
+    // Chaos hook: slow-start (Delay) or death before the hello (Kill) —
+    // the coordinator's hello-deadline detector owns this window.
+    util::FaultHit hit;
+    if (chaos.consult("worker.start", hit)) {
+      if (hit.action == util::FaultAction::Kill && chaos.lethal()) {
+        chaos_kill();
+      }
+      if (hit.action == util::FaultAction::Delay ||
+          hit.action == util::FaultAction::Stall) {
+        chaos_sleep_ms(hit.param);
+      }
+    }
+  }
   std::unique_ptr<SweepCaseRunner> runner;
   try {
     runner = std::make_unique<SweepCaseRunner>(grid, opts_.case_opts);
@@ -56,8 +82,18 @@ int SweepWorker::run(const SweepGrid& grid) {
   if (!opts_.shard_path.empty()) {
     std::string dir, file;
     split_path(opts_.shard_path, dir, file);
-    shard = std::make_unique<SweepJournal>(
-        SweepJournal::create_shard(dir, file, config, n_cases, opts_.block));
+    try {
+      shard = std::make_unique<SweepJournal>(
+          SweepJournal::create_shard(dir, file, config, n_cases, opts_.block));
+    } catch (const JournalIoError& e) {
+      // A worker without crash insurance is still a working worker: the
+      // coordinator re-leases anything this worker dies holding.
+      obs::Registry::global().counter("sweep.journal_io_degraded").add();
+      std::fprintf(stderr,
+                   "greenhpc: worker shard journal degraded to journal-less "
+                   "operation: %s\n",
+                   e.what());
+    }
   }
 
   util::LineWriter out(opts_.out_fd);
@@ -132,6 +168,17 @@ int SweepWorker::run(const SweepGrid& grid) {
       hb_cv.wait_for(lock,
                      std::chrono::duration<double>(opts_.heartbeat_interval_s));
       if (hb_stop) return;
+      {
+        // Chaos hook: drop or delay this beat. Consulted per beat, so a
+        // Drop spec with count=N silences exactly N consecutive beats —
+        // enough to drive the coordinator through miss counting without
+        // (or into) the death verdict, depending on N.
+        util::FaultHit hit;
+        if (chaos.consult("worker.heartbeat", hit)) {
+          if (hit.action == util::FaultAction::Drop) continue;
+          if (hit.action == util::FaultAction::Delay) chaos_sleep_ms(hit.param);
+        }
+      }
       if (!out.write_line(encode_heartbeat(pid))) return;  // peer gone
       // Piggyback a registry snapshot on the heartbeat cadence: the
       // coordinator turns the line's clock reading into an RTT sample
@@ -173,8 +220,12 @@ int SweepWorker::run(const SweepGrid& grid) {
       rc = 2;  // the coordinator never sends anything else
       break;
     }
-    if (m.start % opts_.block != 0 || m.start >= n_cases ||
-        m.count != std::min(opts_.block, n_cases - m.start)) {
+    // A valid assignment is either a whole aligned block or a
+    // single-case PROBE of a suspect block (poison containment).
+    const bool aligned = m.start % opts_.block == 0 && m.start < n_cases &&
+                         m.count == std::min(opts_.block, n_cases - m.start);
+    const bool probe = m.count == 1 && m.start < n_cases;
+    if (!aligned && !probe) {
       rc = 2;
       break;
     }
@@ -192,12 +243,38 @@ int SweepWorker::run(const SweepGrid& grid) {
       block.digest_after = sweep_block_digest(block);
       fleet_span("worker.block", span_t0_ns);
     }
+    {
+      // Chaos hook, placed in the worst spot by design: AFTER the block
+      // computed, BEFORE it is journaled or reported. Kill loses the
+      // whole block's work (re-lease must recompute); Stall wedges the
+      // main thread while the heartbeat thread keeps beating — exactly
+      // the failure the coordinator's progress deadline exists to catch.
+      util::FaultHit hit;
+      if (chaos.consult("worker.block", hit)) {
+        if (hit.action == util::FaultAction::Kill && chaos.lethal()) {
+          chaos_kill();
+        }
+        if (hit.action == util::FaultAction::Stall) chaos_sleep_ms(hit.param);
+      }
+    }
 
     // Durability before visibility: once the coordinator sees this
     // record it may never be re-leased, so it must already be on disk.
-    if (shard != nullptr) {
+    // Probe results are deliberately NOT journaled: shard records must
+    // stay block-aligned, and a restarted coordinator re-probes from
+    // its own lease-death evidence.
+    if (shard != nullptr && aligned) {
       const std::uint64_t span_t0_ns = obs::Tracer::now_ns();
-      shard->append(block);
+      try {
+        shard->append(block);
+      } catch (const JournalIoError& e) {
+        obs::Registry::global().counter("sweep.journal_io_degraded").add();
+        std::fprintf(stderr,
+                     "greenhpc: worker shard journal degraded to "
+                     "journal-less operation: %s\n",
+                     e.what());
+        shard.reset();
+      }
       fleet_span("worker.journal", span_t0_ns);
     }
     block_hist.record(clock.now_s() - block_t0_s);
@@ -206,7 +283,36 @@ int SweepWorker::run(const SweepGrid& grid) {
     if (elapsed_s > 0.0) {
       rate_gauge.set(static_cast<double>(done_cases) / elapsed_s);
     }
-    if (!out.write_line(SweepJournal::serialize_block_line(block))) {
+    std::string report = SweepJournal::serialize_block_line(block);
+    {
+      // Chaos hook: corrupt the sealed report line in flight. Every
+      // mutation fails the line's FNV seal at the coordinator (a
+      // surviving corruption is a ~2^-64 event), which must be treated
+      // as a protocol violation, never folded.
+      util::FaultHit hit;
+      if (chaos.consult("worker.report", hit)) {
+        switch (hit.action) {
+          case util::FaultAction::Truncate:
+            report.resize(report.size() -
+                          std::min<std::size_t>(hit.param, report.size()));
+            break;
+          case util::FaultAction::ShortWrite:
+            report.resize(std::min<std::size_t>(hit.param, report.size()));
+            break;
+          case util::FaultAction::BitFlip:
+            if (!report.empty()) {
+              const std::uint64_t bit = hit.param % (report.size() * 8);
+              report[bit / 8] = static_cast<char>(
+                  static_cast<unsigned char>(report[bit / 8]) ^
+                  (1u << (bit % 8)));
+            }
+            break;
+          default:
+            break;
+        }
+      }
+    }
+    if (!out.write_line(report)) {
       break;  // coordinator died mid-run; the shard record survives
     }
     if (opts_.ship_stats) ship_stat();

@@ -59,11 +59,14 @@ class SweepWorker {
 
   explicit SweepWorker(Options opts);
 
-  /// Serve assignments until shutdown/EOF. Returns the process exit
-  /// code: 0 clean (shutdown, stdin EOF, or coordinator gone mid-write),
-  /// 2 on a protocol violation from the coordinator, 3 on a grid the
-  /// runner rejects. Exceptions inside a CASE never surface here — the
-  /// runner quarantines them into the block record.
+  /// Serve assignments until shutdown/EOF. An assignment is a whole
+  /// aligned block or a single-case probe (the coordinator's poison
+  /// containment); probe results are reported but never shard-journaled.
+  /// Returns the process exit code: 0 clean (shutdown, stdin EOF, or
+  /// coordinator gone mid-write), 2 on a protocol violation from the
+  /// coordinator, 3 on a grid the runner rejects. Exceptions inside a
+  /// CASE never surface here — the runner quarantines them into the
+  /// block record.
   [[nodiscard]] int run(const SweepGrid& grid);
 
  private:

@@ -11,7 +11,9 @@
 // the failure debuggable, and a bounded ring means recording can stay on
 // even on week-long sweeps. write_jsonl emits one JSON object per line
 // (oldest surviving event first, with its global sequence number), the
-// shape the CI kill jobs validate and upload.
+// shape the CI kill jobs validate and upload. The chaos harness reuses
+// the same ring + JSONL shape for its per-schedule verdict lane
+// (`chaos-events.jsonl`), so one validator reads both artifacts.
 //
 // Not thread-safe: each recorder is owned by the single thread that runs
 // the coordinator event loop (matching the rest of the coordinator's

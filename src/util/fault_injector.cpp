@@ -1,0 +1,167 @@
+#include "util/fault_injector.hpp"
+
+#include <cstdlib>
+
+#include "obs/metrics.hpp"
+
+namespace greenhpc::util {
+
+namespace {
+
+/// Chaos lane accounting: every fired spec is visible in the registry
+/// (and thus in shipped `stat` snapshots), so a chaos run can tell
+/// "nothing fired" apart from "everything fired and was contained".
+void count_fired() {
+  static obs::Counter& fired =
+      obs::Registry::global().counter("chaos.faults_injected");
+  fired.add();
+}
+
+}  // namespace
+
+FaultInjector& FaultInjector::global() {
+  static FaultInjector instance;
+  return instance;
+}
+
+void FaultInjector::arm(std::vector<FaultSpec> specs) {
+  std::lock_guard<std::mutex> lock(mu_);
+  specs_ = std::move(specs);
+  counters_.clear();
+  armed_.store(!specs_.empty(), std::memory_order_relaxed);
+}
+
+void FaultInjector::disarm() {
+  std::lock_guard<std::mutex> lock(mu_);
+  specs_.clear();
+  counters_.clear();
+  armed_.store(false, std::memory_order_relaxed);
+}
+
+bool FaultInjector::consult(const std::string& site, FaultHit& hit) {
+  if (!armed()) return false;  // the production fast path: one atomic load
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t n = counters_[site]++;
+  for (const FaultSpec& s : specs_) {
+    if (s.site != site) continue;
+    if (n < s.at || n - s.at >= s.count) continue;
+    hit.action = s.action;
+    hit.param = s.param;
+    count_fired();
+    return true;
+  }
+  return false;
+}
+
+bool FaultInjector::match_value(const std::string& site, std::uint64_t value,
+                                FaultHit& hit) {
+  if (!armed()) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const FaultSpec& s : specs_) {
+    if (s.site != site || s.at != value) continue;
+    hit.action = s.action;
+    hit.param = s.param;
+    count_fired();
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t FaultInjector::occurrences(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = counters_.find(site);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+const char* FaultInjector::action_name(FaultAction action) {
+  switch (action) {
+    case FaultAction::Fail: return "fail";
+    case FaultAction::Kill: return "kill";
+    case FaultAction::Stall: return "stall";
+    case FaultAction::Delay: return "delay";
+    case FaultAction::Drop: return "drop";
+    case FaultAction::Truncate: return "truncate";
+    case FaultAction::BitFlip: return "bitflip";
+    case FaultAction::ShortWrite: return "shortwrite";
+  }
+  return "fail";
+}
+
+bool FaultInjector::parse_action(const std::string& name, FaultAction& out) {
+  static const struct { const char* name; FaultAction action; } kTable[] = {
+      {"fail", FaultAction::Fail},         {"kill", FaultAction::Kill},
+      {"stall", FaultAction::Stall},       {"delay", FaultAction::Delay},
+      {"drop", FaultAction::Drop},         {"truncate", FaultAction::Truncate},
+      {"bitflip", FaultAction::BitFlip},   {"shortwrite", FaultAction::ShortWrite},
+  };
+  for (const auto& e : kTable) {
+    if (name == e.name) {
+      out = e.action;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string FaultInjector::encode(const std::vector<FaultSpec>& specs) {
+  std::string out;
+  for (const FaultSpec& s : specs) {
+    if (!out.empty()) out += ',';
+    out += s.site;
+    out += ':';
+    out += std::to_string(s.at);
+    out += ':';
+    out += std::to_string(s.count);
+    out += ':';
+    out += action_name(s.action);
+    out += ':';
+    out += std::to_string(s.param);
+  }
+  return out;
+}
+
+namespace {
+
+bool parse_u64(const std::string& text, std::uint64_t& out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  out = std::strtoull(text.c_str(), &end, 10);
+  return end != nullptr && *end == '\0';
+}
+
+std::vector<std::string> split_on(const std::string& text, char sep) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (const char c : text) {
+    if (c == sep) {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+}  // namespace
+
+bool FaultInjector::decode(const std::string& text,
+                           std::vector<FaultSpec>& out) {
+  out.clear();
+  if (text.empty()) return true;
+  for (const std::string& item : split_on(text, ',')) {
+    const std::vector<std::string> f = split_on(item, ':');
+    if (f.size() != 5 || f[0].empty()) return false;
+    FaultSpec s;
+    s.site = f[0];
+    if (!parse_u64(f[1], s.at) || !parse_u64(f[2], s.count) ||
+        !parse_action(f[3], s.action) || !parse_u64(f[4], s.param)) {
+      return false;
+    }
+    out.push_back(std::move(s));
+  }
+  return true;
+}
+
+}  // namespace greenhpc::util

@@ -48,6 +48,13 @@ Subprocess Subprocess::spawn(const std::vector<std::string>& argv) {
     throw std::runtime_error(std::string("Subprocess: pipe failed: ") +
                              std::strerror(saved));
   }
+  // The parent's ends must not leak into LATER children: without
+  // FD_CLOEXEC, worker N+1 inherits a copy of worker N's stdin write end,
+  // and closing it in the parent no longer delivers EOF — the "no more
+  // work" half of graceful shutdown silently stops working the moment a
+  // second worker is spawned.
+  ::fcntl(to_child[1], F_SETFD, FD_CLOEXEC);
+  ::fcntl(from_child[0], F_SETFD, FD_CLOEXEC);
 
   const pid_t pid = ::fork();
   if (pid < 0) {
@@ -63,8 +70,17 @@ Subprocess Subprocess::spawn(const std::vector<std::string>& argv) {
   if (pid == 0) {
     // Child: wire the pipes to stdin/stdout, close everything else we
     // opened, exec. Only async-signal-safe calls between fork and exec.
-    ::dup2(to_child[0], STDIN_FILENO);
-    ::dup2(from_child[1], STDOUT_FILENO);
+    // dup2 can be interrupted by a signal delivered to the forked child;
+    // a failed dup2 must not fall through to exec with a dangling stdio.
+    int rc;
+    do {
+      rc = ::dup2(to_child[0], STDIN_FILENO);
+    } while (rc < 0 && errno == EINTR);
+    if (rc < 0) ::_exit(127);
+    do {
+      rc = ::dup2(from_child[1], STDOUT_FILENO);
+    } while (rc < 0 && errno == EINTR);
+    if (rc < 0) ::_exit(127);
     ::close(to_child[0]);
     ::close(to_child[1]);
     ::close(from_child[0]);
@@ -219,7 +235,14 @@ bool LineChannel::next_line(std::string& out) {
 LineChannel::Fill LineChannel::fill() {
   if (eof_) return Fill::Eof;
   char chunk[4096];
-  const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+  // Retry EINTR here rather than reporting WouldBlock: on a BLOCKING fd a
+  // WouldBlock return tells the caller "poll again", and poll would report
+  // the fd readable immediately — a signal-storm busy-spin. The read itself
+  // is the correct retry point.
+  ssize_t n;
+  do {
+    n = ::read(fd_, chunk, sizeof(chunk));
+  } while (n < 0 && errno == EINTR);
   if (n > 0) {
     buf_.append(chunk, static_cast<std::size_t>(n));
     return Fill::Data;
@@ -228,7 +251,6 @@ LineChannel::Fill LineChannel::fill() {
     eof_ = true;
     return Fill::Eof;
   }
-  if (errno == EINTR) return Fill::WouldBlock;
   if (errno == EAGAIN || errno == EWOULDBLOCK) return Fill::WouldBlock;
   eof_ = true;  // unrecoverable read error: treat as a dead peer
   return Fill::Error;

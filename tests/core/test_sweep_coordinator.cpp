@@ -76,14 +76,17 @@ SweepBlock make_rec(std::size_t cases_total, std::size_t block, std::size_t star
 TEST(BlockLedger, LeasesLowestPendingFirstUntilExhausted) {
   BlockLedger ledger(10, 4);  // blocks: [0,4), [4,8), [8,10)
   EXPECT_EQ(ledger.pending(), 3u);
-  std::size_t start = 0;
-  ASSERT_TRUE(ledger.lease(7, 0.0, start));
-  EXPECT_EQ(start, 0u);
-  ASSERT_TRUE(ledger.lease(8, 0.0, start));
-  EXPECT_EQ(start, 4u);
-  ASSERT_TRUE(ledger.lease(7, 0.0, start));
-  EXPECT_EQ(start, 8u);
-  EXPECT_FALSE(ledger.lease(9, 0.0, start));
+  BlockLedger::Lease ls;
+  ASSERT_TRUE(ledger.lease(7, 0.0, ls));
+  EXPECT_EQ(ls.start, 0u);
+  EXPECT_EQ(ls.count, 4u);
+  EXPECT_FALSE(ls.probe);
+  ASSERT_TRUE(ledger.lease(8, 0.0, ls));
+  EXPECT_EQ(ls.start, 4u);
+  ASSERT_TRUE(ledger.lease(7, 0.0, ls));
+  EXPECT_EQ(ls.start, 8u);
+  EXPECT_EQ(ls.count, 2u);  // tail block
+  EXPECT_FALSE(ledger.lease(9, 0.0, ls));
   EXPECT_EQ(ledger.pending(), 0u);
   EXPECT_EQ(ledger.leased(), 3u);
   EXPECT_FALSE(ledger.all_folded());
@@ -91,10 +94,10 @@ TEST(BlockLedger, LeasesLowestPendingFirstUntilExhausted) {
 
 TEST(BlockLedger, OutOfOrderDeliveryFoldsInFlatCaseOrder) {
   BlockLedger ledger(10, 4);
-  std::size_t start = 0;
-  ASSERT_TRUE(ledger.lease(1, 0.0, start));
-  ASSERT_TRUE(ledger.lease(2, 0.0, start));
-  ASSERT_TRUE(ledger.lease(3, 0.0, start));
+  BlockLedger::Lease ls;
+  ASSERT_TRUE(ledger.lease(1, 0.0, ls));
+  ASSERT_TRUE(ledger.lease(2, 0.0, ls));
+  ASSERT_TRUE(ledger.lease(3, 0.0, ls));
 
   SweepBlock out;
   EXPECT_EQ(ledger.deliver(make_rec(10, 4, 8)), BlockLedger::Deliver::Accepted);
@@ -118,31 +121,31 @@ TEST(BlockLedger, OrphanedBlocksBackOffExponentiallyUpToTheCap) {
   opts.backoff_base_s = 1.0;
   opts.backoff_cap_s = 4.0;
   BlockLedger ledger(2, 2, opts);  // a single block
-  std::size_t start = 0;
+  BlockLedger::Lease ls;
 
   // Orphaning k (0-based) parks the block for base * 2^k, capped: 1, 2,
   // 4, 4... seconds on this schedule.
   const double expected_backoff[] = {1.0, 2.0, 4.0, 4.0};
   double now = 100.0;
   for (const double backoff : expected_backoff) {
-    ASSERT_TRUE(ledger.lease(0, now, start));
+    ASSERT_TRUE(ledger.lease(0, now, ls));
     EXPECT_EQ(ledger.orphan_worker(0, now), 1u);
     EXPECT_DOUBLE_EQ(ledger.next_ready_s(), now + backoff);
-    EXPECT_FALSE(ledger.lease(0, now + backoff * 0.5, start))
+    EXPECT_FALSE(ledger.lease(0, now + backoff * 0.5, ls))
         << "leasable before its backoff elapsed";
     now += backoff;
   }
-  ASSERT_TRUE(ledger.lease(0, now, start));
-  EXPECT_EQ(start, 0u);
+  ASSERT_TRUE(ledger.lease(0, now, ls));
+  EXPECT_EQ(ls.start, 0u);
   EXPECT_EQ(ledger.orphan_worker(1, now), 0u);  // worker 1 holds nothing
 }
 
 TEST(BlockLedger, OrphanReturnsEveryBlockOfTheDeadWorkerOnly) {
   BlockLedger ledger(12, 4);
-  std::size_t start = 0;
-  ASSERT_TRUE(ledger.lease(5, 0.0, start));  // block 0
-  ASSERT_TRUE(ledger.lease(6, 0.0, start));  // block 4
-  ASSERT_TRUE(ledger.lease(5, 0.0, start));  // block 8
+  BlockLedger::Lease ls;
+  ASSERT_TRUE(ledger.lease(5, 0.0, ls));  // block 0
+  ASSERT_TRUE(ledger.lease(6, 0.0, ls));  // block 4
+  ASSERT_TRUE(ledger.lease(5, 0.0, ls));  // block 8
   EXPECT_EQ(ledger.orphan_worker(5, 1.0), 2u);
   EXPECT_EQ(ledger.pending(), 2u);
   EXPECT_EQ(ledger.leased(), 1u);
@@ -193,12 +196,132 @@ TEST(BlockLedger, DeliverRejectsStructurallyWrongRecords) {
 TEST(BlockLedger, NextReadyTracksPendingBackoffsOnly) {
   BlockLedger ledger(4, 2);
   EXPECT_DOUBLE_EQ(ledger.next_ready_s(), 0.0);  // fresh blocks: ready now
-  std::size_t start = 0;
-  ASSERT_TRUE(ledger.lease(0, 0.0, start));
-  ASSERT_TRUE(ledger.lease(0, 0.0, start));
+  BlockLedger::Lease ls;
+  ASSERT_TRUE(ledger.lease(0, 0.0, ls));
+  ASSERT_TRUE(ledger.lease(0, 0.0, ls));
   EXPECT_EQ(ledger.next_ready_s(), std::numeric_limits<double>::infinity());
   (void)ledger.orphan_worker(0, 10.0);
   EXPECT_LT(ledger.next_ready_s(), std::numeric_limits<double>::infinity());
+}
+
+/// A 1-case probe record for flat case `flat` (the shape a worker reports
+/// back for a probe assignment).
+SweepBlock make_probe_rec(std::size_t flat, bool ok = true) {
+  SweepBlock rec;
+  rec.start = flat;
+  rec.cases.resize(1);
+  rec.cases[0].ok = ok;
+  rec.cases[0].metrics.total_carbon_t = static_cast<double>(flat) * 0.5;
+  rec.cases[0].metrics.utilization = 0.75;
+  rec.digest_after = sweep_block_digest(rec);
+  return rec;
+}
+
+TEST(BlockLedger, SuspectBlockIsProbedAndThePoisonedCaseQuarantined) {
+  BlockLedger::Options opts;
+  opts.backoff_base_s = 1.0;
+  opts.backoff_cap_s = 1.0;
+  opts.suspect_after = 2;
+  opts.probe_case_deaths = 2;
+  BlockLedger ledger(4, 2, opts);  // blocks [0,2) and [2,4)
+  BlockLedger::Lease ls;
+  double now = 0.0;
+
+  // Two whole-block orphanings turn block 0 suspect.
+  for (int k = 0; k < 2; ++k) {
+    ASSERT_TRUE(ledger.lease(1, now, ls));
+    EXPECT_EQ(ls.start, 0u);
+    EXPECT_FALSE(ls.probe);
+    EXPECT_EQ(ledger.orphan_worker(1, now), 1u);
+    now += 10.0;
+  }
+  EXPECT_EQ(ledger.suspects(), 1u);
+
+  // Further leases of block 0 are single-case probes (one in flight);
+  // the healthy block still leases whole alongside.
+  ASSERT_TRUE(ledger.lease(1, now, ls));
+  ASSERT_TRUE(ls.probe);
+  EXPECT_EQ(ls.start, 0u);
+  EXPECT_EQ(ls.count, 1u);
+  ASSERT_TRUE(ledger.lease(2, now, ls));
+  EXPECT_FALSE(ls.probe);
+  EXPECT_EQ(ls.start, 2u);
+
+  // Probe death #1 accuses case 0; death #2 quarantines it.
+  EXPECT_EQ(ledger.orphan_worker(1, now), 1u);
+  now += 10.0;
+  ASSERT_TRUE(ledger.lease(3, now, ls));
+  ASSERT_TRUE(ls.probe);
+  EXPECT_EQ(ls.start, 0u);
+  EXPECT_EQ(ledger.orphan_worker(3, now), 1u);
+  EXPECT_EQ(ledger.probe_quarantined(), 1u);
+  now += 10.0;
+
+  // The surviving case is probed and pinned by a delivered record, which
+  // completes the block: it folds as a synthesized record with the
+  // poison quarantined and the survivor's exact metric bits.
+  ASSERT_TRUE(ledger.lease(4, now, ls));
+  ASSERT_TRUE(ls.probe);
+  EXPECT_EQ(ls.start, 1u);
+  EXPECT_EQ(ledger.deliver(make_probe_rec(1)), BlockLedger::Deliver::Accepted);
+
+  SweepBlock out;
+  ASSERT_TRUE(ledger.next_to_fold(out));
+  EXPECT_EQ(out.start, 0u);
+  ASSERT_EQ(out.cases.size(), 2u);
+  EXPECT_FALSE(out.cases[0].ok);
+  EXPECT_FALSE(out.cases[0].error.empty());
+  EXPECT_TRUE(out.cases[1].ok);
+  EXPECT_EQ(out.cases[1].metrics.total_carbon_t, 0.5);
+  EXPECT_GE(ledger.probes_launched(), 3u);
+
+  // Duplicate probe results for a pinned case are counted, not refolded.
+  EXPECT_EQ(ledger.deliver(make_probe_rec(1)), BlockLedger::Deliver::Duplicate);
+}
+
+TEST(BlockLedger, FalsePositiveSuspectSynthesizesWithoutQuarantine) {
+  // A block whose workers died for unrelated reasons (OOM, chaos kills)
+  // goes suspect, but every probe completes: the synthesized block must
+  // be indistinguishable from an honest whole-block delivery.
+  BlockLedger::Options opts;
+  opts.backoff_base_s = 1.0;
+  opts.backoff_cap_s = 1.0;
+  opts.suspect_after = 1;
+  BlockLedger ledger(2, 2, opts);  // a single block
+  BlockLedger::Lease ls;
+  double now = 0.0;
+
+  ASSERT_TRUE(ledger.lease(0, now, ls));
+  (void)ledger.orphan_worker(0, now);
+  now += 10.0;
+  EXPECT_EQ(ledger.suspects(), 1u);
+
+  for (std::size_t flat = 0; flat < 2; ++flat) {
+    ASSERT_TRUE(ledger.lease(0, now, ls));
+    ASSERT_TRUE(ls.probe);
+    EXPECT_EQ(ls.start, flat);
+    EXPECT_EQ(ledger.deliver(make_probe_rec(flat)),
+              BlockLedger::Deliver::Accepted);
+  }
+
+  SweepBlock out;
+  ASSERT_TRUE(ledger.next_to_fold(out));
+  EXPECT_EQ(out.start, 0u);
+  ASSERT_EQ(out.cases.size(), 2u);
+  EXPECT_TRUE(out.cases[0].ok);
+  EXPECT_TRUE(out.cases[1].ok);
+  EXPECT_EQ(out.digest_after, sweep_block_digest(out));
+  EXPECT_EQ(ledger.probe_quarantined(), 0u);
+  EXPECT_TRUE(ledger.all_folded());
+}
+
+TEST(BlockLedger, ProbeRecordForANonSuspectBlockIsRejected) {
+  BlockLedger::Options opts;
+  opts.suspect_after = 2;
+  BlockLedger ledger(4, 2, opts);
+  // A 1-case record for a block nobody declared suspect is structurally
+  // wrong input, not a probe result.
+  EXPECT_THROW((void)ledger.deliver(make_probe_rec(1)), InvalidArgument);
 }
 
 // --- SweepCoordinator -----------------------------------------------------

@@ -447,19 +447,25 @@ TEST(SweepJournal, DroppedSuffixIsReportedOnStderrAndCounted) {
   EXPECT_NE(err.find("starting at line 6"), std::string::npos) << err;
   EXPECT_EQ(resumed.completed().size(), 4u);
 
-  // A clean resume reports nothing and counts nothing.
+  // Per-run accounting: the journal instance remembers ITS truncation
+  // count (what SweepResult::journal_truncations reports), so two
+  // back-to-back sweeps in one process never bleed counts into each
+  // other's RunReport — only the obs counter stays process-cumulative.
+  EXPECT_EQ(resumed.truncations(), 1u);
+
+  // A clean resume reports nothing, counts nothing, and starts from a
+  // zero per-run count of its own.
   ::testing::internal::CaptureStderr();
-  (void)SweepJournal::resume(dir, grid.config_digest(), grid.case_count());
+  const SweepJournal clean_resume =
+      SweepJournal::resume(dir, grid.config_digest(), grid.case_count());
   EXPECT_EQ(::testing::internal::GetCapturedStderr(), "");
   EXPECT_EQ(truncations.value() - before, 1u);
+  EXPECT_EQ(clean_resume.truncations(), 0u);
 
-  // The accessor the sweep run report embeds tracks the same counter, so
-  // the truncation shows up in the report JSON's sweep block.
-  EXPECT_EQ(journal_truncations(), truncations.value());
   obs::RunReport report;
   report.tool = "greenhpc sweep";
   report.embed_metrics = false;
-  report.add("journal_truncations", static_cast<double>(journal_truncations()));
+  report.add("journal_truncations", static_cast<double>(resumed.truncations()));
   std::ostringstream os;
   report.write_json(os);
   EXPECT_NE(os.str().find("\"journal_truncations\": "), std::string::npos);
@@ -598,6 +604,9 @@ TEST(SweepShardJournal, TornLineDropsTheRestOfThatFileOnly) {
   EXPECT_EQ(load.blocks[1].start, 4u);
   EXPECT_EQ(load.blocks[2].start, 12u);
   EXPECT_EQ(truncations.value() - before, 1u);
+  // Per-run accounting rides the ShardLoad so a restarted coordinator
+  // can surface ITS truncations without reading the global counter.
+  EXPECT_EQ(load.truncations, 1u);
   EXPECT_NE(err.find(path), std::string::npos) << err;
   EXPECT_NE(err.find("starting at line 3"), std::string::npos) << err;
 }

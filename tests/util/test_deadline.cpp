@@ -1,0 +1,91 @@
+#include "util/deadline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace greenhpc::util {
+namespace {
+
+// Satellite hardening: the coordinator's failure detectors hang off
+// these exact semantics — a deadline that is off by one boundary
+// comparison turns into a liveness bug that only shows under load.
+
+TEST(Deadline, DefaultConstructedIsExpiredAtTimeZero) {
+  const Deadline d;
+  EXPECT_TRUE(d.expired(0.0));
+  EXPECT_DOUBLE_EQ(d.remaining_s(0.0), 0.0);
+}
+
+TEST(Deadline, ZeroDelayExpiresAtTheCreationInstant) {
+  const Deadline d(5.0, 0.0);
+  EXPECT_FALSE(d.expired(4.999999));
+  EXPECT_TRUE(d.expired(5.0));  // boundary is inclusive
+  EXPECT_DOUBLE_EQ(d.remaining_s(5.0), 0.0);
+}
+
+TEST(Deadline, NegativeDelayIsAlreadyExpired) {
+  // A negative timeout (misconfigured knob) must fail CLOSED — the
+  // detector fires immediately instead of never.
+  const Deadline d(5.0, -1.0);
+  EXPECT_TRUE(d.expired(4.0));
+  EXPECT_TRUE(d.expired(5.0));
+  EXPECT_DOUBLE_EQ(d.remaining_s(4.5), 0.0);
+}
+
+TEST(Deadline, ExpiryBoundaryIsInclusiveExactly) {
+  const Deadline d(1.0, 2.0);
+  EXPECT_DOUBLE_EQ(d.at_s(), 3.0);
+  EXPECT_FALSE(d.expired(std::nextafter(3.0, 0.0)));
+  EXPECT_TRUE(d.expired(3.0));
+  EXPECT_TRUE(d.expired(std::nextafter(3.0, 4.0)));
+}
+
+TEST(Deadline, RemainingClampsToZeroPastExpiry) {
+  const Deadline d(0.0, 1.0);
+  EXPECT_DOUBLE_EQ(d.remaining_s(0.25), 0.75);
+  EXPECT_DOUBLE_EQ(d.remaining_s(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(d.remaining_s(100.0), 0.0);  // never negative
+}
+
+TEST(Deadline, ExtendRearmsFromNowNotFromTheOldDeadline) {
+  Deadline d(0.0, 1.0);
+  d.extend(0.9, 1.0);  // heartbeat arrived at 0.9
+  EXPECT_FALSE(d.expired(1.5));
+  EXPECT_DOUBLE_EQ(d.at_s(), 1.9);
+  // Extending an already-expired deadline revives it.
+  d.extend(10.0, 0.5);
+  EXPECT_FALSE(d.expired(10.4));
+  EXPECT_TRUE(d.expired(10.5));
+}
+
+TEST(Deadline, ArithmeticNearOverflowSaturatesInsteadOfWrapping) {
+  const double huge = std::numeric_limits<double>::max();
+  // now + delay overflows double range: the sum saturates to +infinity,
+  // which reads as "never expires for any finite now" — the safe
+  // direction for a liveness timeout (no spurious detector firing).
+  const Deadline far(huge, huge);
+  EXPECT_TRUE(std::isinf(far.at_s()));
+  EXPECT_FALSE(far.expired(huge));
+  EXPECT_TRUE(std::isinf(far.remaining_s(0.0)));
+
+  // An explicit infinite delay behaves the same way (the coordinator
+  // models "knob disabled" as an infinite deadline).
+  const Deadline off(0.0, std::numeric_limits<double>::infinity());
+  EXPECT_FALSE(off.expired(huge));
+}
+
+TEST(MonotoneClock, NeverRunsBackwardsAndStartsAtZero) {
+  const MonotoneClock clock;
+  double prev = clock.now_s();
+  EXPECT_GE(prev, 0.0);
+  for (int i = 0; i < 1000; ++i) {
+    const double now = clock.now_s();
+    EXPECT_GE(now, prev);
+    prev = now;
+  }
+}
+
+}  // namespace
+}  // namespace greenhpc::util

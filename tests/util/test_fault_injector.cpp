@@ -1,0 +1,147 @@
+#include "util/fault_injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace greenhpc::util {
+namespace {
+
+/// The injector is process-global state: every test must leave it
+/// disarmed and non-lethal or it would leak fault specs into unrelated
+/// tests in this binary.
+class FaultInjectorTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    FaultInjector::global().disarm();
+    FaultInjector::global().set_lethal(false);
+  }
+};
+
+TEST_F(FaultInjectorTest, DisarmedConsultNeverFiresAndCountsNothing) {
+  FaultInjector& inj = FaultInjector::global();
+  inj.disarm();
+  EXPECT_FALSE(inj.armed());
+  FaultHit hit;
+  EXPECT_FALSE(inj.consult("worker.block", hit));
+  EXPECT_FALSE(inj.match_value("case.poison", 3, hit));
+  EXPECT_EQ(inj.occurrences("worker.block"), 0u);
+}
+
+TEST_F(FaultInjectorTest, OccurrenceWindowFiresExactlyAtToAtPlusCount) {
+  FaultInjector& inj = FaultInjector::global();
+  inj.arm({{"worker.block", 2, 3, FaultAction::Stall, 50}});
+  FaultHit hit;
+  // Occurrences 0..6: the [2, 5) window fires on 2, 3 and 4 only.
+  for (int n = 0; n < 7; ++n) {
+    const bool fired = inj.consult("worker.block", hit);
+    EXPECT_EQ(fired, n >= 2 && n < 5) << "occurrence " << n;
+    if (fired) {
+      EXPECT_EQ(hit.action, FaultAction::Stall);
+      EXPECT_EQ(hit.param, 50u);
+    }
+  }
+  EXPECT_EQ(inj.occurrences("worker.block"), 7u);
+}
+
+TEST_F(FaultInjectorTest, SitesCountIndependently) {
+  FaultInjector& inj = FaultInjector::global();
+  inj.arm({{"a", 1, 1, FaultAction::Fail, 0}});
+  FaultHit hit;
+  EXPECT_FALSE(inj.consult("a", hit));  // occurrence 0
+  // Consults of OTHER sites must not advance a's counter.
+  EXPECT_FALSE(inj.consult("b", hit));
+  EXPECT_FALSE(inj.consult("b", hit));
+  EXPECT_TRUE(inj.consult("a", hit));  // occurrence 1
+}
+
+TEST_F(FaultInjectorTest, ArmResetsOccurrenceCounters) {
+  FaultInjector& inj = FaultInjector::global();
+  inj.arm({{"site", 0, 1, FaultAction::Fail, 0}});
+  FaultHit hit;
+  EXPECT_TRUE(inj.consult("site", hit));
+  EXPECT_FALSE(inj.consult("site", hit));  // window consumed
+  inj.arm({{"site", 0, 1, FaultAction::Fail, 0}});
+  EXPECT_EQ(inj.occurrences("site"), 0u);
+  EXPECT_TRUE(inj.consult("site", hit)) << "re-arm must reset counters";
+}
+
+TEST_F(FaultInjectorTest, MatchValueFiresEveryTimeWithoutACounter) {
+  FaultInjector& inj = FaultInjector::global();
+  inj.arm({{"case.poison", 7, 1, FaultAction::Kill, 0}});
+  FaultHit hit;
+  // A poisoned case stays poisoned: the same value fires repeatedly.
+  EXPECT_TRUE(inj.match_value("case.poison", 7, hit));
+  EXPECT_TRUE(inj.match_value("case.poison", 7, hit));
+  EXPECT_EQ(hit.action, FaultAction::Kill);
+  EXPECT_FALSE(inj.match_value("case.poison", 8, hit));
+  // match_value consumes no occurrence counter.
+  EXPECT_EQ(inj.occurrences("case.poison"), 0u);
+}
+
+TEST_F(FaultInjectorTest, LethalFlagIsIndependentOfArming) {
+  FaultInjector& inj = FaultInjector::global();
+  EXPECT_FALSE(inj.lethal());
+  inj.set_lethal(true);
+  EXPECT_TRUE(inj.lethal());
+  inj.disarm();
+  EXPECT_TRUE(inj.lethal()) << "disarm must not clear lethality";
+  inj.set_lethal(false);
+}
+
+TEST_F(FaultInjectorTest, EncodeDecodeRoundTripsEverySpecField) {
+  const std::vector<FaultSpec> specs = {
+      {"worker.start", 0, 1, FaultAction::Kill, 0},
+      {"worker.heartbeat", 3, 12, FaultAction::Drop, 0},
+      {"worker.report", 1, 1, FaultAction::BitFlip, 4095},
+      {"journal.append", 2, 1, FaultAction::ShortWrite, 17},
+      {"case.poison", 11, 1, FaultAction::Kill, 0},
+  };
+  const std::string text = FaultInjector::encode(specs);
+  // argv-safe: no spaces, ever.
+  EXPECT_EQ(text.find(' '), std::string::npos);
+  std::vector<FaultSpec> back;
+  ASSERT_TRUE(FaultInjector::decode(text, back));
+  ASSERT_EQ(back.size(), specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(back[i].site, specs[i].site);
+    EXPECT_EQ(back[i].at, specs[i].at);
+    EXPECT_EQ(back[i].count, specs[i].count);
+    EXPECT_EQ(back[i].action, specs[i].action);
+    EXPECT_EQ(back[i].param, specs[i].param);
+  }
+}
+
+TEST_F(FaultInjectorTest, DecodeRejectsMalformedText) {
+  std::vector<FaultSpec> out;
+  EXPECT_FALSE(FaultInjector::decode("site:1:1", out));         // too few fields
+  EXPECT_FALSE(FaultInjector::decode("site:1:1:kill:0:9", out));  // too many
+  EXPECT_FALSE(FaultInjector::decode(":1:1:kill:0", out));      // empty site
+  EXPECT_FALSE(FaultInjector::decode("site:x:1:kill:0", out));  // bad number
+  EXPECT_FALSE(FaultInjector::decode("site:1:1:explode:0", out));  // bad action
+  EXPECT_TRUE(FaultInjector::decode("", out));  // empty = no specs
+  EXPECT_TRUE(out.empty());
+}
+
+TEST_F(FaultInjectorTest, ActionNamesRoundTripThroughParse) {
+  for (const FaultAction a :
+       {FaultAction::Fail, FaultAction::Kill, FaultAction::Stall,
+        FaultAction::Delay, FaultAction::Drop, FaultAction::Truncate,
+        FaultAction::BitFlip, FaultAction::ShortWrite}) {
+    FaultAction back = FaultAction::Fail;
+    ASSERT_TRUE(FaultInjector::parse_action(FaultInjector::action_name(a), back));
+    EXPECT_EQ(back, a);
+  }
+}
+
+TEST_F(FaultInjectorTest, ArmingAnEmptyListIsDisarm) {
+  FaultInjector& inj = FaultInjector::global();
+  inj.arm({{"site", 0, 1, FaultAction::Fail, 0}});
+  EXPECT_TRUE(inj.armed());
+  inj.arm({});
+  EXPECT_FALSE(inj.armed());
+}
+
+}  // namespace
+}  // namespace greenhpc::util

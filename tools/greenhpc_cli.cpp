@@ -32,6 +32,7 @@
 //
 // Exit status: 0 on success, 2 on usage errors.
 
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <chrono>
@@ -50,6 +51,7 @@
 #include "obs/metrics.hpp"
 #include "obs/run_report.hpp"
 #include "obs/trace.hpp"
+#include "core/chaos.hpp"
 #include "core/sweep.hpp"
 #include "core/sweep_coordinator.hpp"
 #include "core/sweep_journal.hpp"
@@ -63,6 +65,7 @@
 #include "sched/fcfs.hpp"
 #include "util/atomic_file.hpp"
 #include "util/csv.hpp"
+#include "util/fault_injector.hpp"
 #include "util/parallel.hpp"
 #include "util/table.hpp"
 
@@ -518,7 +521,7 @@ int report_sweep_result(const Args& args, const core::SweepResult& result,
   report.add("replayed_cases", static_cast<double>(result.replayed_cases));
   report.add("failed_cases", static_cast<double>(result.failed_cases.size()));
   report.add("journal_truncations",
-             static_cast<double>(core::journal_truncations()));
+             static_cast<double>(result.journal_truncations));
   // Block-simulation latency percentiles from the local registry (the
   // in-process engine and the degraded fallback both record them; the
   // distributed path additionally reports fleet_block_seconds_p50/p99
@@ -607,6 +610,10 @@ int cmd_sweep(const Args& args, obs::RunReport& report) {
     copts.heartbeat_timeout_s = args.num("hb-timeout", 2.0);
     copts.hello_timeout_s = args.num("hello-timeout", 30.0);
     copts.lease_timeout_s = args.num("lease-timeout", 600.0);
+    // Containment knobs (chaos-hardened defaults; see DESIGN.md "Failure
+    // domains & containment").
+    copts.progress_timeout_s = args.num("progress-timeout", 0.0);
+    copts.max_respawns = static_cast<int>(args.num("max-respawns", 0));
     copts.fleet_trace_path = args.get("fleet-trace-out", "");
     copts.postmortem_dir = args.get("postmortem-dir", "");
     copts.ship_stats = !args.has("no-obs-ship");
@@ -759,6 +766,19 @@ int cmd_sweep(const Args& args, obs::RunReport& report) {
 /// coordinator, never by hand — stdin/stdout ARE the protocol channel,
 /// so nothing else in this path may write to stdout.
 int cmd_sweep_worker(const Args& args) {
+  // Chaos harness arming: the coordinator's worker_extra_args hook hands
+  // each worker its fault schedule through this flag. Workers run LETHAL
+  // (Kill actions really _Exit) — that is the point of the process
+  // boundary fault model.
+  if (args.has("chaos-spec")) {
+    std::vector<util::FaultSpec> specs;
+    if (!util::FaultInjector::decode(args.get("chaos-spec", ""), specs)) {
+      std::fprintf(stderr, "malformed --chaos-spec\n");
+      return 2;
+    }
+    util::FaultInjector::global().set_lethal(true);
+    util::FaultInjector::global().arm(std::move(specs));
+  }
   const core::SweepGrid grid = build_sweep_grid(args);
   core::SweepWorker::Options wopts;
   wopts.block = static_cast<std::size_t>(args.num("block", 256));
@@ -770,6 +790,127 @@ int cmd_sweep_worker(const Args& args) {
   wopts.ship_stats = !args.has("no-ship-stats");
   wopts.ship_trace = args.has("ship-trace");
   return core::SweepWorker(std::move(wopts)).run(grid);
+}
+
+/// `greenhpc chaos`: run N deterministic fault schedules against a real
+/// coordinator + worker fleet on a micro-grid and hard-fail unless every
+/// terminal state is digest-identical to the clean run or an explicitly
+/// reported quarantine. The grid flags share build_sweep_grid's names but
+/// default to a deliberately tiny grid — every schedule runs it to
+/// completion at least once.
+int cmd_chaos(const Args& args, obs::RunReport& report) {
+  // Chaos-sized grid defaults; any of them can be overridden, but the
+  // SAME resolved values must reach the workers, so the flag list is
+  // materialized once and re-parsed through build_sweep_grid.
+  std::vector<std::string> grid_flags = {
+      "--regions",  args.get("regions", "DE"),
+      "--nodes",    args.get("nodes", "8,12"),
+      "--jobs",     args.get("jobs", "12"),
+      "--days",     args.get("days", "0.1"),
+      "--replicas", args.get("replicas", "3"),
+      "--sched",    args.get("sched", "easy"),
+      "--seed",     args.get("seed", "2023"),
+  };
+  // The default chaos grid spreads a jobs axis too (12 cases, 6 blocks
+  // at --block 2); a user who pins --jobs without --jobs-list gets the
+  // single-value axis they asked for.
+  if (args.has("jobs-list") || !args.has("jobs")) {
+    grid_flags.push_back("--jobs-list");
+    grid_flags.push_back(args.get("jobs-list", "8,12"));
+  }
+  std::vector<char*> grid_argv;
+  grid_argv.reserve(grid_flags.size());
+  for (std::string& s : grid_flags) grid_argv.push_back(s.data());
+  const Args grid_args(static_cast<int>(grid_argv.size()), grid_argv.data(), 0);
+  const core::SweepGrid grid = build_sweep_grid(grid_args);
+
+  core::ChaosOptions copts;
+  copts.grid = &grid;
+  copts.chaos_seed = static_cast<std::uint64_t>(args.num("chaos-seed", 1));
+  copts.schedules = static_cast<int>(args.num("schedules", 10));
+  copts.workers = static_cast<int>(args.num("workers", 3));
+  copts.workdir = args.get("workdir", "chaos-out");
+  copts.block = static_cast<std::size_t>(args.num("block", 2));
+  copts.schedule_deadline_s = args.num("deadline", 120.0);
+  copts.sites = split_list(args.get("sites", ""));
+  if (copts.schedules < 1 || copts.workers < 1) {
+    std::fprintf(stderr, "--schedules and --workers want positive counts\n");
+    return 2;
+  }
+  ::mkdir(copts.workdir.c_str(), 0755);  // EEXIST is fine
+
+  std::vector<std::string> wargv{g_self_exe, "sweep-worker"};
+  wargv.insert(wargv.end(), grid_flags.begin(), grid_flags.end());
+  wargv.push_back("--hb-interval");
+  wargv.push_back(std::to_string(copts.heartbeat_interval_s));
+  // One compute thread per worker: three micro-grid workers on one
+  // machine must not each claim every hardware thread.
+  wargv.push_back("--threads");
+  wargv.push_back("1");
+  copts.worker_argv = std::move(wargv);
+
+  const bool quiet = args.has("quiet");
+  copts.on_schedule = [&](const core::ChaosScheduleOutcome& out) {
+    if (quiet && out.pass) return;
+    std::string line = "schedule " + std::to_string(out.schedule) + ": " +
+                       (out.pass ? "ok" : "FAIL");
+    char hex[24];
+    std::snprintf(hex, sizeof(hex), "%016llx",
+                  static_cast<unsigned long long>(out.digest));
+    line += std::string(" digest=") + hex;
+    if (out.has_poison) {
+      line += " poison=" + std::to_string(out.poison_flat) + " quarantined=" +
+              std::to_string(out.failed_flats.size());
+    }
+    if (out.restarted) line += " coord-restart";
+    if (out.worker_deaths > 0) {
+      line += " deaths=" + std::to_string(out.worker_deaths);
+    }
+    if (out.workers_respawned > 0) {
+      line += " respawned=" + std::to_string(out.workers_respawned);
+    }
+    if (out.workers_evicted_wedged > 0) {
+      line += " wedged=" + std::to_string(out.workers_evicted_wedged);
+    }
+    if (out.journal_degraded) line += " journal-degraded";
+    char el[32];
+    std::snprintf(el, sizeof(el), " (%.2fs)", out.elapsed_s);
+    line += el;
+    std::fprintf(stderr, "%s\n", line.c_str());
+  };
+
+  const core::ChaosReport chaos = core::run_chaos(copts);
+
+  std::printf("chaos: %d schedule(s), seed %llu: %s\n", copts.schedules,
+              static_cast<unsigned long long>(copts.chaos_seed),
+              chaos.pass ? "PASS" : "FAIL");
+  std::printf("  clean digest:   %016llx\n",
+              static_cast<unsigned long long>(chaos.clean_digest));
+  std::printf("  poisoned:       %d schedule(s)\n", chaos.poison_schedules);
+  std::printf("  coord restarts: %d schedule(s)\n", chaos.restart_schedules);
+  std::printf("  failures:       %d\n", chaos.failures);
+  std::printf("  determinism:    schedule %d re-run %s\n",
+              chaos.determinism_schedule,
+              chaos.determinism_pass ? "identical" : "DIVERGED");
+  if (!chaos.events_path.empty()) {
+    std::printf("  event lane:     %s\n", chaos.events_path.c_str());
+  }
+
+  report.add("schedules", static_cast<double>(copts.schedules));
+  report.add("failures", static_cast<double>(chaos.failures));
+  report.add("poison_schedules", static_cast<double>(chaos.poison_schedules));
+  report.add("restart_schedules", static_cast<double>(chaos.restart_schedules));
+  report.add("determinism_pass", chaos.determinism_pass ? 1.0 : 0.0);
+  char digest_hex[24];
+  std::snprintf(digest_hex, sizeof(digest_hex), "%016llx",
+                static_cast<unsigned long long>(chaos.clean_digest));
+  report.add_label("clean_digest", digest_hex);
+  if (!chaos.events_path.empty()) {
+    report.add_label("chaos_events", chaos.events_path);
+  }
+  // Exit 1 (not the usage code 2): the harness ran and found a
+  // containment or determinism failure.
+  return chaos.pass ? 0 : 1;
 }
 
 void print_usage(std::FILE* out) {
@@ -808,6 +949,19 @@ void print_usage(std::FILE* out) {
                "                                workers, --no-obs-ship disables\n"
                "                                metric shipping (digests never\n"
                "                                depend on it either way)\n"
+               "  chaos [--chaos-seed N] [--schedules N] [--workers N]\n"
+               "        [--sites a,b,...] [--workdir DIR] [--block N]\n"
+               "        [--deadline SECS] [--quiet]\n"
+               "                                drive N deterministic fault\n"
+               "                                schedules (worker kills, wedges,\n"
+               "                                torn journals, poisoned cases,\n"
+               "                                coordinator restarts) against a\n"
+               "                                real worker fleet on a micro-grid;\n"
+               "                                fails unless every terminal state\n"
+               "                                is digest-identical to the clean\n"
+               "                                run or an explicitly reported\n"
+               "                                quarantine, and re-runs one\n"
+               "                                schedule to prove determinism\n"
                "global flags:\n"
                "  --threads N         worker-pool size (overrides GREENHPC_THREADS)\n"
                "  --trace-out FILE    runtime trace (Chrome trace_event JSON,\n"
@@ -827,7 +981,7 @@ bool known_command(const std::string& command) {
   // coordinator's re-exec target, not an operator command.
   return command == "regions" || command == "trace" || command == "fig1" ||
          command == "carbon500" || command == "simulate" || command == "sweep" ||
-         command == "sweep-worker";
+         command == "sweep-worker" || command == "chaos";
 }
 
 }  // namespace
@@ -887,6 +1041,7 @@ int main(int argc, char** argv) {
     if (command == "simulate") ret = cmd_simulate(args, report);
     if (command == "sweep") ret = cmd_sweep(args, report);
     if (command == "sweep-worker") ret = cmd_sweep_worker(args);
+    if (command == "chaos") ret = cmd_chaos(args, report);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     ret = 2;
